@@ -1,0 +1,110 @@
+//! Criterion benches behind Figures 18–20: JSONB vs BSON vs CBOR on the
+//! SIMD-JSON-style documents — serialization, deserialization, and random
+//! nested access.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_serialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serialize");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for name in jt_data::simdjson::FILES {
+        let doc = jt_data::simdjson::generate(name);
+        group.bench_with_input(BenchmarkId::new("jsonb", name), &doc, |b, doc| {
+            b.iter(|| std::hint::black_box(jt_jsonb::encode(doc)));
+        });
+        group.bench_with_input(BenchmarkId::new("bson", name), &doc, |b, doc| {
+            b.iter(|| std::hint::black_box(jt_formats::bson::encode(doc)));
+        });
+        group.bench_with_input(BenchmarkId::new("cbor", name), &doc, |b, doc| {
+            b.iter(|| std::hint::black_box(jt_formats::cbor::encode(doc)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_deserialize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deserialize");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for name in jt_data::simdjson::FILES {
+        let doc = jt_data::simdjson::generate(name);
+        let jsonb = jt_jsonb::encode(&doc);
+        let bson = jt_formats::bson::encode(&doc);
+        let cbor = jt_formats::cbor::encode(&doc);
+        group.bench_with_input(BenchmarkId::new("jsonb", name), &jsonb, |b, bytes| {
+            b.iter(|| std::hint::black_box(jt_jsonb::decode(bytes)));
+        });
+        group.bench_with_input(BenchmarkId::new("bson", name), &bson, |b, bytes| {
+            b.iter(|| std::hint::black_box(jt_formats::bson::decode(bytes)));
+        });
+        group.bench_with_input(BenchmarkId::new("cbor", name), &cbor, |b, bytes| {
+            b.iter(|| std::hint::black_box(jt_formats::cbor::decode(bytes)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_access");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for name in jt_data::simdjson::FILES {
+        let doc = jt_data::simdjson::generate(name);
+        let paths = jt_data::simdjson::sample_paths(&doc, 32, 0xACC);
+        let path_refs: Vec<Vec<&str>> = paths
+            .iter()
+            .map(|p| p.iter().map(String::as_str).collect())
+            .collect();
+        let jsonb = jt_jsonb::encode(&doc);
+        let bson = jt_formats::bson::encode(&doc);
+        let cbor = jt_formats::cbor::encode(&doc);
+        group.bench_with_input(BenchmarkId::new("jsonb", name), &(), |b, ()| {
+            b.iter(|| {
+                for p in &path_refs {
+                    let mut cur = jt_jsonb::JsonbRef::new(&jsonb);
+                    for seg in p {
+                        cur = match seg.parse::<usize>() {
+                            Ok(i) => match cur.get_index(i) {
+                                Some(v) => v,
+                                None => break,
+                            },
+                            Err(_) => match cur.get(seg) {
+                                Some(v) => v,
+                                None => break,
+                            },
+                        };
+                    }
+                    std::hint::black_box(cur.kind());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bson", name), &(), |b, ()| {
+            b.iter(|| {
+                for p in &path_refs {
+                    std::hint::black_box(jt_formats::bson::get_path(&bson, p));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cbor", name), &(), |b, ()| {
+            b.iter(|| {
+                for p in &path_refs {
+                    std::hint::black_box(jt_formats::cbor::get_path(&cbor, p));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Plot rendering dominates wall time on small machines; reports
+    // stay in target/criterion as raw data.
+    config = Criterion::default().without_plots();
+    targets = bench_serialize, bench_deserialize, bench_random_access
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches behind Figure 15 / Table 5: the summation
+//! micro-benchmark (`SUM(l_linenumber)`) on lineitem-only and combined
+//! TPC-H, per competitor, plus the pure-relational baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::{datasets, load_mode, MODES};
+use jt_query::ExecOptions;
+use jt_workloads::micro;
+
+fn bench_summation(c: &mut Criterion) {
+    let d = datasets::build(0.2);
+    let mut group = c.benchmark_group("summation");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+
+    let baseline = micro::RelationalBaseline::build(&d.tpch_combined);
+    group.bench_function("Relational", |b| {
+        b.iter(|| std::hint::black_box(baseline.sum()));
+    });
+
+    for &(mode, name) in &MODES {
+        for (suffix, docs) in [("Only", &d.tpch_lineitem), ("Comb", &d.tpch_combined)] {
+            let rel = load_mode(docs, mode, 4);
+            group.bench_with_input(BenchmarkId::new(name, suffix), &(), |b, ()| {
+                b.iter(|| micro::summation(&rel, ExecOptions::default()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Plot rendering dominates wall time on small machines; reports
+    // stay in target/criterion as raw data.
+    config = Criterion::default().without_plots();
+    targets = bench_summation
+}
+criterion_main!(benches);

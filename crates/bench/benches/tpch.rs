@@ -1,0 +1,57 @@
+//! Criterion benches behind Table 1 / Figures 7–9: the 22 combined-TPC-H
+//! queries per internal competitor, plus the shuffled variant.
+//!
+//! The full sweep lives in the `repro` binary; these benches track a
+//! representative subset (the paper's chokepoint queries Q1, Q3, Q6, Q18)
+//! with Criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::{datasets, load_mode, MODES};
+use jt_query::ExecOptions;
+use jt_workloads::tpch;
+
+const BENCH_SCALE: f64 = 0.1;
+const QUERIES: [usize; 4] = [1, 3, 6, 18];
+
+fn bench_combined(c: &mut Criterion) {
+    let d = datasets::build(BENCH_SCALE);
+    let mut group = c.benchmark_group("tpch_combined");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &(mode, name) in &MODES {
+        let rel = load_mode(&d.tpch_combined, mode, 4);
+        for q in QUERIES {
+            group.bench_with_input(BenchmarkId::new(name, format!("Q{q}")), &q, |b, &q| {
+                b.iter(|| tpch::run_query(q, &rel, ExecOptions::default()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_shuffled(c: &mut Criterion) {
+    let d = datasets::build(BENCH_SCALE);
+    let mut group = c.benchmark_group("tpch_shuffled");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &(mode, name) in &MODES {
+        let rel = load_mode(&d.tpch_shuffled, mode, 4);
+        for q in QUERIES {
+            group.bench_with_input(BenchmarkId::new(name, format!("Q{q}")), &q, |b, &q| {
+                b.iter(|| tpch::run_query(q, &rel, ExecOptions::default()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Plot rendering dominates wall time on small machines; reports
+    // stay in target/criterion as raw data.
+    config = Criterion::default().without_plots();
+    targets = bench_combined, bench_shuffled
+}
+criterion_main!(benches);

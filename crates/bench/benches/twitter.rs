@@ -1,0 +1,42 @@
+//! Criterion benches behind Tables 3/4: the five Twitter queries per
+//! competitor plus the Tiles-* variants of Q3/Q4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::{datasets, load_mode, MODES};
+use jt_core::TilesConfig;
+use jt_query::ExecOptions;
+use jt_workloads::twitter;
+
+fn bench_twitter(c: &mut Criterion) {
+    let d = datasets::build(0.1);
+    let mut group = c.benchmark_group("twitter");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &(mode, name) in &MODES {
+        let rel = load_mode(&d.twitter, mode, 4);
+        for q in 1..=twitter::QUERY_COUNT {
+            group.bench_with_input(BenchmarkId::new(name, format!("Q{q}")), &q, |b, &q| {
+                b.iter(|| twitter::run_query(q, &rel, ExecOptions::default()));
+            });
+        }
+    }
+    // Tiles-* variants.
+    let rel = load_mode(&d.twitter, jt_core::StorageMode::Tiles, 4);
+    let side = twitter::build_side_relations(&d.twitter, TilesConfig::default());
+    for q in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::new("Tiles-star", format!("Q{q}")), &q, |b, &q| {
+            b.iter(|| twitter::run_query_star(q, &rel, &side, ExecOptions::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Plot rendering dominates wall time on small machines; reports
+    // stay in target/criterion as raw data.
+    config = Criterion::default().without_plots();
+    targets = bench_twitter
+}
+criterion_main!(benches);

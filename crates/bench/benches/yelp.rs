@@ -1,0 +1,32 @@
+//! Criterion benches behind Table 2: the five Yelp queries per competitor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::{datasets, load_mode, MODES};
+use jt_query::ExecOptions;
+use jt_workloads::yelp;
+
+fn bench_yelp(c: &mut Criterion) {
+    let d = datasets::build(0.1);
+    let mut group = c.benchmark_group("yelp");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for &(mode, name) in &MODES {
+        let rel = load_mode(&d.yelp, mode, 4);
+        for q in 1..=yelp::QUERY_COUNT {
+            group.bench_with_input(BenchmarkId::new(name, format!("Q{q}")), &q, |b, &q| {
+                b.iter(|| yelp::run_query(q, &rel, ExecOptions::default()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // Plot rendering dominates wall time on small machines; reports
+    // stay in target/criterion as raw data.
+    config = Criterion::default().without_plots();
+    targets = bench_yelp
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Reproduction driver: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro --exp table1            # one experiment
+//! repro --exp all               # everything
+//! repro --exp fig9 --scale 0.2  # smaller dataset
+//! repro --exp fig8 --threads 8
+//! repro --list                  # available experiment ids
+//! ```
+
+use jt_bench::experiments::{run, ExpConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, FORMAT_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exp: Option<String> = None;
+    let mut cfg = ExpConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                exp = Some(args.get(i + 1).expect("--exp needs a value").clone());
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = args
+                    .get(i + 1)
+                    .expect("--scale needs a value")
+                    .parse()
+                    .expect("numeric scale");
+                i += 2;
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .get(i + 1)
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("numeric thread count");
+                i += 2;
+            }
+            "--list" => {
+                println!("experiments:");
+                for e in ALL_EXPERIMENTS
+                    .iter()
+                    .chain(FORMAT_EXPERIMENTS.iter())
+                    .chain(EXTENSION_EXPERIMENTS.iter())
+                {
+                    println!("  {e}");
+                }
+                println!("  all");
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro --exp <id|all> [--scale F] [--threads N] [--list]");
+                return;
+            }
+            other => panic!("unknown argument {other:?} (try --help)"),
+        }
+    }
+    let exp = exp.unwrap_or_else(|| {
+        eprintln!("no --exp given; running `all` (use --list to see ids)");
+        "all".to_owned()
+    });
+    println!(
+        "# JSON tiles reproduction — exp={exp} scale={} threads={}",
+        cfg.scale, cfg.threads
+    );
+    run(&exp, &cfg);
+}

@@ -1,0 +1,70 @@
+//! Dataset construction shared by the repro binary and the Criterion
+//! benches. All datasets are deterministic functions of the scale knob.
+
+use jt_data::{hackernews, tpch, twitter, yelp};
+use jt_json::Value;
+
+/// The evaluation datasets at one scale.
+pub struct Datasets {
+    /// Combined TPC-H JSON (§6.1) in generation order.
+    pub tpch_combined: Vec<Value>,
+    /// Fully shuffled combined TPC-H (§6.4).
+    pub tpch_shuffled: Vec<Value>,
+    /// Lineitem only (§6.7 micro-benchmark).
+    pub tpch_lineitem: Vec<Value>,
+    /// Combined Yelp-like collection (§6.2).
+    pub yelp: Vec<Value>,
+    /// Twitter stream, modern schema (§6.3).
+    pub twitter: Vec<Value>,
+    /// Twitter stream with 2006→2013 schema evolution ("Changing").
+    pub twitter_changing: Vec<Value>,
+    /// HackerNews item mix (Figure 3).
+    pub hackernews: Vec<Value>,
+}
+
+/// Build all datasets. `scale = 1.0` ≈ 8k TPC-H docs, 20k tweets, 15k Yelp
+/// docs — a laptop-friendly reduction of the paper's multi-GB inputs that
+/// preserves every structural property the experiments measure.
+pub fn build(scale: f64) -> Datasets {
+    let tpch_data = tpch::generate(tpch::TpchConfig {
+        scale,
+        ..Default::default()
+    });
+    let tweets = twitter::generate(twitter::TwitterConfig {
+        docs: ((20_000.0 * scale) as usize).max(500),
+        ..Default::default()
+    });
+    let changing = twitter::generate(twitter::TwitterConfig {
+        docs: ((20_000.0 * scale) as usize).max(500),
+        evolving: true,
+        ..Default::default()
+    });
+    let yelp_data = yelp::generate(yelp::YelpConfig {
+        businesses: ((800.0 * scale) as usize).max(50),
+        ..Default::default()
+    });
+    let hn = hackernews::generate(hackernews::HnConfig {
+        items: ((10_000.0 * scale) as usize).max(500),
+        ..Default::default()
+    });
+    Datasets {
+        tpch_shuffled: tpch_data.shuffled(0xBAD5EED),
+        tpch_lineitem: tpch_data.lineitem.clone(),
+        tpch_combined: tpch_data.combined(),
+        yelp: yelp_data.docs,
+        twitter: tweets.docs,
+        twitter_changing: changing.docs,
+        hackernews: hn,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scales_apply() {
+        let small = super::build(0.05);
+        assert!(small.tpch_combined.len() > 300);
+        assert_eq!(small.tpch_combined.len(), small.tpch_shuffled.len());
+        assert!(small.twitter.len() >= 500);
+    }
+}

@@ -1,0 +1,32 @@
+//! Property tests: LZ4 round trip over arbitrary and structured inputs.
+
+use jt_compress::{compress, compress_prepend_size, decompress, decompress_size_prepended};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn round_trip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_low_entropy(data in prop::collection::vec(0u8..4, 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_repeated_chunks(chunk in prop::collection::vec(any::<u8>(), 1..32), reps in 1usize..200) {
+        let data: Vec<u8> = chunk.iter().copied().cycle().take(chunk.len() * reps).collect();
+        let packed = compress_prepend_size(&data);
+        prop_assert_eq!(decompress_size_prepended(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512), size in 0usize..2048) {
+        let _ = decompress(&data, size);
+    }
+}

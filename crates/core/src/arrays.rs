@@ -1,0 +1,128 @@
+//! High-cardinality array extraction — the `Tiles-*` variant (§3.5, §6.3).
+//!
+//! Arrays whose element counts vary widely (tweet hashtags, user mentions)
+//! defeat leading-element extraction. Following Deutsch et al. [19] and
+//! Shanmugasundaram et al. [54], such arrays are shredded into a *separate
+//! relation*: one child document per array element, carrying a foreign key
+//! back to its parent. The JSON tiles extraction then materializes the
+//! child relation's columns as usual, and queries join child to parent
+//! ("JSON Tiles-* outperforms all competitors by joining the matching
+//! high-cardinality arrays with the base Twitter data").
+
+use crate::path::KeyPath;
+use crate::{Relation, TilesConfig};
+use jt_json::Value;
+
+/// What to shred: which array, which parent field identifies the parent,
+/// and what to call the foreign key in child documents.
+#[derive(Debug, Clone)]
+pub struct ArrayExtractionSpec {
+    /// Path of the high-cardinality array (e.g. `entities.hashtags`).
+    pub array_path: KeyPath,
+    /// Path of the parent identifier copied into every child (e.g. `id`).
+    pub parent_id_path: KeyPath,
+    /// Key under which the parent identifier is stored in child documents
+    /// (e.g. `"tweet_id"`).
+    pub foreign_key: String,
+}
+
+/// Shred `docs` along `spec` and load the child documents as their own
+/// JSON tiles relation.
+///
+/// Object elements contribute their members directly; scalar elements are
+/// wrapped under `"value"`. Documents without the array (or without the
+/// parent id) contribute nothing.
+pub fn extract_arrays(docs: &[Value], spec: &ArrayExtractionSpec, config: TilesConfig) -> Relation {
+    let mut children = Vec::new();
+    for doc in docs {
+        let Some(parent_id) = spec.parent_id_path.resolve(doc) else {
+            continue;
+        };
+        let Some(arr) = spec.array_path.resolve(doc).and_then(Value::as_array) else {
+            continue;
+        };
+        for (pos, elem) in arr.iter().enumerate() {
+            let mut members: Vec<(String, Value)> = vec![
+                (spec.foreign_key.clone(), parent_id.clone()),
+                ("_pos".to_owned(), Value::int(pos as i64)),
+            ];
+            match elem {
+                Value::Object(m) => members.extend(m.iter().cloned()),
+                other => members.push(("value".to_owned(), other.clone())),
+            }
+            children.push(Value::Object(members));
+        }
+    }
+    Relation::load(&children, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessType, StorageMode};
+    use jt_json::parse;
+
+    fn spec() -> ArrayExtractionSpec {
+        ArrayExtractionSpec {
+            array_path: KeyPath::keys(&["entities", "hashtags"]),
+            parent_id_path: KeyPath::keys(&["id"]),
+            foreign_key: "tweet_id".to_owned(),
+        }
+    }
+
+    #[test]
+    fn shreds_object_elements() {
+        let docs = vec![
+            parse(r#"{"id":1,"entities":{"hashtags":[{"text":"a"},{"text":"b"}]}}"#).unwrap(),
+            parse(r#"{"id":2,"entities":{"hashtags":[]}}"#).unwrap(),
+            parse(r#"{"id":3}"#).unwrap(),
+            parse(r#"{"id":4,"entities":{"hashtags":[{"text":"c"}]}}"#).unwrap(),
+        ];
+        let rel = extract_arrays(&docs, &spec(), TilesConfig::default());
+        assert_eq!(rel.row_count(), 3);
+        // Child docs carry the FK, the position, and the element fields.
+        let child = rel.doc(0);
+        assert_eq!(child.get("tweet_id").unwrap().as_i64(), Some(1));
+        assert_eq!(child.get("_pos").unwrap().as_i64(), Some(0));
+        assert_eq!(child.get("text").unwrap().as_str(), Some("a"));
+        let last = rel.doc(2);
+        assert_eq!(last.get("tweet_id").unwrap().as_i64(), Some(4));
+        assert_eq!(last.get("text").unwrap().as_str(), Some("c"));
+    }
+
+    #[test]
+    fn scalar_elements_wrapped() {
+        let docs = vec![parse(r#"{"id":7,"entities":{"hashtags":["x","y"]}}"#).unwrap()];
+        let rel = extract_arrays(&docs, &spec(), TilesConfig::default());
+        assert_eq!(rel.row_count(), 2);
+        assert_eq!(rel.doc(1).get("value").unwrap().as_str(), Some("y"));
+    }
+
+    #[test]
+    fn child_relation_extracts_columns() {
+        // 100 parents × 3 tags: the child relation's fields are universal,
+        // so tiles must extract them.
+        let docs: Vec<Value> = (0..100)
+            .map(|i| {
+                parse(&format!(
+                    r#"{{"id":{i},"entities":{{"hashtags":[{{"text":"t{}"}},{{"text":"t{}"}},{{"text":"t{}"}}]}}}}"#,
+                    i % 7,
+                    (i + 1) % 7,
+                    (i + 2) % 7
+                ))
+                .unwrap()
+            })
+            .collect();
+        let rel = extract_arrays(&docs, &spec(), TilesConfig::with_mode(StorageMode::Tiles));
+        assert_eq!(rel.row_count(), 300);
+        let tile = &rel.tiles()[0];
+        assert!(
+            tile.find_column(&KeyPath::keys(&["text"]), AccessType::Text).is_some(),
+            "child text column extracted"
+        );
+        assert!(
+            tile.find_column(&KeyPath::keys(&["tweet_id"]), AccessType::Int).is_some(),
+            "FK column extracted"
+        );
+    }
+}

@@ -1,0 +1,605 @@
+//! Typed column chunks materialized inside a tile (paper §2.2, §3.4).
+//!
+//! One [`ColumnChunk`] holds the values of a single extracted `(key path,
+//! type)` item across all tuples of one tile, with a null bitmap. A null
+//! entry means *absent, JSON null, or differently typed* — the access path
+//! falls back to the binary document in that case (§3.4), which keeps JSON
+//! semantics intact for outliers.
+
+use crate::datetime::Timestamp;
+use jt_jsonb::NumericString;
+
+/// Primitive extraction types (§3.4 + the §4.9 timestamp and §5.2 numeric
+/// string extensions). Itemset entries are `(KeyPath, ColType)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ColType {
+    /// SQL BigInt.
+    Int,
+    /// IEEE 754 double.
+    Float,
+    /// SQL Boolean.
+    Bool,
+    /// UTF-8 text.
+    Str,
+    /// Date/time string extracted as SQL Timestamp (§4.9).
+    Date,
+    /// Exact decimal hidden in a string (§5.2).
+    Numeric,
+}
+
+/// The SQL type a query requests from an access expression after cast
+/// rewriting (§4.3). `Json` is the bare `->` access (no cast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessType {
+    /// `->> k :: BigInt`
+    Int,
+    /// `->> k :: Float`
+    Float,
+    /// `->> k :: Bool`
+    Bool,
+    /// `->> k` (text, no cast)
+    Text,
+    /// `->> k :: Date` / `:: Timestamp`
+    Timestamp,
+    /// `->> k :: Decimal`
+    Numeric,
+    /// `-> k` (JSON sub-document)
+    Json,
+}
+
+/// Compatibility of an extracted column with a requested access type
+/// (§4.5): exact match, numeric-to-numeric casts, and text requests served
+/// from strings or reconstructible numerics — but never from Date columns,
+/// whose original text is lost (§4.9).
+pub fn column_serves(col: ColType, want: AccessType) -> bool {
+    match want {
+        AccessType::Int | AccessType::Float | AccessType::Numeric => {
+            matches!(col, ColType::Int | ColType::Float | ColType::Numeric)
+        }
+        AccessType::Bool => col == ColType::Bool,
+        AccessType::Text => matches!(col, ColType::Str | ColType::Numeric),
+        AccessType::Timestamp => matches!(col, ColType::Date | ColType::Str),
+        // A bare `->` needs the raw JSON value; columns only store leaf
+        // scalars, so Json requests always use the binary representation.
+        AccessType::Json => false,
+    }
+}
+
+/// A fixed-size null bitmap.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    pub(crate) words: Vec<u64>,
+    pub(crate) len: usize,
+    pub(crate) nulls: usize,
+}
+
+impl NullBitmap {
+    /// Create an empty bitmap.
+    pub fn new() -> Self {
+        NullBitmap::default()
+    }
+
+    /// Append one slot; `null` marks it invalid.
+    pub fn push(&mut self, null: bool) {
+        let word = self.len / 64;
+        if word >= self.words.len() {
+            self.words.push(0);
+        }
+        if null {
+            self.words[word] |= 1 << (self.len % 64);
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// True if slot `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Mark slot `i` null / not-null in place (used by updates, §4.7).
+    pub fn set(&mut self, i: usize, null: bool) {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % 64);
+        let was = self.words[i / 64] & mask != 0;
+        if null && !was {
+            self.words[i / 64] |= mask;
+            self.nulls += 1;
+        } else if !null && was {
+            self.words[i / 64] &= !mask;
+            self.nulls -= 1;
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of null slots.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// Heap bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// The typed payload of a column chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers.
+    Int(Vec<i64>),
+    /// 64-bit floats.
+    Float(Vec<f64>),
+    /// Booleans.
+    Bool(Vec<bool>),
+    /// Strings, concatenated with an offsets vector (`offsets.len() ==
+    /// rows + 1`).
+    Str { offsets: Vec<u32>, bytes: Vec<u8> },
+    /// Timestamps in epoch seconds.
+    Date(Vec<Timestamp>),
+    /// Exact decimals: parallel mantissa/scale vectors.
+    Numeric { mantissa: Vec<i64>, scale: Vec<u8> },
+}
+
+/// One materialized column of one tile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunk {
+    pub(crate) data: ColumnData,
+    pub(crate) nulls: NullBitmap,
+}
+
+impl ColumnChunk {
+    /// Start building a chunk of the given type.
+    pub fn builder(ty: ColType) -> ColumnChunk {
+        let data = match ty {
+            ColType::Int => ColumnData::Int(Vec::new()),
+            ColType::Float => ColumnData::Float(Vec::new()),
+            ColType::Bool => ColumnData::Bool(Vec::new()),
+            ColType::Str => ColumnData::Str { offsets: vec![0], bytes: Vec::new() },
+            ColType::Date => ColumnData::Date(Vec::new()),
+            ColType::Numeric => ColumnData::Numeric { mantissa: Vec::new(), scale: Vec::new() },
+        };
+        ColumnChunk { data, nulls: NullBitmap::new() }
+    }
+
+    /// The chunk's extraction type.
+    pub fn col_type(&self) -> ColType {
+        match &self.data {
+            ColumnData::Int(_) => ColType::Int,
+            ColumnData::Float(_) => ColType::Float,
+            ColumnData::Bool(_) => ColType::Bool,
+            ColumnData::Str { .. } => ColType::Str,
+            ColumnData::Date(_) => ColType::Date,
+            ColumnData::Numeric { .. } => ColType::Numeric,
+        }
+    }
+
+    /// Rows in this chunk.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Nulls in this chunk.
+    pub fn null_count(&self) -> usize {
+        self.nulls.null_count()
+    }
+
+    /// True if row `i` holds no extracted value (absent / mistyped / null).
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.is_null(i)
+    }
+
+    /// Append a null slot.
+    pub fn push_null(&mut self) {
+        self.nulls.push(true);
+        match &mut self.data {
+            ColumnData::Int(v) => v.push(0),
+            ColumnData::Float(v) => v.push(0.0),
+            ColumnData::Bool(v) => v.push(false),
+            ColumnData::Str { offsets, .. } => {
+                let last = *offsets.last().expect("sentinel");
+                offsets.push(last);
+            }
+            ColumnData::Date(v) => v.push(0),
+            ColumnData::Numeric { mantissa, scale } => {
+                mantissa.push(0);
+                scale.push(0);
+            }
+        }
+    }
+
+    /// Append an integer (chunk must be Int).
+    pub fn push_i64(&mut self, v: i64) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Int(vec) => vec.push(v),
+            other => panic!("push_i64 into {other:?}"),
+        }
+    }
+
+    /// Append a float (chunk must be Float).
+    pub fn push_f64(&mut self, v: f64) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Float(vec) => vec.push(v),
+            other => panic!("push_f64 into {other:?}"),
+        }
+    }
+
+    /// Append a bool (chunk must be Bool).
+    pub fn push_bool(&mut self, v: bool) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Bool(vec) => vec.push(v),
+            other => panic!("push_bool into {other:?}"),
+        }
+    }
+
+    /// Append a string (chunk must be Str).
+    pub fn push_str(&mut self, v: &str) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Str { offsets, bytes } => {
+                bytes.extend_from_slice(v.as_bytes());
+                offsets.push(bytes.len() as u32);
+            }
+            other => panic!("push_str into {other:?}"),
+        }
+    }
+
+    /// Append a timestamp (chunk must be Date).
+    pub fn push_date(&mut self, v: Timestamp) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Date(vec) => vec.push(v),
+            other => panic!("push_date into {other:?}"),
+        }
+    }
+
+    /// Append an exact decimal (chunk must be Numeric).
+    pub fn push_numeric(&mut self, v: NumericString) {
+        self.nulls.push(false);
+        match &mut self.data {
+            ColumnData::Numeric { mantissa, scale } => {
+                mantissa.push(v.mantissa);
+                scale.push(v.scale);
+            }
+            other => panic!("push_numeric into {other:?}"),
+        }
+    }
+
+    /// Integer at row `i` (Int chunks; Numeric/Float served via casts).
+    #[inline]
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i]),
+            ColumnData::Float(v) => Some(v[i] as i64),
+            ColumnData::Numeric { mantissa, scale } => {
+                NumericString { mantissa: mantissa[i], scale: scale[i] }.to_i64()
+            }
+            _ => None,
+        }
+    }
+
+    /// Float at row `i`, casting from Int/Numeric.
+    #[inline]
+    pub fn get_f64(&self, i: usize) -> Option<f64> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Numeric { mantissa, scale } => {
+                Some(NumericString { mantissa: mantissa[i], scale: scale[i] }.to_f64())
+            }
+            _ => None,
+        }
+    }
+
+    /// Bool at row `i`.
+    #[inline]
+    pub fn get_bool(&self, i: usize) -> Option<bool> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Borrowed string at row `i` (Str chunks only).
+    #[inline]
+    pub fn get_str(&self, i: usize) -> Option<&str> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Str { offsets, bytes } => {
+                let s = offsets[i] as usize;
+                let e = offsets[i + 1] as usize;
+                Some(unsafe { std::str::from_utf8_unchecked(&bytes[s..e]) })
+            }
+            _ => None,
+        }
+    }
+
+    /// Text at row `i`: borrowed for Str, reconstructed for Numeric. Date
+    /// chunks return `None` — their original text is not reconstructible
+    /// (§4.9), the caller must fall back to the binary document.
+    pub fn get_text(&self, i: usize) -> Option<std::borrow::Cow<'_, str>> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Str { .. } => self.get_str(i).map(std::borrow::Cow::Borrowed),
+            ColumnData::Numeric { mantissa, scale } => Some(std::borrow::Cow::Owned(
+                NumericString { mantissa: mantissa[i], scale: scale[i] }.to_text(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Timestamp at row `i` (Date chunks).
+    #[inline]
+    pub fn get_date(&self, i: usize) -> Option<Timestamp> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Date(v) => Some(v[i]),
+            _ => None,
+        }
+    }
+
+    /// Exact decimal at row `i` (Numeric chunks).
+    #[inline]
+    pub fn get_numeric(&self, i: usize) -> Option<NumericString> {
+        if self.nulls.is_null(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Numeric { mantissa, scale } => {
+                Some(NumericString { mantissa: mantissa[i], scale: scale[i] })
+            }
+            _ => None,
+        }
+    }
+
+    /// Overwrite row `i` with null (updates, §4.7).
+    pub fn set_null(&mut self, i: usize) {
+        self.nulls.set(i, true);
+    }
+
+    /// Try to overwrite row `i` in place with a typed value; returns false
+    /// if the value's type does not match the chunk (caller falls back to
+    /// null + binary). Variable-length strings are supported only when the
+    /// new value fits the old slot, mirroring the offset-stability
+    /// constraint of §4.4.
+    pub fn set_value(&mut self, i: usize, v: &crate::tile::LeafValue) -> bool {
+        use crate::tile::LeafValue;
+        match (&mut self.data, v) {
+            (ColumnData::Int(vec), LeafValue::Int(x)) => {
+                vec[i] = *x;
+                self.nulls.set(i, false);
+                true
+            }
+            (ColumnData::Float(vec), LeafValue::Float(x)) => {
+                vec[i] = *x;
+                self.nulls.set(i, false);
+                true
+            }
+            (ColumnData::Bool(vec), LeafValue::Bool(x)) => {
+                vec[i] = *x;
+                self.nulls.set(i, false);
+                true
+            }
+            (ColumnData::Date(vec), LeafValue::Date(x)) => {
+                vec[i] = *x;
+                self.nulls.set(i, false);
+                true
+            }
+            (ColumnData::Numeric { mantissa, scale }, LeafValue::Numeric(n)) => {
+                mantissa[i] = n.mantissa;
+                scale[i] = n.scale;
+                self.nulls.set(i, false);
+                true
+            }
+            (ColumnData::Str { offsets, bytes }, LeafValue::Str(s)) => {
+                let start = offsets[i] as usize;
+                let end = offsets[i + 1] as usize;
+                if end - start == s.len() {
+                    bytes[start..end].copy_from_slice(s.as_bytes());
+                    self.nulls.set(i, false);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Heap bytes used by this chunk (Table 6 accounting).
+    pub fn byte_size(&self) -> usize {
+        let data = match &self.data {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Str { offsets, bytes } => offsets.len() * 4 + bytes.len(),
+            ColumnData::Date(v) => v.len() * 8,
+            ColumnData::Numeric { mantissa, scale } => mantissa.len() * 8 + scale.len(),
+        };
+        data + self.nulls.byte_size()
+    }
+
+    /// Serialize the payload to a flat byte buffer for compression
+    /// experiments (LZ4-Tiles in Table 6).
+    pub fn raw_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_size());
+        match &self.data {
+            ColumnData::Int(v) | ColumnData::Date(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ColumnData::Float(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            ColumnData::Bool(v) => out.extend(v.iter().map(|&b| b as u8)),
+            ColumnData::Str { offsets, bytes } => {
+                for o in offsets {
+                    out.extend_from_slice(&o.to_le_bytes());
+                }
+                out.extend_from_slice(bytes);
+            }
+            ColumnData::Numeric { mantissa, scale } => {
+                for x in mantissa {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+                out.extend_from_slice(scale);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_bitmap_basics() {
+        let mut b = NullBitmap::new();
+        for i in 0..130 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 130);
+        assert!(b.is_null(0));
+        assert!(!b.is_null(1));
+        assert!(b.is_null(129));
+        assert_eq!(b.null_count(), 44);
+        b.set(0, false);
+        assert!(!b.is_null(0));
+        assert_eq!(b.null_count(), 43);
+        b.set(0, false); // idempotent
+        assert_eq!(b.null_count(), 43);
+        b.set(1, true);
+        assert_eq!(b.null_count(), 44);
+    }
+
+    #[test]
+    fn int_chunk() {
+        let mut c = ColumnChunk::builder(ColType::Int);
+        c.push_i64(10);
+        c.push_null();
+        c.push_i64(-5);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get_i64(0), Some(10));
+        assert_eq!(c.get_i64(1), None);
+        assert_eq!(c.get_i64(2), Some(-5));
+        assert_eq!(c.get_f64(0), Some(10.0), "int serves float casts");
+        assert_eq!(c.get_str(0), None);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn str_chunk_offsets() {
+        let mut c = ColumnChunk::builder(ColType::Str);
+        c.push_str("hello");
+        c.push_null();
+        c.push_str("");
+        c.push_str("world");
+        assert_eq!(c.get_str(0), Some("hello"));
+        assert_eq!(c.get_str(1), None);
+        assert_eq!(c.get_str(2), Some(""));
+        assert_eq!(c.get_str(3), Some("world"));
+        assert_eq!(c.get_text(3).unwrap(), "world");
+    }
+
+    #[test]
+    fn numeric_chunk_exact() {
+        let mut c = ColumnChunk::builder(ColType::Numeric);
+        c.push_numeric(NumericString { mantissa: 1999, scale: 2 });
+        c.push_numeric(NumericString { mantissa: -5, scale: 1 });
+        assert_eq!(c.get_text(0).unwrap(), "19.99");
+        assert_eq!(c.get_text(1).unwrap(), "-0.5");
+        assert_eq!(c.get_f64(0), Some(19.99));
+        assert_eq!(c.get_i64(0), None, "19.99 has no integer form");
+        assert_eq!(c.get_numeric(1).unwrap().mantissa, -5);
+    }
+
+    #[test]
+    fn date_chunk_no_text() {
+        let mut c = ColumnChunk::builder(ColType::Date);
+        c.push_date(1_590_969_600);
+        assert_eq!(c.get_date(0), Some(1_590_969_600));
+        assert_eq!(c.get_text(0), None, "date text must fall back to binary (§4.9)");
+    }
+
+    #[test]
+    fn in_place_updates() {
+        use crate::tile::LeafValue;
+        let mut c = ColumnChunk::builder(ColType::Int);
+        c.push_i64(1);
+        c.push_i64(2);
+        assert!(c.set_value(0, &LeafValue::Int(99)));
+        assert_eq!(c.get_i64(0), Some(99));
+        assert!(!c.set_value(1, &LeafValue::Str("x".into())), "type mismatch refused");
+        c.set_null(1);
+        assert_eq!(c.get_i64(1), None);
+
+        let mut s = ColumnChunk::builder(ColType::Str);
+        s.push_str("abc");
+        assert!(s.set_value(0, &LeafValue::Str("xyz".into())), "same length fits");
+        assert_eq!(s.get_str(0), Some("xyz"));
+        assert!(!s.set_value(0, &LeafValue::Str("toolong".into())), "length change refused");
+    }
+
+    #[test]
+    fn serves_matrix() {
+        use AccessType as A;
+        assert!(column_serves(ColType::Int, A::Int));
+        assert!(column_serves(ColType::Int, A::Float), "cheap numeric cast");
+        assert!(column_serves(ColType::Numeric, A::Float));
+        assert!(column_serves(ColType::Numeric, A::Text), "reconstructible");
+        assert!(column_serves(ColType::Str, A::Text));
+        assert!(column_serves(ColType::Date, A::Timestamp));
+        assert!(column_serves(ColType::Str, A::Timestamp), "string col can parse");
+        assert!(!column_serves(ColType::Date, A::Text), "§4.9 restriction");
+        assert!(!column_serves(ColType::Str, A::Int));
+        assert!(!column_serves(ColType::Bool, A::Int));
+        assert!(!column_serves(ColType::Int, A::Json));
+    }
+
+    #[test]
+    fn byte_size_accounts_everything() {
+        let mut c = ColumnChunk::builder(ColType::Str);
+        c.push_str("hello");
+        assert!(c.byte_size() >= 5 + 8 + 8, "bytes + offsets + bitmap");
+        assert!(!c.raw_bytes().is_empty());
+    }
+}

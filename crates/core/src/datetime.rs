@@ -1,0 +1,176 @@
+//! Date/time string parsing for the §4.9 extraction.
+//!
+//! "If the string-encoded values match a Date or Time type, we extract these
+//! values encoded as SQL Timestamp." We accept the formats that appear in
+//! the paper's workloads — ISO dates, space- and `T`-separated timestamps
+//! with optional `Z` — and convert them to Unix epoch seconds via the civil
+//! calendar algorithm. The original string cannot generally be recreated
+//! from the timestamp, which is why §4.5/§4.9 forbid serving *text* accesses
+//! from extracted Date columns.
+
+/// An extracted timestamp: Unix epoch seconds.
+pub type Timestamp = i64;
+
+/// Days from civil date to days since 1970-01-01 (Howard Hinnant's
+/// `days_from_civil`, valid for all i64-representable dates we care about).
+fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146097 + doe - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+fn two_digits(b: &[u8]) -> Option<u32> {
+    if b.len() < 2 || !b[0].is_ascii_digit() || !b[1].is_ascii_digit() {
+        return None;
+    }
+    Some(((b[0] - b'0') as u32) * 10 + (b[1] - b'0') as u32)
+}
+
+/// Parse a date or timestamp string into epoch seconds.
+///
+/// Accepted: `YYYY-MM-DD`, `YYYY-MM-DD HH:MM:SS`, `YYYY-MM-DDTHH:MM:SS`,
+/// each optionally suffixed with `Z`. Anything else returns `None`.
+pub fn parse_timestamp(s: &str) -> Option<Timestamp> {
+    let b = s.as_bytes();
+    if b.len() < 10 {
+        return None;
+    }
+    if !(b[..4].iter().all(u8::is_ascii_digit) && b[4] == b'-' && b[7] == b'-') {
+        return None;
+    }
+    let year: i64 = s[..4].parse().ok()?;
+    let month = two_digits(&b[5..])?;
+    let day = two_digits(&b[8..])?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    // Reject impossible days (e.g. Feb 30) by round-tripping.
+    let days = days_from_civil(year, month, day);
+    if civil_from_days(days) != (year, month, day) {
+        return None;
+    }
+    let mut secs = days * 86_400;
+    let mut rest = &b[10..];
+    if rest.first() == Some(&b'Z') && rest.len() == 1 {
+        return Some(secs);
+    }
+    if rest.is_empty() {
+        return Some(secs);
+    }
+    if rest[0] != b' ' && rest[0] != b'T' {
+        return None;
+    }
+    rest = &rest[1..];
+    if rest.len() < 8 || rest[2] != b':' || rest[5] != b':' {
+        return None;
+    }
+    let h = two_digits(rest)?;
+    let mi = two_digits(&rest[3..])?;
+    let sec = two_digits(&rest[6..])?;
+    if h > 23 || mi > 59 || sec > 60 {
+        return None;
+    }
+    secs += (h as i64) * 3600 + (mi as i64) * 60 + sec as i64;
+    rest = &rest[8..];
+    match rest {
+        b"" | b"Z" => Some(secs),
+        _ => None,
+    }
+}
+
+/// Render epoch seconds back as `YYYY-MM-DD HH:MM:SS` (the canonical SQL
+/// timestamp text used by `::Date`/`::Timestamp` casts; *not* guaranteed to
+/// equal the original input — see §4.9).
+pub fn format_timestamp(ts: Timestamp) -> String {
+    let days = ts.div_euclid(86_400);
+    let rem = ts.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_zero() {
+        assert_eq!(parse_timestamp("1970-01-01"), Some(0));
+        assert_eq!(parse_timestamp("1970-01-01 00:00:01"), Some(1));
+        assert_eq!(parse_timestamp("1970-01-02"), Some(86_400));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2020-06-01 00:00:00 UTC = 1590969600.
+        assert_eq!(parse_timestamp("2020-06-01"), Some(1_590_969_600));
+        assert_eq!(parse_timestamp("2020-06-01T12:30:00Z"), Some(1_590_969_600 + 45_000));
+        assert_eq!(parse_timestamp("2020-06-01 12:30:00"), Some(1_590_969_600 + 45_000));
+        // Pre-epoch.
+        assert_eq!(parse_timestamp("1969-12-31"), Some(-86_400));
+    }
+
+    #[test]
+    fn rejects_non_dates() {
+        for s in [
+            "", "hello", "2020", "2020-13-01", "2020-00-10", "2020-01-32", "2020-02-30",
+            "2021-02-29", "20-01-01", "2020/01/01", "2020-01-01x", "2020-01-01 25:00:00",
+            "2020-01-01 10:61:00", "2020-01-01 10:00", "2020-01-01T10:00:00+02",
+        ] {
+            assert_eq!(parse_timestamp(s), None, "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(parse_timestamp("2020-02-29").is_some());
+        assert!(parse_timestamp("1900-02-29").is_none(), "1900 not a leap year");
+        assert!(parse_timestamp("2000-02-29").is_some(), "2000 is a leap year");
+    }
+
+    #[test]
+    fn format_round_trip() {
+        for s in ["1970-01-01 00:00:00", "2020-06-01 12:30:00", "1999-12-31 23:59:59"] {
+            let ts = parse_timestamp(s).unwrap();
+            assert_eq!(format_timestamp(ts), s);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_chronology() {
+        let a = parse_timestamp("1994-01-01").unwrap();
+        let b = parse_timestamp("1994-06-15").unwrap();
+        let c = parse_timestamp("1995-01-01").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn civil_round_trip_many_days() {
+        for z in (-200_000..200_000).step_by(997) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Dictionary encoding of `(key path, type)` items (paper §3.3).
+//!
+//! "We collect all keys from the documents and store them dictionary
+//! encoded. Dictionaries are created for every JSON tile and are used as
+//! the database to mine." Item codes index into the dictionary; the miner
+//! sees only `u32`s.
+
+use crate::path::KeyPath;
+use crate::tile::ColType;
+use jt_mining::Item;
+use std::collections::HashMap;
+
+/// A per-tile (or per-partition) dictionary of typed key paths.
+#[derive(Debug, Default, Clone)]
+pub struct PathDictionary {
+    items: Vec<(KeyPath, ColType)>,
+    index: HashMap<(KeyPath, ColType), Item>,
+}
+
+impl PathDictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        PathDictionary::default()
+    }
+
+    /// Get or assign the code for a typed path.
+    pub fn intern(&mut self, path: &KeyPath, ty: ColType) -> Item {
+        if let Some(&id) = self.index.get(&(path.clone(), ty)) {
+            return id;
+        }
+        let id = self.items.len() as Item;
+        self.items.push((path.clone(), ty));
+        self.index.insert((path.clone(), ty), id);
+        id
+    }
+
+    /// Code for a typed path, if present.
+    pub fn get(&self, path: &KeyPath, ty: ColType) -> Option<Item> {
+        self.index.get(&(path.clone(), ty)).copied()
+    }
+
+    /// The typed path behind a code.
+    pub fn resolve(&self, item: Item) -> &(KeyPath, ColType) {
+        &self.items[item as usize]
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no items interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterate all `(code, path, type)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Item, &KeyPath, ColType)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, (p, t))| (i as Item, p, *t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable() {
+        let mut d = PathDictionary::new();
+        let p = KeyPath::keys(&["user", "id"]);
+        let a = d.intern(&p, ColType::Int);
+        let b = d.intern(&p, ColType::Int);
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.resolve(a), &(p.clone(), ColType::Int));
+    }
+
+    #[test]
+    fn same_path_different_type_distinct_items() {
+        // §3.4: "two key paths only match if their value types match".
+        let mut d = PathDictionary::new();
+        let p = KeyPath::keys(&["amount"]);
+        let int_item = d.intern(&p, ColType::Int);
+        let float_item = d.intern(&p, ColType::Float);
+        assert_ne!(int_item, float_item);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(&p, ColType::Int), Some(int_item));
+        assert_eq!(d.get(&p, ColType::Bool), None);
+    }
+
+    #[test]
+    fn iteration_in_code_order() {
+        let mut d = PathDictionary::new();
+        d.intern(&KeyPath::keys(&["a"]), ColType::Int);
+        d.intern(&KeyPath::keys(&["b"]), ColType::Str);
+        let codes: Vec<Item> = d.iter().map(|(c, _, _)| c).collect();
+        assert_eq!(codes, vec![0, 1]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Typed key paths (paper §3.1, §3.5).
+//!
+//! A key path is "the path of nested objects and arrays followed to the
+//! actual key-value pair". Nesting is encoded in the path itself so the
+//! extractor "does not have to distinguish between nested and non-nested
+//! objects". Array positions appear as index segments; only leading
+//! elements (bounded by `max_array_elems`) are candidates for extraction.
+
+use jt_json::Value;
+use std::fmt;
+
+/// One step of a key path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathSeg {
+    /// Object member access by key.
+    Key(String),
+    /// Array element access by position.
+    Index(u32),
+}
+
+/// A full path from the document root to a leaf value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct KeyPath {
+    segs: Vec<PathSeg>,
+}
+
+impl KeyPath {
+    /// The empty (root) path.
+    pub fn root() -> Self {
+        KeyPath::default()
+    }
+
+    /// Build a path of object keys only.
+    pub fn keys(keys: &[&str]) -> Self {
+        KeyPath {
+            segs: keys.iter().map(|k| PathSeg::Key((*k).to_owned())).collect(),
+        }
+    }
+
+    /// Build from explicit segments.
+    pub fn from_segs(segs: Vec<PathSeg>) -> Self {
+        KeyPath { segs }
+    }
+
+    /// The segments.
+    pub fn segs(&self) -> &[PathSeg] {
+        &self.segs
+    }
+
+    /// Nesting depth (number of segments).
+    pub fn depth(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Append an object key.
+    pub fn child(&self, key: &str) -> KeyPath {
+        let mut segs = self.segs.clone();
+        segs.push(PathSeg::Key(key.to_owned()));
+        KeyPath { segs }
+    }
+
+    /// Append an array index.
+    pub fn index(&self, i: u32) -> KeyPath {
+        let mut segs = self.segs.clone();
+        segs.push(PathSeg::Index(i));
+        KeyPath { segs }
+    }
+
+    /// True if `self` is a strict or equal prefix of `other`.
+    pub fn is_prefix_of(&self, other: &KeyPath) -> bool {
+        other.segs.len() >= self.segs.len() && other.segs[..self.segs.len()] == self.segs[..]
+    }
+
+    /// Resolve this path against a document, PostgreSQL `->` semantics:
+    /// `None` once a segment is missing or the node kind mismatches.
+    pub fn resolve<'a>(&self, doc: &'a Value) -> Option<&'a Value> {
+        let mut cur = doc;
+        for seg in &self.segs {
+            cur = match seg {
+                PathSeg::Key(k) => cur.get(k)?,
+                PathSeg::Index(i) => cur.get_index(*i as usize)?,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Resolve against a binary JSONB document.
+    pub fn resolve_jsonb<'a>(&self, doc: jt_jsonb::JsonbRef<'a>) -> Option<jt_jsonb::JsonbRef<'a>> {
+        let mut cur = doc;
+        for seg in &self.segs {
+            cur = match seg {
+                PathSeg::Key(k) => cur.get(k)?,
+                PathSeg::Index(i) => cur.get_index(*i as usize)?,
+            };
+        }
+        Some(cur)
+    }
+
+    /// A canonical byte encoding for hashing into Bloom filters and
+    /// dictionaries. Length-prefixed segments, so `["a.b"]` and
+    /// `["a","b"]` never collide.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        for seg in &self.segs {
+            match seg {
+                PathSeg::Key(k) => {
+                    out.push(b'K');
+                    out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                    out.extend_from_slice(k.as_bytes());
+                }
+                PathSeg::Index(i) => {
+                    out.push(b'I');
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl KeyPath {
+    /// Inverse of [`KeyPath::canonical_bytes`]. Returns `None` on
+    /// malformed input.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Option<KeyPath> {
+        let mut segs = Vec::new();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'K' => {
+                    if i + 5 > bytes.len() {
+                        return None;
+                    }
+                    let len =
+                        u32::from_le_bytes(bytes[i + 1..i + 5].try_into().ok()?) as usize;
+                    let end = i + 5 + len;
+                    if end > bytes.len() {
+                        return None;
+                    }
+                    let key = std::str::from_utf8(&bytes[i + 5..end]).ok()?;
+                    segs.push(PathSeg::Key(key.to_owned()));
+                    i = end;
+                }
+                b'I' => {
+                    if i + 5 > bytes.len() {
+                        return None;
+                    }
+                    segs.push(PathSeg::Index(u32::from_le_bytes(
+                        bytes[i + 1..i + 5].try_into().ok()?,
+                    )));
+                    i += 5;
+                }
+                _ => return None,
+            }
+        }
+        Some(KeyPath { segs })
+    }
+}
+
+impl fmt::Display for KeyPath {
+    /// Human-readable form: `user.geo.lat`, `entities.hashtags[0].text`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.segs.is_empty() {
+            return write!(f, "$");
+        }
+        for (i, seg) in self.segs.iter().enumerate() {
+            match seg {
+                PathSeg::Key(k) => {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{k}")?;
+                }
+                PathSeg::Index(idx) => write!(f, "[{idx}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_json::parse;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(KeyPath::root().to_string(), "$");
+        assert_eq!(KeyPath::keys(&["a", "b"]).to_string(), "a.b");
+        assert_eq!(KeyPath::keys(&["tags"]).index(0).child("text").to_string(), "tags[0].text");
+    }
+
+    #[test]
+    fn resolve_against_value() {
+        let doc = parse(r#"{"user":{"geo":{"lat":1.5}},"tags":[{"t":"x"},{"t":"y"}]}"#).unwrap();
+        assert_eq!(
+            KeyPath::keys(&["user", "geo", "lat"]).resolve(&doc).unwrap().as_f64(),
+            Some(1.5)
+        );
+        let p = KeyPath::keys(&["tags"]).index(1).child("t");
+        assert_eq!(p.resolve(&doc).unwrap().as_str(), Some("y"));
+        assert!(KeyPath::keys(&["user", "missing"]).resolve(&doc).is_none());
+        assert!(KeyPath::keys(&["tags"]).index(5).resolve(&doc).is_none());
+    }
+
+    #[test]
+    fn resolve_against_jsonb() {
+        let doc = parse(r#"{"a":{"b":[10,20]}}"#).unwrap();
+        let bytes = jt_jsonb::encode(&doc);
+        let r = jt_jsonb::JsonbRef::new(&bytes);
+        let p = KeyPath::keys(&["a", "b"]).index(1);
+        assert_eq!(p.resolve_jsonb(r).unwrap().as_i64(), Some(20));
+        assert!(KeyPath::keys(&["a", "c"]).resolve_jsonb(r).is_none());
+    }
+
+    #[test]
+    fn canonical_bytes_unambiguous() {
+        let a = KeyPath::keys(&["a.b"]);
+        let b = KeyPath::keys(&["a", "b"]);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+        let idx = KeyPath::keys(&["a"]).index(1);
+        let key1 = KeyPath::keys(&["a", "1"]);
+        assert_ne!(idx.canonical_bytes(), key1.canonical_bytes());
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let p = KeyPath::keys(&["a", "b"]);
+        let q = KeyPath::keys(&["a", "b", "c"]);
+        assert!(p.is_prefix_of(&q));
+        assert!(p.is_prefix_of(&p));
+        assert!(!q.is_prefix_of(&p));
+        assert!(KeyPath::root().is_prefix_of(&p));
+    }
+}

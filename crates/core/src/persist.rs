@@ -1,0 +1,648 @@
+//! On-disk persistence for relations.
+//!
+//! Umbra is a disk-based system; a usable JSON tiles library therefore
+//! needs its relations to survive a process restart. The format is a
+//! single self-describing file: magic + version, the load configuration,
+//! the relation statistics, then each tile (header, column chunks, binary
+//! documents, optional raw text). Everything is little-endian and
+//! length-prefixed; no external serialization framework is involved.
+//!
+//! ```no_run
+//! # use jt_core::{Relation, TilesConfig};
+//! # let docs: Vec<jt_json::Value> = vec![];
+//! let mut rel = Relation::load(&docs, TilesConfig::default());
+//! rel.save("table.jt").unwrap();
+//! let back = Relation::open("table.jt").unwrap();
+//! ```
+
+use crate::column::{ColumnChunk, ColumnData, NullBitmap};
+use crate::header::{ColumnMeta, TileHeader};
+use crate::path::KeyPath;
+use crate::relation::{LoadMetrics, Relation, RelationStats};
+use crate::tile::{ColType, JsonbColumn, Tile};
+use crate::{StorageMode, TilesConfig};
+use jt_stats::{BloomFilter, FrequencyCounters, HyperLogLog};
+
+const MAGIC: &[u8; 6] = b"JTREL\0";
+const VERSION: u16 = 1;
+
+/// Errors while reading a persisted relation.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a JSON tiles relation or is damaged.
+    Corrupt(&'static str),
+    /// The file was written by an incompatible library version.
+    Version(u16),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt relation file: {what}"),
+            PersistError::Version(v) => write!(f, "unsupported relation file version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, PersistError>;
+
+// ---------------------------------------------------------------- writer
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+    fn string(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(PersistError::Corrupt("unexpected end of file"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn usize_checked(&mut self, what: &'static str) -> Result<usize> {
+        let v = self.u64()?;
+        if v > self.buf.len() as u64 * 64 + (1 << 32) {
+            return Err(PersistError::Corrupt(what));
+        }
+        Ok(v as usize)
+    }
+    fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u64()? as usize;
+        self.take(n)
+    }
+    fn string(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| PersistError::Corrupt("non-UTF-8 string"))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ------------------------------------------------------------- encoding
+
+fn mode_tag(m: StorageMode) -> u8 {
+    match m {
+        StorageMode::JsonText => 0,
+        StorageMode::Jsonb => 1,
+        StorageMode::Sinew => 2,
+        StorageMode::Tiles => 3,
+    }
+}
+
+fn mode_from(tag: u8) -> Result<StorageMode> {
+    Ok(match tag {
+        0 => StorageMode::JsonText,
+        1 => StorageMode::Jsonb,
+        2 => StorageMode::Sinew,
+        3 => StorageMode::Tiles,
+        _ => return Err(PersistError::Corrupt("bad storage mode")),
+    })
+}
+
+fn coltype_tag(t: ColType) -> u8 {
+    match t {
+        ColType::Int => 0,
+        ColType::Float => 1,
+        ColType::Bool => 2,
+        ColType::Str => 3,
+        ColType::Date => 4,
+        ColType::Numeric => 5,
+    }
+}
+
+fn coltype_from(tag: u8) -> Result<ColType> {
+    Ok(match tag {
+        0 => ColType::Int,
+        1 => ColType::Float,
+        2 => ColType::Bool,
+        3 => ColType::Str,
+        4 => ColType::Date,
+        5 => ColType::Numeric,
+        _ => return Err(PersistError::Corrupt("bad column type")),
+    })
+}
+
+fn write_config(w: &mut Writer, c: &TilesConfig) {
+    w.u8(mode_tag(c.mode));
+    w.u64(c.tile_size as u64);
+    w.u64(c.partition_size as u64);
+    w.f64(c.threshold);
+    w.u64(c.budget);
+    w.u8(c.date_extraction as u8);
+    w.u64(c.max_array_elems as u64);
+    w.u64(c.freq_slots as u64);
+    w.u64(c.hll_slots as u64);
+}
+
+fn read_config(r: &mut Reader<'_>) -> Result<TilesConfig> {
+    Ok(TilesConfig {
+        mode: mode_from(r.u8()?)?,
+        tile_size: r.usize_checked("tile size")?,
+        partition_size: r.usize_checked("partition size")?,
+        threshold: r.f64()?,
+        budget: r.u64()?,
+        date_extraction: r.u8()? != 0,
+        max_array_elems: r.usize_checked("array cap")?,
+        freq_slots: r.usize_checked("freq slots")?,
+        hll_slots: r.usize_checked("hll slots")?,
+    })
+}
+
+fn write_stats(w: &mut Writer, s: &RelationStats) {
+    w.u64(s.rows as u64);
+    w.u64(s.hll_slots as u64);
+    w.u64(s.freq.capacity() as u64);
+    let entries = s.freq.entries();
+    w.u32(entries.len() as u32);
+    for (key, count, last_tile) in entries {
+        w.string(&key);
+        w.u64(count);
+        w.u64(last_tile);
+    }
+    w.u32(s.sketches.len() as u32);
+    for (name, hll, last_tile) in &s.sketches {
+        w.string(name);
+        w.bytes(&hll.to_bytes());
+        w.u64(*last_tile);
+    }
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<RelationStats> {
+    let rows = r.usize_checked("stats rows")?;
+    let hll_slots = r.usize_checked("hll slots")?;
+    let capacity = r.usize_checked("freq capacity")?;
+    let n = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let key = r.string()?;
+        let count = r.u64()?;
+        let last = r.u64()?;
+        entries.push((key, count, last));
+    }
+    let freq = FrequencyCounters::from_entries(capacity.max(1), entries);
+    let n = r.u32()? as usize;
+    let mut sketches = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = r.string()?;
+        let hll = HyperLogLog::from_bytes(r.bytes()?)
+            .ok_or(PersistError::Corrupt("bad HLL sketch"))?;
+        let last = r.u64()?;
+        sketches.push((name, hll, last));
+    }
+    Ok(RelationStats {
+        freq,
+        sketches,
+        hll_slots: hll_slots.max(1),
+        rows,
+    })
+}
+
+fn write_column(w: &mut Writer, c: &ColumnChunk) {
+    // Null bitmap.
+    w.u64(c.nulls.len as u64);
+    w.u64(c.nulls.nulls as u64);
+    w.u32(c.nulls.words.len() as u32);
+    for word in &c.nulls.words {
+        w.u64(*word);
+    }
+    // Payload.
+    match &c.data {
+        ColumnData::Int(v) => {
+            w.u8(0);
+            w.u64(v.len() as u64);
+            for x in v {
+                w.i64(*x);
+            }
+        }
+        ColumnData::Float(v) => {
+            w.u8(1);
+            w.u64(v.len() as u64);
+            for x in v {
+                w.f64(*x);
+            }
+        }
+        ColumnData::Bool(v) => {
+            w.u8(2);
+            w.u64(v.len() as u64);
+            for x in v {
+                w.u8(*x as u8);
+            }
+        }
+        ColumnData::Str { offsets, bytes } => {
+            w.u8(3);
+            w.u64(offsets.len() as u64);
+            for o in offsets {
+                w.u32(*o);
+            }
+            w.bytes(bytes);
+        }
+        ColumnData::Date(v) => {
+            w.u8(4);
+            w.u64(v.len() as u64);
+            for x in v {
+                w.i64(*x);
+            }
+        }
+        ColumnData::Numeric { mantissa, scale } => {
+            w.u8(5);
+            w.u64(mantissa.len() as u64);
+            for x in mantissa {
+                w.i64(*x);
+            }
+            w.bytes(scale);
+        }
+    }
+}
+
+fn read_column(r: &mut Reader<'_>) -> Result<ColumnChunk> {
+    let len = r.usize_checked("bitmap len")?;
+    let nulls_count = r.usize_checked("null count")?;
+    let n_words = r.u32()? as usize;
+    if n_words != len.div_ceil(64) {
+        return Err(PersistError::Corrupt("bitmap word count"));
+    }
+    let mut words = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    let nulls = NullBitmap {
+        words,
+        len,
+        nulls: nulls_count,
+    };
+    let tag = r.u8()?;
+    let n = r.usize_checked("column rows")?;
+    let data = match tag {
+        0 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.i64()?);
+            }
+            ColumnData::Int(v)
+        }
+        1 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.f64()?);
+            }
+            ColumnData::Float(v)
+        }
+        2 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.u8()? != 0);
+            }
+            ColumnData::Bool(v)
+        }
+        3 => {
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(r.u32()?);
+            }
+            let bytes = r.bytes()?.to_vec();
+            if offsets.last().copied().unwrap_or(0) as usize != bytes.len() {
+                return Err(PersistError::Corrupt("string offsets"));
+            }
+            ColumnData::Str { offsets, bytes }
+        }
+        4 => {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(r.i64()?);
+            }
+            ColumnData::Date(v)
+        }
+        5 => {
+            let mut mantissa = Vec::with_capacity(n);
+            for _ in 0..n {
+                mantissa.push(r.i64()?);
+            }
+            let scale = r.bytes()?.to_vec();
+            if scale.len() != mantissa.len() {
+                return Err(PersistError::Corrupt("numeric scales"));
+            }
+            ColumnData::Numeric { mantissa, scale }
+        }
+        _ => return Err(PersistError::Corrupt("bad column tag")),
+    };
+    let chunk = ColumnChunk { data, nulls };
+    if chunk.len() != len {
+        return Err(PersistError::Corrupt("column/bitmap length mismatch"));
+    }
+    Ok(chunk)
+}
+
+fn write_header(w: &mut Writer, h: &TileHeader) {
+    w.u32(h.columns.len() as u32);
+    for m in &h.columns {
+        w.bytes(&m.path.canonical_bytes());
+        w.u8(coltype_tag(m.col_type));
+        w.u8(m.nullable as u8);
+        w.u8(m.other_typed as u8);
+    }
+    w.bytes(&h.seen_paths.to_bytes());
+    w.u32(h.path_frequencies.len() as u32);
+    for (p, c) in &h.path_frequencies {
+        w.string(p);
+        w.u32(*c);
+    }
+    w.u32(h.sketches.len() as u32);
+    for s in &h.sketches {
+        w.bytes(&s.to_bytes());
+    }
+}
+
+fn read_header(r: &mut Reader<'_>) -> Result<TileHeader> {
+    let n = r.u32()? as usize;
+    let mut columns = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let path = KeyPath::from_canonical_bytes(r.bytes()?)
+            .ok_or(PersistError::Corrupt("bad key path"))?;
+        let col_type = coltype_from(r.u8()?)?;
+        let nullable = r.u8()? != 0;
+        let other_typed = r.u8()? != 0;
+        columns.push(ColumnMeta {
+            path,
+            col_type,
+            nullable,
+            other_typed,
+        });
+    }
+    let bloom = BloomFilter::from_bytes(r.bytes()?)
+        .ok_or(PersistError::Corrupt("bad bloom filter"))?;
+    let n = r.u32()? as usize;
+    let mut freqs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let p = r.string()?;
+        let c = r.u32()?;
+        freqs.push((p, c));
+    }
+    let n = r.u32()? as usize;
+    let mut sketches = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        sketches.push(
+            HyperLogLog::from_bytes(r.bytes()?).ok_or(PersistError::Corrupt("bad tile sketch"))?,
+        );
+    }
+    Ok(TileHeader::from_parts(columns, bloom, freqs, sketches))
+}
+
+fn write_tile(w: &mut Writer, t: &Tile) {
+    w.u64(t.rows as u64);
+    w.u64(t.outliers as u64);
+    write_header(w, &t.header);
+    w.u32(t.columns.len() as u32);
+    for c in &t.columns {
+        write_column(w, c);
+    }
+    match &t.jsonb {
+        Some(j) => {
+            w.u8(1);
+            w.u32(j.offsets.len() as u32);
+            for o in &j.offsets {
+                w.u32(*o);
+            }
+            w.bytes(&j.buffer);
+            w.u32(j.moved.len() as u32);
+            for (row, start, len) in &j.moved {
+                w.u32(*row);
+                w.u32(*start);
+                w.u32(*len);
+            }
+        }
+        None => w.u8(0),
+    }
+    match &t.text {
+        Some(rows) => {
+            w.u8(1);
+            w.u32(rows.len() as u32);
+            for s in rows {
+                w.string(s);
+            }
+        }
+        None => w.u8(0),
+    }
+}
+
+fn read_tile(r: &mut Reader<'_>) -> Result<Tile> {
+    let rows = r.usize_checked("tile rows")?;
+    let outliers = r.usize_checked("outliers")?;
+    let header = read_header(r)?;
+    let ncols = r.u32()? as usize;
+    if ncols != header.columns.len() {
+        return Err(PersistError::Corrupt("column count mismatch"));
+    }
+    let mut columns = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let c = read_column(r)?;
+        if c.len() != rows {
+            return Err(PersistError::Corrupt("column row count"));
+        }
+        columns.push(c);
+    }
+    let jsonb = if r.u8()? != 0 {
+        let n = r.u32()? as usize;
+        if n != rows + 1 && !(rows == 0 && n <= 1) {
+            return Err(PersistError::Corrupt("jsonb offsets"));
+        }
+        let mut offsets = Vec::with_capacity(n);
+        for _ in 0..n {
+            offsets.push(r.u32()?);
+        }
+        let buffer = r.bytes()?.to_vec();
+        if offsets.last().copied().unwrap_or(0) as usize > buffer.len() {
+            return Err(PersistError::Corrupt("jsonb buffer"));
+        }
+        let n_moved = r.u32()? as usize;
+        let mut moved = Vec::with_capacity(n_moved.min(1 << 20));
+        for _ in 0..n_moved {
+            let row = r.u32()?;
+            let start = r.u32()?;
+            let len = r.u32()?;
+            if (start + len) as usize > buffer.len() {
+                return Err(PersistError::Corrupt("moved row range"));
+            }
+            moved.push((row, start, len));
+        }
+        Some(JsonbColumn {
+            offsets,
+            buffer,
+            moved,
+        })
+    } else {
+        None
+    };
+    let text = if r.u8()? != 0 {
+        let n = r.u32()? as usize;
+        if n != rows {
+            return Err(PersistError::Corrupt("text row count"));
+        }
+        let mut rows_v = Vec::with_capacity(n);
+        for _ in 0..n {
+            rows_v.push(r.string()?);
+        }
+        Some(rows_v)
+    } else {
+        None
+    };
+    if jsonb.is_none() && text.is_none() && rows > 0 {
+        return Err(PersistError::Corrupt("tile without documents"));
+    }
+    Ok(Tile {
+        header,
+        columns,
+        jsonb,
+        text,
+        rows,
+        outliers,
+    })
+}
+
+impl Relation {
+    /// Serialize the relation (pending inserts are flushed first by
+    /// [`Relation::save`]; this borrowing variant requires none pending).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert_eq!(
+            self.pending_rows(),
+            0,
+            "flush() before serializing a relation with pending inserts"
+        );
+        let mut w = Writer::new();
+        w.buf.extend_from_slice(MAGIC);
+        w.u16(VERSION);
+        write_config(&mut w, &self.config);
+        write_stats(&mut w, &self.stats);
+        w.u32(self.tiles.len() as u32);
+        for t in &self.tiles {
+            write_tile(&mut w, t);
+        }
+        w.buf
+    }
+
+    /// Deserialize a relation produced by [`Relation::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Relation> {
+        let mut r = Reader::new(bytes);
+        if r.take(6)? != MAGIC {
+            return Err(PersistError::Corrupt("bad magic"));
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(PersistError::Version(version));
+        }
+        let config = read_config(&mut r)?;
+        let stats = read_stats(&mut r)?;
+        let n_tiles = r.u32()? as usize;
+        let mut tiles = Vec::with_capacity(n_tiles.min(1 << 24));
+        let mut tile_offsets = Vec::with_capacity(n_tiles.min(1 << 24));
+        let mut offset = 0usize;
+        for _ in 0..n_tiles {
+            let t = read_tile(&mut r)?;
+            tile_offsets.push(offset);
+            offset += t.len();
+            tiles.push(t);
+        }
+        if offset != stats.rows {
+            return Err(PersistError::Corrupt("row count mismatch"));
+        }
+        if !r.done() {
+            return Err(PersistError::Corrupt("trailing bytes"));
+        }
+        Ok(Relation {
+            config,
+            tiles,
+            tile_offsets,
+            stats,
+            metrics: LoadMetrics::default(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Flush pending inserts and write the relation to `path`.
+    pub fn save(&mut self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        self.flush();
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read a relation written by [`Relation::save`].
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Relation> {
+        let bytes = std::fs::read(path)?;
+        Relation::from_bytes(&bytes)
+    }
+}

@@ -1,0 +1,453 @@
+//! Relations: tile collections with load pipeline, statistics, and updates
+//! (paper §3.2, §4.4, §4.6, §4.7).
+
+use crate::path::KeyPath;
+use crate::reorder::reorder_partition;
+use crate::sinew::global_schema;
+use crate::tile::{collect_leaves, BuildTiming, ColType, DocLeaves, Tile, TileBuilder};
+use crate::{StorageMode, TilesConfig};
+use jt_json::Value;
+use jt_stats::{FrequencyCounters, HyperLogLog};
+use std::time::{Duration, Instant};
+
+/// Wall-clock breakdown of one load (Figures 11, 16, 17).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoadMetrics {
+    /// Total elapsed load time.
+    pub total: Duration,
+    /// Itemset mining.
+    pub mining: Duration,
+    /// Partition reordering.
+    pub reorder: Duration,
+    /// Binary JSONB encoding.
+    pub write_jsonb: Duration,
+    /// Column materialization + header construction.
+    pub extract: Duration,
+    /// Rows loaded.
+    pub rows: usize,
+}
+
+impl LoadMetrics {
+    /// Loading throughput in tuples/second (Figure 17).
+    pub fn tuples_per_sec(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        self.rows as f64 / self.total.as_secs_f64()
+    }
+}
+
+/// Relation-level statistics for the optimizer (§4.6): 256 bounded
+/// frequency counters plus up to 64 merged HyperLogLog sketches, both with
+/// the paper's recency/frequency replacement policy.
+#[derive(Debug, Clone)]
+pub struct RelationStats {
+    pub(crate) freq: FrequencyCounters,
+    pub(crate) sketches: Vec<(String, HyperLogLog, u64)>,
+    pub(crate) hll_slots: usize,
+    pub(crate) rows: usize,
+}
+
+impl RelationStats {
+    pub(crate) fn new(config: &TilesConfig) -> Self {
+        RelationStats {
+            freq: FrequencyCounters::new(config.freq_slots.max(1)),
+            sketches: Vec::new(),
+            hll_slots: config.hll_slots.max(1),
+            rows: 0,
+        }
+    }
+
+    /// Fold one tile's header into the relation statistics.
+    fn absorb_tile(&mut self, tile_no: u64, tile: &Tile) {
+        self.rows += tile.len();
+        for (path, count) in &tile.header.path_frequencies {
+            self.freq.record(path, *count as u64, tile_no);
+        }
+        for (ci, sketch) in tile.header.sketches.iter().enumerate() {
+            let key = tile.header.columns[ci].path.to_string();
+            if let Some(entry) = self.sketches.iter_mut().find(|(k, _, _)| *k == key) {
+                entry.1.merge(sketch);
+                entry.2 = entry.2.max(tile_no);
+                continue;
+            }
+            if self.sketches.len() < self.hll_slots {
+                self.sketches.push((key, sketch.clone(), tile_no));
+            } else {
+                // Same policy as the frequency counters: evict the slot with
+                // the oldest last-updating tile, tie-broken by the smaller
+                // estimate.
+                let victim = self
+                    .sketches
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.2.cmp(&b.2)
+                            .then(a.1.estimate().partial_cmp(&b.1.estimate()).expect("finite"))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                if self.sketches[victim].2 < tile_no {
+                    self.sketches[victim] = (key, sketch.clone(), tile_no);
+                }
+            }
+        }
+    }
+
+    /// Total rows in the relation.
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Estimated number of tuples containing `path` (display form, e.g.
+    /// `"user.id"`). Missing keys use the smallest retained counter (§4.6).
+    pub fn estimate_path_count(&self, path: &str) -> u64 {
+        self.freq.estimate(path)
+    }
+
+    /// Exact retained counter, if one survived replacement.
+    pub fn path_count(&self, path: &str) -> Option<u64> {
+        self.freq.get(path)
+    }
+
+    /// Estimated distinct values of `path`, from the merged HLL sketches.
+    pub fn estimate_distinct(&self, path: &str) -> Option<f64> {
+        self.sketches
+            .iter()
+            .find(|(k, _, _)| k == path)
+            .map(|(_, s, _)| s.estimate())
+    }
+}
+
+/// Storage consumption of one relation (Table 6).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StorageReport {
+    /// Raw JSON text bytes.
+    pub text_bytes: usize,
+    /// Binary JSONB bytes.
+    pub jsonb_bytes: usize,
+    /// Extracted columns + tile headers.
+    pub tile_bytes: usize,
+    /// Columns after per-chunk LZ4 compression.
+    pub lz4_tile_bytes: usize,
+}
+
+/// A JSON column stored under one of the four competitor modes.
+#[derive(Debug)]
+pub struct Relation {
+    pub(crate) config: TilesConfig,
+    pub(crate) tiles: Vec<Tile>,
+    /// Starting row of each tile (tiles can differ in size at the tail).
+    pub(crate) tile_offsets: Vec<usize>,
+    pub(crate) stats: RelationStats,
+    pub(crate) metrics: LoadMetrics,
+    /// Documents inserted but not yet formed into tiles. Invisible to
+    /// scans until a full partition accumulates or [`Relation::flush`]
+    /// runs — "the tile is visible to scanners only once it is fully
+    /// created" (§3.2).
+    pub(crate) pending: Vec<Value>,
+}
+
+impl Relation {
+    /// Create an empty relation for incremental insertion (§3.2: "a new
+    /// tile is created whenever the number of newly-inserted tuples
+    /// reaches the tile size").
+    ///
+    /// Note: incremental insertion mines each partition as it completes;
+    /// Sinew mode computes its global schema only over the documents seen
+    /// so far at each flush, mirroring Sinew's eager-extraction behaviour.
+    pub fn new(config: TilesConfig) -> Relation {
+        Relation {
+            config,
+            tiles: Vec::new(),
+            tile_offsets: Vec::new(),
+            stats: RelationStats::new(&config),
+            metrics: LoadMetrics::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Insert one document. Once a full partition of documents has
+    /// accumulated, its tiles are built (mined, reordered, materialized)
+    /// and become visible to scans.
+    pub fn insert(&mut self, doc: Value) {
+        self.pending.push(doc);
+        let partition_rows = self.config.tile_size.max(1) * self.config.partition_size.max(1);
+        if self.pending.len() >= partition_rows {
+            self.flush();
+        }
+    }
+
+    /// Materialize all pending documents into tiles immediately (the tail
+    /// partition may be smaller than `tile_size × partition_size`).
+    pub fn flush(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        let docs = std::mem::take(&mut self.pending);
+        let sinew_schema: Option<Vec<(KeyPath, ColType)>> = match self.config.mode {
+            StorageMode::Sinew => {
+                let leaves: Vec<DocLeaves> =
+                    docs.iter().map(|d| collect_leaves(d, &self.config)).collect();
+                Some(global_schema(&leaves, self.config.threshold))
+            }
+            _ => None,
+        };
+        let (tiles, timing, reorder) =
+            build_partition(&docs, &self.config, sinew_schema.as_deref());
+        for tile in tiles {
+            let no = self.tiles.len() as u64;
+            self.stats.absorb_tile(no, &tile);
+            self.tile_offsets.push(self.stats.rows - tile.len());
+            self.tiles.push(tile);
+        }
+        self.metrics.total += start.elapsed();
+        self.metrics.mining += timing.mining;
+        self.metrics.extract += timing.extract;
+        self.metrics.write_jsonb += timing.write_jsonb;
+        self.metrics.reorder += reorder;
+        self.metrics.rows += docs.len();
+    }
+
+    /// Number of inserted-but-not-yet-visible documents.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+    /// Bulk-load documents single-threaded.
+    pub fn load(docs: &[Value], config: TilesConfig) -> Relation {
+        Self::load_with_threads(docs, config, 1)
+    }
+
+    /// Bulk-load with `threads` worker threads. Partitions are independent
+    /// ("each thread is dedicated to a disjoint subset of the data"), so
+    /// loading parallelizes with no coordination beyond the final merge.
+    pub fn load_with_threads(docs: &[Value], config: TilesConfig, threads: usize) -> Relation {
+        let start = Instant::now();
+        let partition_rows = config.tile_size.max(1) * config.partition_size.max(1);
+
+        // Sinew needs the global schema before any tile can be built.
+        let sinew_schema: Option<Vec<(KeyPath, ColType)>> = match config.mode {
+            StorageMode::Sinew => {
+                let leaves: Vec<DocLeaves> =
+                    docs.iter().map(|d| collect_leaves(d, &config)).collect();
+                Some(global_schema(&leaves, config.threshold))
+            }
+            _ => None,
+        };
+
+        let partitions: Vec<&[Value]> = docs.chunks(partition_rows.max(1)).collect();
+        let threads = threads.max(1).min(partitions.len().max(1));
+
+        let mut results: Vec<(usize, Vec<Tile>, BuildTiming, Duration)> = if threads <= 1 {
+            partitions
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let (tiles, timing, reorder) = build_partition(p, &config, sinew_schema.as_deref());
+                    (i, tiles, timing, reorder)
+                })
+                .collect()
+        } else {
+            let mut out = Vec::new();
+            crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (t, chunk) in partitions.chunks(partitions.len().div_ceil(threads)).enumerate() {
+                    let config = &config;
+                    let schema = sinew_schema.as_deref();
+                    let base = t * partitions.len().div_ceil(threads);
+                    handles.push(scope.spawn(move |_| {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(i, p)| {
+                                let (tiles, timing, reorder) =
+                                    build_partition(p, config, schema);
+                                (base + i, tiles, timing, reorder)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    out.extend(h.join().expect("loader thread panicked"));
+                }
+            })
+            .expect("crossbeam scope");
+            out
+        };
+        results.sort_by_key(|(i, _, _, _)| *i);
+
+        let mut tiles = Vec::new();
+        let mut timing = BuildTiming::default();
+        let mut reorder_time = Duration::ZERO;
+        for (_, t, bt, rt) in results {
+            tiles.extend(t);
+            timing.add(&bt);
+            reorder_time += rt;
+        }
+
+        let mut stats = RelationStats::new(&config);
+        let mut tile_offsets = Vec::with_capacity(tiles.len());
+        let mut offset = 0usize;
+        for (no, tile) in tiles.iter().enumerate() {
+            stats.absorb_tile(no as u64, tile);
+            tile_offsets.push(offset);
+            offset += tile.len();
+        }
+
+        let metrics = LoadMetrics {
+            total: start.elapsed(),
+            mining: timing.mining,
+            reorder: reorder_time,
+            write_jsonb: timing.write_jsonb,
+            extract: timing.extract,
+            rows: docs.len(),
+        };
+
+        Relation {
+            config,
+            tiles,
+            tile_offsets,
+            stats,
+            metrics,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The load configuration.
+    pub fn config(&self) -> &TilesConfig {
+        &self.config
+    }
+
+    /// The tiles.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Starting row of tile `i`.
+    pub fn tile_offset(&self, i: usize) -> usize {
+        self.tile_offsets[i]
+    }
+
+    /// Total rows.
+    pub fn row_count(&self) -> usize {
+        self.stats.rows
+    }
+
+    /// Relation-level optimizer statistics.
+    pub fn stats(&self) -> &RelationStats {
+        &self.stats
+    }
+
+    /// Load metrics of the bulk load that created this relation.
+    pub fn metrics(&self) -> &LoadMetrics {
+        &self.metrics
+    }
+
+    /// Locate `(tile index, row-in-tile)` for a global row id.
+    pub fn locate(&self, row: usize) -> (usize, usize) {
+        let ti = match self.tile_offsets.binary_search(&row) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (ti, row - self.tile_offsets[ti])
+    }
+
+    /// Reconstruct a row as a document tree.
+    pub fn doc(&self, row: usize) -> Value {
+        let (ti, r) = self.locate(row);
+        self.tiles[ti].doc_value(r)
+    }
+
+    /// Update one row with a new document (§4.7), triggering a tile
+    /// recomputation once the majority of its tuples became outliers.
+    pub fn update(&mut self, row: usize, doc: &Value) {
+        let (ti, r) = self.locate(row);
+        self.tiles[ti].update_row(r, doc, &self.config);
+        if self.tiles[ti].needs_recompute() {
+            self.tiles[ti].recompute(&self.config);
+        }
+    }
+
+    /// Storage consumption (Table 6).
+    pub fn storage_report(&self) -> StorageReport {
+        let mut r = StorageReport::default();
+        for t in &self.tiles {
+            r.text_bytes += t.text_byte_size();
+            r.jsonb_bytes += t.jsonb_byte_size();
+            r.tile_bytes += t.columns_byte_size();
+            r.lz4_tile_bytes += t.compressed_columns_size();
+        }
+        r
+    }
+}
+
+/// Build all tiles of one partition: optional reordering, then per-tile
+/// extraction. Returns the tiles, the accumulated build timing, and the
+/// time spent reordering.
+fn build_partition(
+    docs: &[Value],
+    config: &TilesConfig,
+    sinew_schema: Option<&[(KeyPath, ColType)]>,
+) -> (Vec<Tile>, BuildTiming, Duration) {
+    let mut timing = BuildTiming::default();
+    let mut reorder_time = Duration::ZERO;
+    let tile_size = config.tile_size.max(1);
+
+    // Leaf collection is shared by reordering and extraction.
+    let leaves: Vec<DocLeaves> = docs.iter().map(|d| collect_leaves(d, config)).collect();
+
+    let order: Vec<usize> = if config.mode == StorageMode::Tiles && config.partition_size > 1 {
+        let t0 = Instant::now();
+        // Partition-wide dictionary for the reorder transactions.
+        let mut dict = crate::dict::PathDictionary::new();
+        let transactions: Vec<Vec<jt_mining::Item>> = leaves
+            .iter()
+            .map(|dl| {
+                let mut t: Vec<jt_mining::Item> = dl
+                    .leaves
+                    .iter()
+                    .map(|(p, l)| dict.intern(p, l.col_type()))
+                    .collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let order = reorder_partition(
+            &transactions,
+            tile_size,
+            config.threshold,
+            config.partition_size,
+            config.budget,
+        );
+        reorder_time = t0.elapsed();
+        order
+    } else {
+        (0..docs.len()).collect()
+    };
+
+    let mut tiles = Vec::with_capacity(docs.len().div_ceil(tile_size));
+    for chunk in order.chunks(tile_size) {
+        let tile_docs: Vec<Value> = chunk.iter().map(|&i| docs[i].clone()).collect();
+        let tile_leaves: Vec<DocLeaves> = chunk
+            .iter()
+            .map(|&i| {
+                // Leaves are cheap to move but DocLeaves is not Copy; clone
+                // the per-doc vectors (paths are small).
+                DocLeaves {
+                    leaves: leaves[i].leaves.clone(),
+                    seen_paths: leaves[i].seen_paths.clone(),
+                }
+            })
+            .collect();
+        tiles.push(TileBuilder::build_timed(
+            &tile_docs,
+            &tile_leaves,
+            config,
+            sinew_schema,
+            &mut timing,
+        ));
+    }
+    (tiles, timing, reorder_time)
+}

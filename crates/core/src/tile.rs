@@ -1,0 +1,586 @@
+//! Tile construction and access (paper §3.1, §4.4, §4.5).
+//!
+//! A [`Tile`] holds a fixed-size chunk of tuples in up to three physical
+//! forms: raw JSON text (the `JSON` competitor), binary JSONB documents
+//! (always present for the binary modes, serving outlier accesses), and the
+//! extracted typed column chunks with their [`TileHeader`].
+//!
+//! [`TileBuilder::build`] runs the §3.1 pipeline on one chunk:
+//!
+//! 1. collect all typed leaf key paths of every tuple,
+//! 2. mine frequent itemsets over the dictionary-encoded paths,
+//! 3. extract the union of the maximal itemsets as columns.
+
+pub use crate::column::{AccessType, ColType};
+use crate::column::{column_serves, ColumnChunk};
+use crate::datetime::{parse_timestamp, Timestamp};
+use crate::dict::PathDictionary;
+use crate::header::{ColumnMeta, TileHeader};
+use crate::path::KeyPath;
+use crate::TilesConfig;
+use jt_json::{Number, Value};
+use jt_jsonb::{JsonbRef, NumericString};
+use jt_mining::{fpgrowth, maximal, MinerConfig};
+use jt_stats::HyperLogLog;
+
+/// A typed scalar leaf observed in a document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LeafValue {
+    /// Integer leaf.
+    Int(i64),
+    /// Float leaf.
+    Float(f64),
+    /// Boolean leaf.
+    Bool(bool),
+    /// Plain string leaf.
+    Str(String),
+    /// Date/time string parsed to epoch seconds (§4.9).
+    Date(Timestamp),
+    /// Exact decimal string (§5.2).
+    Numeric(NumericString),
+}
+
+impl LeafValue {
+    /// The extraction type of this leaf.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            LeafValue::Int(_) => ColType::Int,
+            LeafValue::Float(_) => ColType::Float,
+            LeafValue::Bool(_) => ColType::Bool,
+            LeafValue::Str(_) => ColType::Str,
+            LeafValue::Date(_) => ColType::Date,
+            LeafValue::Numeric(_) => ColType::Numeric,
+        }
+    }
+
+    /// Canonical bytes for HLL sketching.
+    pub fn sketch_bytes(&self) -> Vec<u8> {
+        match self {
+            LeafValue::Int(v) => v.to_le_bytes().to_vec(),
+            LeafValue::Float(v) => v.to_bits().to_le_bytes().to_vec(),
+            LeafValue::Bool(v) => vec![*v as u8],
+            LeafValue::Str(s) => s.as_bytes().to_vec(),
+            LeafValue::Date(v) => v.to_le_bytes().to_vec(),
+            LeafValue::Numeric(n) => {
+                let mut b = n.mantissa.to_le_bytes().to_vec();
+                b.push(n.scale);
+                b
+            }
+        }
+    }
+}
+
+/// All typed scalar leaves of one document, in traversal order, plus every
+/// interior path seen (for the Bloom filter of non-extracted paths, §4.4).
+#[derive(Debug, Default)]
+pub struct DocLeaves {
+    /// `(path, leaf)` pairs.
+    pub leaves: Vec<(KeyPath, LeafValue)>,
+    /// Every path seen in the document, including interior object/array
+    /// paths and paths holding JSON null.
+    pub seen_paths: Vec<KeyPath>,
+}
+
+/// Walk a document and collect its typed leaves (§3.1 step 1).
+///
+/// Array elements are recorded with index segments up to
+/// `config.max_array_elems` — "JSON tiles materializes only the leading
+/// elements that are frequent across all documents" (§3.5). Strings are
+/// typed Date when `config.date_extraction` is on and the value parses as a
+/// timestamp, Numeric when they hold a canonical decimal, otherwise Str.
+pub fn collect_leaves(doc: &Value, config: &TilesConfig) -> DocLeaves {
+    let mut out = DocLeaves::default();
+    walk(doc, &KeyPath::root(), config, &mut out);
+    out
+}
+
+fn walk(v: &Value, path: &KeyPath, config: &TilesConfig, out: &mut DocLeaves) {
+    if !path.is_root() {
+        out.seen_paths.push(path.clone());
+    }
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.leaves.push((path.clone(), LeafValue::Bool(*b))),
+        Value::Num(Number::Int(i)) => out.leaves.push((path.clone(), LeafValue::Int(*i))),
+        Value::Num(Number::Float(f)) => out.leaves.push((path.clone(), LeafValue::Float(*f))),
+        Value::Str(s) => {
+            let leaf = if config.date_extraction {
+                match parse_timestamp(s) {
+                    Some(ts) => LeafValue::Date(ts),
+                    None => string_leaf(s),
+                }
+            } else {
+                string_leaf(s)
+            };
+            out.leaves.push((path.clone(), leaf));
+        }
+        Value::Object(members) => {
+            for (k, val) in members {
+                walk(val, &path.child(k), config, out);
+            }
+        }
+        Value::Array(elems) => {
+            for (i, e) in elems.iter().enumerate() {
+                if i >= config.max_array_elems {
+                    break;
+                }
+                walk(e, &path.index(i as u32), config, out);
+            }
+        }
+    }
+}
+
+fn string_leaf(s: &str) -> LeafValue {
+    match jt_jsonb::detect_numeric_string(s) {
+        Some(n) => LeafValue::Numeric(n),
+        None => LeafValue::Str(s.to_owned()),
+    }
+}
+
+/// The binary documents of a tile: one JSONB buffer plus row offsets.
+///
+/// Updated rows whose new encoding does not fit the old slot are appended
+/// to the buffer and repointed via `moved` — "we either append the memory
+/// region or fill empty spaces" so offsets of untouched rows stay static
+/// (§4.4, §4.7).
+#[derive(Debug, Clone, Default)]
+pub struct JsonbColumn {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) buffer: Vec<u8>,
+    /// `(row, start, len)` for rows relocated by updates; the latest entry
+    /// for a row wins.
+    pub(crate) moved: Vec<(u32, u32, u32)>,
+}
+
+impl JsonbColumn {
+    /// Build from documents.
+    pub fn from_docs(docs: &[Value]) -> Self {
+        let mut col = JsonbColumn {
+            offsets: Vec::with_capacity(docs.len() + 1),
+            buffer: Vec::with_capacity(docs.len() * 64),
+            moved: Vec::new(),
+        };
+        col.offsets.push(0);
+        for d in docs {
+            jt_jsonb::encode_into(d, &mut col.buffer);
+            col.offsets.push(col.buffer.len() as u32);
+        }
+        col
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// True if no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The JSONB view of row `i`.
+    #[inline]
+    pub fn get_row(&self, i: usize) -> JsonbRef<'_> {
+        if !self.moved.is_empty() {
+            if let Some(&(_, start, len)) =
+                self.moved.iter().rev().find(|(row, _, _)| *row == i as u32)
+            {
+                return JsonbRef::new(&self.buffer[start as usize..(start + len) as usize]);
+            }
+        }
+        JsonbRef::new(&self.buffer[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Replace row `i`'s document, in place when the encoding fits.
+    pub fn replace_row(&mut self, i: usize, doc: &Value) {
+        let mut enc = Vec::new();
+        jt_jsonb::encode_into(doc, &mut enc);
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        if enc.len() == end - start && !self.moved.iter().any(|(row, _, _)| *row == i as u32) {
+            self.buffer[start..end].copy_from_slice(&enc);
+        } else {
+            let new_start = self.buffer.len() as u32;
+            self.buffer.extend_from_slice(&enc);
+            self.moved.push((i as u32, new_start, enc.len() as u32));
+        }
+    }
+
+    /// Heap bytes.
+    pub fn byte_size(&self) -> usize {
+        self.buffer.len() + self.offsets.len() * 4 + self.moved.len() * 12
+    }
+}
+
+/// One tile: header + columns + binary docs (+ optional raw text).
+#[derive(Debug, Clone)]
+pub struct Tile {
+    /// Per-tile header (§4.4).
+    pub header: TileHeader,
+    pub(crate) columns: Vec<ColumnChunk>,
+    pub(crate) jsonb: Option<JsonbColumn>,
+    pub(crate) text: Option<Vec<String>>,
+    pub(crate) rows: usize,
+    /// Documents that no longer overlap the extracted schema (§4.7).
+    pub(crate) outliers: usize,
+}
+
+impl Tile {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the tile holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The extracted column chunks.
+    pub fn columns(&self) -> &[ColumnChunk] {
+        &self.columns
+    }
+
+    /// Column chunk by index (from [`Tile::find_column`]).
+    #[inline]
+    pub fn column(&self, idx: usize) -> &ColumnChunk {
+        &self.columns[idx]
+    }
+
+    /// Find a materialized column serving `(path, want)` (§4.5). Prefers an
+    /// exact type match, then any castable column. The scan operator caches
+    /// this per tile — "the calculation is performed once per tile".
+    pub fn find_column(&self, path: &KeyPath, want: AccessType) -> Option<usize> {
+        let candidates = self.header.columns_for_path(path)?;
+        let mut fallback = None;
+        for &idx in candidates {
+            let ty = self.header.columns[idx].col_type;
+            if exact_type(ty, want) {
+                return Some(idx);
+            }
+            if fallback.is_none() && column_serves(ty, want) {
+                fallback = Some(idx);
+            }
+        }
+        fallback
+    }
+
+    /// May this tile contain `path` at all? `false` only when the path is
+    /// neither extracted nor in the Bloom filter — the §4.8 skipping test.
+    pub fn may_contain_path(&self, path: &KeyPath) -> bool {
+        self.header.columns_for_path(path).is_some()
+            || self.header.seen_paths.contains(&path.canonical_bytes())
+    }
+
+    /// The binary document of row `i` (None in text-only mode).
+    #[inline]
+    pub fn doc_jsonb(&self, i: usize) -> Option<JsonbRef<'_>> {
+        self.jsonb.as_ref().map(|j| j.get_row(i))
+    }
+
+    /// The raw text of row `i` (JsonText mode only).
+    pub fn doc_text(&self, i: usize) -> Option<&str> {
+        self.text.as_ref().map(|t| t[i].as_str())
+    }
+
+    /// Reconstruct row `i` as a document tree (tests / updates).
+    pub fn doc_value(&self, i: usize) -> Value {
+        if let Some(j) = self.doc_jsonb(i) {
+            return j.to_value();
+        }
+        jt_json::parse(self.doc_text(i).expect("text or jsonb present")).expect("stored text is valid")
+    }
+
+    /// Update row `i` with a new document (§4.7): in-place column writes
+    /// where types match, nulls for missing keys, Bloom registration of new
+    /// paths, and outlier tracking for [`Tile::needs_recompute`].
+    pub fn update_row(&mut self, i: usize, doc: &Value, config: &TilesConfig) {
+        let leaves = collect_leaves(doc, config);
+        let mut overlap = 0usize;
+        for (ci, meta) in self.header.columns.iter().enumerate() {
+            let leaf = leaves
+                .leaves
+                .iter()
+                .find(|(p, l)| p == &meta.path && l.col_type() == meta.col_type);
+            match leaf {
+                Some((_, l)) => {
+                    overlap += 1;
+                    if !self.columns[ci].set_value(i, l) {
+                        self.columns[ci].set_null(i);
+                    }
+                }
+                None => self.columns[ci].set_null(i),
+            }
+        }
+        // New paths must reach the Bloom filter, otherwise scans could
+        // incorrectly skip this tile after the update.
+        for p in &leaves.seen_paths {
+            self.header.seen_paths.insert(&p.canonical_bytes());
+        }
+        if let Some(j) = self.jsonb.as_mut() {
+            j.replace_row(i, doc);
+        }
+        if let Some(t) = self.text.as_mut() {
+            t[i] = jt_json::to_string(doc);
+        }
+        // An outlier "does not overlap with the existing extracted keys"
+        // (§4.7). A tile without any extracted schema treats every update
+        // as an outlier so that it eventually re-mines.
+        if self.header.columns.is_empty() || overlap * 2 < self.header.columns.len() {
+            self.outliers += 1;
+        }
+    }
+
+    /// True once the majority of tuples no longer match the extracted
+    /// schema — the §4.7 recomputation trigger.
+    pub fn needs_recompute(&self) -> bool {
+        self.outliers * 2 > self.rows
+    }
+
+    /// Rebuild the tile from its current documents (after heavy updates).
+    pub fn recompute(&mut self, config: &TilesConfig) {
+        let docs: Vec<Value> = (0..self.rows).map(|i| self.doc_value(i)).collect();
+        *self = TileBuilder::build(&docs, config, None);
+    }
+
+    /// Heap bytes of the extracted columns plus header (Table 6 "+Tiles").
+    /// Zero for modes without extraction (their placeholder header holds no
+    /// tile-specific data).
+    pub fn columns_byte_size(&self) -> usize {
+        if self.columns.is_empty() && self.header.path_frequencies.is_empty() {
+            return 0;
+        }
+        self.columns.iter().map(ColumnChunk::byte_size).sum::<usize>() + self.header.byte_size()
+    }
+
+    /// Heap bytes of the binary documents.
+    pub fn jsonb_byte_size(&self) -> usize {
+        self.jsonb.as_ref().map_or(0, |j| j.byte_size())
+    }
+
+    /// Heap bytes of the raw text.
+    pub fn text_byte_size(&self) -> usize {
+        self.text.as_ref().map_or(0, |t| t.iter().map(String::len).sum())
+    }
+
+    /// LZ4-compressed size of all column chunks (Table 6 "+LZ4-Tiles").
+    pub fn compressed_columns_size(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| jt_compress::compress(&c.raw_bytes()).len())
+            .sum()
+    }
+}
+
+#[inline]
+fn exact_type(col: ColType, want: AccessType) -> bool {
+    matches!(
+        (col, want),
+        (ColType::Int, AccessType::Int)
+            | (ColType::Float, AccessType::Float)
+            | (ColType::Bool, AccessType::Bool)
+            | (ColType::Str, AccessType::Text)
+            | (ColType::Date, AccessType::Timestamp)
+            | (ColType::Numeric, AccessType::Numeric)
+    )
+}
+
+/// Wall-clock spent in each tile-construction phase, for the Figure 16
+/// insertion-time breakdown.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BuildTiming {
+    /// Frequent itemset mining (§3.3).
+    pub mining: std::time::Duration,
+    /// Column materialization ("Extract Tile").
+    pub extract: std::time::Duration,
+    /// Encoding the binary JSONB documents.
+    pub write_jsonb: std::time::Duration,
+}
+
+impl BuildTiming {
+    /// Accumulate another tile's timing.
+    pub fn add(&mut self, other: &BuildTiming) {
+        self.mining += other.mining;
+        self.extract += other.extract;
+        self.write_jsonb += other.write_jsonb;
+    }
+}
+
+/// Builds tiles from document chunks.
+pub struct TileBuilder;
+
+impl TileBuilder {
+    /// Build one tile under `config`.
+    ///
+    /// `extraction_override` preempts per-tile mining with a fixed schema —
+    /// used by the Sinew mode (global schema) and by reordered partitions
+    /// (whose final itemsets are re-mined after redistribution).
+    pub fn build(
+        docs: &[Value],
+        config: &TilesConfig,
+        extraction_override: Option<&[(KeyPath, ColType)]>,
+    ) -> Tile {
+        let leaves: Vec<DocLeaves> = docs.iter().map(|d| collect_leaves(d, config)).collect();
+        Self::build_from_leaves(docs, &leaves, config, extraction_override)
+    }
+
+    /// Like [`TileBuilder::build`], reusing precomputed leaves.
+    pub fn build_from_leaves(
+        docs: &[Value],
+        leaves: &[DocLeaves],
+        config: &TilesConfig,
+        extraction_override: Option<&[(KeyPath, ColType)]>,
+    ) -> Tile {
+        Self::build_timed(docs, leaves, config, extraction_override, &mut BuildTiming::default())
+    }
+
+    /// Full build with phase timing collection.
+    pub fn build_timed(
+        docs: &[Value],
+        leaves: &[DocLeaves],
+        config: &TilesConfig,
+        extraction_override: Option<&[(KeyPath, ColType)]>,
+        timing: &mut BuildTiming,
+    ) -> Tile {
+        match config.mode {
+            crate::StorageMode::JsonText => {
+                return Tile {
+                    header: TileHeader::empty(config),
+                    columns: Vec::new(),
+                    jsonb: None,
+                    text: Some(docs.iter().map(jt_json::to_string).collect()),
+                    rows: docs.len(),
+                    outliers: 0,
+                };
+            }
+            crate::StorageMode::Jsonb => {
+                let t0 = std::time::Instant::now();
+                let jsonb = JsonbColumn::from_docs(docs);
+                timing.write_jsonb += t0.elapsed();
+                return Tile {
+                    header: TileHeader::empty(config),
+                    columns: Vec::new(),
+                    jsonb: Some(jsonb),
+                    text: None,
+                    rows: docs.len(),
+                    outliers: 0,
+                };
+            }
+            crate::StorageMode::Sinew | crate::StorageMode::Tiles => {}
+        }
+
+        // Dictionary + transactions (§3.1 steps 1–2).
+        let mut dict = PathDictionary::new();
+        let mut transactions: Vec<Vec<jt_mining::Item>> = Vec::with_capacity(docs.len());
+        for dl in leaves {
+            let mut t: Vec<jt_mining::Item> = dl
+                .leaves
+                .iter()
+                .map(|(p, l)| dict.intern(p, l.col_type()))
+                .collect();
+            t.sort_unstable();
+            t.dedup();
+            transactions.push(t);
+        }
+
+        // Extraction set: mined locally, or imposed from outside.
+        let mine_start = std::time::Instant::now();
+        let extraction: Vec<(KeyPath, ColType)> = match extraction_override {
+            Some(cols) => cols.to_vec(),
+            None => {
+                let sets = fpgrowth(
+                    &transactions,
+                    MinerConfig {
+                        min_support: config.min_support(docs.len()),
+                        budget: config.budget,
+                    },
+                );
+                let mut union: Vec<(KeyPath, ColType)> = Vec::new();
+                for set in maximal(sets) {
+                    for item in set.items {
+                        let (p, t) = dict.resolve(item).clone();
+                        if !union.contains(&(p.clone(), t)) {
+                            union.push((p, t));
+                        }
+                    }
+                }
+                union.sort();
+                union
+            }
+        };
+        timing.mining += mine_start.elapsed();
+
+        // Materialize columns (§3.1 step 3) and collect header metadata.
+        let extract_start = std::time::Instant::now();
+        let mut columns: Vec<ColumnChunk> = extraction
+            .iter()
+            .map(|(_, t)| ColumnChunk::builder(*t))
+            .collect();
+        let mut other_typed = vec![false; extraction.len()];
+        let mut sketches: Vec<HyperLogLog> = extraction
+            .iter()
+            .map(|_| HyperLogLog::default())
+            .collect();
+        for dl in leaves {
+            for (ci, (path, ty)) in extraction.iter().enumerate() {
+                let mut found = None;
+                for (p, l) in &dl.leaves {
+                    if p == path {
+                        if l.col_type() == *ty {
+                            found = Some(l);
+                            break;
+                        }
+                        other_typed[ci] = true;
+                    }
+                }
+                match found {
+                    Some(l) => {
+                        push_leaf(&mut columns[ci], l);
+                        if ci < config.hll_slots {
+                            sketches[ci].insert(&l.sketch_bytes());
+                        }
+                    }
+                    None => columns[ci].push_null(),
+                }
+            }
+        }
+
+        let metas: Vec<ColumnMeta> = extraction
+            .iter()
+            .enumerate()
+            .map(|(ci, (path, ty))| ColumnMeta {
+                path: path.clone(),
+                col_type: *ty,
+                nullable: columns[ci].null_count() > 0,
+                other_typed: other_typed[ci],
+            })
+            .collect();
+
+        let header = TileHeader::build(config, metas, leaves, &dict, &transactions, sketches);
+        timing.extract += extract_start.elapsed();
+
+        let t0 = std::time::Instant::now();
+        let jsonb = JsonbColumn::from_docs(docs);
+        timing.write_jsonb += t0.elapsed();
+
+        Tile {
+            header,
+            columns,
+            jsonb: Some(jsonb),
+            text: None,
+            rows: docs.len(),
+            outliers: 0,
+        }
+    }
+}
+
+fn push_leaf(col: &mut ColumnChunk, leaf: &LeafValue) {
+    match leaf {
+        LeafValue::Int(v) => col.push_i64(*v),
+        LeafValue::Float(v) => col.push_f64(*v),
+        LeafValue::Bool(v) => col.push_bool(*v),
+        LeafValue::Str(s) => col.push_str(s),
+        LeafValue::Date(ts) => col.push_date(*ts),
+        LeafValue::Numeric(n) => col.push_numeric(*n),
+    }
+}

@@ -1,0 +1,178 @@
+//! Persistence round-trip tests: a relation saved and re-opened must be
+//! byte-for-byte equivalent for every query-visible property.
+
+use jt_core::{AccessType, KeyPath, Relation, StorageMode, TilesConfig};
+use jt_json::Value;
+
+fn docs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let extra = if i % 3 == 0 {
+                format!(r#","price":"{}.99","when":"2024-0{}-10""#, i % 50, 1 + i % 9)
+            } else {
+                String::new()
+            };
+            jt_json::parse(&format!(
+                r#"{{"id":{i},"name":"row {i}","flag":{}{extra}}}"#,
+                i % 2 == 0
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn config(mode: StorageMode) -> TilesConfig {
+    TilesConfig {
+        mode,
+        tile_size: 64,
+        partition_size: 2,
+        ..TilesConfig::default()
+    }
+}
+
+fn assert_equivalent(a: &Relation, b: &Relation) {
+    assert_eq!(a.row_count(), b.row_count());
+    assert_eq!(a.tiles().len(), b.tiles().len());
+    for (ta, tb) in a.tiles().iter().zip(b.tiles()) {
+        assert_eq!(ta.len(), tb.len());
+        assert_eq!(ta.header.columns, tb.header.columns);
+        assert_eq!(ta.header.path_frequencies, tb.header.path_frequencies);
+        assert_eq!(ta.header.seen_paths, tb.header.seen_paths);
+        assert_eq!(ta.header.sketches, tb.header.sketches);
+        assert_eq!(ta.columns(), tb.columns());
+    }
+    for row in (0..a.row_count()).step_by(17) {
+        assert_eq!(a.doc(row), b.doc(row), "row {row}");
+    }
+    // Statistics survive.
+    assert_eq!(
+        a.stats().estimate_path_count("id"),
+        b.stats().estimate_path_count("id")
+    );
+    assert_eq!(
+        a.stats().estimate_distinct("id").map(|f| f.to_bits()),
+        b.stats().estimate_distinct("id").map(|f| f.to_bits())
+    );
+}
+
+#[test]
+fn round_trip_all_modes() {
+    let d = docs(300);
+    for mode in [
+        StorageMode::JsonText,
+        StorageMode::Jsonb,
+        StorageMode::Sinew,
+        StorageMode::Tiles,
+    ] {
+        let rel = Relation::load(&d, config(mode));
+        let bytes = rel.to_bytes();
+        let back = Relation::from_bytes(&bytes).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        assert_equivalent(&rel, &back);
+        assert_eq!(back.config().mode, mode);
+    }
+}
+
+#[test]
+fn save_open_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("jt-persist-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rel.jt");
+    let mut rel = Relation::load(&docs(200), config(StorageMode::Tiles));
+    rel.save(&path).unwrap();
+    let back = Relation::open(&path).unwrap();
+    assert_equivalent(&rel, &back);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reopened_relation_answers_queries_identically() {
+    use jt_query::{col, lit, Agg, Query};
+    let d = docs(500);
+    let rel = Relation::load(&d, config(StorageMode::Tiles));
+    let back = Relation::from_bytes(&rel.to_bytes()).unwrap();
+    let run = |r: &Relation| {
+        Query::scan("t", r)
+            .access("id", AccessType::Int)
+            .access("price", AccessType::Numeric)
+            .access("flag", AccessType::Bool)
+            .filter(col("id").ge(lit(100)))
+            .aggregate(
+                vec![col("flag")],
+                vec![Agg::count_star(), Agg::sum(col("price"))],
+            )
+            .order_by(0, false)
+            .run()
+            .to_lines()
+    };
+    assert_eq!(run(&rel), run(&back));
+}
+
+#[test]
+fn pending_inserts_flushed_by_save() {
+    let dir = std::env::temp_dir().join(format!("jt-persist-pend-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rel.jt");
+    let mut rel = Relation::new(config(StorageMode::Tiles));
+    for d in docs(100) {
+        rel.insert(d);
+    }
+    assert!(rel.pending_rows() > 0);
+    rel.save(&path).unwrap();
+    let back = Relation::open(&path).unwrap();
+    assert_eq!(back.row_count(), 100);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn updated_relations_persist_their_updates() {
+    let mut rel = Relation::load(&docs(128), config(StorageMode::Tiles));
+    let new_doc = jt_json::parse(r#"{"id":777777,"name":"changed","flag":false}"#).unwrap();
+    rel.update(5, &new_doc);
+    let back = Relation::from_bytes(&rel.to_bytes()).unwrap();
+    assert_eq!(back.doc(5).get("id").unwrap().as_i64(), Some(777_777));
+    let (ti, r) = back.locate(5);
+    let tile = &back.tiles()[ti];
+    let col = tile.find_column(&KeyPath::keys(&["id"]), AccessType::Int).unwrap();
+    assert_eq!(tile.column(col).get_i64(r), Some(777_777));
+}
+
+#[test]
+fn corrupt_inputs_rejected_not_panicking() {
+    let rel = Relation::load(&docs(64), config(StorageMode::Tiles));
+    let bytes = rel.to_bytes();
+    assert!(Relation::from_bytes(&[]).is_err());
+    assert!(Relation::from_bytes(b"JTREL\0").is_err());
+    assert!(Relation::from_bytes(&bytes[..bytes.len() / 2]).is_err(), "truncated");
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'X';
+    assert!(Relation::from_bytes(&wrong_magic).is_err());
+    let mut wrong_version = bytes.clone();
+    wrong_version[6] = 99;
+    assert!(matches!(
+        Relation::from_bytes(&wrong_version),
+        Err(jt_core::PersistError::Version(_))
+    ));
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(Relation::from_bytes(&trailing).is_err());
+}
+
+#[test]
+fn fuzzed_truncations_never_panic() {
+    let rel = Relation::load(&docs(80), config(StorageMode::Tiles));
+    let bytes = rel.to_bytes();
+    for cut in (0..bytes.len()).step_by(97) {
+        let _ = Relation::from_bytes(&bytes[..cut]);
+    }
+    // Random byte flips must error or produce a relation, never panic.
+    let mut state = 0x1234_5678u64;
+    for _ in 0..200 {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let mut mutated = bytes.clone();
+        let pos = (state as usize) % mutated.len();
+        mutated[pos] ^= (state >> 8) as u8 | 1;
+        let _ = Relation::from_bytes(&mutated);
+    }
+}

@@ -1,0 +1,119 @@
+//! HackerNews-style news items (paper Figure 3).
+//!
+//! Four document types — story, poll, pollop, comment — interleaved with no
+//! spatial locality. This is the adversarial workload for tile extraction
+//! without reordering: "each document is of a different type … even
+//! fine-granular tiles would result in poor scan performance", motivating
+//! the partition reordering of §3.2.
+
+use crate::obj;
+use jt_json::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct HnConfig {
+    /// Number of items.
+    pub items: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HnConfig {
+    fn default() -> Self {
+        HnConfig { items: 10_000, seed: 0x48_4E }
+    }
+}
+
+/// Generate interleaved news items. The per-item type is drawn randomly
+/// (45% comment, 30% story, 15% pollop, 10% poll) so neighbouring documents
+/// rarely share a structure.
+pub fn generate(cfg: HnConfig) -> Vec<Value> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    (0..cfg.items)
+        .map(|i| {
+            let date = format!("{:04}-{:02}-{:02}", 2015 + i % 8, 1 + i % 12, 1 + i % 28);
+            let roll = rng.gen_range(0..100);
+            if roll < 45 {
+                obj(vec![
+                    ("id", Value::int(i as i64)),
+                    ("date", Value::str(date)),
+                    ("type", Value::str("comment")),
+                    ("parent", Value::int(rng.gen_range(0..(i as i64 + 1)))),
+                    ("text", Value::str(format!("comment body {i}"))),
+                ])
+            } else if roll < 75 {
+                obj(vec![
+                    ("id", Value::int(i as i64)),
+                    ("date", Value::str(date)),
+                    ("type", Value::str("story")),
+                    ("score", Value::int(rng.gen_range(0..500))),
+                    ("descendants", Value::int(rng.gen_range(0..200))),
+                    ("title", Value::str(format!("Story number {i}"))),
+                    ("url", Value::str(format!("https://example.com/{i}"))),
+                ])
+            } else if roll < 90 {
+                obj(vec![
+                    ("id", Value::int(i as i64)),
+                    ("date", Value::str(date)),
+                    ("type", Value::str("pollopt")),
+                    ("score", Value::int(rng.gen_range(0..100))),
+                    ("poll", Value::int(rng.gen_range(0..(i as i64 + 1)))),
+                    ("title", Value::str(format!("Option {i}"))),
+                ])
+            } else {
+                obj(vec![
+                    ("id", Value::int(i as i64)),
+                    ("date", Value::str(date)),
+                    ("type", Value::str("poll")),
+                    ("score", Value::int(rng.gen_range(0..300))),
+                    ("descendants", Value::int(rng.gen_range(0..100))),
+                    ("title", Value::str(format!("Poll {i}"))),
+                ])
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_mix_and_determinism() {
+        let items = generate(HnConfig { items: 4000, seed: 1 });
+        assert_eq!(items, generate(HnConfig { items: 4000, seed: 1 }));
+        let count = |t: &str| {
+            items
+                .iter()
+                .filter(|x| x.get("type").and_then(|v| v.as_str()) == Some(t))
+                .count()
+        };
+        let (c, s, po, p) = (count("comment"), count("story"), count("pollopt"), count("poll"));
+        assert_eq!(c + s + po + p, 4000);
+        assert!(c > s && s > po && po > p, "mix: {c} {s} {po} {p}");
+    }
+
+    #[test]
+    fn types_have_distinct_schemas() {
+        let items = generate(HnConfig { items: 1000, seed: 2 });
+        for it in &items {
+            match it.get("type").unwrap().as_str().unwrap() {
+                "comment" => {
+                    assert!(it.get("parent").is_some() && it.get("score").is_none());
+                }
+                "story" => {
+                    assert!(it.get("url").is_some() && it.get("parent").is_none());
+                }
+                "pollopt" => {
+                    assert!(it.get("poll").is_some() && it.get("url").is_none());
+                }
+                "poll" => {
+                    assert!(it.get("descendants").is_some() && it.get("poll").is_none());
+                }
+                other => panic!("unknown type {other}"),
+            }
+        }
+    }
+}

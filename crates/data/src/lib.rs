@@ -1,0 +1,99 @@
+//! # jt-data — deterministic workload generators (paper §6)
+//!
+//! The paper evaluates on four data sets plus a suite of standard JSON
+//! files. Two of them (the 31 GB Twitter stream grab and the 9 GB Yelp
+//! dump) are not redistributable, so this crate generates synthetic
+//! equivalents that preserve the *structural* properties every experiment
+//! depends on — key-set evolution, heterogeneous document types, optional
+//! sub-objects, high-cardinality arrays — at a configurable laptop scale.
+//! DESIGN.md documents each substitution.
+//!
+//! * [`tpch`] — JSONized TPC-H (§6.1): every row of the 8 relations becomes
+//!   an object keyed by column names; `combined` interleaves all relations
+//!   into one collection, `shuffled` destroys all spatial locality (§6.4).
+//! * [`yelp`] — Yelp-like businesses / reviews / users / tips (§6.2).
+//! * [`twitter`] — tweets with the 2006→2013 attribute evolution of the
+//!   paper's running example, ~12% structurally-disjoint delete records and
+//!   high-cardinality `hashtags` / `user_mentions` arrays (§6.3).
+//! * [`hackernews`] — the news-item mix of Figure 3 (story / poll / pollop /
+//!   comment), the worst case for global extraction.
+//! * [`simdjson`] — synthetic stand-ins for the eight SIMD-JSON test files
+//!   used by the binary-format comparison (§6.9).
+//!
+//! All generators are pure functions of their config (fixed RNG seeds), so
+//! every experiment is exactly reproducible.
+
+pub mod hackernews;
+pub mod simdjson;
+pub mod tpch;
+pub mod twitter;
+pub mod yelp;
+
+use jt_json::Value;
+
+/// Render a collection of documents as newline-delimited JSON.
+pub fn to_ndjson(docs: &[Value]) -> String {
+    let mut out = String::with_capacity(docs.len() * 64);
+    for d in docs {
+        out.push_str(&jt_json::to_string(d));
+        out.push('\n');
+    }
+    out
+}
+
+/// Deterministically shuffle documents (Fisher–Yates with a fixed-seed
+/// xorshift), used by the shuffled-TPC-H robustness experiment (§6.4).
+pub fn shuffle(docs: &mut [Value], seed: u64) {
+    // Pre-mix the seed so adjacent seeds give unrelated streams, and keep
+    // the xorshift state nonzero.
+    let mut state = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..docs.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        docs.swap(i, j);
+    }
+}
+
+/// Helper: build an object value tersely.
+pub(crate) fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ndjson_round_trips() {
+        let docs = vec![obj(vec![("a", Value::int(1))]), obj(vec![("b", Value::str("x"))])];
+        let text = to_ndjson(&docs);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(jt_json::parse(lines[0]).unwrap(), docs[0]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_permutation() {
+        let base: Vec<Value> = (0..100).map(Value::int).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        shuffle(&mut a, 42);
+        shuffle(&mut b, 42);
+        assert_eq!(a, b, "same seed, same permutation");
+        assert_ne!(a, base, "shuffle must move things");
+        let mut sorted = a.clone();
+        sorted.sort_by_key(|v| v.as_i64());
+        assert_eq!(sorted, base, "must be a permutation");
+        let mut c = base.clone();
+        shuffle(&mut c, 43);
+        assert_ne!(a, c, "different seeds differ");
+    }
+}

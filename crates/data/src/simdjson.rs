@@ -1,0 +1,311 @@
+//! Synthetic stand-ins for the SIMD-JSON benchmark files (paper §6.9).
+//!
+//! Figures 18–20 evaluate binary formats on "standardized JSON files from
+//! the SIMD-JSON repository". Those files are not bundled here, so each
+//! generator below reproduces the *shape* of its namesake — nesting depth,
+//! container fan-out, scalar type mix, string/number ratio — at a reduced
+//! size. The (de)serialization, size, and random-access comparisons depend
+//! only on these shape parameters.
+
+use crate::obj;
+use jt_json::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Names of all eight generated documents, in the order the paper's plots
+/// list them.
+pub const FILES: [&str; 8] = [
+    "apache", "canada", "gsoc-2018", "marine_ik", "mesh", "numbers", "random", "twitter_api",
+];
+
+/// Generate the named document. Panics on unknown names (see [`FILES`]).
+pub fn generate(name: &str) -> Value {
+    let mut rng = SmallRng::seed_from_u64(0x51D0 ^ name.len() as u64);
+    match name {
+        "apache" => apache_builds(&mut rng),
+        "canada" => canada(&mut rng),
+        "gsoc-2018" => gsoc(&mut rng),
+        "marine_ik" => marine_ik(&mut rng),
+        "mesh" => mesh(&mut rng),
+        "numbers" => numbers(&mut rng),
+        "random" => random(&mut rng),
+        "twitter_api" => twitter_api(&mut rng),
+        other => panic!("unknown SIMD-JSON file shape {other:?}"),
+    }
+}
+
+/// apache_builds.json: a flat-ish object with a large array of small,
+/// uniform objects full of short strings.
+fn apache_builds(rng: &mut SmallRng) -> Value {
+    let jobs: Vec<Value> = (0..300)
+        .map(|i| {
+            obj(vec![
+                ("name", Value::str(format!("build-job-{i}"))),
+                ("url", Value::str(format!("https://builds.example.org/job/{i}/"))),
+                ("color", Value::str(if rng.gen_bool(0.7) { "blue" } else { "red" })),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("assignedLabels", Value::Array(vec![obj(vec![])])),
+        ("mode", Value::str("EXCLUSIVE")),
+        ("nodeDescription", Value::str("the master Jenkins node")),
+        ("numExecutors", Value::int(0)),
+        ("useSecurity", Value::Bool(true)),
+        ("jobs", Value::Array(jobs)),
+    ])
+}
+
+/// canada.json: GeoJSON — deeply repeated arrays of [lon, lat] float pairs.
+fn canada(rng: &mut SmallRng) -> Value {
+    let rings: Vec<Value> = (0..40)
+        .map(|_| {
+            let pts: Vec<Value> = (0..120)
+                .map(|_| {
+                    Value::Array(vec![
+                        Value::float(-141.0 + rng.gen_range(0..880_000) as f64 / 10_000.0),
+                        Value::float(41.0 + rng.gen_range(0..420_000) as f64 / 10_000.0),
+                    ])
+                })
+                .collect();
+            Value::Array(pts)
+        })
+        .collect();
+    obj(vec![
+        ("type", Value::str("FeatureCollection")),
+        (
+            "features",
+            Value::Array(vec![obj(vec![
+                ("type", Value::str("Feature")),
+                ("properties", obj(vec![("name", Value::str("Canada"))])),
+                (
+                    "geometry",
+                    obj(vec![
+                        ("type", Value::str("Polygon")),
+                        ("coordinates", Value::Array(rings)),
+                    ]),
+                ),
+            ])]),
+        ),
+    ])
+}
+
+/// gsoc-2018.json: a large map of uniform medium-size objects.
+fn gsoc(rng: &mut SmallRng) -> Value {
+    let members: Vec<(String, Value)> = (0..150)
+        .map(|i| {
+            (
+                format!("{i}"),
+                obj(vec![
+                    ("@context", Value::str("http://schema.org")),
+                    ("@type", Value::str("SoftwareSourceCode")),
+                    ("name", Value::str(format!("Project {i}"))),
+                    ("description", Value::str(format!("A summer of code project number {i} with a reasonably long description text."))),
+                    ("sponsor", obj(vec![
+                        ("@type", Value::str("Organization")),
+                        ("name", Value::str(format!("Org {}", rng.gen_range(0..40)))),
+                    ])),
+                    ("author", obj(vec![
+                        ("@type", Value::str("Person")),
+                        ("name", Value::str(format!("Student {}", rng.gen_range(0..1000)))),
+                    ])),
+                ]),
+            )
+        })
+        .collect();
+    Value::Object(members)
+}
+
+/// marine_ik.json: 3D model — huge arrays of doubles plus index arrays.
+fn marine_ik(rng: &mut SmallRng) -> Value {
+    let verts: Vec<Value> = (0..3000).map(|_| Value::float(rng.gen_range(-10_000..10_000) as f64 / 997.0)).collect();
+    let faces: Vec<Value> = (0..1500).map(|_| Value::int(rng.gen_range(0..1000))).collect();
+    let quats: Vec<Value> = (0..800).map(|_| Value::float(rng.gen_range(-1_000_000..1_000_000) as f64 / 1e6)).collect();
+    obj(vec![
+        ("metadata", obj(vec![
+            ("version", Value::float(4.4)),
+            ("type", Value::str("Object")),
+            ("generator", Value::str("io_three")),
+        ])),
+        ("geometries", Value::Array(vec![obj(vec![
+            ("uuid", Value::str("0767A09A-F7B4-4D73-BC94-B99E2A7E7A27")),
+            ("type", Value::str("Geometry")),
+            ("data", obj(vec![
+                ("vertices", Value::Array(verts)),
+                ("faces", Value::Array(faces)),
+                ("quaternions", Value::Array(quats)),
+            ])),
+        ])])),
+    ])
+}
+
+/// mesh.json: arrays of numbers, mixed ints and floats.
+fn mesh(rng: &mut SmallRng) -> Value {
+    obj(vec![
+        ("positions", Value::Array((0..4000).map(|_| Value::float(rng.gen_range(-500_000..500_000) as f64 / 1000.0)).collect())),
+        ("indices", Value::Array((0..2000).map(|_| Value::int(rng.gen_range(0..1300))).collect())),
+        ("normals", Value::Array((0..4000).map(|_| Value::float(rng.gen_range(-1000..1000) as f64 / 1000.0)).collect())),
+    ])
+}
+
+/// numbers.json: a single flat array of doubles.
+fn numbers(rng: &mut SmallRng) -> Value {
+    Value::Array((0..8000).map(|_| Value::float(rng.gen_range(0..10_000_000) as f64 / 1234.0)).collect())
+}
+
+/// random.json: mixed everything with moderate nesting.
+fn random(rng: &mut SmallRng) -> Value {
+    let items: Vec<Value> = (0..400)
+        .map(|i| {
+            obj(vec![
+                ("id", Value::int(i as i64)),
+                ("name", Value::str(format!("entity-{i}"))),
+                ("active", Value::Bool(rng.gen_bool(0.5))),
+                ("score", Value::float(rng.gen_range(0..100_000) as f64 / 100.0)),
+                ("tags", Value::Array((0..rng.gen_range(0..5usize)).map(|t| Value::str(format!("tag{t}"))).collect())),
+                ("meta", if rng.gen_bool(0.3) { Value::Null } else {
+                    obj(vec![
+                        ("created", Value::str(format!("20{:02}-0{}-1{}", rng.gen_range(10..24), rng.gen_range(1..9), rng.gen_range(0..9)))),
+                        ("priority", Value::int(rng.gen_range(0..10))),
+                    ])
+                }),
+            ])
+        })
+        .collect();
+    Value::Array(items)
+}
+
+/// twitter_api.json: richly nested tweet objects (user, entities, …).
+fn twitter_api(rng: &mut SmallRng) -> Value {
+    let tweets: Vec<Value> = (0..120)
+        .map(|i| {
+            obj(vec![
+                ("created_at", Value::str("Mon Sep 24 03:35:21 +0000 2012")),
+                ("id", Value::int(250_000_000_000_000_000 + i as i64)),
+                ("id_str", Value::Str(format!("{}", 250_000_000_000_000_000i64 + i as i64))),
+                ("text", Value::str(format!("some example tweet text number {i} with #tags and @mentions included"))),
+                ("user", obj(vec![
+                    ("id", Value::int(rng.gen_range(0..100_000_000))),
+                    ("name", Value::str(format!("User Number {i}"))),
+                    ("screen_name", Value::str(format!("user_{i}"))),
+                    ("followers_count", Value::int(rng.gen_range(0..100_000))),
+                    ("friends_count", Value::int(rng.gen_range(0..5_000))),
+                    ("profile_image_url", Value::str("http://a0.twimg.com/profile_images/123/img_normal.jpeg")),
+                    ("verified", Value::Bool(rng.gen_bool(0.05))),
+                ])),
+                ("entities", obj(vec![
+                    ("hashtags", Value::Array((0..rng.gen_range(0..4usize)).map(|h| obj(vec![
+                        ("text", Value::str(format!("hashtag{h}"))),
+                        ("indices", Value::Array(vec![Value::int(10), Value::int(20)])),
+                    ])).collect())),
+                    ("urls", Value::Array(vec![])),
+                    ("user_mentions", Value::Array((0..rng.gen_range(0..3usize)).map(|m| obj(vec![
+                        ("screen_name", Value::str(format!("mention{m}"))),
+                        ("id", Value::int(m as i64 * 31)),
+                    ])).collect())),
+                ])),
+                ("retweet_count", Value::int(rng.gen_range(0..1000))),
+                ("favorited", Value::Bool(false)),
+                ("truncated", Value::Bool(false)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("statuses", Value::Array(tweets)),
+        ("search_metadata", obj(vec![
+            ("completed_in", Value::float(0.035)),
+            ("count", Value::int(100)),
+            ("query", Value::str("%23freebandnames")),
+        ])),
+    ])
+}
+
+/// Collect `count` random access paths (object keys / array indices mixed)
+/// that exist in `doc`, for the Fig. 20 random-access benchmark.
+pub fn sample_paths(doc: &Value, count: usize, seed: u64) -> Vec<Vec<String>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut paths = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut path = Vec::new();
+        let mut cur = doc;
+        loop {
+            match cur {
+                Value::Object(members) if !members.is_empty() => {
+                    let (k, v) = &members[rng.gen_range(0..members.len())];
+                    path.push(k.clone());
+                    cur = v;
+                }
+                Value::Array(elems) if !elems.is_empty() => {
+                    let i = rng.gen_range(0..elems.len());
+                    path.push(i.to_string());
+                    cur = &elems[i];
+                }
+                _ => break,
+            }
+            // Bias toward stopping early sometimes, to mix shallow/deep.
+            if rng.gen_bool(0.2) {
+                break;
+            }
+        }
+        paths.push(path);
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_files_generate_and_round_trip_text() {
+        for name in FILES {
+            let v = generate(name);
+            let text = jt_json::to_string(&v);
+            assert!(text.len() > 1000, "{name} too small: {}", text.len());
+            assert_eq!(jt_json::parse(&text).unwrap(), v, "{name} round trip");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        for name in FILES {
+            assert_eq!(generate(name), generate(name), "{name}");
+        }
+    }
+
+    #[test]
+    fn shapes_differ_meaningfully() {
+        // numbers is a flat array; twitter_api is a nested object.
+        assert!(matches!(generate("numbers"), Value::Array(_)));
+        let tw = generate("twitter_api");
+        assert!(tw.pointer(&["search_metadata", "count"]).is_some());
+        let canada = generate("canada");
+        assert!(canada
+            .pointer(&["features"])
+            .and_then(|f| f.get_index(0))
+            .and_then(|f| f.pointer(&["geometry", "coordinates"]))
+            .is_some());
+    }
+
+    #[test]
+    fn sampled_paths_resolve() {
+        let doc = generate("twitter_api");
+        for path in sample_paths(&doc, 50, 1) {
+            // Walk mixing object keys and array indices.
+            let mut cur = &doc;
+            for seg in &path {
+                cur = match cur {
+                    Value::Object(_) => cur.get(seg).expect("object key exists"),
+                    Value::Array(_) => cur.get_index(seg.parse().unwrap()).expect("index exists"),
+                    _ => panic!("path descends into scalar"),
+                };
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SIMD-JSON file shape")]
+    fn unknown_name_panics() {
+        generate("nope");
+    }
+}

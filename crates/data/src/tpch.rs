@@ -1,0 +1,470 @@
+//! JSONized TPC-H generator (paper §6.1).
+//!
+//! "We modify TPC-H such that every row of each table is represented as a
+//! JSON object with the column names as the keys of the object. To simulate
+//! a combined log data workload …, we combine the different structures of
+//! these multiple relations into a single one."
+//!
+//! Value distributions follow the TPC-H spec in spirit (uniform keys,
+//! date ranges 1992–1998, comment padding) at reduced scale; they do not
+//! claim spec compliance — the experiments measure storage and access
+//! behaviour, not query semantics of the official refresh functions.
+//! Monetary values are emitted as *decimal strings* (e.g. `"901.00"`), the
+//! representation §5.2 motivates, so the numeric-string detection and the
+//! `::Decimal` cast path are exercised exactly as in the paper's queries.
+
+use crate::obj;
+use jt_json::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knob: `scale = 1.0` ≈ 6000 lineitems (laptop-sized; the paper used
+/// SF1 with 6M). All row counts scale linearly except the tiny dimension
+/// tables.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchConfig {
+    /// Multiplier on the base row counts.
+    pub scale: f64,
+    /// RNG seed; fixed default for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale: 1.0, seed: 0x7C11 }
+    }
+}
+
+impl TpchConfig {
+    /// Lineitem row count at this scale.
+    pub fn lineitems(&self) -> usize {
+        ((6000.0 * self.scale) as usize).max(60)
+    }
+    /// Orders row count at this scale (¼ of lineitem, spec ratio).
+    pub fn orders(&self) -> usize {
+        (self.lineitems() / 4).max(15)
+    }
+    /// Customer row count.
+    pub fn customers(&self) -> usize {
+        (self.orders() / 10).max(10)
+    }
+    /// Part row count.
+    pub fn parts(&self) -> usize {
+        (self.orders() / 8).max(10)
+    }
+    /// Supplier row count.
+    pub fn suppliers(&self) -> usize {
+        (self.parts() / 8).max(5)
+    }
+    /// Partsupp row count (4 suppliers per part).
+    pub fn partsupps(&self) -> usize {
+        self.parts() * 4
+    }
+}
+
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const SHIP_INSTRUCT: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PART_TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "STANDARD POLISHED TIN",
+    "SMALL PLATED COPPER", "PROMO BURNISHED NICKEL", "MEDIUM BURNISHED STEEL",
+];
+const CONTAINERS: [&str; 5] = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
+const WORDS: [&str; 12] = [
+    "carefully", "quickly", "furiously", "silent", "pending", "final", "express",
+    "regular", "ironic", "special", "bold", "even",
+];
+
+fn comment(rng: &mut SmallRng, len: usize) -> Value {
+    let mut s = String::new();
+    while s.len() < len {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    Value::Str(s)
+}
+
+/// Render `days` since 1992-01-01 as an ISO date string (TPC-H range).
+pub fn date_str(days: i64) -> String {
+    // Simple proleptic calendar walk starting 1992-01-01.
+    let mut year = 1992i64;
+    let mut rem = days;
+    loop {
+        let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+        let ylen = if leap { 366 } else { 365 };
+        if rem < ylen {
+            break;
+        }
+        rem -= ylen;
+        year += 1;
+    }
+    let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+    let months = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let mut month = 1;
+    for m in months {
+        if rem < m {
+            break;
+        }
+        rem -= m;
+        month += 1;
+    }
+    format!("{year:04}-{month:02}-{:02}", rem + 1)
+}
+
+fn money(cents: i64) -> Value {
+    let sign = if cents < 0 { "-" } else { "" };
+    let c = cents.unsigned_abs();
+    Value::Str(format!("{sign}{}.{:02}", c / 100, c % 100))
+}
+
+/// All eight relations, generated separately (key sets use the spec's
+/// distinct column prefixes, so each relation has a disjoint implicit
+/// schema — exactly the paper's combined-log scenario).
+#[derive(Debug, Clone)]
+pub struct TpchData {
+    pub region: Vec<Value>,
+    pub nation: Vec<Value>,
+    pub supplier: Vec<Value>,
+    pub customer: Vec<Value>,
+    pub part: Vec<Value>,
+    pub partsupp: Vec<Value>,
+    pub orders: Vec<Value>,
+    pub lineitem: Vec<Value>,
+}
+
+impl TpchData {
+    /// Interleave all relations into one collection, mimicking the paper's
+    /// parallel bulk load: table blocks are chunked and round-robined, so
+    /// tiles see mostly-homogeneous runs with occasional structure changes.
+    pub fn combined(&self) -> Vec<Value> {
+        let tables: Vec<&Vec<Value>> = vec![
+            &self.lineitem, &self.orders, &self.customer, &self.part,
+            &self.partsupp, &self.supplier, &self.nation, &self.region,
+        ];
+        let chunk = 512;
+        let mut cursors = vec![0usize; tables.len()];
+        let mut out = Vec::with_capacity(tables.iter().map(|t| t.len()).sum());
+        loop {
+            let mut progressed = false;
+            for (t, cur) in tables.iter().zip(cursors.iter_mut()) {
+                if *cur < t.len() {
+                    let end = (*cur + chunk).min(t.len());
+                    out.extend_from_slice(&t[*cur..end]);
+                    *cur = end;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return out;
+            }
+        }
+    }
+
+    /// Fully shuffled combined collection (§6.4): no spatial locality at all.
+    pub fn shuffled(&self, seed: u64) -> Vec<Value> {
+        let mut docs = self.combined();
+        crate::shuffle(&mut docs, seed);
+        docs
+    }
+
+    /// Total document count across all relations.
+    pub fn total_rows(&self) -> usize {
+        self.lineitem.len() + self.orders.len() + self.customer.len() + self.part.len()
+            + self.partsupp.len() + self.supplier.len() + self.nation.len() + self.region.len()
+    }
+}
+
+/// Generate the full JSONized TPC-H data set.
+pub fn generate(cfg: TpchConfig) -> TpchData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    let region: Vec<Value> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            obj(vec![
+                ("r_regionkey", Value::int(i as i64)),
+                ("r_name", Value::str(*name)),
+                ("r_comment", comment(&mut rng, 20)),
+            ])
+        })
+        .collect();
+
+    let nation: Vec<Value> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            obj(vec![
+                ("n_nationkey", Value::int(i as i64)),
+                ("n_name", Value::str(*name)),
+                ("n_regionkey", Value::int(*region)),
+                ("n_comment", comment(&mut rng, 20)),
+            ])
+        })
+        .collect();
+
+    let n_supp = cfg.suppliers();
+    let supplier: Vec<Value> = (0..n_supp)
+        .map(|i| {
+            let nation = rng.gen_range(0..25i64);
+            obj(vec![
+                ("s_suppkey", Value::int(i as i64)),
+                ("s_name", Value::str(format!("Supplier#{i:09}"))),
+                ("s_address", Value::str(format!("addr {i}"))),
+                ("s_nationkey", Value::int(nation)),
+                ("s_phone", Value::str(format!("{}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 7) % 999, (i * 13) % 9999))),
+                ("s_acctbal", money(rng.gen_range(-99999..999999))),
+                ("s_comment", comment(&mut rng, 30)),
+            ])
+        })
+        .collect();
+
+    let n_cust = cfg.customers();
+    let customer: Vec<Value> = (0..n_cust)
+        .map(|i| {
+            let nation = rng.gen_range(0..25i64);
+            obj(vec![
+                ("c_custkey", Value::int(i as i64)),
+                ("c_name", Value::str(format!("Customer#{i:09}"))),
+                ("c_address", Value::str(format!("addr {i}"))),
+                ("c_nationkey", Value::int(nation)),
+                ("c_phone", Value::str(format!("{}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 3) % 999, (i * 11) % 9999))),
+                ("c_acctbal", money(rng.gen_range(-99999..999999))),
+                ("c_mktsegment", Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())])),
+                ("c_comment", comment(&mut rng, 40)),
+            ])
+        })
+        .collect();
+
+    let n_part = cfg.parts();
+    let part: Vec<Value> = (0..n_part)
+        .map(|i| {
+            obj(vec![
+                ("p_partkey", Value::int(i as i64)),
+                ("p_name", Value::str(format!("{} {} part", WORDS[i % WORDS.len()], WORDS[(i * 5) % WORDS.len()]))),
+                ("p_mfgr", Value::str(format!("Manufacturer#{}", 1 + i % 5))),
+                ("p_brand", Value::str(format!("Brand#{}{}", 1 + i % 5, 1 + (i / 5) % 5))),
+                ("p_type", Value::str(PART_TYPES[rng.gen_range(0..PART_TYPES.len())])),
+                ("p_size", Value::int(rng.gen_range(1..51))),
+                ("p_container", Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())])),
+                ("p_retailprice", money(90000 + (i as i64 % 200) * 100 + i as i64 % 100)),
+                ("p_comment", comment(&mut rng, 15)),
+            ])
+        })
+        .collect();
+
+    let partsupp: Vec<Value> = (0..cfg.partsupps())
+        .map(|i| {
+            let part = (i / 4) as i64;
+            obj(vec![
+                ("ps_partkey", Value::int(part)),
+                ("ps_suppkey", Value::int(((part as usize + 1 + (i % 4) * (n_supp / 4 + 1)) % n_supp) as i64)),
+                ("ps_availqty", Value::int(rng.gen_range(1..10000))),
+                ("ps_supplycost", money(rng.gen_range(100..100100))),
+                ("ps_comment", comment(&mut rng, 40)),
+            ])
+        })
+        .collect();
+
+    let n_orders = cfg.orders();
+    // Pre-draw order dates so lineitems can stay consistent with them.
+    let order_dates: Vec<i64> = (0..n_orders).map(|_| rng.gen_range(0..2405)).collect();
+    let mut order_totals = vec![0i64; n_orders];
+
+    let n_line = cfg.lineitems();
+    let lineitem: Vec<Value> = (0..n_line)
+        .map(|i| {
+            let orderkey = (i % n_orders) as i64;
+            let linenumber = (i / n_orders + 1) as i64;
+            let quantity = rng.gen_range(1..51i64);
+            let partkey = rng.gen_range(0..n_part as i64);
+            let extended = quantity * (90000 + (partkey % 200) * 100 + partkey % 100) / 10;
+            order_totals[orderkey as usize] += extended;
+            let discount = rng.gen_range(0..11i64); // 0.00 .. 0.10
+            let tax = rng.gen_range(0..9i64);
+            let odate = order_dates[orderkey as usize];
+            let shipdate = odate + rng.gen_range(1..122);
+            let commitdate = odate + rng.gen_range(30..92);
+            let receiptdate = shipdate + rng.gen_range(1..31);
+            let (returnflag, linestatus) = if shipdate > 2222 {
+                ("N", "O")
+            } else if rng.gen_bool(0.5) {
+                ("R", "F")
+            } else {
+                ("A", "F")
+            };
+            obj(vec![
+                ("l_orderkey", Value::int(orderkey)),
+                ("l_partkey", Value::int(partkey)),
+                ("l_suppkey", Value::int(rng.gen_range(0..n_supp as i64))),
+                ("l_linenumber", Value::int(linenumber)),
+                ("l_quantity", Value::int(quantity)),
+                ("l_extendedprice", money(extended)),
+                ("l_discount", Value::Str(format!("0.{discount:02}"))),
+                ("l_tax", Value::Str(format!("0.{tax:02}"))),
+                ("l_returnflag", Value::str(returnflag)),
+                ("l_linestatus", Value::str(linestatus)),
+                ("l_shipdate", Value::str(date_str(shipdate))),
+                ("l_commitdate", Value::str(date_str(commitdate))),
+                ("l_receiptdate", Value::str(date_str(receiptdate))),
+                ("l_shipinstruct", Value::str(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())])),
+                ("l_shipmode", Value::str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())])),
+                ("l_comment", comment(&mut rng, 20)),
+            ])
+        })
+        .collect();
+
+    let orders: Vec<Value> = (0..n_orders)
+        .map(|i| {
+            let odate = order_dates[i];
+            obj(vec![
+                ("o_orderkey", Value::int(i as i64)),
+                ("o_custkey", Value::int(rng.gen_range(0..n_cust as i64))),
+                ("o_orderstatus", Value::str(if odate > 2222 { "O" } else { "F" })),
+                ("o_totalprice", money(order_totals[i])),
+                ("o_orderdate", Value::str(date_str(odate))),
+                ("o_orderpriority", Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())])),
+                ("o_clerk", Value::str(format!("Clerk#{:09}", i % 1000))),
+                ("o_shippriority", Value::int(0)),
+                ("o_comment", comment(&mut rng, 30)),
+            ])
+        })
+        .collect();
+
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(TpchConfig::default());
+        let b = generate(TpchConfig::default());
+        assert_eq!(a.lineitem, b.lineitem);
+        assert_eq!(a.orders, b.orders);
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(TpchConfig { scale: 0.5, seed: 1 });
+        let big = generate(TpchConfig { scale: 2.0, seed: 1 });
+        assert!(big.lineitem.len() > 3 * small.lineitem.len());
+        assert_eq!(small.nation.len(), 25);
+        assert_eq!(small.region.len(), 5);
+    }
+
+    #[test]
+    fn lineitem_schema_complete() {
+        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        let li = &d.lineitem[0];
+        for key in [
+            "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
+            "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
+            "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
+            "l_shipmode", "l_comment",
+        ] {
+            assert!(li.get(key).is_some(), "missing {key}");
+        }
+        // Monetary values are canonical decimal strings.
+        let price = li.get("l_extendedprice").unwrap().as_str().unwrap();
+        assert!(jt_jsonb_detectable(price), "price {price} must be numeric-string");
+    }
+
+    fn jt_jsonb_detectable(s: &str) -> bool {
+        // Mirror of the §5.2 grammar without linking jt-jsonb from here.
+        let mut chars = s.chars();
+        let mut saw_digit = false;
+        let mut saw_dot = false;
+        let first = chars.next().unwrap();
+        if !(first.is_ascii_digit() || first == '-') {
+            return false;
+        }
+        saw_digit |= first.is_ascii_digit();
+        for c in chars {
+            if c == '.' {
+                if saw_dot {
+                    return false;
+                }
+                saw_dot = true;
+            } else if c.is_ascii_digit() {
+                saw_digit = true;
+            } else {
+                return false;
+            }
+        }
+        saw_digit
+    }
+
+    #[test]
+    fn foreign_keys_in_range() {
+        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        let n_orders = d.orders.len() as i64;
+        for li in &d.lineitem {
+            let ok = li.get("l_orderkey").unwrap().as_i64().unwrap();
+            assert!((0..n_orders).contains(&ok));
+        }
+        let n_cust = d.customer.len() as i64;
+        for o in &d.orders {
+            let ck = o.get("o_custkey").unwrap().as_i64().unwrap();
+            assert!((0..n_cust).contains(&ck));
+        }
+    }
+
+    #[test]
+    fn combined_contains_all_rows() {
+        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        assert_eq!(d.combined().len(), d.total_rows());
+        assert_eq!(d.shuffled(7).len(), d.total_rows());
+    }
+
+    #[test]
+    fn date_str_calendar() {
+        assert_eq!(date_str(0), "1992-01-01");
+        assert_eq!(date_str(31), "1992-02-01");
+        assert_eq!(date_str(59), "1992-02-29", "1992 is a leap year");
+        assert_eq!(date_str(60), "1992-03-01");
+        assert_eq!(date_str(366), "1993-01-01");
+        assert_eq!(date_str(366 + 365), "1994-01-01");
+    }
+
+    #[test]
+    fn order_totals_match_lineitems() {
+        let d = generate(TpchConfig { scale: 0.05, seed: 9 });
+        // Sum cents of lineitem prices per order 0 and compare.
+        let mut sum = 0i64;
+        for li in &d.lineitem {
+            if li.get("l_orderkey").unwrap().as_i64() == Some(0) {
+                let p = li.get("l_extendedprice").unwrap().as_str().unwrap();
+                let cents: i64 = p.replace('.', "").parse().unwrap();
+                sum += cents;
+            }
+        }
+        let total = d.orders[0].get("o_totalprice").unwrap().as_str().unwrap();
+        let total_cents: i64 = total.replace('.', "").parse().unwrap();
+        assert_eq!(sum, total_cents);
+    }
+}

@@ -1,0 +1,304 @@
+//! Twitter-like tweet generator (paper §2.2, §6.3).
+//!
+//! Reproduces the structural properties the paper's running example and
+//! Twitter experiments rely on:
+//!
+//! * **Attribute evolution**: replies appear from 2007, retweet counts from
+//!   2009, geo tags from 2010 — "documents tend to grow over time".
+//! * **Delete records** (~12%): a structurally disjoint document type
+//!   (`{"delete": {"status": …}}`) interleaved with tweets, exactly the
+//!   globally-infrequent structure Twitter query 2 aggregates.
+//! * **High-cardinality arrays**: `entities.hashtags` and
+//!   `entities.user_mentions` vary in length per tweet (§3.5 / Tiles-*).
+//! * **Optional geo object** on ~40% of modern tweets.
+
+use crate::obj;
+use jt_json::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TwitterConfig {
+    /// Number of documents (tweets + deletes).
+    pub docs: usize,
+    /// If true, the collection spans 2006→2013 and the schema evolves over
+    /// it ("Changing" in Table 4); otherwise all documents use the full
+    /// modern schema.
+    pub evolving: bool,
+    /// Fraction of delete records (paper's stream grab has ~10–15%).
+    pub delete_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TwitterConfig {
+    fn default() -> Self {
+        TwitterConfig {
+            docs: 20_000,
+            evolving: false,
+            delete_fraction: 0.12,
+            seed: 0x7717,
+        }
+    }
+}
+
+const HASHTAGS: [&str; 16] = [
+    "COVID", "news", "music", "sports", "love", "fashion", "food", "travel",
+    "art", "gaming", "tech", "science", "movies", "books", "fitness", "nature",
+];
+const MENTIONS: [&str; 12] = [
+    "ladygaga", "katyperry", "justinbieber", "barackobama", "taylorswift13",
+    "rihanna", "cristiano", "jtimberlake", "kimkardashian", "selenagomez",
+    "nasa", "cnnbrk",
+];
+const LANGS: [&str; 6] = ["en", "es", "ja", "pt", "de", "fr"];
+const WORDS: [&str; 14] = [
+    "just", "posted", "amazing", "day", "today", "really", "great", "new",
+    "watch", "this", "love", "best", "happy", "wow",
+];
+
+fn tweet_text(rng: &mut SmallRng, tags: &[usize], mentions: &[usize]) -> String {
+    let mut s = String::new();
+    for _ in 0..rng.gen_range(3..10) {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    for &t in tags {
+        s.push_str(" #");
+        s.push_str(HASHTAGS[t]);
+    }
+    for &m in mentions {
+        s.push_str(" @");
+        s.push_str(MENTIONS[m]);
+    }
+    s
+}
+
+/// The generated collection plus the ground truth counters that the query
+/// tests validate against.
+#[derive(Debug, Clone)]
+pub struct TwitterData {
+    /// The documents, in stream order.
+    pub docs: Vec<Value>,
+    /// Number of delete records.
+    pub deletes: usize,
+    /// Number of tweets whose hashtag array contains "COVID".
+    pub covid_tweets: usize,
+    /// Number of tweets mentioning @ladygaga.
+    pub ladygaga_mentions: usize,
+}
+
+/// Generate a tweet stream.
+pub fn generate(cfg: TwitterConfig) -> TwitterData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut docs = Vec::with_capacity(cfg.docs);
+    let mut deletes = 0;
+    let mut covid_tweets = 0;
+    let mut ladygaga_mentions = 0;
+
+    for i in 0..cfg.docs {
+        // Era: 0..1 across the stream; maps to 2006..2013 when evolving.
+        let era = i as f64 / cfg.docs.max(1) as f64;
+        let year = if cfg.evolving { 2006 + (era * 8.0) as i64 } else { 2020 };
+        let month = 1 + (i % 12) as i64;
+        let day = 1 + (i % 28) as i64;
+        let created = format!("{year:04}-{month:02}-{day:02}T{:02}:{:02}:00Z",
+                              i % 24, (i * 7) % 60);
+
+        if rng.gen_bool(cfg.delete_fraction) {
+            // Delete record: completely different structure.
+            deletes += 1;
+            docs.push(obj(vec![(
+                "delete",
+                obj(vec![
+                    (
+                        "status",
+                        obj(vec![
+                            ("id", Value::int(rng.gen_range(0..1 << 40))),
+                            ("user_id", Value::int(rng.gen_range(0..100_000))),
+                        ]),
+                    ),
+                    ("timestamp_ms", Value::Str(format!("{}", 1_500_000_000_000i64 + i as i64))),
+                ]),
+            )]));
+            continue;
+        }
+
+        let user_id = rng.gen_range(0..20_000i64);
+        let mut fields: Vec<(&str, Value)> = vec![
+            ("id", Value::int(i as i64)),
+            ("created_at", Value::str(created)),
+            (
+                "user",
+                obj(vec![
+                    ("id", Value::int(user_id)),
+                    ("name", Value::str(format!("user{user_id}"))),
+                    ("screen_name", Value::str(format!("u{user_id}"))),
+                    ("followers_count", Value::int((user_id * 37) % 1_000_000)),
+                    ("verified", Value::Bool(user_id % 97 == 0)),
+                ]),
+            ),
+            ("lang", Value::str(LANGS[rng.gen_range(0..LANGS.len())])),
+        ];
+
+        // Era-gated attributes (the §2.2 timeline).
+        let has_replies = !cfg.evolving || year >= 2007;
+        let has_retweets = !cfg.evolving || year >= 2009;
+        let has_geo = (!cfg.evolving || year >= 2010) && rng.gen_bool(0.4);
+        let has_entities = !cfg.evolving || year >= 2008;
+
+        if has_replies {
+            fields.push(("reply_count", Value::int(rng.gen_range(0..50))));
+        }
+        if has_retweets {
+            fields.push(("retweet_count", Value::int(rng.gen_range(0..5000))));
+        }
+        if has_geo {
+            fields.push((
+                "geo",
+                obj(vec![
+                    ("lat", Value::float((rng.gen_range(-90_000..90_000i64) as f64) / 1000.0)),
+                    ("lon", Value::float((rng.gen_range(-180_000..180_000i64) as f64) / 1000.0)),
+                ]),
+            ));
+        }
+
+        // High-cardinality arrays with varying lengths (0..6 / 0..4).
+        let n_tags = rng.gen_range(0..6usize);
+        let n_ment = rng.gen_range(0..4usize);
+        let tags: Vec<usize> = (0..n_tags).map(|_| rng.gen_range(0..HASHTAGS.len())).collect();
+        let ments: Vec<usize> = (0..n_ment).map(|_| rng.gen_range(0..MENTIONS.len())).collect();
+        if tags.iter().any(|&t| HASHTAGS[t] == "COVID") {
+            covid_tweets += 1;
+        }
+        if ments.iter().any(|&m| MENTIONS[m] == "ladygaga") {
+            ladygaga_mentions += 1;
+        }
+        let text = tweet_text(&mut rng, &tags, &ments);
+        fields.insert(1, ("text", Value::str(text)));
+
+        if has_entities {
+            fields.push((
+                "entities",
+                obj(vec![
+                    (
+                        "hashtags",
+                        Value::Array(
+                            tags.iter()
+                                .map(|&t| obj(vec![("text", Value::str(HASHTAGS[t]))]))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "user_mentions",
+                        Value::Array(
+                            ments
+                                .iter()
+                                .map(|&m| {
+                                    obj(vec![
+                                        ("screen_name", Value::str(MENTIONS[m])),
+                                        ("id", Value::int(m as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        docs.push(Value::Object(
+            fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+        ));
+    }
+
+    TwitterData {
+        docs,
+        deletes,
+        covid_tweets,
+        ladygaga_mentions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = generate(TwitterConfig::default());
+        let b = generate(TwitterConfig::default());
+        assert_eq!(a.docs, b.docs);
+    }
+
+    #[test]
+    fn delete_fraction_approximate() {
+        let d = generate(TwitterConfig { docs: 10_000, ..Default::default() });
+        let frac = d.deletes as f64 / 10_000.0;
+        assert!((0.09..0.15).contains(&frac), "fraction {frac}");
+        // Delete docs have the disjoint structure.
+        let del = d.docs.iter().find(|t| t.get("delete").is_some()).unwrap();
+        assert!(del.pointer(&["delete", "status", "id"]).is_some());
+        assert!(del.get("user").is_none());
+    }
+
+    #[test]
+    fn evolving_schema_gates_attributes() {
+        let d = generate(TwitterConfig { docs: 8000, evolving: true, ..Default::default() });
+        let tweets: Vec<&Value> = d.docs.iter().filter(|t| t.get("delete").is_none()).collect();
+        let early = &tweets[..tweets.len() / 10]; // ~2006
+        let late = &tweets[tweets.len() * 9 / 10..]; // ~2013
+        assert!(
+            early.iter().all(|t| t.get("retweet_count").is_none()),
+            "no retweets before 2009"
+        );
+        assert!(
+            late.iter().any(|t| t.get("retweet_count").is_some()),
+            "retweets exist late"
+        );
+        assert!(late.iter().any(|t| t.get("geo").is_some()), "geo exists late");
+        assert!(early.iter().all(|t| t.get("geo").is_none()), "no geo early");
+    }
+
+    #[test]
+    fn ground_truth_counts_match_docs() {
+        let d = generate(TwitterConfig { docs: 5000, ..Default::default() });
+        let covid = d
+            .docs
+            .iter()
+            .filter(|t| {
+                t.pointer(&["entities", "hashtags"])
+                    .and_then(|h| h.as_array())
+                    .is_some_and(|tags| {
+                        tags.iter().any(|tag| tag.get("text").and_then(|x| x.as_str()) == Some("COVID"))
+                    })
+            })
+            .count();
+        assert_eq!(covid, d.covid_tweets);
+        let gaga = d
+            .docs
+            .iter()
+            .filter(|t| {
+                t.pointer(&["entities", "user_mentions"])
+                    .and_then(|h| h.as_array())
+                    .is_some_and(|ms| {
+                        ms.iter()
+                            .any(|m| m.get("screen_name").and_then(|x| x.as_str()) == Some("ladygaga"))
+                    })
+            })
+            .count();
+        assert_eq!(gaga, d.ladygaga_mentions);
+    }
+
+    #[test]
+    fn modern_tweets_have_full_schema() {
+        let d = generate(TwitterConfig { docs: 1000, evolving: false, ..Default::default() });
+        let tweet = d.docs.iter().find(|t| t.get("delete").is_none()).unwrap();
+        for key in ["id", "text", "created_at", "user", "lang", "reply_count", "retweet_count", "entities"] {
+            assert!(tweet.get(key).is_some(), "missing {key}");
+        }
+        assert!(tweet.pointer(&["user", "followers_count"]).is_some());
+    }
+}

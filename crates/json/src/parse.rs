@@ -1,0 +1,519 @@
+//! Recursive-descent JSON parser over raw bytes.
+//!
+//! The parser is byte-oriented: ASCII structure characters are matched
+//! directly and string contents are validated as UTF-8 only when a string is
+//! materialized. This is the "raw parser" cost model of the paper's JSON
+//! baseline — accessing one attribute forces a full parse of the document.
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::value::{Number, Value};
+
+/// Parse a complete JSON document from a string slice.
+pub fn parse(input: &str) -> Result<Value> {
+    parse_bytes(input.as_bytes())
+}
+
+/// Parse a complete JSON document from raw bytes.
+pub fn parse_bytes(input: &[u8]) -> Result<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.err(ErrorKind::TrailingData));
+    }
+    Ok(v)
+}
+
+/// A resumable JSON parser.
+///
+/// Exposed so callers that parse many documents from one buffer (newline-
+/// delimited JSON ingestion in `jt-core`) can reuse position tracking.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    scratch: String,
+}
+
+impl<'a> Parser<'a> {
+    /// Maximum accepted nesting depth. Deeper documents fail with
+    /// [`ErrorKind::TooDeep`] instead of overflowing the stack.
+    pub const MAX_DEPTH: usize = 256;
+
+    /// Create a parser over `input` starting at offset 0.
+    pub fn new(input: &'a [u8]) -> Self {
+        Parser {
+            input,
+            pos: 0,
+            scratch: String::new(),
+        }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True once all input (ignoring trailing whitespace) is consumed.
+    pub fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.pos >= self.input.len()
+    }
+
+    /// Parse the next value from the current position (whitespace skipped).
+    /// Used for newline-delimited streams of documents.
+    pub fn parse_next(&mut self) -> Result<Value> {
+        self.parse_value(0)
+    }
+
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(kind, self.pos)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            Some(x) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::UnexpectedByte(x)))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value> {
+        if depth > Self::MAX_DEPTH {
+            return Err(self.err(ErrorKind::TooDeep));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal(b"true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal(b"false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal(b"null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(self.err(ErrorKind::UnexpectedByte(b))),
+        }
+    }
+
+    fn parse_literal(&mut self, lit: &[u8], v: Value) -> Result<Value> {
+        if self.input.len() - self.pos < lit.len() || &self.input[self.pos..self.pos + lit.len()] != lit {
+            return Err(self.err(ErrorKind::BadLiteral));
+        }
+        self.pos += lit.len();
+        Ok(v)
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value(depth + 1)?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(members)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedByte(b)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(elems));
+        }
+        loop {
+            let val = self.parse_value(depth + 1)?;
+            elems.push(val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(elems)),
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedByte(b)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        // Fast path: scan for the closing quote; fall back to the escape
+        // decoder only when a backslash or non-ASCII byte shows up.
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return match std::str::from_utf8(raw) {
+                        Ok(s) => Ok(s.to_owned()),
+                        Err(_) => Err(Error::new(ErrorKind::BadUtf8, start)),
+                    };
+                }
+                Some(b'\\') => break,
+                Some(b) if b < 0x20 => return Err(self.err(ErrorKind::BadEscape)),
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path with escapes.
+        self.scratch.clear();
+        let prefix = &self.input[start..self.pos];
+        match std::str::from_utf8(prefix) {
+            Ok(s) => self.scratch.push_str(s),
+            Err(_) => return Err(Error::new(ErrorKind::BadUtf8, start)),
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                Some(b'"') => return Ok(std::mem::take(&mut self.scratch)),
+                Some(b'\\') => self.parse_escape()?,
+                Some(b) if b < 0x20 => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::BadEscape));
+                }
+                Some(b) if b < 0x80 => self.scratch.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8 sequence: validate and copy it whole.
+                    let seq_start = self.pos - 1;
+                    let len = utf8_len(self.input[seq_start]);
+                    if len == 0 || seq_start + len > self.input.len() {
+                        return Err(Error::new(ErrorKind::BadUtf8, seq_start));
+                    }
+                    let seq = &self.input[seq_start..seq_start + len];
+                    match std::str::from_utf8(seq) {
+                        Ok(s) => self.scratch.push_str(s),
+                        Err(_) => return Err(Error::new(ErrorKind::BadUtf8, seq_start)),
+                    }
+                    self.pos = seq_start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<()> {
+        match self.bump() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'"') => {
+                self.scratch.push('"');
+                Ok(())
+            }
+            Some(b'\\') => {
+                self.scratch.push('\\');
+                Ok(())
+            }
+            Some(b'/') => {
+                self.scratch.push('/');
+                Ok(())
+            }
+            Some(b'b') => {
+                self.scratch.push('\u{8}');
+                Ok(())
+            }
+            Some(b'f') => {
+                self.scratch.push('\u{c}');
+                Ok(())
+            }
+            Some(b'n') => {
+                self.scratch.push('\n');
+                Ok(())
+            }
+            Some(b'r') => {
+                self.scratch.push('\r');
+                Ok(())
+            }
+            Some(b't') => {
+                self.scratch.push('\t');
+                Ok(())
+            }
+            Some(b'u') => {
+                let hi = self.parse_hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a following \uXXXX low surrogate.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err(ErrorKind::BadUnicode));
+                    }
+                    let lo = self.parse_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err(ErrorKind::BadUnicode));
+                    }
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(c).ok_or_else(|| self.err(ErrorKind::BadUnicode))?
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.err(ErrorKind::BadUnicode));
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err(ErrorKind::BadUnicode))?
+                };
+                self.scratch.push(ch);
+                Ok(())
+            }
+            Some(_) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::BadEscape))
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::BadUnicode));
+                }
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or [1-9][0-9]*.
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err(ErrorKind::BadNumber));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ErrorKind::BadNumber)),
+        }
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // The slice is pure ASCII digits/signs by construction.
+        let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::Int(i)));
+            }
+            // Integer literal out of i64 range: fall through to float,
+            // matching RFC 8259's double-precision interoperability note.
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Num(Number::Float(f))),
+            _ => Err(Error::new(ErrorKind::BadNumber, start)),
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence starting with `lead`, or 0 if invalid.
+#[inline]
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("42").unwrap(), Value::int(42));
+        assert_eq!(parse("-7").unwrap(), Value::int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::float(1000.0));
+        assert_eq!(parse("-1.5E-2").unwrap(), Value::float(-0.015));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::str("hi"));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
+        let v = parse(r#"[1, "two", null, [3]]"#).unwrap();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.get_index(3).unwrap().get_index(0).unwrap().as_i64(), Some(3));
+        let v = parse(r#"{"a": {"b": [1, 2]}}"#).unwrap();
+        assert_eq!(v.pointer(&["a", "b"]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let v = parse(" \t\n{ \"a\" :\r 1 , \"b\" : [ ] } \n").unwrap();
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(1));
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(
+            parse(r#""a\"b\\c\/d\b\f\n\r\t""#).unwrap(),
+            Value::str("a\"b\\c/d\u{8}\u{c}\n\r\t")
+        );
+        assert_eq!(parse(r#""A""#).unwrap(), Value::str("A"));
+        assert_eq!(parse(r#""é""#).unwrap(), Value::str("é"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse(r#""😀""#).unwrap(), Value::str("😀"));
+    }
+
+    #[test]
+    fn raw_utf8_in_strings() {
+        assert_eq!(parse("\"héllo wörld\"").unwrap(), Value::str("héllo wörld"));
+        assert_eq!(parse("\"日本語\"").unwrap(), Value::str("日本語"));
+        // Mixed escapes and multibyte.
+        assert_eq!(parse("\"日\\n本\"").unwrap(), Value::str("日\n本"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("{1: 2}").is_err());
+        assert!(parse("01").is_err());
+        assert!(parse("1.").is_err());
+        assert!(parse("-").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("\"abc").is_err());
+        assert!(parse("\"\\x\"").is_err());
+        assert!(parse("\"\\u12g4\"").is_err());
+        assert!(parse("\"\\ud800\"").is_err(), "lone high surrogate");
+        assert!(parse("\"\\udc00\"").is_err(), "lone low surrogate");
+        assert!(parse("1 2").is_err(), "trailing data");
+        assert!(parse("[1] []").is_err(), "trailing data");
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse("[1, x]").unwrap_err();
+        assert_eq!(e.offset, 4);
+        let e = parse("  {").unwrap_err();
+        assert_eq!(e.offset, 3);
+    }
+
+    #[test]
+    fn control_chars_rejected_raw_but_ok_escaped() {
+        assert!(parse("\"a\nb\"").is_err());
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Value::str("a\nb"));
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        let deep = "[".repeat(Parser::MAX_DEPTH + 2) + &"]".repeat(Parser::MAX_DEPTH + 2);
+        assert_eq!(parse(&deep).unwrap_err().kind, ErrorKind::TooDeep);
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn huge_int_degrades_to_float() {
+        let v = parse("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Num(Number::Float(_))));
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::int(i64::MAX));
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::int(i64::MIN));
+    }
+
+    #[test]
+    fn duplicate_keys_preserved() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.as_object().unwrap().len(), 2);
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn streaming_parse_next() {
+        let mut p = Parser::new(b" {\"a\":1}\n{\"a\":2}\n");
+        let a = p.parse_next().unwrap();
+        let b = p.parse_next().unwrap();
+        assert_eq!(a.get("a").unwrap().as_i64(), Some(1));
+        assert_eq!(b.get("a").unwrap().as_i64(), Some(2));
+        assert!(p.at_end());
+    }
+
+    #[test]
+    fn infinity_rejected() {
+        assert!(parse("1e999999").is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! The JSON document model.
+
+use std::fmt;
+
+/// A parsed JSON number.
+///
+/// RFC 8259 leaves number precision to the implementation. Matching §3.4 of
+/// the paper, we distinguish integers (stored as SQL `BigInt`, i.e. `i64`)
+/// from the remaining numerics (IEEE 754 double precision): itemset entries
+/// pair a key path with its *primitive type*, so `1` and `1.5` under the same
+/// key are different items during extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An integral number that fits in `i64`.
+    Int(i64),
+    /// Any other numeric value (fractions, exponents, out-of-range integers).
+    Float(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64`, widening integers.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Integer value, if this number is an integer.
+    #[inline]
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An in-memory JSON document.
+///
+/// Objects are stored as ordered `(key, value)` pairs: JSON tiles' key-path
+/// collection walks documents in input order, and the JSON baseline must
+/// print documents back out unchanged (modulo whitespace).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The `null` literal.
+    Null,
+    /// The `true` / `false` literals.
+    Bool(bool),
+    /// A JSON number.
+    Num(Number),
+    /// A JSON string (already unescaped).
+    Str(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object in input key order. Duplicate keys are preserved by the
+    /// parser; last-one-wins semantics are applied by lookups.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Convenience constructor for an integer value.
+    #[inline]
+    pub fn int(i: i64) -> Value {
+        Value::Num(Number::Int(i))
+    }
+
+    /// Convenience constructor for a float value.
+    #[inline]
+    pub fn float(f: f64) -> Value {
+        Value::Num(Number::Float(f))
+    }
+
+    /// Convenience constructor for a string value.
+    #[inline]
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True if this value is `null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string payload, if this is a string.
+    #[inline]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integral number.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    #[inline]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    #[inline]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The member list, if this is an object.
+    #[inline]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (last duplicate wins, mirroring PostgreSQL).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array element lookup.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(elems) => elems.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Walk a path of object keys, returning `None` as soon as a segment is
+    /// missing — the PostgreSQL `->` chain semantics the paper adopts (§4.1).
+    pub fn pointer(&self, path: &[&str]) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Number of direct children (object members or array elements).
+    pub fn len(&self) -> usize {
+        match self {
+            Value::Array(a) => a.len(),
+            Value::Object(o) => o.len(),
+            _ => 0,
+        }
+    }
+
+    /// True if this is an empty container or a scalar.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A short name of the primitive JSON type, used in error messages and
+    /// by the extraction type tags.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Num(Number::Int(_)) => "integer",
+            Value::Num(Number::Float(_)) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::print::to_string(self))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(pairs: &[(&str, Value)]) -> Value {
+        Value::Object(
+            pairs
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn get_returns_last_duplicate() {
+        let v = obj(&[("a", Value::int(1)), ("a", Value::int(2))]);
+        assert_eq!(v.get("a").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn get_missing_key_is_none() {
+        let v = obj(&[("a", Value::int(1))]);
+        assert!(v.get("b").is_none());
+        assert!(Value::int(3).get("a").is_none());
+    }
+
+    #[test]
+    fn pointer_walks_nesting() {
+        let v = obj(&[("geo", obj(&[("lat", Value::float(1.9))]))]);
+        assert_eq!(v.pointer(&["geo", "lat"]).unwrap().as_f64(), Some(1.9));
+        assert!(v.pointer(&["geo", "lon"]).is_none());
+        assert!(v.pointer(&["missing", "lat"]).is_none());
+    }
+
+    #[test]
+    fn array_indexing() {
+        let v = Value::Array(vec![Value::int(7), Value::str("x")]);
+        assert_eq!(v.get_index(0).unwrap().as_i64(), Some(7));
+        assert_eq!(v.get_index(1).unwrap().as_str(), Some("x"));
+        assert!(v.get_index(2).is_none());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::int(1).type_name(), "integer");
+        assert_eq!(Value::float(1.5).type_name(), "float");
+        assert_eq!(Value::Bool(true).type_name(), "boolean");
+        assert_eq!(Value::str("s").type_name(), "string");
+        assert_eq!(Value::Array(vec![]).type_name(), "array");
+        assert_eq!(Value::Object(vec![]).type_name(), "object");
+    }
+
+    #[test]
+    fn number_widening() {
+        assert_eq!(Number::Int(3).as_f64(), 3.0);
+        assert_eq!(Number::Int(3).as_i64(), Some(3));
+        assert_eq!(Number::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Value::Array(vec![Value::Null]).len(), 1);
+        assert!(Value::Object(vec![]).is_empty());
+        assert!(Value::int(1).is_empty());
+    }
+}

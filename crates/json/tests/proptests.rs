@@ -1,0 +1,53 @@
+//! Property-based tests: printing then parsing any value is the identity.
+
+use jt_json::{parse, to_string, to_string_pretty, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary JSON values with bounded depth and size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        // Finite floats only; NaN/inf are not representable in JSON.
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::float),
+        "\\PC{0,16}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("\\PC{0,8}", inner), 0..6)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_round_trip(v in arb_value()) {
+        let text = to_string(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_print_parse_round_trip(v in arb_value()) {
+        let text = to_string_pretty(&v);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_on_bytes(b in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = jt_json::parse_bytes(&b);
+    }
+}

@@ -1,0 +1,624 @@
+//! Zero-copy accessors over encoded JSONB buffers (paper §5.4).
+//!
+//! [`JsonbRef`] wraps a byte slice positioned at a value header. Object
+//! lookups binary-search the sorted key slots (O(log n)); array lookups use
+//! the offset table directly (O(1)). Both return new `JsonbRef`s pointing
+//! *into the same buffer*, so a chain of accesses never copies payload bytes.
+
+use crate::encode::f16_to_f64;
+use crate::numstr::NumericString;
+use crate::{read_uint, unzigzag, width_bytes, LIT_FALSE, LIT_NULL, LIT_TRUE};
+use jt_json::{Number, Value};
+
+/// The JSONB value kinds, mirroring RFC 8259 plus the numeric-string
+/// extension of §5.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonbKind {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool,
+    /// Integer (SQL BigInt).
+    Int,
+    /// Double-precision float (possibly stored narrowed).
+    Float,
+    /// Plain UTF-8 string.
+    String,
+    /// String that holds an exact decimal (stored as mantissa + scale).
+    NumStr,
+    /// JSON object with sorted keys.
+    Object,
+    /// JSON array.
+    Array,
+}
+
+/// A borrowed view of one JSONB value inside an encoded buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct JsonbRef<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> JsonbRef<'a> {
+    /// View the value starting at the beginning of `bytes`.
+    ///
+    /// `bytes` may extend past the value; the extent is derived from the
+    /// header. Panics (no UB) on truncated buffers.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        JsonbRef { bytes }
+    }
+
+    #[inline]
+    fn header(&self) -> u8 {
+        self.bytes[0]
+    }
+
+    #[inline]
+    fn tag(&self) -> u8 {
+        self.header() & 0xF0
+    }
+
+    #[inline]
+    fn meta(&self) -> u8 {
+        self.header() & 0x0F
+    }
+
+    /// The kind of this value.
+    pub fn kind(&self) -> JsonbKind {
+        match self.tag() {
+            0x00 => {
+                if self.meta() == LIT_NULL {
+                    JsonbKind::Null
+                } else {
+                    JsonbKind::Bool
+                }
+            }
+            0x10 => JsonbKind::Int,
+            0x20 => JsonbKind::Float,
+            0x30 => JsonbKind::String,
+            0x40 => JsonbKind::NumStr,
+            0x50 => JsonbKind::Object,
+            0x60 => JsonbKind::Array,
+            t => unreachable!("corrupt JSONB header tag {t:#x}"),
+        }
+    }
+
+    /// Total encoded size of this value in bytes.
+    pub fn extent(&self) -> usize {
+        match self.tag() {
+            0x00 => 1,
+            0x10 => 1 + int_payload_len(self.meta()),
+            0x20 => 1 + self.meta() as usize,
+            0x30 => {
+                let w = width_bytes(self.meta());
+                1 + w + read_uint(&self.bytes[1..], w)
+            }
+            0x40 => 1 + int_payload_len(self.meta()) + 1,
+            0x50 | 0x60 => {
+                let w = width_bytes(self.meta());
+                let n = read_uint(&self.bytes[1..], w);
+                let header = 1 + w + n * w;
+                if n == 0 {
+                    header
+                } else {
+                    let last = read_uint(&self.bytes[1 + w + (n - 1) * w..], w);
+                    header + last
+                }
+            }
+            t => unreachable!("corrupt JSONB header tag {t:#x}"),
+        }
+    }
+
+    /// The sub-slice holding exactly this value.
+    pub fn raw(&self) -> &'a [u8] {
+        &self.bytes[..self.extent()]
+    }
+
+    /// `true` if this value is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        self.kind() == JsonbKind::Null
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match (self.tag(), self.meta()) {
+            (0x00, LIT_TRUE) => Some(true),
+            (0x00, LIT_FALSE) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Integer payload (only for Int values; no coercion).
+    pub fn as_i64(&self) -> Option<i64> {
+        if self.tag() != 0x10 {
+            return None;
+        }
+        Some(self.read_int_payload())
+    }
+
+    #[inline]
+    fn read_int_payload(&self) -> i64 {
+        let meta = self.meta();
+        if meta < 8 {
+            meta as i64
+        } else {
+            let n = (meta - 7) as usize;
+            let mut v = 0u64;
+            for (i, b) in self.bytes[1..1 + n].iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            unzigzag(v)
+        }
+    }
+
+    /// Float payload, widened from the stored precision.
+    pub fn as_f64(&self) -> Option<f64> {
+        if self.tag() != 0x20 {
+            return None;
+        }
+        Some(match self.meta() {
+            2 => f16_to_f64(u16::from_le_bytes([self.bytes[1], self.bytes[2]])),
+            4 => f32::from_le_bytes(self.bytes[1..5].try_into().unwrap()) as f64,
+            _ => f64::from_le_bytes(self.bytes[1..9].try_into().unwrap()),
+        })
+    }
+
+    /// Numeric value of Int, Float, or NumStr values, widened to f64.
+    pub fn as_number(&self) -> Option<f64> {
+        match self.kind() {
+            JsonbKind::Int => self.as_i64().map(|i| i as f64),
+            JsonbKind::Float => self.as_f64(),
+            JsonbKind::NumStr => self.as_numeric_string().map(NumericString::to_f64),
+            _ => None,
+        }
+    }
+
+    /// Borrowed string payload (plain strings only — numeric strings need
+    /// reconstruction; use [`JsonbRef::as_text`]).
+    pub fn as_str(&self) -> Option<&'a str> {
+        if self.tag() != 0x30 {
+            return None;
+        }
+        let w = width_bytes(self.meta());
+        let len = read_uint(&self.bytes[1..], w);
+        let start = 1 + w;
+        // Encoded from valid UTF-8; skip re-validation on the hot path.
+        Some(unsafe { std::str::from_utf8_unchecked(&self.bytes[start..start + len]) })
+    }
+
+    /// The mantissa/scale pair of a numeric string.
+    pub fn as_numeric_string(&self) -> Option<NumericString> {
+        if self.tag() != 0x40 {
+            return None;
+        }
+        let meta = self.meta();
+        let (mantissa, scale_at) = if meta < 8 {
+            (meta as i64, 1usize)
+        } else {
+            let n = (meta - 7) as usize;
+            let mut v = 0u64;
+            for (i, b) in self.bytes[1..1 + n].iter().enumerate() {
+                v |= (*b as u64) << (8 * i);
+            }
+            (unzigzag(v), 1 + n)
+        };
+        Some(NumericString {
+            mantissa,
+            scale: self.bytes[scale_at],
+        })
+    }
+
+    /// String content of String *or* NumStr values, allocating only when the
+    /// text must be reconstructed.
+    pub fn as_text(&self) -> Option<std::borrow::Cow<'a, str>> {
+        match self.kind() {
+            JsonbKind::String => self.as_str().map(std::borrow::Cow::Borrowed),
+            JsonbKind::NumStr => self
+                .as_numeric_string()
+                .map(|n| std::borrow::Cow::Owned(n.to_text())),
+            _ => None,
+        }
+    }
+
+    /// Number of object members or array elements.
+    pub fn len(&self) -> usize {
+        match self.tag() {
+            0x50 | 0x60 => {
+                let w = width_bytes(self.meta());
+                read_uint(&self.bytes[1..], w)
+            }
+            _ => 0,
+        }
+    }
+
+    /// True for empty containers and all scalars.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Object member lookup by key — binary search over the sorted slots.
+    pub fn get(&self, key: &str) -> Option<JsonbRef<'a>> {
+        if self.tag() != 0x50 {
+            return None;
+        }
+        let w = width_bytes(self.meta());
+        let n = read_uint(&self.bytes[1..], w);
+        let offsets = 1 + w;
+        let slots = offsets + n * w;
+        let mut lo = 0usize;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let start = if mid == 0 {
+                0
+            } else {
+                read_uint(&self.bytes[offsets + (mid - 1) * w..], w)
+            };
+            let at = slots + start;
+            let klen = read_uint(&self.bytes[at..], w);
+            let kbytes = &self.bytes[at + w..at + w + klen];
+            match kbytes.cmp(key.as_bytes()) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Some(JsonbRef::new(&self.bytes[at + w + klen..]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Array element lookup by index — O(1) via the offset table.
+    pub fn get_index(&self, idx: usize) -> Option<JsonbRef<'a>> {
+        if self.tag() != 0x60 {
+            return None;
+        }
+        let w = width_bytes(self.meta());
+        let n = read_uint(&self.bytes[1..], w);
+        if idx >= n {
+            return None;
+        }
+        let offsets = 1 + w;
+        let slots = offsets + n * w;
+        let start = if idx == 0 {
+            0
+        } else {
+            read_uint(&self.bytes[offsets + (idx - 1) * w..], w)
+        };
+        Some(JsonbRef::new(&self.bytes[slots + start..]))
+    }
+
+    /// Walk a chain of object keys, PostgreSQL `->` semantics: `None` as
+    /// soon as a segment is absent or the current value is not an object.
+    pub fn get_path(&self, path: &[&str]) -> Option<JsonbRef<'a>> {
+        let mut cur = *self;
+        for seg in path {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Iterate `(key, value)` pairs of an object in sorted key order.
+    pub fn iter_object(&self) -> ObjectIter<'a> {
+        let (n, w) = match self.tag() {
+            0x50 => {
+                let w = width_bytes(self.meta());
+                (read_uint(&self.bytes[1..], w), w)
+            }
+            _ => (0, 1),
+        };
+        ObjectIter {
+            bytes: self.bytes,
+            w,
+            n,
+            i: 0,
+            slots: 1 + w + n * w,
+            cursor: 0,
+        }
+    }
+
+    /// Iterate elements of an array in order.
+    pub fn iter_array(&self) -> ArrayIter<'a> {
+        let (n, w) = match self.tag() {
+            0x60 => {
+                let w = width_bytes(self.meta());
+                (read_uint(&self.bytes[1..], w), w)
+            }
+            _ => (0, 1),
+        };
+        ArrayIter {
+            bytes: self.bytes,
+            w,
+            n,
+            i: 0,
+            slots: 1 + w + n * w,
+            cursor: 0,
+        }
+    }
+
+    /// Materialize this value as a document tree.
+    pub fn to_value(&self) -> Value {
+        match self.kind() {
+            JsonbKind::Null => Value::Null,
+            JsonbKind::Bool => Value::Bool(self.as_bool().unwrap()),
+            JsonbKind::Int => Value::Num(Number::Int(self.read_int_payload())),
+            JsonbKind::Float => Value::Num(Number::Float(self.as_f64().unwrap())),
+            JsonbKind::String => Value::Str(self.as_str().unwrap().to_owned()),
+            JsonbKind::NumStr => Value::Str(self.as_numeric_string().unwrap().to_text()),
+            JsonbKind::Array => Value::Array(self.iter_array().map(|v| v.to_value()).collect()),
+            JsonbKind::Object => Value::Object(
+                self.iter_object()
+                    .map(|(k, v)| (k.to_owned(), v.to_value()))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Serialize this value directly to JSON text, byte-identical to
+    /// `jt_json::to_string(&self.to_value())` but without building the tree.
+    pub fn write_json_text(&self, out: &mut String) {
+        match self.kind() {
+            JsonbKind::Null => out.push_str("null"),
+            JsonbKind::Bool => out.push_str(if self.as_bool().unwrap() { "true" } else { "false" }),
+            JsonbKind::Int => out.push_str(&self.read_int_payload().to_string()),
+            JsonbKind::Float => {
+                // Mirrors jt_json's printer: shortest round-trip form plus a
+                // ".0" marker when it would otherwise look integral.
+                let f = self.as_f64().unwrap();
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            }
+            JsonbKind::String => jt_json::write_escaped_str(out, self.as_str().unwrap()),
+            JsonbKind::NumStr => {
+                out.push('"');
+                self.as_numeric_string().unwrap().write_text(out);
+                out.push('"');
+            }
+            JsonbKind::Array => {
+                out.push('[');
+                for (i, e) in self.iter_array().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    e.write_json_text(out);
+                }
+                out.push(']');
+            }
+            JsonbKind::Object => {
+                out.push('{');
+                for (i, (k, v)) in self.iter_object().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    jt_json::write_escaped_str(out, k);
+                    out.push(':');
+                    v.write_json_text(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// JSON text of this value as a fresh string.
+    pub fn to_json_text(&self) -> String {
+        let mut s = String::with_capacity(self.extent() * 2);
+        self.write_json_text(&mut s);
+        s
+    }
+}
+
+#[inline]
+fn int_payload_len(meta: u8) -> usize {
+    if meta < 8 {
+        0
+    } else {
+        (meta - 7) as usize
+    }
+}
+
+/// Iterator over object members; see [`JsonbRef::iter_object`].
+pub struct ObjectIter<'a> {
+    bytes: &'a [u8],
+    w: usize,
+    n: usize,
+    i: usize,
+    slots: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for ObjectIter<'a> {
+    type Item = (&'a str, JsonbRef<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.i >= self.n {
+            return None;
+        }
+        let at = self.slots + self.cursor;
+        let klen = read_uint(&self.bytes[at..], self.w);
+        let key =
+            unsafe { std::str::from_utf8_unchecked(&self.bytes[at + self.w..at + self.w + klen]) };
+        let val = JsonbRef::new(&self.bytes[at + self.w + klen..]);
+        // Advance to the slot end recorded in the offset table.
+        let end = read_uint(&self.bytes[1 + self.w + self.i * self.w..], self.w);
+        self.cursor = end;
+        self.i += 1;
+        Some((key, val))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.n - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ObjectIter<'_> {}
+
+/// Iterator over array elements; see [`JsonbRef::iter_array`].
+pub struct ArrayIter<'a> {
+    bytes: &'a [u8],
+    w: usize,
+    n: usize,
+    i: usize,
+    slots: usize,
+    cursor: usize,
+}
+
+impl<'a> Iterator for ArrayIter<'a> {
+    type Item = JsonbRef<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.i >= self.n {
+            return None;
+        }
+        let val = JsonbRef::new(&self.bytes[self.slots + self.cursor..]);
+        let end = read_uint(&self.bytes[1 + self.w + self.i * self.w..], self.w);
+        self.cursor = end;
+        self.i += 1;
+        Some(val)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.n - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ArrayIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use jt_json::parse;
+
+    fn enc(text: &str) -> Vec<u8> {
+        encode(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn scalar_kinds_and_payloads() {
+        let b = enc("null");
+        assert!(JsonbRef::new(&b).is_null());
+        let b = enc("true");
+        assert_eq!(JsonbRef::new(&b).as_bool(), Some(true));
+        let b = enc("42");
+        assert_eq!(JsonbRef::new(&b).as_i64(), Some(42));
+        let b = enc("-42");
+        assert_eq!(JsonbRef::new(&b).as_i64(), Some(-42));
+        let b = enc("2.5");
+        assert_eq!(JsonbRef::new(&b).as_f64(), Some(2.5));
+        let b = enc(r#""hi""#);
+        assert_eq!(JsonbRef::new(&b).as_str(), Some("hi"));
+    }
+
+    #[test]
+    fn type_confusion_returns_none() {
+        let b = enc("42");
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.as_f64(), None);
+        assert_eq!(r.as_str(), None);
+        assert_eq!(r.as_bool(), None);
+        assert!(r.get("x").is_none());
+        assert!(r.get_index(0).is_none());
+    }
+
+    #[test]
+    fn object_lookup_sorted_binary_search() {
+        let b = enc(r#"{"delta":4,"alpha":1,"charlie":3,"bravo":2,"echo":5}"#);
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.len(), 5);
+        for (k, v) in [("alpha", 1), ("bravo", 2), ("charlie", 3), ("delta", 4), ("echo", 5)] {
+            assert_eq!(r.get(k).unwrap().as_i64(), Some(v), "key {k}");
+        }
+        assert!(r.get("aa").is_none());
+        assert!(r.get("zz").is_none());
+        assert!(r.get("char").is_none(), "prefix of a key is not a match");
+        assert!(r.get("charlies").is_none());
+    }
+
+    #[test]
+    fn array_random_access() {
+        let b = enc("[10,20,30,40]");
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.get_index(0).unwrap().as_i64(), Some(10));
+        assert_eq!(r.get_index(3).unwrap().as_i64(), Some(40));
+        assert!(r.get_index(4).is_none());
+    }
+
+    #[test]
+    fn nested_path() {
+        let b = enc(r#"{"user":{"geo":{"lat":1.5}},"id":7}"#);
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.get_path(&["user", "geo", "lat"]).unwrap().as_f64(), Some(1.5));
+        assert!(r.get_path(&["user", "geo", "lon"]).is_none());
+        assert!(r.get_path(&["user", "geo", "lat", "x"]).is_none());
+    }
+
+    #[test]
+    fn iterators_cover_all_members() {
+        let b = enc(r#"{"b":2,"a":1,"c":[true,null]}"#);
+        let r = JsonbRef::new(&b);
+        let keys: Vec<&str> = r.iter_object().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"], "sorted order");
+        let arr = r.get("c").unwrap();
+        let elems: Vec<_> = arr.iter_array().collect();
+        assert_eq!(elems.len(), 2);
+        assert_eq!(elems[0].as_bool(), Some(true));
+        assert!(elems[1].is_null());
+    }
+
+    #[test]
+    fn extent_matches_buffer() {
+        for t in [
+            "null",
+            "12345",
+            "1.25",
+            r#""some text""#,
+            r#""19.99""#,
+            r#"{"a":[1,{"b":"x"}],"c":2.5}"#,
+            "[]",
+        ] {
+            let b = enc(t);
+            assert_eq!(JsonbRef::new(&b).extent(), b.len(), "case {t}");
+        }
+    }
+
+    #[test]
+    fn text_serialization_matches_tree_path() {
+        for t in [
+            r#"{"b":2,"a":[1.5,"x","19.99",null,true],"n":-7}"#,
+            r#"{"nested":{"deep":{"€":"ünïcode"}}}"#,
+            "[]",
+            "{}",
+        ] {
+            let b = enc(t);
+            let r = JsonbRef::new(&b);
+            assert_eq!(r.to_json_text(), jt_json::to_string(&r.to_value()), "case {t}");
+        }
+    }
+
+    #[test]
+    fn numeric_string_access() {
+        let b = enc(r#""19.99""#);
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.kind(), JsonbKind::NumStr);
+        assert_eq!(r.as_text().unwrap(), "19.99");
+        assert_eq!(r.as_number(), Some(19.99));
+        assert_eq!(r.as_str(), None, "numeric strings are not plain strings");
+    }
+
+    #[test]
+    fn large_object_lookup() {
+        let members: Vec<String> = (0..1000).map(|i| format!("\"k{i:04}\":{i}")).collect();
+        let text = format!("{{{}}}", members.join(","));
+        let b = enc(&text);
+        let r = JsonbRef::new(&b);
+        assert_eq!(r.len(), 1000);
+        assert_eq!(r.get("k0500").unwrap().as_i64(), Some(500));
+        assert_eq!(r.get("k0999").unwrap().as_i64(), Some(999));
+        assert!(r.get("k1000").is_none());
+    }
+}

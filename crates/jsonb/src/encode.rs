@@ -1,0 +1,423 @@
+//! Two-pass JSONB transformation (paper §5.3) and the inverse decoder.
+//!
+//! Pass 1 walks the document depth-first — the order nested objects appear in
+//! the JSON text — computing the exact encoded size of every node into a
+//! side table. Pass 2 allocates once and writes, consuming the side table in
+//! the same traversal order. No on-the-fly resizing ever happens, which is
+//! the point of §5.3: inner objects are stored inside their parents, so a
+//! naive single pass would have to shift bytes every time an inner size
+//! becomes known.
+
+use crate::numstr::{detect_numeric_string, NumericString};
+use crate::{
+    uint_len, width_bytes, width_code_for, write_uint, zigzag, Tag, LIT_FALSE, LIT_NULL, LIT_TRUE,
+};
+use jt_json::{Number, Value};
+
+/// Encode a document into a fresh buffer.
+pub fn encode(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(v, &mut out);
+    out
+}
+
+/// Encode a document, appending to `out`. The buffer is reserved to the
+/// exact final size before any byte is written.
+pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
+    let mut sizes = SizeTable::default();
+    let total = measure(v, &mut sizes);
+    out.reserve(total);
+    let start = out.len();
+    let mut cursor = 0usize;
+    write_value(v, &sizes, &mut cursor, out);
+    debug_assert_eq!(out.len() - start, total, "sizing pass disagrees with write pass");
+}
+
+/// Exact encoded size of `v` in bytes, without encoding it.
+pub fn encoded_size(v: &Value) -> usize {
+    let mut sizes = SizeTable::default();
+    measure(v, &mut sizes)
+}
+
+/// Decode a JSONB buffer back into a document tree.
+///
+/// The result is the *normalized* document: object keys sorted, duplicate
+/// keys collapsed (last one wins), numeric strings restored to their exact
+/// original text. This matches PostgreSQL's jsonb semantics that the paper
+/// adopts (§5: whitespace and key order are the only properties lost).
+pub fn decode(bytes: &[u8]) -> Value {
+    crate::access::JsonbRef::new(bytes).to_value()
+}
+
+/// Per-container memo filled by the measuring pass and consumed in the same
+/// depth-first order by the write pass: `(total encoded bytes, width code)`.
+#[derive(Default)]
+struct SizeTable {
+    sizes: Vec<(u32, u8)>,
+}
+
+/// First pass: compute and record the encoded size of `v`.
+///
+/// Each *container* node pushes its slot area size and width code; scalars
+/// are cheap to re-measure so they are not recorded.
+fn measure(v: &Value, t: &mut SizeTable) -> usize {
+    match v {
+        Value::Null | Value::Bool(_) => 1,
+        Value::Num(n) => scalar_num_size(*n),
+        Value::Str(s) => match detect_numeric_string(s) {
+            Some(n) => numstr_size(n),
+            None => {
+                let w = width_bytes(width_code_for(s.len()));
+                1 + w + s.len()
+            }
+        },
+        Value::Array(elems) => {
+            let slot = t.sizes.len();
+            t.sizes.push((0, 0)); // placeholder
+            let mut payload = 0usize;
+            for e in elems {
+                payload += measure(e, t);
+            }
+            let (total, code) = container_total(elems.len(), payload, 0, false);
+            t.sizes[slot] = (total as u32, code);
+            total
+        }
+        Value::Object(members) => {
+            let slot = t.sizes.len();
+            t.sizes.push((0, 0));
+            // Normalized view: last duplicate wins, keys sorted. Both passes
+            // derive the same ordering, so sizes line up.
+            let ordered = normalize_members(members);
+            let mut payload = 0usize;
+            let mut keys = 0usize;
+            for &idx in &ordered {
+                let (k, val) = &members[idx];
+                keys += k.len();
+                payload += measure(val, t);
+            }
+            let (total, code) = container_total(ordered.len(), payload, keys, true);
+            t.sizes[slot] = (total as u32, code);
+            total
+        }
+    }
+}
+
+/// Total container size and width code for `n` entries with `payload` value
+/// bytes and `keys` key bytes. Solves the width/size fixpoint: offsets are
+/// relative to the slot area, whose size itself depends on the chosen width
+/// (objects additionally spend one width-sized key-length field per slot).
+fn container_total(n: usize, payload: usize, keys: usize, is_object: bool) -> (usize, u8) {
+    for code in 0..=2u8 {
+        let w = width_bytes(code);
+        let slots = payload + keys + if is_object { n * w } else { 0 };
+        let max_repr = match code {
+            0 => u8::MAX as usize,
+            1 => u16::MAX as usize,
+            _ => u32::MAX as usize,
+        };
+        if slots <= max_repr && n <= max_repr {
+            return (1 + w + n * w + slots, code);
+        }
+    }
+    panic!("document too large for JSONB (> 4 GiB container)");
+}
+
+/// Sort members by key (stable), keeping only the last occurrence of each
+/// duplicate key. Returns indices into the original member list.
+fn normalize_members(members: &[(String, Value)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..members.len()).collect();
+    // Last duplicate wins: walk from the back, keep first-seen-from-back.
+    let mut seen: Vec<usize> = Vec::with_capacity(members.len());
+    for i in (0..members.len()).rev() {
+        if !seen.iter().any(|&j| members[j].0 == members[i].0) {
+            seen.push(i);
+        }
+    }
+    idx.retain(|i| seen.contains(i));
+    idx.sort_by(|&a, &b| members[a].0.as_bytes().cmp(members[b].0.as_bytes()));
+    idx
+}
+
+fn scalar_num_size(n: Number) -> usize {
+    match n {
+        Number::Int(i) => {
+            if (0..8).contains(&i) {
+                1
+            } else {
+                1 + uint_len(zigzag(i))
+            }
+        }
+        Number::Float(f) => 1 + float_width(f),
+    }
+}
+
+fn numstr_size(n: NumericString) -> usize {
+    // header + scale byte + mantissa bytes (inline mantissas share the
+    // integer inline trick).
+    if (0..8).contains(&n.mantissa) {
+        2
+    } else {
+        2 + uint_len(zigzag(n.mantissa))
+    }
+}
+
+/// Narrowest lossless float width: 2 (half), 4 (single), or 8 bytes.
+fn float_width(f: f64) -> usize {
+    if f64_to_f16(f).is_some() {
+        2
+    } else if (f as f32) as f64 == f && !(f as f32).is_infinite() {
+        4
+    } else {
+        8
+    }
+}
+
+/// Convert to IEEE 754 half precision if the conversion is lossless.
+pub(crate) fn f64_to_f16(f: f64) -> Option<u16> {
+    let single = f as f32;
+    if single as f64 != f {
+        return None;
+    }
+    let bits = single.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+    if exp == 0 && frac == 0 {
+        return Some(sign); // ±0
+    }
+    let unbiased = exp - 127;
+    // Normal half-precision range with no fraction bits lost.
+    if (-14..=15).contains(&unbiased) && frac & 0x1FFF == 0 {
+        let h = sign | (((unbiased + 15) as u16) << 10) | ((frac >> 13) as u16);
+        return Some(h);
+    }
+    None
+}
+
+/// Expand an IEEE 754 half-precision value to f64.
+pub(crate) fn f16_to_f64(h: u16) -> f64 {
+    let sign = if h & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exp = ((h >> 10) & 0x1F) as i32;
+    let frac = (h & 0x3FF) as f64;
+    match exp {
+        0 => sign * frac * 2f64.powi(-24),
+        0x1F => {
+            if frac == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => sign * (1.0 + frac / 1024.0) * 2f64.powi(exp - 15),
+    }
+}
+
+/// Second pass: emit `v`, consuming container sizes from the memo in the
+/// same order `measure` recorded them.
+fn write_value(v: &Value, t: &SizeTable, cursor: &mut usize, out: &mut Vec<u8>) {
+    match v {
+        Value::Null => out.push(Tag::Literal as u8 | LIT_NULL),
+        Value::Bool(false) => out.push(Tag::Literal as u8 | LIT_FALSE),
+        Value::Bool(true) => out.push(Tag::Literal as u8 | LIT_TRUE),
+        Value::Num(Number::Int(i)) => write_int(Tag::Int, *i, out),
+        Value::Num(Number::Float(f)) => {
+            let width = float_width(*f);
+            out.push(Tag::Float as u8 | width as u8);
+            match width {
+                2 => out.extend_from_slice(&f64_to_f16(*f).expect("checked").to_le_bytes()),
+                4 => out.extend_from_slice(&(*f as f32).to_le_bytes()),
+                _ => out.extend_from_slice(&f.to_le_bytes()),
+            }
+        }
+        Value::Str(s) => match detect_numeric_string(s) {
+            Some(n) => {
+                write_int(Tag::NumStr, n.mantissa, out);
+                out.push(n.scale);
+            }
+            None => {
+                let code = width_code_for(s.len());
+                out.push(Tag::Str as u8 | code);
+                write_uint(out, s.len(), width_bytes(code));
+                out.extend_from_slice(s.as_bytes());
+            }
+        },
+        Value::Array(elems) => {
+            let (_total, code) = t.sizes[*cursor];
+            *cursor += 1;
+            let w = width_bytes(code);
+            out.push(Tag::Array as u8 | code);
+            write_uint(out, elems.len(), w);
+            let offsets_at = out.len();
+            for _ in 0..elems.len() {
+                write_uint(out, 0, w); // patched below
+            }
+            let slots_start = out.len();
+            for (i, e) in elems.iter().enumerate() {
+                write_value(e, t, cursor, out);
+                let end = out.len() - slots_start;
+                patch_offset(out, offsets_at + i * w, end, w);
+            }
+        }
+        Value::Object(members) => {
+            let (_total, code) = t.sizes[*cursor];
+            *cursor += 1;
+            let ordered = normalize_members(members);
+            let w = width_bytes(code);
+            out.push(Tag::Object as u8 | code);
+            write_uint(out, ordered.len(), w);
+            let offsets_at = out.len();
+            for _ in 0..ordered.len() {
+                write_uint(out, 0, w);
+            }
+            let slots_start = out.len();
+            for (i, &idx) in ordered.iter().enumerate() {
+                let (k, val) = &members[idx];
+                write_uint(out, k.len(), w);
+                out.extend_from_slice(k.as_bytes());
+                write_value(val, t, cursor, out);
+                let end = out.len() - slots_start;
+                patch_offset(out, offsets_at + i * w, end, w);
+            }
+        }
+    }
+}
+
+fn write_int(tag: Tag, v: i64, out: &mut Vec<u8>) {
+    if (0..8).contains(&v) {
+        out.push(tag as u8 | v as u8);
+    } else {
+        let z = zigzag(v);
+        let n = uint_len(z);
+        out.push(tag as u8 | (7 + n) as u8);
+        for i in 0..n {
+            out.push(((z >> (8 * i)) & 0xFF) as u8);
+        }
+    }
+}
+
+fn patch_offset(out: &mut [u8], at: usize, value: usize, w: usize) {
+    for i in 0..w {
+        out[at + i] = ((value >> (8 * i)) & 0xFF) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_json::parse;
+
+    fn rt(text: &str) -> Value {
+        let v = parse(text).unwrap();
+        let bytes = encode(&v);
+        assert_eq!(bytes.len(), encoded_size(&v), "size pass exact for {text}");
+        decode(&bytes)
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        for t in ["null", "true", "false", "0", "7", "8", "-1", "123456", "-9223372036854775808"] {
+            assert_eq!(rt(t), parse(t).unwrap(), "case {t}");
+        }
+    }
+
+    #[test]
+    fn float_round_trips_and_narrowing() {
+        // 1.5 fits half precision: header + 2 bytes.
+        let v = Value::float(1.5);
+        assert_eq!(encode(&v).len(), 3);
+        assert_eq!(decode(&encode(&v)), v);
+        // 1/3 needs full doubles.
+        let v = Value::float(1.0 / 3.0);
+        assert_eq!(encode(&v).len(), 9);
+        assert_eq!(decode(&encode(&v)), v);
+        // 2^-120 fits f32 exactly but not f16.
+        let v = Value::float(2f64.powi(-120));
+        assert_eq!(encode(&v).len(), 5);
+        assert_eq!(decode(&encode(&v)), v);
+    }
+
+    #[test]
+    fn small_int_inline() {
+        assert_eq!(encode(&Value::int(0)).len(), 1);
+        assert_eq!(encode(&Value::int(7)).len(), 1);
+        assert_eq!(encode(&Value::int(8)).len(), 2);
+        assert_eq!(encode(&Value::int(-1)).len(), 2);
+        assert_eq!(encode(&Value::int(i64::MAX)).len(), 9);
+    }
+
+    #[test]
+    fn string_round_trips() {
+        for t in [r#""""#, r#""hello""#, r#""héllo 😀""#] {
+            assert_eq!(rt(t), parse(t).unwrap(), "case {t}");
+        }
+    }
+
+    #[test]
+    fn numeric_string_compact_and_exact() {
+        let v = Value::str("19.99");
+        let b = encode(&v);
+        // header + scale + 2 mantissa bytes = 4, vs 1 + 1 + 5 = 7 raw.
+        assert_eq!(b.len(), 4);
+        assert_eq!(decode(&b), v);
+        // trailing zeros preserved
+        let v = Value::str("1.50");
+        assert_eq!(decode(&encode(&v)), v);
+        // non-canonical numerics stay plain strings
+        let v = Value::str("007");
+        assert_eq!(decode(&encode(&v)), v);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        for t in [
+            "[]",
+            "{}",
+            "[1,2,3]",
+            r#"{"a":1}"#,
+            r#"{"a":{"b":{"c":[1,[2],{"d":null}]}}}"#,
+            r#"[[],{},[{}],[[[1.5]]]]"#,
+        ] {
+            assert_eq!(rt(t), parse(t).unwrap(), "case {t}");
+        }
+    }
+
+    #[test]
+    fn object_keys_sorted_and_deduped() {
+        let v = parse(r#"{"b":1,"a":2,"b":3}"#).unwrap();
+        let d = decode(&encode(&v));
+        assert_eq!(d, parse(r#"{"a":2,"b":3}"#).unwrap());
+    }
+
+    #[test]
+    fn large_container_widths() {
+        // Force a 2-byte width: > 255 elements.
+        let v = Value::Array((0..300).map(Value::int).collect());
+        assert_eq!(decode(&encode(&v)), v);
+        // Large payload (string > 255 bytes) inside an object.
+        let v = Value::Object(vec![("k".into(), Value::str("x".repeat(70_000)))]);
+        assert_eq!(decode(&encode(&v)), v);
+    }
+
+    #[test]
+    fn f16_helpers() {
+        for f in [0.0, -0.0, 1.0, -1.0, 1.5, 0.25, 65504.0, 2f64.powi(-14)] {
+            let h = f64_to_f16(f).unwrap_or_else(|| panic!("{f} should fit f16"));
+            assert_eq!(f16_to_f64(h), f, "value {f}");
+        }
+        for f in [1.0 / 3.0, 1e-30, 65536.0, f64::MAX, 2f64.powi(-24)] {
+            assert!(f64_to_f16(f).is_none(), "{f} must not fit f16 (normals only)");
+        }
+    }
+
+    #[test]
+    fn empty_keys_allowed() {
+        let v = parse(r#"{"":1,"a":{"":2}}"#).unwrap();
+        assert_eq!(decode(&encode(&v)), v);
+    }
+
+    #[test]
+    fn nested_depth() {
+        let text = "[".repeat(64).to_string() + "1" + &"]".repeat(64);
+        assert_eq!(rt(&text), parse(&text).unwrap());
+    }
+}

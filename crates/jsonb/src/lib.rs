@@ -1,0 +1,175 @@
+//! # jt-jsonb — access-optimized binary JSON (paper §5)
+//!
+//! A from-scratch implementation of the paper's JSONB format. Design goals,
+//! straight from §5: fast lookups in objects and arrays, typed values, few
+//! cache misses, RFC 8259 conformance, and round-trip safety for everything
+//! except whitespace and object key order.
+//!
+//! Properties reproduced here:
+//!
+//! * **O(log n) object lookup** — object keys are sorted, so [`JsonbRef::get`]
+//!   binary-searches the offset table (§5.1, Figure 6).
+//! * **O(1) array access** — arrays carry an offset per element (§5.4).
+//! * **Forward-iterable, contiguous nesting** — nested objects and arrays are
+//!   stored inline in the parent's payload, so a full traversal never jumps
+//!   backwards in memory (§5.1).
+//! * **Size-minimal integers** — values `0..8` live inside the header byte;
+//!   larger magnitudes use the fewest bytes that hold the zig-zag encoding
+//!   (§5.1 "Numeric Integers").
+//! * **Float narrowing** — doubles that survive a lossless round trip through
+//!   half or single precision are stored in 2 or 4 bytes (§5.1 "Numeric
+//!   Floats").
+//! * **Numeric strings** — strings holding exact decimals (prices etc.) are
+//!   detected and stored as mantissa+scale so casts skip string parsing while
+//!   the original text is reconstructed exactly (§5.2).
+//! * **Two-pass transformation** — a sizing pass computes the exact byte size
+//!   of every node, then a write pass emits into a single exact-size
+//!   allocation; no buffer resizing or copying of inner objects (§5.3).
+//!
+//! ```
+//! use jt_jsonb::{encode, JsonbRef};
+//! let doc = jt_json::parse(r#"{"user": {"id": 42}, "tags": ["a", "b"]}"#).unwrap();
+//! let bytes = encode(&doc);
+//! let r = JsonbRef::new(&bytes);
+//! assert_eq!(r.get("user").unwrap().get("id").unwrap().as_i64(), Some(42));
+//! assert_eq!(r.get("tags").unwrap().get_index(1).unwrap().as_str(), Some("b"));
+//! ```
+
+mod access;
+mod encode;
+mod numstr;
+
+pub use access::{JsonbKind, JsonbRef, ObjectIter, ArrayIter};
+pub use encode::{decode, encode, encode_into, encoded_size};
+pub use numstr::{detect_numeric_string, NumericString};
+
+/// Type tag stored in the high nibble of every value header byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Tag {
+    /// `null` / `false` / `true`; the low nibble selects which.
+    Literal = 0x00,
+    /// Integer; low nibble encodes an inline value or a byte count.
+    Int = 0x10,
+    /// Float; low nibble is the stored width (2, 4 or 8 bytes).
+    Float = 0x20,
+    /// UTF-8 string; low nibble is the width of the length field.
+    Str = 0x30,
+    /// Numeric string (mantissa + scale); low nibble as for Int.
+    NumStr = 0x40,
+    /// Object; low nibble is the offset/count width code.
+    Object = 0x50,
+    /// Array; low nibble is the offset/count width code.
+    Array = 0x60,
+}
+
+pub(crate) const LIT_NULL: u8 = 0x00;
+pub(crate) const LIT_FALSE: u8 = 0x01;
+pub(crate) const LIT_TRUE: u8 = 0x02;
+
+/// Number of bytes for a container width code (`0 → 1`, `1 → 2`, `2 → 4`).
+#[inline]
+pub(crate) fn width_bytes(code: u8) -> usize {
+    1 << code
+}
+
+/// Smallest width code whose unsigned range covers `max`.
+#[inline]
+pub(crate) fn width_code_for(max: usize) -> u8 {
+    if max <= u8::MAX as usize {
+        0
+    } else if max <= u16::MAX as usize {
+        1
+    } else {
+        2
+    }
+}
+
+/// Read an unsigned little-endian integer of `n` bytes.
+#[inline]
+pub(crate) fn read_uint(bytes: &[u8], n: usize) -> usize {
+    let mut v = 0usize;
+    for (i, b) in bytes[..n].iter().enumerate() {
+        v |= (*b as usize) << (8 * i);
+    }
+    v
+}
+
+/// Write an unsigned little-endian integer of `n` bytes.
+#[inline]
+pub(crate) fn write_uint(out: &mut Vec<u8>, v: usize, n: usize) {
+    for i in 0..n {
+        out.push(((v >> (8 * i)) & 0xFF) as u8);
+    }
+}
+
+/// Zig-zag encode a signed integer so small magnitudes use few bytes.
+#[inline]
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Bytes needed to store `v` (at least 1).
+#[inline]
+pub(crate) fn uint_len(v: u64) -> usize {
+    if v == 0 {
+        return 1;
+    }
+    (64 - v.leading_zeros() as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_small_magnitudes_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn uint_len_boundaries() {
+        assert_eq!(uint_len(0), 1);
+        assert_eq!(uint_len(0xFF), 1);
+        assert_eq!(uint_len(0x100), 2);
+        assert_eq!(uint_len(u64::MAX), 8);
+    }
+
+    #[test]
+    fn width_codes() {
+        assert_eq!(width_code_for(0), 0);
+        assert_eq!(width_code_for(255), 0);
+        assert_eq!(width_code_for(256), 1);
+        assert_eq!(width_code_for(65535), 1);
+        assert_eq!(width_code_for(65536), 2);
+        assert_eq!(width_bytes(0), 1);
+        assert_eq!(width_bytes(1), 2);
+        assert_eq!(width_bytes(2), 4);
+    }
+
+    #[test]
+    fn uint_read_write_round_trip() {
+        for (v, n) in [(0usize, 1usize), (255, 1), (65535, 2), (1 << 20, 4)] {
+            let mut buf = Vec::new();
+            write_uint(&mut buf, v, n);
+            assert_eq!(buf.len(), n);
+            assert_eq!(read_uint(&buf, n), v);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Detection of exact decimal numbers hidden in JSON strings (paper §5.2).
+//!
+//! RFC 8259 does not pin down number precision, so applications store exact
+//! values — prices, account balances — as strings. We detect such strings at
+//! encode time and store them as `(mantissa, scale)` pairs. Round-trip safety
+//! holds because the accepted grammar is canonical: the original text is the
+//! unique rendering of its mantissa and scale.
+
+/// An exact decimal recovered from a string: `text == mantissa / 10^scale`
+/// rendered with exactly `scale` fractional digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumericString {
+    /// Signed integer mantissa (all digits with the point removed).
+    pub mantissa: i64,
+    /// Number of digits after the decimal point; `0` means the text had no
+    /// decimal point at all.
+    pub scale: u8,
+}
+
+impl NumericString {
+    /// Render the exact original string.
+    pub fn to_text(self) -> String {
+        let mut s = String::with_capacity(24);
+        self.write_text(&mut s);
+        s
+    }
+
+    /// Append the exact original string to `out`.
+    pub fn write_text(self, out: &mut String) {
+        if self.scale == 0 {
+            out.push_str(&self.mantissa.to_string());
+            return;
+        }
+        let neg = self.mantissa < 0;
+        let digits = self.mantissa.unsigned_abs().to_string();
+        let scale = self.scale as usize;
+        if neg {
+            out.push('-');
+        }
+        if digits.len() > scale {
+            let split = digits.len() - scale;
+            out.push_str(&digits[..split]);
+            out.push('.');
+            out.push_str(&digits[split..]);
+        } else {
+            // e.g. mantissa 5, scale 2 → "0.05".
+            out.push_str("0.");
+            for _ in 0..scale - digits.len() {
+                out.push('0');
+            }
+            out.push_str(&digits);
+        }
+    }
+
+    /// The value as a float (lossy for > 2^53 mantissas; used for casts).
+    pub fn to_f64(self) -> f64 {
+        self.mantissa as f64 / 10f64.powi(self.scale as i32)
+    }
+
+    /// The value as an integer if it has no fractional part.
+    pub fn to_i64(self) -> Option<i64> {
+        if self.scale == 0 {
+            return Some(self.mantissa);
+        }
+        let div = 10i64.checked_pow(self.scale as u32)?;
+        if self.mantissa % div == 0 {
+            Some(self.mantissa / div)
+        } else {
+            None
+        }
+    }
+}
+
+/// Try to interpret `s` as a canonical exact decimal.
+///
+/// Accepted grammar (a strict subset of the JSON number grammar — no
+/// exponents, no leading zeros, no `-0`): `-? (0 | [1-9][0-9]*) (\.[0-9]+)?`
+/// with ≤ 18 total digits so the mantissa fits an `i64`. Returns `None` for
+/// everything else; the string is then stored verbatim.
+pub fn detect_numeric_string(s: &str) -> Option<NumericString> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    let neg = b.first() == Some(&b'-');
+    if neg {
+        i = 1;
+    }
+    if i >= b.len() {
+        return None;
+    }
+    let int_start = i;
+    if b[i] == b'0' {
+        i += 1;
+        // "0" may only be followed by a decimal point: rejects "007" whose
+        // mantissa/scale rendering would not round-trip.
+        if i < b.len() && b[i] != b'.' {
+            return None;
+        }
+    } else if b[i].is_ascii_digit() {
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    } else {
+        return None;
+    }
+    let int_digits = i - int_start;
+    let mut scale = 0usize;
+    if i < b.len() {
+        if b[i] != b'.' {
+            return None;
+        }
+        i += 1;
+        let frac_start = i;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+        scale = i - frac_start;
+        if scale == 0 || i != b.len() {
+            return None;
+        }
+    }
+    if int_digits + scale > 18 || scale > u8::MAX as usize {
+        return None;
+    }
+    // "-0" and "-0.000…0" would render back without the sign; reject the
+    // former and allow "-0.5"-style values (nonzero mantissa keeps the sign).
+    let mut mantissa: i64 = 0;
+    for &d in b[int_start..].iter() {
+        if d == b'.' {
+            continue;
+        }
+        mantissa = mantissa * 10 + (d - b'0') as i64;
+    }
+    if neg {
+        if mantissa == 0 {
+            return None;
+        }
+        mantissa = -mantissa;
+    }
+    Some(NumericString {
+        mantissa,
+        scale: scale as u8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trips(s: &str) {
+        let n = detect_numeric_string(s).unwrap_or_else(|| panic!("{s} not detected"));
+        assert_eq!(n.to_text(), s, "round trip of {s}");
+    }
+
+    #[test]
+    fn detects_and_round_trips_canonical_decimals() {
+        for s in [
+            "0", "1", "-1", "42", "100", "-100", "0.5", "-0.5", "1.50", "19.99", "0.001",
+            "123456789.123456789", "999999999999999999",
+        ] {
+            round_trips(s);
+        }
+    }
+
+    #[test]
+    fn trailing_fraction_zeros_preserved() {
+        let n = detect_numeric_string("1.50").unwrap();
+        assert_eq!(n, NumericString { mantissa: 150, scale: 2 });
+        assert_eq!(n.to_text(), "1.50");
+    }
+
+    #[test]
+    fn rejects_non_canonical() {
+        for s in [
+            "", "-", "abc", "1e5", "1E5", "+1", "007", "00", "-0", ".5", "5.", "1.",
+            "1.2.3", "1 ", " 1", "0x10", "--1", "1_000", "9999999999999999999",
+            "0.0000000000000000001234567",
+        ] {
+            assert!(detect_numeric_string(s).is_none(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_minus_zero_fraction_with_nonzero_digits() {
+        round_trips("-0.01");
+        assert!(detect_numeric_string("-0.00").is_none(), "sign would be lost");
+    }
+
+    #[test]
+    fn casts() {
+        let n = detect_numeric_string("19.99").unwrap();
+        assert!((n.to_f64() - 19.99).abs() < 1e-12);
+        assert_eq!(n.to_i64(), None);
+        assert_eq!(detect_numeric_string("20.00").unwrap().to_i64(), Some(20));
+        assert_eq!(detect_numeric_string("-7").unwrap().to_i64(), Some(-7));
+    }
+
+    #[test]
+    fn leading_zero_fraction() {
+        round_trips("0.05");
+        let n = detect_numeric_string("0.05").unwrap();
+        assert_eq!(n, NumericString { mantissa: 5, scale: 2 });
+    }
+
+    #[test]
+    fn eighteen_digit_limit() {
+        assert!(detect_numeric_string("123456789012345678").is_some());
+        assert!(detect_numeric_string("1234567890123456789").is_none());
+        assert!(detect_numeric_string("1234567890.12345678").is_some());
+        assert!(detect_numeric_string("1234567890.123456789").is_none());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: JSONB encoding is lossless modulo key order/duplicates,
+//! the sizing pass is exact, and accessors agree with the tree model.
+
+use jt_json::Value;
+use jt_jsonb::{decode, encode, encoded_size, JsonbRef};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::float),
+        "\\PC{0,16}".prop_map(Value::str),
+        // Strings that look numeric, to exercise the NumStr path.
+        (any::<i32>(), 0u8..4).prop_map(|(m, s)| {
+            let n = jt_jsonb::NumericString { mantissa: m as i64, scale: s };
+            Value::Str(n.to_text())
+        }),
+    ];
+    leaf.prop_recursive(4, 48, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-e]{0,3}", inner), 0..5)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    })
+}
+
+/// Normalize a tree the way JSONB does: sort object keys, last dup wins.
+fn normalize(v: &Value) -> Value {
+    match v {
+        Value::Object(members) => {
+            let mut keep: Vec<(String, Value)> = Vec::new();
+            for i in (0..members.len()).rev() {
+                if !keep.iter().any(|(k, _)| *k == members[i].0) {
+                    keep.push((members[i].0.clone(), normalize(&members[i].1)));
+                }
+            }
+            keep.sort_by(|a, b| a.0.as_bytes().cmp(b.0.as_bytes()));
+            Value::Object(keep)
+        }
+        Value::Array(elems) => Value::Array(elems.iter().map(normalize).collect()),
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_is_normalization(v in arb_value()) {
+        let bytes = encode(&v);
+        prop_assert_eq!(decode(&bytes), normalize(&v));
+    }
+
+    #[test]
+    fn sizing_pass_is_exact(v in arb_value()) {
+        let bytes = encode(&v);
+        prop_assert_eq!(bytes.len(), encoded_size(&v));
+        prop_assert_eq!(JsonbRef::new(&bytes).extent(), bytes.len());
+    }
+
+    #[test]
+    fn every_object_key_is_gettable(v in arb_value()) {
+        let bytes = encode(&v);
+        let r = JsonbRef::new(&bytes);
+        if let Value::Object(members) = normalize(&v) {
+            for (k, val) in &members {
+                let got = r.get(k).expect("key must be found");
+                prop_assert_eq!(&got.to_value(), val);
+            }
+        }
+    }
+
+    #[test]
+    fn every_array_index_is_gettable(v in arb_value()) {
+        let bytes = encode(&v);
+        let r = JsonbRef::new(&bytes);
+        if let Value::Array(elems) = normalize(&v) {
+            for (i, e) in elems.iter().enumerate() {
+                prop_assert_eq!(&r.get_index(i).unwrap().to_value(), e);
+            }
+            prop_assert!(r.get_index(elems.len()).is_none());
+        }
+    }
+
+    #[test]
+    fn text_serialization_agrees_with_tree(v in arb_value()) {
+        let bytes = encode(&v);
+        let r = JsonbRef::new(&bytes);
+        prop_assert_eq!(r.to_json_text(), jt_json::to_string(&r.to_value()));
+    }
+
+    #[test]
+    fn jsonb_text_reparses_to_same_tree(v in arb_value()) {
+        let bytes = encode(&v);
+        let text = JsonbRef::new(&bytes).to_json_text();
+        let reparsed = jt_json::parse(&text).unwrap();
+        prop_assert_eq!(reparsed, decode(&bytes));
+    }
+}

@@ -1,0 +1,378 @@
+//! Pushed-down JSON access expressions (paper §4.2, §4.3, §4.5).
+//!
+//! An [`Access`] is a placeholder handed to the table scan: a key path plus
+//! the SQL type the query casts to. Per tile, [`resolve_access`] decides
+//! once whether an extracted column serves it (and whether null entries
+//! require the binary fallback of §3.4) — "since it is expensive to
+//! calculate the availability of materialized columns per tuple, the
+//! calculation is performed once per tile".
+
+use crate::scalar::Scalar;
+use jt_core::{AccessType, KeyPath, StorageMode, Tile};
+use jt_json::Value;
+use jt_jsonb::{JsonbKind, JsonbRef};
+
+/// One pushed-down access: `data ->> path :: ty`, named for reference from
+/// expressions higher in the plan.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Slot name used by expressions (e.g. `"l_quantity"`).
+    pub name: String,
+    /// The key path into the JSON column.
+    pub path: KeyPath,
+    /// Requested SQL type (cast rewriting, §4.3).
+    pub ty: AccessType,
+}
+
+impl Access {
+    /// Build an access; `path` uses dotted notation (`"user.id"`).
+    pub fn new(name: &str, path: &str, ty: AccessType) -> Access {
+        Access {
+            name: name.to_owned(),
+            path: parse_dotted_path(path),
+            ty,
+        }
+    }
+}
+
+/// Parse `"a.b.c"` / `"tags[0].text"` into a [`KeyPath`].
+pub fn parse_dotted_path(s: &str) -> KeyPath {
+    let mut path = KeyPath::root();
+    for part in s.split('.') {
+        let mut rest = part;
+        // Leading key (may be empty when the part is pure index like "[0]").
+        if let Some(bracket) = rest.find('[') {
+            if bracket > 0 {
+                path = path.child(&rest[..bracket]);
+            }
+            rest = &rest[bracket..];
+            while let Some(stripped) = rest.strip_prefix('[') {
+                let end = stripped.find(']').expect("unclosed [ in path");
+                path = path.index(stripped[..end].parse().expect("numeric index"));
+                rest = &stripped[end + 1..];
+            }
+        } else {
+            path = path.child(rest);
+        }
+    }
+    path
+}
+
+/// The per-tile resolution of one access (§4.5), cached for all rows.
+#[derive(Debug, Clone, Copy)]
+pub enum ResolvedAccess {
+    /// Served by extracted column `col`; `fallback` tells whether null
+    /// entries must consult the binary document (nullable or other-typed
+    /// columns, §4.4).
+    Column {
+        /// Index into the tile's column chunks.
+        col: usize,
+        /// Whether a null column entry requires the binary fallback.
+        fallback: bool,
+    },
+    /// Served by binary JSONB lookups.
+    Binary,
+    /// Served by parsing the raw JSON text (the `JSON` baseline).
+    Text,
+}
+
+/// Resolve an access against one tile.
+pub fn resolve_access(tile: &Tile, access: &Access, mode: StorageMode) -> ResolvedAccess {
+    match mode {
+        StorageMode::JsonText => ResolvedAccess::Text,
+        StorageMode::Jsonb => ResolvedAccess::Binary,
+        StorageMode::Sinew | StorageMode::Tiles => {
+            match tile.find_column(&access.path, access.ty) {
+                Some(col) => {
+                    let meta = &tile.header.columns[col];
+                    ResolvedAccess::Column {
+                        col,
+                        fallback: meta.nullable || meta.other_typed,
+                    }
+                }
+                None => ResolvedAccess::Binary,
+            }
+        }
+    }
+}
+
+/// Evaluate a resolved access for row `row` of `tile`.
+pub fn eval_access(tile: &Tile, plan: ResolvedAccess, access: &Access, row: usize) -> Scalar {
+    match plan {
+        ResolvedAccess::Column { col, fallback } => {
+            let chunk = tile.column(col);
+            if chunk.is_null(row) {
+                // §3.4: null in the extract means absent *or* differently
+                // typed — the binary document is the source of truth.
+                if fallback {
+                    return eval_binary(tile, access, row);
+                }
+                return Scalar::Null;
+            }
+            match access.ty {
+                AccessType::Int => chunk.get_i64(row).map_or(Scalar::Null, Scalar::Int),
+                AccessType::Float | AccessType::Numeric => {
+                    chunk.get_f64(row).map_or(Scalar::Null, Scalar::Float)
+                }
+                AccessType::Bool => chunk.get_bool(row).map_or(Scalar::Null, Scalar::Bool),
+                AccessType::Text => match chunk.get_text(row) {
+                    Some(t) => Scalar::str(&t),
+                    // Date columns cannot reproduce their text (§4.9).
+                    None => eval_binary(tile, access, row),
+                },
+                AccessType::Timestamp => match chunk.get_date(row) {
+                    Some(ts) => Scalar::Timestamp(ts),
+                    // A string column serving a timestamp cast: parse.
+                    None => chunk
+                        .get_str(row)
+                        .and_then(jt_core::parse_timestamp)
+                        .map_or(Scalar::Null, Scalar::Timestamp),
+                },
+                AccessType::Json => eval_binary(tile, access, row),
+            }
+        }
+        ResolvedAccess::Binary => eval_binary(tile, access, row),
+        ResolvedAccess::Text => {
+            let text = tile.doc_text(row).expect("text mode stores text");
+            // The paper's JSON baseline: every access pays a full parse.
+            let doc = jt_json::parse(text).expect("stored text is valid JSON");
+            match access.path.resolve(&doc) {
+                Some(v) => cast_value(v, access.ty),
+                None => Scalar::Null,
+            }
+        }
+    }
+}
+
+fn eval_binary(tile: &Tile, access: &Access, row: usize) -> Scalar {
+    let Some(doc) = tile.doc_jsonb(row) else {
+        return Scalar::Null;
+    };
+    match access.path.resolve_jsonb(doc) {
+        Some(v) => cast_jsonb(v, access.ty),
+        None => Scalar::Null,
+    }
+}
+
+/// Cast a binary JSON value to the requested SQL type (§4.3 / §5.4).
+/// Failed casts yield SQL null (PostgreSQL would raise; returning null
+/// keeps the engine total without changing any benchmark query's result).
+pub fn cast_jsonb(v: JsonbRef<'_>, ty: AccessType) -> Scalar {
+    match ty {
+        AccessType::Int => match v.kind() {
+            JsonbKind::Int => Scalar::Int(v.as_i64().expect("int")),
+            JsonbKind::Float => Scalar::Int(v.as_f64().expect("float") as i64),
+            JsonbKind::NumStr => v
+                .as_numeric_string()
+                .and_then(|n| n.to_i64())
+                .map_or(Scalar::Null, Scalar::Int),
+            JsonbKind::String => v
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .map_or(Scalar::Null, Scalar::Int),
+            _ => Scalar::Null,
+        },
+        AccessType::Float | AccessType::Numeric => match v.kind() {
+            JsonbKind::Int | JsonbKind::Float | JsonbKind::NumStr => {
+                v.as_number().map_or(Scalar::Null, Scalar::Float)
+            }
+            JsonbKind::String => v
+                .as_str()
+                .and_then(|s| s.parse().ok())
+                .map_or(Scalar::Null, Scalar::Float),
+            _ => Scalar::Null,
+        },
+        AccessType::Bool => match v.kind() {
+            JsonbKind::Bool => Scalar::Bool(v.as_bool().expect("bool")),
+            JsonbKind::String => match v.as_str() {
+                Some("true") => Scalar::Bool(true),
+                Some("false") => Scalar::Bool(false),
+                _ => Scalar::Null,
+            },
+            _ => Scalar::Null,
+        },
+        AccessType::Text | AccessType::Json => match v.kind() {
+            JsonbKind::Null => Scalar::Null,
+            JsonbKind::String => Scalar::str(v.as_str().expect("str")),
+            JsonbKind::NumStr => Scalar::str(v.as_text().expect("numstr")),
+            // ->> of numbers/bools/containers returns their JSON text.
+            _ => Scalar::str(v.to_json_text()),
+        },
+        AccessType::Timestamp => match v.kind() {
+            JsonbKind::String => v
+                .as_str()
+                .and_then(jt_core::parse_timestamp)
+                .map_or(Scalar::Null, Scalar::Timestamp),
+            JsonbKind::Int => Scalar::Timestamp(v.as_i64().expect("int")),
+            _ => Scalar::Null,
+        },
+    }
+}
+
+/// Cast a tree value (JSON-text mode) to the requested SQL type.
+pub fn cast_value(v: &Value, ty: AccessType) -> Scalar {
+    match ty {
+        AccessType::Int => match v {
+            Value::Num(n) => Scalar::Int(n.as_i64().unwrap_or(n.as_f64() as i64)),
+            Value::Str(s) => match jt_jsonb::detect_numeric_string(s).and_then(|n| n.to_i64()) {
+                Some(i) => Scalar::Int(i),
+                None => s.parse().map_or(Scalar::Null, Scalar::Int),
+            },
+            _ => Scalar::Null,
+        },
+        AccessType::Float | AccessType::Numeric => match v {
+            Value::Num(n) => Scalar::Float(n.as_f64()),
+            Value::Str(s) => s.parse().map_or(Scalar::Null, Scalar::Float),
+            _ => Scalar::Null,
+        },
+        AccessType::Bool => match v {
+            Value::Bool(b) => Scalar::Bool(*b),
+            Value::Str(s) if s == "true" => Scalar::Bool(true),
+            Value::Str(s) if s == "false" => Scalar::Bool(false),
+            _ => Scalar::Null,
+        },
+        AccessType::Text | AccessType::Json => match v {
+            Value::Null => Scalar::Null,
+            Value::Str(s) => Scalar::str(s),
+            other => Scalar::str(jt_json::to_string(other)),
+        },
+        AccessType::Timestamp => match v {
+            Value::Str(s) => jt_core::parse_timestamp(s).map_or(Scalar::Null, Scalar::Timestamp),
+            Value::Num(n) => n.as_i64().map_or(Scalar::Null, Scalar::Timestamp),
+            _ => Scalar::Null,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_core::{Relation, TilesConfig};
+
+    fn docs() -> Vec<Value> {
+        (0..100)
+            .map(|i| {
+                jt_json::parse(&format!(
+                    r#"{{"id":{i},"price":"{}.99","date":"2020-01-{:02}","user":{{"name":"u{i}"}},"rare{}":1}}"#,
+                    i, 1 + i % 28, i % 50
+                ))
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn path_parsing() {
+        assert_eq!(parse_dotted_path("a"), KeyPath::keys(&["a"]));
+        assert_eq!(parse_dotted_path("a.b.c"), KeyPath::keys(&["a", "b", "c"]));
+        assert_eq!(
+            parse_dotted_path("tags[2].text"),
+            KeyPath::keys(&["tags"]).index(2).child("text")
+        );
+        assert_eq!(
+            parse_dotted_path("a[0][1]"),
+            KeyPath::keys(&["a"]).index(0).index(1)
+        );
+    }
+
+    #[test]
+    fn column_fast_path_and_binary_fallback() {
+        let rel = Relation::load(&docs(), TilesConfig::default());
+        let tile = &rel.tiles()[0];
+        // id: extracted int column.
+        let a = Access::new("id", "id", AccessType::Int);
+        let plan = resolve_access(tile, &a, StorageMode::Tiles);
+        assert!(matches!(plan, ResolvedAccess::Column { .. }), "{plan:?}");
+        assert_eq!(eval_access(tile, plan, &a, 5).as_i64(), Some(5));
+        // rareN: not extracted → binary.
+        let a = Access::new("r", "rare7", AccessType::Int);
+        let plan = resolve_access(tile, &a, StorageMode::Tiles);
+        assert!(matches!(plan, ResolvedAccess::Binary));
+        assert_eq!(eval_access(tile, plan, &a, 7).as_i64(), Some(1));
+        assert!(eval_access(tile, plan, &a, 8).is_null());
+    }
+
+    #[test]
+    fn numeric_string_column_serves_decimal_and_text() {
+        let rel = Relation::load(&docs(), TilesConfig::default());
+        let tile = &rel.tiles()[0];
+        let dec = Access::new("p", "price", AccessType::Numeric);
+        let plan = resolve_access(tile, &dec, StorageMode::Tiles);
+        assert!(matches!(plan, ResolvedAccess::Column { .. }));
+        assert_eq!(eval_access(tile, plan, &dec, 3).as_f64(), Some(3.99));
+        let txt = Access::new("p", "price", AccessType::Text);
+        let plan = resolve_access(tile, &txt, StorageMode::Tiles);
+        assert_eq!(eval_access(tile, plan, &txt, 3).as_str(), Some("3.99"));
+    }
+
+    #[test]
+    fn date_column_serves_timestamp_but_not_text() {
+        let rel = Relation::load(&docs(), TilesConfig::default());
+        let tile = &rel.tiles()[0];
+        let ts = Access::new("d", "date", AccessType::Timestamp);
+        let plan = resolve_access(tile, &ts, StorageMode::Tiles);
+        assert!(matches!(plan, ResolvedAccess::Column { .. }));
+        assert_eq!(
+            eval_access(tile, plan, &ts, 0),
+            Scalar::Timestamp(jt_core::parse_timestamp("2020-01-01").unwrap())
+        );
+        // Text access must return the original string via the binary doc.
+        let txt = Access::new("d", "date", AccessType::Text);
+        let plan = resolve_access(tile, &txt, StorageMode::Tiles);
+        assert_eq!(eval_access(tile, plan, &txt, 0).as_str(), Some("2020-01-01"));
+    }
+
+    #[test]
+    fn all_modes_agree() {
+        let d = docs();
+        let accesses = [
+            Access::new("id", "id", AccessType::Int),
+            Access::new("p", "price", AccessType::Float),
+            Access::new("n", "user.name", AccessType::Text),
+            Access::new("d", "date", AccessType::Timestamp),
+            Access::new("missing", "nope.nothing", AccessType::Int),
+        ];
+        let rels: Vec<Relation> = [
+            StorageMode::JsonText,
+            StorageMode::Jsonb,
+            StorageMode::Sinew,
+            StorageMode::Tiles,
+        ]
+        .iter()
+        .map(|&m| Relation::load(&d, TilesConfig::with_mode(m)))
+        .collect();
+        for a in &accesses {
+            for row in [0usize, 42, 99] {
+                let vals: Vec<Scalar> = rels
+                    .iter()
+                    .map(|rel| {
+                        let (ti, r) = rel.locate(row);
+                        let tile = &rel.tiles()[ti];
+                        let plan = resolve_access(tile, a, rel.config().mode);
+                        eval_access(tile, plan, a, r)
+                    })
+                    .collect();
+                for v in &vals[1..] {
+                    assert!(
+                        vals[0].group_eq(v) || (vals[0].is_null() && v.is_null()),
+                        "access {} row {row}: {vals:?}",
+                        a.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_of_containers_is_json() {
+        let d = vec![jt_json::parse(r#"{"o":{"a":1},"l":[1,2]}"#).unwrap()];
+        let rel = Relation::load(&d, TilesConfig::with_mode(StorageMode::Jsonb));
+        let tile = &rel.tiles()[0];
+        let a = Access::new("o", "o", AccessType::Text);
+        let v = eval_access(tile, ResolvedAccess::Binary, &a, 0);
+        assert_eq!(v.as_str(), Some(r#"{"a":1}"#));
+        let a = Access::new("l", "l", AccessType::Text);
+        let v = eval_access(tile, ResolvedAccess::Binary, &a, 0);
+        assert_eq!(v.as_str(), Some("[1,2]"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Hash aggregation (group-by) with the standard SQL aggregate functions.
+
+use crate::expr::Expr;
+use crate::scalar::Scalar;
+use crate::Chunk;
+use std::collections::HashMap;
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// `COUNT(*)` — counts rows, nulls included (§4.8 explains why this
+    /// forbids naive null-skipping).
+    CountStar,
+    /// `COUNT(expr)` — counts non-null values.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `AVG(expr)`.
+    Avg,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `COUNT(DISTINCT expr)`.
+    CountDistinct,
+}
+
+/// One aggregate: a function over an expression.
+#[derive(Debug, Clone)]
+pub struct Agg {
+    /// The function.
+    pub kind: AggKind,
+    /// Its argument (ignored for `COUNT(*)`).
+    pub expr: Expr,
+}
+
+impl Agg {
+    /// `COUNT(*)`
+    pub fn count_star() -> Agg {
+        Agg { kind: AggKind::CountStar, expr: Expr::Const(Scalar::Null) }
+    }
+    /// `COUNT(e)`
+    pub fn count(e: Expr) -> Agg {
+        Agg { kind: AggKind::Count, expr: e }
+    }
+    /// `SUM(e)`
+    pub fn sum(e: Expr) -> Agg {
+        Agg { kind: AggKind::Sum, expr: e }
+    }
+    /// `AVG(e)`
+    pub fn avg(e: Expr) -> Agg {
+        Agg { kind: AggKind::Avg, expr: e }
+    }
+    /// `MIN(e)`
+    pub fn min(e: Expr) -> Agg {
+        Agg { kind: AggKind::Min, expr: e }
+    }
+    /// `MAX(e)`
+    pub fn max(e: Expr) -> Agg {
+        Agg { kind: AggKind::Max, expr: e }
+    }
+    /// `COUNT(DISTINCT e)`
+    pub fn count_distinct(e: Expr) -> Agg {
+        Agg { kind: AggKind::CountDistinct, expr: e }
+    }
+}
+
+#[derive(Debug)]
+enum Acc {
+    Count(i64),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Avg(f64, i64),
+    MinMax(Scalar, bool),
+    Distinct(std::collections::HashSet<Vec<u8>>),
+}
+
+impl Acc {
+    fn new(kind: AggKind, is_min: bool) -> Acc {
+        match kind {
+            AggKind::CountStar | AggKind::Count => Acc::Count(0),
+            AggKind::Sum => Acc::SumInt(0, false),
+            AggKind::Avg => Acc::Avg(0.0, 0),
+            AggKind::Min | AggKind::Max => Acc::MinMax(Scalar::Null, is_min),
+            AggKind::CountDistinct => Acc::Distinct(std::collections::HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, kind: AggKind, v: Scalar) {
+        match (self, kind) {
+            (Acc::Count(c), AggKind::CountStar) => *c += 1,
+            (Acc::Count(c), _) => {
+                if !v.is_null() {
+                    *c += 1;
+                }
+            }
+            (acc @ Acc::SumInt(..), _) => {
+                if v.is_null() {
+                    return;
+                }
+                // Integer sums stay integer; a float input upgrades the
+                // accumulator permanently.
+                if let Acc::SumInt(total, seen) = acc {
+                    match v {
+                        Scalar::Int(i) => {
+                            *total += i;
+                            *seen = true;
+                        }
+                        other => {
+                            let f = *total as f64 + other.as_f64().unwrap_or(0.0);
+                            *acc = Acc::SumFloat(f, true);
+                        }
+                    }
+                }
+            }
+            (Acc::SumFloat(total, seen), _) => {
+                if let Some(f) = v.as_f64() {
+                    *total += f;
+                    *seen = true;
+                }
+            }
+            (Acc::Avg(total, n), _) => {
+                if let Some(f) = v.as_f64() {
+                    *total += f;
+                    *n += 1;
+                }
+            }
+            (Acc::MinMax(cur, is_min), _) => {
+                if v.is_null() {
+                    return;
+                }
+                let replace = match cur.compare(&v) {
+                    None => cur.is_null(),
+                    Some(ord) => {
+                        if *is_min {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if replace {
+                    *cur = v;
+                }
+            }
+            (Acc::Distinct(set), _) => {
+                if !v.is_null() {
+                    let mut key = Vec::new();
+                    v.write_key(&mut key);
+                    set.insert(key);
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Scalar {
+        match self {
+            Acc::Count(c) => Scalar::Int(c),
+            Acc::SumInt(total, seen) => {
+                if seen {
+                    Scalar::Int(total)
+                } else {
+                    Scalar::Null
+                }
+            }
+            Acc::SumFloat(total, seen) => {
+                if seen {
+                    Scalar::Float(total)
+                } else {
+                    Scalar::Null
+                }
+            }
+            Acc::Avg(total, n) => {
+                if n == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(total / n as f64)
+                }
+            }
+            Acc::MinMax(cur, _) => cur,
+            Acc::Distinct(set) => Scalar::Int(set.len() as i64),
+        }
+    }
+}
+
+/// Group `input` by the key expressions and compute the aggregates.
+/// Output columns: keys first, then one per aggregate. With no keys, a
+/// single global group is produced even for empty input (SQL semantics).
+pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
+    let new_accs = || -> Vec<Acc> {
+        aggs.iter()
+            .map(|a| Acc::new(a.kind, a.kind == AggKind::Min))
+            .collect()
+    };
+    // Global aggregates skip the hash table entirely: one accumulator row.
+    if keys.is_empty() {
+        let mut accs = new_accs();
+        for row in 0..input.rows() {
+            for (acc, agg) in accs.iter_mut().zip(aggs) {
+                let v = match agg.kind {
+                    AggKind::CountStar => Scalar::Null,
+                    _ => agg.expr.eval(input, row),
+                };
+                acc.update(agg.kind, v);
+            }
+        }
+        let mut out = Chunk::empty(aggs.len());
+        for (c, acc) in accs.into_iter().enumerate() {
+            out.columns[c].push(acc.finish());
+        }
+        return out;
+    }
+    let mut groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<Acc>)> = HashMap::new();
+    let mut keybuf = Vec::new();
+    for row in 0..input.rows() {
+        let key_vals: Vec<Scalar> = keys.iter().map(|k| k.eval(input, row)).collect();
+        keybuf.clear();
+        for v in &key_vals {
+            v.write_key(&mut keybuf);
+        }
+        let entry = groups
+            .entry(keybuf.clone())
+            .or_insert_with(|| (key_vals, new_accs()));
+        for (acc, agg) in entry.1.iter_mut().zip(aggs) {
+            let v = match agg.kind {
+                AggKind::CountStar => Scalar::Null,
+                _ => agg.expr.eval(input, row),
+            };
+            acc.update(agg.kind, v);
+        }
+    }
+    let mut out = Chunk::empty(keys.len() + aggs.len());
+    // Deterministic output order: sort by the canonical key bytes.
+    let mut entries: Vec<(Vec<u8>, (Vec<Scalar>, Vec<Acc>))> = groups.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, (key_vals, accs)) in entries {
+        for (c, v) in key_vals.into_iter().enumerate() {
+            out.columns[c].push(v);
+        }
+        for (c, acc) in accs.into_iter().enumerate() {
+            out.columns[keys.len() + c].push(acc.finish());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+
+    fn input() -> Chunk {
+        Chunk {
+            columns: vec![
+                // group keys
+                vec![Scalar::str("a"), Scalar::str("b"), Scalar::str("a"), Scalar::str("a")],
+                // values with a null
+                vec![Scalar::Int(1), Scalar::Int(10), Scalar::Null, Scalar::Int(3)],
+            ],
+        }
+    }
+
+    fn slot(i: usize) -> Expr {
+        Expr::Slot(i)
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let out = group_aggregate(
+            &input(),
+            &[slot(0)],
+            &[
+                Agg::count_star(),
+                Agg::count(slot(1)),
+                Agg::sum(slot(1)),
+                Agg::min(slot(1)),
+                Agg::max(slot(1)),
+                Agg::avg(slot(1)),
+            ],
+        );
+        assert_eq!(out.rows(), 2);
+        let a_row = (0..2).find(|&i| out.get(i, 0).as_str() == Some("a")).unwrap();
+        assert_eq!(out.get(a_row, 1).as_i64(), Some(3), "count(*) includes null rows");
+        assert_eq!(out.get(a_row, 2).as_i64(), Some(2), "count(v) skips nulls");
+        assert_eq!(out.get(a_row, 3).as_i64(), Some(4), "sum");
+        assert_eq!(out.get(a_row, 4).as_i64(), Some(1), "min");
+        assert_eq!(out.get(a_row, 5).as_i64(), Some(3), "max");
+        assert_eq!(out.get(a_row, 6).as_f64(), Some(2.0), "avg skips nulls");
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let empty = Chunk::empty(2);
+        let out = group_aggregate(&empty, &[], &[Agg::count_star(), Agg::sum(slot(1))]);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.get(0, 0).as_i64(), Some(0));
+        assert!(out.get(0, 1).is_null(), "SUM of nothing is null");
+    }
+
+    #[test]
+    fn grouped_on_empty_input_is_empty() {
+        let empty = Chunk::empty(2);
+        let out = group_aggregate(&empty, &[slot(0)], &[Agg::count_star()]);
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn sum_type_promotion() {
+        let c = Chunk {
+            columns: vec![vec![Scalar::Int(1), Scalar::Float(2.5), Scalar::Int(3)]],
+        };
+        let out = group_aggregate(&c, &[], &[Agg::sum(slot(0))]);
+        assert_eq!(out.get(0, 0).as_f64(), Some(6.5));
+        let c = Chunk {
+            columns: vec![vec![Scalar::Int(1), Scalar::Int(2)]],
+        };
+        let out = group_aggregate(&c, &[], &[Agg::sum(slot(0))]);
+        assert!(matches!(out.get(0, 0), Scalar::Int(3)), "pure int sum stays int");
+    }
+
+    #[test]
+    fn count_distinct() {
+        let c = Chunk {
+            columns: vec![vec![
+                Scalar::Int(1),
+                Scalar::Int(1),
+                Scalar::Int(2),
+                Scalar::Null,
+                Scalar::Float(2.0),
+            ]],
+        };
+        let out = group_aggregate(&c, &[], &[Agg::count_distinct(slot(0))]);
+        assert_eq!(out.get(0, 0).as_i64(), Some(2), "1, 2 (2.0 == 2; null skipped)");
+    }
+
+    #[test]
+    fn null_group_key_forms_group() {
+        let c = Chunk {
+            columns: vec![
+                vec![Scalar::Null, Scalar::Null, Scalar::Int(1)],
+                vec![Scalar::Int(5), Scalar::Int(6), Scalar::Int(7)],
+            ],
+        };
+        let out = group_aggregate(&c, &[slot(0)], &[Agg::sum(slot(1))]);
+        assert_eq!(out.rows(), 2, "null key is one group");
+        let null_row = (0..2).find(|&i| out.get(i, 0).is_null()).unwrap();
+        assert_eq!(out.get(null_row, 1).as_i64(), Some(11));
+    }
+
+    #[test]
+    fn computed_keys_and_args() {
+        let c = Chunk {
+            columns: vec![vec![Scalar::Int(1), Scalar::Int(2), Scalar::Int(3), Scalar::Int(4)]],
+        };
+        // Group by v % 2 (emulated via v - (v/2)*2 with int div... use cmp).
+        let out = group_aggregate(
+            &c,
+            &[slot(0).gt(lit(2))],
+            &[Agg::sum(slot(0).mul(lit(10)))],
+        );
+        assert_eq!(out.rows(), 2);
+        let hi = (0..2).find(|&i| out.get(i, 0).as_bool() == Some(true)).unwrap();
+        assert_eq!(out.get(hi, 1).as_i64(), Some(70));
+    }
+}

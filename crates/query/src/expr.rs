@@ -1,0 +1,509 @@
+//! Scalar expressions over operator output slots.
+//!
+//! Expressions reference columns by *name* at build time; the planner
+//! resolves names to slot indices once, so evaluation is index-based.
+//! [`Expr::null_rejecting_slots`] powers the §4.8 tile-skipping analysis:
+//! a slot is null-rejecting when a null value there makes the whole
+//! predicate non-true (comparisons, conjunctions, `IS NOT NULL`).
+
+use crate::scalar::Scalar;
+use crate::Chunk;
+use std::cmp::Ordering;
+use std::collections::HashSet;
+
+/// Anything an expression can read slots from.
+pub trait RowView {
+    /// The scalar in slot `i` of the current row.
+    fn slot(&self, i: usize) -> &Scalar;
+}
+
+impl RowView for (&Chunk, usize) {
+    #[inline]
+    fn slot(&self, i: usize) -> &Scalar {
+        self.0.get(self.1, i)
+    }
+}
+
+impl RowView for &[Scalar] {
+    #[inline]
+    fn slot(&self, i: usize) -> &Scalar {
+        &self[i]
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Named column reference (resolved to [`Expr::Slot`] by the planner).
+    Col(String),
+    /// Resolved slot reference.
+    Slot(usize),
+    /// Literal.
+    Const(Scalar),
+    /// Comparison; SQL three-valued logic collapses unknown to false.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Arithmetic; null-propagating.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// `IS NULL`.
+    IsNull(Box<Expr>),
+    /// `IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+    /// Case-sensitive substring test (`LIKE '%..%'`).
+    Contains(Box<Expr>, String),
+    /// String prefix test (`LIKE '..%'`).
+    StartsWith(Box<Expr>, String),
+    /// String suffix test (`LIKE '%..'`).
+    EndsWith(Box<Expr>, String),
+    /// `IN (…)` over literals.
+    InList(Box<Expr>, Vec<Scalar>),
+    /// `EXTRACT(YEAR FROM ts)`.
+    Year(Box<Expr>),
+}
+
+/// Named column reference.
+pub fn col(name: &str) -> Expr {
+    Expr::Col(name.to_owned())
+}
+
+/// Integer literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::Const(Scalar::Int(v))
+}
+
+/// Float literal.
+pub fn lit_f64(v: f64) -> Expr {
+    Expr::Const(Scalar::Float(v))
+}
+
+/// String literal.
+pub fn lit_str(v: &str) -> Expr {
+    Expr::Const(Scalar::str(v))
+}
+
+/// Date literal (`YYYY-MM-DD…`), parsed to a timestamp constant.
+pub fn lit_date(v: &str) -> Expr {
+    Expr::Const(Scalar::Timestamp(
+        jt_core::parse_timestamp(v).unwrap_or_else(|| panic!("bad date literal {v:?}")),
+    ))
+}
+
+impl Expr {
+    /// `self = other`
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Eq, Box::new(other))
+    }
+    /// `self <> other`
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ne, Box::new(other))
+    }
+    /// `self < other`
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Lt, Box::new(other))
+    }
+    /// `self <= other`
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Le, Box::new(other))
+    }
+    /// `self > other`
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Gt, Box::new(other))
+    }
+    /// `self >= other`
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), CmpOp::Ge, Box::new(other))
+    }
+    /// `self AND other`
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+    /// `self OR other`
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+    /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    /// `self + other`
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
+    }
+    /// `self - other`
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
+    }
+    /// `self * other`
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
+    }
+    /// `self / other`
+    pub fn div(self, other: Expr) -> Expr {
+        Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
+    }
+    /// `self IS NULL`
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+    /// `self IS NOT NULL`
+    pub fn is_not_null(self) -> Expr {
+        Expr::IsNotNull(Box::new(self))
+    }
+    /// `self LIKE '%pat%'`
+    pub fn contains(self, pat: &str) -> Expr {
+        Expr::Contains(Box::new(self), pat.to_owned())
+    }
+    /// `self LIKE 'pat%'`
+    pub fn starts_with(self, pat: &str) -> Expr {
+        Expr::StartsWith(Box::new(self), pat.to_owned())
+    }
+    /// `self LIKE '%pat'`
+    pub fn ends_with(self, pat: &str) -> Expr {
+        Expr::EndsWith(Box::new(self), pat.to_owned())
+    }
+    /// `self IN (…)`
+    pub fn in_list(self, list: Vec<Scalar>) -> Expr {
+        Expr::InList(Box::new(self), list)
+    }
+    /// `EXTRACT(YEAR FROM self)`
+    pub fn year(self) -> Expr {
+        Expr::Year(Box::new(self))
+    }
+
+    /// Resolve [`Expr::Col`] names to slots via `lookup`.
+    pub fn resolve(&mut self, lookup: &dyn Fn(&str) -> usize) {
+        match self {
+            Expr::Col(name) => *self = Expr::Slot(lookup(name)),
+            Expr::Slot(_) | Expr::Const(_) => {}
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(a, _, b) => {
+                a.resolve(lookup);
+                b.resolve(lookup);
+            }
+            Expr::Not(a)
+            | Expr::IsNull(a)
+            | Expr::IsNotNull(a)
+            | Expr::Contains(a, _)
+            | Expr::StartsWith(a, _)
+            | Expr::EndsWith(a, _)
+            | Expr::InList(a, _)
+            | Expr::Year(a) => a.resolve(lookup),
+        }
+    }
+
+    /// Evaluate against row `row` of `chunk`.
+    pub fn eval(&self, chunk: &Chunk, row: usize) -> Scalar {
+        self.eval_view(&(chunk, row))
+    }
+
+    /// Evaluate against a bare row of slot values.
+    pub fn eval_row(&self, row: &[Scalar]) -> Scalar {
+        self.eval_view(&row)
+    }
+
+    /// True if the expression evaluates to SQL TRUE for the bare row.
+    #[inline]
+    pub fn eval_row_bool(&self, row: &[Scalar]) -> bool {
+        matches!(self.eval_row(row), Scalar::Bool(true))
+    }
+
+    fn eval_view<V: RowView>(&self, ctx: &V) -> Scalar {
+        match self {
+            Expr::Col(name) => panic!("unresolved column {name:?}"),
+            Expr::Slot(i) => ctx.slot(*i).clone(),
+            Expr::Const(c) => c.clone(),
+            Expr::Cmp(a, op, b) => {
+                let av = a.eval_view(ctx);
+                let bv = b.eval_view(ctx);
+                match av.compare(&bv) {
+                    None => Scalar::Null,
+                    Some(ord) => Scalar::Bool(match op {
+                        CmpOp::Eq => ord == Ordering::Equal,
+                        CmpOp::Ne => ord != Ordering::Equal,
+                        CmpOp::Lt => ord == Ordering::Less,
+                        CmpOp::Le => ord != Ordering::Greater,
+                        CmpOp::Gt => ord == Ordering::Greater,
+                        CmpOp::Ge => ord != Ordering::Less,
+                    }),
+                }
+            }
+            Expr::And(a, b) => match (a.eval_view(ctx), b.eval_view(ctx)) {
+                (Scalar::Bool(false), _) | (_, Scalar::Bool(false)) => Scalar::Bool(false),
+                (Scalar::Bool(true), Scalar::Bool(true)) => Scalar::Bool(true),
+                _ => Scalar::Null,
+            },
+            Expr::Or(a, b) => match (a.eval_view(ctx), b.eval_view(ctx)) {
+                (Scalar::Bool(true), _) | (_, Scalar::Bool(true)) => Scalar::Bool(true),
+                (Scalar::Bool(false), Scalar::Bool(false)) => Scalar::Bool(false),
+                _ => Scalar::Null,
+            },
+            Expr::Not(a) => match a.eval_view(ctx) {
+                Scalar::Bool(b) => Scalar::Bool(!b),
+                _ => Scalar::Null,
+            },
+            Expr::Arith(a, op, b) => {
+                let av = a.eval_view(ctx);
+                let bv = b.eval_view(ctx);
+                if av.is_null() || bv.is_null() {
+                    return Scalar::Null;
+                }
+                // Integer arithmetic when both sides are integers (except
+                // division, which is float like the paper's price math).
+                if let (Scalar::Int(x), Scalar::Int(y), false) = (&av, &bv, *op == ArithOp::Div) {
+                    return Scalar::Int(match op {
+                        ArithOp::Add => x.wrapping_add(*y),
+                        ArithOp::Sub => x.wrapping_sub(*y),
+                        ArithOp::Mul => x.wrapping_mul(*y),
+                        ArithOp::Div => unreachable!(),
+                    });
+                }
+                let (x, y) = match (av.as_f64(), bv.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => return Scalar::Null,
+                };
+                Scalar::Float(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Scalar::Null;
+                        }
+                        x / y
+                    }
+                })
+            }
+            Expr::IsNull(a) => Scalar::Bool(a.eval_view(ctx).is_null()),
+            Expr::IsNotNull(a) => Scalar::Bool(!a.eval_view(ctx).is_null()),
+            Expr::Contains(a, pat) => match a.eval_view(ctx) {
+                Scalar::Str(s) => Scalar::Bool(s.contains(pat.as_str())),
+                Scalar::Null => Scalar::Null,
+                _ => Scalar::Null,
+            },
+            Expr::StartsWith(a, pat) => match a.eval_view(ctx) {
+                Scalar::Str(s) => Scalar::Bool(s.starts_with(pat.as_str())),
+                Scalar::Null => Scalar::Null,
+                _ => Scalar::Null,
+            },
+            Expr::EndsWith(a, pat) => match a.eval_view(ctx) {
+                Scalar::Str(s) => Scalar::Bool(s.ends_with(pat.as_str())),
+                Scalar::Null => Scalar::Null,
+                _ => Scalar::Null,
+            },
+            Expr::InList(a, list) => {
+                let v = a.eval_view(ctx);
+                if v.is_null() {
+                    return Scalar::Null;
+                }
+                Scalar::Bool(list.iter().any(|x| v.group_eq(x)))
+            }
+            Expr::Year(a) => match a.eval_view(ctx) {
+                Scalar::Timestamp(t) => {
+                    let s = jt_core::format_timestamp(t);
+                    Scalar::Int(s[..4].parse().expect("year digits"))
+                }
+                Scalar::Str(s) if s.len() >= 4 => match s[..4].parse() {
+                    Ok(y) => Scalar::Int(y),
+                    Err(_) => Scalar::Null,
+                },
+                _ => Scalar::Null,
+            },
+        }
+    }
+
+    /// True if the expression evaluates to SQL TRUE for the row.
+    #[inline]
+    pub fn eval_bool(&self, chunk: &Chunk, row: usize) -> bool {
+        matches!(self.eval(chunk, row), Scalar::Bool(true))
+    }
+
+    /// All slots this expression reads.
+    pub fn referenced_slots(&self) -> HashSet<usize> {
+        match self {
+            Expr::Slot(i) => HashSet::from([*i]),
+            Expr::Col(_) | Expr::Const(_) => HashSet::new(),
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                let mut s = a.referenced_slots();
+                s.extend(b.referenced_slots());
+                s
+            }
+            Expr::Not(a)
+            | Expr::IsNull(a)
+            | Expr::IsNotNull(a)
+            | Expr::Contains(a, _)
+            | Expr::StartsWith(a, _)
+            | Expr::EndsWith(a, _)
+            | Expr::InList(a, _)
+            | Expr::Year(a) => a.referenced_slots(),
+        }
+    }
+
+    /// Slots where a null value makes this predicate non-true — the §4.8
+    /// analysis ("null values are skipped or evaluated as false").
+    pub fn null_rejecting_slots(&self) -> HashSet<usize> {
+        match self {
+            Expr::Slot(i) => HashSet::from([*i]),
+            Expr::Col(_) | Expr::Const(_) => HashSet::new(),
+            // A comparison is non-true whenever either operand is null.
+            Expr::Cmp(a, _, b) | Expr::Arith(a, _, b) => {
+                let mut s = a.null_rejecting_slots();
+                s.extend(b.null_rejecting_slots());
+                s
+            }
+            // AND rejects what either side rejects; OR only what both do.
+            Expr::And(a, b) => {
+                let mut s = a.null_rejecting_slots();
+                s.extend(b.null_rejecting_slots());
+                s
+            }
+            Expr::Or(a, b) => a
+                .null_rejecting_slots()
+                .intersection(&b.null_rejecting_slots())
+                .copied()
+                .collect(),
+            // NOT and IS NULL can turn null into TRUE: nothing is rejected.
+            Expr::Not(_) | Expr::IsNull(_) => HashSet::new(),
+            Expr::IsNotNull(a)
+            | Expr::Contains(a, _)
+            | Expr::StartsWith(a, _)
+            | Expr::EndsWith(a, _)
+            | Expr::InList(a, _)
+            | Expr::Year(a) => a.null_rejecting_slots(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk() -> Chunk {
+        Chunk {
+            columns: vec![
+                vec![Scalar::Int(5), Scalar::Null, Scalar::Int(10)],
+                vec![Scalar::str("abc"), Scalar::str("xbc"), Scalar::Null],
+            ],
+        }
+    }
+
+    #[test]
+    fn comparisons_and_three_valued_logic() {
+        let c = chunk();
+        let e = Expr::Slot(0).gt(lit(4));
+        assert!(e.eval_bool(&c, 0));
+        assert!(!e.eval_bool(&c, 1), "null > 4 is unknown, not true");
+        // NOT(null) is null, not true.
+        let ne = Expr::Slot(0).gt(lit(4)).not();
+        assert!(!ne.eval_bool(&c, 1));
+        // OR with one true side wins over null.
+        let or = Expr::Slot(0).gt(lit(4)).or(lit(1).eq(lit(1)));
+        assert!(or.eval_bool(&c, 1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = chunk();
+        assert_eq!(Expr::Slot(0).add(lit(3)).eval(&c, 0).as_i64(), Some(8));
+        assert_eq!(Expr::Slot(0).mul(lit(2)).eval(&c, 2).as_i64(), Some(20));
+        assert!(Expr::Slot(0).add(lit(3)).eval(&c, 1).is_null());
+        assert_eq!(lit(7).div(lit(2)).eval(&c, 0).as_f64(), Some(3.5));
+        assert!(lit(7).div(lit(0)).eval(&c, 0).is_null());
+        assert_eq!(lit_f64(1.5).add(lit(1)).eval(&c, 0).as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn string_predicates() {
+        let c = chunk();
+        assert!(Expr::Slot(1).contains("bc").eval_bool(&c, 0));
+        assert!(Expr::Slot(1).starts_with("x").eval_bool(&c, 1));
+        assert!(!Expr::Slot(1).contains("zz").eval_bool(&c, 0));
+        assert!(!Expr::Slot(1).contains("bc").eval_bool(&c, 2), "null");
+    }
+
+    #[test]
+    fn null_tests() {
+        let c = chunk();
+        assert!(Expr::Slot(0).is_null().eval_bool(&c, 1));
+        assert!(Expr::Slot(0).is_not_null().eval_bool(&c, 0));
+    }
+
+    #[test]
+    fn in_list() {
+        let c = chunk();
+        let e = Expr::Slot(0).in_list(vec![Scalar::Int(5), Scalar::Int(7)]);
+        assert!(e.eval_bool(&c, 0));
+        assert!(!e.eval_bool(&c, 2));
+        assert!(!e.eval_bool(&c, 1), "null IN (...) is unknown");
+    }
+
+    #[test]
+    fn year_extraction() {
+        let c = Chunk {
+            columns: vec![vec![
+                Scalar::Timestamp(jt_core::parse_timestamp("1994-03-15").unwrap()),
+                Scalar::str("1995-12-01"),
+            ]],
+        };
+        let e = Expr::Slot(0).year();
+        assert_eq!(e.eval(&c, 0).as_i64(), Some(1994));
+        assert_eq!(e.eval(&c, 1).as_i64(), Some(1995), "string fallback");
+    }
+
+    #[test]
+    fn null_rejection_analysis() {
+        let p = Expr::Slot(0).gt(lit(1)).and(Expr::Slot(1).eq(lit_str("x")));
+        let s = p.null_rejecting_slots();
+        assert!(s.contains(&0) && s.contains(&1));
+        let p = Expr::Slot(0).gt(lit(1)).or(Expr::Slot(1).eq(lit_str("x")));
+        assert!(p.null_rejecting_slots().is_empty(), "OR rejects only the intersection");
+        let p = Expr::Slot(0).is_null();
+        assert!(p.null_rejecting_slots().is_empty(), "IS NULL accepts nulls");
+        let p = Expr::Slot(0).gt(lit(1)).not();
+        assert!(p.null_rejecting_slots().is_empty(), "NOT can invert");
+        let p = Expr::Slot(0).is_not_null();
+        assert_eq!(p.null_rejecting_slots(), HashSet::from([0]));
+    }
+
+    #[test]
+    fn resolve_names() {
+        let mut e = col("a").gt(col("b"));
+        e.resolve(&|name| if name == "a" { 0 } else { 1 });
+        let c = chunk();
+        assert!(!e.eval_bool(&c, 0), "5 > \"abc\" is incomparable");
+    }
+}

@@ -1,0 +1,205 @@
+//! In-memory hash join.
+//!
+//! Equi-join on any number of key slots. SQL semantics: null keys never
+//! match (inner joins are null-rejecting, which is also what makes their
+//! key paths eligible for tile skipping, §4.8).
+
+#[cfg(test)]
+use crate::scalar::Scalar;
+use crate::Chunk;
+use std::collections::HashMap;
+
+/// Inner hash join: build on `left`, probe with `right`. Output columns are
+/// all left columns followed by all right columns.
+pub fn hash_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(left.rows());
+    let mut keybuf = Vec::new();
+    'build: for row in 0..left.rows() {
+        keybuf.clear();
+        for &k in left_keys {
+            let v = left.get(row, k);
+            if v.is_null() {
+                continue 'build;
+            }
+            v.write_key(&mut keybuf);
+        }
+        table.entry(keybuf.clone()).or_default().push(row);
+    }
+
+    let width = left.width() + right.width();
+    let mut out = Chunk::empty(width);
+    'probe: for row in 0..right.rows() {
+        keybuf.clear();
+        for &k in right_keys {
+            let v = right.get(row, k);
+            if v.is_null() {
+                continue 'probe;
+            }
+            v.write_key(&mut keybuf);
+        }
+        if let Some(matches) = table.get(&keybuf) {
+            for &lrow in matches {
+                for (c, col) in left.columns.iter().enumerate() {
+                    out.columns[c].push(col[lrow].clone());
+                }
+                for (c, col) in right.columns.iter().enumerate() {
+                    out.columns[left.width() + c].push(col[row].clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Left semi join: rows of `left` that have at least one match in `right`.
+/// Used for `EXISTS` subqueries (TPC-H Q4-style patterns).
+pub fn semi_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
+    let mut set: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut keybuf = Vec::new();
+    'build: for row in 0..right.rows() {
+        keybuf.clear();
+        for &k in right_keys {
+            let v = right.get(row, k);
+            if v.is_null() {
+                continue 'build;
+            }
+            v.write_key(&mut keybuf);
+        }
+        set.insert(keybuf.clone());
+    }
+    let mut out = Chunk::empty(left.width());
+    'probe: for row in 0..left.rows() {
+        keybuf.clear();
+        for &k in left_keys {
+            let v = left.get(row, k);
+            if v.is_null() {
+                continue 'probe;
+            }
+            v.write_key(&mut keybuf);
+        }
+        if set.contains(&keybuf) {
+            for (c, col) in left.columns.iter().enumerate() {
+                out.columns[c].push(col[row].clone());
+            }
+        }
+    }
+    out
+}
+
+/// Left anti join: rows of `left` with no match in `right` (`NOT EXISTS`).
+pub fn anti_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
+    let mut set: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut keybuf = Vec::new();
+    'build: for row in 0..right.rows() {
+        keybuf.clear();
+        for &k in right_keys {
+            let v = right.get(row, k);
+            if v.is_null() {
+                continue 'build;
+            }
+            v.write_key(&mut keybuf);
+        }
+        set.insert(keybuf.clone());
+    }
+    let mut out = Chunk::empty(left.width());
+    for row in 0..left.rows() {
+        keybuf.clear();
+        let mut has_null = false;
+        for &k in left_keys {
+            let v = left.get(row, k);
+            if v.is_null() {
+                has_null = true;
+                break;
+            }
+            v.write_key(&mut keybuf);
+        }
+        // Null keys never match, so they survive an anti join.
+        if has_null || !set.contains(&keybuf) {
+            for (c, col) in left.columns.iter().enumerate() {
+                out.columns[c].push(col[row].clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(cols: Vec<Vec<i64>>) -> Chunk {
+        Chunk {
+            columns: cols
+                .into_iter()
+                .map(|c| c.into_iter().map(Scalar::Int).collect())
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn basic_inner_join() {
+        let l = chunk(vec![vec![1, 2, 3], vec![10, 20, 30]]);
+        let r = chunk(vec![vec![2, 3, 3, 4], vec![200, 300, 301, 400]]);
+        let j = hash_join(&l, &r, &[0], &[0]);
+        assert_eq!(j.rows(), 3, "2 matches once, 3 matches twice");
+        assert_eq!(j.width(), 4);
+        // Row for key=2.
+        let row2 = (0..j.rows()).find(|&i| j.get(i, 0).as_i64() == Some(2)).unwrap();
+        assert_eq!(j.get(row2, 1).as_i64(), Some(20));
+        assert_eq!(j.get(row2, 3).as_i64(), Some(200));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut l = chunk(vec![vec![1], vec![10]]);
+        l.columns[0].push(Scalar::Null);
+        l.columns[1].push(Scalar::Int(99));
+        let r = Chunk {
+            columns: vec![vec![Scalar::Null, Scalar::Int(1)]],
+        };
+        let j = hash_join(&l, &r, &[0], &[0]);
+        assert_eq!(j.rows(), 1, "only 1=1 matches; null=null does not");
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l = chunk(vec![vec![1, 1, 2], vec![5, 6, 5]]);
+        let r = chunk(vec![vec![1, 2], vec![5, 5]]);
+        let j = hash_join(&l, &r, &[0, 1], &[0, 1]);
+        assert_eq!(j.rows(), 2);
+    }
+
+    #[test]
+    fn semi_and_anti_partition_input() {
+        let l = chunk(vec![vec![1, 2, 3, 4]]);
+        let r = chunk(vec![vec![2, 4, 4]]);
+        let semi = semi_join(&l, &r, &[0], &[0]);
+        let anti = anti_join(&l, &r, &[0], &[0]);
+        assert_eq!(semi.rows(), 2, "semi keeps 2 and 4 once each");
+        assert_eq!(anti.rows(), 2, "anti keeps 1 and 3");
+        assert_eq!(semi.rows() + anti.rows(), l.rows());
+    }
+
+    #[test]
+    fn numeric_coercion_in_keys() {
+        let l = Chunk {
+            columns: vec![vec![Scalar::Int(5)]],
+        };
+        let r = Chunk {
+            columns: vec![vec![Scalar::Float(5.0)]],
+        };
+        let j = hash_join(&l, &r, &[0], &[0]);
+        assert_eq!(j.rows(), 1, "5 joins with 5.0");
+    }
+
+    #[test]
+    fn empty_sides() {
+        let l = chunk(vec![vec![]]);
+        let r = chunk(vec![vec![1, 2]]);
+        assert_eq!(hash_join(&l, &r, &[0], &[0]).rows(), 0);
+        assert_eq!(hash_join(&r, &l, &[0], &[0]).rows(), 0);
+        assert_eq!(semi_join(&r, &l, &[0], &[0]).rows(), 0);
+        assert_eq!(anti_join(&r, &l, &[0], &[0]).rows(), 2);
+    }
+}

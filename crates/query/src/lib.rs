@@ -1,0 +1,125 @@
+//! # jt-query — relational query engine over JSON tiles (paper §4)
+//!
+//! The paper integrates JSON tiles into Umbra; this crate is the relational
+//! substrate our reproduction integrates into instead. It implements the
+//! query-side techniques of §4 on top of `jt-core` relations:
+//!
+//! * **Access-expression push-down** (§4.2): every JSON access a query
+//!   needs is declared on the table scan, which serves it from an extracted
+//!   column when the tile has one and from the binary document otherwise
+//!   (§4.5). Resolution happens once per tile and is reused for all its
+//!   tuples.
+//! * **Cast rewriting** (§4.3): accesses carry their requested SQL type
+//!   ([`jt_core::AccessType`]), so a `->> k :: BigInt` reads the extracted
+//!   integer column directly instead of materializing text and re-parsing.
+//! * **Tile skipping** (§4.8): when a null-rejecting predicate references a
+//!   path that a tile has neither extracted nor seen (Bloom filter), the
+//!   whole tile is skipped.
+//! * **Optimizer integration** (§4.6): joins are greedily ordered by
+//!   cardinality estimates from the relation statistics (frequency counters
+//!   and HyperLogLog distinct counts).
+//!
+//! The engine executes morsel-style: tiles are the parallel work units for
+//! scans; joins, aggregation and sorting run on the merged results.
+//!
+//! ```
+//! use jt_core::{Relation, TilesConfig};
+//! use jt_query::{Query, col, lit, AccessType};
+//! let docs: Vec<_> = (0..100)
+//!     .map(|i| jt_json::parse(&format!(r#"{{"v": {i}}}"#)).unwrap())
+//!     .collect();
+//! let rel = Relation::load(&docs, TilesConfig::default());
+//! let result = Query::scan("t", &rel)
+//!     .access("v", AccessType::Int)
+//!     .filter(col("v").lt(lit(10)))
+//!     .aggregate(vec![], vec![jt_query::Agg::sum(col("v"))])
+//!     .run();
+//! assert_eq!(result.column(0)[0].as_i64(), Some(45));
+//! ```
+
+mod access;
+mod agg;
+mod expr;
+mod join;
+mod plan;
+mod scalar;
+mod scan;
+
+pub use access::Access;
+pub use agg::{Agg, AggKind};
+pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
+pub use jt_core::AccessType;
+pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
+pub use scalar::Scalar;
+
+/// A materialized column-major batch of rows.
+#[derive(Debug, Clone, Default)]
+pub struct Chunk {
+    /// Column vectors, all the same length.
+    pub columns: Vec<Vec<Scalar>>,
+}
+
+impl Chunk {
+    /// An empty chunk with `n` columns.
+    pub fn empty(n: usize) -> Chunk {
+        Chunk {
+            columns: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Append all rows of `other` (same width).
+    pub fn append(&mut self, other: Chunk) {
+        if self.columns.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.width(), other.width(), "chunk width mismatch");
+        for (a, b) in self.columns.iter_mut().zip(other.columns) {
+            a.extend(b);
+        }
+    }
+
+    /// The scalar at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> &Scalar {
+        &self.columns[col][row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_append() {
+        let mut a = Chunk {
+            columns: vec![vec![Scalar::Int(1)], vec![Scalar::Int(2)]],
+        };
+        let b = Chunk {
+            columns: vec![vec![Scalar::Int(3)], vec![Scalar::Int(4)]],
+        };
+        a.append(b);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.get(1, 0).as_i64(), Some(3));
+        assert_eq!(a.get(1, 1).as_i64(), Some(4));
+    }
+
+    #[test]
+    fn empty_into_append() {
+        let mut a = Chunk::default();
+        a.append(Chunk {
+            columns: vec![vec![Scalar::Int(7)]],
+        });
+        assert_eq!(a.rows(), 1);
+    }
+}

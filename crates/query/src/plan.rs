@@ -1,0 +1,854 @@
+//! Query building, optimization, and execution (paper §4.2, §4.6).
+//!
+//! A [`Query`] is a builder for select-project-join-aggregate plans over
+//! JSON relations. Execution proceeds in phases:
+//!
+//! 1. **Scans** — all pushed-down accesses and per-table filters run
+//!    tile-parallel, with §4.8 skipping.
+//! 2. **Join ordering** — with `optimize_joins` on, inner joins are ordered
+//!    greedily by cardinality estimates derived from the relation
+//!    statistics (§4.6): filter selectivities shrink base cardinalities,
+//!    and join outputs are estimated with `|A|·|B| / max(nd(a), nd(b))`
+//!    using HyperLogLog distinct counts. With it off, joins run in
+//!    declaration order — the "bad plan" behaviour the paper attributes to
+//!    statistics-blind systems.
+//! 3. **Semi/anti joins, post-filters, aggregation, having, order/limit.**
+
+use crate::access::Access;
+use crate::agg::{group_aggregate, Agg};
+use crate::expr::Expr;
+use crate::join::{anti_join, hash_join, semi_join};
+use crate::scalar::Scalar;
+use crate::scan::{execute_scan, ScanSpec, ScanStats};
+use crate::Chunk;
+use jt_core::{AccessType, Relation};
+use std::collections::HashMap;
+
+/// Execution knobs (the Figure 8 / Figure 14 experiment switches).
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads for scans.
+    pub threads: usize,
+    /// §4.8 tile skipping.
+    pub enable_skipping: bool,
+    /// §4.6 statistics-driven join ordering.
+    pub optimize_joins: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            enable_skipping: true,
+            optimize_joins: true,
+        }
+    }
+}
+
+/// Join flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JoinKind {
+    Inner,
+    Semi,
+    Anti,
+}
+
+#[derive(Debug, Clone)]
+struct JoinClause {
+    left: String,
+    right: String,
+    kind: JoinKind,
+}
+
+struct TableScanDef<'a> {
+    name: String,
+    rel: &'a Relation,
+    accesses: Vec<Access>,
+    filter: Option<Expr>,
+}
+
+/// Result rows plus execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    /// Column-major results.
+    pub chunk: Chunk,
+    /// Scan counters summed over all tables.
+    pub scan_stats: ScanStats,
+}
+
+impl ResultSet {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.chunk.rows()
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &[Scalar] {
+        &self.chunk.columns[i]
+    }
+
+    /// Render as text lines (debugging / repro output).
+    pub fn to_lines(&self) -> Vec<String> {
+        (0..self.rows())
+            .map(|r| {
+                (0..self.chunk.width())
+                    .map(|c| self.chunk.get(r, c).display())
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            })
+            .collect()
+    }
+}
+
+/// Query builder; see the crate docs for an example.
+pub struct Query<'a> {
+    tables: Vec<TableScanDef<'a>>,
+    joins: Vec<JoinClause>,
+    post_filter: Option<Expr>,
+    group_by: Vec<Expr>,
+    aggs: Vec<Agg>,
+    having: Option<Expr>,
+    select: Option<Vec<Expr>>,
+    order_by: Vec<(usize, bool)>,
+    limit: Option<usize>,
+}
+
+impl<'a> Query<'a> {
+    /// Start a query scanning `rel`. The name labels the table in
+    /// [`Query::explain`] output; plans are keyed by access names, which
+    /// must be globally unique.
+    pub fn scan(name: &str, rel: &'a Relation) -> Query<'a> {
+        Query {
+            tables: vec![TableScanDef {
+                name: name.to_owned(),
+                rel,
+                accesses: Vec::new(),
+                filter: None,
+            }],
+            joins: Vec::new(),
+            post_filter: None,
+            group_by: Vec::new(),
+            aggs: Vec::new(),
+            having: None,
+            select: None,
+            order_by: Vec::new(),
+            limit: None,
+        }
+    }
+
+    /// Push down an access on the current table; the slot name equals the
+    /// dotted path.
+    pub fn access(self, path: &str, ty: AccessType) -> Query<'a> {
+        self.access_as(path, path, ty)
+    }
+
+    /// Push down an access with an explicit slot name.
+    pub fn access_as(mut self, name: &str, path: &str, ty: AccessType) -> Query<'a> {
+        let t = self.tables.last_mut().expect("scan first");
+        t.accesses.push(Access::new(name, path, ty));
+        self
+    }
+
+    /// Push down an access with a pre-built key path (used by front ends
+    /// like `jt-sql` whose paths may contain dots or empty keys that the
+    /// dotted notation cannot express).
+    pub fn access_path(mut self, name: &str, path: jt_core::KeyPath, ty: AccessType) -> Query<'a> {
+        let t = self.tables.last_mut().expect("scan first");
+        t.accesses.push(Access {
+            name: name.to_owned(),
+            path,
+            ty,
+        });
+        self
+    }
+
+    /// Push a filter down to the current table's scan (may reference only
+    /// this table's access names).
+    pub fn filter(mut self, expr: Expr) -> Query<'a> {
+        let t = self.tables.last_mut().expect("scan first");
+        t.filter = Some(match t.filter.take() {
+            Some(f) => f.and(expr),
+            None => expr,
+        });
+        self
+    }
+
+    /// Add another table; subsequent `access`/`filter` calls target it.
+    pub fn join(mut self, name: &str, rel: &'a Relation) -> Query<'a> {
+        self.tables.push(TableScanDef {
+            name: name.to_owned(),
+            rel,
+            accesses: Vec::new(),
+            filter: None,
+        });
+        self
+    }
+
+    /// Inner equi-join condition between two access names.
+    pub fn on(mut self, left: &str, right: &str) -> Query<'a> {
+        self.joins.push(JoinClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: JoinKind::Inner,
+        });
+        self
+    }
+
+    /// Semi-join (`EXISTS`): keep left rows with a match in the *current*
+    /// (most recently joined) table.
+    pub fn semi_on(mut self, left: &str, right: &str) -> Query<'a> {
+        self.joins.push(JoinClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: JoinKind::Semi,
+        });
+        self
+    }
+
+    /// Anti-join (`NOT EXISTS`).
+    pub fn anti_on(mut self, left: &str, right: &str) -> Query<'a> {
+        self.joins.push(JoinClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: JoinKind::Anti,
+        });
+        self
+    }
+
+    /// Filter evaluated after all joins (cross-table predicates).
+    pub fn filter_joined(mut self, expr: Expr) -> Query<'a> {
+        self.post_filter = Some(match self.post_filter.take() {
+            Some(f) => f.and(expr),
+            None => expr,
+        });
+        self
+    }
+
+    /// Group by `keys` (referencing access names) computing `aggs`.
+    /// Output columns: keys first, then aggregates.
+    pub fn aggregate(mut self, keys: Vec<Expr>, aggs: Vec<Agg>) -> Query<'a> {
+        self.group_by = keys;
+        self.aggs = aggs;
+        self
+    }
+
+    /// Filter on aggregate output slots (`Expr::Slot` indices into the
+    /// aggregate output).
+    pub fn having(mut self, expr: Expr) -> Query<'a> {
+        self.having = Some(expr);
+        self
+    }
+
+    /// Post-aggregation projection over output slots.
+    pub fn select(mut self, exprs: Vec<Expr>) -> Query<'a> {
+        self.select = Some(exprs);
+        self
+    }
+
+    /// Sort the final output by column index.
+    pub fn order_by(mut self, col: usize, desc: bool) -> Query<'a> {
+        self.order_by.push((col, desc));
+        self
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn limit(mut self, n: usize) -> Query<'a> {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Describe the plan without executing it: per-table cardinality
+    /// estimates (statistics + the §4.6 static document sampling), the
+    /// join order the optimizer would choose, pushed filters, and the §4.8
+    /// skip-path sets. An `EXPLAIN` for JSON tiles plans.
+    pub fn explain(&self) -> PlanExplain {
+        let mut tables = Vec::new();
+        for t in &self.tables {
+            let mut filter = t.filter.clone();
+            if let Some(f) = &mut filter {
+                f.resolve(&|name| {
+                    t.accesses
+                        .iter()
+                        .position(|a| a.name == name)
+                        .expect("pushed filter references own accesses")
+                });
+            }
+            let probe = TableScanDef {
+                name: t.name.clone(),
+                rel: t.rel,
+                accesses: t.accesses.clone(),
+                filter,
+            };
+            let estimated = sample_scan_rows(&probe, 256);
+            let skip_paths: Vec<String> = probe
+                .filter
+                .as_ref()
+                .map(|f| {
+                    f.null_rejecting_slots()
+                        .into_iter()
+                        .map(|s| t.accesses[s].path.to_string())
+                        .collect()
+                })
+                .unwrap_or_default();
+            tables.push(TableExplain {
+                name: t.name.clone(),
+                total_rows: t.rel.row_count(),
+                estimated_rows: estimated,
+                accesses: t.accesses.len(),
+                has_pushed_filter: t.filter.is_some(),
+                skip_paths,
+            });
+        }
+        // Simulate the greedy join ordering on the estimates.
+        let name_table = |name: &str| -> usize {
+            self.tables
+                .iter()
+                .position(|t| t.accesses.iter().any(|a| a.name == name))
+                .expect("known access")
+        };
+        let inner: Vec<&JoinClause> =
+            self.joins.iter().filter(|j| j.kind == JoinKind::Inner).collect();
+        let mut comp_of: Vec<usize> = (0..self.tables.len()).collect();
+        let mut comp_est: Vec<f64> = tables.iter().map(|t| t.estimated_rows).collect();
+        let mut pending: Vec<usize> = (0..inner.len()).collect();
+        let mut join_order = Vec::new();
+        while !pending.is_empty() {
+            let mut best = 0usize;
+            let mut best_cost = f64::INFINITY;
+            for (pos, &ji) in pending.iter().enumerate() {
+                let j = inner[ji];
+                let (lt, rt) = (name_table(&j.left), name_table(&j.right));
+                let (lc, rc) = (comp_of[lt], comp_of[rt]);
+                let cost = if lc == rc {
+                    0.0
+                } else {
+                    let ls = self.tables[lt]
+                        .accesses
+                        .iter()
+                        .position(|a| a.name == j.left)
+                        .expect("left access");
+                    let rs = self.tables[rt]
+                        .accesses
+                        .iter()
+                        .position(|a| a.name == j.right)
+                        .expect("right access");
+                    comp_est[lc] * comp_est[rc]
+                        / join_key_distinct(&self.tables, lt, ls, rt, rs).max(1.0)
+                };
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = pos;
+                }
+            }
+            let ji = pending.remove(best);
+            let j = inner[ji];
+            let (lt, rt) = (name_table(&j.left), name_table(&j.right));
+            let (lc, rc) = (comp_of[lt], comp_of[rt]);
+            join_order.push(JoinExplain {
+                left: j.left.clone(),
+                right: j.right.clone(),
+                estimated_output: best_cost,
+            });
+            if lc != rc {
+                comp_est[lc] = best_cost;
+                for c in comp_of.iter_mut() {
+                    if *c == rc {
+                        *c = lc;
+                    }
+                }
+            }
+        }
+        PlanExplain {
+            tables,
+            join_order,
+            has_post_filter: self.post_filter.is_some(),
+            group_keys: self.group_by.len(),
+            aggregates: self.aggs.len(),
+            limit: self.limit,
+        }
+    }
+
+    /// Run with default options (single-threaded, optimizations on).
+    pub fn run(self) -> ResultSet {
+        self.run_with(ExecOptions::default())
+    }
+
+    /// Run with explicit options.
+    pub fn run_with(self, opts: ExecOptions) -> ResultSet {
+        // --- name → (table, slot) mapping -------------------------------
+        let mut slot_of: HashMap<String, (usize, usize)> = HashMap::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            for (si, a) in t.accesses.iter().enumerate() {
+                let prev = slot_of.insert(a.name.clone(), (ti, si));
+                assert!(prev.is_none(), "duplicate access name {:?}", a.name);
+            }
+        }
+        let lookup_table = |name: &str| -> (usize, usize) {
+            *slot_of
+                .get(name)
+                .unwrap_or_else(|| panic!("unknown column {name:?}"))
+        };
+
+        // --- scans (with §4.8 skip-path analysis) -----------------------
+        let mut scanned: Vec<Chunk> = Vec::with_capacity(self.tables.len());
+        let mut stats = ScanStats::default();
+        for (ti, t) in self.tables.iter().enumerate() {
+            let mut filter = t.filter.clone();
+            if let Some(f) = &mut filter {
+                f.resolve(&|name| {
+                    let (ft, fs) = lookup_table(name);
+                    assert_eq!(ft, ti, "pushed filter references other table: {name}");
+                    fs
+                });
+            }
+            let mut skip_paths: Vec<jt_core::KeyPath> = Vec::new();
+            if let Some(f) = &filter {
+                for slot in f.null_rejecting_slots() {
+                    skip_paths.push(t.accesses[slot].path.clone());
+                }
+            }
+            // Inner/semi join keys are null-rejecting on both sides; anti
+            // joins only on the right (build) side.
+            for j in &self.joins {
+                for (name, rejecting) in [
+                    (&j.left, j.kind != JoinKind::Anti),
+                    (&j.right, true),
+                ] {
+                    let (jt, js) = lookup_table(name);
+                    if jt == ti && rejecting {
+                        skip_paths.push(t.accesses[js].path.clone());
+                    }
+                }
+            }
+            let spec = ScanSpec {
+                relation: t.rel,
+                accesses: t.accesses.clone(),
+                filter,
+                skip_paths,
+                enable_skipping: opts.enable_skipping,
+            };
+            let (chunk, s) = execute_scan(&spec, opts.threads);
+            stats.scanned_tiles += s.scanned_tiles;
+            stats.skipped_tiles += s.skipped_tiles;
+            scanned.push(chunk);
+        }
+
+        // --- join ordering and execution --------------------------------
+        // Components: each table starts alone; inner joins merge them.
+        // `slot_map` tracks where each (table, slot) currently lives.
+        let mut components: Vec<Option<Chunk>> = scanned.into_iter().map(Some).collect();
+        let mut comp_of: Vec<usize> = (0..self.tables.len()).collect();
+        let mut slot_base: Vec<HashMap<usize, usize>> = (0..self.tables.len())
+            .map(|ti| HashMap::from([(ti, 0usize)]))
+            .collect();
+
+        let inner_joins: Vec<&JoinClause> =
+            self.joins.iter().filter(|j| j.kind == JoinKind::Inner).collect();
+        let mut pending: Vec<usize> = (0..inner_joins.len()).collect();
+
+        let estimates: Vec<f64> = self
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(ti, t)| estimate_scan_rows(t, components[comp_of[ti]].as_ref()))
+            .collect();
+        let mut comp_est: Vec<f64> = estimates.clone();
+
+        while !pending.is_empty() {
+            // Pick the next join: cheapest estimated output (optimizer on)
+            // or declaration order (off).
+            let pick = if opts.optimize_joins {
+                let mut best = 0usize;
+                let mut best_cost = f64::INFINITY;
+                for (pos, &ji) in pending.iter().enumerate() {
+                    let cost =
+                        self.estimate_join(&inner_joins, ji, &comp_of, &comp_est, &lookup_table);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = pos;
+                    }
+                }
+                best
+            } else {
+                0
+            };
+            let ji = pending.remove(pick);
+            let j = inner_joins[ji];
+            let (lt, ls) = lookup_table(&j.left);
+            let (rt, rs) = lookup_table(&j.right);
+            let (lc, rc) = (comp_of[lt], comp_of[rt]);
+            if lc == rc {
+                // Same component already: apply as post filter.
+                let chunk = components[lc].take().expect("component present");
+                let lslot = slot_base[lc][&lt] + ls;
+                let rslot = slot_base[rc][&rt] + rs;
+                let filtered = filter_chunk(chunk, &Expr::Slot(lslot).eq(Expr::Slot(rslot)));
+                components[lc] = Some(filtered);
+                continue;
+            }
+            let left_chunk = components[lc].take().expect("left comp");
+            let right_chunk = components[rc].take().expect("right comp");
+            let lslot = slot_base[lc][&lt] + ls;
+            let rslot = slot_base[rc][&rt] + rs;
+            // Build on the smaller side.
+            let (joined, left_first) = if left_chunk.rows() <= right_chunk.rows() {
+                (hash_join(&left_chunk, &right_chunk, &[lslot], &[rslot]), true)
+            } else {
+                (hash_join(&right_chunk, &left_chunk, &[rslot], &[lslot]), false)
+            };
+            // Merge slot maps: offsets shift by the left side's width.
+            let (first, second, first_width) = if left_first {
+                (lc, rc, left_chunk.width())
+            } else {
+                (rc, lc, right_chunk.width())
+            };
+            let second_map = slot_base[second].clone();
+            let mut merged = slot_base[first].clone();
+            for (t, base) in second_map {
+                merged.insert(t, base + first_width);
+            }
+            components[lc] = Some(joined);
+            slot_base[lc] = merged;
+            comp_est[lc] = comp_est[lc] * comp_est[rc]
+                / join_key_distinct(&self.tables, lt, ls, rt, rs).max(1.0);
+            for c in comp_of.iter_mut() {
+                if *c == rc {
+                    *c = lc;
+                }
+            }
+        }
+
+        // Collapse to a single component (cross product if disconnected).
+        // Tables that only feed semi/anti joins stay out: they reduce the
+        // main component later instead of multiplying into it.
+        let reduction_tables: std::collections::HashSet<usize> = self
+            .joins
+            .iter()
+            .filter(|j| j.kind != JoinKind::Inner)
+            .map(|j| lookup_table(&j.right).0)
+            .collect();
+        let root = comp_of[0];
+        for ti in 1..self.tables.len() {
+            if reduction_tables.contains(&ti) {
+                continue;
+            }
+            let c = comp_of[ti];
+            if c != root && components[c].is_some() {
+                let right = components[c].take().expect("comp");
+                let left = components[root].take().expect("root");
+                let lw = left.width();
+                let joined = cross_product(left, right);
+                let add: Vec<(usize, usize)> =
+                    slot_base[c].iter().map(|(&t, &b)| (t, b + lw)).collect();
+                for (t, b) in add {
+                    slot_base[root].insert(t, b);
+                }
+                components[root] = Some(joined);
+                for cc in comp_of.iter_mut() {
+                    if *cc == c {
+                        *cc = root;
+                    }
+                }
+            }
+        }
+        let mut chunk = components[root].take().unwrap_or_default();
+
+        // --- semi / anti joins ------------------------------------------
+        for j in self.joins.iter().filter(|j| j.kind != JoinKind::Inner) {
+            let (lt, ls) = lookup_table(&j.left);
+            let (rt, rs) = lookup_table(&j.right);
+            assert_eq!(comp_of[lt], root, "semi/anti left side must be joined");
+            let lslot = slot_base[root][&lt] + ls;
+            // Right side must be an unjoined base table.
+            let right = match &components[comp_of[rt]] {
+                Some(c) if comp_of[rt] != root => c.clone(),
+                _ => panic!("semi/anti right table {rt} must not participate in inner joins"),
+            };
+            chunk = match j.kind {
+                JoinKind::Semi => semi_join(&chunk, &right, &[lslot], &[rs]),
+                JoinKind::Anti => anti_join(&chunk, &right, &[lslot], &[rs]),
+                JoinKind::Inner => unreachable!(),
+            };
+        }
+
+        // --- post filter -------------------------------------------------
+        if let Some(mut f) = self.post_filter {
+            f.resolve(&|name| {
+                let (t, s) = lookup_table(name);
+                slot_base[root][&t] + s
+            });
+            chunk = filter_chunk(chunk, &f);
+        }
+
+        // --- aggregation --------------------------------------------------
+        let global_lookup = |name: &str| {
+            let (t, s) = lookup_table(name);
+            slot_base[root][&t] + s
+        };
+        let mut out = if !self.aggs.is_empty() || !self.group_by.is_empty() {
+            let mut keys = self.group_by;
+            for k in &mut keys {
+                k.resolve(&global_lookup);
+            }
+            let mut aggs = self.aggs;
+            for a in &mut aggs {
+                a.expr.resolve(&global_lookup);
+            }
+            group_aggregate(&chunk, &keys, &aggs)
+        } else {
+            chunk
+        };
+
+        // --- having / select / order / limit -----------------------------
+        if let Some(h) = self.having {
+            out = filter_chunk(out, &h);
+        }
+        if let Some(mut sel) = self.select {
+            for e in &mut sel {
+                // Bare selects after aggregation reference output slots; on
+                // non-aggregated plans they may still use names.
+                e.resolve(&global_lookup);
+            }
+            let mut proj = Chunk::empty(sel.len());
+            for row in 0..out.rows() {
+                for (c, e) in sel.iter().enumerate() {
+                    proj.columns[c].push(e.eval(&out, row));
+                }
+            }
+            out = proj;
+        }
+        if !self.order_by.is_empty() {
+            let mut idx: Vec<usize> = (0..out.rows()).collect();
+            idx.sort_by(|&a, &b| {
+                for &(c, desc) in &self.order_by {
+                    let ord = out
+                        .get(a, c)
+                        .compare(out.get(b, c))
+                        .unwrap_or_else(|| {
+                            // Nulls last.
+                            match (out.get(a, c).is_null(), out.get(b, c).is_null()) {
+                                (true, false) => std::cmp::Ordering::Greater,
+                                (false, true) => std::cmp::Ordering::Less,
+                                _ => std::cmp::Ordering::Equal,
+                            }
+                        });
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            let mut sorted = Chunk::empty(out.width());
+            for &i in &idx {
+                for (c, col) in out.columns.iter().enumerate() {
+                    sorted.columns[c].push(col[i].clone());
+                }
+            }
+            out = sorted;
+        }
+        if let Some(n) = self.limit {
+            for col in &mut out.columns {
+                col.truncate(n);
+            }
+        }
+
+        ResultSet {
+            chunk: out,
+            scan_stats: stats,
+        }
+    }
+
+    fn estimate_join(
+        &self,
+        inner_joins: &[&JoinClause],
+        ji: usize,
+        comp_of: &[usize],
+        comp_est: &[f64],
+        lookup: &dyn Fn(&str) -> (usize, usize),
+    ) -> f64 {
+        let j = inner_joins[ji];
+        let (lt, ls) = lookup(&j.left);
+        let (rt, rs) = lookup(&j.right);
+        let (lc, rc) = (comp_of[lt], comp_of[rt]);
+        if lc == rc {
+            return 0.0; // already-joined filter: free, do it first
+        }
+        comp_est[lc] * comp_est[rc] / join_key_distinct(&self.tables, lt, ls, rt, rs).max(1.0)
+    }
+}
+
+/// Distinct-count estimate for a join key pair: the max of both sides'
+/// HyperLogLog estimates (§4.6 — "the filter predicates … leverage the
+/// distinct counts of the HyperLogLog sketches" for join ordering).
+fn join_key_distinct(
+    tables: &[TableScanDef<'_>],
+    lt: usize,
+    ls: usize,
+    rt: usize,
+    rs: usize,
+) -> f64 {
+    let nd = |t: &TableScanDef<'_>, s: usize| -> f64 {
+        let path = t.accesses[s].path.to_string();
+        t.rel
+            .stats()
+            .estimate_distinct(&path)
+            .unwrap_or_else(|| t.rel.stats().estimate_path_count(&path) as f64)
+    };
+    nd(&tables[lt], ls).max(nd(&tables[rt], rs))
+}
+
+/// Estimated scan output: base cardinality times a selectivity guess per
+/// top-level conjunct. The actual scanned chunk (already available) is used
+/// as the true value — the estimate path exists so that join ordering can
+/// also be exercised without executing scans first.
+fn estimate_scan_rows(t: &TableScanDef<'_>, actual: Option<&Chunk>) -> f64 {
+    if let Some(c) = actual {
+        return c.rows() as f64;
+    }
+    sample_scan_rows(t, 256)
+}
+
+/// Plan-time cardinality estimation by static document sampling (§4.6:
+/// "different documents are sampled statically at query plan generation to
+/// find more accurate estimations"). Evaluates the pushed-down accesses and
+/// filter on up to `samples` evenly spaced rows and scales the pass rate to
+/// the relation size.
+fn sample_scan_rows(t: &TableScanDef<'_>, samples: usize) -> f64 {
+    let total = t.rel.row_count();
+    if total == 0 {
+        return 0.0;
+    }
+    let Some(filter) = &t.filter else {
+        return total as f64;
+    };
+    let mut resolved = filter.clone();
+    resolved.resolve(&|name| {
+        t.accesses
+            .iter()
+            .position(|a| a.name == name)
+            .expect("pushed filter references own accesses")
+    });
+    let n = samples.min(total).max(1);
+    let step = (total / n).max(1);
+    let mut passing = 0usize;
+    let mut seen = 0usize;
+    let mut row_buf: Vec<Scalar> = Vec::with_capacity(t.accesses.len());
+    for row in (0..total).step_by(step).take(n) {
+        let (ti, r) = t.rel.locate(row);
+        let tile = &t.rel.tiles()[ti];
+        row_buf.clear();
+        for a in &t.accesses {
+            let plan = crate::access::resolve_access(tile, a, t.rel.config().mode);
+            row_buf.push(crate::access::eval_access(tile, plan, a, r));
+        }
+        if resolved.eval_row_bool(&row_buf) {
+            passing += 1;
+        }
+        seen += 1;
+    }
+    // Never estimate zero: a selective filter still passes *some* rows.
+    (passing.max(1) as f64 / seen.max(1) as f64) * total as f64
+}
+
+fn filter_chunk(chunk: Chunk, pred: &Expr) -> Chunk {
+    let mut out = Chunk::empty(chunk.width());
+    for row in 0..chunk.rows() {
+        if pred.eval_bool(&chunk, row) {
+            for (c, col) in chunk.columns.iter().enumerate() {
+                out.columns[c].push(col[row].clone());
+            }
+        }
+    }
+    out
+}
+
+fn cross_product(left: Chunk, right: Chunk) -> Chunk {
+    let mut out = Chunk::empty(left.width() + right.width());
+    for l in 0..left.rows() {
+        for r in 0..right.rows() {
+            for (c, col) in left.columns.iter().enumerate() {
+                out.columns[c].push(col[l].clone());
+            }
+            for (c, col) in right.columns.iter().enumerate() {
+                out.columns[left.width() + c].push(col[r].clone());
+            }
+        }
+    }
+    out
+}
+
+/// Per-table section of [`Query::explain`].
+#[derive(Debug, Clone)]
+pub struct TableExplain {
+    /// Table label from `scan`/`join`.
+    pub name: String,
+    /// Relation row count.
+    pub total_rows: usize,
+    /// Estimated rows after the pushed filter (§4.6 sampling).
+    pub estimated_rows: f64,
+    /// Number of pushed-down accesses.
+    pub accesses: usize,
+    /// Whether a filter was pushed into the scan.
+    pub has_pushed_filter: bool,
+    /// Null-rejecting paths eligible for tile skipping (§4.8).
+    pub skip_paths: Vec<String>,
+}
+
+/// One join step of [`Query::explain`], in chosen execution order.
+#[derive(Debug, Clone)]
+pub struct JoinExplain {
+    /// Left key slot name.
+    pub left: String,
+    /// Right key slot name.
+    pub right: String,
+    /// Estimated output cardinality when the step was chosen.
+    pub estimated_output: f64,
+}
+
+/// The output of [`Query::explain`].
+#[derive(Debug, Clone)]
+pub struct PlanExplain {
+    /// Scans, in declaration order.
+    pub tables: Vec<TableExplain>,
+    /// Inner joins, in the order the optimizer would execute them.
+    pub join_order: Vec<JoinExplain>,
+    /// Whether a cross-table filter runs after the joins.
+    pub has_post_filter: bool,
+    /// Number of group-by keys.
+    pub group_keys: usize,
+    /// Number of aggregates.
+    pub aggregates: usize,
+    /// LIMIT, if any.
+    pub limit: Option<usize>,
+}
+
+impl std::fmt::Display for PlanExplain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for t in &self.tables {
+            writeln!(
+                f,
+                "scan {:<12} rows={:<8} est={:<10.0} accesses={} filter={} skip_paths=[{}]",
+                t.name,
+                t.total_rows,
+                t.estimated_rows,
+                t.accesses,
+                t.has_pushed_filter,
+                t.skip_paths.join(", ")
+            )?;
+        }
+        for j in &self.join_order {
+            writeln!(f, "join {} = {} (est {:.0})", j.left, j.right, j.estimated_output)?;
+        }
+        if self.has_post_filter {
+            writeln!(f, "post-filter")?;
+        }
+        if self.group_keys > 0 || self.aggregates > 0 {
+            writeln!(f, "aggregate keys={} aggs={}", self.group_keys, self.aggregates)?;
+        }
+        if let Some(n) = self.limit {
+            writeln!(f, "limit {n}")?;
+        }
+        Ok(())
+    }
+}

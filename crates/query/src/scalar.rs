@@ -1,0 +1,217 @@
+//! Runtime scalar values.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A runtime value flowing between operators. `Timestamp` carries epoch
+/// seconds (the §4.9 extraction type); exact decimals surface as `Float`
+//  after the `::Decimal` cast.
+#[derive(Debug, Clone)]
+pub enum Scalar {
+    /// SQL null (also the result of failed casts and absent JSON keys).
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Shared string.
+    Str(Arc<str>),
+    /// Epoch seconds.
+    Timestamp(i64),
+}
+
+impl Scalar {
+    /// Build a string scalar.
+    pub fn str(s: impl AsRef<str>) -> Scalar {
+        Scalar::Str(Arc::from(s.as_ref()))
+    }
+
+    /// True if null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Scalar::Null)
+    }
+
+    /// Integer view (no string parsing).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(i) => Some(*i),
+            Scalar::Float(f) => Some(*f as i64),
+            Scalar::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(i) => Some(*i as f64),
+            Scalar::Float(f) => Some(*f),
+            Scalar::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL comparison: `None` when either side is null or the types are
+    /// incomparable (which SQL would reject at plan time).
+    pub fn compare(&self, other: &Scalar) -> Option<Ordering> {
+        use Scalar::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Timestamp(a), Timestamp(b)) => Some(a.cmp(b)),
+            (Int(a), Timestamp(b)) | (Timestamp(a), Int(b)) => Some(a.cmp(b)),
+            (Float(a), Float(b)) => a.partial_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Timestamp(a), Float(b)) => (*a as f64).partial_cmp(b),
+            (Float(a), Timestamp(b)) => a.partial_cmp(&(*b as f64)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Equality for grouping/joining: null groups with null (SQL `GROUP BY`
+    /// semantics), type-coercing like [`Scalar::compare`].
+    pub fn group_eq(&self, other: &Scalar) -> bool {
+        match (self, other) {
+            (Scalar::Null, Scalar::Null) => true,
+            (Scalar::Null, _) | (_, Scalar::Null) => false,
+            _ => self.compare(other) == Some(Ordering::Equal),
+        }
+    }
+
+    /// Append a canonical byte encoding for hash keys (join/group-by).
+    /// Numeric types that compare equal encode identically.
+    pub fn write_key(&self, out: &mut Vec<u8>) {
+        match self {
+            Scalar::Null => out.push(0),
+            Scalar::Int(i) => {
+                // Integers and integral floats must agree.
+                out.push(1);
+                out.extend_from_slice(&(*i as f64).to_bits().to_le_bytes());
+            }
+            Scalar::Float(f) => {
+                out.push(1);
+                let f = if *f == 0.0 { 0.0 } else { *f }; // -0.0 == 0.0
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Scalar::Timestamp(t) => {
+                out.push(1);
+                out.extend_from_slice(&(*t as f64).to_bits().to_le_bytes());
+            }
+            Scalar::Bool(b) => {
+                out.push(2);
+                out.push(*b as u8);
+            }
+            Scalar::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Render for result display.
+    pub fn display(&self) -> String {
+        match self {
+            Scalar::Null => "null".to_owned(),
+            Scalar::Int(i) => i.to_string(),
+            Scalar::Float(f) => format!("{f:.4}"),
+            Scalar::Bool(b) => b.to_string(),
+            Scalar::Str(s) => s.to_string(),
+            Scalar::Timestamp(t) => jt_core::format_timestamp(*t),
+        }
+    }
+}
+
+impl PartialEq for Scalar {
+    fn eq(&self, other: &Self) -> bool {
+        self.group_eq(other)
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_coerce_numerics() {
+        assert_eq!(Scalar::Int(2).compare(&Scalar::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Scalar::Int(2).compare(&Scalar::Float(2.5)), Some(Ordering::Less));
+        assert_eq!(Scalar::str("a").compare(&Scalar::str("b")), Some(Ordering::Less));
+        assert_eq!(Scalar::Null.compare(&Scalar::Int(1)), None);
+        assert_eq!(Scalar::str("a").compare(&Scalar::Int(1)), None);
+    }
+
+    #[test]
+    fn group_semantics() {
+        assert!(Scalar::Null.group_eq(&Scalar::Null));
+        assert!(!Scalar::Null.group_eq(&Scalar::Int(0)));
+        assert!(Scalar::Int(3).group_eq(&Scalar::Float(3.0)));
+    }
+
+    #[test]
+    fn hash_keys_agree_with_equality() {
+        let pairs = [
+            (Scalar::Int(5), Scalar::Float(5.0)),
+            (Scalar::Float(0.0), Scalar::Float(-0.0)),
+            (Scalar::Timestamp(100), Scalar::Int(100)),
+        ];
+        for (a, b) in pairs {
+            let mut ka = Vec::new();
+            let mut kb = Vec::new();
+            a.write_key(&mut ka);
+            b.write_key(&mut kb);
+            assert_eq!(ka, kb, "{a:?} vs {b:?}");
+        }
+        let mut ka = Vec::new();
+        let mut kb = Vec::new();
+        Scalar::Int(1).write_key(&mut ka);
+        Scalar::str("1").write_key(&mut kb);
+        assert_ne!(ka, kb);
+    }
+}

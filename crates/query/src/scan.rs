@@ -1,0 +1,371 @@
+//! The table scan operator (paper §4.2, §4.5, §4.8).
+//!
+//! Scans are morsel-parallel over tiles. For each tile the scan:
+//!
+//! 1. applies the §4.8 skipping test — if a null-rejecting predicate or
+//!    join key references a path the tile neither extracted nor saw
+//!    (Bloom filter), the tile produces nothing;
+//! 2. resolves every pushed-down access once (§4.5);
+//! 3. evaluates accesses and the pushed-down filter row by row,
+//!    materializing only passing rows.
+
+use crate::access::{eval_access, resolve_access, Access};
+use crate::expr::Expr;
+use crate::scalar::Scalar;
+use crate::Chunk;
+use jt_core::{KeyPath, Relation, StorageMode};
+
+/// A fully-specified scan.
+pub struct ScanSpec<'a> {
+    /// The relation to scan.
+    pub relation: &'a Relation,
+    /// Pushed-down accesses; output slot `i` is `accesses[i]`.
+    pub accesses: Vec<Access>,
+    /// Pushed-down filter over the access slots (already resolved).
+    pub filter: Option<Expr>,
+    /// Paths referenced by null-rejecting predicates or join keys — the
+    /// §4.8 candidates for tile skipping.
+    pub skip_paths: Vec<KeyPath>,
+    /// The `no Skip` ablation switch (Figure 14).
+    pub enable_skipping: bool,
+}
+
+/// Scan counters for the skipping experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ScanStats {
+    /// Tiles actually scanned.
+    pub scanned_tiles: usize,
+    /// Tiles skipped by the §4.8 test.
+    pub skipped_tiles: usize,
+}
+
+/// Execute a scan with `threads` workers. Output rows preserve tile order
+/// regardless of thread count, so results are deterministic.
+pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
+    let tiles = spec.relation.tiles();
+    let mode = spec.relation.config().mode;
+    let threads = threads.max(1).min(tiles.len().max(1));
+
+    let scan_tile = |tile_idx: usize| -> Option<Chunk> {
+        let tile = &tiles[tile_idx];
+        // §4.8: "if the expression is not found and null values are skipped
+        // or evaluated as false, the whole JSON tile has no valuable
+        // information". Only tiles-mode headers carry the needed metadata.
+        if spec.enable_skipping && mode == StorageMode::Tiles {
+            for path in &spec.skip_paths {
+                if !tile.may_contain_path(path) {
+                    return None;
+                }
+            }
+        }
+        let plans: Vec<_> = spec
+            .accesses
+            .iter()
+            .map(|a| resolve_access(tile, a, mode))
+            .collect();
+        // Columnar predicate pushdown: string conjuncts whose access is
+        // served by a non-fallback Str column are evaluated directly on the
+        // column bytes (no per-row scalar materialization). Everything else
+        // stays in the residual filter.
+        let (fast_preds, residual) = split_fast_preds(spec, tile, &plans);
+        // Late materialization: accesses the residual filter reads are
+        // evaluated for every surviving row; the rest only for rows that
+        // pass. With a selective pushed-down predicate this skips most of
+        // the access work.
+        let filter_slots: Vec<bool> = match &residual {
+            Some(f) => {
+                let used = f.referenced_slots();
+                (0..spec.accesses.len()).map(|i| used.contains(&i)).collect()
+            }
+            None => vec![false; spec.accesses.len()],
+        };
+        let mut out = Chunk::empty(spec.accesses.len());
+        let mut row_buf: Vec<Scalar> = vec![Scalar::Null; spec.accesses.len()];
+        'rows: for row in 0..tile.len() {
+            for fp in &fast_preds {
+                let chunk = tile.column(fp.col);
+                let ok = match chunk.get_str(row) {
+                    None => false, // SQL: predicate on null is not true
+                    Some(s) => match fp.kind {
+                        StrPredKind::Eq => s == fp.pattern,
+                        StrPredKind::Contains => s.contains(&fp.pattern),
+                        StrPredKind::StartsWith => s.starts_with(&fp.pattern),
+                        StrPredKind::EndsWith => s.ends_with(&fp.pattern),
+                    },
+                };
+                if !ok {
+                    continue 'rows;
+                }
+            }
+            if let Some(f) = &residual {
+                for (i, (a, p)) in spec.accesses.iter().zip(&plans).enumerate() {
+                    if filter_slots[i] {
+                        row_buf[i] = eval_access(tile, *p, a, row);
+                    }
+                }
+                // The filter sees exactly the access slots of this scan.
+                if !f.eval_row_bool(&row_buf) {
+                    continue;
+                }
+            }
+            for (i, (a, p)) in spec.accesses.iter().zip(&plans).enumerate() {
+                if !filter_slots[i] {
+                    row_buf[i] = eval_access(tile, *p, a, row);
+                }
+            }
+            for (c, v) in out.columns.iter_mut().zip(row_buf.iter_mut()) {
+                c.push(std::mem::replace(v, Scalar::Null));
+            }
+        }
+        Some(out)
+    };
+
+    // Parallelize only when there is enough work to amortize thread spawns;
+    // each worker owns a contiguous tile range and writes into its own
+    // output vector, so no synchronization happens on the hot path.
+    let results: Vec<Option<Chunk>> = if threads <= 1 || tiles.len() < threads * 2 {
+        (0..tiles.len()).map(scan_tile).collect()
+    } else {
+        let per = tiles.len().div_ceil(threads);
+        let ranges: Vec<std::ops::Range<usize>> = (0..threads)
+            .map(|t| (t * per).min(tiles.len())..((t + 1) * per).min(tiles.len()))
+            .collect();
+        let mut parts: Vec<Vec<Option<Chunk>>> = Vec::with_capacity(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(|_| range.map(scan_tile).collect::<Vec<_>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("scan worker panicked"));
+            }
+        })
+        .expect("scan threads");
+        parts.into_iter().flatten().collect()
+    };
+
+    let mut stats = ScanStats::default();
+    let mut chunk = Chunk::empty(spec.accesses.len());
+    for r in results {
+        match r {
+            Some(c) => {
+                stats.scanned_tiles += 1;
+                chunk.append(c);
+            }
+            None => stats.skipped_tiles += 1,
+        }
+    }
+    (chunk, stats)
+}
+
+
+/// A string predicate evaluated directly on a column chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StrPredKind {
+    Eq,
+    Contains,
+    StartsWith,
+    EndsWith,
+}
+
+struct FastStrPred {
+    /// Column chunk index in the tile.
+    col: usize,
+    kind: StrPredKind,
+    pattern: String,
+}
+
+/// Partition the pushed-down filter's top-level conjuncts into string
+/// predicates servable straight from a (non-fallback) Str column of this
+/// tile and a residual expression for everything else.
+fn split_fast_preds(
+    spec: &ScanSpec<'_>,
+    tile: &jt_core::Tile,
+    plans: &[crate::access::ResolvedAccess],
+) -> (Vec<FastStrPred>, Option<Expr>) {
+    let Some(filter) = &spec.filter else {
+        return (Vec::new(), None);
+    };
+    let mut fast = Vec::new();
+    let mut residual: Option<Expr> = None;
+    for conjunct in conjuncts(filter) {
+        match as_fast_pred(conjunct, spec, tile, plans) {
+            Some(fp) => fast.push(fp),
+            None => {
+                residual = Some(match residual.take() {
+                    Some(r) => r.and(conjunct.clone()),
+                    None => conjunct.clone(),
+                });
+            }
+        }
+    }
+    (fast, residual)
+}
+
+fn conjuncts(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::And(a, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+fn as_fast_pred(
+    e: &Expr,
+    spec: &ScanSpec<'_>,
+    tile: &jt_core::Tile,
+    plans: &[crate::access::ResolvedAccess],
+) -> Option<FastStrPred> {
+    let (slot, kind, pattern) = match e {
+        Expr::Cmp(a, crate::expr::CmpOp::Eq, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Slot(i), Expr::Const(Scalar::Str(s)))
+            | (Expr::Const(Scalar::Str(s)), Expr::Slot(i)) => {
+                (*i, StrPredKind::Eq, s.to_string())
+            }
+            _ => return None,
+        },
+        Expr::Contains(a, p) => match a.as_ref() {
+            Expr::Slot(i) => (*i, StrPredKind::Contains, p.clone()),
+            _ => return None,
+        },
+        Expr::StartsWith(a, p) => match a.as_ref() {
+            Expr::Slot(i) => (*i, StrPredKind::StartsWith, p.clone()),
+            _ => return None,
+        },
+        Expr::EndsWith(a, p) => match a.as_ref() {
+            Expr::Slot(i) => (*i, StrPredKind::EndsWith, p.clone()),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    // The access must be served by a plain Str column with no binary
+    // fallback (fallback columns may hold values the chunk cannot show).
+    if spec.accesses[slot].ty != jt_core::AccessType::Text {
+        return None;
+    }
+    match plans[slot] {
+        crate::access::ResolvedAccess::Column { col, fallback: false }
+            if tile.column(col).col_type() == jt_core::ColType::Str =>
+        {
+            Some(FastStrPred { col, kind, pattern })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use jt_core::{AccessType, Relation, TilesConfig};
+    use jt_json::Value;
+
+    fn split_docs() -> Vec<Value> {
+        // First half: {a}, second half: {b} — disjoint structures in
+        // separate tiles (tile size 64, no reordering needed, data ordered).
+        (0..256)
+            .map(|i| {
+                if i < 128 {
+                    jt_json::parse(&format!(r#"{{"a":{i}}}"#)).unwrap()
+                } else {
+                    jt_json::parse(&format!(r#"{{"b":{i}}}"#)).unwrap()
+                }
+            })
+            .collect()
+    }
+
+    fn config() -> TilesConfig {
+        TilesConfig {
+            tile_size: 64,
+            partition_size: 1,
+            ..TilesConfig::default()
+        }
+    }
+
+    #[test]
+    fn skipping_eliminates_tiles_without_matches() {
+        let rel = Relation::load(&split_docs(), config());
+        let mut filter = col("a").gt(lit(-1));
+        filter.resolve(&|_| 0);
+        let spec = ScanSpec {
+            relation: &rel,
+            accesses: vec![Access::new("a", "a", AccessType::Int)],
+            filter: Some(filter),
+            skip_paths: vec![crate::access::parse_dotted_path("a")],
+            enable_skipping: true,
+        };
+        let (chunk, stats) = execute_scan(&spec, 1);
+        assert_eq!(chunk.rows(), 128, "all a-rows found");
+        assert_eq!(stats.skipped_tiles, 2, "b-tiles skipped");
+        assert_eq!(stats.scanned_tiles, 2);
+    }
+
+    #[test]
+    fn skipping_disabled_scans_everything() {
+        let rel = Relation::load(&split_docs(), config());
+        let mut filter = col("a").gt(lit(-1));
+        filter.resolve(&|_| 0);
+        let spec = ScanSpec {
+            relation: &rel,
+            accesses: vec![Access::new("a", "a", AccessType::Int)],
+            filter: Some(filter),
+            skip_paths: vec![crate::access::parse_dotted_path("a")],
+            enable_skipping: false,
+        };
+        let (chunk, stats) = execute_scan(&spec, 1);
+        assert_eq!(chunk.rows(), 128, "same result");
+        assert_eq!(stats.skipped_tiles, 0);
+        assert_eq!(stats.scanned_tiles, 4);
+    }
+
+    #[test]
+    fn skipping_never_changes_results() {
+        let rel = Relation::load(&split_docs(), config());
+        for threads in [1, 4] {
+            let mut with_skip = None;
+            for enable in [true, false] {
+                let mut filter = col("a").ge(lit(100));
+                filter.resolve(&|_| 0);
+                let spec = ScanSpec {
+                    relation: &rel,
+                    accesses: vec![Access::new("a", "a", AccessType::Int)],
+                    filter: Some(filter),
+                    skip_paths: vec![crate::access::parse_dotted_path("a")],
+                    enable_skipping: enable,
+                };
+                let (chunk, _) = execute_scan(&spec, threads);
+                let vals: Vec<Option<i64>> = chunk.columns[0].iter().map(Scalar::as_i64).collect();
+                match &with_skip {
+                    None => with_skip = Some(vals),
+                    Some(prev) => assert_eq!(prev, &vals, "threads={threads}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_deterministic_order() {
+        let rel = Relation::load(&split_docs(), config());
+        let make_spec = || ScanSpec {
+            relation: &rel,
+            accesses: vec![
+                Access::new("a", "a", AccessType::Int),
+                Access::new("b", "b", AccessType::Int),
+            ],
+            filter: None,
+            skip_paths: vec![],
+            enable_skipping: true,
+        };
+        let (seq, _) = execute_scan(&make_spec(), 1);
+        let (par, _) = execute_scan(&make_spec(), 8);
+        assert_eq!(seq.rows(), 256);
+        assert_eq!(par.rows(), 256);
+        for row in 0..256 {
+            assert!(seq.get(row, 0).group_eq(par.get(row, 0)) || (seq.get(row, 0).is_null() && par.get(row, 0).is_null()));
+            assert!(seq.get(row, 1).group_eq(par.get(row, 1)) || (seq.get(row, 1).is_null() && par.get(row, 1).is_null()));
+        }
+    }
+}

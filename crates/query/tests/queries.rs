@@ -1,0 +1,386 @@
+//! End-to-end query tests: results must be identical across all four
+//! storage modes, with and without tile skipping, optimization, and
+//! parallelism — the correctness backbone behind every benchmark.
+
+use jt_core::{Relation, StorageMode, TilesConfig};
+use jt_json::Value;
+use jt_query::{col, lit, lit_date, lit_str, AccessType, Agg, ExecOptions, Query, ResultSet};
+
+fn orders_and_items() -> (Vec<Value>, Vec<Value>) {
+    let orders: Vec<Value> = (0..200)
+        .map(|i| {
+            jt_json::parse(&format!(
+                r#"{{"o_orderkey":{i},"o_custkey":{},"o_orderdate":"19{}-0{}-15","o_status":"{}"}}"#,
+                i % 30,
+                94 + i % 5,
+                1 + i % 9,
+                if i % 3 == 0 { "F" } else { "O" }
+            ))
+            .unwrap()
+        })
+        .collect();
+    let items: Vec<Value> = (0..800)
+        .map(|i| {
+            jt_json::parse(&format!(
+                r#"{{"l_orderkey":{},"l_quantity":{},"l_price":"{}.50","l_flag":"{}"}}"#,
+                i % 200,
+                1 + i % 50,
+                10 + i % 90,
+                if i % 2 == 0 { "A" } else { "R" }
+            ))
+            .unwrap()
+        })
+        .collect();
+    (orders, items)
+}
+
+fn load(docs: &[Value], mode: StorageMode) -> Relation {
+    Relation::load(
+        docs,
+        TilesConfig {
+            mode,
+            tile_size: 64,
+            partition_size: 4,
+            ..TilesConfig::default()
+        },
+    )
+}
+
+fn result_fingerprint(r: &ResultSet) -> Vec<String> {
+    r.to_lines()
+}
+
+const MODES: [StorageMode; 4] = [
+    StorageMode::JsonText,
+    StorageMode::Jsonb,
+    StorageMode::Sinew,
+    StorageMode::Tiles,
+];
+
+#[test]
+fn filter_aggregate_identical_across_modes() {
+    let (_, items) = orders_and_items();
+    let mut expected: Option<Vec<String>> = None;
+    for mode in MODES {
+        let rel = load(&items, mode);
+        let r = Query::scan("l", &rel)
+            .access("l_quantity", AccessType::Int)
+            .access("l_flag", AccessType::Text)
+            .access("l_price", AccessType::Numeric)
+            .filter(col("l_quantity").le(lit(25)))
+            .aggregate(
+                vec![col("l_flag")],
+                vec![
+                    Agg::count_star(),
+                    Agg::sum(col("l_quantity")),
+                    Agg::avg(col("l_price")),
+                ],
+            )
+            .order_by(0, false)
+            .run();
+        let fp = result_fingerprint(&r);
+        assert_eq!(r.rows(), 2, "{mode:?}");
+        match &expected {
+            None => expected = Some(fp),
+            Some(e) => assert_eq!(e, &fp, "{mode:?} differs"),
+        }
+    }
+}
+
+#[test]
+fn join_identical_across_modes_and_options() {
+    let (orders, items) = orders_and_items();
+    let mut expected: Option<Vec<String>> = None;
+    for mode in MODES {
+        let orel = load(&orders, mode);
+        let irel = load(&items, mode);
+        for optimize in [true, false] {
+            for threads in [1usize, 4] {
+                let r = Query::scan("o", &orel)
+                    .access("o_orderkey", AccessType::Int)
+                    .access("o_custkey", AccessType::Int)
+                    .access("o_orderdate", AccessType::Timestamp)
+                    .filter(col("o_orderdate").ge(lit_date("1995-01-01")))
+                    .join("l", &irel)
+                    .access("l_orderkey", AccessType::Int)
+                    .access("l_quantity", AccessType::Int)
+                    .on("o_orderkey", "l_orderkey")
+                    .aggregate(
+                        vec![col("o_custkey")],
+                        vec![Agg::sum(col("l_quantity")), Agg::count_star()],
+                    )
+                    .order_by(0, false)
+                    .run_with(ExecOptions {
+                        threads,
+                        enable_skipping: true,
+                        optimize_joins: optimize,
+                    });
+                let fp = result_fingerprint(&r);
+                match &expected {
+                    None => expected = Some(fp),
+                    Some(e) => {
+                        assert_eq!(e, &fp, "{mode:?} optimize={optimize} threads={threads}")
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn three_way_join_with_post_filter() {
+    let (orders, items) = orders_and_items();
+    let custs: Vec<Value> = (0..30)
+        .map(|i| {
+            jt_json::parse(&format!(
+                r#"{{"c_custkey":{i},"c_name":"Customer{i}","c_nation":{}}}"#,
+                i % 5
+            ))
+            .unwrap()
+        })
+        .collect();
+    let mut expected: Option<Vec<String>> = None;
+    for mode in [StorageMode::Jsonb, StorageMode::Tiles] {
+        let (c, o, l) = (load(&custs, mode), load(&orders, mode), load(&items, mode));
+        let r = Query::scan("c", &c)
+            .access("c_custkey", AccessType::Int)
+            .access("c_nation", AccessType::Int)
+            .join("o", &o)
+            .access("o_orderkey", AccessType::Int)
+            .access("o_custkey", AccessType::Int)
+            .on("c_custkey", "o_custkey")
+            .join("l", &l)
+            .access("l_orderkey", AccessType::Int)
+            .access("l_quantity", AccessType::Int)
+            .on("o_orderkey", "l_orderkey")
+            .filter_joined(col("c_nation").eq(lit(2)))
+            .aggregate(vec![col("c_nation")], vec![Agg::sum(col("l_quantity"))])
+            .run();
+        assert_eq!(r.rows(), 1);
+        assert_eq!(r.column(0)[0].as_i64(), Some(2));
+        let fp = result_fingerprint(&r);
+        match &expected {
+            None => expected = Some(fp),
+            Some(e) => assert_eq!(e, &fp, "{mode:?}"),
+        }
+    }
+}
+
+#[test]
+fn semi_and_anti_joins() {
+    let (orders, items) = orders_and_items();
+    let orel = load(&orders, StorageMode::Tiles);
+    let irel = load(&items, StorageMode::Tiles);
+    // Orders with at least one big lineitem (EXISTS).
+    let semi = Query::scan("o", &orel)
+        .access("o_orderkey", AccessType::Int)
+        .join("l", &irel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_quantity", AccessType::Int)
+        .filter(col("l_quantity").gt(lit(45)))
+        .semi_on("o_orderkey", "l_orderkey")
+        .aggregate(vec![], vec![Agg::count_star()])
+        .run();
+    let anti = Query::scan("o", &orel)
+        .access("o_orderkey", AccessType::Int)
+        .join("l", &irel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_quantity", AccessType::Int)
+        .filter(col("l_quantity").gt(lit(45)))
+        .anti_on("o_orderkey", "l_orderkey")
+        .aggregate(vec![], vec![Agg::count_star()])
+        .run();
+    let s = semi.column(0)[0].as_i64().unwrap();
+    let a = anti.column(0)[0].as_i64().unwrap();
+    assert_eq!(s + a, 200, "semi + anti partition the orders");
+    assert!(s > 0 && a > 0);
+    // Cross-check against a brute-force count.
+    let brute = orders
+        .iter()
+        .filter(|o| {
+            let key = o.get("o_orderkey").unwrap().as_i64().unwrap();
+            items.iter().any(|l| {
+                l.get("l_orderkey").unwrap().as_i64() == Some(key)
+                    && l.get("l_quantity").unwrap().as_i64().unwrap() > 45
+            })
+        })
+        .count() as i64;
+    assert_eq!(s, brute);
+}
+
+#[test]
+fn skipping_reduces_scanned_tiles_on_mixed_collection() {
+    // Combined collection: orders then items (sequential blocks → clean
+    // tiles), querying only item fields.
+    let (orders, items) = orders_and_items();
+    let mut combined = orders.clone();
+    combined.extend(items.clone());
+    let rel = Relation::load(
+        &combined,
+        TilesConfig {
+            tile_size: 64,
+            partition_size: 1,
+            ..TilesConfig::default()
+        },
+    );
+    let run = |skip: bool| {
+        Query::scan("l", &rel)
+            .access("l_quantity", AccessType::Int)
+            .filter(col("l_quantity").gt(lit(0)))
+            .aggregate(vec![], vec![Agg::sum(col("l_quantity")), Agg::count(col("l_quantity"))])
+            .run_with(ExecOptions {
+                threads: 1,
+                enable_skipping: skip,
+                optimize_joins: true,
+            })
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(result_fingerprint(&with), result_fingerprint(&without));
+    assert!(
+        with.scan_stats.skipped_tiles >= 3,
+        "order-tiles skipped: {:?}",
+        with.scan_stats
+    );
+    assert_eq!(without.scan_stats.skipped_tiles, 0);
+}
+
+#[test]
+fn count_star_is_never_skipped_wrong() {
+    // COUNT(*) over a path-filtered query must count only matching rows,
+    // but a bare COUNT(*) with no predicate must count everything even
+    // when the probed path is missing from many tiles.
+    let (orders, items) = orders_and_items();
+    let mut combined = orders.clone();
+    combined.extend(items.clone());
+    let rel = Relation::load(
+        &combined,
+        TilesConfig {
+            tile_size: 64,
+            partition_size: 1,
+            ..TilesConfig::default()
+        },
+    );
+    let r = Query::scan("t", &rel)
+        .access("l_quantity", AccessType::Int)
+        .aggregate(vec![], vec![Agg::count_star(), Agg::count(col("l_quantity"))])
+        .run();
+    assert_eq!(r.column(0)[0].as_i64(), Some(1000), "count(*) sees all rows");
+    assert_eq!(r.column(1)[0].as_i64(), Some(800), "count(col) only items");
+}
+
+#[test]
+fn order_by_and_limit() {
+    let (_, items) = orders_and_items();
+    let rel = load(&items, StorageMode::Tiles);
+    let r = Query::scan("l", &rel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_quantity", AccessType::Int)
+        .aggregate(vec![col("l_orderkey")], vec![Agg::sum(col("l_quantity"))])
+        .order_by(1, true)
+        .limit(5)
+        .run();
+    assert_eq!(r.rows(), 5);
+    let sums: Vec<i64> = r.column(1).iter().map(|s| s.as_i64().unwrap()).collect();
+    let mut sorted = sums.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(sums, sorted, "descending");
+}
+
+#[test]
+fn having_and_select() {
+    let (_, items) = orders_and_items();
+    let rel = load(&items, StorageMode::Tiles);
+    let r = Query::scan("l", &rel)
+        .access("l_flag", AccessType::Text)
+        .access("l_quantity", AccessType::Int)
+        .aggregate(vec![col("l_flag")], vec![Agg::count_star()])
+        .having(jt_query::Expr::Slot(1).gt(lit(100)))
+        .select(vec![jt_query::Expr::Slot(0), jt_query::Expr::Slot(1).mul(lit(2))])
+        .run();
+    for row in 0..r.rows() {
+        assert!(r.column(1)[row].as_i64().unwrap() > 200);
+    }
+    assert_eq!(r.rows(), 2);
+}
+
+#[test]
+fn year_and_date_predicates() {
+    let (orders, _) = orders_and_items();
+    for mode in MODES {
+        let rel = load(&orders, mode);
+        let r = Query::scan("o", &rel)
+            .access("o_orderdate", AccessType::Timestamp)
+            .filter(
+                col("o_orderdate")
+                    .ge(lit_date("1996-01-01"))
+                    .and(col("o_orderdate").lt(lit_date("1997-01-01"))),
+            )
+            .aggregate(vec![], vec![Agg::count_star()])
+            .run();
+        let brute = orders
+            .iter()
+            .filter(|o| {
+                o.get("o_orderdate")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+                    .starts_with("1996")
+            })
+            .count() as i64;
+        assert_eq!(r.column(0)[0].as_i64(), Some(brute), "{mode:?}");
+    }
+}
+
+#[test]
+fn string_predicates_match_across_modes() {
+    let (orders, _) = orders_and_items();
+    let mut expected = None;
+    for mode in MODES {
+        let rel = load(&orders, mode);
+        let r = Query::scan("o", &rel)
+            .access("o_status", AccessType::Text)
+            .filter(col("o_status").eq(lit_str("F")))
+            .aggregate(vec![], vec![Agg::count_star()])
+            .run();
+        let v = r.column(0)[0].as_i64();
+        match expected {
+            None => expected = Some(v),
+            Some(e) => assert_eq!(e, v, "{mode:?}"),
+        }
+    }
+    assert_eq!(expected.unwrap(), Some(67));
+}
+
+#[test]
+fn explain_reports_plan_shape() {
+    let (orders, items) = orders_and_items();
+    let orel = load(&orders, StorageMode::Tiles);
+    let irel = load(&items, StorageMode::Tiles);
+    let q = Query::scan("orders", &orel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .filter(col("o_orderdate").ge(lit_date("1996-01-01")))
+        .join("items", &irel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_quantity", AccessType::Int)
+        .on("o_orderkey", "l_orderkey")
+        .aggregate(vec![], vec![Agg::sum(col("l_quantity"))]);
+    let plan = q.explain();
+    assert_eq!(plan.tables.len(), 2);
+    assert_eq!(plan.tables[0].name, "orders");
+    assert_eq!(plan.tables[0].total_rows, 200);
+    // ~2 of 5 years pass the filter: sampling should land near 40%.
+    let est = plan.tables[0].estimated_rows;
+    assert!((40.0..140.0).contains(&est), "estimate {est}");
+    assert!(plan.tables[0].has_pushed_filter);
+    assert!(plan.tables[0].skip_paths.contains(&"o_orderdate".to_string()));
+    assert_eq!(plan.join_order.len(), 1);
+    assert_eq!(plan.aggregates, 1);
+    // Display renders without panicking and mentions the tables.
+    let text = plan.to_string();
+    assert!(text.contains("orders") && text.contains("join"));
+    // The explained query still runs.
+    let r = q.run();
+    assert_eq!(r.rows(), 1);
+}

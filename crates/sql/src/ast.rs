@@ -1,0 +1,198 @@
+//! Abstract syntax for the supported SELECT dialect.
+
+/// SQL cast target types (§4.3 cast rewriting maps these to
+/// [`jt_core::AccessType`]s).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlType {
+    /// `INT` / `INTEGER` / `BIGINT`
+    Int,
+    /// `FLOAT` / `DOUBLE` / `REAL`
+    Float,
+    /// `DECIMAL` / `NUMERIC`
+    Numeric,
+    /// `TEXT` / `VARCHAR`
+    Text,
+    /// `DATE` / `TIMESTAMP`
+    Timestamp,
+    /// `BOOL` / `BOOLEAN`
+    Bool,
+}
+
+impl SqlType {
+    /// Recognize a type keyword.
+    pub fn from_keyword(kw: &str) -> Option<SqlType> {
+        Some(match kw {
+            "int" | "integer" | "bigint" | "smallint" => SqlType::Int,
+            "float" | "double" | "real" => SqlType::Float,
+            "decimal" | "numeric" => SqlType::Numeric,
+            "text" | "varchar" => SqlType::Text,
+            "date" | "timestamp" => SqlType::Timestamp,
+            "bool" | "boolean" => SqlType::Bool,
+            _ => return None,
+        })
+    }
+}
+
+/// Comparison / logic / arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// Literal values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'` (pre-parsed to epoch seconds).
+    Date(i64),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NULL`.
+    Null,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `AVG`
+    Avg,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+}
+
+/// One step of a JSON access chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// `-> 'key'` / `->> 'key'`
+    Key(String),
+    /// `-> 2` / `->> 2` (array element)
+    Index(i64),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// A JSON access chain: `table.data ->'a'-> 'b' ->> 'c' :: TYPE`.
+    /// `as_text` records whether the final hop was `->>`.
+    Access {
+        /// Table alias the chain is rooted at (`None` = the only table).
+        table: Option<String>,
+        /// The key/index steps.
+        path: Vec<PathStep>,
+        /// Final hop was `->>` (text) rather than `->` (json).
+        as_text: bool,
+        /// Optional `::` cast.
+        cast: Option<SqlType>,
+    },
+    /// Literal.
+    Lit(Lit),
+    /// Reference to a select-item alias or an output ordinal (in GROUP
+    /// BY / ORDER BY / HAVING).
+    Ref(String),
+    /// Binary operation.
+    Bin(Box<SqlExpr>, BinOp, Box<SqlExpr>),
+    /// `NOT e`
+    Not(Box<SqlExpr>),
+    /// `e IS NULL` / `e IS NOT NULL` (bool = negated).
+    IsNull(Box<SqlExpr>, bool),
+    /// `e LIKE 'pattern'` (supports `%x%`, `x%`, exact).
+    Like(Box<SqlExpr>, String),
+    /// `e IN (lit, …)`
+    InList(Box<SqlExpr>, Vec<Lit>),
+    /// `EXTRACT(YEAR FROM e)`
+    ExtractYear(Box<SqlExpr>),
+    /// Aggregate call; `distinct` only valid with COUNT.
+    Agg {
+        /// Which function.
+        func: AggFunc,
+        /// `COUNT(*)` has no argument.
+        arg: Option<Box<SqlExpr>>,
+        /// `COUNT(DISTINCT …)`.
+        distinct: bool,
+    },
+}
+
+impl SqlExpr {
+    /// True if the expression contains an aggregate call.
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Agg { .. } => true,
+            SqlExpr::Bin(a, _, b) => a.has_aggregate() || b.has_aggregate(),
+            SqlExpr::Not(a) | SqlExpr::IsNull(a, _) | SqlExpr::Like(a, _)
+            | SqlExpr::InList(a, _) | SqlExpr::ExtractYear(a) => a.has_aggregate(),
+            _ => false,
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: SqlExpr,
+    /// `AS alias`.
+    pub alias: Option<String>,
+}
+
+/// A table in FROM: `name [alias]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Catalog name.
+    pub name: String,
+    /// Alias (defaults to the name).
+    pub alias: String,
+}
+
+/// A parsed `SELECT`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables (comma joins; join predicates live in WHERE, the
+    /// paper's Figure 5 style).
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// GROUP BY expressions (aliases and 1-based ordinals allowed).
+    pub group_by: Vec<SqlExpr>,
+    /// HAVING predicate (may reference aliases/ordinals/aggregates).
+    pub having: Option<SqlExpr>,
+    /// ORDER BY (expression, descending).
+    pub order_by: Vec<(SqlExpr, bool)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+}

@@ -1,0 +1,533 @@
+//! Compile parsed SELECTs to `jt-query` plans.
+//!
+//! This is where the paper's plan rewrites happen for SQL input:
+//! `->`/`->>` chains become pushed-down scan accesses (§4.2), `::` casts
+//! select the typed access (§4.3), single-table WHERE conjuncts are pushed
+//! into the scans, and equality predicates between two tables' accesses
+//! become hash-join conditions.
+
+use crate::ast::*;
+use crate::{err, SqlError};
+use jt_core::{AccessType, KeyPath, Relation};
+use jt_query::{Agg, Expr, Query, Scalar};
+use std::collections::HashMap;
+
+/// Table name → relation mapping.
+pub type Catalog<'a> = HashMap<&'a str, &'a Relation>;
+
+/// One collected access placeholder.
+#[derive(Debug, Clone, PartialEq)]
+struct CollectedAccess {
+    table: usize,
+    path: KeyPath,
+    ty: AccessType,
+    name: String,
+}
+
+struct Ctx<'s> {
+    stmt: &'s SelectStmt,
+    accesses: Vec<CollectedAccess>,
+}
+
+impl<'s> Ctx<'s> {
+    fn table_index(&self, alias: &Option<String>, offset: usize) -> Result<usize, SqlError> {
+        match alias {
+            Some(a) => self
+                .stmt
+                .from
+                .iter()
+                .position(|t| &t.alias == a)
+                .ok_or(SqlError {
+                    message: format!("unknown table alias {a:?}"),
+                    offset,
+                }),
+            None => {
+                if self.stmt.from.len() == 1 {
+                    Ok(0)
+                } else {
+                    err("unqualified access with multiple tables", offset)
+                }
+            }
+        }
+    }
+
+    /// Register (or find) an access; returns its slot name.
+    fn intern_access(
+        &mut self,
+        table: &Option<String>,
+        path: &[PathStep],
+        as_text: bool,
+        cast: Option<SqlType>,
+    ) -> Result<String, SqlError> {
+        let ti = self.table_index(table, 0)?;
+        let ty = match cast {
+            Some(SqlType::Int) => AccessType::Int,
+            Some(SqlType::Float) => AccessType::Float,
+            Some(SqlType::Numeric) => AccessType::Numeric,
+            Some(SqlType::Text) => AccessType::Text,
+            Some(SqlType::Timestamp) => AccessType::Timestamp,
+            Some(SqlType::Bool) => AccessType::Bool,
+            None if as_text => AccessType::Text,
+            None => AccessType::Json,
+        };
+        let mut kp = KeyPath::root();
+        for step in path {
+            kp = match step {
+                PathStep::Key(k) => kp.child(k),
+                PathStep::Index(i) => {
+                    if *i < 0 {
+                        return err("negative array index", 0);
+                    }
+                    kp.index(*i as u32)
+                }
+            };
+        }
+        if let Some(existing) = self
+            .accesses
+            .iter()
+            .find(|a| a.table == ti && a.path == kp && a.ty == ty)
+        {
+            return Ok(existing.name.clone());
+        }
+        let name = format!("{}#{}#{:?}", self.stmt.from[ti].alias, kp, ty);
+        self.accesses.push(CollectedAccess {
+            table: ti,
+            path: kp,
+            ty,
+            name: name.clone(),
+        });
+        Ok(name)
+    }
+
+    /// Convert a scalar (non-aggregate) SQL expression to an engine
+    /// expression, interning accesses along the way.
+    fn to_expr(&mut self, e: &SqlExpr) -> Result<Expr, SqlError> {
+        Ok(match e {
+            SqlExpr::Access {
+                table,
+                path,
+                as_text,
+                cast,
+            } => jt_query::col(&self.intern_access(table, path, *as_text, *cast)?),
+            SqlExpr::Lit(l) => lit_expr(l),
+            SqlExpr::Ref(name) => {
+                return err(
+                    format!("alias reference {name:?} is only valid in GROUP/ORDER BY"),
+                    0,
+                )
+            }
+            SqlExpr::Bin(a, op, b) => {
+                let (a, b) = (self.to_expr(a)?, self.to_expr(b)?);
+                match op {
+                    BinOp::Eq => a.eq(b),
+                    BinOp::Ne => a.ne(b),
+                    BinOp::Lt => a.lt(b),
+                    BinOp::Le => a.le(b),
+                    BinOp::Gt => a.gt(b),
+                    BinOp::Ge => a.ge(b),
+                    BinOp::And => a.and(b),
+                    BinOp::Or => a.or(b),
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.sub(b),
+                    BinOp::Mul => a.mul(b),
+                    BinOp::Div => a.div(b),
+                }
+            }
+            SqlExpr::Not(a) => self.to_expr(a)?.not(),
+            SqlExpr::IsNull(a, negated) => {
+                let inner = self.to_expr(a)?;
+                if *negated {
+                    inner.is_not_null()
+                } else {
+                    inner.is_null()
+                }
+            }
+            SqlExpr::Like(a, pattern) => {
+                let inner = self.to_expr(a)?;
+                like_expr(inner, pattern)?
+            }
+            SqlExpr::InList(a, lits) => {
+                let inner = self.to_expr(a)?;
+                inner.in_list(lits.iter().map(lit_scalar).collect())
+            }
+            SqlExpr::ExtractYear(a) => self.to_expr(a)?.year(),
+            SqlExpr::Agg { .. } => {
+                return err("aggregate in a scalar context", 0);
+            }
+        })
+    }
+}
+
+fn lit_scalar(l: &Lit) -> Scalar {
+    match l {
+        Lit::Int(i) => Scalar::Int(*i),
+        Lit::Float(f) => Scalar::Float(*f),
+        Lit::Str(s) => Scalar::str(s),
+        Lit::Date(ts) => Scalar::Timestamp(*ts),
+        Lit::Bool(b) => Scalar::Bool(*b),
+        Lit::Null => Scalar::Null,
+    }
+}
+
+fn lit_expr(l: &Lit) -> Expr {
+    Expr::Const(lit_scalar(l))
+}
+
+/// Translate a LIKE pattern: `%x%` → contains, `x%` → prefix, no wildcard
+/// → equality. Other shapes are rejected.
+fn like_expr(inner: Expr, pattern: &str) -> Result<Expr, SqlError> {
+    let has_inner_pct = pattern
+        .trim_start_matches('%')
+        .trim_end_matches('%')
+        .contains('%');
+    if has_inner_pct {
+        return err(format!("unsupported LIKE pattern {pattern:?}"), 0);
+    }
+    Ok(match (pattern.starts_with('%'), pattern.ends_with('%')) {
+        (true, true) => inner.contains(pattern.trim_matches('%')),
+        (false, true) => inner.starts_with(pattern.trim_end_matches('%')),
+        (true, false) => inner.ends_with(pattern.trim_start_matches('%')),
+        (false, false) => inner.eq(jt_query::lit_str(pattern)),
+    })
+}
+
+/// Flatten top-level AND conjuncts.
+fn conjuncts(e: &SqlExpr) -> Vec<&SqlExpr> {
+    match e {
+        SqlExpr::Bin(a, BinOp::And, b) => {
+            let mut v = conjuncts(a);
+            v.extend(conjuncts(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Tables referenced by an expression (None = contains alias refs etc.).
+fn tables_of(e: &SqlExpr, ctx: &Ctx<'_>, out: &mut Vec<usize>) -> bool {
+    match e {
+        SqlExpr::Access { table, .. } => match ctx.table_index(table, 0) {
+            Ok(ti) => {
+                if !out.contains(&ti) {
+                    out.push(ti);
+                }
+                true
+            }
+            Err(_) => false,
+        },
+        SqlExpr::Lit(_) => true,
+        SqlExpr::Ref(_) | SqlExpr::Agg { .. } => false,
+        SqlExpr::Bin(a, _, b) => tables_of(a, ctx, out) && tables_of(b, ctx, out),
+        SqlExpr::Not(a)
+        | SqlExpr::IsNull(a, _)
+        | SqlExpr::Like(a, _)
+        | SqlExpr::InList(a, _)
+        | SqlExpr::ExtractYear(a) => tables_of(a, ctx, out),
+    }
+}
+
+/// Resolve GROUP BY entries: ordinals and aliases point into the select
+/// list; everything else stays as-is.
+fn resolve_item_ref<'s>(e: &'s SqlExpr, stmt: &'s SelectStmt) -> Result<&'s SqlExpr, SqlError> {
+    match e {
+        SqlExpr::Lit(Lit::Int(n)) => {
+            let idx = *n as usize;
+            if idx == 0 || idx > stmt.items.len() {
+                return err(format!("ordinal {n} out of range"), 0);
+            }
+            Ok(&stmt.items[idx - 1].expr)
+        }
+        SqlExpr::Ref(name) => stmt
+            .items
+            .iter()
+            .find(|it| it.alias.as_deref() == Some(name))
+            .map(|it| &it.expr)
+            .ok_or(SqlError {
+                message: format!("unknown alias {name:?}"),
+                offset: 0,
+            }),
+        other => Ok(other),
+    }
+}
+
+/// Compile a parsed statement against a catalog.
+pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>, SqlError> {
+    if stmt.items.is_empty() {
+        return err("empty select list", 0);
+    }
+    let mut ctx = Ctx {
+        stmt,
+        accesses: Vec::new(),
+    };
+
+    // --- classify WHERE conjuncts --------------------------------------
+    let mut table_filters: Vec<Vec<Expr>> = vec![Vec::new(); stmt.from.len()];
+    let mut join_conds: Vec<(String, String)> = Vec::new();
+    let mut post_filters: Vec<Expr> = Vec::new();
+    if let Some(w) = &stmt.where_clause {
+        for c in conjuncts(w) {
+            // Join predicate: access = access across two tables.
+            if let SqlExpr::Bin(a, BinOp::Eq, b) = c {
+                if let (
+                    SqlExpr::Access { table: ta, path: pa, as_text: xa, cast: ca },
+                    SqlExpr::Access { table: tb, path: pb, as_text: xb, cast: cb },
+                ) = (a.as_ref(), b.as_ref())
+                {
+                    let ia = ctx.table_index(ta, 0)?;
+                    let ib = ctx.table_index(tb, 0)?;
+                    if ia != ib {
+                        let na = ctx.intern_access(ta, pa, *xa, *ca)?;
+                        let nb = ctx.intern_access(tb, pb, *xb, *cb)?;
+                        join_conds.push((na, nb));
+                        continue;
+                    }
+                }
+            }
+            let mut tabs = Vec::new();
+            let pure = tables_of(c, &ctx, &mut tabs);
+            let e = ctx.to_expr(c)?;
+            if pure && tabs.len() <= 1 {
+                table_filters[tabs.first().copied().unwrap_or(0)].push(e);
+            } else {
+                post_filters.push(e);
+            }
+        }
+    }
+
+    // --- aggregation plan ----------------------------------------------
+    let has_group = !stmt.group_by.is_empty();
+    let has_agg = stmt.items.iter().any(|it| it.expr.has_aggregate())
+        || stmt.having.as_ref().is_some_and(|h| h.has_aggregate());
+    let mut group_keys: Vec<Expr> = Vec::new();
+    let mut group_key_sql: Vec<&SqlExpr> = Vec::new();
+    let mut aggs: Vec<Agg> = Vec::new();
+    let mut agg_sql: Vec<&SqlExpr> = Vec::new();
+    let mut select_slots: Vec<Expr> = Vec::new();
+    let mut having_expr: Option<Expr> = None;
+
+    if has_group || has_agg {
+        for g in &stmt.group_by {
+            let resolved = resolve_item_ref(g, stmt)?;
+            group_key_sql.push(resolved);
+            group_keys.push(ctx.to_expr(resolved)?);
+        }
+        // Helper to register an aggregate call.
+        let add_agg = |ctx: &mut Ctx<'_>,
+                           e: &'_ SqlExpr,
+                           aggs: &mut Vec<Agg>,
+                           agg_sql: &mut Vec<&SqlExpr>|
+         -> Result<usize, SqlError> {
+            // NOTE: agg_sql stores pointers for dedup by structural
+            // equality; lifetimes tie to `stmt`.
+            let found = agg_sql.iter().position(|x| *x == e);
+            if let Some(i) = found {
+                return Ok(i);
+            }
+            let SqlExpr::Agg { func, arg, distinct } = e else {
+                return err("expected aggregate", 0);
+            };
+            let agg = match (func, distinct) {
+                (AggFunc::Count, true) => {
+                    Agg::count_distinct(ctx.to_expr(arg.as_ref().expect("distinct arg"))?)
+                }
+                (AggFunc::Count, false) => match arg {
+                    None => Agg::count_star(),
+                    Some(a) => Agg::count(ctx.to_expr(a)?),
+                },
+                (AggFunc::Sum, _) => Agg::sum(ctx.to_expr(arg.as_ref().expect("sum arg"))?),
+                (AggFunc::Avg, _) => Agg::avg(ctx.to_expr(arg.as_ref().expect("avg arg"))?),
+                (AggFunc::Min, _) => Agg::min(ctx.to_expr(arg.as_ref().expect("min arg"))?),
+                (AggFunc::Max, _) => Agg::max(ctx.to_expr(arg.as_ref().expect("max arg"))?),
+            };
+            aggs.push(agg);
+            Ok(aggs.len() - 1)
+        };
+        // Select items: group keys or aggregates.
+        fn find_key(key_sql: &[&SqlExpr], e: &SqlExpr) -> Option<usize> {
+            key_sql.iter().position(|k| *k == e)
+        }
+        let stmt_items: Vec<&SqlExpr> = stmt.items.iter().map(|it| &it.expr).collect();
+        for e in &stmt_items {
+            if let Some(k) = find_key(&group_key_sql, e) {
+                select_slots.push(Expr::Slot(k));
+            } else if matches!(e, SqlExpr::Agg { .. }) {
+                let idx = add_agg(&mut ctx, e, &mut aggs, &mut agg_sql)?;
+                agg_sql.push(e);
+                // keep agg_sql aligned: add_agg doesn't push
+                agg_sql.truncate(aggs.len());
+                select_slots.push(Expr::Slot(group_keys.len() + idx));
+            } else {
+                return err(
+                    "select item must be a group key or an aggregate",
+                    0,
+                );
+            }
+        }
+        // HAVING: aggregates and key refs become output slots.
+        if let Some(h) = &stmt.having {
+            having_expr = Some(compile_having(
+                h,
+                &mut ctx,
+                &group_key_sql,
+                &mut aggs,
+                &mut agg_sql,
+                stmt,
+            )?);
+        }
+    } else {
+        for it in &stmt.items {
+            let e = ctx.to_expr(&it.expr)?;
+            select_slots.push(e);
+        }
+        if stmt.having.is_some() {
+            return err("HAVING without aggregation", 0);
+        }
+    }
+
+    // --- ORDER BY resolution (against the final output columns) --------
+    let mut order: Vec<(usize, bool)> = Vec::new();
+    for (e, desc) in &stmt.order_by {
+        let idx = match e {
+            SqlExpr::Lit(Lit::Int(n)) => {
+                let i = *n as usize;
+                if i == 0 || i > stmt.items.len() {
+                    return err(format!("ORDER BY ordinal {n} out of range"), 0);
+                }
+                i - 1
+            }
+            SqlExpr::Ref(name) => stmt
+                .items
+                .iter()
+                .position(|it| it.alias.as_deref() == Some(name))
+                .ok_or(SqlError {
+                    message: format!("unknown ORDER BY alias {name:?}"),
+                    offset: 0,
+                })?,
+            other => stmt
+                .items
+                .iter()
+                .position(|it| &it.expr == other)
+                .ok_or(SqlError {
+                    message: "ORDER BY expression must appear in the select list".into(),
+                    offset: 0,
+                })?,
+        };
+        order.push((idx, *desc));
+    }
+
+    // --- assemble the plan ----------------------------------------------
+    let mut q: Option<Query<'a>> = None;
+    for (ti, t) in stmt.from.iter().enumerate() {
+        let rel = *catalog.get(t.name.as_str()).ok_or(SqlError {
+            message: format!("unknown table {:?}", t.name),
+            offset: 0,
+        })?;
+        let mut cur = match q.take() {
+            None => Query::scan(&t.alias, rel),
+            Some(prev) => prev.join(&t.alias, rel),
+        };
+        for a in ctx.accesses.iter().filter(|a| a.table == ti) {
+            cur = cur.access_path(&a.name, a.path.clone(), a.ty);
+        }
+        for f in table_filters[ti].drain(..) {
+            cur = cur.filter(f);
+        }
+        q = Some(cur);
+    }
+    let mut q = q.expect("at least one table");
+    for (l, r) in join_conds {
+        q = q.on(&l, &r);
+    }
+    for f in post_filters {
+        q = q.filter_joined(f);
+    }
+    if has_group || has_agg {
+        q = q.aggregate(group_keys, aggs);
+        if let Some(h) = having_expr {
+            q = q.having(h);
+        }
+    }
+    q = q.select(select_slots);
+    for (idx, desc) in order {
+        q = q.order_by(idx, desc);
+    }
+    if let Some(n) = stmt.limit {
+        q = q.limit(n);
+    }
+    Ok(q)
+}
+
+/// Compile HAVING: aggregate calls map to aggregate output slots (added
+/// if not already selected), group-key aliases/ordinals to key slots.
+fn compile_having<'s>(
+    h: &'s SqlExpr,
+    ctx: &mut Ctx<'s>,
+    group_key_sql: &[&'s SqlExpr],
+    aggs: &mut Vec<Agg>,
+    agg_sql: &mut Vec<&'s SqlExpr>,
+    stmt: &'s SelectStmt,
+) -> Result<Expr, SqlError> {
+    Ok(match h {
+        SqlExpr::Agg { func, arg, distinct } => {
+            if let Some(i) = agg_sql.iter().position(|x| *x == h) {
+                return Ok(Expr::Slot(group_key_sql.len() + i));
+            }
+            let agg = match (func, distinct) {
+                (AggFunc::Count, true) => {
+                    Agg::count_distinct(ctx.to_expr(arg.as_ref().expect("arg"))?)
+                }
+                (AggFunc::Count, false) => match arg {
+                    None => Agg::count_star(),
+                    Some(a) => Agg::count(ctx.to_expr(a)?),
+                },
+                (AggFunc::Sum, _) => Agg::sum(ctx.to_expr(arg.as_ref().expect("arg"))?),
+                (AggFunc::Avg, _) => Agg::avg(ctx.to_expr(arg.as_ref().expect("arg"))?),
+                (AggFunc::Min, _) => Agg::min(ctx.to_expr(arg.as_ref().expect("arg"))?),
+                (AggFunc::Max, _) => Agg::max(ctx.to_expr(arg.as_ref().expect("arg"))?),
+            };
+            aggs.push(agg);
+            agg_sql.push(h);
+            Expr::Slot(group_key_sql.len() + aggs.len() - 1)
+        }
+        SqlExpr::Ref(_) | SqlExpr::Lit(Lit::Int(_)) => {
+            // Alias or ordinal: try select-item resolution first.
+            if let Ok(resolved) = resolve_item_ref(h, stmt) {
+                if let Some(k) = group_key_sql.iter().position(|x| *x == resolved) {
+                    return Ok(Expr::Slot(k));
+                }
+            }
+            match h {
+                SqlExpr::Lit(l) => lit_expr(l),
+                _ => return err("HAVING alias must be a group key", 0),
+            }
+        }
+        SqlExpr::Lit(l) => lit_expr(l),
+        SqlExpr::Bin(a, op, b) => {
+            let a = compile_having(a, ctx, group_key_sql, aggs, agg_sql, stmt)?;
+            let b = compile_having(b, ctx, group_key_sql, aggs, agg_sql, stmt)?;
+            match op {
+                BinOp::Eq => a.eq(b),
+                BinOp::Ne => a.ne(b),
+                BinOp::Lt => a.lt(b),
+                BinOp::Le => a.le(b),
+                BinOp::Gt => a.gt(b),
+                BinOp::Ge => a.ge(b),
+                BinOp::And => a.and(b),
+                BinOp::Or => a.or(b),
+                BinOp::Add => a.add(b),
+                BinOp::Sub => a.sub(b),
+                BinOp::Mul => a.mul(b),
+                BinOp::Div => a.div(b),
+            }
+        }
+        SqlExpr::Not(a) => compile_having(a, ctx, group_key_sql, aggs, agg_sql, stmt)?.not(),
+        other => {
+            // Group-key expressions may appear verbatim.
+            if let Some(k) = group_key_sql.iter().position(|x| *x == other) {
+                Expr::Slot(k)
+            } else {
+                return err("unsupported HAVING expression", 0);
+            }
+        }
+    })
+}

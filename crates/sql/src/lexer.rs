@@ -1,0 +1,299 @@
+//! SQL tokenizer for the JSON-analytics dialect.
+
+use crate::{err, SqlError};
+
+/// One token, with its byte offset for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Unquoted identifier or keyword (stored lowercased; keywords are
+    /// recognized by the parser).
+    Ident(String),
+    /// `'single quoted'` string literal (escaping: doubled quotes).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `->` JSON access.
+    Arrow,
+    /// `->>` JSON text access.
+    ArrowText,
+    /// `::` cast.
+    Cast,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+}
+
+/// Tokenize SQL text; returns `(token, byte offset)` pairs.
+pub fn tokenize(sql: &str) -> Result<Vec<(Token, usize)>, SqlError> {
+    let b = sql.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let start = i;
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+            }
+            b'-' if b.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if b.get(i + 1) == Some(&b'>') => {
+                if b.get(i + 2) == Some(&b'>') {
+                    out.push((Token::ArrowText, start));
+                    i += 3;
+                } else {
+                    out.push((Token::Arrow, start));
+                    i += 2;
+                }
+            }
+            b':' if b.get(i + 1) == Some(&b':') => {
+                out.push((Token::Cast, start));
+                i += 2;
+            }
+            b'\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => return err("unterminated string literal", start),
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 scalar.
+                            let rest = &sql[i..];
+                            let ch = rest.chars().next().expect("in bounds");
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push((Token::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < b.len() && (b[j].is_ascii_digit() || b[j] == b'.') {
+                    if b[j] == b'.' {
+                        // A second dot ends the number (e.g. ranges) —
+                        // not expected in this dialect, treat as float end.
+                        if is_float {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &sql[i..j];
+                if is_float {
+                    match text.parse::<f64>() {
+                        Ok(f) => out.push((Token::Float(f), start)),
+                        Err(_) => return err(format!("bad number {text:?}"), start),
+                    }
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push((Token::Int(v), start)),
+                        Err(_) => return err(format!("bad number {text:?}"), start),
+                    }
+                }
+                i = j;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut j = i;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.push((Token::Ident(sql[i..j].to_ascii_lowercase()), start));
+                i = j;
+            }
+            b'=' => {
+                out.push((Token::Eq, start));
+                i += 1;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push((Token::Ne, start));
+                i += 2;
+            }
+            b'<' => {
+                match b.get(i + 1) {
+                    Some(b'=') => {
+                        out.push((Token::Le, start));
+                        i += 2;
+                    }
+                    Some(b'>') => {
+                        out.push((Token::Ne, start));
+                        i += 2;
+                    }
+                    _ => {
+                        out.push((Token::Lt, start));
+                        i += 1;
+                    }
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push((Token::Ge, start));
+                    i += 2;
+                } else {
+                    out.push((Token::Gt, start));
+                    i += 1;
+                }
+            }
+            b'+' => {
+                out.push((Token::Plus, start));
+                i += 1;
+            }
+            b'-' => {
+                out.push((Token::Minus, start));
+                i += 1;
+            }
+            b'*' => {
+                out.push((Token::Star, start));
+                i += 1;
+            }
+            b'/' => {
+                out.push((Token::Slash, start));
+                i += 1;
+            }
+            b'(' => {
+                out.push((Token::LParen, start));
+                i += 1;
+            }
+            b')' => {
+                out.push((Token::RParen, start));
+                i += 1;
+            }
+            b',' => {
+                out.push((Token::Comma, start));
+                i += 1;
+            }
+            b'.' => {
+                out.push((Token::Dot, start));
+                i += 1;
+            }
+            b';' => {
+                i += 1; // trailing semicolons are harmless
+            }
+            other => return err(format!("unexpected character {:?}", other as char), start),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(sql: &str) -> Vec<Token> {
+        tokenize(sql).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("-> ->> :: = != <> <= >= < >"),
+            vec![
+                Token::Arrow,
+                Token::ArrowText,
+                Token::Cast,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Le,
+                Token::Ge,
+                Token::Lt,
+                Token::Gt
+            ]
+        );
+    }
+
+    #[test]
+    fn idents_lowercased_strings_preserved() {
+        assert_eq!(
+            toks("SELECT Data->>'MixedCase'"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("data".into()),
+                Token::ArrowText,
+                Token::Str("MixedCase".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 1.5 0.07"), vec![Token::Int(42), Token::Float(1.5), Token::Float(0.07)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert_eq!(toks("'héllo'"), vec![Token::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("SELECT -- the answer\n 42"),
+            vec![Token::Ident("select".into()), Token::Int(42)]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            toks("a - b -> 'k'"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Minus,
+                Token::Ident("b".into()),
+                Token::Arrow,
+                Token::Str("k".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = tokenize("select 'open").unwrap_err();
+        assert_eq!(e.offset, 7);
+        let e = tokenize("select #").unwrap_err();
+        assert_eq!(e.offset, 7);
+    }
+}

@@ -1,0 +1,92 @@
+//! # jt-sql — SQL front end for JSON tiles
+//!
+//! The paper phrases every query in PostgreSQL-style SQL with the JSON
+//! access operators `->` and `->>` and explicit casts (§4.1, Figure 5):
+//!
+//! ```sql
+//! SELECT c.data->>'c_custkey'::BIGINT,
+//!        SUM(l.data->>'l_extendedprice'::DECIMAL *
+//!            (1 - l.data->>'l_discount'::DECIMAL))
+//! FROM customer c, orders o, lineitem l
+//! WHERE l.data->>'l_orderkey'::BIGINT = o.data->>'o_orderkey'::BIGINT
+//!   AND o.data->>'o_custkey'::BIGINT  = c.data->>'c_custkey'::BIGINT
+//! GROUP BY 1
+//! ```
+//!
+//! This crate parses that dialect and compiles it to `jt-query` plans,
+//! performing the paper's plan rewrites in the process:
+//!
+//! * **access push-down** (§4.2): every `->`/`->>` chain becomes a scan
+//!   placeholder on its table;
+//! * **cast rewriting** (§4.3): `->> k :: BIGINT` compiles to a typed
+//!   integer access instead of text + re-parse;
+//! * single-table `WHERE` conjuncts are pushed into the scans, join
+//!   equalities become hash-join conditions, everything else evaluates
+//!   after the joins.
+//!
+//! ```
+//! use jt_core::{Relation, TilesConfig};
+//! let docs: Vec<_> = (0..100)
+//!     .map(|i| jt_json::parse(&format!(r#"{{"v": {i}}}"#)).unwrap())
+//!     .collect();
+//! let rel = Relation::load(&docs, TilesConfig::default());
+//! let result = jt_sql::query(
+//!     "SELECT SUM(data->>'v'::INT) FROM t WHERE data->>'v'::INT < 10",
+//!     &[("t", &rel)],
+//! ).unwrap();
+//! assert_eq!(result.column(0)[0].as_i64(), Some(45));
+//! ```
+
+mod ast;
+mod compile;
+mod lexer;
+mod parser;
+
+pub use ast::{SelectStmt, SqlExpr, SqlType};
+pub use compile::{compile, Catalog};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_select;
+
+use jt_core::Relation;
+use jt_query::{ExecOptions, ResultSet};
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the SQL text (best effort).
+    pub offset: usize,
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+pub(crate) fn err<T>(message: impl Into<String>, offset: usize) -> Result<T, SqlError> {
+    Err(SqlError {
+        message: message.into(),
+        offset,
+    })
+}
+
+/// Parse, compile, and execute a `SELECT` against the named relations.
+pub fn query(sql: &str, tables: &[(&str, &Relation)]) -> Result<ResultSet, SqlError> {
+    query_with(sql, tables, ExecOptions::default())
+}
+
+/// Like [`query`] with explicit execution options.
+pub fn query_with(
+    sql: &str,
+    tables: &[(&str, &Relation)],
+    opts: ExecOptions,
+) -> Result<ResultSet, SqlError> {
+    let stmt = parse_select(sql)?;
+    let catalog: Catalog<'_> = tables.iter().copied().collect();
+    let plan = compile(&stmt, &catalog)?;
+    Ok(plan.run_with(opts))
+}

@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the SELECT dialect.
+
+use crate::ast::*;
+use crate::lexer::{tokenize, Token};
+use crate::{err, SqlError};
+
+/// Parse a single `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_kw("select")?;
+    let stmt = p.select_body()?;
+    if p.pos != p.tokens.len() {
+        return err("trailing tokens after statement", p.offset());
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |(_, o)| *o)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            err(format!("expected {}", kw.to_uppercase()), self.offset())
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), SqlError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            err(format!("expected {what}"), self.offset())
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                err("expected identifier", self.offset())
+            }
+        }
+    }
+
+    fn select_body(&mut self) -> Result<SelectStmt, SqlError> {
+        // SELECT list.
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        // FROM.
+        self.expect_kw("from")?;
+        let mut from = Vec::new();
+        loop {
+            let name = self.ident()?;
+            // Optional alias (an identifier that is not a clause keyword).
+            let alias = match self.peek() {
+                Some(Token::Ident(s))
+                    if !matches!(
+                        s.as_str(),
+                        "where" | "group" | "having" | "order" | "limit" | "on" | "join"
+                    ) =>
+                {
+                    self.ident()?
+                }
+                _ => name.clone(),
+            };
+            from.push(TableRef { name, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        // WHERE.
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        // GROUP BY.
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        // HAVING.
+        let having = if self.eat_kw("having") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        // ORDER BY.
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((e, desc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        // LIMIT.
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return err("expected LIMIT count", self.offset()),
+            }
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    // Precedence: OR < AND < NOT < comparison/IS/LIKE/IN < +- < */ < unary < postfix.
+    fn expr(&mut self) -> Result<SqlExpr, SqlError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Bin(Box::new(lhs), BinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Bin(Box::new(lhs), BinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            return Ok(SqlExpr::Not(Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let lhs = self.add_expr()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(SqlExpr::IsNull(Box::new(lhs), negated));
+        }
+        // [NOT] LIKE / [NOT] IN
+        let negated = self.peek_kw("not") && {
+            // lookahead for LIKE/IN after NOT
+            matches!(
+                self.tokens.get(self.pos + 1).map(|(t, _)| t),
+                Some(Token::Ident(s)) if s == "like" || s == "in"
+            )
+        };
+        if negated {
+            self.pos += 1;
+        }
+        if self.eat_kw("like") {
+            let pat = match self.bump() {
+                Some(Token::Str(s)) => s,
+                _ => return err("expected LIKE pattern string", self.offset()),
+            };
+            let e = SqlExpr::Like(Box::new(lhs), pat);
+            return Ok(if negated { SqlExpr::Not(Box::new(e)) } else { e });
+        }
+        if self.eat_kw("in") {
+            self.expect(&Token::LParen, "(")?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.literal()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen, ")")?;
+            let e = SqlExpr::InList(Box::new(lhs), list);
+            return Ok(if negated { SqlExpr::Not(Box::new(e)) } else { e });
+        }
+        if negated {
+            return err("expected LIKE or IN after NOT", self.offset());
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Ne) => BinOp::Ne,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(SqlExpr::Bin(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = SqlExpr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = SqlExpr::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(SqlExpr::Bin(
+                Box::new(SqlExpr::Lit(Lit::Int(0))),
+                BinOp::Sub,
+                Box::new(inner),
+            ));
+        }
+        self.postfix_expr()
+    }
+
+    /// Primary expression followed by `->`/`->>` chains and `::` casts.
+    fn postfix_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut e = self.primary()?;
+        loop {
+            let as_text = match self.peek() {
+                Some(Token::Arrow) => false,
+                Some(Token::ArrowText) => true,
+                Some(Token::Cast) => {
+                    self.pos += 1;
+                    let kw = self.ident()?;
+                    let Some(ty) = SqlType::from_keyword(&kw) else {
+                        return err(format!("unknown type {kw:?}"), self.offset());
+                    };
+                    match &mut e {
+                        SqlExpr::Access { cast, .. } => *cast = Some(ty),
+                        // Casting a non-access is a no-op for literals in
+                        // this dialect (e.g. `DATE '…'` is handled in
+                        // primary); reject everything else.
+                        _ => return err("cast is only supported on JSON accesses", self.offset()),
+                    }
+                    continue;
+                }
+                _ => return Ok(e),
+            };
+            self.pos += 1;
+            let step = match self.bump() {
+                Some(Token::Str(k)) => PathStep::Key(k),
+                Some(Token::Int(i)) => PathStep::Index(i),
+                _ => return err("expected key string or index after ->", self.offset()),
+            };
+            match &mut e {
+                SqlExpr::Access {
+                    path,
+                    as_text: at,
+                    cast,
+                    ..
+                } => {
+                    if *cast != None {
+                        return err("access after cast", self.offset());
+                    }
+                    path.push(step);
+                    *at = as_text;
+                }
+                _ => return err("-> applies to a JSON column", self.offset()),
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Lit, SqlError> {
+        match self.bump() {
+            Some(Token::Int(i)) => Ok(Lit::Int(i)),
+            Some(Token::Float(f)) => Ok(Lit::Float(f)),
+            Some(Token::Str(s)) => Ok(Lit::Str(s)),
+            Some(Token::Ident(kw)) if kw == "true" => Ok(Lit::Bool(true)),
+            Some(Token::Ident(kw)) if kw == "false" => Ok(Lit::Bool(false)),
+            Some(Token::Ident(kw)) if kw == "null" => Ok(Lit::Null),
+            Some(Token::Ident(kw)) if kw == "date" || kw == "timestamp" => match self.bump() {
+                Some(Token::Str(s)) => match jt_core::parse_timestamp(&s) {
+                    Some(ts) => Ok(Lit::Date(ts)),
+                    None => err(format!("bad date literal {s:?}"), self.offset()),
+                },
+                _ => err("expected string after DATE", self.offset()),
+            },
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                err("expected literal", self.offset())
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(e)
+            }
+            Some(Token::Int(_)) | Some(Token::Float(_)) | Some(Token::Str(_)) => {
+                Ok(SqlExpr::Lit(self.literal()?))
+            }
+            Some(Token::Ident(kw)) => {
+                match kw.as_str() {
+                    "true" | "false" | "null" | "date" | "timestamp" => {
+                        Ok(SqlExpr::Lit(self.literal()?))
+                    }
+                    "count" | "sum" | "avg" | "min" | "max" => self.aggregate(&kw),
+                    "extract" => {
+                        self.pos += 1;
+                        self.expect(&Token::LParen, "(")?;
+                        self.expect_kw("year")?;
+                        self.expect_kw("from")?;
+                        let e = self.expr()?;
+                        self.expect(&Token::RParen, ")")?;
+                        Ok(SqlExpr::ExtractYear(Box::new(e)))
+                    }
+                    _ => {
+                        // Identifier: `alias.data`, `data`, a bare alias
+                        // reference, or a table alias rooting an access.
+                        self.pos += 1;
+                        let mut table = None;
+                        let mut base = kw;
+                        if self.eat(&Token::Dot) {
+                            table = Some(base);
+                            base = self.ident()?;
+                        }
+                        // `x.data -> …` / `data -> …` / `x -> …` are access
+                        // roots; a bare identifier is an alias/ordinal ref.
+                        match self.peek() {
+                            Some(Token::Arrow) | Some(Token::ArrowText) => {
+                                if table.is_none() && base != "data" {
+                                    // `alias->>'k'`: the identifier is the
+                                    // table, the implicit column is data.
+                                    table = Some(base);
+                                }
+                                Ok(SqlExpr::Access {
+                                    table,
+                                    path: Vec::new(),
+                                    as_text: false,
+                                    cast: None,
+                                })
+                            }
+                            _ => {
+                                if table.is_some() {
+                                    return err("qualified names must be JSON accesses", self.offset());
+                                }
+                                Ok(SqlExpr::Ref(base))
+                            }
+                        }
+                    }
+                }
+            }
+            Some(Token::Star) => {
+                // Bare * only appears inside COUNT(*), handled there.
+                err("unexpected *", self.offset())
+            }
+            _ => err("expected expression", self.offset()),
+        }
+    }
+
+    fn aggregate(&mut self, func: &str) -> Result<SqlExpr, SqlError> {
+        self.pos += 1;
+        self.expect(&Token::LParen, "(")?;
+        let func = match func {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            _ => unreachable!("caller checked"),
+        };
+        if func == AggFunc::Count && self.eat(&Token::Star) {
+            self.expect(&Token::RParen, ")")?;
+            return Ok(SqlExpr::Agg {
+                func,
+                arg: None,
+                distinct: false,
+            });
+        }
+        let distinct = self.eat_kw("distinct");
+        let arg = self.expr()?;
+        self.expect(&Token::RParen, ")")?;
+        if distinct && func != AggFunc::Count {
+            return err("DISTINCT is only supported with COUNT", self.offset());
+        }
+        Ok(SqlExpr::Agg {
+            func,
+            arg: Some(Box::new(arg)),
+            distinct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_select() {
+        let s = parse_select("SELECT data->>'x' FROM t").unwrap();
+        assert_eq!(s.from.len(), 1);
+        assert_eq!(s.from[0].alias, "t");
+        assert_eq!(
+            s.items[0].expr,
+            SqlExpr::Access {
+                table: None,
+                path: vec![PathStep::Key("x".into())],
+                as_text: true,
+                cast: None
+            }
+        );
+    }
+
+    #[test]
+    fn qualified_access_with_cast() {
+        let s = parse_select(
+            "SELECT l.data->>'l_quantity'::INT FROM lineitem l WHERE l.data->'a'->>'b'::FLOAT > 1.5",
+        )
+        .unwrap();
+        assert_eq!(s.from[0].alias, "l");
+        match &s.items[0].expr {
+            SqlExpr::Access { table, path, as_text, cast } => {
+                assert_eq!(table.as_deref(), Some("l"));
+                assert_eq!(path, &vec![PathStep::Key("l_quantity".into())]);
+                assert!(*as_text);
+                assert_eq!(*cast, Some(SqlType::Int));
+            }
+            other => panic!("{other:?}"),
+        }
+        match s.where_clause.as_ref().unwrap() {
+            SqlExpr::Bin(lhs, BinOp::Gt, _) => match lhs.as_ref() {
+                SqlExpr::Access { path, cast, .. } => {
+                    assert_eq!(path.len(), 2);
+                    assert_eq!(*cast, Some(SqlType::Float));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let s = parse_select(
+            "SELECT data->>'g' AS g, COUNT(*), SUM(data->>'v'::INT) \
+             FROM t WHERE data->>'v'::INT >= 0 AND data->>'g' LIKE '%x%' \
+             GROUP BY g HAVING COUNT(*) > 2 ORDER BY 3 DESC, g LIMIT 7",
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 3);
+        assert_eq!(s.items[0].alias.as_deref(), Some("g"));
+        assert_eq!(s.group_by, vec![SqlExpr::Ref("g".into())]);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by.len(), 2);
+        assert!(s.order_by[0].1, "DESC");
+        assert_eq!(s.limit, Some(7));
+    }
+
+    #[test]
+    fn comma_joins_and_date_literals() {
+        let s = parse_select(
+            "SELECT COUNT(*) FROM orders o, lineitem l \
+             WHERE o.data->>'k'::INT = l.data->>'k'::INT \
+               AND o.data->>'d'::DATE < DATE '1995-03-15'",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 2);
+        let w = s.where_clause.unwrap();
+        assert!(matches!(w, SqlExpr::Bin(_, BinOp::And, _)));
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = parse_select("SELECT COUNT(DISTINCT data->>'u'), MIN(data->>'v'::INT) FROM t").unwrap();
+        match &s.items[0].expr {
+            SqlExpr::Agg { func: AggFunc::Count, distinct: true, arg } => assert!(arg.is_some()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_list_and_not() {
+        let s = parse_select(
+            "SELECT COUNT(*) FROM t WHERE data->>'m' IN ('A','B') AND data->>'x' NOT LIKE 'q%' AND NOT data->>'b'::BOOL",
+        )
+        .unwrap();
+        assert!(s.where_clause.is_some());
+    }
+
+    #[test]
+    fn extract_year_and_arithmetic() {
+        let s = parse_select(
+            "SELECT EXTRACT(YEAR FROM data->>'d'::DATE), SUM(data->>'p'::DECIMAL * (1 - data->>'disc'::DECIMAL)) FROM t GROUP BY 1",
+        )
+        .unwrap();
+        assert!(matches!(s.items[0].expr, SqlExpr::ExtractYear(_)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_select("SELECT").is_err());
+        assert!(parse_select("SELECT 1").is_err(), "FROM required");
+        assert!(parse_select("SELECT x FROM").is_err());
+        assert!(parse_select("SELECT data->> FROM t").is_err());
+        assert!(parse_select("SELECT data->>'x'::NOPE FROM t").is_err());
+        // `FROM t extra` parses as an alias; genuinely trailing tokens fail.
+        assert!(parse_select("SELECT 1 FROM t LIMIT 2 extra").is_err());
+        assert!(parse_select("SELECT SUM(DISTINCT data->>'x') FROM t").is_err());
+    }
+
+    #[test]
+    fn alias_rooted_access() {
+        let s = parse_select("SELECT l->>'k' FROM lineitem l").unwrap();
+        match &s.items[0].expr {
+            SqlExpr::Access { table, .. } => assert_eq!(table.as_deref(), Some("l")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_index_access() {
+        let s = parse_select("SELECT data->'tags'->0->>'text' FROM t").unwrap();
+        match &s.items[0].expr {
+            SqlExpr::Access { path, .. } => {
+                assert_eq!(
+                    path,
+                    &vec![
+                        PathStep::Key("tags".into()),
+                        PathStep::Index(0),
+                        PathStep::Key("text".into())
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

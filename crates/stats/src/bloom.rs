@@ -1,0 +1,218 @@
+//! Bloom filter over non-extracted key paths (paper §4.4).
+//!
+//! Each tile header stores the key paths it has *seen but not materialized*.
+//! "Because the number of keys may be large, we store the key paths in a
+//! bloom filter [35]" — the citation is Kirsch–Mitzenmacher, whose result we
+//! use: probe positions `h1 + i·h2` are as good as `k` independent hashes.
+//!
+//! The filter must never produce false negatives (a skipped tile that
+//! actually contained the path would silently drop rows), so the unit tests
+//! and the tile-skipping integration tests assert exactly that invariant.
+
+use crate::hash::hash64;
+
+/// A fixed-size Bloom filter keyed by byte strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    num_bits: u64,
+    num_hashes: u32,
+}
+
+impl BloomFilter {
+    /// Build a filter sized for `expected_items` with roughly
+    /// `false_positive_rate` (clamped to sane bounds).
+    pub fn new(expected_items: usize, false_positive_rate: f64) -> Self {
+        let n = expected_items.max(1) as f64;
+        let p = false_positive_rate.clamp(1e-6, 0.5);
+        // Standard sizing: m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+        let m = (-n * p.ln() / (2f64.ln() * 2f64.ln())).ceil().max(64.0) as u64;
+        let m = m.next_multiple_of(64);
+        let k = ((m as f64 / n) * 2f64.ln()).round().clamp(1.0, 16.0) as u32;
+        BloomFilter {
+            bits: vec![0; (m / 64) as usize],
+            num_bits: m,
+            num_hashes: k,
+        }
+    }
+
+    /// Number of probe positions per key.
+    pub fn num_hashes(&self) -> u32 {
+        self.num_hashes
+    }
+
+    /// Size of the bit array.
+    pub fn num_bits(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// Heap size in bytes (used by the tile-header accounting).
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 8
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let (h1, h2) = self.base_hashes(key);
+        for i in 0..self.num_hashes as u64 {
+            let bit = self.probe(h1, h2, i);
+            self.bits[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// Membership test: `false` means definitely absent; `true` means
+    /// probably present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = self.base_hashes(key);
+        (0..self.num_hashes as u64).all(|i| {
+            let bit = self.probe(h1, h2, i);
+            self.bits[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Union another filter of identical geometry into this one.
+    pub fn union(&mut self, other: &BloomFilter) {
+        assert_eq!(self.num_bits, other.num_bits, "geometry mismatch");
+        assert_eq!(self.num_hashes, other.num_hashes, "geometry mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Serialize: bit count, hash count, then the raw words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.bits.len() * 8);
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        out.extend_from_slice(&self.num_hashes.to_le_bytes());
+        for w in &self.bits {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`BloomFilter::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<BloomFilter> {
+        if bytes.len() < 12 {
+            return None;
+        }
+        let num_bits = u64::from_le_bytes(bytes[..8].try_into().ok()?);
+        let num_hashes = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+        let words = &bytes[12..];
+        if words.len() % 8 != 0
+            || (words.len() as u64 * 8) != num_bits.next_multiple_of(64)
+            || num_bits == 0
+            || num_hashes == 0
+        {
+            return None;
+        }
+        let bits = words
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Some(BloomFilter {
+            bits,
+            num_bits,
+            num_hashes,
+        })
+    }
+
+    #[inline]
+    fn base_hashes(&self, key: &[u8]) -> (u64, u64) {
+        let h = hash64(key, 0xB100_F117);
+        // Derive two "independent" halves; force h2 odd so probes cycle
+        // through all positions even when num_bits is a power of two.
+        (h, (h >> 32) | 1)
+    }
+
+    #[inline]
+    fn probe(&self, h1: u64, h2: u64, i: u64) -> u64 {
+        h1.wrapping_add(i.wrapping_mul(h2)) % self.num_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        let keys: Vec<String> = (0..1000).map(|i| format!("path/{i}")).collect();
+        for k in &keys {
+            f.insert(k.as_bytes());
+        }
+        for k in &keys {
+            assert!(f.contains(k.as_bytes()), "false negative for {k}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_in_range() {
+        let mut f = BloomFilter::new(1000, 0.01);
+        for i in 0..1000 {
+            f.insert(format!("in-{i}").as_bytes());
+        }
+        let fps = (0..10_000)
+            .filter(|i| f.contains(format!("out-{i}").as_bytes()))
+            .count();
+        // Target 1%; allow generous slack for hash variance.
+        assert!(fps < 400, "false positive count {fps}");
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(100, 0.01);
+        assert!(!f.contains(b"anything"));
+    }
+
+    #[test]
+    fn union_covers_both_sides() {
+        let mut a = BloomFilter::new(100, 0.01);
+        let mut b = BloomFilter::new(100, 0.01);
+        a.insert(b"left");
+        b.insert(b"right");
+        a.union(&b);
+        assert!(a.contains(b"left"));
+        assert!(a.contains(b"right"));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn union_rejects_mismatched_sizes() {
+        let mut a = BloomFilter::new(10, 0.01);
+        a.union(&BloomFilter::new(100_000, 0.01));
+    }
+
+    #[test]
+    fn sizing_monotone() {
+        let small = BloomFilter::new(10, 0.01);
+        let large = BloomFilter::new(100_000, 0.01);
+        assert!(large.num_bits() > small.num_bits());
+        assert!(small.num_hashes() >= 1);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut f = BloomFilter::new(500, 0.01);
+        for i in 0..500 {
+            f.insert(format!("k{i}").as_bytes());
+        }
+        let back = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back, f);
+        for i in 0..500 {
+            assert!(back.contains(format!("k{i}").as_bytes()));
+        }
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[0; 12]).is_none(), "zero geometry");
+        let mut truncated = f.to_bytes();
+        truncated.pop();
+        assert!(BloomFilter::from_bytes(&truncated).is_none());
+    }
+
+    #[test]
+    fn tiny_filters_still_work() {
+        let mut f = BloomFilter::new(1, 0.5);
+        f.insert(b"x");
+        assert!(f.contains(b"x"));
+    }
+}

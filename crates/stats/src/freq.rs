@@ -1,0 +1,257 @@
+//! Bounded frequency counters for key paths (paper §4.6).
+//!
+//! The relation keeps a fixed number of slots (the paper suggests 256)
+//! mapping key paths to tuple counts. Tiles report their local key-path
+//! frequencies after mining; the relation updates matching slots, fills
+//! empty ones, and otherwise evicts the slot with the *oldest last-updating
+//! tile*, breaking ties by *lowest count* — "new values can overwrite
+//! existing ones, however, the most frequent ones are always stored".
+//!
+//! Estimation follows §4.6 exactly: a key found in a slot returns its count;
+//! a missing key "behaves most similarly to the key with the minimal
+//! frequency of all retrieved counters", which is far more accurate than
+//! assuming the full table cardinality.
+
+use std::collections::HashMap;
+
+/// The paper's suggested upper bound on retained counters.
+pub const DEFAULT_FREQ_SLOTS: usize = 256;
+
+#[derive(Debug, Clone)]
+struct Slot {
+    key: String,
+    count: u64,
+    last_tile: u64,
+}
+
+/// A bounded set of key-path frequency counters with the paper's
+/// recency/frequency replacement policy.
+#[derive(Debug, Clone)]
+pub struct FrequencyCounters {
+    capacity: usize,
+    slots: Vec<Slot>,
+    /// Index from key to slot position, kept in sync with `slots`.
+    index: HashMap<String, usize>,
+}
+
+impl FrequencyCounters {
+    /// Create with space for `capacity` distinct key paths.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "need at least one slot");
+        FrequencyCounters {
+            capacity,
+            slots: Vec::with_capacity(capacity.min(1024)),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no key has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Record that `count` tuples of tile `tile_no` contain `key`.
+    ///
+    /// Existing slots accumulate; otherwise an empty slot is taken; otherwise
+    /// the eviction policy replaces the slot whose `last_tile` is oldest,
+    /// tie-broken by smallest count.
+    pub fn record(&mut self, key: &str, count: u64, tile_no: u64) {
+        if let Some(&i) = self.index.get(key) {
+            self.slots[i].count += count;
+            self.slots[i].last_tile = self.slots[i].last_tile.max(tile_no);
+            return;
+        }
+        if self.slots.len() < self.capacity {
+            self.index.insert(key.to_owned(), self.slots.len());
+            self.slots.push(Slot {
+                key: key.to_owned(),
+                count,
+                last_tile: tile_no,
+            });
+            return;
+        }
+        // Evict: oldest tile first, then lowest count.
+        let victim = self
+            .slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.last_tile, s.count))
+            .map(|(i, _)| i)
+            .expect("capacity > 0");
+        // Never evict a strictly better-established slot for a weaker key:
+        // keep the most frequent keys stored, as the paper requires.
+        let v = &self.slots[victim];
+        if v.last_tile >= tile_no && v.count >= count {
+            return;
+        }
+        self.index.remove(&self.slots[victim].key);
+        self.index.insert(key.to_owned(), victim);
+        self.slots[victim] = Slot {
+            key: key.to_owned(),
+            count,
+            last_tile: tile_no,
+        };
+    }
+
+    /// Exact retained count for `key`, if a slot holds it.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.index.get(key).map(|&i| self.slots[i].count)
+    }
+
+    /// Estimated count for `key`: the retained value, or — per §4.6 — the
+    /// smallest retained counter when the key is unknown. An empty structure
+    /// estimates 0.
+    pub fn estimate(&self, key: &str) -> u64 {
+        if let Some(c) = self.get(key) {
+            return c;
+        }
+        self.slots.iter().map(|s| s.count).min().unwrap_or(0)
+    }
+
+    /// Iterate `(key, count)` pairs of all retained slots.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.slots.iter().map(|s| (s.key.as_str(), s.count))
+    }
+
+    /// Slot capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Dump all slots as `(key, count, last_tile)` for persistence.
+    pub fn entries(&self) -> Vec<(String, u64, u64)> {
+        self.slots
+            .iter()
+            .map(|s| (s.key.clone(), s.count, s.last_tile))
+            .collect()
+    }
+
+    /// Rebuild from a dump produced by [`FrequencyCounters::entries`].
+    /// Entries beyond `capacity` are dropped.
+    pub fn from_entries(capacity: usize, entries: Vec<(String, u64, u64)>) -> FrequencyCounters {
+        let mut f = FrequencyCounters::new(capacity);
+        for (key, count, last_tile) in entries.into_iter().take(capacity) {
+            f.index.insert(key.clone(), f.slots.len());
+            f.slots.push(Slot {
+                key,
+                count,
+                last_tile,
+            });
+        }
+        f
+    }
+}
+
+impl Default for FrequencyCounters {
+    fn default() -> Self {
+        FrequencyCounters::new(DEFAULT_FREQ_SLOTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_existing_keys() {
+        let mut f = FrequencyCounters::new(4);
+        f.record("a", 10, 1);
+        f.record("a", 5, 2);
+        assert_eq!(f.get("a"), Some(15));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn fills_empty_slots_first() {
+        let mut f = FrequencyCounters::new(2);
+        f.record("a", 1, 1);
+        f.record("b", 2, 1);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get("a"), Some(1));
+        assert_eq!(f.get("b"), Some(2));
+    }
+
+    #[test]
+    fn evicts_oldest_then_smallest() {
+        let mut f = FrequencyCounters::new(2);
+        f.record("old_small", 1, 1);
+        f.record("old_big", 100, 1);
+        // Newer tile evicts the oldest+smallest slot.
+        f.record("new", 50, 2);
+        assert_eq!(f.get("old_small"), None, "oldest+smallest evicted");
+        assert_eq!(f.get("old_big"), Some(100), "frequent key survives");
+        assert_eq!(f.get("new"), Some(50));
+    }
+
+    #[test]
+    fn stale_weak_insert_does_not_evict() {
+        let mut f = FrequencyCounters::new(1);
+        f.record("strong", 100, 5);
+        f.record("weak", 1, 5);
+        assert_eq!(f.get("strong"), Some(100));
+        assert_eq!(f.get("weak"), None);
+    }
+
+    #[test]
+    fn missing_key_estimates_minimum() {
+        let mut f = FrequencyCounters::new(4);
+        f.record("a", 100, 1);
+        f.record("b", 7, 1);
+        f.record("c", 50, 1);
+        assert_eq!(f.estimate("unknown"), 7);
+        assert_eq!(f.estimate("a"), 100);
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let f = FrequencyCounters::default();
+        assert_eq!(f.estimate("anything"), 0);
+    }
+
+    #[test]
+    fn eviction_keeps_index_consistent() {
+        let mut f = FrequencyCounters::new(2);
+        f.record("a", 1, 1);
+        f.record("b", 2, 1);
+        f.record("c", 3, 2); // evicts a
+        f.record("c", 3, 3);
+        assert_eq!(f.get("c"), Some(6));
+        let keys: Vec<&str> = f.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys.len(), 2);
+        assert!(keys.contains(&"b") && keys.contains(&"c"));
+    }
+
+    #[test]
+    fn entries_round_trip() {
+        let mut f = FrequencyCounters::new(8);
+        f.record("a", 10, 1);
+        f.record("b", 20, 2);
+        let back = FrequencyCounters::from_entries(f.capacity(), f.entries());
+        assert_eq!(back.get("a"), Some(10));
+        assert_eq!(back.get("b"), Some(20));
+        assert_eq!(back.len(), 2);
+        // Replacement state survives: recording continues where it left off.
+        let mut back = back;
+        back.record("a", 5, 3);
+        assert_eq!(back.get("a"), Some(15));
+    }
+
+    #[test]
+    fn most_frequent_always_survive_churn() {
+        let mut f = FrequencyCounters::new(8);
+        f.record("hot", 1_000_000, 0);
+        for tile in 1..100u64 {
+            for k in 0..16 {
+                f.record(&format!("cold-{tile}-{k}"), 1, tile);
+            }
+            // Hot key keeps being observed.
+            f.record("hot", 1000, tile);
+        }
+        assert!(f.get("hot").is_some(), "hot key must never be evicted");
+    }
+}

@@ -1,0 +1,219 @@
+//! HyperLogLog cardinality sketches (Flajolet et al. [25]).
+//!
+//! The paper samples inserted values into HLL sketches while each tile is
+//! created ("without noticeable overhead") and merges tile sketches into
+//! relation-level domain statistics used for join-cardinality estimation.
+
+use crate::hash::hash64;
+
+/// Default precision: 2^10 = 1024 registers, standard error ≈ 1.04/√1024 ≈ 3.3%.
+pub const DEFAULT_HLL_PRECISION: u8 = 10;
+
+/// A HyperLogLog distinct-count sketch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HyperLogLog {
+    precision: u8,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// Create a sketch with `2^precision` registers (4 ≤ precision ≤ 16).
+    pub fn new(precision: u8) -> Self {
+        assert!((4..=16).contains(&precision), "precision out of range");
+        HyperLogLog {
+            precision,
+            registers: vec![0; 1 << precision],
+        }
+    }
+
+    /// Register count.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Observe a raw byte value.
+    pub fn insert(&mut self, value: &[u8]) {
+        self.insert_hash(hash64(value, 0x48_4C_4C));
+    }
+
+    /// Observe a pre-computed 64-bit hash.
+    pub fn insert_hash(&mut self, h: u64) {
+        let p = self.precision as u32;
+        let idx = (h >> (64 - p)) as usize;
+        // Rank of the first set bit in the remaining 64-p bits, 1-based.
+        let rest = h << p;
+        let rank = if rest == 0 {
+            (64 - p + 1) as u8
+        } else {
+            (rest.leading_zeros() + 1) as u8
+        };
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// Estimated number of distinct observed values.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            n => 0.7213 / (1.0 + 1.079 / n as f64),
+        };
+        let sum: f64 = self.registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting over empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        // 64-bit hashes make the large-range correction unnecessary.
+        raw
+    }
+
+    /// Combine another sketch into this one (register-wise max) — the
+    /// "sketches are easy to combine" aggregation of §4.6. Panics if the
+    /// precisions differ.
+    pub fn merge(&mut self, other: &HyperLogLog) {
+        assert_eq!(self.precision, other.precision, "precision mismatch");
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// True if nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.registers.iter().all(|&r| r == 0)
+    }
+
+    /// Serialize: precision byte followed by the raw registers.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.registers.len());
+        out.push(self.precision);
+        out.extend_from_slice(&self.registers);
+        out
+    }
+
+    /// Inverse of [`HyperLogLog::to_bytes`]. Returns `None` on malformed
+    /// input (wrong register count for the precision).
+    pub fn from_bytes(bytes: &[u8]) -> Option<HyperLogLog> {
+        let (&precision, registers) = bytes.split_first()?;
+        if !(4..=16).contains(&precision) || registers.len() != 1 << precision {
+            return None;
+        }
+        Some(HyperLogLog {
+            precision,
+            registers: registers.to_vec(),
+        })
+    }
+}
+
+impl Default for HyperLogLog {
+    fn default() -> Self {
+        HyperLogLog::new(DEFAULT_HLL_PRECISION)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate_of(n: u64) -> f64 {
+        let mut h = HyperLogLog::default();
+        for i in 0..n {
+            h.insert(format!("value-{i}").as_bytes());
+        }
+        h.estimate()
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::default();
+        assert!(h.is_empty());
+        assert_eq!(h.estimate(), 0.0);
+    }
+
+    #[test]
+    fn small_cardinalities_near_exact() {
+        for n in [1u64, 5, 50, 500] {
+            let est = estimate_of(n);
+            let err = (est - n as f64).abs() / n as f64;
+            assert!(err < 0.15, "n={n} est={est}");
+        }
+    }
+
+    #[test]
+    fn large_cardinality_within_error_bound() {
+        let n = 200_000u64;
+        let est = estimate_of(n);
+        let err = (est - n as f64).abs() / n as f64;
+        // Standard error is ~3.3% at precision 10; allow 4 sigma.
+        assert!(err < 0.14, "est={est} err={err}");
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::default();
+        for _ in 0..10_000 {
+            h.insert(b"same");
+        }
+        assert!((h.estimate() - 1.0).abs() < 0.5, "est={}", h.estimate());
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = HyperLogLog::default();
+        let mut b = HyperLogLog::default();
+        let mut union = HyperLogLog::default();
+        for i in 0..5000u64 {
+            let k = format!("a{i}");
+            a.insert(k.as_bytes());
+            union.insert(k.as_bytes());
+        }
+        for i in 0..5000u64 {
+            let k = format!("b{i}");
+            b.insert(k.as_bytes());
+            union.insert(k.as_bytes());
+        }
+        a.merge(&b);
+        assert_eq!(a, union, "merge must equal inserting the union");
+    }
+
+    #[test]
+    #[should_panic(expected = "precision mismatch")]
+    fn merge_rejects_mismatched_precision() {
+        let mut a = HyperLogLog::new(8);
+        a.merge(&HyperLogLog::new(9));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut h = HyperLogLog::default();
+        for i in 0..5000u64 {
+            h.insert(&i.to_le_bytes());
+        }
+        let back = HyperLogLog::from_bytes(&h.to_bytes()).unwrap();
+        assert_eq!(back, h);
+        assert!(HyperLogLog::from_bytes(&[]).is_none());
+        assert!(HyperLogLog::from_bytes(&[10, 0, 0]).is_none(), "wrong register count");
+        assert!(HyperLogLog::from_bytes(&[3]).is_none(), "precision too small");
+    }
+
+    #[test]
+    fn overlapping_merge_not_double_counted() {
+        let mut a = HyperLogLog::default();
+        let mut b = HyperLogLog::default();
+        for i in 0..10_000u64 {
+            let k = format!("x{i}");
+            a.insert(k.as_bytes());
+            b.insert(k.as_bytes());
+        }
+        a.merge(&b);
+        let est = a.estimate();
+        let err = (est - 10_000.0).abs() / 10_000.0;
+        assert!(err < 0.15, "est={est}");
+    }
+}

@@ -1,0 +1,26 @@
+//! # jt-stats — query-optimizer statistics substrate (paper §4.4, §4.6)
+//!
+//! JSON tiles collects per-tile statistics during loading and aggregates them
+//! to relation level so the optimizer can order joins on JSON keys. This
+//! crate provides the three primitives the paper names:
+//!
+//! * [`HyperLogLog`] sketches for distinct-value (domain) estimates — the
+//!   paper uses 64 sketches per relation and notes they are "easy to
+//!   combine"; [`HyperLogLog::merge`] is that combination.
+//! * [`FrequencyCounters`] — 256 bounded slots tracking how many tuples
+//!   contain each key path, with the paper's replacement policy (replace by
+//!   most-recent tile and lowest count) and its fallback estimate (a missing
+//!   key behaves like the smallest retained counter).
+//! * [`BloomFilter`] over non-extracted key paths stored in each tile header
+//!   (§4.4), using Kirsch–Mitzenmacher double hashing [35] so two hash
+//!   evaluations drive any number of probes.
+
+mod bloom;
+mod freq;
+mod hash;
+mod hll;
+
+pub use bloom::BloomFilter;
+pub use freq::{FrequencyCounters, DEFAULT_FREQ_SLOTS};
+pub use hash::{hash64, mix64};
+pub use hll::{HyperLogLog, DEFAULT_HLL_PRECISION};

@@ -1,0 +1,52 @@
+//! # jt-workloads — the paper's query suites (§6.1–§6.7)
+//!
+//! Runnable versions of every workload the evaluation measures:
+//!
+//! * [`tpch`] — the 22 JSONized TPC-H queries over the *combined* relation
+//!   (all eight tables in one JSON column). The paper modifies the queries
+//!   to the JSON access style (§4.2); we additionally simplify constructs
+//!   our engine lacks (correlated subqueries become constants or
+//!   semi-joins, outer joins become inner joins). Every query keeps its
+//!   chokepoint character from Boncz et al. [11] — expression-heavy
+//!   aggregation (Q1), join ordering (Q3/Q10/Q18), semi/anti joins
+//!   (Q4/Q22), disjunctive predicates (Q19) — which is what Table 1 and
+//!   Figures 7–9 measure.
+//! * [`yelp`] — five business-insight queries over the combined Yelp-like
+//!   collection (§6.2, Table 2).
+//! * [`twitter`] — five tweet queries (§6.3, Table 3), including the
+//!   `Tiles-*` variants of Q3/Q4 that join side relations produced by
+//!   high-cardinality array extraction (§3.5).
+//! * [`micro`] — the §6.7 summation micro-benchmark (`SUM(l_linenumber)`).
+//!
+//! All queries are functions of `(&Relation, ExecOptions) → ResultSet`, so
+//! the same code runs against every storage mode — the paper's
+//! internal-competitor methodology.
+
+pub mod micro;
+pub mod tpch;
+pub mod twitter;
+pub mod yelp;
+
+pub use jt_query::ExecOptions;
+
+/// Geometric mean of runtimes in seconds (used by Figures 9–14).
+pub fn geo_mean(secs: &[f64]) -> f64 {
+    if secs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = secs.iter().map(|s| s.max(1e-9).ln()).sum();
+    (log_sum / secs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert!((geo_mean(&[3.0]) - 3.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert!(geo_mean(&[0.0, 1.0]) < 1e-3, "zeros clamped, not panicking");
+    }
+}

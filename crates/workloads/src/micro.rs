@@ -1,0 +1,85 @@
+//! The §6.7 micro-benchmark: `SELECT SUM(l_linenumber)` over lineitem.
+//!
+//! "We choose a query that is executed optimally by both the regular
+//! relational system and Sinew. The query simply sums up the linenumber
+//! field." On the lineitem-only relation the extraction is perfect for
+//! every competitor; on the combined relation the outliers and mixed
+//! structures expose the per-tile static overhead Table 5 quantifies.
+
+use jt_core::Relation;
+use jt_query::{col, AccessType, Agg, ExecOptions, Query, ResultSet};
+
+/// Run the summation query.
+pub fn summation(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("l", rel)
+        .access("l_linenumber", AccessType::Int)
+        .aggregate(vec![], vec![Agg::sum(col("l_linenumber")), Agg::count(col("l_linenumber"))])
+        .run_with(opts)
+}
+
+/// A purely relational baseline for Table 5's "Relational" row: the values
+/// are pre-extracted into a plain vector, so the loop is the ideal columnar
+/// scan with no JSON machinery at all.
+pub struct RelationalBaseline {
+    values: Vec<i64>,
+}
+
+impl RelationalBaseline {
+    /// Extract `l_linenumber` from the documents once, eagerly.
+    pub fn build(docs: &[jt_json::Value]) -> RelationalBaseline {
+        RelationalBaseline {
+            values: docs
+                .iter()
+                .filter_map(|d| d.get("l_linenumber").and_then(|v| v.as_i64()))
+                .collect(),
+        }
+    }
+
+    /// The summation loop.
+    pub fn sum(&self) -> i64 {
+        self.values.iter().sum()
+    }
+
+    /// Number of extracted rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no lineitem rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_core::{StorageMode, TilesConfig};
+    use jt_data::tpch::{generate, TpchConfig};
+
+    #[test]
+    fn all_systems_compute_the_same_sum() {
+        let data = generate(TpchConfig { scale: 0.05, seed: 3 });
+        let combined = data.combined();
+        let baseline = RelationalBaseline::build(&combined);
+        let expected = baseline.sum();
+        assert!(expected > 0);
+        for mode in [
+            StorageMode::JsonText,
+            StorageMode::Jsonb,
+            StorageMode::Sinew,
+            StorageMode::Tiles,
+        ] {
+            for docs in [&data.lineitem, &combined] {
+                let rel = Relation::load(docs, TilesConfig::with_mode(mode));
+                let r = summation(&rel, ExecOptions::default());
+                assert_eq!(r.column(0)[0].as_i64(), Some(expected), "{mode:?}");
+                assert_eq!(
+                    r.column(1)[0].as_i64(),
+                    Some(data.lineitem.len() as i64),
+                    "{mode:?} count"
+                );
+            }
+        }
+    }
+}

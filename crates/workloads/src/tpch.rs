@@ -1,0 +1,816 @@
+//! The 22 JSONized TPC-H queries (paper §6.1, Table 1).
+//!
+//! Every query scans the *combined* relation: one JSON column holding the
+//! documents of all eight TPC-H tables. Joins are therefore self-joins of
+//! the combined relation with different pushed-down access sets — exactly
+//! the Figure 5 shape — and the null-rejecting join keys are what lets
+//! JSON tiles skip the tiles holding other tables' documents (§4.8).
+//!
+//! Queries are structurally faithful simplifications (see crate docs):
+//! the chokepoint of each official query survives, the exact result
+//! columns occasionally differ. Correlated subqueries with aggregates
+//! (Q2/Q15/Q17/Q20) use fixed thresholds; outer joins (Q13) run as inner.
+
+use jt_core::Relation;
+use jt_query::{col, lit, lit_date, lit_f64, lit_str, AccessType, Agg, ExecOptions, Expr, Query, ResultSet, Scalar};
+
+/// Number of TPC-H queries.
+pub const QUERY_COUNT: usize = 22;
+
+/// Run TPC-H query `n` (1-based) against the combined relation.
+pub fn run_query(n: usize, rel: &Relation, opts: ExecOptions) -> ResultSet {
+    match n {
+        1 => q1(rel, opts),
+        2 => q2(rel, opts),
+        3 => q3(rel, opts),
+        4 => q4(rel, opts),
+        5 => q5(rel, opts),
+        6 => q6(rel, opts),
+        7 => q7(rel, opts),
+        8 => q8(rel, opts),
+        9 => q9(rel, opts),
+        10 => q10(rel, opts),
+        11 => q11(rel, opts),
+        12 => q12(rel, opts),
+        13 => q13(rel, opts),
+        14 => q14(rel, opts),
+        15 => q15(rel, opts),
+        16 => q16(rel, opts),
+        17 => q17(rel, opts),
+        18 => q18(rel, opts),
+        19 => q19(rel, opts),
+        20 => q20(rel, opts),
+        21 => q21(rel, opts),
+        22 => q22(rel, opts),
+        _ => panic!("TPC-H has queries 1..=22, got {n}"),
+    }
+}
+
+/// Revenue expression: `l_extendedprice * (1 - l_discount)`.
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(lit(1).sub(col("l_discount")))
+}
+
+fn lineitem<'a>(q: Query<'a>) -> Query<'a> {
+    q.access("l_orderkey", AccessType::Int)
+        .access("l_quantity", AccessType::Int)
+        .access("l_extendedprice", AccessType::Numeric)
+        .access("l_discount", AccessType::Numeric)
+}
+
+/// Q1: pricing summary report — expression calculation & low-cardinality
+/// aggregation over lineitem only.
+fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("l", rel)
+        .access("l_returnflag", AccessType::Text)
+        .access("l_linestatus", AccessType::Text)
+        .access("l_quantity", AccessType::Int)
+        .access("l_extendedprice", AccessType::Numeric)
+        .access("l_discount", AccessType::Numeric)
+        .access("l_tax", AccessType::Numeric)
+        .access("l_shipdate", AccessType::Timestamp)
+        .filter(col("l_shipdate").le(lit_date("1998-09-02")))
+        .aggregate(
+            vec![col("l_returnflag"), col("l_linestatus")],
+            vec![
+                Agg::sum(col("l_quantity")),
+                Agg::sum(col("l_extendedprice")),
+                Agg::sum(revenue()),
+                Agg::sum(revenue().mul(lit(1).add(col("l_tax")))),
+                Agg::avg(col("l_quantity")),
+                Agg::avg(col("l_extendedprice")),
+                Agg::avg(col("l_discount")),
+                Agg::count_star(),
+            ],
+        )
+        .order_by(0, false)
+        .order_by(1, false)
+        .run_with(opts)
+}
+
+/// Q2: minimum-cost supplier (simplified: subquery replaced by ordering).
+fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_type", AccessType::Text)
+        .access("p_size", AccessType::Int)
+        .filter(col("p_size").eq(lit(15)).and(col("p_type").contains("STEEL")))
+        .join("ps", rel)
+        .access("ps_partkey", AccessType::Int)
+        .access("ps_suppkey", AccessType::Int)
+        .access("ps_supplycost", AccessType::Numeric)
+        .on("p_partkey", "ps_partkey")
+        .join("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_acctbal", AccessType::Numeric)
+        .access("s_name", AccessType::Text)
+        .access("s_nationkey", AccessType::Int)
+        .on("ps_suppkey", "s_suppkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_regionkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .on("s_nationkey", "n_nationkey")
+        .join("r", rel)
+        .access("r_regionkey", AccessType::Int)
+        .access("r_name", AccessType::Text)
+        .filter(col("r_name").eq(lit_str("EUROPE")))
+        .on("n_regionkey", "r_regionkey")
+        .aggregate(
+            vec![col("s_name"), col("n_name"), col("p_partkey")],
+            vec![Agg::min(col("ps_supplycost")), Agg::max(col("s_acctbal"))],
+        )
+        .order_by(4, true)
+        .limit(10)
+        .run_with(opts)
+}
+
+/// Q3: shipping priority — join & aggregation chokepoint.
+fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_mktsegment", AccessType::Text)
+        .filter(col("c_mktsegment").eq(lit_str("BUILDING")))
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .filter(col("o_orderdate").lt(lit_date("1995-03-15")))
+        .on("c_custkey", "o_custkey")
+        .join("l", rel);
+    lineitem(q)
+        .access("l_shipdate", AccessType::Timestamp)
+        .filter(col("l_shipdate").gt(lit_date("1995-03-15")))
+        .on("o_orderkey", "l_orderkey")
+        .aggregate(vec![col("o_orderkey")], vec![Agg::sum(revenue())])
+        .order_by(1, true)
+        .limit(10)
+        .run_with(opts)
+}
+
+/// Q4: order priority checking — EXISTS → semi join.
+fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .access("o_orderpriority", AccessType::Text)
+        .filter(
+            col("o_orderdate")
+                .ge(lit_date("1993-07-01"))
+                .and(col("o_orderdate").lt(lit_date("1993-10-01"))),
+        )
+        .join("l", rel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_commitdate", AccessType::Timestamp)
+        .access("l_receiptdate", AccessType::Timestamp)
+        .filter_cross_slots()
+        .semi_on("o_orderkey", "l_orderkey")
+        .aggregate(vec![col("o_orderpriority")], vec![Agg::count_star()])
+        .order_by(0, false)
+        .run_with(opts)
+}
+
+/// Q5: local supplier volume.
+fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_nationkey", AccessType::Int)
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .filter(
+            col("o_orderdate")
+                .ge(lit_date("1994-01-01"))
+                .and(col("o_orderdate").lt(lit_date("1995-01-01"))),
+        )
+        .on("c_custkey", "o_custkey")
+        .join("l", rel);
+    lineitem(q)
+        .access("l_suppkey", AccessType::Int)
+        .on("o_orderkey", "l_orderkey")
+        .join("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_nationkey", AccessType::Int)
+        .on("l_suppkey", "s_suppkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_regionkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .on("s_nationkey", "n_nationkey")
+        .join("r", rel)
+        .access("r_regionkey", AccessType::Int)
+        .access("r_name", AccessType::Text)
+        .filter(col("r_name").eq(lit_str("ASIA")))
+        .on("n_regionkey", "r_regionkey")
+        // Local supplier: customer and supplier share the nation.
+        .filter_joined(col("c_nationkey").eq(col("s_nationkey")))
+        .aggregate(vec![col("n_name")], vec![Agg::sum(revenue())])
+        .order_by(1, true)
+        .run_with(opts)
+}
+
+/// Q6: forecasting revenue change — pure scan + predicate chokepoint.
+fn q6(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("l", rel)
+        .access("l_shipdate", AccessType::Timestamp)
+        .access("l_discount", AccessType::Numeric)
+        .access("l_quantity", AccessType::Int)
+        .access("l_extendedprice", AccessType::Numeric)
+        .filter(
+            col("l_shipdate")
+                .ge(lit_date("1994-01-01"))
+                .and(col("l_shipdate").lt(lit_date("1995-01-01")))
+                .and(col("l_discount").ge(lit_f64(0.05)))
+                .and(col("l_discount").le(lit_f64(0.07)))
+                .and(col("l_quantity").lt(lit(24))),
+        )
+        .aggregate(
+            vec![],
+            vec![Agg::sum(col("l_extendedprice").mul(col("l_discount")))],
+        )
+        .run_with(opts)
+}
+
+/// Q7: volume shipping between two nations, by year.
+fn q7(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_nationkey", AccessType::Int)
+        .join("l", rel);
+    lineitem(q)
+        .access("l_suppkey", AccessType::Int)
+        .access("l_shipdate", AccessType::Timestamp)
+        .filter(
+            col("l_shipdate")
+                .ge(lit_date("1995-01-01"))
+                .and(col("l_shipdate").le(lit_date("1996-12-31"))),
+        )
+        .on("s_suppkey", "l_suppkey")
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .on("l_orderkey", "o_orderkey")
+        .join("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_nationkey", AccessType::Int)
+        .on("o_custkey", "c_custkey")
+        // France (6) ↔ Germany (7) in either direction.
+        .filter_joined(
+            col("s_nationkey")
+                .eq(lit(6))
+                .and(col("c_nationkey").eq(lit(7)))
+                .or(col("s_nationkey").eq(lit(7)).and(col("c_nationkey").eq(lit(6)))),
+        )
+        .aggregate(
+            vec![col("s_nationkey"), col("l_shipdate").year()],
+            vec![Agg::sum(revenue())],
+        )
+        .order_by(0, false)
+        .order_by(1, false)
+        .run_with(opts)
+}
+
+/// Q8: national market share within a region, by year.
+fn q8(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_type", AccessType::Text)
+        .filter(col("p_type").eq(lit_str("ECONOMY ANODIZED STEEL")))
+        .join("l", rel);
+    lineitem(q)
+        .access("l_partkey", AccessType::Int)
+        .access("l_suppkey", AccessType::Int)
+        .on("p_partkey", "l_partkey")
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .filter(
+            col("o_orderdate")
+                .ge(lit_date("1995-01-01"))
+                .and(col("o_orderdate").le(lit_date("1996-12-31"))),
+        )
+        .on("l_orderkey", "o_orderkey")
+        .join("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_nationkey", AccessType::Int)
+        .on("o_custkey", "c_custkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_regionkey", AccessType::Int)
+        .on("c_nationkey", "n_nationkey")
+        .join("r", rel)
+        .access("r_regionkey", AccessType::Int)
+        .access("r_name", AccessType::Text)
+        .filter(col("r_name").eq(lit_str("AMERICA")))
+        .on("n_regionkey", "r_regionkey")
+        .aggregate(
+            vec![col("o_orderdate").year()],
+            vec![Agg::sum(revenue()), Agg::count_star()],
+        )
+        .order_by(0, false)
+        .run_with(opts)
+}
+
+/// Q9: product type profit measure, by nation and year.
+fn q9(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_name", AccessType::Text)
+        .filter(col("p_name").contains("bold"))
+        .join("l", rel);
+    lineitem(q)
+        .access("l_partkey", AccessType::Int)
+        .access("l_suppkey", AccessType::Int)
+        .on("p_partkey", "l_partkey")
+        .join("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_nationkey", AccessType::Int)
+        .on("l_suppkey", "s_suppkey")
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .on("l_orderkey", "o_orderkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .on("s_nationkey", "n_nationkey")
+        .aggregate(
+            vec![col("n_name"), col("o_orderdate").year()],
+            vec![Agg::sum(revenue())],
+        )
+        .order_by(0, false)
+        .order_by(1, true)
+        .run_with(opts)
+}
+
+/// Q10: returned-item reporting — the Figure 5 example query.
+fn q10(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_name", AccessType::Text)
+        .access("c_acctbal", AccessType::Numeric)
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .access("o_orderdate", AccessType::Timestamp)
+        .filter(
+            col("o_orderdate")
+                .ge(lit_date("1993-10-01"))
+                .and(col("o_orderdate").lt(lit_date("1994-01-01"))),
+        )
+        .on("c_custkey", "o_custkey")
+        .join("l", rel);
+    lineitem(q)
+        .access("l_returnflag", AccessType::Text)
+        .filter(col("l_returnflag").eq(lit_str("R")))
+        .on("o_orderkey", "l_orderkey")
+        .aggregate(
+            vec![col("c_custkey"), col("c_name")],
+            vec![Agg::sum(revenue()), Agg::max(col("c_acctbal"))],
+        )
+        .order_by(2, true)
+        .limit(20)
+        .run_with(opts)
+}
+
+/// Q11: important stock identification (simplified threshold).
+fn q11(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("ps", rel)
+        .access("ps_partkey", AccessType::Int)
+        .access("ps_suppkey", AccessType::Int)
+        .access("ps_availqty", AccessType::Int)
+        .access("ps_supplycost", AccessType::Numeric)
+        .join("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_nationkey", AccessType::Int)
+        .on("ps_suppkey", "s_suppkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .filter(col("n_name").eq(lit_str("GERMANY")))
+        .on("s_nationkey", "n_nationkey")
+        .aggregate(
+            vec![col("ps_partkey")],
+            vec![Agg::sum(col("ps_supplycost").mul(col("ps_availqty")))],
+        )
+        .order_by(1, true)
+        .limit(20)
+        .run_with(opts)
+}
+
+/// Q12: shipping modes and order priority.
+fn q12(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_orderpriority", AccessType::Text)
+        .join("l", rel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_shipmode", AccessType::Text)
+        .access("l_receiptdate", AccessType::Timestamp)
+        .filter(
+            col("l_shipmode")
+                .in_list(vec![Scalar::str("MAIL"), Scalar::str("SHIP")])
+                .and(col("l_receiptdate").ge(lit_date("1994-01-01")))
+                .and(col("l_receiptdate").lt(lit_date("1995-01-01"))),
+        )
+        .on("o_orderkey", "l_orderkey")
+        .aggregate(
+            vec![
+                col("l_shipmode"),
+                col("o_orderpriority").in_list(vec![Scalar::str("1-URGENT"), Scalar::str("2-HIGH")]),
+            ],
+            vec![Agg::count_star()],
+        )
+        .order_by(0, false)
+        .order_by(1, false)
+        .run_with(opts)
+}
+
+/// Q13: customer order-count distribution (inner-join variant).
+fn q13(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .join("o", rel)
+        .access("o_custkey", AccessType::Int)
+        .access("o_comment", AccessType::Text)
+        .filter(col("o_comment").contains("special").not().or(col("o_comment").is_null()))
+        .on("c_custkey", "o_custkey")
+        .aggregate(vec![col("c_custkey")], vec![Agg::count_star()])
+        .order_by(1, true)
+        .limit(20)
+        .run_with(opts)
+}
+
+/// Q14: promotion effect — share of promo parts in monthly revenue.
+fn q14(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("l", rel);
+    lineitem(q)
+        .access("l_partkey", AccessType::Int)
+        .access("l_shipdate", AccessType::Timestamp)
+        .filter(
+            col("l_shipdate")
+                .ge(lit_date("1995-09-01"))
+                .and(col("l_shipdate").lt(lit_date("1995-10-01"))),
+        )
+        .join("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_type", AccessType::Text)
+        .on("l_partkey", "p_partkey")
+        .aggregate(
+            vec![col("p_type").starts_with("PROMO")],
+            vec![Agg::sum(revenue())],
+        )
+        .order_by(0, false)
+        .run_with(opts)
+}
+
+/// Q15: top supplier by quarterly revenue.
+fn q15(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("l", rel);
+    lineitem(q)
+        .access("l_suppkey", AccessType::Int)
+        .access("l_shipdate", AccessType::Timestamp)
+        .filter(
+            col("l_shipdate")
+                .ge(lit_date("1996-01-01"))
+                .and(col("l_shipdate").lt(lit_date("1996-04-01"))),
+        )
+        .join("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_name", AccessType::Text)
+        .on("l_suppkey", "s_suppkey")
+        .aggregate(
+            vec![col("s_suppkey"), col("s_name")],
+            vec![Agg::sum(revenue())],
+        )
+        .order_by(2, true)
+        .limit(1)
+        .run_with(opts)
+}
+
+/// Q16: parts/supplier relationship counting.
+fn q16(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_brand", AccessType::Text)
+        .access("p_type", AccessType::Text)
+        .access("p_size", AccessType::Int)
+        .filter(
+            col("p_brand")
+                .ne(lit_str("Brand#45"))
+                .and(col("p_type").starts_with("STANDARD").not())
+                .and(col("p_size").in_list(vec![
+                    Scalar::Int(9),
+                    Scalar::Int(14),
+                    Scalar::Int(19),
+                    Scalar::Int(23),
+                    Scalar::Int(36),
+                    Scalar::Int(45),
+                    Scalar::Int(49),
+                    Scalar::Int(3),
+                ])),
+        )
+        .join("ps", rel)
+        .access("ps_partkey", AccessType::Int)
+        .access("ps_suppkey", AccessType::Int)
+        .on("p_partkey", "ps_partkey")
+        .aggregate(
+            vec![col("p_brand"), col("p_type"), col("p_size")],
+            vec![Agg::count_distinct(col("ps_suppkey"))],
+        )
+        .order_by(3, true)
+        .order_by(0, false)
+        .limit(20)
+        .run_with(opts)
+}
+
+/// Q17: small-quantity-order revenue (fixed quantity threshold).
+fn q17(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_brand", AccessType::Text)
+        .access("p_container", AccessType::Text)
+        .filter(
+            col("p_brand")
+                .eq(lit_str("Brand#23"))
+                .and(col("p_container").eq(lit_str("MED BAG"))),
+        )
+        .join("l", rel);
+    lineitem(q)
+        .access("l_partkey", AccessType::Int)
+        .filter(col("l_quantity").lt(lit(3)))
+        .on("p_partkey", "l_partkey")
+        .aggregate(vec![], vec![Agg::sum(col("l_extendedprice").div(lit(7)))])
+        .run_with(opts)
+}
+
+/// Q18: large-volume customers — join & high-cardinality aggregation
+/// chokepoint (Figures 7/8).
+fn q18(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_name", AccessType::Text)
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_custkey", AccessType::Int)
+        .access("o_totalprice", AccessType::Numeric)
+        .access("o_orderdate", AccessType::Timestamp)
+        .on("c_custkey", "o_custkey")
+        .join("l", rel);
+    lineitem(q)
+        .on("o_orderkey", "l_orderkey")
+        .aggregate(
+            vec![
+                col("c_name"),
+                col("c_custkey"),
+                col("o_orderkey"),
+                col("o_orderdate"),
+                col("o_totalprice"),
+            ],
+            vec![Agg::sum(col("l_quantity"))],
+        )
+        .having(Expr::Slot(5).gt(lit(150)))
+        .order_by(4, true)
+        .order_by(3, false)
+        .limit(100)
+        .run_with(opts)
+}
+
+/// Q19: discounted revenue — disjunctive predicate chokepoint.
+fn q19(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    let q = Query::scan("l", rel);
+    lineitem(q)
+        .access("l_partkey", AccessType::Int)
+        .access("l_shipmode", AccessType::Text)
+        .access("l_shipinstruct", AccessType::Text)
+        .filter(
+            col("l_shipmode")
+                .in_list(vec![Scalar::str("AIR"), Scalar::str("REG AIR")])
+                .and(col("l_shipinstruct").eq(lit_str("DELIVER IN PERSON"))),
+        )
+        .join("p", rel)
+        .access("p_partkey", AccessType::Int)
+        .access("p_brand", AccessType::Text)
+        .access("p_size", AccessType::Int)
+        .on("l_partkey", "p_partkey")
+        .filter_joined(
+            col("p_brand")
+                .eq(lit_str("Brand#12"))
+                .and(col("l_quantity").ge(lit(1)))
+                .and(col("l_quantity").le(lit(11)))
+                .and(col("p_size").le(lit(5)))
+                .or(col("p_brand")
+                    .eq(lit_str("Brand#23"))
+                    .and(col("l_quantity").ge(lit(10)))
+                    .and(col("l_quantity").le(lit(20)))
+                    .and(col("p_size").le(lit(10))))
+                .or(col("p_brand")
+                    .eq(lit_str("Brand#34"))
+                    .and(col("l_quantity").ge(lit(20)))
+                    .and(col("l_quantity").le(lit(30)))
+                    .and(col("p_size").le(lit(15)))),
+        )
+        .aggregate(vec![], vec![Agg::sum(revenue())])
+        .run_with(opts)
+}
+
+/// Q20: potential part promotion (simplified availqty threshold).
+fn q20(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_name", AccessType::Text)
+        .access("s_nationkey", AccessType::Int)
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .filter(col("n_name").eq(lit_str("CANADA")))
+        .on("s_nationkey", "n_nationkey")
+        .join("ps", rel)
+        .access("ps_suppkey", AccessType::Int)
+        .access("ps_availqty", AccessType::Int)
+        .filter(col("ps_availqty").gt(lit(5000)))
+        .semi_on("s_suppkey", "ps_suppkey")
+        .aggregate(vec![col("s_name")], vec![Agg::count_star()])
+        .order_by(0, false)
+        .limit(20)
+        .run_with(opts)
+}
+
+/// Q21: suppliers who kept orders waiting (simplified: receipt after
+/// commit on finalized orders).
+fn q21(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("s", rel)
+        .access("s_suppkey", AccessType::Int)
+        .access("s_name", AccessType::Text)
+        .access("s_nationkey", AccessType::Int)
+        .join("l", rel)
+        .access("l_orderkey", AccessType::Int)
+        .access("l_suppkey", AccessType::Int)
+        .access("l_commitdate", AccessType::Timestamp)
+        .access("l_receiptdate", AccessType::Timestamp)
+        .filter(col("l_receiptdate").is_not_null().and(col("l_commitdate").is_not_null()))
+        .on("s_suppkey", "l_suppkey")
+        .join("o", rel)
+        .access("o_orderkey", AccessType::Int)
+        .access("o_orderstatus", AccessType::Text)
+        .filter(col("o_orderstatus").eq(lit_str("F")))
+        .on("l_orderkey", "o_orderkey")
+        .join("n", rel)
+        .access("n_nationkey", AccessType::Int)
+        .access("n_name", AccessType::Text)
+        .filter(col("n_name").eq(lit_str("SAUDI ARABIA")))
+        .on("s_nationkey", "n_nationkey")
+        .filter_joined(col("l_receiptdate").gt(col("l_commitdate")))
+        .aggregate(vec![col("s_name")], vec![Agg::count_star()])
+        .order_by(1, true)
+        .order_by(0, false)
+        .limit(100)
+        .run_with(opts)
+}
+
+/// Q22: global sales opportunity — anti join on customers without orders.
+fn q22(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("c", rel)
+        .access("c_custkey", AccessType::Int)
+        .access("c_phone", AccessType::Text)
+        .access("c_acctbal", AccessType::Numeric)
+        .filter(col("c_acctbal").gt(lit(0)))
+        .join("o", rel)
+        .access("o_custkey", AccessType::Int)
+        .anti_on("c_custkey", "o_custkey")
+        .aggregate(
+            vec![],
+            vec![Agg::count_star(), Agg::sum(col("c_acctbal"))],
+        )
+        .run_with(opts)
+}
+
+/// Helper trait so Q4 can push a cross-column predicate into the scan
+/// (commit < receipt involves two slots of the same table, which *is*
+/// pushable — both live in the lineitem scan).
+trait CrossSlotFilter<'a> {
+    fn filter_cross_slots(self) -> Query<'a>;
+}
+
+impl<'a> CrossSlotFilter<'a> for Query<'a> {
+    fn filter_cross_slots(self) -> Query<'a> {
+        self.filter(col("l_commitdate").lt(col("l_receiptdate")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_core::{Relation, StorageMode, TilesConfig};
+    use jt_data::tpch::{generate, TpchConfig};
+
+    fn small_combined() -> Vec<jt_json::Value> {
+        generate(TpchConfig { scale: 0.06, seed: 7 }).combined()
+    }
+
+    fn load(docs: &[jt_json::Value], mode: StorageMode) -> Relation {
+        Relation::load(
+            docs,
+            TilesConfig {
+                mode,
+                tile_size: 256,
+                partition_size: 4,
+                ..TilesConfig::default()
+            },
+        )
+    }
+
+    /// The headline correctness test: every query returns identical results
+    /// under every storage mode.
+    #[test]
+    fn all_queries_identical_across_modes() {
+        let docs = small_combined();
+        let rels: Vec<(StorageMode, Relation)> = [
+            StorageMode::JsonText,
+            StorageMode::Jsonb,
+            StorageMode::Sinew,
+            StorageMode::Tiles,
+        ]
+        .iter()
+        .map(|&m| (m, load(&docs, m)))
+        .collect();
+        for q in 1..=QUERY_COUNT {
+            let mut expected: Option<Vec<String>> = None;
+            for (mode, rel) in &rels {
+                let r = run_query(q, rel, ExecOptions::default());
+                let lines = r.to_lines();
+                match &expected {
+                    None => expected = Some(lines),
+                    Some(e) => assert_eq!(e, &lines, "Q{q} differs under {mode:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queries_return_rows() {
+        // Sanity: the chokepoint queries must produce output at this scale;
+        // highly selective queries (small dimension pools, narrow date
+        // windows) may legitimately be empty on an 8% dataset and only must
+        // not panic.
+        let docs = small_combined();
+        let rel = load(&docs, StorageMode::Tiles);
+        let must_return = [1usize, 6, 9, 10, 12, 13, 18];
+        let mut non_empty = 0;
+        for q in 1..=QUERY_COUNT {
+            let r = run_query(q, &rel, ExecOptions::default());
+            if r.rows() > 0 {
+                non_empty += 1;
+            } else {
+                assert!(!must_return.contains(&q), "Q{q} returned nothing");
+            }
+        }
+        assert!(non_empty >= 15, "only {non_empty}/22 queries returned rows");
+    }
+
+    #[test]
+    fn parallel_and_unoptimized_agree() {
+        let docs = small_combined();
+        let rel = load(&docs, StorageMode::Tiles);
+        for q in [1, 3, 10, 18] {
+            let base = run_query(q, &rel, ExecOptions::default()).to_lines();
+            let par = run_query(
+                q,
+                &rel,
+                ExecOptions {
+                    threads: 4,
+                    ..ExecOptions::default()
+                },
+            )
+            .to_lines();
+            let unopt = run_query(
+                q,
+                &rel,
+                ExecOptions {
+                    optimize_joins: false,
+                    ..ExecOptions::default()
+                },
+            )
+            .to_lines();
+            assert_eq!(base, par, "Q{q} parallel");
+            assert_eq!(base, unopt, "Q{q} unoptimized");
+        }
+    }
+
+    #[test]
+    fn q1_aggregates_are_consistent() {
+        let docs = small_combined();
+        let rel = load(&docs, StorageMode::Tiles);
+        let r = q1(&rel, ExecOptions::default());
+        assert!(r.rows() >= 3, "A/F, N/O, R/F groups");
+        // sum(qty) / count == avg(qty) per group.
+        for row in 0..r.rows() {
+            let sum = r.column(2)[row].as_f64().unwrap();
+            let cnt = r.column(9)[row].as_f64().unwrap();
+            let avg = r.column(6)[row].as_f64().unwrap();
+            assert!((sum / cnt - avg).abs() < 1e-9, "row {row}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The five Yelp queries (paper §6.2, Table 2).
+//!
+//! The paper defines "five queries on top of the data to gather interesting
+//! business insights" [22]; only Q4 is described in prose ("counts the
+//! number of reviews in groups of stars"). We implement Q4 exactly and four
+//! companions in the same spirit, covering the Table 2 access patterns:
+//! business-only scans, review-heavy scans, and business⋈review joins.
+
+use jt_core::Relation;
+use jt_query::{col, lit, AccessType, Agg, ExecOptions, Query, ResultSet};
+
+/// Number of Yelp queries.
+pub const QUERY_COUNT: usize = 5;
+
+/// Run Yelp query `n` (1-based) against the combined collection.
+pub fn run_query(n: usize, rel: &Relation, opts: ExecOptions) -> ResultSet {
+    match n {
+        1 => q1(rel, opts),
+        2 => q2(rel, opts),
+        3 => q3(rel, opts),
+        4 => q4(rel, opts),
+        5 => q5(rel, opts),
+        _ => panic!("Yelp has queries 1..=5, got {n}"),
+    }
+}
+
+/// Q1: average business rating and review volume per city (open
+/// businesses only) — business-document scan with nested attribute access.
+fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("b", rel)
+        .access("city", AccessType::Text)
+        .access_as("b_stars", "stars", AccessType::Float)
+        .access("review_count", AccessType::Int)
+        .access("is_open", AccessType::Int)
+        .access("categories", AccessType::Text)
+        .filter(col("is_open").eq(lit(1)).and(col("categories").is_not_null()))
+        .aggregate(
+            vec![col("city")],
+            vec![
+                Agg::avg(col("b_stars")),
+                Agg::sum(col("review_count")),
+                Agg::count_star(),
+            ],
+        )
+        .order_by(2, true)
+        .run_with(opts)
+}
+
+/// Q2: top users by fan count among active reviewers — user-document scan.
+fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("u", rel)
+        .access_as("u_id", "user_id", AccessType::Text)
+        .access_as("u_reviews", "review_count", AccessType::Int)
+        .access("fans", AccessType::Int)
+        .access("yelping_since", AccessType::Timestamp)
+        .filter(
+            col("u_reviews")
+                .gt(lit(50))
+                .and(col("yelping_since").is_not_null()),
+        )
+        .aggregate(
+            vec![col("u_id")],
+            vec![Agg::max(col("fans")), Agg::max(col("u_reviews"))],
+        )
+        .order_by(1, true)
+        .limit(10)
+        .run_with(opts)
+}
+
+/// Q3: average review stars per state — the business⋈review join ("> 100"
+/// row in Table 2 shows this is where stats-blind systems collapse).
+fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("b", rel)
+        .access_as("b_bid", "business_id", AccessType::Text)
+        .access("state", AccessType::Text)
+        .access("categories", AccessType::Text)
+        .filter(col("categories").is_not_null())
+        .join("r", rel)
+        .access("review_id", AccessType::Text)
+        .access_as("r_bid", "business_id", AccessType::Text)
+        .access_as("r_stars", "stars", AccessType::Int)
+        .filter(col("review_id").is_not_null())
+        .on("b_bid", "r_bid")
+        .aggregate(
+            vec![col("state")],
+            vec![Agg::avg(col("r_stars")), Agg::count_star()],
+        )
+        .order_by(0, false)
+        .run_with(opts)
+}
+
+/// Q4: review counts grouped by star rating — the query §6.2 describes.
+fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("r", rel)
+        .access("review_id", AccessType::Text)
+        .access("stars", AccessType::Int)
+        .filter(col("review_id").is_not_null())
+        .aggregate(vec![col("stars")], vec![Agg::count_star()])
+        .order_by(0, false)
+        .run_with(opts)
+}
+
+/// Q5: most useful reviews per state — join with a selective filter.
+fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
+    Query::scan("b", rel)
+        .access("business_id", AccessType::Text)
+        .access("state", AccessType::Text)
+        .access("categories", AccessType::Text)
+        .filter(col("categories").is_not_null())
+        .join("r", rel)
+        .access("review_id", AccessType::Text)
+        .access_as("r_bid", "business_id", AccessType::Text)
+        .access("useful", AccessType::Int)
+        .filter(col("useful").gt(lit(25)))
+        .on("business_id", "r_bid")
+        .aggregate(
+            vec![col("state")],
+            vec![Agg::count_star(), Agg::sum(col("useful"))],
+        )
+        .order_by(2, true)
+        .run_with(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_core::{Relation, StorageMode, TilesConfig};
+    use jt_data::yelp::{generate, YelpConfig};
+
+    fn load(mode: StorageMode) -> (jt_data::yelp::YelpData, Relation) {
+        let data = generate(YelpConfig { businesses: 120, seed: 5 });
+        let rel = Relation::load(
+            &data.docs,
+            TilesConfig {
+                mode,
+                tile_size: 256,
+                partition_size: 4,
+                ..TilesConfig::default()
+            },
+        );
+        (data, rel)
+    }
+
+    #[test]
+    fn all_queries_identical_across_modes() {
+        let modes = [
+            StorageMode::JsonText,
+            StorageMode::Jsonb,
+            StorageMode::Sinew,
+            StorageMode::Tiles,
+        ];
+        let rels: Vec<(StorageMode, Relation)> =
+            modes.iter().map(|&m| (m, load(m).1)).collect();
+        for q in 1..=QUERY_COUNT {
+            let mut expected: Option<Vec<String>> = None;
+            for (mode, rel) in &rels {
+                let r = run_query(q, rel, ExecOptions::default());
+                let lines = r.to_lines();
+                match &expected {
+                    None => expected = Some(lines),
+                    Some(e) => assert_eq!(e, &lines, "Yelp Q{q} under {mode:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q4_matches_generator_ground_truth() {
+        let (data, rel) = load(StorageMode::Tiles);
+        let r = run_query(4, &rel, ExecOptions::default());
+        assert_eq!(r.rows(), 5, "five star buckets");
+        for row in 0..5 {
+            let stars = r.column(0)[row].as_i64().unwrap();
+            let count = r.column(1)[row].as_i64().unwrap();
+            assert_eq!(
+                count as usize,
+                data.reviews_by_stars[(stars - 1) as usize],
+                "stars={stars}"
+            );
+        }
+    }
+
+    #[test]
+    fn q3_join_covers_all_reviews() {
+        let (data, rel) = load(StorageMode::Tiles);
+        let r = run_query(3, &rel, ExecOptions::default());
+        let total: i64 = r.column(2).iter().map(|s| s.as_i64().unwrap()).sum();
+        assert_eq!(total as usize, data.reviews, "every review joins one business");
+    }
+}

@@ -1,0 +1,92 @@
+//! Binary JSON format comparison — the paper's §6.9 study as a runnable
+//! demo: JSONB (this repo, §5) vs BSON (MongoDB-style) vs CBOR (exchange
+//! format) on serialization, storage size, and random nested access.
+//!
+//! ```text
+//! cargo run --release --example binary_formats
+//! ```
+
+use json_tiles::data::simdjson;
+use json_tiles::formats::{bson, cbor};
+use json_tiles::jsonb;
+use std::time::Instant;
+
+fn main() {
+    println!("{:<12} {:>10} {:>8} {:>8} {:>8}  {:>12} {:>12} {:>12}",
+             "file", "json", "jsonb", "bson", "cbor", "acc jsonb/s", "acc bson/s", "acc cbor/s");
+    for name in simdjson::FILES {
+        let doc = simdjson::generate(name);
+        let text = json_tiles::json::to_string(&doc);
+
+        let jb = jsonb::encode(&doc);
+        let bs = bson::encode(&doc);
+        let cb = cbor::encode(&doc);
+
+        // Round-trip safety check for all three formats.
+        assert_eq!(jsonb::decode(&jb), jsonb::decode(&jsonb::encode(&jsonb::decode(&jb))));
+        assert_eq!(bson::decode(&bs), bson::decode(&bson::encode(&bson::decode(&bs))));
+        assert_eq!(cbor::decode(&cb), doc);
+
+        // Random access throughput over sampled paths (Figure 20).
+        let paths = simdjson::sample_paths(&doc, 64, 7);
+        let path_refs: Vec<Vec<&str>> = paths
+            .iter()
+            .map(|p| p.iter().map(String::as_str).collect())
+            .collect();
+
+        let jsonb_rate = rate(|| {
+            for p in &path_refs {
+                let mut cur = jsonb::JsonbRef::new(&jb);
+                for seg in p {
+                    let next = match seg.parse::<usize>() {
+                        Ok(i) => cur.get_index(i),
+                        Err(_) => cur.get(seg),
+                    };
+                    match next {
+                        Some(v) => cur = v,
+                        None => break,
+                    }
+                }
+                std::hint::black_box(cur.kind());
+            }
+        }) * path_refs.len() as f64;
+        let bson_rate = rate(|| {
+            for p in &path_refs {
+                std::hint::black_box(bson::get_path(&bs, p));
+            }
+        }) * path_refs.len() as f64;
+        let cbor_rate = rate(|| {
+            for p in &path_refs {
+                std::hint::black_box(cbor::get_path(&cb, p));
+            }
+        }) * path_refs.len() as f64;
+
+        println!(
+            "{:<12} {:>9}B {:>7.0}% {:>7.0}% {:>7.0}%  {:>12.0} {:>12.0} {:>12.0}",
+            name,
+            text.len(),
+            jb.len() as f64 / text.len() as f64 * 100.0,
+            bs.len() as f64 / text.len() as f64 * 100.0,
+            cb.len() as f64 / text.len() as f64 * 100.0,
+            jsonb_rate,
+            bson_rate,
+            cbor_rate,
+        );
+    }
+    println!("\nsizes as % of JSON text (Figure 19); accesses/sec (Figure 20)");
+    println!("expected shape: CBOR smallest but slowest to access;");
+    println!("JSONB fastest accesses (sorted keys, binary search) at a small size premium.");
+}
+
+/// Executions per second of `f` (median of 9 runs).
+fn rate<F: FnMut()>(mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    1.0 / samples[4]
+}

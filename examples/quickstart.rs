@@ -1,0 +1,99 @@
+//! Quickstart: load JSON documents, let JSON tiles detect the implicit
+//! structure, and run SQL-style analytics over it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use json_tiles::json;
+use json_tiles::query::{col, AccessType, Agg, Query};
+use json_tiles::tiles::{KeyPath, Relation, TilesConfig};
+
+fn main() {
+    // 1. Some heterogeneous JSON documents: sensor readings, two device
+    //    generations (the newer one reports an extra battery field).
+    let docs: Vec<json::Value> = (0..4096)
+        .map(|i| {
+            let battery = if i >= 2048 {
+                format!(r#","battery":{}.5"#, i % 100)
+            } else {
+                String::new()
+            };
+            json::parse(&format!(
+                r#"{{"device":"sensor-{:03}","ts":"2026-01-{:02} {:02}:00:00",
+                    "reading":{{"temp":{}.{}, "unit":"C"}}{battery}}}"#,
+                i % 64,
+                1 + i % 28,
+                i % 24,
+                15 + i % 20,
+                i % 10,
+            ))
+            .expect("valid JSON")
+        })
+        .collect();
+
+    // 2. Bulk-load. Tiles are built per 1024 documents; frequent key paths
+    //    are detected per tile and materialized as typed columns.
+    let rel = Relation::load(&docs, TilesConfig::default());
+    println!("loaded {} docs into {} tiles", rel.row_count(), rel.tiles().len());
+
+    // 3. Inspect what got extracted: the early tiles have no battery
+    //    column, the late ones do — no global schema, no nulls wasted.
+    let battery = KeyPath::keys(&["battery"]);
+    let extracted = rel
+        .tiles()
+        .iter()
+        .filter(|t| t.find_column(&battery, json_tiles::tiles::AccessType::Float).is_some())
+        .count();
+    println!("battery extracted in {extracted}/{} tiles", rel.tiles().len());
+    for (i, tile) in rel.tiles().iter().enumerate().step_by(2) {
+        let cols: Vec<String> = tile
+            .header
+            .columns
+            .iter()
+            .map(|m| format!("{}:{:?}", m.path, m.col_type))
+            .collect();
+        println!("tile {i}: {}", cols.join(", "));
+    }
+
+    // 4. Query: average temperature per device for recent readings, using
+    //    the automatically inferred date column.
+    let result = Query::scan("s", &rel)
+        .access("device", AccessType::Text)
+        .access_as("temp", "reading.temp", AccessType::Float)
+        .access("ts", AccessType::Timestamp)
+        .filter(col("ts").ge(json_tiles::query::lit_date("2026-01-15")))
+        .aggregate(
+            vec![col("device")],
+            vec![Agg::avg(col("temp")), Agg::count_star()],
+        )
+        .order_by(1, true)
+        .limit(5)
+        .run();
+    println!("\nhottest devices since Jan 15:");
+    for line in result.to_lines() {
+        println!("  {line}");
+    }
+
+    // 5. Statistics collected during load feed the optimizer.
+    let stats = rel.stats();
+    println!(
+        "\nstats: {} rows, device count={}, distinct devices≈{:.0}",
+        stats.row_count(),
+        stats.estimate_path_count("device"),
+        stats.estimate_distinct("device").unwrap_or(0.0),
+    );
+
+    // 6. Outlier documents (missing keys, different types) stay queryable
+    //    through the binary JSONB fallback — add one and read it back.
+    let mut rel = rel;
+    let odd = json::parse(r#"{"device":42,"note":"temporarily offline"}"#).unwrap();
+    rel.update(0, &odd);
+    let q = Query::scan("s", &rel)
+        .access("note", AccessType::Text)
+        .filter(col("note").is_not_null())
+        .aggregate(vec![], vec![Agg::count_star()])
+        .run();
+    assert_eq!(q.column(0)[0].as_i64(), Some(1));
+    println!("outlier update visible through the fallback path ✓");
+}

@@ -1,0 +1,183 @@
+//! `jt` — command-line front end for JSON tiles.
+//!
+//! ```text
+//! jt load  input.ndjson table.jt [--mode tiles|sinew|jsonb|json]
+//!                                 [--tile-size N] [--partition N] [--threads N]
+//! jt sql   table.jt "SELECT data->>'k'::INT, COUNT(*) FROM t GROUP BY 1"
+//! jt info  table.jt
+//! ```
+//!
+//! `load` parses newline-delimited JSON, builds the tiles (mining,
+//! reordering, statistics), and persists the relation. `sql` re-opens the
+//! file and runs a query (the table is always named `t`). `info` prints the
+//! per-tile extraction summary and the relation statistics.
+
+use json_tiles::sql;
+use json_tiles::tiles::{Relation, StorageMode, TilesConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("load") => cmd_load(&args[1..]),
+        Some("sql") => cmd_sql(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        _ => {
+            eprintln!("usage: jt <load|sql|info> ... (see source header)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_load(args: &[String]) -> i32 {
+    let mut positional = Vec::new();
+    let mut config = TilesConfig::default();
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--mode" => {
+                config.mode = match args.get(i + 1).map(String::as_str) {
+                    Some("tiles") => StorageMode::Tiles,
+                    Some("sinew") => StorageMode::Sinew,
+                    Some("jsonb") => StorageMode::Jsonb,
+                    Some("json") => StorageMode::JsonText,
+                    other => {
+                        eprintln!("bad --mode {other:?}");
+                        return 2;
+                    }
+                };
+                i += 2;
+            }
+            "--tile-size" => {
+                config.tile_size = args[i + 1].parse().expect("numeric tile size");
+                i += 2;
+            }
+            "--partition" => {
+                config.partition_size = args[i + 1].parse().expect("numeric partition size");
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("numeric thread count");
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        eprintln!("usage: jt load <input.ndjson> <output.jt> [flags]");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return 1;
+        }
+    };
+    let mut docs = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json_tiles::json::parse(line) {
+            Ok(d) => docs.push(d),
+            Err(e) => {
+                eprintln!("{input}:{}: {e}", no + 1);
+                return 1;
+            }
+        }
+    }
+    let mut rel = Relation::load_with_threads(&docs, config, threads);
+    let m = *rel.metrics();
+    if let Err(e) = rel.save(output) {
+        eprintln!("cannot write {output}: {e}");
+        return 1;
+    }
+    println!(
+        "loaded {} docs into {} tiles at {:.0}k tuples/sec → {}",
+        rel.row_count(),
+        rel.tiles().len(),
+        m.tuples_per_sec() / 1e3,
+        output
+    );
+    0
+}
+
+fn cmd_sql(args: &[String]) -> i32 {
+    let [file, query] = args else {
+        eprintln!("usage: jt sql <table.jt> \"SELECT ...\"");
+        return 2;
+    };
+    let rel = match Relation::open(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {file}: {e}");
+            return 1;
+        }
+    };
+    let t0 = std::time::Instant::now();
+    match sql::query(query, &[("t", &rel)]) {
+        Ok(r) => {
+            for line in r.to_lines() {
+                println!("{line}");
+            }
+            eprintln!(
+                "({} rows in {:?}; {} tiles scanned, {} skipped)",
+                r.rows(),
+                t0.elapsed(),
+                r.scan_stats.scanned_tiles,
+                r.scan_stats.skipped_tiles
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+fn cmd_info(args: &[String]) -> i32 {
+    let [file] = args else {
+        eprintln!("usage: jt info <table.jt>");
+        return 2;
+    };
+    let rel = match Relation::open(file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot open {file}: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "{file}: {} rows, {} tiles, mode {:?}",
+        rel.row_count(),
+        rel.tiles().len(),
+        rel.config().mode
+    );
+    let rep = rel.storage_report();
+    println!(
+        "storage: jsonb {:.1} KB, columns {:.1} KB, lz4 columns {:.1} KB, text {:.1} KB",
+        rep.jsonb_bytes as f64 / 1e3,
+        rep.tile_bytes as f64 / 1e3,
+        rep.lz4_tile_bytes as f64 / 1e3,
+        rep.text_bytes as f64 / 1e3,
+    );
+    for (i, tile) in rel.tiles().iter().enumerate().take(8) {
+        let cols: Vec<String> = tile
+            .header
+            .columns
+            .iter()
+            .map(|m| format!("{}:{:?}", m.path, m.col_type))
+            .collect();
+        println!("tile {i} ({} rows): {}", tile.len(), cols.join(", "));
+    }
+    if rel.tiles().len() > 8 {
+        println!("… {} more tiles", rel.tiles().len() - 8);
+    }
+    0
+}

@@ -1,0 +1,17 @@
+//! # json-tiles — facade crate
+//!
+//! Re-exports the public API of the JSON tiles reproduction so downstream
+//! users depend on one crate. See the workspace README for the architecture
+//! overview and DESIGN.md for the paper-to-module map.
+
+pub use jt_compress as compress;
+pub use jt_core as tiles;
+pub use jt_data as data;
+pub use jt_formats as formats;
+pub use jt_json as json;
+pub use jt_jsonb as jsonb;
+pub use jt_mining as mining;
+pub use jt_query as query;
+pub use jt_sql as sql;
+pub use jt_stats as stats;
+pub use jt_workloads as workloads;

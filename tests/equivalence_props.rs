@@ -1,0 +1,115 @@
+//! Property-based cross-crate invariants:
+//!
+//! * query answers are storage-mode independent for arbitrary document
+//!   collections (the extraction-fallback equivalence of §3.4);
+//! * reordering is permutation-safe (the document multiset is preserved);
+//! * loading never panics on arbitrary well-formed documents.
+
+use json_tiles::json::Value;
+use json_tiles::query::{col, AccessType, Agg, Query};
+use json_tiles::tiles::{Relation, StorageMode, TilesConfig};
+use proptest::prelude::*;
+
+/// Arbitrary flat-ish documents with a shared `id` key, random optional
+/// keys, and type-flipping values (the §3.4 outlier scenario).
+fn arb_docs() -> impl Strategy<Value = Vec<Value>> {
+    let doc = (
+        any::<i32>(),
+        prop::option::of(any::<i16>()),
+        prop::option::of("[a-z]{0,6}"),
+        prop::bool::ANY,
+    )
+        .prop_map(|(id, num, text, flip)| {
+            let mut members: Vec<(String, Value)> = vec![("id".into(), Value::int(id as i64))];
+            if let Some(n) = num {
+                // Sometimes int, sometimes float: forces the type-tagged
+                // itemset handling.
+                if flip {
+                    members.push(("v".into(), Value::float(n as f64 + 0.5)));
+                } else {
+                    members.push(("v".into(), Value::int(n as i64)));
+                }
+            }
+            if let Some(t) = text {
+                members.push(("s".into(), Value::Str(t)));
+            }
+            Value::Object(members)
+        });
+    prop::collection::vec(doc, 1..200)
+}
+
+fn tiny_config(mode: StorageMode) -> TilesConfig {
+    TilesConfig {
+        mode,
+        tile_size: 32,
+        partition_size: 4,
+        ..TilesConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn aggregates_identical_across_modes(docs in arb_docs()) {
+        let mut expected: Option<Vec<String>> = None;
+        for mode in [StorageMode::JsonText, StorageMode::Jsonb, StorageMode::Sinew, StorageMode::Tiles] {
+            let rel = Relation::load(&docs, tiny_config(mode));
+            let r = Query::scan("t", &rel)
+                .access("id", AccessType::Int)
+                .access("v", AccessType::Float)
+                .access("s", AccessType::Text)
+                .aggregate(
+                    vec![],
+                    vec![
+                        Agg::count_star(),
+                        Agg::count(col("v")),
+                        Agg::sum(col("v")),
+                        Agg::min(col("id")),
+                        Agg::max(col("id")),
+                        Agg::count(col("s")),
+                    ],
+                )
+                .run();
+            let lines = r.to_lines();
+            match &expected {
+                None => expected = Some(lines),
+                Some(e) => prop_assert_eq!(e, &lines, "mode {:?}", mode),
+            }
+        }
+    }
+
+    #[test]
+    fn load_preserves_document_multiset(docs in arb_docs()) {
+        let rel = Relation::load(&docs, tiny_config(StorageMode::Tiles));
+        prop_assert_eq!(rel.row_count(), docs.len());
+        let mut got: Vec<String> = (0..rel.row_count())
+            .map(|i| json_tiles::json::to_string(&rel.doc(i)))
+            .collect();
+        let mut want: Vec<String> = docs
+            .iter()
+            .map(|d| {
+                json_tiles::json::to_string(&json_tiles::jsonb::decode(&json_tiles::jsonb::encode(d)))
+            })
+            .collect();
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_identical_across_tiles_and_jsonb(docs in arb_docs()) {
+        let tiles = Relation::load(&docs, tiny_config(StorageMode::Tiles));
+        let jsonb = Relation::load(&docs, tiny_config(StorageMode::Jsonb));
+        let run = |rel: &Relation| {
+            Query::scan("t", rel)
+                .access("s", AccessType::Text)
+                .access("id", AccessType::Int)
+                .aggregate(vec![col("s")], vec![Agg::count_star(), Agg::sum(col("id"))])
+                .order_by(0, false)
+                .run()
+                .to_lines()
+        };
+        prop_assert_eq!(run(&tiles), run(&jsonb));
+    }
+}
