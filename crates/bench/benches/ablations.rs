@@ -80,7 +80,7 @@ fn bench_reordering_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Plot rendering dominates wall time on small machines; reports
     // stay in target/criterion as raw data.

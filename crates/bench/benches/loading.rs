@@ -19,7 +19,9 @@ fn bench_load_modes(c: &mut Criterion) {
         (StorageMode::Tiles, "Tiles"),
     ] {
         group.bench_with_input(BenchmarkId::new(name, "tpch"), &(), |b, ()| {
-            b.iter(|| Relation::load_with_threads(&d.tpch_combined, TilesConfig::with_mode(mode), 4));
+            b.iter(|| {
+                Relation::load_with_threads(&d.tpch_combined, TilesConfig::with_mode(mode), 4)
+            });
         });
     }
     group.finish();
@@ -53,7 +55,7 @@ fn bench_load_tile_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Plot rendering dominates wall time on small machines; reports
     // stay in target/criterion as raw data.

@@ -47,7 +47,7 @@ fn bench_shuffled(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Plot rendering dominates wall time on small machines; reports
     // stay in target/criterion as raw data.

@@ -25,14 +25,18 @@ fn bench_twitter(c: &mut Criterion) {
     let rel = load_mode(&d.twitter, jt_core::StorageMode::Tiles, 4);
     let side = twitter::build_side_relations(&d.twitter, TilesConfig::default());
     for q in [3usize, 4] {
-        group.bench_with_input(BenchmarkId::new("Tiles-star", format!("Q{q}")), &q, |b, &q| {
-            b.iter(|| twitter::run_query_star(q, &rel, &side, ExecOptions::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("Tiles-star", format!("Q{q}")),
+            &q,
+            |b, &q| {
+                b.iter(|| twitter::run_query_star(q, &rel, &side, ExecOptions::default()));
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // Plot rendering dominates wall time on small machines; reports
     // stay in target/criterion as raw data.

@@ -8,7 +8,9 @@
 //! repro --list                  # available experiment ids
 //! ```
 
-use jt_bench::experiments::{run, ExpConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, FORMAT_EXPERIMENTS};
+use jt_bench::experiments::{
+    run, ExpConfig, ALL_EXPERIMENTS, EXTENSION_EXPERIMENTS, FORMAT_EXPERIMENTS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -297,7 +297,11 @@ pub fn fig10_to_13(cfg: &ExpConfig, which: &str) {
         }
         rows.push(row);
     }
-    print_table(title, &["tile", "part=1", "part=4", "part=8", "part=16"], &rows);
+    print_table(
+        title,
+        &["tile", "part=1", "part=4", "part=8", "part=16"],
+        &rows,
+    );
 }
 
 type QueryRunner = fn(&Relation, ExecOptions) -> f64;
@@ -410,7 +414,10 @@ pub fn fig15(cfg: &ExpConfig) {
         for (suffix, docs) in [(" Only", &d.tpch_lineitem), (" Comb.", &d.tpch_combined)] {
             let rel = load_mode(docs, mode, cfg.threads);
             let secs = time_median(|| micro::summation(&rel, opts));
-            rows.push(vec![format!("{name}{suffix}"), format!("{:.0}", 1.0 / secs)]);
+            rows.push(vec![
+                format!("{name}{suffix}"),
+                format!("{:.0}", 1.0 / secs),
+            ]);
         }
     }
     print_table(
@@ -458,7 +465,10 @@ pub fn table5(cfg: &ExpConfig) {
     ] {
         let rel = load_mode(docs, mode, cfg.threads);
         let secs = time_median(|| micro::summation(&rel, opts));
-        rows.push(vec![name.to_string(), format!("{:.2}", secs / n_line * 1e9)]);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", secs / n_line * 1e9),
+        ]);
     }
     print_table(
         "Table 5: summation query cost (ns/tuple; paper reports cycles/instructions — see DESIGN.md substitutions)",
@@ -548,7 +558,11 @@ pub fn table6(cfg: &ExpConfig) {
             wl.to_string(),
             format!("{:.2} MB", text as f64 / 1e6),
             format!("{:.2} MB", rep.jsonb_bytes as f64 / 1e6),
-            format!("{:.2} MB ({})", rep.tile_bytes as f64 / 1e6, pct(rep.tile_bytes)),
+            format!(
+                "{:.2} MB ({})",
+                rep.tile_bytes as f64 / 1e6,
+                pct(rep.tile_bytes)
+            ),
             format!(
                 "{:.2} MB ({})",
                 rep.lz4_tile_bytes as f64 / 1e6,
@@ -708,7 +722,9 @@ pub fn compression_ablation(cfg: &ExpConfig) {
                 continue;
             };
             let col = tile.column(ci);
-            let vals: Vec<&str> = (0..col.len()).map(|i| col.get_str(i).unwrap_or("")).collect();
+            let vals: Vec<&str> = (0..col.len())
+                .map(|i| col.get_str(i).unwrap_or(""))
+                .collect();
             raw += col.byte_size();
             encoded += jt_compress::encodings::dict_rle_size(vals.iter().copied());
             values += vals.len();

@@ -11,7 +11,11 @@
 /// `width`.
 pub fn rle_encode(input: &[u8], width: usize) -> Vec<u8> {
     assert!(width > 0, "width must be positive");
-    assert_eq!(input.len() % width, 0, "input not a whole number of records");
+    assert_eq!(
+        input.len() % width,
+        0,
+        "input not a whole number of records"
+    );
     let mut out = Vec::with_capacity(input.len() / 4 + 16);
     let mut i = 0;
     while i < input.len() {
@@ -128,7 +132,17 @@ mod tests {
         // Interleaved vs clustered: identical multisets, very different
         // run-length behaviour — the §3.3 claim in miniature.
         let interleaved: Vec<&str> = (0..400)
-            .map(|i| if i % 4 == 0 { "a" } else if i % 4 == 1 { "b" } else if i % 4 == 2 { "c" } else { "d" })
+            .map(|i| {
+                if i % 4 == 0 {
+                    "a"
+                } else if i % 4 == 1 {
+                    "b"
+                } else if i % 4 == 2 {
+                    "c"
+                } else {
+                    "d"
+                }
+            })
             .collect();
         let mut clustered = interleaved.clone();
         clustered.sort();

@@ -298,14 +298,22 @@ mod tests {
             decompress(&packed[..packed.len() / 2], data.len()).unwrap_err(),
             DecompressError::Truncated
         );
-        assert_eq!(decompress(&packed, data.len() + 1), Err(DecompressError::SizeMismatch));
+        assert_eq!(
+            decompress(&packed, data.len() + 1),
+            Err(DecompressError::SizeMismatch)
+        );
         // Bad offset: token promising a match at output position 0.
         let bogus = [0x04u8, b'x', b'y', b'z', b'w', 0xFF, 0xFF, 0x00];
         assert!(matches!(
             decompress(&bogus, 100),
-            Err(DecompressError::BadOffset) | Err(DecompressError::Truncated) | Err(DecompressError::SizeMismatch)
+            Err(DecompressError::BadOffset)
+                | Err(DecompressError::Truncated)
+                | Err(DecompressError::SizeMismatch)
         ));
-        assert_eq!(decompress_size_prepended(&[1, 2]), Err(DecompressError::Truncated));
+        assert_eq!(
+            decompress_size_prepended(&[1, 2]),
+            Err(DecompressError::Truncated)
+        );
     }
 
     #[test]

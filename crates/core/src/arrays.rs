@@ -117,11 +117,13 @@ mod tests {
         assert_eq!(rel.row_count(), 300);
         let tile = &rel.tiles()[0];
         assert!(
-            tile.find_column(&KeyPath::keys(&["text"]), AccessType::Text).is_some(),
+            tile.find_column(&KeyPath::keys(&["text"]), AccessType::Text)
+                .is_some(),
             "child text column extracted"
         );
         assert!(
-            tile.find_column(&KeyPath::keys(&["tweet_id"]), AccessType::Int).is_some(),
+            tile.find_column(&KeyPath::keys(&["tweet_id"]), AccessType::Int)
+                .is_some(),
             "FK column extracted"
         );
     }

@@ -166,11 +166,20 @@ impl ColumnChunk {
             ColType::Int => ColumnData::Int(Vec::new()),
             ColType::Float => ColumnData::Float(Vec::new()),
             ColType::Bool => ColumnData::Bool(Vec::new()),
-            ColType::Str => ColumnData::Str { offsets: vec![0], bytes: Vec::new() },
+            ColType::Str => ColumnData::Str {
+                offsets: vec![0],
+                bytes: Vec::new(),
+            },
             ColType::Date => ColumnData::Date(Vec::new()),
-            ColType::Numeric => ColumnData::Numeric { mantissa: Vec::new(), scale: Vec::new() },
+            ColType::Numeric => ColumnData::Numeric {
+                mantissa: Vec::new(),
+                scale: Vec::new(),
+            },
         };
-        ColumnChunk { data, nulls: NullBitmap::new() }
+        ColumnChunk {
+            data,
+            nulls: NullBitmap::new(),
+        }
     }
 
     /// The chunk's extraction type.
@@ -294,9 +303,11 @@ impl ColumnChunk {
         match &self.data {
             ColumnData::Int(v) => Some(v[i]),
             ColumnData::Float(v) => Some(v[i] as i64),
-            ColumnData::Numeric { mantissa, scale } => {
-                NumericString { mantissa: mantissa[i], scale: scale[i] }.to_i64()
+            ColumnData::Numeric { mantissa, scale } => NumericString {
+                mantissa: mantissa[i],
+                scale: scale[i],
             }
+            .to_i64(),
             _ => None,
         }
     }
@@ -310,9 +321,13 @@ impl ColumnChunk {
         match &self.data {
             ColumnData::Int(v) => Some(v[i] as f64),
             ColumnData::Float(v) => Some(v[i]),
-            ColumnData::Numeric { mantissa, scale } => {
-                Some(NumericString { mantissa: mantissa[i], scale: scale[i] }.to_f64())
-            }
+            ColumnData::Numeric { mantissa, scale } => Some(
+                NumericString {
+                    mantissa: mantissa[i],
+                    scale: scale[i],
+                }
+                .to_f64(),
+            ),
             _ => None,
         }
     }
@@ -355,7 +370,11 @@ impl ColumnChunk {
         match &self.data {
             ColumnData::Str { .. } => self.get_str(i).map(std::borrow::Cow::Borrowed),
             ColumnData::Numeric { mantissa, scale } => Some(std::borrow::Cow::Owned(
-                NumericString { mantissa: mantissa[i], scale: scale[i] }.to_text(),
+                NumericString {
+                    mantissa: mantissa[i],
+                    scale: scale[i],
+                }
+                .to_text(),
             )),
             _ => None,
         }
@@ -380,11 +399,97 @@ impl ColumnChunk {
             return None;
         }
         match &self.data {
-            ColumnData::Numeric { mantissa, scale } => {
-                Some(NumericString { mantissa: mantissa[i], scale: scale[i] })
-            }
+            ColumnData::Numeric { mantissa, scale } => Some(NumericString {
+                mantissa: mantissa[i],
+                scale: scale[i],
+            }),
             _ => None,
         }
+    }
+
+    /// The typed storage payload. Exposed read-only so vectorized scan
+    /// kernels can run directly over the column vectors instead of going
+    /// through the per-row `get_*` accessors.
+    #[inline]
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap.
+    #[inline]
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    /// Gather the rows named by `sel` (ascending row ids) into a new chunk
+    /// of the same type — the late-materialization primitive of a
+    /// selection-vector scan.
+    pub fn gather(&self, sel: &[u32]) -> ColumnChunk {
+        let mut out = ColumnChunk::builder(self.col_type());
+        match &self.data {
+            ColumnData::Int(v) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if self.nulls.is_null(r) {
+                        out.push_null();
+                    } else {
+                        out.push_i64(v[r]);
+                    }
+                }
+            }
+            ColumnData::Float(v) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if self.nulls.is_null(r) {
+                        out.push_null();
+                    } else {
+                        out.push_f64(v[r]);
+                    }
+                }
+            }
+            ColumnData::Bool(v) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if self.nulls.is_null(r) {
+                        out.push_null();
+                    } else {
+                        out.push_bool(v[r]);
+                    }
+                }
+            }
+            ColumnData::Str { .. } => {
+                for &r in sel {
+                    match self.get_str(r as usize) {
+                        Some(s) => out.push_str(s),
+                        None => out.push_null(),
+                    }
+                }
+            }
+            ColumnData::Date(v) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if self.nulls.is_null(r) {
+                        out.push_null();
+                    } else {
+                        out.push_date(v[r]);
+                    }
+                }
+            }
+            ColumnData::Numeric { mantissa, scale } => {
+                for &r in sel {
+                    let r = r as usize;
+                    if self.nulls.is_null(r) {
+                        out.push_null();
+                    } else {
+                        out.push_numeric(NumericString {
+                            mantissa: mantissa[r],
+                            scale: scale[r],
+                        });
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Overwrite row `i` with null (updates, §4.7).
@@ -543,8 +648,14 @@ mod tests {
     #[test]
     fn numeric_chunk_exact() {
         let mut c = ColumnChunk::builder(ColType::Numeric);
-        c.push_numeric(NumericString { mantissa: 1999, scale: 2 });
-        c.push_numeric(NumericString { mantissa: -5, scale: 1 });
+        c.push_numeric(NumericString {
+            mantissa: 1999,
+            scale: 2,
+        });
+        c.push_numeric(NumericString {
+            mantissa: -5,
+            scale: 1,
+        });
         assert_eq!(c.get_text(0).unwrap(), "19.99");
         assert_eq!(c.get_text(1).unwrap(), "-0.5");
         assert_eq!(c.get_f64(0), Some(19.99));
@@ -557,7 +668,11 @@ mod tests {
         let mut c = ColumnChunk::builder(ColType::Date);
         c.push_date(1_590_969_600);
         assert_eq!(c.get_date(0), Some(1_590_969_600));
-        assert_eq!(c.get_text(0), None, "date text must fall back to binary (§4.9)");
+        assert_eq!(
+            c.get_text(0),
+            None,
+            "date text must fall back to binary (§4.9)"
+        );
     }
 
     #[test]
@@ -568,15 +683,24 @@ mod tests {
         c.push_i64(2);
         assert!(c.set_value(0, &LeafValue::Int(99)));
         assert_eq!(c.get_i64(0), Some(99));
-        assert!(!c.set_value(1, &LeafValue::Str("x".into())), "type mismatch refused");
+        assert!(
+            !c.set_value(1, &LeafValue::Str("x".into())),
+            "type mismatch refused"
+        );
         c.set_null(1);
         assert_eq!(c.get_i64(1), None);
 
         let mut s = ColumnChunk::builder(ColType::Str);
         s.push_str("abc");
-        assert!(s.set_value(0, &LeafValue::Str("xyz".into())), "same length fits");
+        assert!(
+            s.set_value(0, &LeafValue::Str("xyz".into())),
+            "same length fits"
+        );
         assert_eq!(s.get_str(0), Some("xyz"));
-        assert!(!s.set_value(0, &LeafValue::Str("toolong".into())), "length change refused");
+        assert!(
+            !s.set_value(0, &LeafValue::Str("toolong".into())),
+            "length change refused"
+        );
     }
 
     #[test]
@@ -588,11 +712,59 @@ mod tests {
         assert!(column_serves(ColType::Numeric, A::Text), "reconstructible");
         assert!(column_serves(ColType::Str, A::Text));
         assert!(column_serves(ColType::Date, A::Timestamp));
-        assert!(column_serves(ColType::Str, A::Timestamp), "string col can parse");
+        assert!(
+            column_serves(ColType::Str, A::Timestamp),
+            "string col can parse"
+        );
         assert!(!column_serves(ColType::Date, A::Text), "§4.9 restriction");
         assert!(!column_serves(ColType::Str, A::Int));
         assert!(!column_serves(ColType::Bool, A::Int));
         assert!(!column_serves(ColType::Int, A::Json));
+    }
+
+    #[test]
+    fn gather_selects_rows_preserving_nulls() {
+        let mut c = ColumnChunk::builder(ColType::Str);
+        c.push_str("a");
+        c.push_null();
+        c.push_str("ccc");
+        c.push_str("d");
+        let g = c.gather(&[1, 2, 3]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.get_str(0), None);
+        assert_eq!(g.get_str(1), Some("ccc"));
+        assert_eq!(g.get_str(2), Some("d"));
+        assert_eq!(g.null_count(), 1);
+
+        let mut n = ColumnChunk::builder(ColType::Numeric);
+        n.push_numeric(NumericString {
+            mantissa: 1999,
+            scale: 2,
+        });
+        n.push_null();
+        let g = n.gather(&[1, 0, 0]);
+        assert_eq!(g.get_text(0), None);
+        assert_eq!(g.get_text(1).unwrap(), "19.99");
+        assert_eq!(g.get_text(2).unwrap(), "19.99");
+
+        let mut i = ColumnChunk::builder(ColType::Int);
+        i.push_i64(7);
+        i.push_i64(8);
+        assert!(i.gather(&[]).is_empty());
+        assert_eq!(i.gather(&[1]).get_i64(0), Some(8));
+    }
+
+    #[test]
+    fn data_and_nulls_expose_storage() {
+        let mut c = ColumnChunk::builder(ColType::Int);
+        c.push_i64(3);
+        c.push_null();
+        match c.data() {
+            ColumnData::Int(v) => assert_eq!(v, &[3, 0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(c.nulls().is_null(1));
+        assert!(!c.nulls().is_null(0));
     }
 
     #[test]

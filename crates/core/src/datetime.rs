@@ -96,6 +96,13 @@ pub fn parse_timestamp(s: &str) -> Option<Timestamp> {
     }
 }
 
+/// The civil (proleptic Gregorian, UTC) year of a timestamp. Equals the
+/// leading year field of [`format_timestamp`], so `EXTRACT(YEAR …)` kernels
+/// can avoid formatting the whole string per row.
+pub fn timestamp_year(ts: Timestamp) -> i64 {
+    civil_from_days(ts.div_euclid(86_400)).0
+}
+
 /// Render epoch seconds back as `YYYY-MM-DD HH:MM:SS` (the canonical SQL
 /// timestamp text used by `::Date`/`::Timestamp` casts; *not* guaranteed to
 /// equal the original input — see §4.9).
@@ -126,8 +133,14 @@ mod tests {
     fn known_dates() {
         // 2020-06-01 00:00:00 UTC = 1590969600.
         assert_eq!(parse_timestamp("2020-06-01"), Some(1_590_969_600));
-        assert_eq!(parse_timestamp("2020-06-01T12:30:00Z"), Some(1_590_969_600 + 45_000));
-        assert_eq!(parse_timestamp("2020-06-01 12:30:00"), Some(1_590_969_600 + 45_000));
+        assert_eq!(
+            parse_timestamp("2020-06-01T12:30:00Z"),
+            Some(1_590_969_600 + 45_000)
+        );
+        assert_eq!(
+            parse_timestamp("2020-06-01 12:30:00"),
+            Some(1_590_969_600 + 45_000)
+        );
         // Pre-epoch.
         assert_eq!(parse_timestamp("1969-12-31"), Some(-86_400));
     }
@@ -135,9 +148,21 @@ mod tests {
     #[test]
     fn rejects_non_dates() {
         for s in [
-            "", "hello", "2020", "2020-13-01", "2020-00-10", "2020-01-32", "2020-02-30",
-            "2021-02-29", "20-01-01", "2020/01/01", "2020-01-01x", "2020-01-01 25:00:00",
-            "2020-01-01 10:61:00", "2020-01-01 10:00", "2020-01-01T10:00:00+02",
+            "",
+            "hello",
+            "2020",
+            "2020-13-01",
+            "2020-00-10",
+            "2020-01-32",
+            "2020-02-30",
+            "2021-02-29",
+            "20-01-01",
+            "2020/01/01",
+            "2020-01-01x",
+            "2020-01-01 25:00:00",
+            "2020-01-01 10:61:00",
+            "2020-01-01 10:00",
+            "2020-01-01T10:00:00+02",
         ] {
             assert_eq!(parse_timestamp(s), None, "should reject {s:?}");
         }
@@ -146,13 +171,23 @@ mod tests {
     #[test]
     fn leap_years() {
         assert!(parse_timestamp("2020-02-29").is_some());
-        assert!(parse_timestamp("1900-02-29").is_none(), "1900 not a leap year");
-        assert!(parse_timestamp("2000-02-29").is_some(), "2000 is a leap year");
+        assert!(
+            parse_timestamp("1900-02-29").is_none(),
+            "1900 not a leap year"
+        );
+        assert!(
+            parse_timestamp("2000-02-29").is_some(),
+            "2000 is a leap year"
+        );
     }
 
     #[test]
     fn format_round_trip() {
-        for s in ["1970-01-01 00:00:00", "2020-06-01 12:30:00", "1999-12-31 23:59:59"] {
+        for s in [
+            "1970-01-01 00:00:00",
+            "2020-06-01 12:30:00",
+            "1999-12-31 23:59:59",
+        ] {
             let ts = parse_timestamp(s).unwrap();
             assert_eq!(format_timestamp(ts), s);
         }
@@ -164,6 +199,22 @@ mod tests {
         let b = parse_timestamp("1994-06-15").unwrap();
         let c = parse_timestamp("1995-01-01").unwrap();
         assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn year_matches_format_prefix() {
+        for s in [
+            "1970-01-01",
+            "1994-06-15 23:59:59",
+            "2020-02-29",
+            "0001-01-01",
+            "9999-12-31",
+        ] {
+            let ts = parse_timestamp(s).unwrap();
+            let y: i64 = format_timestamp(ts)[..4].parse().unwrap();
+            assert_eq!(timestamp_year(ts), y, "{s}");
+        }
+        assert_eq!(timestamp_year(-1), 1969);
     }
 
     #[test]

@@ -186,12 +186,18 @@ mod tests {
         let d = docs(100);
         let tile = TileBuilder::build(&d, &config, None);
         let id_path = KeyPath::keys(&["id"]);
-        assert!(tile.header.columns_for_path(&id_path).is_some(), "id extracted");
+        assert!(
+            tile.header.columns_for_path(&id_path).is_some(),
+            "id extracted"
+        );
         // The rare extraN keys (1/7 frequency < 60%) are not extracted but
         // must be in the Bloom filter.
         let extra = KeyPath::keys(&["extra3"]);
         assert!(tile.header.columns_for_path(&extra).is_none());
-        assert!(tile.may_contain_path(&extra), "bloom holds non-extracted paths");
+        assert!(
+            tile.may_contain_path(&extra),
+            "bloom holds non-extracted paths"
+        );
         // A never-seen path is definitely absent.
         assert!(!tile.may_contain_path(&KeyPath::keys(&["nope_never"])));
     }

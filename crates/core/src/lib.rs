@@ -48,8 +48,8 @@ mod sinew;
 mod tile;
 
 pub use arrays::{extract_arrays, ArrayExtractionSpec};
-pub use column::{ColumnChunk, NullBitmap};
-pub use datetime::{format_timestamp, parse_timestamp, Timestamp};
+pub use column::{ColumnChunk, ColumnData, NullBitmap};
+pub use datetime::{format_timestamp, parse_timestamp, timestamp_year, Timestamp};
 pub use dict::PathDictionary;
 pub use header::{ColumnMeta, TileHeader};
 pub use path::{KeyPath, PathSeg};

@@ -135,8 +135,7 @@ impl KeyPath {
                     if i + 5 > bytes.len() {
                         return None;
                     }
-                    let len =
-                        u32::from_le_bytes(bytes[i + 1..i + 5].try_into().ok()?) as usize;
+                    let len = u32::from_le_bytes(bytes[i + 1..i + 5].try_into().ok()?) as usize;
                     let end = i + 5 + len;
                     if end > bytes.len() {
                         return None;
@@ -191,14 +190,20 @@ mod tests {
     fn display_forms() {
         assert_eq!(KeyPath::root().to_string(), "$");
         assert_eq!(KeyPath::keys(&["a", "b"]).to_string(), "a.b");
-        assert_eq!(KeyPath::keys(&["tags"]).index(0).child("text").to_string(), "tags[0].text");
+        assert_eq!(
+            KeyPath::keys(&["tags"]).index(0).child("text").to_string(),
+            "tags[0].text"
+        );
     }
 
     #[test]
     fn resolve_against_value() {
         let doc = parse(r#"{"user":{"geo":{"lat":1.5}},"tags":[{"t":"x"},{"t":"y"}]}"#).unwrap();
         assert_eq!(
-            KeyPath::keys(&["user", "geo", "lat"]).resolve(&doc).unwrap().as_f64(),
+            KeyPath::keys(&["user", "geo", "lat"])
+                .resolve(&doc)
+                .unwrap()
+                .as_f64(),
             Some(1.5)
         );
         let p = KeyPath::keys(&["tags"]).index(1).child("t");

@@ -260,8 +260,8 @@ fn read_stats(r: &mut Reader<'_>) -> Result<RelationStats> {
     let mut sketches = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         let name = r.string()?;
-        let hll = HyperLogLog::from_bytes(r.bytes()?)
-            .ok_or(PersistError::Corrupt("bad HLL sketch"))?;
+        let hll =
+            HyperLogLog::from_bytes(r.bytes()?).ok_or(PersistError::Corrupt("bad HLL sketch"))?;
         let last = r.u64()?;
         sketches.push((name, hll, last));
     }
@@ -444,8 +444,8 @@ fn read_header(r: &mut Reader<'_>) -> Result<TileHeader> {
             other_typed,
         });
     }
-    let bloom = BloomFilter::from_bytes(r.bytes()?)
-        .ok_or(PersistError::Corrupt("bad bloom filter"))?;
+    let bloom =
+        BloomFilter::from_bytes(r.bytes()?).ok_or(PersistError::Corrupt("bad bloom filter"))?;
     let n = r.u32()? as usize;
     let mut freqs = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {

@@ -188,8 +188,10 @@ impl Relation {
         let docs = std::mem::take(&mut self.pending);
         let sinew_schema: Option<Vec<(KeyPath, ColType)>> = match self.config.mode {
             StorageMode::Sinew => {
-                let leaves: Vec<DocLeaves> =
-                    docs.iter().map(|d| collect_leaves(d, &self.config)).collect();
+                let leaves: Vec<DocLeaves> = docs
+                    .iter()
+                    .map(|d| collect_leaves(d, &self.config))
+                    .collect();
                 Some(global_schema(&leaves, self.config.threshold))
             }
             _ => None,
@@ -244,25 +246,28 @@ impl Relation {
                 .iter()
                 .enumerate()
                 .map(|(i, p)| {
-                    let (tiles, timing, reorder) = build_partition(p, &config, sinew_schema.as_deref());
+                    let (tiles, timing, reorder) =
+                        build_partition(p, &config, sinew_schema.as_deref());
                     (i, tiles, timing, reorder)
                 })
                 .collect()
         } else {
             let mut out = Vec::new();
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (t, chunk) in partitions.chunks(partitions.len().div_ceil(threads)).enumerate() {
+                for (t, chunk) in partitions
+                    .chunks(partitions.len().div_ceil(threads))
+                    .enumerate()
+                {
                     let config = &config;
                     let schema = sinew_schema.as_deref();
                     let base = t * partitions.len().div_ceil(threads);
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         chunk
                             .iter()
                             .enumerate()
                             .map(|(i, p)| {
-                                let (tiles, timing, reorder) =
-                                    build_partition(p, config, schema);
+                                let (tiles, timing, reorder) = build_partition(p, config, schema);
                                 (base + i, tiles, timing, reorder)
                             })
                             .collect::<Vec<_>>()
@@ -271,8 +276,7 @@ impl Relation {
                 for h in handles {
                     out.extend(h.join().expect("loader thread panicked"));
                 }
-            })
-            .expect("crossbeam scope");
+            });
             out
         };
         results.sort_by_key(|(i, _, _, _)| *i);

@@ -46,7 +46,13 @@ pub fn reorder_partition(
     let mut candidates: Vec<Vec<Item>> = Vec::new();
     for chunk in transactions.chunks(tile_size) {
         let min_support = ((reduced * chunk.len() as f64).ceil() as u32).max(1);
-        for set in fpgrowth(chunk, MinerConfig { min_support, budget }) {
+        for set in fpgrowth(
+            chunk,
+            MinerConfig {
+                min_support,
+                budget,
+            },
+        ) {
             if !candidates.contains(&set.items) {
                 candidates.push(set.items);
             }
@@ -189,7 +195,9 @@ mod tests {
     #[test]
     fn no_candidates_keeps_input_order() {
         // Every tuple unique: nothing survives partition-wide.
-        let t: Vec<Vec<Item>> = (0..40u32).map(|i| vec![i * 3, i * 3 + 1, i * 3 + 2]).collect();
+        let t: Vec<Vec<Item>> = (0..40u32)
+            .map(|i| vec![i * 3, i * 3 + 1, i * 3 + 2])
+            .collect();
         let order = reorder_partition(&t, 10, 0.6, 4, 1 << 16);
         assert_eq!(order, (0..40).collect::<Vec<_>>());
     }

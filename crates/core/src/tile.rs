@@ -11,8 +11,8 @@
 //! 2. mine frequent itemsets over the dictionary-encoded paths,
 //! 3. extract the union of the maximal itemsets as columns.
 
-pub use crate::column::{AccessType, ColType};
 use crate::column::{column_serves, ColumnChunk};
+pub use crate::column::{AccessType, ColType};
 use crate::datetime::{parse_timestamp, Timestamp};
 use crate::dict::PathDictionary;
 use crate::header::{ColumnMeta, TileHeader};
@@ -288,7 +288,8 @@ impl Tile {
         if let Some(j) = self.doc_jsonb(i) {
             return j.to_value();
         }
-        jt_json::parse(self.doc_text(i).expect("text or jsonb present")).expect("stored text is valid")
+        jt_json::parse(self.doc_text(i).expect("text or jsonb present"))
+            .expect("stored text is valid")
     }
 
     /// Update row `i` with a new document (§4.7): in-place column writes
@@ -350,7 +351,11 @@ impl Tile {
         if self.columns.is_empty() && self.header.path_frequencies.is_empty() {
             return 0;
         }
-        self.columns.iter().map(ColumnChunk::byte_size).sum::<usize>() + self.header.byte_size()
+        self.columns
+            .iter()
+            .map(ColumnChunk::byte_size)
+            .sum::<usize>()
+            + self.header.byte_size()
     }
 
     /// Heap bytes of the binary documents.
@@ -360,7 +365,9 @@ impl Tile {
 
     /// Heap bytes of the raw text.
     pub fn text_byte_size(&self) -> usize {
-        self.text.as_ref().map_or(0, |t| t.iter().map(String::len).sum())
+        self.text
+            .as_ref()
+            .map_or(0, |t| t.iter().map(String::len).sum())
     }
 
     /// LZ4-compressed size of all column chunks (Table 6 "+LZ4-Tiles").
@@ -431,7 +438,13 @@ impl TileBuilder {
         config: &TilesConfig,
         extraction_override: Option<&[(KeyPath, ColType)]>,
     ) -> Tile {
-        Self::build_timed(docs, leaves, config, extraction_override, &mut BuildTiming::default())
+        Self::build_timed(
+            docs,
+            leaves,
+            config,
+            extraction_override,
+            &mut BuildTiming::default(),
+        )
     }
 
     /// Full build with phase timing collection.
@@ -517,10 +530,8 @@ impl TileBuilder {
             .map(|(_, t)| ColumnChunk::builder(*t))
             .collect();
         let mut other_typed = vec![false; extraction.len()];
-        let mut sketches: Vec<HyperLogLog> = extraction
-            .iter()
-            .map(|_| HyperLogLog::default())
-            .collect();
+        let mut sketches: Vec<HyperLogLog> =
+            extraction.iter().map(|_| HyperLogLog::default()).collect();
         for dl in leaves {
             for (ci, (path, ty)) in extraction.iter().enumerate() {
                 let mut found = None;

@@ -48,10 +48,14 @@ fn figure2_extraction_matches_paper() {
     ] {
         assert!(t1.find_column(&path, ty).is_some(), "tile 1 missing {path}");
     }
-    assert!(t1.find_column(&KeyPath::keys(&["geo", "lat"]), AccessType::Float).is_none());
+    assert!(t1
+        .find_column(&KeyPath::keys(&["geo", "lat"]), AccessType::Float)
+        .is_none());
     // `replies` appears once in tile 1 (25% < 60%): binary only, but the
     // Bloom filter knows it exists — no incorrect skipping.
-    assert!(t1.find_column(&KeyPath::keys(&["replies"]), AccessType::Int).is_none());
+    assert!(t1
+        .find_column(&KeyPath::keys(&["replies"]), AccessType::Int)
+        .is_none());
     assert!(t1.may_contain_path(&KeyPath::keys(&["replies"])));
 
     // Tile #2: the paper's final extraction {i, c, t, u_i, r, g_l}.
@@ -68,7 +72,9 @@ fn figure2_extraction_matches_paper() {
     }
     // geo.lat is 3/4 frequent: the column is nullable; doc 6 (geo: null)
     // reads as SQL null.
-    let gl = t2.find_column(&KeyPath::keys(&["geo", "lat"]), AccessType::Float).unwrap();
+    let gl = t2
+        .find_column(&KeyPath::keys(&["geo", "lat"]), AccessType::Float)
+        .unwrap();
     let col = t2.column(gl);
     assert_eq!(col.get_f64(0), Some(1.9));
     assert_eq!(col.get_f64(1), None, "geo: null row");
@@ -84,7 +90,10 @@ fn figure2_key_paths_as_in_section_3_1() {
     let docs = figure2_docs();
     let leaves = collect_leaves(&docs[4], &config);
     let paths: Vec<String> = leaves.leaves.iter().map(|(p, _)| p.to_string()).collect();
-    assert_eq!(paths, vec!["id", "create", "text", "user.id", "replies", "geo.lat"]);
+    assert_eq!(
+        paths,
+        vec!["id", "create", "text", "user.id", "replies", "geo.lat"]
+    );
     // Tuple 6 lacks g_l (its geo is JSON null — no leaf).
     let leaves = collect_leaves(&docs[5], &config);
     let paths: Vec<String> = leaves.leaves.iter().map(|(p, _)| p.to_string()).collect();
@@ -116,7 +125,9 @@ fn section_3_4_type_variants_split() {
     );
     let tile = &rel.tiles()[0];
     let v = KeyPath::keys(&["v"]);
-    let col_idx = tile.find_column(&v, AccessType::Int).expect("int variant extracted");
+    let col_idx = tile
+        .find_column(&v, AccessType::Int)
+        .expect("int variant extracted");
     let meta = &tile.header.columns[col_idx];
     assert_eq!(meta.col_type, ColType::Int);
     assert!(meta.other_typed, "header records the float variant (§4.4)");
@@ -146,7 +157,10 @@ fn section_3_5_leading_array_elements() {
     let tile = TileBuilder::build(&docs, &config, None);
     let t0 = KeyPath::keys(&["tags"]).index(0);
     let t2 = KeyPath::keys(&["tags"]).index(2);
-    assert!(tile.find_column(&t0, AccessType::Text).is_some(), "leading element extracted");
+    assert!(
+        tile.find_column(&t0, AccessType::Text).is_some(),
+        "leading element extracted"
+    );
     assert!(
         tile.find_column(&t2, AccessType::Text).is_none(),
         "25%-frequent trailing element not extracted"

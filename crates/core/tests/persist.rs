@@ -8,7 +8,11 @@ fn docs(n: usize) -> Vec<Value> {
     (0..n)
         .map(|i| {
             let extra = if i % 3 == 0 {
-                format!(r#","price":"{}.99","when":"2024-0{}-10""#, i % 50, 1 + i % 9)
+                format!(
+                    r#","price":"{}.99","when":"2024-0{}-10""#,
+                    i % 50,
+                    1 + i % 9
+                )
             } else {
                 String::new()
             };
@@ -132,7 +136,9 @@ fn updated_relations_persist_their_updates() {
     assert_eq!(back.doc(5).get("id").unwrap().as_i64(), Some(777_777));
     let (ti, r) = back.locate(5);
     let tile = &back.tiles()[ti];
-    let col = tile.find_column(&KeyPath::keys(&["id"]), AccessType::Int).unwrap();
+    let col = tile
+        .find_column(&KeyPath::keys(&["id"]), AccessType::Int)
+        .unwrap();
     assert_eq!(tile.column(col).get_i64(r), Some(777_777));
 }
 
@@ -142,7 +148,10 @@ fn corrupt_inputs_rejected_not_panicking() {
     let bytes = rel.to_bytes();
     assert!(Relation::from_bytes(&[]).is_err());
     assert!(Relation::from_bytes(b"JTREL\0").is_err());
-    assert!(Relation::from_bytes(&bytes[..bytes.len() / 2]).is_err(), "truncated");
+    assert!(
+        Relation::from_bytes(&bytes[..bytes.len() / 2]).is_err(),
+        "truncated"
+    );
     let mut wrong_magic = bytes.clone();
     wrong_magic[0] = b'X';
     assert!(Relation::from_bytes(&wrong_magic).is_err());

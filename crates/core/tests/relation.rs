@@ -2,9 +2,7 @@
 //! modes, the reordering behaviour on adversarial data, statistics
 //! aggregation, and the update/recompute path.
 
-use jt_core::{
-    AccessType, KeyPath, Relation, StorageMode, TilesConfig,
-};
+use jt_core::{AccessType, KeyPath, Relation, StorageMode, TilesConfig};
 use jt_json::Value;
 
 fn tweets(n: usize) -> Vec<Value> {
@@ -39,7 +37,12 @@ fn small_config(mode: StorageMode) -> TilesConfig {
 #[test]
 fn all_modes_round_trip_documents() {
     let docs = tweets(300);
-    for mode in [StorageMode::JsonText, StorageMode::Jsonb, StorageMode::Sinew, StorageMode::Tiles] {
+    for mode in [
+        StorageMode::JsonText,
+        StorageMode::Jsonb,
+        StorageMode::Sinew,
+        StorageMode::Tiles,
+    ] {
         let rel = Relation::load(&docs, small_config(mode));
         assert_eq!(rel.row_count(), 300, "{mode:?}");
         // Every row reconstructs to the original document, modulo JSONB
@@ -173,10 +176,9 @@ fn updates_write_in_place_and_track_outliers() {
     let docs = tweets(128);
     let mut rel = Relation::load(&docs, small_config(StorageMode::Tiles));
     // Update row 3 with a doc that keeps the schema.
-    let new_doc = jt_json::parse(
-        r#"{"id":999,"create":"2012-01-01","text":"updated","user":{"id":7}}"#,
-    )
-    .unwrap();
+    let new_doc =
+        jt_json::parse(r#"{"id":999,"create":"2012-01-01","text":"updated","user":{"id":7}}"#)
+            .unwrap();
     rel.update(3, &new_doc);
     let got = rel.doc(3);
     assert_eq!(got.get("id").unwrap().as_i64(), Some(999));
@@ -184,7 +186,9 @@ fn updates_write_in_place_and_track_outliers() {
     // Column reads reflect the update.
     let (ti, r) = rel.locate(3);
     let tile = &rel.tiles()[ti];
-    let id_col = tile.find_column(&KeyPath::keys(&["id"]), AccessType::Int).unwrap();
+    let id_col = tile
+        .find_column(&KeyPath::keys(&["id"]), AccessType::Int)
+        .unwrap();
     assert_eq!(tile.column(id_col).get_i64(r), Some(999));
 }
 
@@ -213,8 +217,11 @@ fn outlier_updates_trigger_recompute() {
     // After recompute, the new majority structure must be extracted.
     let tile = &rel.tiles()[0];
     assert!(
-        tile.find_column(&KeyPath::keys(&["completely", "different"]), AccessType::Int)
-            .is_some(),
+        tile.find_column(
+            &KeyPath::keys(&["completely", "different"]),
+            AccessType::Int
+        )
+        .is_some(),
         "recomputed tile extracts the new structure"
     );
 }
@@ -258,7 +265,9 @@ fn date_extraction_types_created_column() {
         },
     );
     let tile = &rel.tiles()[0];
-    let col = tile.find_column(&create, AccessType::Text).expect("create as text");
+    let col = tile
+        .find_column(&create, AccessType::Text)
+        .expect("create as text");
     assert_eq!(tile.column(col).col_type(), jt_core::ColType::Str);
 }
 
@@ -293,7 +302,10 @@ fn incremental_insert_matches_bulk_load() {
     assert_eq!(inc.row_count(), bulk.row_count());
     assert_eq!(inc.tiles().len(), bulk.tiles().len());
     for (a, b) in bulk.tiles().iter().zip(inc.tiles()) {
-        assert_eq!(a.header.columns, b.header.columns, "same extraction per tile");
+        assert_eq!(
+            a.header.columns, b.header.columns,
+            "same extraction per tile"
+        );
     }
     for row in [0usize, 300, 599] {
         assert_eq!(bulk.doc(row), inc.doc(row), "row {row}");

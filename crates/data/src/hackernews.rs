@@ -22,7 +22,10 @@ pub struct HnConfig {
 
 impl Default for HnConfig {
     fn default() -> Self {
-        HnConfig { items: 10_000, seed: 0x48_4E }
+        HnConfig {
+            items: 10_000,
+            seed: 0x48_4E,
+        }
     }
 }
 
@@ -82,22 +85,39 @@ mod tests {
 
     #[test]
     fn type_mix_and_determinism() {
-        let items = generate(HnConfig { items: 4000, seed: 1 });
-        assert_eq!(items, generate(HnConfig { items: 4000, seed: 1 }));
+        let items = generate(HnConfig {
+            items: 4000,
+            seed: 1,
+        });
+        assert_eq!(
+            items,
+            generate(HnConfig {
+                items: 4000,
+                seed: 1
+            })
+        );
         let count = |t: &str| {
             items
                 .iter()
                 .filter(|x| x.get("type").and_then(|v| v.as_str()) == Some(t))
                 .count()
         };
-        let (c, s, po, p) = (count("comment"), count("story"), count("pollopt"), count("poll"));
+        let (c, s, po, p) = (
+            count("comment"),
+            count("story"),
+            count("pollopt"),
+            count("poll"),
+        );
         assert_eq!(c + s + po + p, 4000);
         assert!(c > s && s > po && po > p, "mix: {c} {s} {po} {p}");
     }
 
     #[test]
     fn types_have_distinct_schemas() {
-        let items = generate(HnConfig { items: 1000, seed: 2 });
+        let items = generate(HnConfig {
+            items: 1000,
+            seed: 2,
+        });
         for it in &items {
             match it.get("type").unwrap().as_str().unwrap() {
                 "comment" => {

@@ -73,7 +73,10 @@ mod tests {
 
     #[test]
     fn ndjson_round_trips() {
-        let docs = vec![obj(vec![("a", Value::int(1))]), obj(vec![("b", Value::str("x"))])];
+        let docs = vec![
+            obj(vec![("a", Value::int(1))]),
+            obj(vec![("b", Value::str("x"))]),
+        ];
         let text = to_ndjson(&docs);
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);

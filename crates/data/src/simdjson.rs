@@ -15,7 +15,14 @@ use rand::{Rng, SeedableRng};
 /// Names of all eight generated documents, in the order the paper's plots
 /// list them.
 pub const FILES: [&str; 8] = [
-    "apache", "canada", "gsoc-2018", "marine_ik", "mesh", "numbers", "random", "twitter_api",
+    "apache",
+    "canada",
+    "gsoc-2018",
+    "marine_ik",
+    "mesh",
+    "numbers",
+    "random",
+    "twitter_api",
 ];
 
 /// Generate the named document. Panics on unknown names (see [`FILES`]).
@@ -41,8 +48,14 @@ fn apache_builds(rng: &mut SmallRng) -> Value {
         .map(|i| {
             obj(vec![
                 ("name", Value::str(format!("build-job-{i}"))),
-                ("url", Value::str(format!("https://builds.example.org/job/{i}/"))),
-                ("color", Value::str(if rng.gen_bool(0.7) { "blue" } else { "red" })),
+                (
+                    "url",
+                    Value::str(format!("https://builds.example.org/job/{i}/")),
+                ),
+                (
+                    "color",
+                    Value::str(if rng.gen_bool(0.7) { "blue" } else { "red" }),
+                ),
             ])
         })
         .collect();
@@ -118,39 +131,79 @@ fn gsoc(rng: &mut SmallRng) -> Value {
 
 /// marine_ik.json: 3D model — huge arrays of doubles plus index arrays.
 fn marine_ik(rng: &mut SmallRng) -> Value {
-    let verts: Vec<Value> = (0..3000).map(|_| Value::float(rng.gen_range(-10_000..10_000) as f64 / 997.0)).collect();
-    let faces: Vec<Value> = (0..1500).map(|_| Value::int(rng.gen_range(0..1000))).collect();
-    let quats: Vec<Value> = (0..800).map(|_| Value::float(rng.gen_range(-1_000_000..1_000_000) as f64 / 1e6)).collect();
+    let verts: Vec<Value> = (0..3000)
+        .map(|_| Value::float(rng.gen_range(-10_000..10_000) as f64 / 997.0))
+        .collect();
+    let faces: Vec<Value> = (0..1500)
+        .map(|_| Value::int(rng.gen_range(0..1000)))
+        .collect();
+    let quats: Vec<Value> = (0..800)
+        .map(|_| Value::float(rng.gen_range(-1_000_000..1_000_000) as f64 / 1e6))
+        .collect();
     obj(vec![
-        ("metadata", obj(vec![
-            ("version", Value::float(4.4)),
-            ("type", Value::str("Object")),
-            ("generator", Value::str("io_three")),
-        ])),
-        ("geometries", Value::Array(vec![obj(vec![
-            ("uuid", Value::str("0767A09A-F7B4-4D73-BC94-B99E2A7E7A27")),
-            ("type", Value::str("Geometry")),
-            ("data", obj(vec![
-                ("vertices", Value::Array(verts)),
-                ("faces", Value::Array(faces)),
-                ("quaternions", Value::Array(quats)),
-            ])),
-        ])])),
+        (
+            "metadata",
+            obj(vec![
+                ("version", Value::float(4.4)),
+                ("type", Value::str("Object")),
+                ("generator", Value::str("io_three")),
+            ]),
+        ),
+        (
+            "geometries",
+            Value::Array(vec![obj(vec![
+                ("uuid", Value::str("0767A09A-F7B4-4D73-BC94-B99E2A7E7A27")),
+                ("type", Value::str("Geometry")),
+                (
+                    "data",
+                    obj(vec![
+                        ("vertices", Value::Array(verts)),
+                        ("faces", Value::Array(faces)),
+                        ("quaternions", Value::Array(quats)),
+                    ]),
+                ),
+            ])]),
+        ),
     ])
 }
 
 /// mesh.json: arrays of numbers, mixed ints and floats.
 fn mesh(rng: &mut SmallRng) -> Value {
     obj(vec![
-        ("positions", Value::Array((0..4000).map(|_| Value::float(rng.gen_range(-500_000..500_000) as f64 / 1000.0)).collect())),
-        ("indices", Value::Array((0..2000).map(|_| Value::int(rng.gen_range(0..1300))).collect())),
-        ("normals", Value::Array((0..4000).map(|_| Value::float(rng.gen_range(-1000..1000) as f64 / 1000.0)).collect())),
+        (
+            "positions",
+            Value::Array(
+                (0..4000)
+                    .map(|_| Value::float(rng.gen_range(-500_000..500_000) as f64 / 1000.0))
+                    .collect(),
+            ),
+        ),
+        (
+            "indices",
+            Value::Array(
+                (0..2000)
+                    .map(|_| Value::int(rng.gen_range(0..1300)))
+                    .collect(),
+            ),
+        ),
+        (
+            "normals",
+            Value::Array(
+                (0..4000)
+                    .map(|_| Value::float(rng.gen_range(-1000..1000) as f64 / 1000.0))
+                    .collect(),
+            ),
+        ),
     ])
 }
 
 /// numbers.json: a single flat array of doubles.
 fn numbers(rng: &mut SmallRng) -> Value {
-    Value::Array((0..8000).map(|_| Value::float(rng.gen_range(0..10_000_000) as f64 / 1234.0)).collect())
+    Value::Array(
+        (0..8000)
+            .map(|_| Value::float(rng.gen_range(0..10_000_000) as f64 / 1234.0))
+            .collect(),
+    )
 }
 
 /// random.json: mixed everything with moderate nesting.
@@ -161,14 +214,37 @@ fn random(rng: &mut SmallRng) -> Value {
                 ("id", Value::int(i as i64)),
                 ("name", Value::str(format!("entity-{i}"))),
                 ("active", Value::Bool(rng.gen_bool(0.5))),
-                ("score", Value::float(rng.gen_range(0..100_000) as f64 / 100.0)),
-                ("tags", Value::Array((0..rng.gen_range(0..5usize)).map(|t| Value::str(format!("tag{t}"))).collect())),
-                ("meta", if rng.gen_bool(0.3) { Value::Null } else {
-                    obj(vec![
-                        ("created", Value::str(format!("20{:02}-0{}-1{}", rng.gen_range(10..24), rng.gen_range(1..9), rng.gen_range(0..9)))),
-                        ("priority", Value::int(rng.gen_range(0..10))),
-                    ])
-                }),
+                (
+                    "score",
+                    Value::float(rng.gen_range(0..100_000) as f64 / 100.0),
+                ),
+                (
+                    "tags",
+                    Value::Array(
+                        (0..rng.gen_range(0..5usize))
+                            .map(|t| Value::str(format!("tag{t}")))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "meta",
+                    if rng.gen_bool(0.3) {
+                        Value::Null
+                    } else {
+                        obj(vec![
+                            (
+                                "created",
+                                Value::str(format!(
+                                    "20{:02}-0{}-1{}",
+                                    rng.gen_range(10..24),
+                                    rng.gen_range(1..9),
+                                    rng.gen_range(0..9)
+                                )),
+                            ),
+                            ("priority", Value::int(rng.gen_range(0..10))),
+                        ])
+                    },
+                ),
             ])
         })
         .collect();
@@ -182,28 +258,66 @@ fn twitter_api(rng: &mut SmallRng) -> Value {
             obj(vec![
                 ("created_at", Value::str("Mon Sep 24 03:35:21 +0000 2012")),
                 ("id", Value::int(250_000_000_000_000_000 + i as i64)),
-                ("id_str", Value::Str(format!("{}", 250_000_000_000_000_000i64 + i as i64))),
-                ("text", Value::str(format!("some example tweet text number {i} with #tags and @mentions included"))),
-                ("user", obj(vec![
-                    ("id", Value::int(rng.gen_range(0..100_000_000))),
-                    ("name", Value::str(format!("User Number {i}"))),
-                    ("screen_name", Value::str(format!("user_{i}"))),
-                    ("followers_count", Value::int(rng.gen_range(0..100_000))),
-                    ("friends_count", Value::int(rng.gen_range(0..5_000))),
-                    ("profile_image_url", Value::str("http://a0.twimg.com/profile_images/123/img_normal.jpeg")),
-                    ("verified", Value::Bool(rng.gen_bool(0.05))),
-                ])),
-                ("entities", obj(vec![
-                    ("hashtags", Value::Array((0..rng.gen_range(0..4usize)).map(|h| obj(vec![
-                        ("text", Value::str(format!("hashtag{h}"))),
-                        ("indices", Value::Array(vec![Value::int(10), Value::int(20)])),
-                    ])).collect())),
-                    ("urls", Value::Array(vec![])),
-                    ("user_mentions", Value::Array((0..rng.gen_range(0..3usize)).map(|m| obj(vec![
-                        ("screen_name", Value::str(format!("mention{m}"))),
-                        ("id", Value::int(m as i64 * 31)),
-                    ])).collect())),
-                ])),
+                (
+                    "id_str",
+                    Value::Str(format!("{}", 250_000_000_000_000_000i64 + i as i64)),
+                ),
+                (
+                    "text",
+                    Value::str(format!(
+                        "some example tweet text number {i} with #tags and @mentions included"
+                    )),
+                ),
+                (
+                    "user",
+                    obj(vec![
+                        ("id", Value::int(rng.gen_range(0..100_000_000))),
+                        ("name", Value::str(format!("User Number {i}"))),
+                        ("screen_name", Value::str(format!("user_{i}"))),
+                        ("followers_count", Value::int(rng.gen_range(0..100_000))),
+                        ("friends_count", Value::int(rng.gen_range(0..5_000))),
+                        (
+                            "profile_image_url",
+                            Value::str("http://a0.twimg.com/profile_images/123/img_normal.jpeg"),
+                        ),
+                        ("verified", Value::Bool(rng.gen_bool(0.05))),
+                    ]),
+                ),
+                (
+                    "entities",
+                    obj(vec![
+                        (
+                            "hashtags",
+                            Value::Array(
+                                (0..rng.gen_range(0..4usize))
+                                    .map(|h| {
+                                        obj(vec![
+                                            ("text", Value::str(format!("hashtag{h}"))),
+                                            (
+                                                "indices",
+                                                Value::Array(vec![Value::int(10), Value::int(20)]),
+                                            ),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("urls", Value::Array(vec![])),
+                        (
+                            "user_mentions",
+                            Value::Array(
+                                (0..rng.gen_range(0..3usize))
+                                    .map(|m| {
+                                        obj(vec![
+                                            ("screen_name", Value::str(format!("mention{m}"))),
+                                            ("id", Value::int(m as i64 * 31)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
                 ("retweet_count", Value::int(rng.gen_range(0..1000))),
                 ("favorited", Value::Bool(false)),
                 ("truncated", Value::Bool(false)),
@@ -212,11 +326,14 @@ fn twitter_api(rng: &mut SmallRng) -> Value {
         .collect();
     obj(vec![
         ("statuses", Value::Array(tweets)),
-        ("search_metadata", obj(vec![
-            ("completed_in", Value::float(0.035)),
-            ("count", Value::int(100)),
-            ("query", Value::str("%23freebandnames")),
-        ])),
+        (
+            "search_metadata",
+            obj(vec![
+                ("completed_in", Value::float(0.035)),
+                ("count", Value::int(100)),
+                ("query", Value::str("%23freebandnames")),
+            ]),
+        ),
     ])
 }
 

@@ -31,7 +31,10 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale: 1.0, seed: 0x7C11 }
+        TpchConfig {
+            scale: 1.0,
+            seed: 0x7C11,
+        }
     }
 }
 
@@ -63,27 +66,70 @@ impl TpchConfig {
 }
 
 const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PART_TYPES: [&str; 6] = [
-    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "STANDARD POLISHED TIN",
-    "SMALL PLATED COPPER", "PROMO BURNISHED NICKEL", "MEDIUM BURNISHED STEEL",
+    "ECONOMY ANODIZED STEEL",
+    "LARGE BRUSHED BRASS",
+    "STANDARD POLISHED TIN",
+    "SMALL PLATED COPPER",
+    "PROMO BURNISHED NICKEL",
+    "MEDIUM BURNISHED STEEL",
 ];
 const CONTAINERS: [&str; 5] = ["SM CASE", "LG BOX", "MED BAG", "JUMBO JAR", "WRAP PKG"];
 const WORDS: [&str; 12] = [
-    "carefully", "quickly", "furiously", "silent", "pending", "final", "express",
-    "regular", "ironic", "special", "bold", "even",
+    "carefully",
+    "quickly",
+    "furiously",
+    "silent",
+    "pending",
+    "final",
+    "express",
+    "regular",
+    "ironic",
+    "special",
+    "bold",
+    "even",
 ];
 
 fn comment(rng: &mut SmallRng, len: usize) -> Value {
@@ -112,7 +158,20 @@ pub fn date_str(days: i64) -> String {
         year += 1;
     }
     let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
-    let months = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let months = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
     let mut month = 1;
     for m in months {
         if rem < m {
@@ -151,8 +210,14 @@ impl TpchData {
     /// tiles see mostly-homogeneous runs with occasional structure changes.
     pub fn combined(&self) -> Vec<Value> {
         let tables: Vec<&Vec<Value>> = vec![
-            &self.lineitem, &self.orders, &self.customer, &self.part,
-            &self.partsupp, &self.supplier, &self.nation, &self.region,
+            &self.lineitem,
+            &self.orders,
+            &self.customer,
+            &self.part,
+            &self.partsupp,
+            &self.supplier,
+            &self.nation,
+            &self.region,
         ];
         let chunk = 512;
         let mut cursors = vec![0usize; tables.len()];
@@ -182,8 +247,14 @@ impl TpchData {
 
     /// Total document count across all relations.
     pub fn total_rows(&self) -> usize {
-        self.lineitem.len() + self.orders.len() + self.customer.len() + self.part.len()
-            + self.partsupp.len() + self.supplier.len() + self.nation.len() + self.region.len()
+        self.lineitem.len()
+            + self.orders.len()
+            + self.customer.len()
+            + self.part.len()
+            + self.partsupp.len()
+            + self.supplier.len()
+            + self.nation.len()
+            + self.region.len()
     }
 }
 
@@ -225,7 +296,16 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
                 ("s_name", Value::str(format!("Supplier#{i:09}"))),
                 ("s_address", Value::str(format!("addr {i}"))),
                 ("s_nationkey", Value::int(nation)),
-                ("s_phone", Value::str(format!("{}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 7) % 999, (i * 13) % 9999))),
+                (
+                    "s_phone",
+                    Value::str(format!(
+                        "{}-{:03}-{:03}-{:04}",
+                        10 + nation,
+                        i % 999,
+                        (i * 7) % 999,
+                        (i * 13) % 9999
+                    )),
+                ),
                 ("s_acctbal", money(rng.gen_range(-99999..999999))),
                 ("s_comment", comment(&mut rng, 30)),
             ])
@@ -241,9 +321,21 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
                 ("c_name", Value::str(format!("Customer#{i:09}"))),
                 ("c_address", Value::str(format!("addr {i}"))),
                 ("c_nationkey", Value::int(nation)),
-                ("c_phone", Value::str(format!("{}-{:03}-{:03}-{:04}", 10 + nation, i % 999, (i * 3) % 999, (i * 11) % 9999))),
+                (
+                    "c_phone",
+                    Value::str(format!(
+                        "{}-{:03}-{:03}-{:04}",
+                        10 + nation,
+                        i % 999,
+                        (i * 3) % 999,
+                        (i * 11) % 9999
+                    )),
+                ),
                 ("c_acctbal", money(rng.gen_range(-99999..999999))),
-                ("c_mktsegment", Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())])),
+                (
+                    "c_mktsegment",
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                ),
                 ("c_comment", comment(&mut rng, 40)),
             ])
         })
@@ -254,13 +346,32 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
         .map(|i| {
             obj(vec![
                 ("p_partkey", Value::int(i as i64)),
-                ("p_name", Value::str(format!("{} {} part", WORDS[i % WORDS.len()], WORDS[(i * 5) % WORDS.len()]))),
+                (
+                    "p_name",
+                    Value::str(format!(
+                        "{} {} part",
+                        WORDS[i % WORDS.len()],
+                        WORDS[(i * 5) % WORDS.len()]
+                    )),
+                ),
                 ("p_mfgr", Value::str(format!("Manufacturer#{}", 1 + i % 5))),
-                ("p_brand", Value::str(format!("Brand#{}{}", 1 + i % 5, 1 + (i / 5) % 5))),
-                ("p_type", Value::str(PART_TYPES[rng.gen_range(0..PART_TYPES.len())])),
+                (
+                    "p_brand",
+                    Value::str(format!("Brand#{}{}", 1 + i % 5, 1 + (i / 5) % 5)),
+                ),
+                (
+                    "p_type",
+                    Value::str(PART_TYPES[rng.gen_range(0..PART_TYPES.len())]),
+                ),
                 ("p_size", Value::int(rng.gen_range(1..51))),
-                ("p_container", Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())])),
-                ("p_retailprice", money(90000 + (i as i64 % 200) * 100 + i as i64 % 100)),
+                (
+                    "p_container",
+                    Value::str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                ),
+                (
+                    "p_retailprice",
+                    money(90000 + (i as i64 % 200) * 100 + i as i64 % 100),
+                ),
                 ("p_comment", comment(&mut rng, 15)),
             ])
         })
@@ -271,7 +382,10 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
             let part = (i / 4) as i64;
             obj(vec![
                 ("ps_partkey", Value::int(part)),
-                ("ps_suppkey", Value::int(((part as usize + 1 + (i % 4) * (n_supp / 4 + 1)) % n_supp) as i64)),
+                (
+                    "ps_suppkey",
+                    Value::int(((part as usize + 1 + (i % 4) * (n_supp / 4 + 1)) % n_supp) as i64),
+                ),
                 ("ps_availqty", Value::int(rng.gen_range(1..10000))),
                 ("ps_supplycost", money(rng.gen_range(100..100100))),
                 ("ps_comment", comment(&mut rng, 40)),
@@ -320,8 +434,14 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
                 ("l_shipdate", Value::str(date_str(shipdate))),
                 ("l_commitdate", Value::str(date_str(commitdate))),
                 ("l_receiptdate", Value::str(date_str(receiptdate))),
-                ("l_shipinstruct", Value::str(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())])),
-                ("l_shipmode", Value::str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())])),
+                (
+                    "l_shipinstruct",
+                    Value::str(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())]),
+                ),
+                (
+                    "l_shipmode",
+                    Value::str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())]),
+                ),
                 ("l_comment", comment(&mut rng, 20)),
             ])
         })
@@ -333,10 +453,16 @@ pub fn generate(cfg: TpchConfig) -> TpchData {
             obj(vec![
                 ("o_orderkey", Value::int(i as i64)),
                 ("o_custkey", Value::int(rng.gen_range(0..n_cust as i64))),
-                ("o_orderstatus", Value::str(if odate > 2222 { "O" } else { "F" })),
+                (
+                    "o_orderstatus",
+                    Value::str(if odate > 2222 { "O" } else { "F" }),
+                ),
                 ("o_totalprice", money(order_totals[i])),
                 ("o_orderdate", Value::str(date_str(odate))),
-                ("o_orderpriority", Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())])),
+                (
+                    "o_orderpriority",
+                    Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+                ),
                 ("o_clerk", Value::str(format!("Clerk#{:09}", i % 1000))),
                 ("o_shippriority", Value::int(0)),
                 ("o_comment", comment(&mut rng, 30)),
@@ -370,8 +496,14 @@ mod tests {
 
     #[test]
     fn row_counts_scale() {
-        let small = generate(TpchConfig { scale: 0.5, seed: 1 });
-        let big = generate(TpchConfig { scale: 2.0, seed: 1 });
+        let small = generate(TpchConfig {
+            scale: 0.5,
+            seed: 1,
+        });
+        let big = generate(TpchConfig {
+            scale: 2.0,
+            seed: 1,
+        });
         assert!(big.lineitem.len() > 3 * small.lineitem.len());
         assert_eq!(small.nation.len(), 25);
         assert_eq!(small.region.len(), 5);
@@ -379,19 +511,37 @@ mod tests {
 
     #[test]
     fn lineitem_schema_complete() {
-        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        let d = generate(TpchConfig {
+            scale: 0.1,
+            seed: 1,
+        });
         let li = &d.lineitem[0];
         for key in [
-            "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
-            "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
-            "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct",
-            "l_shipmode", "l_comment",
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_linenumber",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_returnflag",
+            "l_linestatus",
+            "l_shipdate",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipinstruct",
+            "l_shipmode",
+            "l_comment",
         ] {
             assert!(li.get(key).is_some(), "missing {key}");
         }
         // Monetary values are canonical decimal strings.
         let price = li.get("l_extendedprice").unwrap().as_str().unwrap();
-        assert!(jt_jsonb_detectable(price), "price {price} must be numeric-string");
+        assert!(
+            jt_jsonb_detectable(price),
+            "price {price} must be numeric-string"
+        );
     }
 
     fn jt_jsonb_detectable(s: &str) -> bool {
@@ -421,7 +571,10 @@ mod tests {
 
     #[test]
     fn foreign_keys_in_range() {
-        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        let d = generate(TpchConfig {
+            scale: 0.1,
+            seed: 1,
+        });
         let n_orders = d.orders.len() as i64;
         for li in &d.lineitem {
             let ok = li.get("l_orderkey").unwrap().as_i64().unwrap();
@@ -436,7 +589,10 @@ mod tests {
 
     #[test]
     fn combined_contains_all_rows() {
-        let d = generate(TpchConfig { scale: 0.1, seed: 1 });
+        let d = generate(TpchConfig {
+            scale: 0.1,
+            seed: 1,
+        });
         assert_eq!(d.combined().len(), d.total_rows());
         assert_eq!(d.shuffled(7).len(), d.total_rows());
     }
@@ -453,7 +609,10 @@ mod tests {
 
     #[test]
     fn order_totals_match_lineitems() {
-        let d = generate(TpchConfig { scale: 0.05, seed: 9 });
+        let d = generate(TpchConfig {
+            scale: 0.05,
+            seed: 9,
+        });
         // Sum cents of lineitem prices per order 0 and compare.
         let mut sum = 0i64;
         for li in &d.lineitem {

@@ -44,18 +44,27 @@ impl Default for TwitterConfig {
 }
 
 const HASHTAGS: [&str; 16] = [
-    "COVID", "news", "music", "sports", "love", "fashion", "food", "travel",
-    "art", "gaming", "tech", "science", "movies", "books", "fitness", "nature",
+    "COVID", "news", "music", "sports", "love", "fashion", "food", "travel", "art", "gaming",
+    "tech", "science", "movies", "books", "fitness", "nature",
 ];
 const MENTIONS: [&str; 12] = [
-    "ladygaga", "katyperry", "justinbieber", "barackobama", "taylorswift13",
-    "rihanna", "cristiano", "jtimberlake", "kimkardashian", "selenagomez",
-    "nasa", "cnnbrk",
+    "ladygaga",
+    "katyperry",
+    "justinbieber",
+    "barackobama",
+    "taylorswift13",
+    "rihanna",
+    "cristiano",
+    "jtimberlake",
+    "kimkardashian",
+    "selenagomez",
+    "nasa",
+    "cnnbrk",
 ];
 const LANGS: [&str; 6] = ["en", "es", "ja", "pt", "de", "fr"];
 const WORDS: [&str; 14] = [
-    "just", "posted", "amazing", "day", "today", "really", "great", "new",
-    "watch", "this", "love", "best", "happy", "wow",
+    "just", "posted", "amazing", "day", "today", "really", "great", "new", "watch", "this", "love",
+    "best", "happy", "wow",
 ];
 
 fn tweet_text(rng: &mut SmallRng, tags: &[usize], mentions: &[usize]) -> String {
@@ -102,11 +111,18 @@ pub fn generate(cfg: TwitterConfig) -> TwitterData {
     for i in 0..cfg.docs {
         // Era: 0..1 across the stream; maps to 2006..2013 when evolving.
         let era = i as f64 / cfg.docs.max(1) as f64;
-        let year = if cfg.evolving { 2006 + (era * 8.0) as i64 } else { 2020 };
+        let year = if cfg.evolving {
+            2006 + (era * 8.0) as i64
+        } else {
+            2020
+        };
         let month = 1 + (i % 12) as i64;
         let day = 1 + (i % 28) as i64;
-        let created = format!("{year:04}-{month:02}-{day:02}T{:02}:{:02}:00Z",
-                              i % 24, (i * 7) % 60);
+        let created = format!(
+            "{year:04}-{month:02}-{day:02}T{:02}:{:02}:00Z",
+            i % 24,
+            (i * 7) % 60
+        );
 
         if rng.gen_bool(cfg.delete_fraction) {
             // Delete record: completely different structure.
@@ -121,7 +137,10 @@ pub fn generate(cfg: TwitterConfig) -> TwitterData {
                             ("user_id", Value::int(rng.gen_range(0..100_000))),
                         ]),
                     ),
-                    ("timestamp_ms", Value::Str(format!("{}", 1_500_000_000_000i64 + i as i64))),
+                    (
+                        "timestamp_ms",
+                        Value::Str(format!("{}", 1_500_000_000_000i64 + i as i64)),
+                    ),
                 ]),
             )]));
             continue;
@@ -160,8 +179,14 @@ pub fn generate(cfg: TwitterConfig) -> TwitterData {
             fields.push((
                 "geo",
                 obj(vec![
-                    ("lat", Value::float((rng.gen_range(-90_000..90_000i64) as f64) / 1000.0)),
-                    ("lon", Value::float((rng.gen_range(-180_000..180_000i64) as f64) / 1000.0)),
+                    (
+                        "lat",
+                        Value::float((rng.gen_range(-90_000..90_000i64) as f64) / 1000.0),
+                    ),
+                    (
+                        "lon",
+                        Value::float((rng.gen_range(-180_000..180_000i64) as f64) / 1000.0),
+                    ),
                 ]),
             ));
         }
@@ -169,8 +194,12 @@ pub fn generate(cfg: TwitterConfig) -> TwitterData {
         // High-cardinality arrays with varying lengths (0..6 / 0..4).
         let n_tags = rng.gen_range(0..6usize);
         let n_ment = rng.gen_range(0..4usize);
-        let tags: Vec<usize> = (0..n_tags).map(|_| rng.gen_range(0..HASHTAGS.len())).collect();
-        let ments: Vec<usize> = (0..n_ment).map(|_| rng.gen_range(0..MENTIONS.len())).collect();
+        let tags: Vec<usize> = (0..n_tags)
+            .map(|_| rng.gen_range(0..HASHTAGS.len()))
+            .collect();
+        let ments: Vec<usize> = (0..n_ment)
+            .map(|_| rng.gen_range(0..MENTIONS.len()))
+            .collect();
         if tags.iter().any(|&t| HASHTAGS[t] == "COVID") {
             covid_tweets += 1;
         }
@@ -235,7 +264,10 @@ mod tests {
 
     #[test]
     fn delete_fraction_approximate() {
-        let d = generate(TwitterConfig { docs: 10_000, ..Default::default() });
+        let d = generate(TwitterConfig {
+            docs: 10_000,
+            ..Default::default()
+        });
         let frac = d.deletes as f64 / 10_000.0;
         assert!((0.09..0.15).contains(&frac), "fraction {frac}");
         // Delete docs have the disjoint structure.
@@ -246,8 +278,16 @@ mod tests {
 
     #[test]
     fn evolving_schema_gates_attributes() {
-        let d = generate(TwitterConfig { docs: 8000, evolving: true, ..Default::default() });
-        let tweets: Vec<&Value> = d.docs.iter().filter(|t| t.get("delete").is_none()).collect();
+        let d = generate(TwitterConfig {
+            docs: 8000,
+            evolving: true,
+            ..Default::default()
+        });
+        let tweets: Vec<&Value> = d
+            .docs
+            .iter()
+            .filter(|t| t.get("delete").is_none())
+            .collect();
         let early = &tweets[..tweets.len() / 10]; // ~2006
         let late = &tweets[tweets.len() * 9 / 10..]; // ~2013
         assert!(
@@ -258,13 +298,19 @@ mod tests {
             late.iter().any(|t| t.get("retweet_count").is_some()),
             "retweets exist late"
         );
-        assert!(late.iter().any(|t| t.get("geo").is_some()), "geo exists late");
+        assert!(
+            late.iter().any(|t| t.get("geo").is_some()),
+            "geo exists late"
+        );
         assert!(early.iter().all(|t| t.get("geo").is_none()), "no geo early");
     }
 
     #[test]
     fn ground_truth_counts_match_docs() {
-        let d = generate(TwitterConfig { docs: 5000, ..Default::default() });
+        let d = generate(TwitterConfig {
+            docs: 5000,
+            ..Default::default()
+        });
         let covid = d
             .docs
             .iter()
@@ -272,7 +318,8 @@ mod tests {
                 t.pointer(&["entities", "hashtags"])
                     .and_then(|h| h.as_array())
                     .is_some_and(|tags| {
-                        tags.iter().any(|tag| tag.get("text").and_then(|x| x.as_str()) == Some("COVID"))
+                        tags.iter()
+                            .any(|tag| tag.get("text").and_then(|x| x.as_str()) == Some("COVID"))
                     })
             })
             .count();
@@ -284,8 +331,9 @@ mod tests {
                 t.pointer(&["entities", "user_mentions"])
                     .and_then(|h| h.as_array())
                     .is_some_and(|ms| {
-                        ms.iter()
-                            .any(|m| m.get("screen_name").and_then(|x| x.as_str()) == Some("ladygaga"))
+                        ms.iter().any(|m| {
+                            m.get("screen_name").and_then(|x| x.as_str()) == Some("ladygaga")
+                        })
                     })
             })
             .count();
@@ -294,9 +342,22 @@ mod tests {
 
     #[test]
     fn modern_tweets_have_full_schema() {
-        let d = generate(TwitterConfig { docs: 1000, evolving: false, ..Default::default() });
+        let d = generate(TwitterConfig {
+            docs: 1000,
+            evolving: false,
+            ..Default::default()
+        });
         let tweet = d.docs.iter().find(|t| t.get("delete").is_none()).unwrap();
-        for key in ["id", "text", "created_at", "user", "lang", "reply_count", "retweet_count", "entities"] {
+        for key in [
+            "id",
+            "text",
+            "created_at",
+            "user",
+            "lang",
+            "reply_count",
+            "retweet_count",
+            "entities",
+        ] {
             assert!(tweet.get(key).is_some(), "missing {key}");
         }
         assert!(tweet.pointer(&["user", "followers_count"]).is_some());

@@ -25,22 +25,56 @@ pub struct YelpConfig {
 
 impl Default for YelpConfig {
     fn default() -> Self {
-        YelpConfig { businesses: 800, seed: 0x9E19 }
+        YelpConfig {
+            businesses: 800,
+            seed: 0x9E19,
+        }
     }
 }
 
 const CITIES: [(&str, &str); 10] = [
-    ("Las Vegas", "NV"), ("Phoenix", "AZ"), ("Toronto", "ON"), ("Charlotte", "NC"),
-    ("Scottsdale", "AZ"), ("Pittsburgh", "PA"), ("Montréal", "QC"), ("Mesa", "AZ"),
-    ("Henderson", "NV"), ("Tempe", "AZ"),
+    ("Las Vegas", "NV"),
+    ("Phoenix", "AZ"),
+    ("Toronto", "ON"),
+    ("Charlotte", "NC"),
+    ("Scottsdale", "AZ"),
+    ("Pittsburgh", "PA"),
+    ("Montréal", "QC"),
+    ("Mesa", "AZ"),
+    ("Henderson", "NV"),
+    ("Tempe", "AZ"),
 ];
 const CATEGORIES: [&str; 12] = [
-    "Restaurants", "Food", "Nightlife", "Bars", "Shopping", "Coffee & Tea",
-    "Breakfast & Brunch", "Mexican", "Italian", "Pizza", "Burgers", "Sushi Bars",
+    "Restaurants",
+    "Food",
+    "Nightlife",
+    "Bars",
+    "Shopping",
+    "Coffee & Tea",
+    "Breakfast & Brunch",
+    "Mexican",
+    "Italian",
+    "Pizza",
+    "Burgers",
+    "Sushi Bars",
 ];
 const REVIEW_WORDS: [&str; 16] = [
-    "great", "terrible", "amazing", "service", "food", "place", "staff", "friendly",
-    "slow", "delicious", "overpriced", "cozy", "loud", "recommend", "never", "again",
+    "great",
+    "terrible",
+    "amazing",
+    "service",
+    "food",
+    "place",
+    "staff",
+    "friendly",
+    "slow",
+    "delicious",
+    "overpriced",
+    "cozy",
+    "loud",
+    "recommend",
+    "never",
+    "again",
 ];
 
 fn text(rng: &mut SmallRng, words: usize) -> String {
@@ -88,14 +122,19 @@ pub fn generate(cfg: YelpConfig) -> YelpData {
     for b in 0..n_biz {
         let (city, state) = CITIES[rng.gen_range(0..CITIES.len())];
         let n_cat = rng.gen_range(1..4usize);
-        let cats: Vec<&str> = (0..n_cat).map(|_| CATEGORIES[rng.gen_range(0..CATEGORIES.len())]).collect();
+        let cats: Vec<&str> = (0..n_cat)
+            .map(|_| CATEGORIES[rng.gen_range(0..CATEGORIES.len())])
+            .collect();
         let mut attrs: Vec<(&str, Value)> = Vec::new();
         // Optional attribute members: heterogeneous sub-objects.
         if rng.gen_bool(0.7) {
             attrs.push(("GoodForKids", Value::Bool(rng.gen_bool(0.6))));
         }
         if rng.gen_bool(0.5) {
-            attrs.push(("WiFi", Value::str(if rng.gen_bool(0.5) { "free" } else { "no" })));
+            attrs.push((
+                "WiFi",
+                Value::str(if rng.gen_bool(0.5) { "free" } else { "no" }),
+            ));
         }
         if rng.gen_bool(0.4) {
             attrs.push(("RestaurantsPriceRange2", Value::int(rng.gen_range(1..5))));
@@ -105,13 +144,22 @@ pub fn generate(cfg: YelpConfig) -> YelpData {
             ("name", Value::str(format!("{} {}", cats[0], b))),
             ("city", Value::str(city)),
             ("state", Value::str(state)),
-            ("postal_code", Value::str(format!("{:05}", 10000 + b % 89999))),
+            (
+                "postal_code",
+                Value::str(format!("{:05}", 10000 + b % 89999)),
+            ),
             ("latitude", Value::float(30.0 + (b % 2000) as f64 / 100.0)),
-            ("longitude", Value::float(-120.0 + (b % 4000) as f64 / 100.0)),
+            (
+                "longitude",
+                Value::float(-120.0 + (b % 4000) as f64 / 100.0),
+            ),
             ("stars", Value::float((rng.gen_range(2..11) as f64) / 2.0)),
             ("review_count", Value::int(rng.gen_range(3..500))),
             ("is_open", Value::int(rng.gen_bool(0.8) as i64)),
-            ("attributes", Value::Object(attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())),
+            (
+                "attributes",
+                Value::Object(attrs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
+            ),
             ("categories", Value::str(cats.join(", "))),
         ]));
     }
@@ -122,8 +170,14 @@ pub fn generate(cfg: YelpConfig) -> YelpData {
         reviews_by_stars[(stars - 1) as usize] += 1;
         docs.push(obj(vec![
             ("review_id", Value::str(format!("r{r:08}"))),
-            ("user_id", Value::str(format!("u{:06}", rng.gen_range(0..n_users)))),
-            ("business_id", Value::str(format!("b{:06}", rng.gen_range(0..n_biz)))),
+            (
+                "user_id",
+                Value::str(format!("u{:06}", rng.gen_range(0..n_users))),
+            ),
+            (
+                "business_id",
+                Value::str(format!("b{:06}", rng.gen_range(0..n_biz))),
+            ),
             ("stars", Value::int(stars)),
             ("useful", Value::int(rng.gen_range(0..50))),
             ("funny", Value::int(rng.gen_range(0..20))),
@@ -142,7 +196,10 @@ pub fn generate(cfg: YelpConfig) -> YelpData {
             ("name", Value::str(format!("User{u}"))),
             ("review_count", Value::int(rng.gen_range(1..300))),
             ("yelping_since", Value::str(date(&mut rng))),
-            ("average_stars", Value::float((rng.gen_range(20..51) as f64) / 10.0)),
+            (
+                "average_stars",
+                Value::float((rng.gen_range(20..51) as f64) / 10.0),
+            ),
             ("fans", Value::int(rng.gen_range(0..100))),
         ]));
     }
@@ -166,8 +223,14 @@ pub fn generate(cfg: YelpConfig) -> YelpData {
     let n_tips = n_biz * 2;
     for _ in 0..n_tips {
         docs.push(obj(vec![
-            ("user_id", Value::str(format!("u{:06}", rng.gen_range(0..n_users)))),
-            ("business_id", Value::str(format!("b{:06}", rng.gen_range(0..n_biz)))),
+            (
+                "user_id",
+                Value::str(format!("u{:06}", rng.gen_range(0..n_users))),
+            ),
+            (
+                "business_id",
+                Value::str(format!("b{:06}", rng.gen_range(0..n_biz))),
+            ),
             ("text", {
                 let words = rng.gen_range(4..15);
                 Value::str(text(&mut rng, words))
@@ -191,15 +254,33 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(generate(YelpConfig::default()).docs, generate(YelpConfig::default()).docs);
+        assert_eq!(
+            generate(YelpConfig::default()).docs,
+            generate(YelpConfig::default()).docs
+        );
     }
 
     #[test]
     fn document_mix() {
-        let d = generate(YelpConfig { businesses: 100, seed: 1 });
-        let biz = d.docs.iter().filter(|x| x.get("categories").is_some()).count();
-        let reviews = d.docs.iter().filter(|x| x.get("review_id").is_some()).count();
-        let users = d.docs.iter().filter(|x| x.get("yelping_since").is_some()).count();
+        let d = generate(YelpConfig {
+            businesses: 100,
+            seed: 1,
+        });
+        let biz = d
+            .docs
+            .iter()
+            .filter(|x| x.get("categories").is_some())
+            .count();
+        let reviews = d
+            .docs
+            .iter()
+            .filter(|x| x.get("review_id").is_some())
+            .count();
+        let users = d
+            .docs
+            .iter()
+            .filter(|x| x.get("yelping_since").is_some())
+            .count();
         assert_eq!(biz, 100);
         assert_eq!(reviews, 1200);
         assert_eq!(users, 300);
@@ -208,7 +289,10 @@ mod tests {
 
     #[test]
     fn stars_ground_truth() {
-        let d = generate(YelpConfig { businesses: 50, seed: 2 });
+        let d = generate(YelpConfig {
+            businesses: 50,
+            seed: 2,
+        });
         let mut counted = [0usize; 5];
         for doc in &d.docs {
             if doc.get("review_id").is_some() {
@@ -222,12 +306,18 @@ mod tests {
 
     #[test]
     fn attributes_are_heterogeneous() {
-        let d = generate(YelpConfig { businesses: 200, seed: 3 });
+        let d = generate(YelpConfig {
+            businesses: 200,
+            seed: 3,
+        });
         let with_wifi = d
             .docs
             .iter()
             .filter(|x| x.pointer(&["attributes", "WiFi"]).is_some())
             .count();
-        assert!(with_wifi > 50 && with_wifi < 150, "WiFi on ~50%: {with_wifi}");
+        assert!(
+            with_wifi > 50 && with_wifi < 150,
+            "WiFi on ~50%: {with_wifi}"
+        );
     }
 }

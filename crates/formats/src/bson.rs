@@ -188,7 +188,9 @@ fn read_document(doc: &[u8]) -> (Value, usize) {
         while doc[pos] != 0 {
             pos += 1;
         }
-        let key = std::str::from_utf8(&doc[key_start..pos]).expect("utf8 key").to_owned();
+        let key = std::str::from_utf8(&doc[key_start..pos])
+            .expect("utf8 key")
+            .to_owned();
         pos += 1;
         if is_array {
             if key.parse::<usize>() != Ok(next_index) {
@@ -201,7 +203,10 @@ fn read_document(doc: &[u8]) -> (Value, usize) {
         members.push((key, val));
     }
     if is_array && !members.is_empty() {
-        (Value::Array(members.into_iter().map(|(_, v)| v).collect()), total)
+        (
+            Value::Array(members.into_iter().map(|(_, v)| v).collect()),
+            total,
+        )
     } else {
         (Value::Object(members), total)
     }
@@ -225,7 +230,9 @@ fn read_value(t: u8, payload: &[u8]) -> (Value, usize) {
         ),
         T_STRING => {
             let len = i32::from_le_bytes(payload[..4].try_into().expect("len")) as usize;
-            let s = std::str::from_utf8(&payload[4..4 + len - 1]).expect("utf8").to_owned();
+            let s = std::str::from_utf8(&payload[4..4 + len - 1])
+                .expect("utf8")
+                .to_owned();
             (Value::Str(s), 4 + len)
         }
         T_DOC | T_ARRAY => {

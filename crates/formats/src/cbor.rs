@@ -207,7 +207,9 @@ fn read_value(bytes: &[u8], pos: &mut usize) -> Value {
         1 => Value::int(-1 - arg as i64),
         3 => {
             let len = arg as usize;
-            let s = std::str::from_utf8(&bytes[*pos..*pos + len]).expect("utf8").to_owned();
+            let s = std::str::from_utf8(&bytes[*pos..*pos + len])
+                .expect("utf8")
+                .to_owned();
             *pos += len;
             Value::Str(s)
         }
@@ -245,8 +247,22 @@ mod tests {
 
     #[test]
     fn scalars_round_trip() {
-        for t in ["null", "true", "false", "0", "23", "24", "-1", "-25", "1000000",
-                  "9223372036854775807", "-9223372036854775808", "1.5", "2.5e17", "\"hi\""] {
+        for t in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "23",
+            "24",
+            "-1",
+            "-25",
+            "1000000",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "1.5",
+            "2.5e17",
+            "\"hi\"",
+        ] {
             rt(t);
         }
     }

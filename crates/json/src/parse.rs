@@ -121,7 +121,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_literal(&mut self, lit: &[u8], v: Value) -> Result<Value> {
-        if self.input.len() - self.pos < lit.len() || &self.input[self.pos..self.pos + lit.len()] != lit {
+        if self.input.len() - self.pos < lit.len()
+            || &self.input[self.pos..self.pos + lit.len()] != lit
+        {
             return Err(self.err(ErrorKind::BadLiteral));
         }
         self.pos += lit.len();
@@ -302,7 +304,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
             let d = match b {
                 b'0'..=b'9' => (b - b'0') as u32,
                 b'a'..=b'f' => (b - b'a' + 10) as u32,
@@ -412,7 +416,10 @@ mod tests {
         assert_eq!(parse("{}").unwrap(), Value::Object(vec![]));
         let v = parse(r#"[1, "two", null, [3]]"#).unwrap();
         assert_eq!(v.len(), 4);
-        assert_eq!(v.get_index(3).unwrap().get_index(0).unwrap().as_i64(), Some(3));
+        assert_eq!(
+            v.get_index(3).unwrap().get_index(0).unwrap().as_i64(),
+            Some(3)
+        );
         let v = parse(r#"{"a": {"b": [1, 2]}}"#).unwrap();
         assert_eq!(v.pointer(&["a", "b"]).unwrap().len(), 2);
     }

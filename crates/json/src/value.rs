@@ -141,11 +141,7 @@ impl Value {
     /// Object member lookup (last duplicate wins, mirroring PostgreSQL).
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(members) => members
-                .iter()
-                .rev()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v),
+            Value::Object(members) => members.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }

@@ -358,7 +358,11 @@ impl<'a> JsonbRef<'a> {
     pub fn write_json_text(&self, out: &mut String) {
         match self.kind() {
             JsonbKind::Null => out.push_str("null"),
-            JsonbKind::Bool => out.push_str(if self.as_bool().unwrap() { "true" } else { "false" }),
+            JsonbKind::Bool => out.push_str(if self.as_bool().unwrap() {
+                "true"
+            } else {
+                "false"
+            }),
             JsonbKind::Int => out.push_str(&self.read_int_payload().to_string()),
             JsonbKind::Float => {
                 // Mirrors jt_json's printer: shortest round-trip form plus a
@@ -529,7 +533,13 @@ mod tests {
         let b = enc(r#"{"delta":4,"alpha":1,"charlie":3,"bravo":2,"echo":5}"#);
         let r = JsonbRef::new(&b);
         assert_eq!(r.len(), 5);
-        for (k, v) in [("alpha", 1), ("bravo", 2), ("charlie", 3), ("delta", 4), ("echo", 5)] {
+        for (k, v) in [
+            ("alpha", 1),
+            ("bravo", 2),
+            ("charlie", 3),
+            ("delta", 4),
+            ("echo", 5),
+        ] {
             assert_eq!(r.get(k).unwrap().as_i64(), Some(v), "key {k}");
         }
         assert!(r.get("aa").is_none());
@@ -552,7 +562,10 @@ mod tests {
     fn nested_path() {
         let b = enc(r#"{"user":{"geo":{"lat":1.5}},"id":7}"#);
         let r = JsonbRef::new(&b);
-        assert_eq!(r.get_path(&["user", "geo", "lat"]).unwrap().as_f64(), Some(1.5));
+        assert_eq!(
+            r.get_path(&["user", "geo", "lat"]).unwrap().as_f64(),
+            Some(1.5)
+        );
         assert!(r.get_path(&["user", "geo", "lon"]).is_none());
         assert!(r.get_path(&["user", "geo", "lat", "x"]).is_none());
     }
@@ -596,7 +609,11 @@ mod tests {
         ] {
             let b = enc(t);
             let r = JsonbRef::new(&b);
-            assert_eq!(r.to_json_text(), jt_json::to_string(&r.to_value()), "case {t}");
+            assert_eq!(
+                r.to_json_text(),
+                jt_json::to_string(&r.to_value()),
+                "case {t}"
+            );
         }
     }
 

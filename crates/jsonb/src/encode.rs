@@ -30,7 +30,11 @@ pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
     let start = out.len();
     let mut cursor = 0usize;
     write_value(v, &sizes, &mut cursor, out);
-    debug_assert_eq!(out.len() - start, total, "sizing pass disagrees with write pass");
+    debug_assert_eq!(
+        out.len() - start,
+        total,
+        "sizing pass disagrees with write pass"
+    );
 }
 
 /// Exact encoded size of `v` in bytes, without encoding it.
@@ -315,7 +319,17 @@ mod tests {
 
     #[test]
     fn scalar_round_trips() {
-        for t in ["null", "true", "false", "0", "7", "8", "-1", "123456", "-9223372036854775808"] {
+        for t in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "7",
+            "8",
+            "-1",
+            "123456",
+            "-9223372036854775808",
+        ] {
             assert_eq!(rt(t), parse(t).unwrap(), "case {t}");
         }
     }
@@ -405,7 +419,10 @@ mod tests {
             assert_eq!(f16_to_f64(h), f, "value {f}");
         }
         for f in [1.0 / 3.0, 1e-30, 65536.0, f64::MAX, 2f64.powi(-24)] {
-            assert!(f64_to_f16(f).is_none(), "{f} must not fit f16 (normals only)");
+            assert!(
+                f64_to_f16(f).is_none(),
+                "{f} must not fit f16 (normals only)"
+            );
         }
     }
 

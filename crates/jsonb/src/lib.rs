@@ -39,7 +39,7 @@ mod access;
 mod encode;
 mod numstr;
 
-pub use access::{JsonbKind, JsonbRef, ObjectIter, ArrayIter};
+pub use access::{ArrayIter, JsonbKind, JsonbRef, ObjectIter};
 pub use encode::{decode, encode, encode_into, encoded_size};
 pub use numstr::{detect_numeric_string, NumericString};
 

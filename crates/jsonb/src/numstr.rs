@@ -154,8 +154,19 @@ mod tests {
     #[test]
     fn detects_and_round_trips_canonical_decimals() {
         for s in [
-            "0", "1", "-1", "42", "100", "-100", "0.5", "-0.5", "1.50", "19.99", "0.001",
-            "123456789.123456789", "999999999999999999",
+            "0",
+            "1",
+            "-1",
+            "42",
+            "100",
+            "-100",
+            "0.5",
+            "-0.5",
+            "1.50",
+            "19.99",
+            "0.001",
+            "123456789.123456789",
+            "999999999999999999",
         ] {
             round_trips(s);
         }
@@ -164,15 +175,38 @@ mod tests {
     #[test]
     fn trailing_fraction_zeros_preserved() {
         let n = detect_numeric_string("1.50").unwrap();
-        assert_eq!(n, NumericString { mantissa: 150, scale: 2 });
+        assert_eq!(
+            n,
+            NumericString {
+                mantissa: 150,
+                scale: 2
+            }
+        );
         assert_eq!(n.to_text(), "1.50");
     }
 
     #[test]
     fn rejects_non_canonical() {
         for s in [
-            "", "-", "abc", "1e5", "1E5", "+1", "007", "00", "-0", ".5", "5.", "1.",
-            "1.2.3", "1 ", " 1", "0x10", "--1", "1_000", "9999999999999999999",
+            "",
+            "-",
+            "abc",
+            "1e5",
+            "1E5",
+            "+1",
+            "007",
+            "00",
+            "-0",
+            ".5",
+            "5.",
+            "1.",
+            "1.2.3",
+            "1 ",
+            " 1",
+            "0x10",
+            "--1",
+            "1_000",
+            "9999999999999999999",
             "0.0000000000000000001234567",
         ] {
             assert!(detect_numeric_string(s).is_none(), "should reject {s:?}");
@@ -182,7 +216,10 @@ mod tests {
     #[test]
     fn accepts_minus_zero_fraction_with_nonzero_digits() {
         round_trips("-0.01");
-        assert!(detect_numeric_string("-0.00").is_none(), "sign would be lost");
+        assert!(
+            detect_numeric_string("-0.00").is_none(),
+            "sign would be lost"
+        );
     }
 
     #[test]
@@ -198,7 +235,13 @@ mod tests {
     fn leading_zero_fraction() {
         round_trips("0.05");
         let n = detect_numeric_string("0.05").unwrap();
-        assert_eq!(n, NumericString { mantissa: 5, scale: 2 });
+        assert_eq!(
+            n,
+            NumericString {
+                mantissa: 5,
+                scale: 2
+            }
+        );
     }
 
     #[test]

@@ -16,7 +16,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
         "\\PC{0,16}".prop_map(Value::str),
         // Strings that look numeric, to exercise the NumStr path.
         (any::<i32>(), 0u8..4).prop_map(|(m, s)| {
-            let n = jt_jsonb::NumericString { mantissa: m as i64, scale: s };
+            let n = jt_jsonb::NumericString {
+                mantissa: m as i64,
+                scale: s,
+            };
             Value::Str(n.to_text())
         }),
     ];

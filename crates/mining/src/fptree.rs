@@ -49,7 +49,11 @@ impl FpTree {
             .collect();
         // Descending frequency, ties by item code for determinism.
         order.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+        let rank: HashMap<Item, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(r, &(i, _))| (i, r))
+            .collect();
 
         let mut tree = FpTree {
             arena: vec![Node {
@@ -205,7 +209,11 @@ mod tests {
     }
 
     fn assert_same(fp: &[Itemset], ap: &[Itemset]) {
-        assert_eq!(fp.len(), ap.len(), "itemset counts differ: fp={fp:?} ap={ap:?}");
+        assert_eq!(
+            fp.len(),
+            ap.len(),
+            "itemset counts differ: fp={fp:?} ap={ap:?}"
+        );
         for (a, b) in fp.iter().zip(ap) {
             assert_eq!(a, b);
         }
@@ -219,7 +227,10 @@ mod tests {
             &[0, 1, 2, 3, 4, 5],
             &[0, 1, 2, 3, 4, 5],
         ]);
-        let cfg = MinerConfig { min_support: 3, budget: 1 << 20 };
+        let cfg = MinerConfig {
+            min_support: 3,
+            budget: 1 << 20,
+        };
         assert_same(&fpgrowth(&t, cfg), &apriori(&t, cfg));
     }
 
@@ -237,7 +248,10 @@ mod tests {
             &[1, 2, 3, 5],
             &[1, 2, 3],
         ]);
-        let cfg = MinerConfig { min_support: 2, budget: 1 << 20 };
+        let cfg = MinerConfig {
+            min_support: 2,
+            budget: 1 << 20,
+        };
         let fp = fpgrowth(&t, cfg);
         let ap = apriori(&t, cfg);
         assert_same(&fp, &ap);
@@ -251,14 +265,32 @@ mod tests {
         let cfg = MinerConfig::default();
         assert!(fpgrowth(&[], cfg).is_empty());
         assert!(fpgrowth(&[vec![]], cfg).is_empty());
-        let single = fpgrowth(&[vec![7]], MinerConfig { min_support: 1, budget: 100 });
-        assert_eq!(single, vec![Itemset { items: vec![7], support: 1 }]);
+        let single = fpgrowth(
+            &[vec![7]],
+            MinerConfig {
+                min_support: 1,
+                budget: 100,
+            },
+        );
+        assert_eq!(
+            single,
+            vec![Itemset {
+                items: vec![7],
+                support: 1
+            }]
+        );
     }
 
     #[test]
     fn min_support_filters_everything() {
         let t = tx(&[&[1, 2], &[3, 4]]);
-        let sets = fpgrowth(&t, MinerConfig { min_support: 3, budget: 100 });
+        let sets = fpgrowth(
+            &t,
+            MinerConfig {
+                min_support: 3,
+                budget: 100,
+            },
+        );
         assert!(sets.is_empty());
     }
 
@@ -266,10 +298,22 @@ mod tests {
     fn budget_caps_itemset_size() {
         // 5 items always together: unbounded mining yields 2^5-1 = 31 sets.
         let t = tx(&[&[1u32, 2, 3, 4, 5] as &[Item]; 4]);
-        let all = fpgrowth(&t, MinerConfig { min_support: 4, budget: 1 << 20 });
+        let all = fpgrowth(
+            &t,
+            MinerConfig {
+                min_support: 4,
+                budget: 1 << 20,
+            },
+        );
         assert_eq!(all.len(), 31);
         // Budget 15 → k=2 (C(5,1)+C(5,2)=15): only sizes ≤ 2 emitted.
-        let capped = fpgrowth(&t, MinerConfig { min_support: 4, budget: 15 });
+        let capped = fpgrowth(
+            &t,
+            MinerConfig {
+                min_support: 4,
+                budget: 15,
+            },
+        );
         assert!(capped.iter().all(|s| s.items.len() <= 2));
         assert_eq!(capped.len(), 15);
     }
@@ -277,7 +321,13 @@ mod tests {
     #[test]
     fn budget_caps_total_count() {
         let t = tx(&[&[1u32, 2, 3, 4, 5, 6, 7, 8] as &[Item]; 3]);
-        let sets = fpgrowth(&t, MinerConfig { min_support: 3, budget: 10 });
+        let sets = fpgrowth(
+            &t,
+            MinerConfig {
+                min_support: 3,
+                budget: 10,
+            },
+        );
         assert!(sets.len() <= 10, "got {}", sets.len());
     }
 
@@ -299,7 +349,10 @@ mod tests {
                     (0..8).filter(|i| mask & (1 << i) != 0).collect()
                 })
                 .collect();
-            let cfg = MinerConfig { min_support: 2 + (trial % 3), budget: 1 << 20 };
+            let cfg = MinerConfig {
+                min_support: 2 + (trial % 3),
+                budget: 1 << 20,
+            };
             assert_same(&fpgrowth(&t, cfg), &apriori(&t, cfg));
         }
     }
@@ -308,7 +361,13 @@ mod tests {
     fn weighted_paths_share_prefixes() {
         // Same transaction many times must not blow up the tree.
         let t: Vec<Vec<Item>> = (0..1000).map(|_| vec![1, 2, 3]).collect();
-        let sets = fpgrowth(&t, MinerConfig { min_support: 900, budget: 100 });
+        let sets = fpgrowth(
+            &t,
+            MinerConfig {
+                min_support: 900,
+                budget: 100,
+            },
+        );
         assert_eq!(sets.len(), 7);
         assert!(sets.iter().all(|s| s.support == 1000));
     }

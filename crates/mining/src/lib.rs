@@ -182,7 +182,12 @@ pub fn apriori(transactions: &[Vec<Item>], cfg: MinerConfig) -> Vec<Itemset> {
 /// (§3.1 step 3).
 pub fn maximal(mut itemsets: Vec<Itemset>) -> Vec<Itemset> {
     // Longest first so any superset precedes its subsets.
-    itemsets.sort_by(|a, b| b.items.len().cmp(&a.items.len()).then(a.items.cmp(&b.items)));
+    itemsets.sort_by(|a, b| {
+        b.items
+            .len()
+            .cmp(&a.items.len())
+            .then(a.items.cmp(&b.items))
+    });
     let mut kept: Vec<Itemset> = Vec::new();
     for cand in itemsets {
         if !kept.iter().any(|k| cand.is_subset_of(k)) {
@@ -232,11 +237,23 @@ mod tests {
             &[0, 1, 2, 3, 4, 5],
             &[0, 1, 2, 3, 4, 5],
         ]);
-        let sets = apriori(&t, MinerConfig { min_support: 3, budget: 1 << 20 });
+        let sets = apriori(
+            &t,
+            MinerConfig {
+                min_support: 3,
+                budget: 1 << 20,
+            },
+        );
         // The full 6-item set has support 3; the 5-item set support 4.
-        let five = sets.iter().find(|s| s.items == vec![0, 1, 2, 3, 4]).unwrap();
+        let five = sets
+            .iter()
+            .find(|s| s.items == vec![0, 1, 2, 3, 4])
+            .unwrap();
         assert_eq!(five.support, 4);
-        let six = sets.iter().find(|s| s.items == vec![0, 1, 2, 3, 4, 5]).unwrap();
+        let six = sets
+            .iter()
+            .find(|s| s.items == vec![0, 1, 2, 3, 4, 5])
+            .unwrap();
         assert_eq!(six.support, 3);
         let m = maximal(sets);
         // Maximal sets: {0,1,2,3,4} (4) is a subset of {0..5} (3) → only the
@@ -249,9 +266,18 @@ mod tests {
     #[test]
     fn maximal_keeps_disjoint_sets() {
         let sets = vec![
-            Itemset { items: vec![1, 2], support: 5 },
-            Itemset { items: vec![3, 4], support: 5 },
-            Itemset { items: vec![1], support: 6 },
+            Itemset {
+                items: vec![1, 2],
+                support: 5,
+            },
+            Itemset {
+                items: vec![3, 4],
+                support: 5,
+            },
+            Itemset {
+                items: vec![1],
+                support: 6,
+            },
         ];
         let m = maximal(sets);
         assert_eq!(m.len(), 2);
@@ -262,17 +288,32 @@ mod tests {
     #[test]
     fn apriori_respects_min_support() {
         let t = tx(&[&[1, 2], &[1], &[1, 2], &[3]]);
-        let sets = apriori(&t, MinerConfig { min_support: 2, budget: 1 << 20 });
+        let sets = apriori(
+            &t,
+            MinerConfig {
+                min_support: 2,
+                budget: 1 << 20,
+            },
+        );
         assert!(sets.iter().any(|s| s.items == vec![1] && s.support == 3));
         assert!(sets.iter().any(|s| s.items == vec![2] && s.support == 2));
         assert!(sets.iter().any(|s| s.items == vec![1, 2] && s.support == 2));
-        assert!(!sets.iter().any(|s| s.items.contains(&3)), "3 is infrequent");
+        assert!(
+            !sets.iter().any(|s| s.items.contains(&3)),
+            "3 is infrequent"
+        );
     }
 
     #[test]
     fn duplicate_items_in_transaction_count_once() {
         let t = tx(&[&[1, 1, 2], &[1, 2, 2]]);
-        let sets = apriori(&t, MinerConfig { min_support: 2, budget: 100 });
+        let sets = apriori(
+            &t,
+            MinerConfig {
+                min_support: 2,
+                budget: 100,
+            },
+        );
         let one = sets.iter().find(|s| s.items == vec![1]).unwrap();
         assert_eq!(one.support, 2);
     }

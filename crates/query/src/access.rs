@@ -144,6 +144,60 @@ pub fn eval_access(tile: &Tile, plan: ResolvedAccess, access: &Access, row: usiz
     }
 }
 
+/// Evaluate a resolved access for every row in `sel` (ascending row ids of
+/// `tile`), in order — the late-materialization gather of the vectorized
+/// scan. Column-served accesses go through [`jt_core::ColumnChunk::gather`]
+/// so the typed copy runs column-at-a-time; conversions and fallbacks then
+/// mirror [`eval_access`] exactly.
+pub fn gather_access(
+    tile: &Tile,
+    plan: ResolvedAccess,
+    access: &Access,
+    sel: &[u32],
+) -> Vec<Scalar> {
+    let ResolvedAccess::Column { col, fallback } = plan else {
+        // Binary and text modes are inherently row-at-a-time.
+        return sel
+            .iter()
+            .map(|&r| eval_access(tile, plan, access, r as usize))
+            .collect();
+    };
+    let g = tile.column(col).gather(sel);
+    let mut out = Vec::with_capacity(sel.len());
+    for (i, &r) in sel.iter().enumerate() {
+        if g.is_null(i) {
+            // §3.4: null in the extract means absent *or* differently typed.
+            out.push(if fallback {
+                eval_binary(tile, access, r as usize)
+            } else {
+                Scalar::Null
+            });
+            continue;
+        }
+        out.push(match access.ty {
+            AccessType::Int => g.get_i64(i).map_or(Scalar::Null, Scalar::Int),
+            AccessType::Float | AccessType::Numeric => {
+                g.get_f64(i).map_or(Scalar::Null, Scalar::Float)
+            }
+            AccessType::Bool => g.get_bool(i).map_or(Scalar::Null, Scalar::Bool),
+            AccessType::Text => match g.get_text(i) {
+                Some(t) => Scalar::str(&t),
+                // Date columns cannot reproduce their text (§4.9).
+                None => eval_binary(tile, access, r as usize),
+            },
+            AccessType::Timestamp => match g.get_date(i) {
+                Some(ts) => Scalar::Timestamp(ts),
+                None => g
+                    .get_str(i)
+                    .and_then(jt_core::parse_timestamp)
+                    .map_or(Scalar::Null, Scalar::Timestamp),
+            },
+            AccessType::Json => eval_binary(tile, access, r as usize),
+        });
+    }
+    out
+}
+
 fn eval_binary(tile: &Tile, access: &Access, row: usize) -> Scalar {
     let Some(doc) = tile.doc_jsonb(row) else {
         return Scalar::Null;
@@ -319,7 +373,10 @@ mod tests {
         // Text access must return the original string via the binary doc.
         let txt = Access::new("d", "date", AccessType::Text);
         let plan = resolve_access(tile, &txt, StorageMode::Tiles);
-        assert_eq!(eval_access(tile, plan, &txt, 0).as_str(), Some("2020-01-01"));
+        assert_eq!(
+            eval_access(tile, plan, &txt, 0).as_str(),
+            Some("2020-01-01")
+        );
     }
 
     #[test]

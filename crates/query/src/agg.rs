@@ -37,31 +37,52 @@ pub struct Agg {
 impl Agg {
     /// `COUNT(*)`
     pub fn count_star() -> Agg {
-        Agg { kind: AggKind::CountStar, expr: Expr::Const(Scalar::Null) }
+        Agg {
+            kind: AggKind::CountStar,
+            expr: Expr::Const(Scalar::Null),
+        }
     }
     /// `COUNT(e)`
     pub fn count(e: Expr) -> Agg {
-        Agg { kind: AggKind::Count, expr: e }
+        Agg {
+            kind: AggKind::Count,
+            expr: e,
+        }
     }
     /// `SUM(e)`
     pub fn sum(e: Expr) -> Agg {
-        Agg { kind: AggKind::Sum, expr: e }
+        Agg {
+            kind: AggKind::Sum,
+            expr: e,
+        }
     }
     /// `AVG(e)`
     pub fn avg(e: Expr) -> Agg {
-        Agg { kind: AggKind::Avg, expr: e }
+        Agg {
+            kind: AggKind::Avg,
+            expr: e,
+        }
     }
     /// `MIN(e)`
     pub fn min(e: Expr) -> Agg {
-        Agg { kind: AggKind::Min, expr: e }
+        Agg {
+            kind: AggKind::Min,
+            expr: e,
+        }
     }
     /// `MAX(e)`
     pub fn max(e: Expr) -> Agg {
-        Agg { kind: AggKind::Max, expr: e }
+        Agg {
+            kind: AggKind::Max,
+            expr: e,
+        }
     }
     /// `COUNT(DISTINCT e)`
     pub fn count_distinct(e: Expr) -> Agg {
-        Agg { kind: AggKind::CountDistinct, expr: e }
+        Agg {
+            kind: AggKind::CountDistinct,
+            expr: e,
+        }
     }
 }
 
@@ -183,6 +204,9 @@ impl Acc {
     }
 }
 
+/// One hash-table entry: the group's key scalars plus its accumulators.
+type GroupEntry = (Vec<Scalar>, Vec<Acc>);
+
 /// Group `input` by the key expressions and compute the aggregates.
 /// Output columns: keys first, then one per aggregate. With no keys, a
 /// single global group is produced even for empty input (SQL semantics).
@@ -210,17 +234,23 @@ pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
         }
         return out;
     }
-    let mut groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<Acc>)> = HashMap::new();
+    let mut groups: HashMap<Vec<u8>, GroupEntry> = HashMap::new();
+    // The scratch key buffer is reused across rows; the key bytes (and the
+    // key scalars) are only cloned when a row opens a new group, so the
+    // common repeated-group case allocates nothing.
     let mut keybuf = Vec::new();
+    let mut key_vals: Vec<Scalar> = Vec::new();
     for row in 0..input.rows() {
-        let key_vals: Vec<Scalar> = keys.iter().map(|k| k.eval(input, row)).collect();
+        key_vals.clear();
+        key_vals.extend(keys.iter().map(|k| k.eval(input, row)));
         keybuf.clear();
         for v in &key_vals {
             v.write_key(&mut keybuf);
         }
-        let entry = groups
-            .entry(keybuf.clone())
-            .or_insert_with(|| (key_vals, new_accs()));
+        if !groups.contains_key(&keybuf) {
+            groups.insert(keybuf.clone(), (key_vals.clone(), new_accs()));
+        }
+        let entry = groups.get_mut(&keybuf).expect("group just ensured");
         for (acc, agg) in entry.1.iter_mut().zip(aggs) {
             let v = match agg.kind {
                 AggKind::CountStar => Scalar::Null,
@@ -231,7 +261,7 @@ pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
     }
     let mut out = Chunk::empty(keys.len() + aggs.len());
     // Deterministic output order: sort by the canonical key bytes.
-    let mut entries: Vec<(Vec<u8>, (Vec<Scalar>, Vec<Acc>))> = groups.into_iter().collect();
+    let mut entries: Vec<(Vec<u8>, GroupEntry)> = groups.into_iter().collect();
     entries.sort_by(|a, b| a.0.cmp(&b.0));
     for (_, (key_vals, accs)) in entries {
         for (c, v) in key_vals.into_iter().enumerate() {
@@ -253,9 +283,19 @@ mod tests {
         Chunk {
             columns: vec![
                 // group keys
-                vec![Scalar::str("a"), Scalar::str("b"), Scalar::str("a"), Scalar::str("a")],
+                vec![
+                    Scalar::str("a"),
+                    Scalar::str("b"),
+                    Scalar::str("a"),
+                    Scalar::str("a"),
+                ],
                 // values with a null
-                vec![Scalar::Int(1), Scalar::Int(10), Scalar::Null, Scalar::Int(3)],
+                vec![
+                    Scalar::Int(1),
+                    Scalar::Int(10),
+                    Scalar::Null,
+                    Scalar::Int(3),
+                ],
             ],
         }
     }
@@ -279,8 +319,14 @@ mod tests {
             ],
         );
         assert_eq!(out.rows(), 2);
-        let a_row = (0..2).find(|&i| out.get(i, 0).as_str() == Some("a")).unwrap();
-        assert_eq!(out.get(a_row, 1).as_i64(), Some(3), "count(*) includes null rows");
+        let a_row = (0..2)
+            .find(|&i| out.get(i, 0).as_str() == Some("a"))
+            .unwrap();
+        assert_eq!(
+            out.get(a_row, 1).as_i64(),
+            Some(3),
+            "count(*) includes null rows"
+        );
         assert_eq!(out.get(a_row, 2).as_i64(), Some(2), "count(v) skips nulls");
         assert_eq!(out.get(a_row, 3).as_i64(), Some(4), "sum");
         assert_eq!(out.get(a_row, 4).as_i64(), Some(1), "min");
@@ -315,7 +361,10 @@ mod tests {
             columns: vec![vec![Scalar::Int(1), Scalar::Int(2)]],
         };
         let out = group_aggregate(&c, &[], &[Agg::sum(slot(0))]);
-        assert!(matches!(out.get(0, 0), Scalar::Int(3)), "pure int sum stays int");
+        assert!(
+            matches!(out.get(0, 0), Scalar::Int(3)),
+            "pure int sum stays int"
+        );
     }
 
     #[test]
@@ -330,7 +379,11 @@ mod tests {
             ]],
         };
         let out = group_aggregate(&c, &[], &[Agg::count_distinct(slot(0))]);
-        assert_eq!(out.get(0, 0).as_i64(), Some(2), "1, 2 (2.0 == 2; null skipped)");
+        assert_eq!(
+            out.get(0, 0).as_i64(),
+            Some(2),
+            "1, 2 (2.0 == 2; null skipped)"
+        );
     }
 
     #[test]
@@ -350,16 +403,19 @@ mod tests {
     #[test]
     fn computed_keys_and_args() {
         let c = Chunk {
-            columns: vec![vec![Scalar::Int(1), Scalar::Int(2), Scalar::Int(3), Scalar::Int(4)]],
+            columns: vec![vec![
+                Scalar::Int(1),
+                Scalar::Int(2),
+                Scalar::Int(3),
+                Scalar::Int(4),
+            ]],
         };
         // Group by v % 2 (emulated via v - (v/2)*2 with int div... use cmp).
-        let out = group_aggregate(
-            &c,
-            &[slot(0).gt(lit(2))],
-            &[Agg::sum(slot(0).mul(lit(10)))],
-        );
+        let out = group_aggregate(&c, &[slot(0).gt(lit(2))], &[Agg::sum(slot(0).mul(lit(10)))]);
         assert_eq!(out.rows(), 2);
-        let hi = (0..2).find(|&i| out.get(i, 0).as_bool() == Some(true)).unwrap();
+        let hi = (0..2)
+            .find(|&i| out.get(i, 0).as_bool() == Some(true))
+            .unwrap();
         assert_eq!(out.get(hi, 1).as_i64(), Some(70));
     }
 }

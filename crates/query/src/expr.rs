@@ -162,18 +162,22 @@ impl Expr {
         Expr::Not(Box::new(self))
     }
     /// `self + other`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Add, Box::new(other))
     }
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Sub, Box::new(other))
     }
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Mul, Box::new(other))
     }
     /// `self / other`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         Expr::Arith(Box::new(self), ArithOp::Div, Box::new(other))
     }
@@ -352,6 +356,129 @@ impl Expr {
         matches!(self.eval(chunk, row), Scalar::Bool(true))
     }
 
+    /// Batch-at-a-time evaluation: `cols[slot]` holds the gathered values of
+    /// that slot for `len` selected rows; the result is one value per row.
+    /// Semantics match [`Expr::eval_row`] exactly — this is the residual
+    /// interpreter of the vectorized scan, used for conjuncts no typed
+    /// kernel covers.
+    pub fn eval_batch(&self, cols: &[Vec<Scalar>], len: usize) -> Vec<Scalar> {
+        match self {
+            Expr::Col(name) => panic!("unresolved column {name:?}"),
+            Expr::Slot(i) => cols[*i].clone(),
+            Expr::Const(c) => vec![c.clone(); len],
+            Expr::Cmp(a, op, b) => {
+                let av = a.eval_batch(cols, len);
+                let bv = b.eval_batch(cols, len);
+                av.iter()
+                    .zip(&bv)
+                    .map(|(x, y)| match x.compare(y) {
+                        None => Scalar::Null,
+                        Some(ord) => Scalar::Bool(match op {
+                            CmpOp::Eq => ord == Ordering::Equal,
+                            CmpOp::Ne => ord != Ordering::Equal,
+                            CmpOp::Lt => ord == Ordering::Less,
+                            CmpOp::Le => ord != Ordering::Greater,
+                            CmpOp::Gt => ord == Ordering::Greater,
+                            CmpOp::Ge => ord != Ordering::Less,
+                        }),
+                    })
+                    .collect()
+            }
+            Expr::And(a, b) => {
+                let av = a.eval_batch(cols, len);
+                let bv = b.eval_batch(cols, len);
+                av.into_iter()
+                    .zip(bv)
+                    .map(|p| match p {
+                        (Scalar::Bool(false), _) | (_, Scalar::Bool(false)) => Scalar::Bool(false),
+                        (Scalar::Bool(true), Scalar::Bool(true)) => Scalar::Bool(true),
+                        _ => Scalar::Null,
+                    })
+                    .collect()
+            }
+            Expr::Or(a, b) => {
+                let av = a.eval_batch(cols, len);
+                let bv = b.eval_batch(cols, len);
+                av.into_iter()
+                    .zip(bv)
+                    .map(|p| match p {
+                        (Scalar::Bool(true), _) | (_, Scalar::Bool(true)) => Scalar::Bool(true),
+                        (Scalar::Bool(false), Scalar::Bool(false)) => Scalar::Bool(false),
+                        _ => Scalar::Null,
+                    })
+                    .collect()
+            }
+            Expr::Not(a) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| match v {
+                    Scalar::Bool(b) => Scalar::Bool(!b),
+                    _ => Scalar::Null,
+                })
+                .collect(),
+            Expr::Arith(..) | Expr::Year(_) => {
+                // Rare in filters: reuse the scalar evaluator row by row via
+                // a one-row view to keep the semantics in a single place.
+                let mut row_buf: Vec<Scalar> = vec![Scalar::Null; cols.len()];
+                (0..len)
+                    .map(|r| {
+                        for (slot, col) in cols.iter().enumerate() {
+                            if !col.is_empty() {
+                                row_buf[slot] = col[r].clone();
+                            }
+                        }
+                        self.eval_row(&row_buf)
+                    })
+                    .collect()
+            }
+            Expr::IsNull(a) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| Scalar::Bool(v.is_null()))
+                .collect(),
+            Expr::IsNotNull(a) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| Scalar::Bool(!v.is_null()))
+                .collect(),
+            Expr::Contains(a, pat) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| match v {
+                    Scalar::Str(s) => Scalar::Bool(s.contains(pat.as_str())),
+                    _ => Scalar::Null,
+                })
+                .collect(),
+            Expr::StartsWith(a, pat) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| match v {
+                    Scalar::Str(s) => Scalar::Bool(s.starts_with(pat.as_str())),
+                    _ => Scalar::Null,
+                })
+                .collect(),
+            Expr::EndsWith(a, pat) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| match v {
+                    Scalar::Str(s) => Scalar::Bool(s.ends_with(pat.as_str())),
+                    _ => Scalar::Null,
+                })
+                .collect(),
+            Expr::InList(a, list) => a
+                .eval_batch(cols, len)
+                .into_iter()
+                .map(|v| {
+                    if v.is_null() {
+                        Scalar::Null
+                    } else {
+                        Scalar::Bool(list.iter().any(|x| v.group_eq(x)))
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// All slots this expression reads.
     pub fn referenced_slots(&self) -> HashSet<usize> {
         match self {
@@ -490,13 +617,60 @@ mod tests {
         let s = p.null_rejecting_slots();
         assert!(s.contains(&0) && s.contains(&1));
         let p = Expr::Slot(0).gt(lit(1)).or(Expr::Slot(1).eq(lit_str("x")));
-        assert!(p.null_rejecting_slots().is_empty(), "OR rejects only the intersection");
+        assert!(
+            p.null_rejecting_slots().is_empty(),
+            "OR rejects only the intersection"
+        );
         let p = Expr::Slot(0).is_null();
         assert!(p.null_rejecting_slots().is_empty(), "IS NULL accepts nulls");
         let p = Expr::Slot(0).gt(lit(1)).not();
         assert!(p.null_rejecting_slots().is_empty(), "NOT can invert");
         let p = Expr::Slot(0).is_not_null();
         assert_eq!(p.null_rejecting_slots(), HashSet::from([0]));
+    }
+
+    #[test]
+    fn eval_batch_matches_eval_row() {
+        let cols: Vec<Vec<Scalar>> = vec![
+            vec![
+                Scalar::Int(5),
+                Scalar::Null,
+                Scalar::Int(10),
+                Scalar::Float(2.5),
+            ],
+            vec![
+                Scalar::str("abc"),
+                Scalar::str("xbc"),
+                Scalar::Null,
+                Scalar::str("1994-06-01"),
+            ],
+        ];
+        let exprs = [
+            Expr::Slot(0).gt(lit(4)),
+            Expr::Slot(0)
+                .gt(lit(4))
+                .not()
+                .or(Expr::Slot(1).contains("bc")),
+            Expr::Slot(0).add(lit(1)).le(lit_f64(6.0)),
+            Expr::Slot(1).is_null().and(Expr::Slot(0).is_not_null()),
+            Expr::Slot(0).in_list(vec![Scalar::Int(5), Scalar::Float(2.5)]),
+            Expr::Slot(1).year().eq(lit(1994)),
+            Expr::Slot(1)
+                .starts_with("x")
+                .or(Expr::Slot(1).ends_with("c")),
+        ];
+        for e in exprs {
+            let batch = e.eval_batch(&cols, 4);
+            for r in 0..4 {
+                let row: Vec<Scalar> = cols.iter().map(|c| c[r].clone()).collect();
+                let scalar = e.eval_row(&row);
+                assert!(
+                    batch[r].group_eq(&scalar) || (batch[r].is_null() && scalar.is_null()),
+                    "{e:?} row {r}: batch {:?} vs scalar {scalar:?}",
+                    batch[r]
+                );
+            }
+        }
     }
 
     #[test]

@@ -145,7 +145,9 @@ mod tests {
         assert_eq!(j.rows(), 3, "2 matches once, 3 matches twice");
         assert_eq!(j.width(), 4);
         // Row for key=2.
-        let row2 = (0..j.rows()).find(|&i| j.get(i, 0).as_i64() == Some(2)).unwrap();
+        let row2 = (0..j.rows())
+            .find(|&i| j.get(i, 0).as_i64() == Some(2))
+            .unwrap();
         assert_eq!(j.get(row2, 1).as_i64(), Some(20));
         assert_eq!(j.get(row2, 3).as_i64(), Some(200));
     }

@@ -41,16 +41,19 @@ mod access;
 mod agg;
 mod expr;
 mod join;
+mod kernel;
 mod plan;
 mod scalar;
 mod scan;
 
-pub use access::Access;
+pub use access::{parse_dotted_path, Access};
 pub use agg::{Agg, AggKind};
 pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
 pub use jt_core::AccessType;
+pub use kernel::SelVec;
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
 pub use scalar::Scalar;
+pub use scan::{execute_scan, execute_scan_rowwise, ScanSpec, ScanStats};
 
 /// A materialized column-major batch of rows.
 #[derive(Debug, Clone, Default)]

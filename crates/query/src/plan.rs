@@ -27,7 +27,10 @@ use std::collections::HashMap;
 /// Execution knobs (the Figure 8 / Figure 14 experiment switches).
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Worker threads for scans.
+    /// Worker threads for scans. Defaults to the machine's available
+    /// parallelism (clamped to 16); results are tile-order deterministic
+    /// regardless, but tests that pin down exact timings or interleavings
+    /// should set `threads: 1` explicitly.
     pub threads: usize,
     /// §4.8 tile skipping.
     pub enable_skipping: bool,
@@ -38,7 +41,7 @@ pub struct ExecOptions {
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
-            threads: 1,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(16)),
             enable_skipping: true,
             optimize_joins: true,
         }
@@ -306,8 +309,11 @@ impl<'a> Query<'a> {
                 .position(|t| t.accesses.iter().any(|a| a.name == name))
                 .expect("known access")
         };
-        let inner: Vec<&JoinClause> =
-            self.joins.iter().filter(|j| j.kind == JoinKind::Inner).collect();
+        let inner: Vec<&JoinClause> = self
+            .joins
+            .iter()
+            .filter(|j| j.kind == JoinKind::Inner)
+            .collect();
         let mut comp_of: Vec<usize> = (0..self.tables.len()).collect();
         let mut comp_est: Vec<f64> = tables.iter().map(|t| t.estimated_rows).collect();
         let mut pending: Vec<usize> = (0..inner.len()).collect();
@@ -410,10 +416,7 @@ impl<'a> Query<'a> {
             // Inner/semi join keys are null-rejecting on both sides; anti
             // joins only on the right (build) side.
             for j in &self.joins {
-                for (name, rejecting) in [
-                    (&j.left, j.kind != JoinKind::Anti),
-                    (&j.right, true),
-                ] {
+                for (name, rejecting) in [(&j.left, j.kind != JoinKind::Anti), (&j.right, true)] {
                     let (jt, js) = lookup_table(name);
                     if jt == ti && rejecting {
                         skip_paths.push(t.accesses[js].path.clone());
@@ -442,8 +445,11 @@ impl<'a> Query<'a> {
             .map(|ti| HashMap::from([(ti, 0usize)]))
             .collect();
 
-        let inner_joins: Vec<&JoinClause> =
-            self.joins.iter().filter(|j| j.kind == JoinKind::Inner).collect();
+        let inner_joins: Vec<&JoinClause> = self
+            .joins
+            .iter()
+            .filter(|j| j.kind == JoinKind::Inner)
+            .collect();
         let mut pending: Vec<usize> = (0..inner_joins.len()).collect();
 
         let estimates: Vec<f64> = self
@@ -492,9 +498,15 @@ impl<'a> Query<'a> {
             let rslot = slot_base[rc][&rt] + rs;
             // Build on the smaller side.
             let (joined, left_first) = if left_chunk.rows() <= right_chunk.rows() {
-                (hash_join(&left_chunk, &right_chunk, &[lslot], &[rslot]), true)
+                (
+                    hash_join(&left_chunk, &right_chunk, &[lslot], &[rslot]),
+                    true,
+                )
             } else {
-                (hash_join(&right_chunk, &left_chunk, &[rslot], &[lslot]), false)
+                (
+                    hash_join(&right_chunk, &left_chunk, &[rslot], &[lslot]),
+                    false,
+                )
             };
             // Merge slot maps: offsets shift by the left side's width.
             let (first, second, first_width) = if left_first {
@@ -621,17 +633,14 @@ impl<'a> Query<'a> {
             let mut idx: Vec<usize> = (0..out.rows()).collect();
             idx.sort_by(|&a, &b| {
                 for &(c, desc) in &self.order_by {
-                    let ord = out
-                        .get(a, c)
-                        .compare(out.get(b, c))
-                        .unwrap_or_else(|| {
-                            // Nulls last.
-                            match (out.get(a, c).is_null(), out.get(b, c).is_null()) {
-                                (true, false) => std::cmp::Ordering::Greater,
-                                (false, true) => std::cmp::Ordering::Less,
-                                _ => std::cmp::Ordering::Equal,
-                            }
-                        });
+                    let ord = out.get(a, c).compare(out.get(b, c)).unwrap_or_else(|| {
+                        // Nulls last.
+                        match (out.get(a, c).is_null(), out.get(b, c).is_null()) {
+                            (true, false) => std::cmp::Ordering::Greater,
+                            (false, true) => std::cmp::Ordering::Less,
+                            _ => std::cmp::Ordering::Equal,
+                        }
+                    });
                     let ord = if desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
                         return ord;
@@ -838,13 +847,21 @@ impl std::fmt::Display for PlanExplain {
             )?;
         }
         for j in &self.join_order {
-            writeln!(f, "join {} = {} (est {:.0})", j.left, j.right, j.estimated_output)?;
+            writeln!(
+                f,
+                "join {} = {} (est {:.0})",
+                j.left, j.right, j.estimated_output
+            )?;
         }
         if self.has_post_filter {
             writeln!(f, "post-filter")?;
         }
         if self.group_keys > 0 || self.aggregates > 0 {
-            writeln!(f, "aggregate keys={} aggs={}", self.group_keys, self.aggregates)?;
+            writeln!(
+                f,
+                "aggregate keys={} aggs={}",
+                self.group_keys, self.aggregates
+            )?;
         }
         if let Some(n) = self.limit {
             writeln!(f, "limit {n}")?;

@@ -180,9 +180,18 @@ mod tests {
 
     #[test]
     fn comparisons_coerce_numerics() {
-        assert_eq!(Scalar::Int(2).compare(&Scalar::Float(2.0)), Some(Ordering::Equal));
-        assert_eq!(Scalar::Int(2).compare(&Scalar::Float(2.5)), Some(Ordering::Less));
-        assert_eq!(Scalar::str("a").compare(&Scalar::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Scalar::Int(2).compare(&Scalar::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Scalar::Int(2).compare(&Scalar::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Scalar::str("a").compare(&Scalar::str("b")),
+            Some(Ordering::Less)
+        );
         assert_eq!(Scalar::Null.compare(&Scalar::Int(1)), None);
         assert_eq!(Scalar::str("a").compare(&Scalar::Int(1)), None);
     }

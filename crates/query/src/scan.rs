@@ -6,14 +6,24 @@
 //!    join key references a path the tile neither extracted nor saw
 //!    (Bloom filter), the tile produces nothing;
 //! 2. resolves every pushed-down access once (§4.5);
-//! 3. evaluates accesses and the pushed-down filter row by row,
-//!    materializing only passing rows.
+//! 3. runs vectorized: pushed-down conjuncts compile to typed columnar
+//!    kernels ([`crate::kernel`]) that refine a selection vector directly
+//!    over the tile's column storage, ordered by estimated selectivity;
+//!    conjuncts no kernel covers are evaluated by the batched residual
+//!    interpreter over gathered slot vectors;
+//! 4. late-materializes the output: surviving rows are gathered per column
+//!    ([`jt_core::ColumnChunk::gather`]) instead of evaluated row by row.
+//!
+//! [`execute_scan_rowwise`] keeps the original row-at-a-time loop as an
+//! oracle: it must return bit-identical results, which the property tests
+//! check across storage modes and thread counts.
 
-use crate::access::{eval_access, resolve_access, Access};
+use crate::access::{eval_access, gather_access, resolve_access, Access, ResolvedAccess};
 use crate::expr::Expr;
+use crate::kernel::{self, SelVec};
 use crate::scalar::Scalar;
 use crate::Chunk;
-use jt_core::{KeyPath, Relation, StorageMode};
+use jt_core::{KeyPath, Relation, StorageMode, Tile};
 
 /// A fully-specified scan.
 pub struct ScanSpec<'a> {
@@ -42,6 +52,17 @@ pub struct ScanStats {
 /// Execute a scan with `threads` workers. Output rows preserve tile order
 /// regardless of thread count, so results are deterministic.
 pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
+    run_scan(spec, threads, false)
+}
+
+/// The row-at-a-time reference implementation: identical results to
+/// [`execute_scan`], kept as the correctness oracle and the baseline the
+/// kernel micro-benchmarks compare against.
+pub fn execute_scan_rowwise(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
+    run_scan(spec, threads, true)
+}
+
+fn run_scan(spec: &ScanSpec<'_>, threads: usize, rowwise: bool) -> (Chunk, ScanStats) {
     let tiles = spec.relation.tiles();
     let mode = spec.relation.config().mode;
     let threads = threads.max(1).min(tiles.len().max(1));
@@ -63,61 +84,11 @@ pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
             .iter()
             .map(|a| resolve_access(tile, a, mode))
             .collect();
-        // Columnar predicate pushdown: string conjuncts whose access is
-        // served by a non-fallback Str column are evaluated directly on the
-        // column bytes (no per-row scalar materialization). Everything else
-        // stays in the residual filter.
-        let (fast_preds, residual) = split_fast_preds(spec, tile, &plans);
-        // Late materialization: accesses the residual filter reads are
-        // evaluated for every surviving row; the rest only for rows that
-        // pass. With a selective pushed-down predicate this skips most of
-        // the access work.
-        let filter_slots: Vec<bool> = match &residual {
-            Some(f) => {
-                let used = f.referenced_slots();
-                (0..spec.accesses.len()).map(|i| used.contains(&i)).collect()
-            }
-            None => vec![false; spec.accesses.len()],
-        };
-        let mut out = Chunk::empty(spec.accesses.len());
-        let mut row_buf: Vec<Scalar> = vec![Scalar::Null; spec.accesses.len()];
-        'rows: for row in 0..tile.len() {
-            for fp in &fast_preds {
-                let chunk = tile.column(fp.col);
-                let ok = match chunk.get_str(row) {
-                    None => false, // SQL: predicate on null is not true
-                    Some(s) => match fp.kind {
-                        StrPredKind::Eq => s == fp.pattern,
-                        StrPredKind::Contains => s.contains(&fp.pattern),
-                        StrPredKind::StartsWith => s.starts_with(&fp.pattern),
-                        StrPredKind::EndsWith => s.ends_with(&fp.pattern),
-                    },
-                };
-                if !ok {
-                    continue 'rows;
-                }
-            }
-            if let Some(f) = &residual {
-                for (i, (a, p)) in spec.accesses.iter().zip(&plans).enumerate() {
-                    if filter_slots[i] {
-                        row_buf[i] = eval_access(tile, *p, a, row);
-                    }
-                }
-                // The filter sees exactly the access slots of this scan.
-                if !f.eval_row_bool(&row_buf) {
-                    continue;
-                }
-            }
-            for (i, (a, p)) in spec.accesses.iter().zip(&plans).enumerate() {
-                if !filter_slots[i] {
-                    row_buf[i] = eval_access(tile, *p, a, row);
-                }
-            }
-            for (c, v) in out.columns.iter_mut().zip(row_buf.iter_mut()) {
-                c.push(std::mem::replace(v, Scalar::Null));
-            }
-        }
-        Some(out)
+        Some(if rowwise {
+            scan_tile_rowwise(spec, tile, &plans)
+        } else {
+            scan_tile_vectorized(spec, tile, &plans)
+        })
     };
 
     // Parallelize only when there is enough work to amortize thread spawns;
@@ -131,16 +102,15 @@ pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
             .map(|t| (t * per).min(tiles.len())..((t + 1) * per).min(tiles.len()))
             .collect();
         let mut parts: Vec<Vec<Option<Chunk>>> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(|_| range.map(scan_tile).collect::<Vec<_>>()))
+                .map(|range| scope.spawn(|| range.map(scan_tile).collect::<Vec<_>>()))
                 .collect();
             for h in handles {
                 parts.push(h.join().expect("scan worker panicked"));
             }
-        })
-        .expect("scan threads");
+        });
         parts.into_iter().flatten().collect()
     };
 
@@ -158,108 +128,104 @@ pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
     (chunk, stats)
 }
 
-
-/// A string predicate evaluated directly on a column chunk.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum StrPredKind {
-    Eq,
-    Contains,
-    StartsWith,
-    EndsWith,
-}
-
-struct FastStrPred {
-    /// Column chunk index in the tile.
-    col: usize,
-    kind: StrPredKind,
-    pattern: String,
-}
-
-/// Partition the pushed-down filter's top-level conjuncts into string
-/// predicates servable straight from a (non-fallback) Str column of this
-/// tile and a residual expression for everything else.
-fn split_fast_preds(
-    spec: &ScanSpec<'_>,
-    tile: &jt_core::Tile,
-    plans: &[crate::access::ResolvedAccess],
-) -> (Vec<FastStrPred>, Option<Expr>) {
-    let Some(filter) = &spec.filter else {
-        return (Vec::new(), None);
-    };
-    let mut fast = Vec::new();
-    let mut residual: Option<Expr> = None;
-    for conjunct in conjuncts(filter) {
-        match as_fast_pred(conjunct, spec, tile, plans) {
-            Some(fp) => fast.push(fp),
-            None => {
-                residual = Some(match residual.take() {
-                    Some(r) => r.and(conjunct.clone()),
-                    None => conjunct.clone(),
-                });
+/// The vectorized inner loop: selection vector → typed kernels → batched
+/// residual → late-materialized gather.
+fn scan_tile_vectorized(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAccess]) -> Chunk {
+    let n = spec.accesses.len();
+    let mut sel: SelVec = (0..tile.len() as u32).collect();
+    let tk = kernel::compile(spec.filter.as_ref(), &spec.accesses, plans, tile);
+    for k in &tk.kernels {
+        if sel.is_empty() {
+            break;
+        }
+        k.apply(tile, &spec.accesses, &mut sel);
+    }
+    // Residual conjuncts: gather the slots they read for the surviving
+    // rows, evaluate batch-at-a-time, and compact both the selection
+    // vector and the already-gathered slot vectors by the result mask —
+    // those vectors double as output columns below.
+    let mut cols: Vec<Vec<Scalar>> = vec![Vec::new(); n];
+    let mut gathered = vec![false; n];
+    if let Some(f) = &tk.residual {
+        if !sel.is_empty() {
+            for &i in &f.referenced_slots() {
+                cols[i] = gather_access(tile, plans[i], &spec.accesses[i], &sel);
+                gathered[i] = true;
+            }
+            let mask = f.eval_batch(&cols, sel.len());
+            let mut w = 0;
+            for (i, m) in mask.iter().enumerate() {
+                if matches!(m, Scalar::Bool(true)) {
+                    sel.swap(w, i);
+                    if w != i {
+                        for c in cols.iter_mut() {
+                            if !c.is_empty() {
+                                c.swap(w, i);
+                            }
+                        }
+                    }
+                    w += 1;
+                }
+            }
+            sel.truncate(w);
+            for c in cols.iter_mut() {
+                c.truncate(w.min(c.len()));
             }
         }
     }
-    (fast, residual)
-}
-
-fn conjuncts(e: &Expr) -> Vec<&Expr> {
-    match e {
-        Expr::And(a, b) => {
-            let mut v = conjuncts(a);
-            v.extend(conjuncts(b));
-            v
-        }
-        other => vec![other],
+    let mut out = Chunk::empty(n);
+    for i in 0..n {
+        out.columns[i] = if gathered[i] {
+            std::mem::take(&mut cols[i])
+        } else {
+            gather_access(tile, plans[i], &spec.accesses[i], &sel)
+        };
     }
+    out
 }
 
-fn as_fast_pred(
-    e: &Expr,
-    spec: &ScanSpec<'_>,
-    tile: &jt_core::Tile,
-    plans: &[crate::access::ResolvedAccess],
-) -> Option<FastStrPred> {
-    let (slot, kind, pattern) = match e {
-        Expr::Cmp(a, crate::expr::CmpOp::Eq, b) => match (a.as_ref(), b.as_ref()) {
-            (Expr::Slot(i), Expr::Const(Scalar::Str(s)))
-            | (Expr::Const(Scalar::Str(s)), Expr::Slot(i)) => {
-                (*i, StrPredKind::Eq, s.to_string())
-            }
-            _ => return None,
-        },
-        Expr::Contains(a, p) => match a.as_ref() {
-            Expr::Slot(i) => (*i, StrPredKind::Contains, p.clone()),
-            _ => return None,
-        },
-        Expr::StartsWith(a, p) => match a.as_ref() {
-            Expr::Slot(i) => (*i, StrPredKind::StartsWith, p.clone()),
-            _ => return None,
-        },
-        Expr::EndsWith(a, p) => match a.as_ref() {
-            Expr::Slot(i) => (*i, StrPredKind::EndsWith, p.clone()),
-            _ => return None,
-        },
-        _ => return None,
+/// The original row-at-a-time loop, with late materialization of
+/// non-filter slots.
+fn scan_tile_rowwise(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAccess]) -> Chunk {
+    let filter_slots: Vec<bool> = match &spec.filter {
+        Some(f) => {
+            let used = f.referenced_slots();
+            (0..spec.accesses.len())
+                .map(|i| used.contains(&i))
+                .collect()
+        }
+        None => vec![false; spec.accesses.len()],
     };
-    // The access must be served by a plain Str column with no binary
-    // fallback (fallback columns may hold values the chunk cannot show).
-    if spec.accesses[slot].ty != jt_core::AccessType::Text {
-        return None;
-    }
-    match plans[slot] {
-        crate::access::ResolvedAccess::Column { col, fallback: false }
-            if tile.column(col).col_type() == jt_core::ColType::Str =>
-        {
-            Some(FastStrPred { col, kind, pattern })
+    let mut out = Chunk::empty(spec.accesses.len());
+    let mut row_buf: Vec<Scalar> = vec![Scalar::Null; spec.accesses.len()];
+    for row in 0..tile.len() {
+        if let Some(f) = &spec.filter {
+            for (i, (a, p)) in spec.accesses.iter().zip(plans).enumerate() {
+                if filter_slots[i] {
+                    row_buf[i] = eval_access(tile, *p, a, row);
+                }
+            }
+            // The filter sees exactly the access slots of this scan.
+            if !f.eval_row_bool(&row_buf) {
+                continue;
+            }
         }
-        _ => None,
+        for (i, (a, p)) in spec.accesses.iter().zip(plans).enumerate() {
+            if !filter_slots[i] {
+                row_buf[i] = eval_access(tile, *p, a, row);
+            }
+        }
+        for (c, v) in out.columns.iter_mut().zip(row_buf.iter_mut()) {
+            c.push(std::mem::replace(v, Scalar::Null));
+        }
     }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::{col, lit};
+    use crate::expr::{col, lit, lit_str};
     use jt_core::{AccessType, Relation, TilesConfig};
     use jt_json::Value;
 
@@ -364,8 +330,77 @@ mod tests {
         assert_eq!(seq.rows(), 256);
         assert_eq!(par.rows(), 256);
         for row in 0..256 {
-            assert!(seq.get(row, 0).group_eq(par.get(row, 0)) || (seq.get(row, 0).is_null() && par.get(row, 0).is_null()));
-            assert!(seq.get(row, 1).group_eq(par.get(row, 1)) || (seq.get(row, 1).is_null() && par.get(row, 1).is_null()));
+            assert!(
+                seq.get(row, 0).group_eq(par.get(row, 0))
+                    || (seq.get(row, 0).is_null() && par.get(row, 0).is_null())
+            );
+            assert!(
+                seq.get(row, 1).group_eq(par.get(row, 1))
+                    || (seq.get(row, 1).is_null() && par.get(row, 1).is_null())
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_matches_rowwise_oracle() {
+        // Mixed-structure docs exercising kernels (int range, string eq,
+        // null tests) plus a residual (slot-to-slot comparison).
+        let docs: Vec<Value> = (0..300)
+            .map(|i| {
+                if i % 5 == 0 {
+                    jt_json::parse(&format!(r#"{{"a":{i},"s":"tag{}"}}"#, i % 11)).unwrap()
+                } else {
+                    jt_json::parse(&format!(
+                        r#"{{"a":{i},"b":{},"s":"tag{}","d":"2021-0{}-01"}}"#,
+                        i * 2,
+                        i % 11,
+                        1 + i % 9
+                    ))
+                    .unwrap()
+                }
+            })
+            .collect();
+        let rel = Relation::load(&docs, config());
+        let accesses = vec![
+            Access::new("a", "a", AccessType::Int),
+            Access::new("b", "b", AccessType::Int),
+            Access::new("s", "s", AccessType::Text),
+            Access::new("d", "d", AccessType::Timestamp),
+        ];
+        let lookup = |name: &str| accesses.iter().position(|a| a.name == name).unwrap();
+        let filters = [
+            Some(col("a").gt(lit(30)).and(col("s").contains("ag3"))),
+            Some(col("b").is_null().or(col("b").eq(col("a").mul(lit(2))))),
+            Some(col("s").eq(lit_str("tag7")).and(col("d").is_not_null())),
+            Some(col("d").year().eq(lit(2021)).and(col("a").lt(lit(250)))),
+            None,
+        ];
+        for filter in filters {
+            let resolved = filter.map(|mut f| {
+                f.resolve(&lookup);
+                f
+            });
+            for threads in [1, 4] {
+                let make_spec = || ScanSpec {
+                    relation: &rel,
+                    accesses: accesses.clone(),
+                    filter: resolved.clone(),
+                    skip_paths: vec![],
+                    enable_skipping: true,
+                };
+                let (vec_chunk, _) = execute_scan(&make_spec(), threads);
+                let (row_chunk, _) = execute_scan_rowwise(&make_spec(), threads);
+                assert_eq!(vec_chunk.rows(), row_chunk.rows(), "{resolved:?}");
+                for c in 0..vec_chunk.width() {
+                    for r in 0..vec_chunk.rows() {
+                        let (v, w) = (vec_chunk.get(r, c), row_chunk.get(r, c));
+                        assert!(
+                            v.group_eq(w) || (v.is_null() && w.is_null()),
+                            "{resolved:?} row {r} col {c}: {v:?} vs {w:?}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

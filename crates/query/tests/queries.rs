@@ -227,7 +227,10 @@ fn skipping_reduces_scanned_tiles_on_mixed_collection() {
         Query::scan("l", &rel)
             .access("l_quantity", AccessType::Int)
             .filter(col("l_quantity").gt(lit(0)))
-            .aggregate(vec![], vec![Agg::sum(col("l_quantity")), Agg::count(col("l_quantity"))])
+            .aggregate(
+                vec![],
+                vec![Agg::sum(col("l_quantity")), Agg::count(col("l_quantity"))],
+            )
             .run_with(ExecOptions {
                 threads: 1,
                 enable_skipping: skip,
@@ -263,9 +266,16 @@ fn count_star_is_never_skipped_wrong() {
     );
     let r = Query::scan("t", &rel)
         .access("l_quantity", AccessType::Int)
-        .aggregate(vec![], vec![Agg::count_star(), Agg::count(col("l_quantity"))])
+        .aggregate(
+            vec![],
+            vec![Agg::count_star(), Agg::count(col("l_quantity"))],
+        )
         .run();
-    assert_eq!(r.column(0)[0].as_i64(), Some(1000), "count(*) sees all rows");
+    assert_eq!(
+        r.column(0)[0].as_i64(),
+        Some(1000),
+        "count(*) sees all rows"
+    );
     assert_eq!(r.column(1)[0].as_i64(), Some(800), "count(col) only items");
 }
 
@@ -296,7 +306,10 @@ fn having_and_select() {
         .access("l_quantity", AccessType::Int)
         .aggregate(vec![col("l_flag")], vec![Agg::count_star()])
         .having(jt_query::Expr::Slot(1).gt(lit(100)))
-        .select(vec![jt_query::Expr::Slot(0), jt_query::Expr::Slot(1).mul(lit(2))])
+        .select(vec![
+            jt_query::Expr::Slot(0),
+            jt_query::Expr::Slot(1).mul(lit(2)),
+        ])
         .run();
     for row in 0..r.rows() {
         assert!(r.column(1)[row].as_i64().unwrap() > 200);
@@ -374,7 +387,9 @@ fn explain_reports_plan_shape() {
     let est = plan.tables[0].estimated_rows;
     assert!((40.0..140.0).contains(&est), "estimate {est}");
     assert!(plan.tables[0].has_pushed_filter);
-    assert!(plan.tables[0].skip_paths.contains(&"o_orderdate".to_string()));
+    assert!(plan.tables[0]
+        .skip_paths
+        .contains(&"o_orderdate".to_string()));
     assert_eq!(plan.join_order.len(), 1);
     assert_eq!(plan.aggregates, 1);
     // Display renders without panicking and mentions the tables.

@@ -152,8 +152,11 @@ impl SqlExpr {
         match self {
             SqlExpr::Agg { .. } => true,
             SqlExpr::Bin(a, _, b) => a.has_aggregate() || b.has_aggregate(),
-            SqlExpr::Not(a) | SqlExpr::IsNull(a, _) | SqlExpr::Like(a, _)
-            | SqlExpr::InList(a, _) | SqlExpr::ExtractYear(a) => a.has_aggregate(),
+            SqlExpr::Not(a)
+            | SqlExpr::IsNull(a, _)
+            | SqlExpr::Like(a, _)
+            | SqlExpr::InList(a, _)
+            | SqlExpr::ExtractYear(a) => a.has_aggregate(),
             _ => false,
         }
     }

@@ -101,6 +101,7 @@ impl<'s> Ctx<'s> {
 
     /// Convert a scalar (non-aggregate) SQL expression to an engine
     /// expression, interning accesses along the way.
+    #[allow(clippy::wrong_self_convention)]
     fn to_expr(&mut self, e: &SqlExpr) -> Result<Expr, SqlError> {
         Ok(match e {
             SqlExpr::Access {
@@ -269,8 +270,18 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
             // Join predicate: access = access across two tables.
             if let SqlExpr::Bin(a, BinOp::Eq, b) = c {
                 if let (
-                    SqlExpr::Access { table: ta, path: pa, as_text: xa, cast: ca },
-                    SqlExpr::Access { table: tb, path: pb, as_text: xb, cast: cb },
+                    SqlExpr::Access {
+                        table: ta,
+                        path: pa,
+                        as_text: xa,
+                        cast: ca,
+                    },
+                    SqlExpr::Access {
+                        table: tb,
+                        path: pb,
+                        as_text: xb,
+                        cast: cb,
+                    },
                 ) = (a.as_ref(), b.as_ref())
                 {
                     let ia = ctx.table_index(ta, 0)?;
@@ -313,9 +324,9 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
         }
         // Helper to register an aggregate call.
         let add_agg = |ctx: &mut Ctx<'_>,
-                           e: &'_ SqlExpr,
-                           aggs: &mut Vec<Agg>,
-                           agg_sql: &mut Vec<&SqlExpr>|
+                       e: &'_ SqlExpr,
+                       aggs: &mut Vec<Agg>,
+                       agg_sql: &mut Vec<&SqlExpr>|
          -> Result<usize, SqlError> {
             // NOTE: agg_sql stores pointers for dedup by structural
             // equality; lifetimes tie to `stmt`.
@@ -323,7 +334,12 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
             if let Some(i) = found {
                 return Ok(i);
             }
-            let SqlExpr::Agg { func, arg, distinct } = e else {
+            let SqlExpr::Agg {
+                func,
+                arg,
+                distinct,
+            } = e
+            else {
                 return err("expected aggregate", 0);
             };
             let agg = match (func, distinct) {
@@ -357,10 +373,7 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
                 agg_sql.truncate(aggs.len());
                 select_slots.push(Expr::Slot(group_keys.len() + idx));
             } else {
-                return err(
-                    "select item must be a group key or an aggregate",
-                    0,
-                );
+                return err("select item must be a group key or an aggregate", 0);
             }
         }
         // HAVING: aggregates and key refs become output slots.
@@ -468,7 +481,11 @@ fn compile_having<'s>(
     stmt: &'s SelectStmt,
 ) -> Result<Expr, SqlError> {
     Ok(match h {
-        SqlExpr::Agg { func, arg, distinct } => {
+        SqlExpr::Agg {
+            func,
+            arg,
+            distinct,
+        } => {
             if let Some(i) = agg_sql.iter().position(|x| *x == h) {
                 return Ok(Expr::Slot(group_key_sql.len() + i));
             }

@@ -150,22 +150,20 @@ pub fn tokenize(sql: &str) -> Result<Vec<(Token, usize)>, SqlError> {
                 out.push((Token::Ne, start));
                 i += 2;
             }
-            b'<' => {
-                match b.get(i + 1) {
-                    Some(b'=') => {
-                        out.push((Token::Le, start));
-                        i += 2;
-                    }
-                    Some(b'>') => {
-                        out.push((Token::Ne, start));
-                        i += 2;
-                    }
-                    _ => {
-                        out.push((Token::Lt, start));
-                        i += 1;
-                    }
+            b'<' => match b.get(i + 1) {
+                Some(b'=') => {
+                    out.push((Token::Le, start));
+                    i += 2;
                 }
-            }
+                Some(b'>') => {
+                    out.push((Token::Ne, start));
+                    i += 2;
+                }
+                _ => {
+                    out.push((Token::Lt, start));
+                    i += 1;
+                }
+            },
             b'>' => {
                 if b.get(i + 1) == Some(&b'=') {
                     out.push((Token::Ge, start));
@@ -258,7 +256,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 1.5 0.07"), vec![Token::Int(42), Token::Float(1.5), Token::Float(0.07)]);
+        assert_eq!(
+            toks("42 1.5 0.07"),
+            vec![Token::Int(42), Token::Float(1.5), Token::Float(0.07)]
+        );
     }
 
     #[test]

@@ -243,7 +243,11 @@ impl Parser {
                 _ => return err("expected LIKE pattern string", self.offset()),
             };
             let e = SqlExpr::Like(Box::new(lhs), pat);
-            return Ok(if negated { SqlExpr::Not(Box::new(e)) } else { e });
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(e))
+            } else {
+                e
+            });
         }
         if self.eat_kw("in") {
             self.expect(&Token::LParen, "(")?;
@@ -256,7 +260,11 @@ impl Parser {
             }
             self.expect(&Token::RParen, ")")?;
             let e = SqlExpr::InList(Box::new(lhs), list);
-            return Ok(if negated { SqlExpr::Not(Box::new(e)) } else { e });
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(e))
+            } else {
+                e
+            });
         }
         if negated {
             return err("expected LIKE or IN after NOT", self.offset());
@@ -352,7 +360,7 @@ impl Parser {
                     cast,
                     ..
                 } => {
-                    if *cast != None {
+                    if cast.is_some() {
                         return err("access after cast", self.offset());
                     }
                     path.push(step);
@@ -439,7 +447,10 @@ impl Parser {
                             }
                             _ => {
                                 if table.is_some() {
-                                    return err("qualified names must be JSON accesses", self.offset());
+                                    return err(
+                                        "qualified names must be JSON accesses",
+                                        self.offset(),
+                                    );
                                 }
                                 Ok(SqlExpr::Ref(base))
                             }
@@ -516,7 +527,12 @@ mod tests {
         .unwrap();
         assert_eq!(s.from[0].alias, "l");
         match &s.items[0].expr {
-            SqlExpr::Access { table, path, as_text, cast } => {
+            SqlExpr::Access {
+                table,
+                path,
+                as_text,
+                cast,
+            } => {
                 assert_eq!(table.as_deref(), Some("l"));
                 assert_eq!(path, &vec![PathStep::Key("l_quantity".into())]);
                 assert!(*as_text);
@@ -568,9 +584,14 @@ mod tests {
 
     #[test]
     fn aggregates() {
-        let s = parse_select("SELECT COUNT(DISTINCT data->>'u'), MIN(data->>'v'::INT) FROM t").unwrap();
+        let s =
+            parse_select("SELECT COUNT(DISTINCT data->>'u'), MIN(data->>'v'::INT) FROM t").unwrap();
         match &s.items[0].expr {
-            SqlExpr::Agg { func: AggFunc::Count, distinct: true, arg } => assert!(arg.is_some()),
+            SqlExpr::Agg {
+                func: AggFunc::Count,
+                distinct: true,
+                arg,
+            } => assert!(arg.is_some()),
             other => panic!("{other:?}"),
         }
     }

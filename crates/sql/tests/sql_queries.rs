@@ -198,7 +198,12 @@ fn identical_results_across_modes() {
     let sql = "SELECT data->>'region' AS g, COUNT(*), AVG(data->>'amount'::DECIMAL) \
                FROM t WHERE data->>'qty'::INT <> 4 GROUP BY g ORDER BY g";
     let mut expected: Option<Vec<String>> = None;
-    for mode in [StorageMode::JsonText, StorageMode::Jsonb, StorageMode::Sinew, StorageMode::Tiles] {
+    for mode in [
+        StorageMode::JsonText,
+        StorageMode::Jsonb,
+        StorageMode::Sinew,
+        StorageMode::Tiles,
+    ] {
         let rel = Relation::load(&docs, TilesConfig::with_mode(mode));
         let r = jt_sql::query_with(sql, &[("t", &rel)], ExecOptions::default()).unwrap();
         let lines = r.to_lines();

@@ -98,7 +98,7 @@ impl BloomFilter {
         let num_bits = u64::from_le_bytes(bytes[..8].try_into().ok()?);
         let num_hashes = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
         let words = &bytes[12..];
-        if words.len() % 8 != 0
+        if !words.len().is_multiple_of(8)
             || (words.len() as u64 * 8) != num_bits.next_multiple_of(64)
             || num_bits == 0
             || num_hashes == 0

@@ -60,7 +60,10 @@ mod tests {
         input[3] ^= 1;
         let flipped = hash64(&input, 7);
         let differing = (base ^ flipped).count_ones();
-        assert!((20..=44).contains(&differing), "only {differing} bits differ");
+        assert!(
+            (20..=44).contains(&differing),
+            "only {differing} bits differ"
+        );
     }
 
     #[test]
@@ -72,7 +75,9 @@ mod tests {
             let h = hash64(&i.to_le_bytes(), 0);
             counts[(h >> 54) as usize] += 1;
         }
-        let (min, max) = counts.iter().fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
+        let (min, max) = counts
+            .iter()
+            .fold((u32::MAX, 0), |(lo, hi), &c| (lo.min(c), hi.max(c)));
         assert!(min > 20 && max < 130, "bucket range {min}..{max}");
     }
 

@@ -198,8 +198,14 @@ mod tests {
         let back = HyperLogLog::from_bytes(&h.to_bytes()).unwrap();
         assert_eq!(back, h);
         assert!(HyperLogLog::from_bytes(&[]).is_none());
-        assert!(HyperLogLog::from_bytes(&[10, 0, 0]).is_none(), "wrong register count");
-        assert!(HyperLogLog::from_bytes(&[3]).is_none(), "precision too small");
+        assert!(
+            HyperLogLog::from_bytes(&[10, 0, 0]).is_none(),
+            "wrong register count"
+        );
+        assert!(
+            HyperLogLog::from_bytes(&[3]).is_none(),
+            "precision too small"
+        );
     }
 
     #[test]

@@ -13,7 +13,13 @@ use jt_query::{col, AccessType, Agg, ExecOptions, Query, ResultSet};
 pub fn summation(rel: &Relation, opts: ExecOptions) -> ResultSet {
     Query::scan("l", rel)
         .access("l_linenumber", AccessType::Int)
-        .aggregate(vec![], vec![Agg::sum(col("l_linenumber")), Agg::count(col("l_linenumber"))])
+        .aggregate(
+            vec![],
+            vec![
+                Agg::sum(col("l_linenumber")),
+                Agg::count(col("l_linenumber")),
+            ],
+        )
         .run_with(opts)
 }
 
@@ -59,7 +65,10 @@ mod tests {
 
     #[test]
     fn all_systems_compute_the_same_sum() {
-        let data = generate(TpchConfig { scale: 0.05, seed: 3 });
+        let data = generate(TpchConfig {
+            scale: 0.05,
+            seed: 3,
+        });
         let combined = data.combined();
         let baseline = RelationalBaseline::build(&combined);
         let expected = baseline.sum();

@@ -12,7 +12,10 @@
 //! (Q2/Q15/Q17/Q20) use fixed thresholds; outer joins (Q13) run as inner.
 
 use jt_core::Relation;
-use jt_query::{col, lit, lit_date, lit_f64, lit_str, AccessType, Agg, ExecOptions, Expr, Query, ResultSet, Scalar};
+use jt_query::{
+    col, lit, lit_date, lit_f64, lit_str, AccessType, Agg, ExecOptions, Expr, Query, ResultSet,
+    Scalar,
+};
 
 /// Number of TPC-H queries.
 pub const QUERY_COUNT: usize = 22;
@@ -94,7 +97,11 @@ fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access("p_partkey", AccessType::Int)
         .access("p_type", AccessType::Text)
         .access("p_size", AccessType::Int)
-        .filter(col("p_size").eq(lit(15)).and(col("p_type").contains("STEEL")))
+        .filter(
+            col("p_size")
+                .eq(lit(15))
+                .and(col("p_type").contains("STEEL")),
+        )
         .join("ps", rel)
         .access("ps_partkey", AccessType::Int)
         .access("ps_suppkey", AccessType::Int)
@@ -260,7 +267,9 @@ fn q7(rel: &Relation, opts: ExecOptions) -> ResultSet {
             col("s_nationkey")
                 .eq(lit(6))
                 .and(col("c_nationkey").eq(lit(7)))
-                .or(col("s_nationkey").eq(lit(7)).and(col("c_nationkey").eq(lit(6)))),
+                .or(col("s_nationkey")
+                    .eq(lit(7))
+                    .and(col("c_nationkey").eq(lit(6)))),
         )
         .aggregate(
             vec![col("s_nationkey"), col("l_shipdate").year()],
@@ -419,7 +428,8 @@ fn q12(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(
             vec![
                 col("l_shipmode"),
-                col("o_orderpriority").in_list(vec![Scalar::str("1-URGENT"), Scalar::str("2-HIGH")]),
+                col("o_orderpriority")
+                    .in_list(vec![Scalar::str("1-URGENT"), Scalar::str("2-HIGH")]),
             ],
             vec![Agg::count_star()],
         )
@@ -435,7 +445,12 @@ fn q13(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .join("o", rel)
         .access("o_custkey", AccessType::Int)
         .access("o_comment", AccessType::Text)
-        .filter(col("o_comment").contains("special").not().or(col("o_comment").is_null()))
+        .filter(
+            col("o_comment")
+                .contains("special")
+                .not()
+                .or(col("o_comment").is_null()),
+        )
         .on("c_custkey", "o_custkey")
         .aggregate(vec![col("c_custkey")], vec![Agg::count_star()])
         .order_by(1, true)
@@ -650,7 +665,11 @@ fn q21(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access("l_suppkey", AccessType::Int)
         .access("l_commitdate", AccessType::Timestamp)
         .access("l_receiptdate", AccessType::Timestamp)
-        .filter(col("l_receiptdate").is_not_null().and(col("l_commitdate").is_not_null()))
+        .filter(
+            col("l_receiptdate")
+                .is_not_null()
+                .and(col("l_commitdate").is_not_null()),
+        )
         .on("s_suppkey", "l_suppkey")
         .join("o", rel)
         .access("o_orderkey", AccessType::Int)
@@ -680,10 +699,7 @@ fn q22(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .join("o", rel)
         .access("o_custkey", AccessType::Int)
         .anti_on("c_custkey", "o_custkey")
-        .aggregate(
-            vec![],
-            vec![Agg::count_star(), Agg::sum(col("c_acctbal"))],
-        )
+        .aggregate(vec![], vec![Agg::count_star(), Agg::sum(col("c_acctbal"))])
         .run_with(opts)
 }
 
@@ -707,7 +723,11 @@ mod tests {
     use jt_data::tpch::{generate, TpchConfig};
 
     fn small_combined() -> Vec<jt_json::Value> {
-        generate(TpchConfig { scale: 0.06, seed: 7 }).combined()
+        generate(TpchConfig {
+            scale: 0.06,
+            seed: 7,
+        })
+        .combined()
     }
 
     fn load(docs: &[jt_json::Value], mode: StorageMode) -> Relation {

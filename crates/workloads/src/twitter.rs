@@ -243,9 +243,17 @@ mod tests {
             "star Q3"
         );
         let base4 = run_query(4, &rel, ExecOptions::default());
-        assert_eq!(base4.column(0)[0].as_i64(), Some(d.covid_tweets as i64), "base Q4");
+        assert_eq!(
+            base4.column(0)[0].as_i64(),
+            Some(d.covid_tweets as i64),
+            "base Q4"
+        );
         let star4 = run_query_star(4, &rel, &side, ExecOptions::default());
-        assert_eq!(star4.column(0)[0].as_i64(), Some(d.covid_tweets as i64), "star Q4");
+        assert_eq!(
+            star4.column(0)[0].as_i64(),
+            Some(d.covid_tweets as i64),
+            "star Q4"
+        );
     }
 
     #[test]

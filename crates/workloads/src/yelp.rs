@@ -33,7 +33,11 @@ fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access("review_count", AccessType::Int)
         .access("is_open", AccessType::Int)
         .access("categories", AccessType::Text)
-        .filter(col("is_open").eq(lit(1)).and(col("categories").is_not_null()))
+        .filter(
+            col("is_open")
+                .eq(lit(1))
+                .and(col("categories").is_not_null()),
+        )
         .aggregate(
             vec![col("city")],
             vec![
@@ -128,7 +132,10 @@ mod tests {
     use jt_data::yelp::{generate, YelpConfig};
 
     fn load(mode: StorageMode) -> (jt_data::yelp::YelpData, Relation) {
-        let data = generate(YelpConfig { businesses: 120, seed: 5 });
+        let data = generate(YelpConfig {
+            businesses: 120,
+            seed: 5,
+        });
         let rel = Relation::load(
             &data.docs,
             TilesConfig {
@@ -149,8 +156,7 @@ mod tests {
             StorageMode::Sinew,
             StorageMode::Tiles,
         ];
-        let rels: Vec<(StorageMode, Relation)> =
-            modes.iter().map(|&m| (m, load(m).1)).collect();
+        let rels: Vec<(StorageMode, Relation)> = modes.iter().map(|&m| (m, load(m).1)).collect();
         for q in 1..=QUERY_COUNT {
             let mut expected: Option<Vec<String>> = None;
             for (mode, rel) in &rels {
@@ -185,6 +191,9 @@ mod tests {
         let (data, rel) = load(StorageMode::Tiles);
         let r = run_query(3, &rel, ExecOptions::default());
         let total: i64 = r.column(2).iter().map(|s| s.as_i64().unwrap()).sum();
-        assert_eq!(total as usize, data.reviews, "every review joins one business");
+        assert_eq!(
+            total as usize, data.reviews,
+            "every review joins one business"
+        );
     }
 }

@@ -12,8 +12,10 @@ use json_tiles::jsonb;
 use std::time::Instant;
 
 fn main() {
-    println!("{:<12} {:>10} {:>8} {:>8} {:>8}  {:>12} {:>12} {:>12}",
-             "file", "json", "jsonb", "bson", "cbor", "acc jsonb/s", "acc bson/s", "acc cbor/s");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>8}  {:>12} {:>12} {:>12}",
+        "file", "json", "jsonb", "bson", "cbor", "acc jsonb/s", "acc bson/s", "acc cbor/s"
+    );
     for name in simdjson::FILES {
         let doc = simdjson::generate(name);
         let text = json_tiles::json::to_string(&doc);
@@ -23,8 +25,14 @@ fn main() {
         let cb = cbor::encode(&doc);
 
         // Round-trip safety check for all three formats.
-        assert_eq!(jsonb::decode(&jb), jsonb::decode(&jsonb::encode(&jsonb::decode(&jb))));
-        assert_eq!(bson::decode(&bs), bson::decode(&bson::encode(&bson::decode(&bs))));
+        assert_eq!(
+            jsonb::decode(&jb),
+            jsonb::decode(&jsonb::encode(&jsonb::decode(&jb)))
+        );
+        assert_eq!(
+            bson::decode(&bs),
+            bson::decode(&bson::encode(&bson::decode(&bs)))
+        );
         assert_eq!(cbor::decode(&cb), doc);
 
         // Random access throughput over sampled paths (Figure 20).

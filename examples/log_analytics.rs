@@ -20,7 +20,10 @@ fn main() {
         items: 20_000,
         seed: 42,
     });
-    println!("generated {} interleaved news items (story/comment/poll/pollopt)", items.len());
+    println!(
+        "generated {} interleaved news items (story/comment/poll/pollopt)",
+        items.len()
+    );
 
     // Load twice: partitions disabled vs the paper's partition size 8.
     let base = TilesConfig {
@@ -42,7 +45,10 @@ fn main() {
     let count = |rel: &Relation| {
         rel.tiles()
             .iter()
-            .filter(|t| t.find_column(&url, json_tiles::tiles::AccessType::Text).is_some())
+            .filter(|t| {
+                t.find_column(&url, json_tiles::tiles::AccessType::Text)
+                    .is_some()
+            })
             .count()
     };
     println!(
@@ -61,7 +67,11 @@ fn main() {
             .access("type", AccessType::Text)
             .access("score", AccessType::Int)
             .access("title", AccessType::Text)
-            .filter(col("type").eq(lit_str("story")).and(col("score").gt(lit(400))))
+            .filter(
+                col("type")
+                    .eq(lit_str("story"))
+                    .and(col("score").gt(lit(400))),
+            )
             .aggregate(vec![col("title")], vec![Agg::max(col("score"))])
             .order_by(1, true)
             .limit(3)

@@ -35,7 +35,11 @@ fn main() {
     // 2. Bulk-load. Tiles are built per 1024 documents; frequent key paths
     //    are detected per tile and materialized as typed columns.
     let rel = Relation::load(&docs, TilesConfig::default());
-    println!("loaded {} docs into {} tiles", rel.row_count(), rel.tiles().len());
+    println!(
+        "loaded {} docs into {} tiles",
+        rel.row_count(),
+        rel.tiles().len()
+    );
 
     // 3. Inspect what got extracted: the early tiles have no battery
     //    column, the late ones do — no global schema, no nulls wasted.
@@ -43,9 +47,15 @@ fn main() {
     let extracted = rel
         .tiles()
         .iter()
-        .filter(|t| t.find_column(&battery, json_tiles::tiles::AccessType::Float).is_some())
+        .filter(|t| {
+            t.find_column(&battery, json_tiles::tiles::AccessType::Float)
+                .is_some()
+        })
         .count();
-    println!("battery extracted in {extracted}/{} tiles", rel.tiles().len());
+    println!(
+        "battery extracted in {extracted}/{} tiles",
+        rel.tiles().len()
+    );
     for (i, tile) in rel.tiles().iter().enumerate().step_by(2) {
         let cols: Vec<String> = tile
             .header

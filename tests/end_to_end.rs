@@ -9,7 +9,9 @@ use json_tiles::workloads::{tpch, twitter, yelp};
 
 /// Parse an NDJSON blob the way an ingestion pipeline would.
 fn parse_ndjson(text: &str) -> Vec<json::Value> {
-    text.lines().map(|l| json::parse(l).expect("valid line")).collect()
+    text.lines()
+        .map(|l| json::parse(l).expect("valid line"))
+        .collect()
 }
 
 #[test]
@@ -144,8 +146,14 @@ fn binary_formats_agree_on_workload_documents() {
         ..Default::default()
     });
     for doc in t.docs.iter().take(50) {
-        assert_eq!(&json_tiles::formats::cbor::decode(&json_tiles::formats::cbor::encode(doc)), doc);
-        assert_eq!(&json_tiles::formats::bson::decode(&json_tiles::formats::bson::encode(doc)), doc);
+        assert_eq!(
+            &json_tiles::formats::cbor::decode(&json_tiles::formats::cbor::encode(doc)),
+            doc
+        );
+        assert_eq!(
+            &json_tiles::formats::bson::decode(&json_tiles::formats::bson::encode(doc)),
+            doc
+        );
         let jb = json_tiles::jsonb::encode(doc);
         assert_eq!(
             json_tiles::jsonb::decode(&jb),

@@ -1,0 +1,46 @@
+//! Offline drop-in stub for the subset of `proptest` this workspace uses.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! small randomized-testing harness exposing the proptest surface the test
+//! suites rely on: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, `any::<T>()` for primitives, string-pattern strategies
+//! (`"[a-z]{1,6}"`, `"\\PC{0,64}"`), integer-range strategies, tuples,
+//! `prop::collection::vec`, `prop::option::of`, `prop::sample::select`,
+//! `prop_oneof!`, and the `proptest!` / `prop_assert*!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via the assertion message and the case seed), and the value
+//! streams are not byte-compatible with upstream proptest. Cases are
+//! deterministic per (test, case index), so failures reproduce.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod arbitrary {
+    pub use crate::strategy::any;
+}
+
+/// The `prop::` namespace used via `proptest::prelude::*`.
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+    pub mod bool {
+        /// Strategy producing arbitrary booleans.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
