@@ -37,6 +37,7 @@
 
 mod arrays;
 mod column;
+mod crc32c;
 mod datetime;
 mod dict;
 mod header;
@@ -49,11 +50,12 @@ mod tile;
 
 pub use arrays::{extract_arrays, ArrayExtractionSpec};
 pub use column::{ColumnChunk, ColumnData, NullBitmap};
+pub use crc32c::{crc32c, crc32c_append};
 pub use datetime::{format_timestamp, parse_timestamp, timestamp_year, Timestamp};
 pub use dict::PathDictionary;
 pub use header::{ColumnMeta, TileHeader};
 pub use path::{KeyPath, PathSeg};
-pub use persist::PersistError;
+pub use persist::{CorruptTilePolicy, OpenOptions, PersistError};
 pub use relation::{LoadMetrics, Relation, RelationStats, StorageReport};
 pub use reorder::reorder_partition;
 pub use tile::{

@@ -10,8 +10,9 @@ use jt_json::Value;
 use jt_stats::{FrequencyCounters, HyperLogLog};
 use std::time::{Duration, Instant};
 
-/// Wall-clock breakdown of one load (Figures 11, 16, 17).
-#[derive(Debug, Default, Clone, Copy)]
+/// Wall-clock breakdown of one load (Figures 11, 16, 17), plus — for
+/// relations opened from disk — the tiles the reader had to quarantine.
+#[derive(Debug, Default, Clone)]
 pub struct LoadMetrics {
     /// Total elapsed load time.
     pub total: Duration,
@@ -25,6 +26,10 @@ pub struct LoadMetrics {
     pub extract: Duration,
     /// Rows loaded.
     pub rows: usize,
+    /// Original indices of tiles skipped as corrupt when the relation was
+    /// opened with [`crate::CorruptTilePolicy::Skip`]. Empty for in-memory
+    /// loads and undamaged files.
+    pub quarantined: Vec<usize>,
 }
 
 impl LoadMetrics {
@@ -306,6 +311,7 @@ impl Relation {
             write_jsonb: timing.write_jsonb,
             extract: timing.extract,
             rows: docs.len(),
+            quarantined: Vec::new(),
         };
 
         Relation {

@@ -178,17 +178,53 @@ impl JsonbColumn {
         self.len() == 0
     }
 
-    /// The JSONB view of row `i`.
+    /// The encoded bytes of row `i`, honouring relocations.
     #[inline]
-    pub fn get_row(&self, i: usize) -> JsonbRef<'_> {
+    fn row_bytes(&self, i: usize) -> &[u8] {
         if !self.moved.is_empty() {
             if let Some(&(_, start, len)) =
                 self.moved.iter().rev().find(|(row, _, _)| *row == i as u32)
             {
-                return JsonbRef::new(&self.buffer[start as usize..(start + len) as usize]);
+                return &self.buffer[start as usize..start as usize + len as usize];
             }
         }
-        JsonbRef::new(&self.buffer[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+        &self.buffer[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The JSONB view of row `i`.
+    #[inline]
+    pub fn get_row(&self, i: usize) -> JsonbRef<'_> {
+        JsonbRef::new(self.row_bytes(i))
+    }
+
+    /// Validate a column deserialized from untrusted bytes: offsets must be
+    /// monotone fenceposts into the buffer, relocation entries must stay in
+    /// bounds, and every row must pass full JSONB structural + UTF-8
+    /// validation ([`jt_jsonb::validate_exact`]). Running this once at load
+    /// time is what makes the unchecked accessor fast paths in `jt_jsonb`
+    /// sound on disk-loaded buffers.
+    pub fn validate_rows(&self) -> Result<(), &'static str> {
+        if self.offsets.first().copied().unwrap_or(0) != 0 {
+            return Err("jsonb offsets");
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("jsonb offsets");
+        }
+        if self.offsets.last().copied().unwrap_or(0) as usize > self.buffer.len() {
+            return Err("jsonb buffer");
+        }
+        for &(row, start, len) in &self.moved {
+            if row as usize >= self.len() {
+                return Err("moved row index");
+            }
+            if start as u64 + len as u64 > self.buffer.len() as u64 {
+                return Err("moved row range");
+            }
+        }
+        for i in 0..self.len() {
+            jt_jsonb::validate_exact(self.row_bytes(i)).map_err(|_| "corrupt jsonb document")?;
+        }
+        Ok(())
     }
 
     /// Replace row `i`'s document, in place when the encoding fits.

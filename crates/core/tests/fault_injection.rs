@@ -1,0 +1,358 @@
+//! Fault-injection harness for the v2 `JTREL` format.
+//!
+//! Deterministically damages serialized relations — single-bit flips over
+//! the whole file, truncations at and around every section boundary,
+//! length-field and encoding-byte mutations (with and without a fixed-up
+//! checksum, to hit both the CRC path and the allocation caps), and
+//! torn-write prefixes — then asserts the contract of the hardened reader
+//! for **every** mutation under **both** corrupt-tile policies:
+//!
+//! * never a panic;
+//! * never silent corruption: an accepted file either decodes to content
+//!   identical to the original, or (Skip policy) reports a non-empty
+//!   quarantine whose surviving tiles match the original tiles exactly;
+//! * damage to the file-header or statistics sections always fails, even
+//!   under Skip.
+//!
+//! The sweep covers all four storage modes and exceeds 500 distinct
+//! mutations (asserted at the end), alongside targeted cases for the skip
+//! policy, v1 compatibility, and atomic save.
+
+use jt_core::{CorruptTilePolicy, OpenOptions, Relation, StorageMode, TilesConfig};
+use jt_json::Value;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn docs(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            let extra = match i % 4 {
+                0 => format!(r#","price":"{}.49","when":"2023-1{}-05""#, i % 40, i % 2),
+                1 => format!(
+                    r#","tags":["t{}","t{}"],"nested":{{"deep":{{"x":{i}}}}}"#,
+                    i % 5,
+                    i % 7
+                ),
+                2 => r#","note":"ünïcode ✓","extra":null"#.to_owned(),
+                _ => String::new(),
+            };
+            jt_json::parse(&format!(
+                r#"{{"id":{i},"name":"row {i}","flag":{}{extra}}}"#,
+                i % 2 == 0
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn config(mode: StorageMode) -> TilesConfig {
+    TilesConfig {
+        mode,
+        tile_size: 32,
+        partition_size: 2,
+        ..TilesConfig::default()
+    }
+}
+
+const ALL_MODES: [StorageMode; 4] = [
+    StorageMode::JsonText,
+    StorageMode::Jsonb,
+    StorageMode::Sinew,
+    StorageMode::Tiles,
+];
+
+fn skip_options() -> OpenOptions {
+    OpenOptions {
+        on_corrupt_tile: CorruptTilePolicy::Skip,
+    }
+}
+
+/// Byte ranges `(start, end)` of every section frame in a v2 file,
+/// following the 8-byte magic + version preamble. Frame order: file
+/// header, statistics, then one frame per tile.
+fn frames(bytes: &[u8]) -> Vec<(usize, usize)> {
+    assert_eq!(&bytes[..6], b"JTREL\0");
+    assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 2);
+    let mut pos = 8;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let stored = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+        let end = pos + 8 + 8 + 1 + stored + 4;
+        assert!(end <= bytes.len(), "walker ran off the file");
+        out.push((pos, end));
+        pos = end;
+    }
+    assert_eq!(pos, bytes.len());
+    out
+}
+
+/// Recompute a frame's CRC32C after its fields were mutated, so the
+/// mutation survives the checksum and exercises the deeper validation.
+fn fix_frame_crc(bytes: &mut [u8], frame_start: usize) {
+    let stored =
+        u64::from_le_bytes(bytes[frame_start..frame_start + 8].try_into().unwrap()) as usize;
+    let body = &bytes[frame_start + 8..frame_start + 8 + 8 + 1 + stored];
+    let crc = jt_core::crc32c(body);
+    let crc_at = frame_start + 8 + 8 + 1 + stored;
+    bytes[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The soundness contract, checked for one mutated buffer under both
+/// policies. Returns having panicked the test if the reader panicked,
+/// accepted corrupt content, or misreported a quarantine.
+fn assert_sound(original: &Relation, base: &[u8], mutated: &[u8], ctx: &str) {
+    for options in [OpenOptions::default(), skip_options()] {
+        let skip = options.on_corrupt_tile == CorruptTilePolicy::Skip;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Relation::from_bytes_with(mutated, &options)
+        }));
+        let parsed = match outcome {
+            Ok(p) => p,
+            Err(_) => panic!("reader panicked ({ctx}, skip={skip})"),
+        };
+        let rel = match parsed {
+            Err(_) => continue, // clean rejection
+            Ok(rel) => rel,
+        };
+        let quarantined = rel.metrics().quarantined.clone();
+        if quarantined.is_empty() {
+            // Accepted wholesale: the content must be bit-identical.
+            assert_eq!(
+                rel.to_bytes(),
+                base,
+                "silent corruption accepted ({ctx}, skip={skip})"
+            );
+            continue;
+        }
+        assert!(skip, "Fail policy must never quarantine ({ctx})");
+        // Survivors must be the original tiles at the non-quarantined
+        // indices, bit-exact in schema, rows, and documents.
+        let surviving: Vec<usize> = (0..original.tiles().len())
+            .filter(|i| !quarantined.contains(i))
+            .collect();
+        assert_eq!(rel.tiles().len(), surviving.len(), "{ctx}");
+        let orig_offsets: Vec<usize> = original
+            .tiles()
+            .iter()
+            .scan(0, |off, t| {
+                let o = *off;
+                *off += t.len();
+                Some(o)
+            })
+            .collect();
+        let mut row = 0;
+        for (tile, &oi) in rel.tiles().iter().zip(&surviving) {
+            let orig_tile = &original.tiles()[oi];
+            assert_eq!(tile.len(), orig_tile.len(), "{ctx}");
+            assert_eq!(tile.header.columns, orig_tile.header.columns, "{ctx}");
+            for r in (0..tile.len()).step_by(13) {
+                assert_eq!(
+                    rel.doc(row + r),
+                    original.doc(orig_offsets[oi] + r),
+                    "surviving row diverged ({ctx})"
+                );
+            }
+            row += tile.len();
+        }
+        assert_eq!(rel.row_count(), row, "{ctx}");
+    }
+}
+
+#[test]
+fn fault_injection_sweep() {
+    let mut mutations = 0usize;
+    for mode in ALL_MODES {
+        let original = Relation::load(&docs(160), config(mode));
+        let base = original.to_bytes();
+        let sections = frames(&base);
+
+        // --- Single-bit flips stepped across the whole file. ---
+        let step = (base.len() / 100).max(1);
+        for pos in (0..base.len()).step_by(step) {
+            let mut m = base.clone();
+            m[pos] ^= 1 << (pos % 8);
+            assert_sound(&original, &base, &m, &format!("{mode:?} flip@{pos}"));
+            mutations += 1;
+        }
+
+        // --- Truncations at every section boundary, ±1, and stepped
+        //     interior cuts (torn-write prefixes). ---
+        let mut cuts: Vec<usize> = vec![0, 1, 4, 7, 8];
+        for &(start, end) in &sections {
+            cuts.extend([start.saturating_sub(1), start, start + 1]);
+            cuts.extend([end.saturating_sub(1), end]);
+        }
+        cuts.extend((0..base.len()).step_by((base.len() / 16).max(1)));
+        cuts.retain(|&c| c < base.len());
+        cuts.sort_unstable();
+        cuts.dedup();
+        for cut in cuts {
+            assert_sound(
+                &original,
+                &base,
+                &base[..cut],
+                &format!("{mode:?} truncate@{cut}"),
+            );
+            mutations += 1;
+        }
+
+        // --- Length-field, encoding-byte, and checksum mutations on every
+        //     frame; `fixed_crc` variants sneak past the checksum so the
+        //     allocation caps and decompressor must catch them. ---
+        for &(start, end) in &sections {
+            let stored = u64::from_le_bytes(base[start..start + 8].try_into().unwrap());
+            let raw = u64::from_le_bytes(base[start + 8..start + 16].try_into().unwrap());
+            for (field_at, old) in [(start, stored), (start + 8, raw)] {
+                for val in [0u64, 1, old.wrapping_sub(1), old + 1, u64::MAX, 1 << 40] {
+                    if val == old {
+                        continue;
+                    }
+                    let mut m = base.clone();
+                    m[field_at..field_at + 8].copy_from_slice(&val.to_le_bytes());
+                    assert_sound(
+                        &original,
+                        &base,
+                        &m,
+                        &format!("{mode:?} len@{field_at}={val}"),
+                    );
+                    mutations += 1;
+                    // Mutating the stored length moves the frame's CRC
+                    // position; only the raw length can be fixed up.
+                    if field_at == start + 8 {
+                        fix_frame_crc(&mut m, start);
+                        assert_sound(
+                            &original,
+                            &base,
+                            &m,
+                            &format!("{mode:?} len+crc@{field_at}={val}"),
+                        );
+                        mutations += 1;
+                    }
+                }
+            }
+            for enc in [2u8, 0x7F, 0xFF] {
+                let mut m = base.clone();
+                m[start + 16] = enc;
+                fix_frame_crc(&mut m, start);
+                assert_sound(&original, &base, &m, &format!("{mode:?} enc@{start}={enc}"));
+                mutations += 1;
+            }
+            // Zeroed checksum.
+            let mut m = base.clone();
+            m[end - 4..end].copy_from_slice(&[0; 4]);
+            assert_sound(&original, &base, &m, &format!("{mode:?} crc@{end}"));
+            mutations += 1;
+        }
+    }
+    assert!(
+        mutations >= 500,
+        "sweep too small: {mutations} mutations (need ≥ 500)"
+    );
+}
+
+#[test]
+fn skip_policy_quarantines_exactly_the_damaged_tile() {
+    let original = Relation::load(&docs(160), config(StorageMode::Tiles));
+    let base = original.to_bytes();
+    let sections = frames(&base);
+    let n_tiles = original.tiles().len();
+    assert!(n_tiles >= 3, "need several tiles, got {n_tiles}");
+    assert_eq!(sections.len(), 2 + n_tiles);
+
+    for tile in 0..n_tiles {
+        let (start, end) = sections[2 + tile];
+        let mut m = base.clone();
+        m[start + 17 + (end - start) / 3] ^= 0x40; // inside the payload
+
+        // Default policy: the whole file is rejected.
+        assert!(Relation::from_bytes(&m).is_err());
+
+        // Skip policy: everything else survives, and the quarantine names
+        // exactly the damaged tile.
+        let rel = Relation::from_bytes_with(&m, &skip_options()).unwrap();
+        assert_eq!(rel.metrics().quarantined, vec![tile]);
+        assert_eq!(rel.tiles().len(), n_tiles - 1);
+        assert_eq!(
+            rel.row_count(),
+            original.row_count() - original.tiles()[tile].len()
+        );
+    }
+}
+
+#[test]
+fn header_and_stats_damage_fails_even_under_skip() {
+    let original = Relation::load(&docs(96), config(StorageMode::Tiles));
+    let base = original.to_bytes();
+    let sections = frames(&base);
+    for (section, &(start, end)) in sections.iter().enumerate().take(2) {
+        let mut m = base.clone();
+        m[start + 17 + (end - start) / 2] ^= 0x10;
+        assert!(Relation::from_bytes(&m).is_err());
+        assert!(
+            Relation::from_bytes_with(&m, &skip_options()).is_err(),
+            "section {section} damage must fail regardless of policy"
+        );
+    }
+}
+
+#[test]
+fn v1_files_still_open_and_never_panic_when_damaged() {
+    for mode in ALL_MODES {
+        let original = Relation::load(&docs(120), config(mode));
+        let v1 = original.to_bytes_v1();
+        assert_eq!(u16::from_le_bytes([v1[6], v1[7]]), 1);
+
+        // Intact v1 files decode to the same content the v2 writer holds.
+        let back = Relation::from_bytes(&v1).unwrap_or_else(|e| panic!("{mode:?} v1 compat: {e}"));
+        assert_eq!(back.to_bytes(), original.to_bytes());
+
+        // Damaged v1 files have no checksums to localize damage, so any
+        // outcome but a panic is acceptable.
+        let step = (v1.len() / 60).max(1);
+        for pos in (0..v1.len()).step_by(step) {
+            let mut m = v1.clone();
+            m[pos] ^= 1 << (pos % 8);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = Relation::from_bytes(&m);
+            }));
+            assert!(outcome.is_ok(), "{mode:?} v1 flip@{pos} panicked");
+        }
+        for cut in (0..v1.len()).step_by(step) {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ = Relation::from_bytes(&v1[..cut]);
+            }));
+            assert!(outcome.is_ok(), "{mode:?} v1 truncate@{cut} panicked");
+        }
+    }
+}
+
+#[test]
+fn atomic_save_replaces_and_leaves_no_temp_files() {
+    let dir = std::env::temp_dir().join(format!("jt-fault-atomic-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rel.jt");
+
+    let mut first = Relation::load(&docs(64), config(StorageMode::Tiles));
+    first.save(&path).unwrap();
+    let mut second = Relation::load(&docs(96), config(StorageMode::Jsonb));
+    second.save(&path).unwrap();
+
+    let back = Relation::open(&path).unwrap();
+    assert_eq!(back.row_count(), 96);
+    assert_eq!(back.config().mode, StorageMode::Jsonb);
+
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n != "rel.jt")
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "stray files after save: {leftovers:?}"
+    );
+
+    // A failed save (unreachable directory) must report the error.
+    let missing = dir.join("no-such-dir").join("rel.jt");
+    assert!(second.save(&missing).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

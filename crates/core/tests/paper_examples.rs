@@ -1,9 +1,7 @@
 //! Tests that replay the paper's own worked examples: the Figure 2 tweet
 //! tiles, the §3.1 itemset walk-through, and the §3.5 array handling.
 
-use jt_core::{
-    collect_leaves, AccessType, ColType, KeyPath, Relation, StorageMode, TileBuilder, TilesConfig,
-};
+use jt_core::{collect_leaves, AccessType, ColType, KeyPath, Relation, TileBuilder, TilesConfig};
 use jt_json::Value;
 
 fn figure2_docs() -> Vec<Value> {

@@ -167,6 +167,70 @@ fn corrupt_inputs_rejected_not_panicking() {
 }
 
 #[test]
+fn current_files_carry_version_2_framing() {
+    let rel = Relation::load(&docs(64), config(StorageMode::Tiles));
+    let bytes = rel.to_bytes();
+    assert_eq!(&bytes[..6], b"JTREL\0");
+    assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 2);
+    let back = Relation::from_bytes(&bytes).expect("clean v2 bytes");
+    assert_equivalent(&rel, &back);
+}
+
+#[test]
+fn legacy_v1_files_still_open() {
+    let rel = Relation::load(&docs(150), config(StorageMode::Tiles));
+    let v1 = rel.to_bytes_v1();
+    assert_eq!(u16::from_le_bytes([v1[6], v1[7]]), 1);
+    let back = Relation::from_bytes(&v1).expect("v1 compatibility");
+    assert_equivalent(&rel, &back);
+}
+
+#[test]
+fn skip_policy_on_clean_file_quarantines_nothing() {
+    use jt_core::{CorruptTilePolicy, OpenOptions};
+    let rel = Relation::load(&docs(200), config(StorageMode::Tiles));
+    let back = Relation::from_bytes_with(
+        &rel.to_bytes(),
+        &OpenOptions {
+            on_corrupt_tile: CorruptTilePolicy::Skip,
+        },
+    )
+    .unwrap();
+    assert!(back.metrics().quarantined.is_empty());
+    assert_equivalent(&rel, &back);
+}
+
+#[test]
+fn invalid_utf8_in_persisted_buffers_is_rejected_not_trusted() {
+    // The v1 layout has no checksums, so damage reaches the decoders
+    // directly — the load-time UTF-8/structure validation must catch a
+    // string byte corrupted into an invalid sequence in every buffer that
+    // feeds an unchecked accessor (JSONB documents, string columns, raw
+    // text rows).
+    for mode in [
+        StorageMode::Jsonb,
+        StorageMode::Tiles,
+        StorageMode::JsonText,
+    ] {
+        let rel = Relation::load(&docs(64), config(mode));
+        let mut bytes = rel.to_bytes_v1();
+        let needle = b"row 5";
+        let mut hits = 0;
+        for i in 0..bytes.len() - needle.len() {
+            if &bytes[i..i + needle.len()] == needle {
+                bytes[i] = 0xFF; // invalid UTF-8 lead byte
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "{mode:?}: needle not found");
+        assert!(
+            Relation::from_bytes(&bytes).is_err(),
+            "{mode:?}: invalid UTF-8 accepted"
+        );
+    }
+}
+
+#[test]
 fn fuzzed_truncations_never_panic() {
     let rel = Relation::load(&docs(80), config(StorageMode::Tiles));
     let bytes = rel.to_bytes();

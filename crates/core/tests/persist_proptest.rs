@@ -1,0 +1,118 @@
+//! Property tests for the v2 persistence format: serialization round-trips
+//! losslessly for arbitrary document collections in every storage mode, and
+//! randomly mutated files are either rejected, decoded identically, or
+//! (Skip policy) opened with an honest quarantine — never a panic, never
+//! silent corruption.
+
+use jt_core::{CorruptTilePolicy, OpenOptions, Relation, StorageMode, TilesConfig};
+use jt_json::Value;
+use proptest::prelude::*;
+
+const ALL_MODES: [StorageMode; 4] = [
+    StorageMode::JsonText,
+    StorageMode::Jsonb,
+    StorageMode::Sinew,
+    StorageMode::Tiles,
+];
+
+fn config(mode: StorageMode) -> TilesConfig {
+    TilesConfig {
+        mode,
+        tile_size: 16,
+        partition_size: 2,
+        ..TilesConfig::default()
+    }
+}
+
+/// Arbitrary top-level object documents with nested containers, all leaf
+/// types, and occasional duplicate keys (which JSONB normalizes).
+fn arb_docs() -> impl Strategy<Value = Vec<Value>> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::float),
+        "\\PC{0,12}".prop_map(Value::str),
+    ];
+    let inner = leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::vec(("[a-f]{1,4}", inner), 0..4)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    });
+    let doc = prop::collection::vec(("[a-h]{1,5}", inner), 1..6)
+        .prop_map(|m| Value::Object(m.into_iter().collect()));
+    prop::collection::vec(doc, 0..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn round_trip_is_lossless_in_every_mode(docs in arb_docs()) {
+        for mode in ALL_MODES {
+            let rel = Relation::load(&docs, config(mode));
+            let bytes = rel.to_bytes();
+            let back = match Relation::from_bytes(&bytes) {
+                Ok(b) => b,
+                Err(e) => return Err(TestCaseError::fail(format!("{mode:?}: {e}"))),
+            };
+            // Re-serialization is deterministic, so byte equality is the
+            // strongest possible equivalence...
+            prop_assert_eq!(back.to_bytes(), bytes.clone());
+            // ...but also check the query-visible surface directly.
+            prop_assert_eq!(back.row_count(), rel.row_count());
+            prop_assert_eq!(back.tiles().len(), rel.tiles().len());
+            for row in 0..rel.row_count() {
+                prop_assert_eq!(back.doc(row), rel.doc(row));
+            }
+            prop_assert!(back.metrics().quarantined.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn random_mutations_never_panic_or_corrupt(
+        docs in arb_docs(),
+        tiles_mode in any::<bool>(),
+        skip in any::<bool>(),
+        truncate in prop::option::of(any::<u16>()),
+        muts in prop::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+    ) {
+        let mode = if tiles_mode { StorageMode::Tiles } else { StorageMode::Jsonb };
+        let rel = Relation::load(&docs, config(mode));
+        let base = rel.to_bytes();
+        let mut mutated = base.clone();
+        if let Some(cut) = truncate {
+            mutated.truncate(cut as usize % (mutated.len() + 1));
+        }
+        if !mutated.is_empty() {
+            for &(pos, x) in &muts {
+                let p = pos as usize % mutated.len();
+                mutated[p] ^= x;
+            }
+        }
+        let options = OpenOptions {
+            on_corrupt_tile: if skip { CorruptTilePolicy::Skip } else { CorruptTilePolicy::Fail },
+        };
+        // A panic here fails the property; Err is a clean rejection.
+        if let Ok(back) = Relation::from_bytes_with(&mutated, &options) {
+            if back.metrics().quarantined.is_empty() {
+                // Accepted wholesale ⇒ must decode to identical content.
+                prop_assert_eq!(back.to_bytes(), base);
+            } else {
+                // Only the Skip policy may drop tiles, and survivors can
+                // never exceed the original relation.
+                prop_assert!(skip);
+                prop_assert!(back.tiles().len() < rel.tiles().len());
+                prop_assert!(back.row_count() <= rel.row_count());
+            }
+        }
+    }
+}

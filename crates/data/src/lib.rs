@@ -41,6 +41,47 @@ pub fn to_ndjson(docs: &[Value]) -> String {
     out
 }
 
+/// Result of a lenient NDJSON parse: the documents that parsed, plus an
+/// account of the lines that did not.
+#[derive(Debug, Default)]
+pub struct NdjsonLoad {
+    /// Documents from every well-formed line, in input order.
+    pub docs: Vec<Value>,
+    /// Number of malformed lines skipped.
+    pub skipped: usize,
+    /// `(1-based line number, parse error)` for the first few malformed
+    /// lines — enough to diagnose a bad feed without flooding logs when a
+    /// file is systematically broken.
+    pub errors: Vec<(usize, String)>,
+}
+
+/// Maximum malformed-line diagnostics retained by [`from_ndjson`].
+const MAX_REPORTED_ERRORS: usize = 32;
+
+/// Parse newline-delimited JSON leniently: blank lines are ignored,
+/// malformed lines are skipped and counted rather than aborting the load.
+/// Real NDJSON feeds (log shippers, API exports) routinely contain a
+/// handful of truncated or garbled lines; losing the whole file to one of
+/// them is the wrong trade for analytics ingestion.
+pub fn from_ndjson(text: &str) -> NdjsonLoad {
+    let mut load = NdjsonLoad::default();
+    for (no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match jt_json::parse(line) {
+            Ok(d) => load.docs.push(d),
+            Err(e) => {
+                load.skipped += 1;
+                if load.errors.len() < MAX_REPORTED_ERRORS {
+                    load.errors.push((no + 1, e.to_string()));
+                }
+            }
+        }
+    }
+    load
+}
+
 /// Deterministically shuffle documents (Fisher–Yates with a fixed-seed
 /// xorshift), used by the shuffled-TPC-H robustness experiment (§6.4).
 pub fn shuffle(docs: &mut [Value], seed: u64) {

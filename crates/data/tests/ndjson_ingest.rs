@@ -1,0 +1,48 @@
+//! Lenient NDJSON ingestion: malformed lines are skipped and accounted
+//! for, never fatal, with line-accurate diagnostics for the first few.
+
+use jt_data::{from_ndjson, to_ndjson};
+
+#[test]
+fn fixture_with_malformed_lines_loads_the_good_ones() {
+    let load = from_ndjson(include_str!("fixtures/mixed.ndjson"));
+    assert_eq!(load.docs.len(), 6, "well-formed documents");
+    assert_eq!(load.skipped, 4, "malformed lines skipped");
+    let ids: Vec<i64> = load
+        .docs
+        .iter()
+        .map(|d| d.get("id").unwrap().as_i64().unwrap())
+        .collect();
+    assert_eq!(ids, [1, 2, 5, 6, 7, 8], "input order preserved");
+    // Diagnostics carry 1-based line numbers of the bad lines.
+    let lines: Vec<usize> = load.errors.iter().map(|(no, _)| *no).collect();
+    assert_eq!(lines, [3, 4, 5, 10]);
+    assert!(load.errors.iter().all(|(_, msg)| !msg.is_empty()));
+}
+
+#[test]
+fn clean_input_round_trips_with_no_skips() {
+    let docs: Vec<_> = (0..50)
+        .map(|i| jt_json::parse(&format!(r#"{{"n": {i}, "s": "v{i}"}}"#)).unwrap())
+        .collect();
+    let load = from_ndjson(&to_ndjson(&docs));
+    assert_eq!(load.docs, docs);
+    assert_eq!(load.skipped, 0);
+    assert!(load.errors.is_empty());
+}
+
+#[test]
+fn error_reporting_is_capped_but_counting_is_not() {
+    let text: String = (0..100).map(|_| "{broken\n").collect();
+    let load = from_ndjson(&text);
+    assert_eq!(load.docs.len(), 0);
+    assert_eq!(load.skipped, 100, "every bad line is counted");
+    assert_eq!(load.errors.len(), 32, "diagnostics stay bounded");
+}
+
+#[test]
+fn blank_and_whitespace_lines_are_not_errors() {
+    let load = from_ndjson("\n   \n{\"a\": 1}\n\t\n");
+    assert_eq!(load.docs.len(), 1);
+    assert_eq!(load.skipped, 0);
+}

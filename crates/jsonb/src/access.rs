@@ -181,7 +181,10 @@ impl<'a> JsonbRef<'a> {
         let w = width_bytes(self.meta());
         let len = read_uint(&self.bytes[1..], w);
         let start = 1 + w;
-        // Encoded from valid UTF-8; skip re-validation on the hot path.
+        // Sound for buffers produced by `encode` (always valid UTF-8) and
+        // for disk-loaded buffers, which pass `crate::validate` once at
+        // deserialization time; re-validating here would put a UTF-8 scan
+        // on every string access in the scan hot path.
         Some(unsafe { std::str::from_utf8_unchecked(&self.bytes[start..start + len]) })
     }
 
@@ -441,6 +444,8 @@ impl<'a> Iterator for ObjectIter<'a> {
         }
         let at = self.slots + self.cursor;
         let klen = read_uint(&self.bytes[at..], self.w);
+        // Sound per the same argument as `JsonbRef::as_str`: encoder output
+        // is UTF-8 by construction, disk-loaded buffers are validated once.
         let key =
             unsafe { std::str::from_utf8_unchecked(&self.bytes[at + self.w..at + self.w + klen]) };
         let val = JsonbRef::new(&self.bytes[at + self.w + klen..]);

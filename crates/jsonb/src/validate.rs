@@ -1,0 +1,347 @@
+//! Structural validation of encoded JSONB buffers.
+//!
+//! The accessors in [`crate::access`] are built for speed: they trust
+//! header tags (`unreachable!` on unknown tags), trust offsets (raw slice
+//! indexing), and skip UTF-8 re-validation on strings and object keys
+//! (`str::from_utf8_unchecked`). That trust is sound for buffers produced
+//! by [`crate::encode`], but bytes deserialized from disk are hostile until
+//! proven otherwise. [`validate`] walks one encoded value and checks every
+//! property the accessors later assume:
+//!
+//! * every header tag and meta nibble is one the format defines,
+//! * every length, offset table, and payload stays inside the buffer,
+//! * container offsets are monotone and children exactly fill their slots,
+//! * object keys are sorted (binary search in [`crate::JsonbRef::get`]
+//!   relies on it),
+//! * all string payloads and object keys are valid UTF-8.
+//!
+//! A buffer that passes makes the unchecked fast paths sound; persistence
+//! runs this once per document when a JSONB column is read from disk.
+
+/// Why a buffer failed [`validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Byte offset of the violating value header (or field) in the buffer.
+    pub at: usize,
+    /// What was violated.
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSONB at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Deepest nesting accepted. Each level costs at least one header byte, so
+/// legitimate documents hit parser / encoder recursion limits long before
+/// this; the cap keeps a hostile buffer from overflowing the stack.
+const MAX_DEPTH: usize = 1024;
+
+/// Validate the single encoded value starting at `bytes[0]`, returning its
+/// extent (which must not exceed the buffer). See the module docs for the
+/// checked properties.
+pub fn validate(bytes: &[u8]) -> Result<usize, ValidateError> {
+    validate_at(bytes, 0, 0)
+}
+
+/// Validate a value that must span `bytes` exactly.
+pub fn validate_exact(bytes: &[u8]) -> Result<(), ValidateError> {
+    let extent = validate(bytes)?;
+    if extent != bytes.len() {
+        return Err(ValidateError {
+            at: extent,
+            what: "trailing bytes after value",
+        });
+    }
+    Ok(())
+}
+
+fn err(at: usize, what: &'static str) -> ValidateError {
+    ValidateError { at, what }
+}
+
+/// Validate the value at `pos`, returning its extent.
+fn validate_at(bytes: &[u8], pos: usize, depth: usize) -> Result<usize, ValidateError> {
+    if depth > MAX_DEPTH {
+        return Err(err(pos, "nesting too deep"));
+    }
+    let b = bytes.get(pos..).ok_or(err(pos, "value out of range"))?;
+    let &header = b.first().ok_or(err(pos, "missing value header"))?;
+    let tag = header & 0xF0;
+    let meta = header & 0x0F;
+    match tag {
+        // null / false / true
+        0x00 => {
+            if meta > crate::LIT_TRUE {
+                return Err(err(pos, "unknown literal"));
+            }
+            Ok(1)
+        }
+        // integer: small values inline, else meta-7 payload bytes
+        0x10 => {
+            let n = int_payload_len(meta);
+            ensure_len(b, 1 + n, pos, "integer payload")?;
+            Ok(1 + n)
+        }
+        // float: stored width must be one the decoder handles
+        0x20 => {
+            if !matches!(meta, 2 | 4 | 8) {
+                return Err(err(pos, "bad float width"));
+            }
+            ensure_len(b, 1 + meta as usize, pos, "float payload")?;
+            Ok(1 + meta as usize)
+        }
+        // string: width code, length field, UTF-8 payload
+        0x30 => {
+            let w = width_code(meta, pos)?;
+            ensure_len(b, 1 + w, pos, "string length")?;
+            let len = crate::read_uint(&b[1..], w);
+            ensure_len(b, 1 + w + len, pos, "string payload")?;
+            std::str::from_utf8(&b[1 + w..1 + w + len])
+                .map_err(|_| err(pos, "string not UTF-8"))?;
+            Ok(1 + w + len)
+        }
+        // numeric string: integer payload plus one scale byte
+        0x40 => {
+            let n = int_payload_len(meta);
+            ensure_len(b, 1 + n + 1, pos, "numeric string payload")?;
+            Ok(1 + n + 1)
+        }
+        // object / array: offset table, then slot-exact children
+        0x50 | 0x60 => validate_container(bytes, pos, header, depth),
+        _ => Err(err(pos, "unknown value tag")),
+    }
+}
+
+fn validate_container(
+    bytes: &[u8],
+    pos: usize,
+    header: u8,
+    depth: usize,
+) -> Result<usize, ValidateError> {
+    let is_object = header & 0xF0 == 0x50;
+    let b = &bytes[pos..];
+    let w = width_code(header & 0x0F, pos)?;
+    ensure_len(b, 1 + w, pos, "container count")?;
+    let n = crate::read_uint(&b[1..], w);
+    // Offset table: n entries of w bytes each. Every slot holds at least a
+    // one-byte value (objects add a key length field), so n is implicitly
+    // bounded by the payload the offsets must cover — checked per slot.
+    let table = 1 + w;
+    let slots = table
+        .checked_add(
+            n.checked_mul(w)
+                .ok_or(err(pos, "container count overflow"))?,
+        )
+        .ok_or(err(pos, "container count overflow"))?;
+    ensure_len(b, slots, pos, "container offset table")?;
+    let mut cursor = 0usize; // start of the current slot, relative to `slots`
+    let mut prev_key: Option<&str> = None;
+    for i in 0..n {
+        let end = crate::read_uint(&b[table + i * w..], w);
+        if end <= cursor {
+            return Err(err(pos + table + i * w, "container offsets not increasing"));
+        }
+        ensure_len(b, slots + end, pos, "container slot")?;
+        let slot_abs = pos + slots + cursor; // absolute start of this slot
+        let value_at = if is_object {
+            ensure_len(b, slots + cursor + w, pos, "key length")?;
+            let klen = crate::read_uint(&b[slots + cursor..], w);
+            let key_start = slots + cursor + w;
+            let key_end = key_start
+                .checked_add(klen)
+                .ok_or(err(slot_abs, "key length overflow"))?;
+            if key_end > slots + end {
+                return Err(err(slot_abs, "key overruns slot"));
+            }
+            let key = std::str::from_utf8(&b[key_start..key_end])
+                .map_err(|_| err(slot_abs, "object key not UTF-8"))?;
+            // Sorted, duplicate-free keys are what makes binary search in
+            // `JsonbRef::get` correct.
+            if let Some(prev) = prev_key {
+                if prev >= key {
+                    return Err(err(slot_abs, "object keys not sorted"));
+                }
+            }
+            prev_key = Some(key);
+            pos + key_end
+        } else {
+            slot_abs
+        };
+        let extent = validate_at(bytes, value_at, depth + 1)?;
+        if value_at + extent != pos + slots + end {
+            return Err(err(value_at, "child does not fill its slot"));
+        }
+        cursor = end;
+    }
+    Ok(slots + cursor)
+}
+
+fn width_code(meta: u8, pos: usize) -> Result<usize, ValidateError> {
+    if meta > 2 {
+        return Err(err(pos, "bad width code"));
+    }
+    Ok(crate::width_bytes(meta))
+}
+
+fn int_payload_len(meta: u8) -> usize {
+    if meta < 8 {
+        0
+    } else {
+        (meta - 7) as usize
+    }
+}
+
+fn ensure_len(b: &[u8], need: usize, pos: usize, what: &'static str) -> Result<(), ValidateError> {
+    if b.len() < need {
+        return Err(err(pos, what));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+    use jt_json::parse;
+
+    fn enc(text: &str) -> Vec<u8> {
+        encode(&parse(text).unwrap())
+    }
+
+    #[test]
+    fn valid_documents_pass_with_exact_extent() {
+        for t in [
+            "null",
+            "true",
+            "0",
+            "-12345678901",
+            "2.5",
+            "1.000000059604644775390625", // needs full f64 width
+            r#""plain text""#,
+            r#""19.99""#,
+            r#""""#,
+            "[]",
+            "{}",
+            r#"{"a":1,"b":[true,null,{"c":"d"}],"e":{"f":2.5}}"#,
+            r#"[1,[2,[3,[4,[5]]]]]"#,
+            r#"{"€":"ünïcode","z":"spc"}"#,
+        ] {
+            let b = enc(t);
+            assert_eq!(validate(&b), Ok(b.len()), "case {t}");
+            assert_eq!(validate_exact(&b), Ok(()), "case {t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_truncated_buffers_rejected() {
+        assert!(validate(&[]).is_err());
+        for t in [r#""some longer string""#, r#"{"a":1,"b":2}"#, "[1,2,3]"] {
+            let b = enc(t);
+            for cut in 0..b.len() {
+                assert!(validate_exact(&b[..cut]).is_err(), "case {t} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        for h in [0x70u8, 0x80, 0x90, 0xA0, 0xF0] {
+            assert!(validate(&[h]).is_err(), "tag {h:#x}");
+        }
+        // Literal meta beyond true.
+        assert!(validate(&[0x03]).is_err());
+        // Float widths other than 2/4/8.
+        assert!(validate(&[0x21, 0]).is_err());
+        assert!(validate(&[0x23, 0, 0, 0]).is_err());
+        // Container width code 3 is undefined.
+        assert!(validate(&[0x53]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_in_string_rejected() {
+        // Header 0x30 (string, 1-byte length), length 2, invalid bytes.
+        let buf = [0x30, 2, 0xFF, 0xFE];
+        let e = validate(&buf).unwrap_err();
+        assert_eq!(e.what, "string not UTF-8");
+        // Same bytes hidden as an object key: {key: null}. Layout: header,
+        // count, offset-table[end=4], slot = klen key... with invalid key.
+        let mut b = enc(r#"{"ab":null}"#);
+        // Corrupt the key bytes in place: find "ab" and stomp it.
+        let at = b.windows(2).position(|w| w == b"ab").unwrap();
+        b[at] = 0xFF;
+        b[at + 1] = 0xFE;
+        let e = validate(&b).unwrap_err();
+        assert_eq!(e.what, "object key not UTF-8");
+    }
+
+    #[test]
+    fn unsorted_keys_rejected() {
+        let mut b = enc(r#"{"aa":1,"bb":2}"#);
+        // Swap the key bytes so order becomes "bb", "aa".
+        let at_a = b.windows(2).position(|w| w == b"aa").unwrap();
+        let at_b = b.windows(2).position(|w| w == b"bb").unwrap();
+        b[at_a] = b'b';
+        b[at_a + 1] = b'b';
+        b[at_b] = b'a';
+        b[at_b + 1] = b'a';
+        let e = validate(&b).unwrap_err();
+        assert_eq!(e.what, "object keys not sorted");
+    }
+
+    #[test]
+    fn corrupt_offsets_rejected() {
+        let good = enc(r#"[1,2,3]"#);
+        // Offsets live right after header+count; zeroing one breaks
+        // monotonicity.
+        let mut b = good.clone();
+        b[3] = 0; // second element's end offset
+        assert!(validate(&b).is_err());
+        // An offset pointing past the buffer.
+        let mut b = good.clone();
+        let last_off = 2 + 2; // header, count, then 3 offsets of 1 byte
+        b[last_off] = 0xF0;
+        assert!(validate(&b).is_err());
+    }
+
+    #[test]
+    fn mutation_sweep_never_panics_and_accepted_buffers_decode() {
+        let docs = [
+            r#"{"user":{"id":42,"name":"ann"},"tags":["x","y"],"n":1.5}"#,
+            r#"[0,"a",null,{"k":"0.50"},[true,false]]"#,
+        ];
+        for t in docs {
+            let base = enc(t);
+            for i in 0..base.len() {
+                for bit in 0..8 {
+                    let mut m = base.clone();
+                    m[i] ^= 1 << bit;
+                    if validate_exact(&m).is_ok() {
+                        // Whatever passes must be safely traversable.
+                        let _ = crate::decode(&m);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nesting_capped_without_stack_overflow() {
+        // A hand-built tower of one-element arrays deeper than MAX_DEPTH.
+        // Width code 1 (2-byte count and offsets) keeps the inner extent
+        // representable at every level: [0x61, count=1, end-offset, inner].
+        let mut v = vec![0x10u8 | 0x05]; // integer 5
+        for _ in 0..(MAX_DEPTH + 8) {
+            let end = (v.len() as u16).to_le_bytes();
+            let mut outer = vec![0x61, 1, 0, end[0], end[1]];
+            outer.extend_from_slice(&v);
+            v = outer;
+        }
+        // Must error (depth cap), not overflow the stack.
+        let e = validate(&v).unwrap_err();
+        assert_eq!(e.what, "nesting too deep");
+    }
+}

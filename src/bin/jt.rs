@@ -3,17 +3,22 @@
 //! ```text
 //! jt load  input.ndjson table.jt [--mode tiles|sinew|jsonb|json]
 //!                                 [--tile-size N] [--partition N] [--threads N]
+//!                                 [--strict]
 //! jt sql   table.jt "SELECT data->>'k'::INT, COUNT(*) FROM t GROUP BY 1"
-//! jt info  table.jt
+//!                                 [--skip-corrupt]
+//! jt info  table.jt               [--skip-corrupt]
 //! ```
 //!
 //! `load` parses newline-delimited JSON, builds the tiles (mining,
-//! reordering, statistics), and persists the relation. `sql` re-opens the
-//! file and runs a query (the table is always named `t`). `info` prints the
-//! per-tile extraction summary and the relation statistics.
+//! reordering, statistics), and persists the relation; malformed lines are
+//! skipped and counted unless `--strict` makes them fatal. `sql` re-opens
+//! the file and runs a query (the table is always named `t`). `info` prints
+//! the per-tile extraction summary and the relation statistics. With
+//! `--skip-corrupt`, damaged tiles in the file are quarantined instead of
+//! failing the open.
 
 use json_tiles::sql;
-use json_tiles::tiles::{Relation, StorageMode, TilesConfig};
+use json_tiles::tiles::{CorruptTilePolicy, OpenOptions, Relation, StorageMode, TilesConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +38,7 @@ fn cmd_load(args: &[String]) -> i32 {
     let mut positional = Vec::new();
     let mut config = TilesConfig::default();
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut strict = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -61,6 +67,10 @@ fn cmd_load(args: &[String]) -> i32 {
                 threads = args[i + 1].parse().expect("numeric thread count");
                 i += 2;
             }
+            "--strict" => {
+                strict = true;
+                i += 1;
+            }
             other => {
                 positional.push(other.to_owned());
                 i += 1;
@@ -78,21 +88,19 @@ fn cmd_load(args: &[String]) -> i32 {
             return 1;
         }
     };
-    let mut docs = Vec::new();
-    for (no, line) in text.lines().enumerate() {
-        if line.trim().is_empty() {
-            continue;
-        }
-        match json_tiles::json::parse(line) {
-            Ok(d) => docs.push(d),
-            Err(e) => {
-                eprintln!("{input}:{}: {e}", no + 1);
-                return 1;
-            }
-        }
+    let loaded = json_tiles::data::from_ndjson(&text);
+    for (line, err) in &loaded.errors {
+        eprintln!("{input}:{line}: {err}");
     }
-    let mut rel = Relation::load_with_threads(&docs, config, threads);
-    let m = *rel.metrics();
+    if loaded.skipped > 0 {
+        if strict {
+            eprintln!("{input}: {} malformed lines (--strict)", loaded.skipped);
+            return 1;
+        }
+        eprintln!("{input}: skipped {} malformed lines", loaded.skipped);
+    }
+    let mut rel = Relation::load_with_threads(&loaded.docs, config, threads);
+    let m = rel.metrics().clone();
     if let Err(e) = rel.save(output) {
         eprintln!("cannot write {output}: {e}");
         return 1;
@@ -107,17 +115,48 @@ fn cmd_load(args: &[String]) -> i32 {
     0
 }
 
-fn cmd_sql(args: &[String]) -> i32 {
-    let [file, query] = args else {
-        eprintln!("usage: jt sql <table.jt> \"SELECT ...\"");
-        return 2;
-    };
-    let rel = match Relation::open(file) {
-        Ok(r) => r,
+/// Parse trailing `--skip-corrupt` into open options, returning the
+/// remaining positional arguments.
+fn open_options(args: &[String]) -> (Vec<&String>, OpenOptions) {
+    let mut options = OpenOptions::default();
+    let positional = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--skip-corrupt" {
+                options.on_corrupt_tile = CorruptTilePolicy::Skip;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    (positional, options)
+}
+
+fn open_reporting(file: &str, options: &OpenOptions) -> Option<Relation> {
+    match Relation::open_with(file, options) {
+        Ok(r) => {
+            let q = &r.metrics().quarantined;
+            if !q.is_empty() {
+                eprintln!("{file}: quarantined {} corrupt tiles: {q:?}", q.len());
+            }
+            Some(r)
+        }
         Err(e) => {
             eprintln!("cannot open {file}: {e}");
-            return 1;
+            None
         }
+    }
+}
+
+fn cmd_sql(args: &[String]) -> i32 {
+    let (positional, options) = open_options(args);
+    let [file, query] = positional.as_slice() else {
+        eprintln!("usage: jt sql <table.jt> \"SELECT ...\" [--skip-corrupt]");
+        return 2;
+    };
+    let Some(rel) = open_reporting(file, &options) else {
+        return 1;
     };
     let t0 = std::time::Instant::now();
     match sql::query(query, &[("t", &rel)]) {
@@ -142,16 +181,13 @@ fn cmd_sql(args: &[String]) -> i32 {
 }
 
 fn cmd_info(args: &[String]) -> i32 {
-    let [file] = args else {
-        eprintln!("usage: jt info <table.jt>");
+    let (positional, options) = open_options(args);
+    let [file] = positional.as_slice() else {
+        eprintln!("usage: jt info <table.jt> [--skip-corrupt]");
         return 2;
     };
-    let rel = match Relation::open(file) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot open {file}: {e}");
-            return 1;
-        }
+    let Some(rel) = open_reporting(file, &options) else {
+        return 1;
     };
     println!(
         "{file}: {} rows, {} tiles, mode {:?}",
