@@ -6,12 +6,9 @@
 //! and timestamp columns.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::scan_kernels::{kernel_cases, kernel_relation, kernel_spec};
 use jt_bench::{datasets, load_mode, MODES};
-use jt_core::{Relation, TilesConfig};
-use jt_query::{
-    col, execute_scan, execute_scan_rowwise, lit, lit_date, lit_str, Access, AccessType,
-    ExecOptions, Expr, ScanSpec,
-};
+use jt_query::{execute_scan, execute_scan_rowwise, ExecOptions};
 use jt_workloads::micro;
 
 fn bench_summation(c: &mut Criterion) {
@@ -37,78 +34,23 @@ fn bench_summation(c: &mut Criterion) {
     group.finish();
 }
 
-/// Uniform synthetic relation for the kernel benches: `v` cycles 0..100,
-/// `s` cycles "k00".."k99", `d` cycles 100 consecutive days — so `< K`
-/// predicates select exactly K% of the rows.
-fn kernel_relation(rows: usize) -> Relation {
-    let base = jt_core::parse_timestamp("2020-01-01").unwrap();
-    let docs: Vec<jt_json::Value> = (0..rows)
-        .map(|i| {
-            let day = jt_core::format_timestamp(base + (i as i64 % 100) * 86_400);
-            jt_json::parse(&format!(
-                r#"{{"v":{},"s":"k{:02}","d":"{}"}}"#,
-                i % 100,
-                i % 100,
-                &day[..10]
-            ))
-            .unwrap()
-        })
-        .collect();
-    Relation::load(&docs, TilesConfig::default())
-}
-
-fn kernel_accesses() -> Vec<Access> {
-    vec![
-        Access::new("v", "v", AccessType::Int),
-        Access::new("s", "s", AccessType::Text),
-        Access::new("d", "d", AccessType::Timestamp),
-    ]
-}
-
-fn resolved(mut f: Expr) -> Expr {
-    let accesses = kernel_accesses();
-    f.resolve(&|name| accesses.iter().position(|a| a.name == name).unwrap());
-    f
-}
-
 /// Typed kernel scan vs the row-at-a-time oracle, single-threaded, at
-/// 1% / 10% / 90% selectivity per column type. Selective predicates are
-/// where the selection vector pays: the kernel prunes rows before any
-/// scalar materialization happens.
+/// 1% / 10% / 90% selectivity per column type (shared workload from
+/// `jt_bench::scan_kernels`). Selective predicates are where the selection
+/// vector pays: the kernel prunes rows before any scalar materialization
+/// happens.
 fn bench_scan_kernels(c: &mut Criterion) {
     let rel = kernel_relation(40_000);
-    let day = |n: i64| {
-        let ts = jt_core::parse_timestamp("2020-01-01").unwrap() + n * 86_400;
-        jt_core::format_timestamp(ts)[..10].to_string()
-    };
-    let cases: Vec<(&str, Expr)> = vec![
-        ("int_1pct", resolved(col("v").lt(lit(1)))),
-        ("int_10pct", resolved(col("v").lt(lit(10)))),
-        ("int_90pct", resolved(col("v").lt(lit(90)))),
-        ("str_1pct", resolved(col("s").eq(lit_str("k05")))),
-        ("str_10pct", resolved(col("s").starts_with("k1"))),
-        ("str_90pct", resolved(col("s").ge(lit_str("k10")))),
-        ("ts_1pct", resolved(col("d").lt(lit_date(&day(1))))),
-        ("ts_10pct", resolved(col("d").lt(lit_date(&day(10))))),
-        ("ts_90pct", resolved(col("d").lt(lit_date(&day(90))))),
-    ];
     let mut group = c.benchmark_group("scan_kernels");
     group.sample_size(20);
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
-    for (name, filter) in &cases {
-        let make_spec = || ScanSpec {
-            relation: &rel,
-            accesses: kernel_accesses(),
-            filter: Some(filter.clone()),
-            skip_paths: vec![],
-            enable_skipping: true,
-        };
+    for (name, filter) in &kernel_cases() {
         group.bench_with_input(BenchmarkId::new(*name, "kernel"), &(), |b, ()| {
-            b.iter(|| std::hint::black_box(execute_scan(&make_spec(), 1)));
+            b.iter(|| std::hint::black_box(execute_scan(&kernel_spec(&rel, filter), 1)));
         });
         group.bench_with_input(BenchmarkId::new(*name, "rowwise"), &(), |b, ()| {
-            b.iter(|| std::hint::black_box(execute_scan_rowwise(&make_spec(), 1)));
+            b.iter(|| std::hint::black_box(execute_scan_rowwise(&kernel_spec(&rel, filter), 1)));
         });
     }
     group.finish();

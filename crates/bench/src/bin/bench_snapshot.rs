@@ -1,0 +1,129 @@
+//! `bench_snapshot` — machine-readable scan benchmark snapshot.
+//!
+//! Runs the shared scan-kernel workload (`jt_bench::scan_kernels`, the same
+//! relation and predicate matrix as the Criterion bench), measures the
+//! typed-kernel path against the row-at-a-time oracle at every selectivity,
+//! measures the `jt-obs` instrumentation overhead (enabled vs disabled),
+//! and writes everything — including the final metrics-registry snapshot —
+//! as one JSON document:
+//!
+//! ```text
+//! cargo run --release -p jt-bench --bin bench_snapshot -- [out.json] [--rows N]
+//! ```
+//!
+//! The default output path is `BENCH_scan.json`. The document is parsed
+//! back with `jt_json::parse` before it is written; the process exits
+//! nonzero if its own output is not valid JSON, so CI can gate on it.
+
+use jt_bench::scan_kernels::{kernel_cases, kernel_relation, kernel_spec};
+use jt_query::{execute_scan, execute_scan_rowwise};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (after one warm-up).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_scan.json");
+    let mut rows = 40_000usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                rows = args[i + 1].parse().expect("numeric --rows");
+                i += 2;
+            }
+            p => {
+                out_path = p.to_owned();
+                i += 1;
+            }
+        }
+    }
+
+    // Build with instrumentation on so load/mining/persist metrics are in
+    // the final snapshot too.
+    jt_obs::set_enabled(true);
+    let rel = kernel_relation(rows);
+    let cases = kernel_cases();
+    let reps = 9;
+
+    // Per-case kernel vs rowwise medians.
+    let mut case_objs = Vec::new();
+    for (name, filter) in &cases {
+        let rows_out = execute_scan(&kernel_spec(&rel, filter), 1).0.rows();
+        let kernel = median_secs(reps, || {
+            std::hint::black_box(execute_scan(&kernel_spec(&rel, filter), 1));
+        });
+        let rowwise = median_secs(reps, || {
+            std::hint::black_box(execute_scan_rowwise(&kernel_spec(&rel, filter), 1));
+        });
+        eprintln!("{name}: kernel {kernel:.6}s rowwise {rowwise:.6}s ({rows_out} rows)");
+        case_objs.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"rows_out\":{},\"kernel_secs\":{:.9},",
+                "\"rowwise_secs\":{:.9},\"speedup\":{:.3}}}"
+            ),
+            name,
+            rows_out,
+            kernel,
+            rowwise,
+            rowwise / kernel.max(1e-12)
+        ));
+    }
+
+    // Instrumentation overhead: the full case suite with the registry
+    // disabled vs enabled. The ISSUE budget is ≤ 3% enabled; report the
+    // measurement rather than asserting it (CI boxes are noisy).
+    let suite = |rel: &jt_core::Relation| {
+        for (_, filter) in &cases {
+            std::hint::black_box(execute_scan(&kernel_spec(rel, filter), 1));
+        }
+    };
+    jt_obs::set_enabled(false);
+    let disabled = median_secs(reps, || suite(&rel));
+    jt_obs::set_enabled(true);
+    let enabled = median_secs(reps, || suite(&rel));
+    let overhead_pct = 100.0 * (enabled - disabled) / disabled.max(1e-12);
+    eprintln!("obs overhead: disabled {disabled:.6}s enabled {enabled:.6}s ({overhead_pct:+.2}%)");
+
+    let metrics_json = jt_obs::global().snapshot().to_json();
+    let doc = format!(
+        concat!(
+            "{{\"schema\":\"jt-bench/scan-snapshot/v1\",\"rows\":{},\"reps\":{},",
+            "\"cases\":[{}],",
+            "\"obs_overhead\":{{\"disabled_secs\":{:.9},\"enabled_secs\":{:.9},",
+            "\"overhead_pct\":{:.3}}},",
+            "\"metrics\":{}}}"
+        ),
+        rows,
+        reps,
+        case_objs.join(","),
+        disabled,
+        enabled,
+        overhead_pct,
+        metrics_json
+    );
+
+    // Self-validate before writing: the snapshot must round-trip through
+    // our own JSON parser or the file is useless to downstream tooling.
+    if let Err(e) = jt_json::parse(&doc) {
+        eprintln!("bench_snapshot produced invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

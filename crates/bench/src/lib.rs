@@ -20,6 +20,7 @@ use std::time::Instant;
 
 pub mod datasets;
 pub mod experiments;
+pub mod scan_kernels;
 
 /// The four internal competitors of the paper, in Table 1 column order.
 pub const MODES: [(StorageMode, &str); 4] = [

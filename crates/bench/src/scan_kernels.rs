@@ -1,0 +1,74 @@
+//! Shared scan-kernel workload: the synthetic relation and predicate set
+//! used by both the Criterion micro benches (`benches/micro.rs`) and the
+//! machine-readable `bench_snapshot` binary, so the two always measure the
+//! same thing.
+
+use jt_core::{Relation, TilesConfig};
+use jt_query::{col, lit, lit_date, lit_str, Access, AccessType, Expr, ScanSpec};
+
+/// Uniform synthetic relation for the kernel benches: `v` cycles 0..100,
+/// `s` cycles "k00".."k99", `d` cycles 100 consecutive days — so `< K`
+/// predicates select exactly K% of the rows.
+pub fn kernel_relation(rows: usize) -> Relation {
+    let base = jt_core::parse_timestamp("2020-01-01").unwrap();
+    let docs: Vec<jt_json::Value> = (0..rows)
+        .map(|i| {
+            let day = jt_core::format_timestamp(base + (i as i64 % 100) * 86_400);
+            jt_json::parse(&format!(
+                r#"{{"v":{},"s":"k{:02}","d":"{}"}}"#,
+                i % 100,
+                i % 100,
+                &day[..10]
+            ))
+            .unwrap()
+        })
+        .collect();
+    Relation::load(&docs, TilesConfig::default())
+}
+
+/// The three typed accesses every kernel case scans.
+pub fn kernel_accesses() -> Vec<Access> {
+    vec![
+        Access::new("v", "v", AccessType::Int),
+        Access::new("s", "s", AccessType::Text),
+        Access::new("d", "d", AccessType::Timestamp),
+    ]
+}
+
+fn resolved(mut f: Expr) -> Expr {
+    let accesses = kernel_accesses();
+    f.resolve(&|name| accesses.iter().position(|a| a.name == name).unwrap());
+    f
+}
+
+/// The benchmark predicate matrix: 1% / 10% / 90% selectivity over int,
+/// string, and timestamp columns, filters pre-resolved against
+/// [`kernel_accesses`].
+pub fn kernel_cases() -> Vec<(&'static str, Expr)> {
+    let day = |n: i64| {
+        let ts = jt_core::parse_timestamp("2020-01-01").unwrap() + n * 86_400;
+        jt_core::format_timestamp(ts)[..10].to_string()
+    };
+    vec![
+        ("int_1pct", resolved(col("v").lt(lit(1)))),
+        ("int_10pct", resolved(col("v").lt(lit(10)))),
+        ("int_90pct", resolved(col("v").lt(lit(90)))),
+        ("str_1pct", resolved(col("s").eq(lit_str("k05")))),
+        ("str_10pct", resolved(col("s").starts_with("k1"))),
+        ("str_90pct", resolved(col("s").ge(lit_str("k10")))),
+        ("ts_1pct", resolved(col("d").lt(lit_date(&day(1))))),
+        ("ts_10pct", resolved(col("d").lt(lit_date(&day(10))))),
+        ("ts_90pct", resolved(col("d").lt(lit_date(&day(90))))),
+    ]
+}
+
+/// Build a [`ScanSpec`] over `rel` with one of the [`kernel_cases`] filters.
+pub fn kernel_spec<'a>(rel: &'a Relation, filter: &Expr) -> ScanSpec<'a> {
+    ScanSpec {
+        relation: rel,
+        accesses: kernel_accesses(),
+        filter: Some(filter.clone()),
+        skip_paths: vec![],
+        enable_skipping: true,
+    }
+}

@@ -56,11 +56,11 @@ pub use dict::PathDictionary;
 pub use header::{ColumnMeta, TileHeader};
 pub use path::{KeyPath, PathSeg};
 pub use persist::{CorruptTilePolicy, OpenOptions, PersistError};
-pub use relation::{LoadMetrics, Relation, RelationStats, StorageReport};
+pub use relation::{LoadMetrics, Relation, RelationStats, SectionIo, StorageReport};
 pub use reorder::reorder_partition;
 pub use tile::{
-    collect_leaves, AccessType, BuildTiming, ColType, DocLeaves, JsonbColumn, LeafValue, Tile,
-    TileBuilder,
+    collect_leaves, AccessType, BuildTiming, ColType, DocLeaves, JsonbColumn, LeafValue,
+    SkipEvidence, Tile, TileBuilder,
 };
 
 /// Storage modes: the paper's internal competitors (§6, Table 1).

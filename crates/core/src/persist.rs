@@ -48,7 +48,7 @@ use crate::column::{ColumnChunk, ColumnData, NullBitmap};
 use crate::crc32c::{crc32c, crc32c_append};
 use crate::header::{ColumnMeta, TileHeader};
 use crate::path::KeyPath;
-use crate::relation::{LoadMetrics, Relation, RelationStats};
+use crate::relation::{LoadMetrics, Relation, RelationStats, SectionIo};
 use crate::tile::{ColType, JsonbColumn, Tile};
 use crate::{StorageMode, TilesConfig};
 use jt_stats::{BloomFilter, FrequencyCounters, HyperLogLog};
@@ -306,6 +306,9 @@ fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
     } else {
         (0, payload)
     };
+    jt_obs::counter_add!("persist.save.sections", 1);
+    jt_obs::counter_add!("persist.save.bytes_raw", payload.len() as u64);
+    jt_obs::counter_add!("persist.save.bytes_stored", stored.len() as u64);
     let raw_len = (payload.len() as u64).to_le_bytes();
     out.extend_from_slice(&(stored.len() as u64).to_le_bytes());
     out.extend_from_slice(&raw_len);
@@ -316,8 +319,12 @@ fn write_section(out: &mut Vec<u8>, payload: &[u8]) {
 }
 
 /// Read one framed section, verifying its checksum and decompressing if
-/// needed. See [`SectionError`] for the recoverability contract.
-fn read_section<'a>(r: &mut Reader<'a>) -> std::result::Result<Cow<'a, [u8]>, SectionError> {
+/// needed, accounting sizes and the CRC/decompress time split into `io`.
+/// See [`SectionError`] for the recoverability contract.
+fn read_section<'a>(
+    r: &mut Reader<'a>,
+    io: &mut SectionIo,
+) -> std::result::Result<Cow<'a, [u8]>, SectionError> {
     let frame = (|| {
         let stored_len = r.count64(1, "section length")?;
         let raw_len = r.u64()?;
@@ -328,12 +335,16 @@ fn read_section<'a>(r: &mut Reader<'a>) -> std::result::Result<Cow<'a, [u8]>, Se
     })()
     .map_err(SectionError::Truncated)?;
     let (raw_len, encoding, stored, expect) = frame;
+    io.sections += 1;
+    io.bytes_stored += stored.len() as u64;
 
     (|| {
+        let t0 = std::time::Instant::now();
         let crc = crc32c_append(
             crc32c_append(crc32c(&raw_len.to_le_bytes()), &[encoding]),
             stored,
         );
+        io.crc += t0.elapsed();
         if crc != expect {
             return Err(PersistError::Corrupt("section checksum mismatch"));
         }
@@ -342,13 +353,17 @@ fn read_section<'a>(r: &mut Reader<'a>) -> std::result::Result<Cow<'a, [u8]>, Se
                 if raw_len != stored.len() as u64 {
                     return Err(PersistError::Corrupt("section length mismatch"));
                 }
+                io.bytes_raw += stored.len() as u64;
                 Ok(Cow::Borrowed(stored))
             }
             1 => {
                 if raw_len > (stored.len() as u64).saturating_mul(MAX_LZ4_RATIO) + 64 {
                     return Err(PersistError::Corrupt("section decompressed size"));
                 }
+                let t0 = std::time::Instant::now();
                 let raw = jt_compress::decompress(stored, raw_len as usize)?;
+                io.decompress += t0.elapsed();
+                io.bytes_raw += raw.len() as u64;
                 Ok(Cow::Owned(raw))
             }
             _ => Err(PersistError::Corrupt("section encoding")),
@@ -961,7 +976,10 @@ fn decode_v1(r: &mut Reader<'_>) -> Result<Relation> {
 /// Decode the v2 framed layout. Damage to the file-header or statistics
 /// sections always fails; damaged tile sections honor the policy.
 fn decode_v2(r: &mut Reader<'_>, options: &OpenOptions) -> Result<Relation> {
-    let meta = read_section(r).map_err(SectionError::into_inner)?;
+    let mut open_header = SectionIo::default();
+    let mut open_stats = SectionIo::default();
+    let mut open_tiles = SectionIo::default();
+    let meta = read_section(r, &mut open_header).map_err(SectionError::into_inner)?;
     let mut mr = Reader::new(&meta);
     let config = read_config(&mut mr)?;
     let n_tiles = mr.u32()? as usize;
@@ -973,7 +991,7 @@ fn decode_v2(r: &mut Reader<'_>, options: &OpenOptions) -> Result<Relation> {
         return Err(PersistError::Corrupt("tile count"));
     }
 
-    let stats_payload = read_section(r).map_err(SectionError::into_inner)?;
+    let stats_payload = read_section(r, &mut open_stats).map_err(SectionError::into_inner)?;
     let mut sr = Reader::new(&stats_payload);
     let mut stats = read_stats(&mut sr)?;
     if !sr.done() {
@@ -984,7 +1002,7 @@ fn decode_v2(r: &mut Reader<'_>, options: &OpenOptions) -> Result<Relation> {
     let mut quarantined = Vec::new();
     let mut truncated = false;
     for i in 0..n_tiles {
-        let tile = match read_section(r) {
+        let tile = match read_section(r, &mut open_tiles) {
             Ok(payload) => {
                 let mut tr = Reader::new(&payload);
                 let decoded = read_tile(&mut tr).and_then(|t| {
@@ -1041,15 +1059,20 @@ fn decode_v2(r: &mut Reader<'_>, options: &OpenOptions) -> Result<Relation> {
         // counters, sketches) still describe the full relation.
         stats.rows = offset;
     }
+    let metrics = LoadMetrics {
+        quarantined,
+        open_header,
+        open_stats,
+        open_tiles,
+        ..LoadMetrics::default()
+    };
+    metrics.publish();
     Ok(Relation {
         config,
         tiles,
         tile_offsets,
         stats,
-        metrics: LoadMetrics {
-            quarantined,
-            ..LoadMetrics::default()
-        },
+        metrics,
         pending: Vec::new(),
     })
 }

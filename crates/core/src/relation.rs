@@ -10,8 +10,56 @@ use jt_json::Value;
 use jt_stats::{FrequencyCounters, HyperLogLog};
 use std::time::{Duration, Instant};
 
+/// Per-section-kind I/O breakdown of opening a persisted relation: how many
+/// framed sections of this kind were read, their on-disk vs decoded sizes,
+/// and how the wall time split between checksum verification and
+/// decompression.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SectionIo {
+    /// Framed sections of this kind read (including damaged ones).
+    pub sections: u64,
+    /// Bytes as stored on disk (compressed when the writer chose LZ4).
+    pub bytes_stored: u64,
+    /// Bytes after decompression (equals `bytes_stored` for raw sections).
+    pub bytes_raw: u64,
+    /// Time spent verifying CRC32C checksums.
+    pub crc: Duration,
+    /// Time spent decompressing LZ4 payloads.
+    pub decompress: Duration,
+}
+
+impl SectionIo {
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &SectionIo) {
+        self.sections += other.sections;
+        self.bytes_stored += other.bytes_stored;
+        self.bytes_raw += other.bytes_raw;
+        self.crc += other.crc;
+        self.decompress += other.decompress;
+    }
+
+    /// Publish as `{prefix}.sections`, `{prefix}.bytes_stored`,
+    /// `{prefix}.bytes_raw` counters and `{prefix}.crc_ns`,
+    /// `{prefix}.decompress_ns` histogram observations. Names are built at
+    /// runtime, so this goes through the registry rather than the
+    /// handle-caching macros; callers gate on [`jt_obs::enabled`].
+    fn publish(&self, prefix: &str) {
+        let g = jt_obs::global();
+        g.counter(&format!("{prefix}.sections")).add(self.sections);
+        g.counter(&format!("{prefix}.bytes_stored"))
+            .add(self.bytes_stored);
+        g.counter(&format!("{prefix}.bytes_raw"))
+            .add(self.bytes_raw);
+        g.histogram(&format!("{prefix}.crc_ns"))
+            .record(self.crc.as_nanos().min(u64::MAX as u128) as u64);
+        g.histogram(&format!("{prefix}.decompress_ns"))
+            .record(self.decompress.as_nanos().min(u64::MAX as u128) as u64);
+    }
+}
+
 /// Wall-clock breakdown of one load (Figures 11, 16, 17), plus — for
-/// relations opened from disk — the tiles the reader had to quarantine.
+/// relations opened from disk — the tiles the reader had to quarantine and
+/// the per-section I/O split of the open itself.
 #[derive(Debug, Default, Clone)]
 pub struct LoadMetrics {
     /// Total elapsed load time.
@@ -30,6 +78,12 @@ pub struct LoadMetrics {
     /// opened with [`crate::CorruptTilePolicy::Skip`]. Empty for in-memory
     /// loads and undamaged files.
     pub quarantined: Vec<usize>,
+    /// I/O breakdown of the file-header section (disk opens only).
+    pub open_header: SectionIo,
+    /// I/O breakdown of the statistics section (disk opens only).
+    pub open_stats: SectionIo,
+    /// I/O breakdown of all tile sections (disk opens only).
+    pub open_tiles: SectionIo,
 }
 
 impl LoadMetrics {
@@ -39,6 +93,41 @@ impl LoadMetrics {
             return 0.0;
         }
         self.rows as f64 / self.total.as_secs_f64()
+    }
+
+    /// Report this load to the global observability registry under the
+    /// `load.*` and `persist.open.*` names. No-op unless
+    /// [`jt_obs::enabled`]; called once per bulk load / flush / open, never
+    /// on a hot path.
+    pub fn publish(&self) {
+        if !jt_obs::enabled() {
+            return;
+        }
+        let g = jt_obs::global();
+        g.counter("load.rows").add(self.rows as u64);
+        g.counter("load.tiles_quarantined")
+            .add(self.quarantined.len() as u64);
+        for (name, d) in [
+            ("load.total_ns", self.total),
+            ("load.mining_ns", self.mining),
+            ("load.reorder_ns", self.reorder),
+            ("load.write_jsonb_ns", self.write_jsonb),
+            ("load.extract_ns", self.extract),
+        ] {
+            if !d.is_zero() {
+                g.histogram(name)
+                    .record(d.as_nanos().min(u64::MAX as u128) as u64);
+            }
+        }
+        if self.open_header.sections > 0 {
+            self.open_header.publish("persist.open.header");
+        }
+        if self.open_stats.sections > 0 {
+            self.open_stats.publish("persist.open.stats");
+        }
+        if self.open_tiles.sections > 0 {
+            self.open_tiles.publish("persist.open.tiles");
+        }
     }
 }
 
@@ -203,18 +292,31 @@ impl Relation {
         };
         let (tiles, timing, reorder) =
             build_partition(&docs, &self.config, sinew_schema.as_deref());
+        jt_obs::counter_add!("load.tiles_built", tiles.len() as u64);
         for tile in tiles {
             let no = self.tiles.len() as u64;
             self.stats.absorb_tile(no, &tile);
             self.tile_offsets.push(self.stats.rows - tile.len());
             self.tiles.push(tile);
         }
-        self.metrics.total += start.elapsed();
-        self.metrics.mining += timing.mining;
-        self.metrics.extract += timing.extract;
-        self.metrics.write_jsonb += timing.write_jsonb;
-        self.metrics.reorder += reorder;
-        self.metrics.rows += docs.len();
+        // Publish only this flush's delta; `self.metrics` accumulates.
+        let delta = LoadMetrics {
+            total: start.elapsed(),
+            mining: timing.mining,
+            reorder,
+            write_jsonb: timing.write_jsonb,
+            extract: timing.extract,
+            rows: docs.len(),
+            ..LoadMetrics::default()
+        };
+        delta.publish();
+        self.metrics.total += delta.total;
+        self.metrics.mining += delta.mining;
+        self.metrics.extract += delta.extract;
+        self.metrics.write_jsonb += delta.write_jsonb;
+        self.metrics.reorder += delta.reorder;
+        self.metrics.rows += delta.rows;
+        self.publish_coverage();
     }
 
     /// Number of inserted-but-not-yet-visible documents.
@@ -311,17 +413,21 @@ impl Relation {
             write_jsonb: timing.write_jsonb,
             extract: timing.extract,
             rows: docs.len(),
-            quarantined: Vec::new(),
+            ..LoadMetrics::default()
         };
+        metrics.publish();
+        jt_obs::counter_add!("load.tiles_built", tiles.len() as u64);
 
-        Relation {
+        let rel = Relation {
             config,
             tiles,
             tile_offsets,
             stats,
             metrics,
             pending: Vec::new(),
-        }
+        };
+        rel.publish_coverage();
+        rel
     }
 
     /// The load configuration.
@@ -379,6 +485,19 @@ impl Relation {
         }
     }
 
+    /// Refresh the `load.extraction_coverage_pct` gauge: the mean fraction
+    /// of leaf occurrences landing in extracted columns (§3.3), across all
+    /// visible tiles, in percent. Gated on [`jt_obs::enabled`] because it
+    /// walks every tile header.
+    fn publish_coverage(&self) {
+        if !jt_obs::enabled() || self.tiles.is_empty() {
+            return;
+        }
+        let sum: f64 = self.tiles.iter().map(|t| t.extraction_coverage()).sum();
+        let pct = (100.0 * sum / self.tiles.len() as f64).round() as i64;
+        jt_obs::gauge_set!("load.extraction_coverage_pct", pct);
+    }
+
     /// Storage consumption (Table 6).
     pub fn storage_report(&self) -> StorageReport {
         let mut r = StorageReport::default();
@@ -432,6 +551,10 @@ fn build_partition(
             config.budget,
         );
         reorder_time = t0.elapsed();
+        jt_obs::counter_add!(
+            "load.reorder.moves",
+            order.iter().enumerate().filter(|&(i, &o)| i != o).count() as u64
+        );
         order
     } else {
         (0..docs.len()).collect()

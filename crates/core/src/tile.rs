@@ -248,6 +248,18 @@ impl JsonbColumn {
     }
 }
 
+/// Which tile-header metadata proved a skip path absent (§4.8) — the
+/// attribution [`Tile::skip_evidence`] reports for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipEvidence {
+    /// The exact per-tile mining statistics (the path-frequency database)
+    /// prove the leaf path never occurs in this tile.
+    HeaderStats,
+    /// The Bloom filter over seen paths returned a (never falsely)
+    /// negative answer.
+    BloomFilter,
+}
+
 /// One tile: header + columns + binary docs (+ optional raw text).
 #[derive(Debug, Clone)]
 pub struct Tile {
@@ -306,6 +318,62 @@ impl Tile {
     pub fn may_contain_path(&self, path: &KeyPath) -> bool {
         self.header.columns_for_path(path).is_some()
             || self.header.seen_paths.contains(&path.canonical_bytes())
+    }
+
+    /// The §4.8 skipping test with attribution: `None` when the tile may
+    /// contain `path`, otherwise which header metadata proved absence.
+    ///
+    /// The per-tile mining statistics ([`TileHeader::path_frequencies`])
+    /// list every *leaf* path seen in the tile exactly, so absence from a
+    /// non-empty list is exact evidence ([`SkipEvidence::HeaderStats`]).
+    /// Interior paths and extraction-free tiles are only covered by the
+    /// Bloom filter of seen paths, whose negative (never a false negative)
+    /// is then the decisive evidence ([`SkipEvidence::BloomFilter`]).
+    pub fn skip_evidence(&self, path: &KeyPath) -> Option<SkipEvidence> {
+        if self.may_contain_path(path) {
+            return None;
+        }
+        let display = path.to_string();
+        let in_freq_db = self
+            .header
+            .path_frequencies
+            .binary_search_by(|(p, _)| p.as_str().cmp(display.as_str()))
+            .is_ok();
+        if !self.header.path_frequencies.is_empty() && !in_freq_db {
+            Some(SkipEvidence::HeaderStats)
+        } else {
+            Some(SkipEvidence::BloomFilter)
+        }
+    }
+
+    /// Fraction of leaf-value instances in this tile that are served by an
+    /// extracted column, in `[0, 1]` — the §3.3 extraction coverage. Both
+    /// numerator and denominator come from the per-tile mining statistics
+    /// (tuple counts per path); 0 for modes without extraction.
+    pub fn extraction_coverage(&self) -> f64 {
+        let total: u64 = self
+            .header
+            .path_frequencies
+            .iter()
+            .map(|(_, c)| *c as u64)
+            .sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let extracted_paths: std::collections::HashSet<String> = self
+            .header
+            .columns
+            .iter()
+            .map(|m| m.path.to_string())
+            .collect();
+        let covered: u64 = self
+            .header
+            .path_frequencies
+            .iter()
+            .filter(|(p, _)| extracted_paths.contains(p))
+            .map(|(_, c)| *c as u64)
+            .sum();
+        covered as f64 / total as f64
     }
 
     /// The binary document of row `i` (None in text-only mode).

@@ -64,6 +64,7 @@ const MAX_REPORTED_ERRORS: usize = 32;
 /// handful of truncated or garbled lines; losing the whole file to one of
 /// them is the wrong trade for analytics ingestion.
 pub fn from_ndjson(text: &str) -> NdjsonLoad {
+    let _span = jt_obs::span!("ingest.parse.ns");
     let mut load = NdjsonLoad::default();
     for (no, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -79,6 +80,8 @@ pub fn from_ndjson(text: &str) -> NdjsonLoad {
             }
         }
     }
+    jt_obs::counter_add!("ingest.docs_parsed", load.docs.len() as u64);
+    jt_obs::counter_add!("ingest.docs_skipped", load.skipped as u64);
     load
 }
 

@@ -140,6 +140,7 @@ impl MineCtx {
 /// Eq. 1 ("smaller itemsets are computed first as these are needed for
 /// larger ones"), and generation stops once the budget is exhausted.
 pub fn fpgrowth(transactions: &[Vec<Item>], cfg: MinerConfig) -> Vec<Itemset> {
+    let _span = jt_obs::span!("mining.fpgrowth.ns");
     let weighted: Vec<(Vec<Item>, u32)> = transactions.iter().map(|t| (t.clone(), 1)).collect();
     let tree = FpTree::build(&weighted, cfg.min_support);
     let n_frequent = tree.header.len();
@@ -152,6 +153,8 @@ pub fn fpgrowth(transactions: &[Vec<Item>], cfg: MinerConfig) -> Vec<Itemset> {
     let mut suffix = Vec::new();
     mine(&tree, &mut suffix, &mut ctx);
     ctx.out.sort_by(|a, b| a.items.cmp(&b.items));
+    jt_obs::counter_add!("mining.fpgrowth.calls", 1);
+    jt_obs::counter_add!("mining.fpgrowth.itemsets", ctx.out.len() as u64);
     ctx.out
 }
 

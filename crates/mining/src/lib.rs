@@ -181,6 +181,7 @@ pub fn apriori(transactions: &[Vec<Item>], cfg: MinerConfig) -> Vec<Itemset> {
 /// frequent (kept) superset. The extractor materializes the union of these
 /// (§3.1 step 3).
 pub fn maximal(mut itemsets: Vec<Itemset>) -> Vec<Itemset> {
+    let total = itemsets.len();
     // Longest first so any superset precedes its subsets.
     itemsets.sort_by(|a, b| {
         b.items
@@ -194,6 +195,8 @@ pub fn maximal(mut itemsets: Vec<Itemset>) -> Vec<Itemset> {
             kept.push(cand);
         }
     }
+    jt_obs::counter_add!("mining.itemsets_maximal", kept.len() as u64);
+    jt_obs::counter_add!("mining.itemsets_filtered", (total - kept.len()) as u64);
     kept
 }
 

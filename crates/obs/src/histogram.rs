@@ -1,0 +1,263 @@
+//! Log-scale histograms for latency and size distributions.
+//!
+//! Values are `u64` (typically nanoseconds or bytes) bucketed by binary
+//! order of magnitude: bucket 0 holds exactly the value 0 and bucket `i`
+//! (1 ≤ i ≤ 64) holds `[2^(i-1), 2^i)`. Recording is a handful of integer
+//! instructions, the memory footprint is fixed (65 counters), and two
+//! histograms merge by bucket-wise addition — the properties that let the
+//! scan workers aggregate locally and fold into the registry once.
+
+/// Number of buckets: one for zero plus one per binary order of magnitude.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size log₂ histogram with exact count/sum/min/max side channels.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index of `v`: 0 for 0, otherwise `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the bucket containing the `⌈q·count⌉`-th smallest observation,
+    /// clamped to the observed max. Exact to within one binary order of
+    /// magnitude.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// `(inclusive upper bound, count)` for every non-empty bucket, in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_upper(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Every bucket's upper bound maps back into that bucket.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(i)), i, "bucket {i}");
+        }
+        // And upper+1 maps to the next one (except the last).
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper(i) + 1), i + 1, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_side_channels() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 5, 1000, 17] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1023);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket(0), 1, "zero bucket");
+        assert_eq!(h.bucket(1), 1, "value 1");
+        assert_eq!(h.bucket(3), 1, "value 5 in [4,8)");
+        assert_eq!(h.bucket(5), 1, "value 17 in [16,32)");
+        assert_eq!(h.bucket(10), 1, "value 1000 in [512,1024)");
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_overflowing() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1, 2, 3] {
+            a.record(v);
+        }
+        for v in [3, 4000] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.sum(), a.sum() + b.sum());
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 4000);
+        for i in 0..BUCKETS {
+            assert_eq!(merged.bucket(i), a.bucket(i) + b.bucket(i), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_min_sane() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.min(), 7);
+        let mut b = Histogram::new();
+        b.merge(&a);
+        assert_eq!(b.min(), 7);
+        assert_eq!(Histogram::new().min(), 0, "empty histogram reports 0");
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 of 1..=1000 is ~500; the bucket [512,1024) holds it, upper
+        // bound clamped to max.
+        let p50 = h.quantile(0.5);
+        assert!((256..=1000).contains(&p50), "p50 {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.0) >= 1);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn nonzero_buckets_ascending() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(100);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.len(), 2);
+        assert_eq!(nz[0], (0, 1));
+        assert_eq!(nz[1].1, 1);
+        assert!(nz[0].0 < nz[1].0);
+    }
+}

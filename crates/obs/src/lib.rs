@@ -1,0 +1,525 @@
+//! # jt-obs — tracing and metrics for the JSON tiles pipeline
+//!
+//! Every quantitative claim of the paper — tile skipping rates (§4.6),
+//! extraction coverage (§3.3), push-down speedups (§5) — is invisible at
+//! runtime without an observability layer. This crate provides the three
+//! primitives the rest of the workspace instruments itself with:
+//!
+//! * **Counters and gauges** — typed, saturating, lock-free atomics keyed
+//!   by stable dot-separated names (`query.scan.tiles_skipped`);
+//! * **Log-scale histograms** ([`Histogram`]) — fixed-size log₂ buckets
+//!   for latency/size distributions, mergeable across threads;
+//! * **Spans** ([`span!`]) — monotonic wall-clock timing of a scope,
+//!   recorded into a histogram named after the span.
+//!
+//! All of it funnels into one process-global [`Registry`] that snapshots to
+//! machine-readable JSON ([`Snapshot::to_json`]) so CI and benches can diff
+//! runs.
+//!
+//! ## Cost model
+//!
+//! Collection is **disabled by default** and gated on one relaxed atomic
+//! ([`enabled`]): the [`counter_add!`]/[`span!`] macros compile to a single
+//! load-and-branch when metrics are off, so instrumented hot paths measure
+//! identically to uninstrumented ones. When enabled, the macros cache their
+//! registry handle in a local `OnceLock`, so steady-state cost is one
+//! atomic CAS per counter update and one `Instant` pair plus a short mutex
+//! hold per span — callers on per-row paths must still aggregate locally
+//! and update the registry per tile or per query, never per row.
+//!
+//! ```
+//! jt_obs::set_enabled(true);
+//! {
+//!     let _span = jt_obs::span!("demo.work.ns");
+//!     jt_obs::counter_add!("demo.items", 3);
+//! }
+//! let snap = jt_obs::global().snapshot();
+//! assert_eq!(snap.counter("demo.items"), 3);
+//! assert!(snap.to_json().contains("\"demo.items\""));
+//! ```
+
+mod histogram;
+
+pub use histogram::{bucket_index, bucket_upper, Histogram, BUCKETS};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metric collection on or off process-wide. Off by default: library
+/// users opt in, the `jt` CLI and the bench harness opt in for you.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether metric collection is enabled. One relaxed load — the only cost
+/// instrumented code pays when metrics are off.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing, saturating `u64` metric. Cheap to clone
+/// (shared atomic); updates never wrap, they pin at `u64::MAX`.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`, saturating at `u64::MAX`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(n);
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. a percentage, a high-water mark).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the gauge by `delta` (wrapping, as `i64` arithmetic).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared histogram; recording takes a short mutex hold, so record per
+/// span/tile/query, not per row.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Mutex<Histogram>>);
+
+impl HistogramHandle {
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        self.0.lock().expect("histogram poisoned").record(v);
+    }
+
+    /// Fold a locally-aggregated histogram in.
+    pub fn merge(&self, other: &Histogram) {
+        self.0.lock().expect("histogram poisoned").merge(other);
+    }
+
+    /// Snapshot the current state.
+    pub fn get(&self) -> Histogram {
+        self.0.lock().expect("histogram poisoned").clone()
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicI64>>,
+    histograms: BTreeMap<String, Arc<Mutex<Histogram>>>,
+}
+
+/// A named collection of metrics. Handles returned by
+/// [`Registry::counter`] & co. stay connected to the registry: the
+/// [`counter_add!`]-style macros cache them so the name lookup happens
+/// once per call site.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(c) = inner.counters.get(name) {
+            return Counter(Arc::clone(c));
+        }
+        let c = Arc::new(AtomicU64::new(0));
+        inner.counters.insert(name.to_owned(), Arc::clone(&c));
+        Counter(c)
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(g) = inner.gauges.get(name) {
+            return Gauge(Arc::clone(g));
+        }
+        let g = Arc::new(AtomicI64::new(0));
+        inner.gauges.insert(name.to_owned(), Arc::clone(&g));
+        Gauge(g)
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        if let Some(h) = inner.histograms.get(name) {
+            return HistogramHandle(Arc::clone(h));
+        }
+        let h = Arc::new(Mutex::new(Histogram::new()));
+        inner.histograms.insert(name.to_owned(), Arc::clone(&h));
+        HistogramHandle(h)
+    }
+
+    /// Zero every metric. Handles cached by call sites stay valid — values
+    /// reset, registration survives (important: [`counter_add!`] caches
+    /// its handle in a `OnceLock` that outlives any reset).
+    pub fn reset(&self) {
+        let inner = self.inner.lock().expect("registry poisoned");
+        for c in inner.counters.values() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for g in inner.gauges.values() {
+            g.store(0, Ordering::Relaxed);
+        }
+        for h in inner.histograms.values() {
+            *h.lock().expect("histogram poisoned") = Histogram::new();
+        }
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().expect("registry poisoned");
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.lock().expect("histogram poisoned").clone()))
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry all instrumentation reports to.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// A point-in-time copy of a registry, detached from live updates.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge name → value, sorted by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram name → state, sorted by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Serialize as the `jt-obs/v1` JSON document (see DESIGN.md
+    /// "Observability" for the schema). Deterministic: keys are sorted.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"schema\":\"jt-obs/v1\",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, k);
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            ));
+            for (j, (le, count)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"le\":{le},\"count\":{count}}}"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Append `s` as a JSON string literal.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Live guard of one [`span!`]: records the elapsed nanoseconds into its
+/// histogram on drop.
+pub struct SpanGuard {
+    hist: HistogramHandle,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Start a span recording into `hist` (prefer the [`span!`] macro,
+    /// which caches the handle and respects [`enabled`]).
+    pub fn new(hist: HistogramHandle) -> SpanGuard {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos();
+        self.hist.record(ns.min(u64::MAX as u128) as u64);
+    }
+}
+
+/// Time the enclosing scope into the histogram `$name` (by convention a
+/// `.ns`-suffixed dotted path). Compiles to one relaxed load when metrics
+/// are disabled. Bind the result: `let _span = jt_obs::span!("x.ns");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<$crate::HistogramHandle> =
+                ::std::sync::OnceLock::new();
+            Some($crate::SpanGuard::new(
+                HANDLE
+                    .get_or_init(|| $crate::global().histogram($name))
+                    .clone(),
+            ))
+        } else {
+            None
+        }
+    }};
+}
+
+/// Add to the global counter `$name` when metrics are enabled. The handle
+/// is resolved once per call site; `$name` must therefore be a literal or
+/// otherwise constant for the lifetime of the process.
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $n:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<$crate::Counter> = ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::global().counter($name))
+                .add($n as u64);
+        }
+    }};
+}
+
+/// Set the global gauge `$name` when metrics are enabled. Same call-site
+/// caching contract as [`counter_add!`].
+#[macro_export]
+macro_rules! gauge_set {
+    ($name:expr, $v:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<$crate::Gauge> = ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::global().gauge($name))
+                .set($v as i64);
+        }
+    }};
+}
+
+/// Record into the global histogram `$name` when metrics are enabled.
+/// Same call-site caching contract as [`counter_add!`].
+#[macro_export]
+macro_rules! histogram_record {
+    ($name:expr, $v:expr) => {{
+        if $crate::enabled() {
+            static HANDLE: ::std::sync::OnceLock<$crate::HistogramHandle> =
+                ::std::sync::OnceLock::new();
+            HANDLE
+                .get_or_init(|| $crate::global().histogram($name))
+                .record($v as u64);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_at_max() {
+        let r = Registry::new();
+        let c = r.counter("overflow.test");
+        c.add(u64::MAX - 5);
+        c.add(3);
+        assert_eq!(c.get(), u64::MAX - 2);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX, "saturates instead of wrapping");
+        c.add(1);
+        assert_eq!(c.get(), u64::MAX, "stays pinned");
+    }
+
+    #[test]
+    fn counter_concurrent_adds_are_exact() {
+        let r = Registry::new();
+        let c = r.counter("concurrent.test");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn registry_handles_share_state() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        assert_eq!(r.counter("a").get(), 5);
+        r.gauge("g").set(-7);
+        assert_eq!(r.gauge("g").get(), -7);
+        r.histogram("h").record(42);
+        assert_eq!(r.histogram("h").get().count(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_registration() {
+        let r = Registry::new();
+        let c = r.counter("keep");
+        c.add(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        c.add(1);
+        // The snapshot still sees the pre-reset handle's updates.
+        assert_eq!(r.snapshot().counter("keep"), 1);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.counter("x.count").add(3);
+        r.gauge("x.pct").set(85);
+        r.histogram("x.ns").record(1000);
+        let json = r.snapshot().to_json();
+        assert!(json.starts_with("{\"schema\":\"jt-obs/v1\""));
+        assert!(json.contains("\"x.count\":3"));
+        assert!(json.contains("\"x.pct\":85"));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"le\":1023"));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let mut s = String::new();
+        json_string(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn span_records_when_enabled_only() {
+        // Uses the global registry: pick names no other test uses.
+        set_enabled(false);
+        {
+            let _g = span!("test.span.disabled.ns");
+        }
+        set_enabled(true);
+        {
+            let _g = span!("test.span.enabled.ns");
+        }
+        set_enabled(false);
+        let snap = global().snapshot();
+        assert!(snap.histogram("test.span.disabled.ns").is_none());
+        assert_eq!(
+            snap.histogram("test.span.enabled.ns").map(Histogram::count),
+            Some(1)
+        );
+    }
+}

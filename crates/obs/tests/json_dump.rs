@@ -1,0 +1,70 @@
+//! The metrics dump must be valid JSON with the documented shape —
+//! validated with the workspace's own parser, the same check the
+//! bench-snapshot CI job performs.
+
+use jt_json::{Number, Value};
+
+fn int(v: i64) -> Value {
+    Value::Num(Number::Int(v))
+}
+
+#[test]
+fn snapshot_json_parses_and_matches_schema() {
+    let r = jt_obs::Registry::new();
+    r.counter("query.scan.tiles_scanned").add(12);
+    r.counter("weird\"name\\with\nescapes").add(1);
+    r.gauge("load.extraction_coverage_pct").set(93);
+    let h = r.histogram("query.exec.ns");
+    for v in [0u64, 900, 1_000_000, u64::MAX >> 1] {
+        h.record(v);
+    }
+
+    let json = r.snapshot().to_json();
+    let doc = jt_json::parse(&json).expect("metrics dump is valid JSON");
+
+    let Value::Object(top) = &doc else {
+        panic!("top level must be an object")
+    };
+    let get = |k: &str| top.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+    assert_eq!(
+        get("schema"),
+        Some(&Value::Str("jt-obs/v1".into())),
+        "schema marker"
+    );
+    let Some(Value::Object(counters)) = get("counters") else {
+        panic!("counters object")
+    };
+    assert!(counters
+        .iter()
+        .any(|(n, v)| n == "query.scan.tiles_scanned" && *v == int(12)));
+    assert!(
+        counters.iter().any(|(n, _)| n.contains('\n')),
+        "escaped name round-trips"
+    );
+    let Some(Value::Object(gauges)) = get("gauges") else {
+        panic!("gauges object")
+    };
+    assert!(gauges
+        .iter()
+        .any(|(n, v)| n == "load.extraction_coverage_pct" && *v == int(93)));
+    let Some(Value::Object(hists)) = get("histograms") else {
+        panic!("histograms object")
+    };
+    let (_, Value::Object(hist)) = &hists[0] else {
+        panic!("histogram entry is an object")
+    };
+    for key in ["count", "sum", "min", "max", "p50", "p99", "buckets"] {
+        assert!(hist.iter().any(|(n, _)| n == key), "histogram field {key}");
+    }
+    let Some((_, Value::Array(buckets))) = hist.iter().find(|(n, _)| n == "buckets") else {
+        panic!("buckets array")
+    };
+    assert_eq!(buckets.len(), 4, "one non-empty bucket per recorded value");
+    for b in buckets {
+        let Value::Object(b) = b else {
+            panic!("bucket object")
+        };
+        assert!(b.iter().any(|(n, _)| n == "le"));
+        assert!(b.iter().any(|(n, _)| n == "count"));
+    }
+}

@@ -373,7 +373,10 @@ fn str_at<'a>(offsets: &[u32], bytes: &'a [u8], r: usize) -> &'a str {
 impl CompiledKernel {
     /// Refine `sel` in place: keep exactly the rows for which the conjunct
     /// evaluates to SQL TRUE, matching row-at-a-time semantics bit for bit.
-    pub(crate) fn apply(&self, tile: &Tile, accesses: &[Access], sel: &mut SelVec) {
+    /// Returns how many rows went through the exact row-wise fallback (the
+    /// rest ran a typed arm) — the caller attributes rows to evaluation
+    /// stages from it at zero per-row cost.
+    pub(crate) fn apply(&self, tile: &Tile, accesses: &[Access], sel: &mut SelVec) -> u64 {
         let access = &accesses[self.slot];
         let chunk = tile.column(self.col);
         let nb = chunk.nulls();
@@ -388,7 +391,9 @@ impl CompiledKernel {
         // Exact row-wise evaluation (fallback rows and unspecialized ops):
         // reproduce what the scalar path does for this conjunct.
         let mut scratch: Vec<Scalar> = Vec::new();
+        let exact_count = std::cell::Cell::new(0u64);
         let mut exact_row = |r: usize| -> bool {
+            exact_count.set(exact_count.get() + 1);
             if scratch.is_empty() {
                 scratch.resize(accesses.len(), Scalar::Null);
             }
@@ -560,6 +565,7 @@ impl CompiledKernel {
             // --- everything else: exact row-wise over the vector -------
             _ => sel.retain(|&r| exact_row(r as usize)),
         }
+        exact_count.get()
     }
 }
 

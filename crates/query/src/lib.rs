@@ -43,6 +43,7 @@ mod expr;
 mod join;
 mod kernel;
 mod plan;
+mod profile;
 mod scalar;
 mod scan;
 
@@ -52,6 +53,7 @@ pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
 pub use jt_core::AccessType;
 pub use kernel::SelVec;
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
+pub use profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 pub use scalar::Scalar;
 pub use scan::{execute_scan, execute_scan_rowwise, ScanSpec, ScanStats};
 

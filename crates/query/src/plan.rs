@@ -18,11 +18,13 @@ use crate::access::Access;
 use crate::agg::{group_aggregate, Agg};
 use crate::expr::Expr;
 use crate::join::{anti_join, hash_join, semi_join};
+use crate::profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 use crate::scalar::Scalar;
 use crate::scan::{execute_scan, ScanSpec, ScanStats};
 use crate::Chunk;
 use jt_core::{AccessType, Relation};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Execution knobs (the Figure 8 / Figure 14 experiment switches).
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +79,8 @@ pub struct ResultSet {
     pub chunk: Chunk,
     /// Scan counters summed over all tables.
     pub scan_stats: ScanStats,
+    /// The per-operator `EXPLAIN ANALYZE` record of this execution.
+    pub profile: ExecProfile,
 }
 
 impl ResultSet {
@@ -381,6 +385,8 @@ impl<'a> Query<'a> {
 
     /// Run with explicit options.
     pub fn run_with(self, opts: ExecOptions) -> ResultSet {
+        let t_query = Instant::now();
+        let mut profile = ExecProfile::default();
         // --- name → (table, slot) mapping -------------------------------
         let mut slot_of: HashMap<String, (usize, usize)> = HashMap::new();
         for (ti, t) in self.tables.iter().enumerate() {
@@ -430,11 +436,22 @@ impl<'a> Query<'a> {
                 skip_paths,
                 enable_skipping: opts.enable_skipping,
             };
+            let t_scan = Instant::now();
             let (chunk, s) = execute_scan(&spec, opts.threads);
-            stats.scanned_tiles += s.scanned_tiles;
-            stats.skipped_tiles += s.skipped_tiles;
+            profile.scans.push(ScanProfile {
+                table: t.name.clone(),
+                rows_total: t.rel.row_count(),
+                stats: s,
+                wall: t_scan.elapsed(),
+            });
+            stats.merge(&s);
             scanned.push(chunk);
         }
+        debug_assert_eq!(
+            stats.scanned_tiles + stats.skipped_tiles,
+            stats.total_tiles,
+            "tile skip accounting must cover every tile of every table"
+        );
 
         // --- join ordering and execution --------------------------------
         // Components: each table starts alone; inner joins merge them.
@@ -488,7 +505,18 @@ impl<'a> Query<'a> {
                 let chunk = components[lc].take().expect("component present");
                 let lslot = slot_base[lc][&lt] + ls;
                 let rslot = slot_base[rc][&rt] + rs;
+                let t_join = Instant::now();
+                let probe_rows = chunk.rows();
                 let filtered = filter_chunk(chunk, &Expr::Slot(lslot).eq(Expr::Slot(rslot)));
+                profile.joins.push(JoinProfile {
+                    left: j.left.clone(),
+                    right: j.right.clone(),
+                    kind: "filter",
+                    build_rows: 0,
+                    probe_rows,
+                    rows_out: filtered.rows(),
+                    wall: t_join.elapsed(),
+                });
                 components[lc] = Some(filtered);
                 continue;
             }
@@ -497,6 +525,7 @@ impl<'a> Query<'a> {
             let lslot = slot_base[lc][&lt] + ls;
             let rslot = slot_base[rc][&rt] + rs;
             // Build on the smaller side.
+            let t_join = Instant::now();
             let (joined, left_first) = if left_chunk.rows() <= right_chunk.rows() {
                 (
                     hash_join(&left_chunk, &right_chunk, &[lslot], &[rslot]),
@@ -508,6 +537,15 @@ impl<'a> Query<'a> {
                     false,
                 )
             };
+            profile.joins.push(JoinProfile {
+                left: j.left.clone(),
+                right: j.right.clone(),
+                kind: "inner",
+                build_rows: left_chunk.rows().min(right_chunk.rows()),
+                probe_rows: left_chunk.rows().max(right_chunk.rows()),
+                rows_out: joined.rows(),
+                wall: t_join.elapsed(),
+            });
             // Merge slot maps: offsets shift by the left side's width.
             let (first, second, first_width) = if left_first {
                 (lc, rc, left_chunk.width())
@@ -549,7 +587,18 @@ impl<'a> Query<'a> {
                 let right = components[c].take().expect("comp");
                 let left = components[root].take().expect("root");
                 let lw = left.width();
+                let t_join = Instant::now();
+                let (build_rows, probe_rows) = (right.rows(), left.rows());
                 let joined = cross_product(left, right);
+                profile.joins.push(JoinProfile {
+                    left: String::new(),
+                    right: self.tables[ti].name.clone(),
+                    kind: "cross",
+                    build_rows,
+                    probe_rows,
+                    rows_out: joined.rows(),
+                    wall: t_join.elapsed(),
+                });
                 let add: Vec<(usize, usize)> =
                     slot_base[c].iter().map(|(&t, &b)| (t, b + lw)).collect();
                 for (t, b) in add {
@@ -576,20 +625,45 @@ impl<'a> Query<'a> {
                 Some(c) if comp_of[rt] != root => c.clone(),
                 _ => panic!("semi/anti right table {rt} must not participate in inner joins"),
             };
+            let t_join = Instant::now();
+            let (kind, probe_rows, build_rows) = (
+                match j.kind {
+                    JoinKind::Semi => "semi",
+                    JoinKind::Anti => "anti",
+                    JoinKind::Inner => unreachable!(),
+                },
+                chunk.rows(),
+                right.rows(),
+            );
             chunk = match j.kind {
                 JoinKind::Semi => semi_join(&chunk, &right, &[lslot], &[rs]),
                 JoinKind::Anti => anti_join(&chunk, &right, &[lslot], &[rs]),
                 JoinKind::Inner => unreachable!(),
             };
+            profile.joins.push(JoinProfile {
+                left: j.left.clone(),
+                right: j.right.clone(),
+                kind,
+                build_rows,
+                probe_rows,
+                rows_out: chunk.rows(),
+                wall: t_join.elapsed(),
+            });
         }
 
         // --- post filter -------------------------------------------------
         if let Some(mut f) = self.post_filter {
+            let t_stage = Instant::now();
             f.resolve(&|name| {
                 let (t, s) = lookup_table(name);
                 slot_base[root][&t] + s
             });
             chunk = filter_chunk(chunk, &f);
+            profile.stages.push(StageProfile {
+                name: "post-filter",
+                rows_out: chunk.rows(),
+                wall: t_stage.elapsed(),
+            });
         }
 
         // --- aggregation --------------------------------------------------
@@ -598,6 +672,7 @@ impl<'a> Query<'a> {
             slot_base[root][&t] + s
         };
         let mut out = if !self.aggs.is_empty() || !self.group_by.is_empty() {
+            let t_stage = Instant::now();
             let mut keys = self.group_by;
             for k in &mut keys {
                 k.resolve(&global_lookup);
@@ -606,16 +681,29 @@ impl<'a> Query<'a> {
             for a in &mut aggs {
                 a.expr.resolve(&global_lookup);
             }
-            group_aggregate(&chunk, &keys, &aggs)
+            let grouped = group_aggregate(&chunk, &keys, &aggs);
+            profile.stages.push(StageProfile {
+                name: "aggregate",
+                rows_out: grouped.rows(),
+                wall: t_stage.elapsed(),
+            });
+            grouped
         } else {
             chunk
         };
 
         // --- having / select / order / limit -----------------------------
         if let Some(h) = self.having {
+            let t_stage = Instant::now();
             out = filter_chunk(out, &h);
+            profile.stages.push(StageProfile {
+                name: "having",
+                rows_out: out.rows(),
+                wall: t_stage.elapsed(),
+            });
         }
         if let Some(mut sel) = self.select {
+            let t_stage = Instant::now();
             for e in &mut sel {
                 // Bare selects after aggregation reference output slots; on
                 // non-aggregated plans they may still use names.
@@ -628,8 +716,14 @@ impl<'a> Query<'a> {
                 }
             }
             out = proj;
+            profile.stages.push(StageProfile {
+                name: "select",
+                rows_out: out.rows(),
+                wall: t_stage.elapsed(),
+            });
         }
         if !self.order_by.is_empty() {
+            let t_order = Instant::now();
             let mut idx: Vec<usize> = (0..out.rows()).collect();
             idx.sort_by(|&a, &b| {
                 for &(c, desc) in &self.order_by {
@@ -655,16 +749,31 @@ impl<'a> Query<'a> {
                 }
             }
             out = sorted;
+            profile.stages.push(StageProfile {
+                name: "order-by",
+                rows_out: out.rows(),
+                wall: t_order.elapsed(),
+            });
         }
         if let Some(n) = self.limit {
+            let t_stage = Instant::now();
             for col in &mut out.columns {
                 col.truncate(n);
             }
+            profile.stages.push(StageProfile {
+                name: "limit",
+                rows_out: out.rows(),
+                wall: t_stage.elapsed(),
+            });
         }
 
+        profile.total = t_query.elapsed();
+        profile.rows_out = out.rows();
+        publish_profile(&profile);
         ResultSet {
             chunk: out,
             scan_stats: stats,
+            profile,
         }
     }
 
@@ -758,6 +867,32 @@ fn sample_scan_rows(t: &TableScanDef<'_>, samples: usize) -> f64 {
     }
     // Never estimate zero: a selective filter still passes *some* rows.
     (passing.max(1) as f64 / seen.max(1) as f64) * total as f64
+}
+
+/// Publish one query's profile to the global registry. Gated on
+/// [`jt_obs::enabled`]; stage names are dynamic, so the registry is used
+/// directly instead of the handle-caching macros.
+fn publish_profile(profile: &ExecProfile) {
+    if !jt_obs::enabled() {
+        return;
+    }
+    let ns = |d: std::time::Duration| d.as_nanos().min(u64::MAX as u128) as u64;
+    let g = jt_obs::global();
+    g.counter("query.executed").inc();
+    g.histogram("query.exec.total_ns").record(ns(profile.total));
+    for s in &profile.scans {
+        g.histogram("query.exec.scan_ns").record(ns(s.wall));
+    }
+    for j in &profile.joins {
+        g.histogram("query.exec.join_ns").record(ns(j.wall));
+        g.counter("query.join.build_rows").add(j.build_rows as u64);
+        g.counter("query.join.probe_rows").add(j.probe_rows as u64);
+        g.counter("query.join.rows_out").add(j.rows_out as u64);
+    }
+    for st in &profile.stages {
+        g.histogram(&format!("query.exec.{}_ns", st.name))
+            .record(ns(st.wall));
+    }
 }
 
 fn filter_chunk(chunk: Chunk, pred: &Expr) -> Chunk {

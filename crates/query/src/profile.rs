@@ -1,0 +1,250 @@
+//! Per-query execution profiles — the data behind `EXPLAIN ANALYZE`.
+//!
+//! The executor fills one [`ExecProfile`] per query: a [`ScanProfile`] per
+//! table (tile skip/scan decisions with their evidence, first-touch row
+//! attribution, wall time), a [`JoinProfile`] per join step (build/probe
+//! sizes, output cardinality), and a [`StageProfile`] per post-join stage
+//! (post-filter, aggregation, having, select, order by, limit). Collection
+//! is always on: everything here is per-operator counters and `Instant`
+//! pairs at per-query granularity, far off any per-row path. Publication to
+//! the global [`jt_obs`] registry is gated on [`jt_obs::enabled`].
+
+use crate::scan::ScanStats;
+use std::time::Duration;
+
+/// One table scan of a query.
+#[derive(Debug, Clone, Default)]
+pub struct ScanProfile {
+    /// Table label from the query builder.
+    pub table: String,
+    /// Rows in the relation before skipping and filtering.
+    pub rows_total: usize,
+    /// Tile and row counters (see [`ScanStats`] for the identities).
+    pub stats: ScanStats,
+    /// Scan wall time, including skip tests and materialization.
+    pub wall: Duration,
+}
+
+/// One join step, in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct JoinProfile {
+    /// Left key slot name.
+    pub left: String,
+    /// Right key slot name.
+    pub right: String,
+    /// `"inner"`, `"semi"`, `"anti"`, `"filter"` (same-component equality),
+    /// or `"cross"` (disconnected components).
+    pub kind: &'static str,
+    /// Rows on the hash-build side.
+    pub build_rows: usize,
+    /// Rows on the probe side.
+    pub probe_rows: usize,
+    /// Output rows.
+    pub rows_out: usize,
+    /// Join wall time.
+    pub wall: Duration,
+}
+
+/// One post-join stage (only stages the query actually has are recorded).
+#[derive(Debug, Clone, Default)]
+pub struct StageProfile {
+    /// Stage name: `"post-filter"`, `"aggregate"`, `"having"`, `"select"`,
+    /// `"order-by"`, `"limit"`.
+    pub name: &'static str,
+    /// Rows leaving the stage.
+    pub rows_out: usize,
+    /// Stage wall time.
+    pub wall: Duration,
+}
+
+/// The full `EXPLAIN ANALYZE` record of one executed query.
+#[derive(Debug, Clone, Default)]
+pub struct ExecProfile {
+    /// Per-table scans, in declaration order.
+    pub scans: Vec<ScanProfile>,
+    /// Joins, in the order the executor ran them.
+    pub joins: Vec<JoinProfile>,
+    /// Post-join stages, in execution order.
+    pub stages: Vec<StageProfile>,
+    /// End-to-end execution wall time.
+    pub total: Duration,
+    /// Rows in the final result.
+    pub rows_out: usize,
+}
+
+impl ExecProfile {
+    /// Scan stats summed over all tables (equals `ResultSet::scan_stats`).
+    pub fn scan_totals(&self) -> ScanStats {
+        let mut s = ScanStats::default();
+        for p in &self.scans {
+            s.merge(&p.stats);
+        }
+        s
+    }
+
+    /// Render the per-operator tree the `EXPLAIN ANALYZE` front ends print.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for p in &self.scans {
+            let s = &p.stats;
+            let mut skip = String::new();
+            if s.skipped_tiles > 0 {
+                skip = format!(
+                    " ({} skipped: {} header-stats, {} bloom)",
+                    s.skipped_tiles, s.skipped_header_stats, s.skipped_bloom
+                );
+            }
+            let mut attr: Vec<String> = Vec::new();
+            for (n, label) in [
+                (s.rows_kernel, "kernel"),
+                (s.rows_batched, "batched"),
+                (s.rows_exact, "exact"),
+                (s.rows_passthrough, "passthrough"),
+            ] {
+                if n > 0 {
+                    attr.push(format!("{n} {label}"));
+                }
+            }
+            let attr = if attr.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", attr.join(", "))
+            };
+            lines.push(format!(
+                "scan {}: {}/{} tiles scanned{}, {} rows scanned{}, {} out [{}]",
+                p.table,
+                s.scanned_tiles,
+                s.total_tiles,
+                skip,
+                s.rows_scanned,
+                attr,
+                s.rows_out,
+                fmt_wall(p.wall),
+            ));
+        }
+        for j in &self.joins {
+            lines.push(format!(
+                "join {} = {} ({}): build {} x probe {} -> {} rows [{}]",
+                j.left,
+                j.right,
+                j.kind,
+                j.build_rows,
+                j.probe_rows,
+                j.rows_out,
+                fmt_wall(j.wall),
+            ));
+        }
+        for st in &self.stages {
+            lines.push(format!(
+                "{}: {} rows [{}]",
+                st.name,
+                st.rows_out,
+                fmt_wall(st.wall)
+            ));
+        }
+        let mut out = format!(
+            "EXPLAIN ANALYZE (total {}, {} rows)\n",
+            fmt_wall(self.total),
+            self.rows_out
+        );
+        for (i, line) in lines.iter().enumerate() {
+            let branch = if i + 1 == lines.len() { "`- " } else { "|- " };
+            out.push_str(branch);
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Human wall-time formatting with a unit that keeps 3 significant digits.
+fn fmt_wall(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_shows_scans_joins_and_stages() {
+        let profile = ExecProfile {
+            scans: vec![ScanProfile {
+                table: "orders".into(),
+                rows_total: 4096,
+                stats: ScanStats {
+                    total_tiles: 4,
+                    scanned_tiles: 3,
+                    skipped_tiles: 1,
+                    skipped_header_stats: 1,
+                    rows_scanned: 3072,
+                    rows_kernel: 3000,
+                    rows_exact: 72,
+                    rows_out: 100,
+                    ..ScanStats::default()
+                },
+                wall: Duration::from_micros(420),
+            }],
+            joins: vec![JoinProfile {
+                left: "o_id".into(),
+                right: "l_id".into(),
+                kind: "inner",
+                build_rows: 100,
+                probe_rows: 900,
+                rows_out: 250,
+                wall: Duration::from_micros(80),
+            }],
+            stages: vec![StageProfile {
+                name: "aggregate",
+                rows_out: 7,
+                wall: Duration::from_micros(15),
+            }],
+            total: Duration::from_micros(600),
+            rows_out: 7,
+        };
+        let text = profile.render();
+        assert!(text.starts_with("EXPLAIN ANALYZE (total 600.00 us, 7 rows)"));
+        assert!(
+            text.contains("scan orders: 3/4 tiles scanned (1 skipped: 1 header-stats, 0 bloom)")
+        );
+        assert!(text.contains("3072 rows scanned (3000 kernel, 72 exact)"));
+        assert!(text.contains("join o_id = l_id (inner): build 100 x probe 900 -> 250 rows"));
+        assert!(text.contains("`- aggregate: 7 rows"));
+    }
+
+    #[test]
+    fn scan_totals_sum_tables() {
+        let mut p = ExecProfile::default();
+        for rows in [10u64, 20] {
+            p.scans.push(ScanProfile {
+                stats: ScanStats {
+                    rows_scanned: rows,
+                    total_tiles: 1,
+                    scanned_tiles: 1,
+                    ..ScanStats::default()
+                },
+                ..ScanProfile::default()
+            });
+        }
+        let t = p.scan_totals();
+        assert_eq!(t.rows_scanned, 30);
+        assert_eq!(t.total_tiles, 2);
+    }
+
+    #[test]
+    fn wall_formatting_units() {
+        assert_eq!(fmt_wall(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_wall(Duration::from_micros(5)), "5.00 us");
+        assert_eq!(fmt_wall(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_wall(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -23,7 +23,7 @@ use crate::expr::Expr;
 use crate::kernel::{self, SelVec};
 use crate::scalar::Scalar;
 use crate::Chunk;
-use jt_core::{KeyPath, Relation, StorageMode, Tile};
+use jt_core::{KeyPath, Relation, SkipEvidence, StorageMode, Tile};
 
 /// A fully-specified scan.
 pub struct ScanSpec<'a> {
@@ -40,13 +40,80 @@ pub struct ScanSpec<'a> {
     pub enable_skipping: bool,
 }
 
-/// Scan counters for the skipping experiments.
+/// Scan counters for the skipping experiments and `EXPLAIN ANALYZE`.
+///
+/// Two identities hold for every scan (checked by `debug_assert` in the
+/// executor and by the observability integration tests):
+///
+/// * `scanned_tiles + skipped_tiles == total_tiles`
+/// * `rows_kernel + rows_batched + rows_exact + rows_passthrough ==
+///   rows_scanned`
+///
+/// Row attribution is *first-touch*: each row of a scanned tile is counted
+/// once, under whichever evaluation stage saw it first — a typed columnar
+/// kernel (`rows_kernel`), the exact row-wise fallback inside a kernel
+/// (`rows_exact`), the batched residual interpreter when no kernel compiled
+/// (`rows_batched`), or no filter at all (`rows_passthrough`). The
+/// `*_evals` counters are totals across all stages, not first-touch.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ScanStats {
     /// Tiles actually scanned.
     pub scanned_tiles: usize,
     /// Tiles skipped by the §4.8 test.
     pub skipped_tiles: usize,
+    /// All tiles the scan considered (`scanned + skipped`).
+    pub total_tiles: usize,
+    /// Skipped tiles whose absence proof came from the exact per-tile
+    /// path-frequency statistics.
+    pub skipped_header_stats: usize,
+    /// Skipped tiles proven empty by the Bloom filter over seen paths.
+    pub skipped_bloom: usize,
+    /// Rows in scanned (non-skipped) tiles.
+    pub rows_scanned: u64,
+    /// Rows whose first filter evaluation ran in a typed kernel arm.
+    pub rows_kernel: u64,
+    /// Rows whose first evaluation was the batched residual interpreter
+    /// (a filter none of whose conjuncts compiled to kernels).
+    pub rows_batched: u64,
+    /// Rows whose first evaluation was the exact row-wise fallback (null
+    /// fallback entries, unspecialized ops, and the row-wise oracle).
+    pub rows_exact: u64,
+    /// Rows of scanned tiles with no filter to evaluate.
+    pub rows_passthrough: u64,
+    /// Rows surviving the filter (the scan's output).
+    pub rows_out: u64,
+    /// Total typed-kernel row evaluations across all kernels.
+    pub kernel_evals: u64,
+    /// Total batched-residual row evaluations.
+    pub residual_evals: u64,
+    /// Total exact row-wise evaluations (inside kernels and the oracle).
+    pub exact_evals: u64,
+}
+
+impl ScanStats {
+    /// Fold `other` into `self` (per-tile and per-table accumulation).
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.scanned_tiles += other.scanned_tiles;
+        self.skipped_tiles += other.skipped_tiles;
+        self.total_tiles += other.total_tiles;
+        self.skipped_header_stats += other.skipped_header_stats;
+        self.skipped_bloom += other.skipped_bloom;
+        self.rows_scanned += other.rows_scanned;
+        self.rows_kernel += other.rows_kernel;
+        self.rows_batched += other.rows_batched;
+        self.rows_exact += other.rows_exact;
+        self.rows_passthrough += other.rows_passthrough;
+        self.rows_out += other.rows_out;
+        self.kernel_evals += other.kernel_evals;
+        self.residual_evals += other.residual_evals;
+        self.exact_evals += other.exact_evals;
+    }
+
+    /// Rows accounted for by first-touch attribution; equals
+    /// [`ScanStats::rows_scanned`] for every scan.
+    pub fn rows_attributed(&self) -> u64 {
+        self.rows_kernel + self.rows_batched + self.rows_exact + self.rows_passthrough
+    }
 }
 
 /// Execute a scan with `threads` workers. Output rows preserve tile order
@@ -67,41 +134,54 @@ fn run_scan(spec: &ScanSpec<'_>, threads: usize, rowwise: bool) -> (Chunk, ScanS
     let mode = spec.relation.config().mode;
     let threads = threads.max(1).min(tiles.len().max(1));
 
-    let scan_tile = |tile_idx: usize| -> Option<Chunk> {
+    let scan_tile = |tile_idx: usize| -> (Option<Chunk>, ScanStats) {
         let tile = &tiles[tile_idx];
+        let mut ts = ScanStats {
+            total_tiles: 1,
+            ..ScanStats::default()
+        };
         // §4.8: "if the expression is not found and null values are skipped
         // or evaluated as false, the whole JSON tile has no valuable
         // information". Only tiles-mode headers carry the needed metadata.
         if spec.enable_skipping && mode == StorageMode::Tiles {
             for path in &spec.skip_paths {
-                if !tile.may_contain_path(path) {
-                    return None;
+                if let Some(evidence) = tile.skip_evidence(path) {
+                    ts.skipped_tiles = 1;
+                    match evidence {
+                        SkipEvidence::HeaderStats => ts.skipped_header_stats = 1,
+                        SkipEvidence::BloomFilter => ts.skipped_bloom = 1,
+                    }
+                    return (None, ts);
                 }
             }
         }
+        ts.scanned_tiles = 1;
+        ts.rows_scanned = tile.len() as u64;
         let plans: Vec<_> = spec
             .accesses
             .iter()
             .map(|a| resolve_access(tile, a, mode))
             .collect();
-        Some(if rowwise {
-            scan_tile_rowwise(spec, tile, &plans)
+        let chunk = if rowwise {
+            scan_tile_rowwise(spec, tile, &plans, &mut ts)
         } else {
-            scan_tile_vectorized(spec, tile, &plans)
-        })
+            scan_tile_vectorized(spec, tile, &plans, &mut ts)
+        };
+        ts.rows_out = chunk.rows() as u64;
+        (Some(chunk), ts)
     };
 
     // Parallelize only when there is enough work to amortize thread spawns;
     // each worker owns a contiguous tile range and writes into its own
     // output vector, so no synchronization happens on the hot path.
-    let results: Vec<Option<Chunk>> = if threads <= 1 || tiles.len() < threads * 2 {
+    let results: Vec<(Option<Chunk>, ScanStats)> = if threads <= 1 || tiles.len() < threads * 2 {
         (0..tiles.len()).map(scan_tile).collect()
     } else {
         let per = tiles.len().div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
             .map(|t| (t * per).min(tiles.len())..((t + 1) * per).min(tiles.len()))
             .collect();
-        let mut parts: Vec<Vec<Option<Chunk>>> = Vec::with_capacity(threads);
+        let mut parts: Vec<Vec<(Option<Chunk>, ScanStats)>> = Vec::with_capacity(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
@@ -116,29 +196,74 @@ fn run_scan(spec: &ScanSpec<'_>, threads: usize, rowwise: bool) -> (Chunk, ScanS
 
     let mut stats = ScanStats::default();
     let mut chunk = Chunk::empty(spec.accesses.len());
-    for r in results {
-        match r {
-            Some(c) => {
-                stats.scanned_tiles += 1;
-                chunk.append(c);
-            }
-            None => stats.skipped_tiles += 1,
+    for (r, ts) in results {
+        stats.merge(&ts);
+        if let Some(c) = r {
+            chunk.append(c);
         }
     }
+    debug_assert_eq!(
+        stats.scanned_tiles + stats.skipped_tiles,
+        stats.total_tiles,
+        "every tile must be either scanned or skipped"
+    );
+    debug_assert_eq!(
+        stats.rows_attributed(),
+        stats.rows_scanned,
+        "first-touch attribution must cover every scanned row"
+    );
+    jt_obs::counter_add!("query.scan.tiles_total", stats.total_tiles as u64);
+    jt_obs::counter_add!("query.scan.tiles_scanned", stats.scanned_tiles as u64);
+    jt_obs::counter_add!("query.scan.tiles_skipped", stats.skipped_tiles as u64);
+    jt_obs::counter_add!(
+        "query.scan.tiles_skipped_header_stats",
+        stats.skipped_header_stats as u64
+    );
+    jt_obs::counter_add!("query.scan.tiles_skipped_bloom", stats.skipped_bloom as u64);
+    jt_obs::counter_add!("query.scan.rows_scanned", stats.rows_scanned);
+    jt_obs::counter_add!("query.scan.rows_kernel", stats.rows_kernel);
+    jt_obs::counter_add!("query.scan.rows_batched", stats.rows_batched);
+    jt_obs::counter_add!("query.scan.rows_exact", stats.rows_exact);
+    jt_obs::counter_add!("query.scan.rows_passthrough", stats.rows_passthrough);
+    jt_obs::counter_add!("query.scan.rows_out", stats.rows_out);
     (chunk, stats)
 }
 
 /// The vectorized inner loop: selection vector → typed kernels → batched
-/// residual → late-materialized gather.
-fn scan_tile_vectorized(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAccess]) -> Chunk {
+/// residual → late-materialized gather. Fills first-touch row attribution
+/// and per-stage evaluation totals into `stats`.
+fn scan_tile_vectorized(
+    spec: &ScanSpec<'_>,
+    tile: &Tile,
+    plans: &[ResolvedAccess],
+    stats: &mut ScanStats,
+) -> Chunk {
     let n = spec.accesses.len();
     let mut sel: SelVec = (0..tile.len() as u32).collect();
     let tk = kernel::compile(spec.filter.as_ref(), &spec.accesses, plans, tile);
+    match &spec.filter {
+        None => stats.rows_passthrough += tile.len() as u64,
+        // A filter none of whose conjuncts kernelized: every row's first
+        // evaluation happens in the batched residual interpreter.
+        Some(_) if tk.kernels.is_empty() => stats.rows_batched += tile.len() as u64,
+        Some(_) => {}
+    }
+    let mut first = true;
     for k in &tk.kernels {
         if sel.is_empty() {
             break;
         }
-        k.apply(tile, &spec.accesses, &mut sel);
+        let before = sel.len() as u64;
+        let exact = k.apply(tile, &spec.accesses, &mut sel);
+        stats.kernel_evals += before - exact;
+        stats.exact_evals += exact;
+        if first {
+            // The first kernel sees every row of the tile exactly once;
+            // partition them into typed-arm vs exact-fallback first touches.
+            stats.rows_kernel += before - exact;
+            stats.rows_exact += exact;
+            first = false;
+        }
     }
     // Residual conjuncts: gather the slots they read for the surviving
     // rows, evaluate batch-at-a-time, and compact both the selection
@@ -148,6 +273,7 @@ fn scan_tile_vectorized(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAcces
     let mut gathered = vec![false; n];
     if let Some(f) = &tk.residual {
         if !sel.is_empty() {
+            stats.residual_evals += sel.len() as u64;
             for &i in &f.referenced_slots() {
                 cols[i] = gather_access(tile, plans[i], &spec.accesses[i], &sel);
                 gathered[i] = true;
@@ -185,8 +311,20 @@ fn scan_tile_vectorized(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAcces
 }
 
 /// The original row-at-a-time loop, with late materialization of
-/// non-filter slots.
-fn scan_tile_rowwise(spec: &ScanSpec<'_>, tile: &Tile, plans: &[ResolvedAccess]) -> Chunk {
+/// non-filter slots. Every filtered row is an exact evaluation; with no
+/// filter the rows pass through.
+fn scan_tile_rowwise(
+    spec: &ScanSpec<'_>,
+    tile: &Tile,
+    plans: &[ResolvedAccess],
+    stats: &mut ScanStats,
+) -> Chunk {
+    if spec.filter.is_some() {
+        stats.rows_exact += tile.len() as u64;
+        stats.exact_evals += tile.len() as u64;
+    } else {
+        stats.rows_passthrough += tile.len() as u64;
+    }
     let filter_slots: Vec<bool> = match &spec.filter {
         Some(f) => {
             let used = f.referenced_slots();

@@ -180,6 +180,28 @@ pub struct TableRef {
     pub alias: String,
 }
 
+/// `EXPLAIN` wrapper of a statement, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Plain statement: execute and return rows.
+    #[default]
+    None,
+    /// `EXPLAIN`: describe the plan without executing.
+    Plan,
+    /// `EXPLAIN ANALYZE`: execute, return rows plus the per-operator
+    /// profile.
+    Analyze,
+}
+
+/// A full parsed statement: the `SELECT` plus its `EXPLAIN` wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// `EXPLAIN` / `EXPLAIN ANALYZE` prefix, if present.
+    pub explain: ExplainMode,
+    /// The wrapped query.
+    pub select: SelectStmt,
+}
+
 /// A parsed `SELECT`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {

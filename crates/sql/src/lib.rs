@@ -42,10 +42,10 @@ mod compile;
 mod lexer;
 mod parser;
 
-pub use ast::{SelectStmt, SqlExpr, SqlType};
+pub use ast::{ExplainMode, SelectStmt, SqlExpr, SqlType, Statement};
 pub use compile::{compile, Catalog};
 pub use lexer::{tokenize, Token};
-pub use parser::parse_select;
+pub use parser::{parse_select, parse_statement};
 
 use jt_core::Relation;
 use jt_query::{ExecOptions, ResultSet};
@@ -89,4 +89,46 @@ pub fn query_with(
     let catalog: Catalog<'_> = tables.iter().copied().collect();
     let plan = compile(&stmt, &catalog)?;
     Ok(plan.run_with(opts))
+}
+
+/// The output of [`execute`], depending on the statement's `EXPLAIN` prefix.
+#[derive(Debug, Clone)]
+pub enum SqlOutput {
+    /// A plain `SELECT`: the executed result.
+    Rows(ResultSet),
+    /// `EXPLAIN`: the plan description; nothing was executed.
+    Plan(String),
+    /// `EXPLAIN ANALYZE`: the rendered per-operator profile plus the
+    /// executed result it describes.
+    Analyze {
+        /// `ExecProfile::render()` output — what the CLI prints.
+        rendered: String,
+        /// The executed result (rows and counters).
+        result: ResultSet,
+    },
+}
+
+/// Parse and run a statement, honoring an `EXPLAIN [ANALYZE]` prefix:
+/// plain `SELECT`s execute, `EXPLAIN` returns the plan text without
+/// executing, `EXPLAIN ANALYZE` executes and returns the per-operator
+/// profile alongside the rows.
+pub fn execute(
+    sql: &str,
+    tables: &[(&str, &Relation)],
+    opts: ExecOptions,
+) -> Result<SqlOutput, SqlError> {
+    let stmt = parse_statement(sql)?;
+    let catalog: Catalog<'_> = tables.iter().copied().collect();
+    let plan = compile(&stmt.select, &catalog)?;
+    Ok(match stmt.explain {
+        ExplainMode::None => SqlOutput::Rows(plan.run_with(opts)),
+        ExplainMode::Plan => SqlOutput::Plan(plan.explain().to_string()),
+        ExplainMode::Analyze => {
+            let result = plan.run_with(opts);
+            SqlOutput::Analyze {
+                rendered: result.profile.render(),
+                result,
+            }
+        }
+    })
 }

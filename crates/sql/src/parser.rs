@@ -4,16 +4,35 @@ use crate::ast::*;
 use crate::lexer::{tokenize, Token};
 use crate::{err, SqlError};
 
-/// Parse a single `SELECT` statement.
+/// Parse a single `SELECT` statement (no `EXPLAIN` prefix allowed).
 pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
+    let stmt = parse_statement(sql)?;
+    match stmt.explain {
+        ExplainMode::None => Ok(stmt.select),
+        _ => err("EXPLAIN is not valid here; use parse_statement", 0),
+    }
+}
+
+/// Parse a statement: `SELECT …`, `EXPLAIN SELECT …`, or
+/// `EXPLAIN ANALYZE SELECT …`.
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     let tokens = tokenize(sql)?;
     let mut p = Parser { tokens, pos: 0 };
+    let explain = if p.eat_kw("explain") {
+        if p.eat_kw("analyze") {
+            ExplainMode::Analyze
+        } else {
+            ExplainMode::Plan
+        }
+    } else {
+        ExplainMode::None
+    };
     p.expect_kw("select")?;
-    let stmt = p.select_body()?;
+    let select = p.select_body()?;
     if p.pos != p.tokens.len() {
         return err("trailing tokens after statement", p.offset());
     }
-    Ok(stmt)
+    Ok(Statement { explain, select })
 }
 
 struct Parser {

@@ -6,7 +6,9 @@
 //! cargo run --release --example sql_shell
 //! # then type queries like:
 //! #   SELECT data->>'type', COUNT(*) FROM items GROUP BY 1 ORDER BY 2 DESC;
-//! # (an empty line or "quit" exits; a demo script runs first)
+//! # prefix with EXPLAIN for the plan or EXPLAIN ANALYZE for the executed
+//! # per-operator profile; an empty line or "quit" exits; a demo script
+//! # runs first
 //! ```
 
 use json_tiles::data::hackernews::{generate, HnConfig};
@@ -56,8 +58,8 @@ fn main() {
 
 fn run(q: &str, rel: &Relation) {
     let t0 = std::time::Instant::now();
-    match sql::query(q, &[("items", rel)]) {
-        Ok(r) => {
+    match sql::execute(q, &[("items", rel)], Default::default()) {
+        Ok(sql::SqlOutput::Rows(r)) => {
             for line in r.to_lines().iter().take(20) {
                 println!("  {line}");
             }
@@ -68,6 +70,16 @@ fn run(q: &str, rel: &Relation) {
                 r.scan_stats.scanned_tiles,
                 r.scan_stats.skipped_tiles
             );
+        }
+        Ok(sql::SqlOutput::Plan(plan)) => {
+            for line in plan.lines() {
+                println!("  {line}");
+            }
+        }
+        Ok(sql::SqlOutput::Analyze { rendered, .. }) => {
+            for line in rendered.lines() {
+                println!("  {line}");
+            }
         }
         Err(e) => println!("  error: {e}"),
     }

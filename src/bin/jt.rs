@@ -7,31 +7,68 @@
 //! jt sql   table.jt "SELECT data->>'k'::INT, COUNT(*) FROM t GROUP BY 1"
 //!                                 [--skip-corrupt]
 //! jt info  table.jt               [--skip-corrupt]
+//! jt metrics                      # dump the metrics registry as JSON
 //! ```
 //!
 //! `load` parses newline-delimited JSON, builds the tiles (mining,
 //! reordering, statistics), and persists the relation; malformed lines are
 //! skipped and counted unless `--strict` makes them fatal. `sql` re-opens
-//! the file and runs a query (the table is always named `t`). `info` prints
-//! the per-tile extraction summary and the relation statistics. With
-//! `--skip-corrupt`, damaged tiles in the file are quarantined instead of
-//! failing the open.
+//! the file and runs a query (the table is always named `t`); prefix the
+//! query with `EXPLAIN` for the plan or `EXPLAIN ANALYZE` for the executed
+//! per-operator profile. `info` prints the per-tile extraction summary and
+//! the relation statistics. With `--skip-corrupt`, damaged tiles in the
+//! file are quarantined instead of failing the open.
+//!
+//! The global flag `--metrics-json <path>` (valid before or after the
+//! subcommand) writes the full `jt-obs` metric registry as JSON on exit;
+//! `jt metrics` prints the same snapshot to stdout (empty until commands
+//! in the same process have run, so it is mostly useful with the library
+//! API — the CLI form exists for scripting symmetry and schema discovery).
 
+use json_tiles::obs;
 use json_tiles::sql;
 use json_tiles::tiles::{CorruptTilePolicy, OpenOptions, Relation, StorageMode, TilesConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    obs::set_enabled(true);
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_path = extract_metrics_flag(&mut args);
     let code = match args.first().map(String::as_str) {
         Some("load") => cmd_load(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("metrics") => cmd_metrics(),
         _ => {
-            eprintln!("usage: jt <load|sql|info> ... (see source header)");
+            eprintln!("usage: jt <load|sql|info|metrics> ... (see source header)");
             2
         }
     };
+    if let Some(path) = metrics_path {
+        let json = obs::global().snapshot().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     std::process::exit(code);
+}
+
+/// Strip a `--metrics-json <path>` pair from the argument list, wherever it
+/// appears, and return the path.
+fn extract_metrics_flag(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--metrics-json")?;
+    if i + 1 >= args.len() {
+        eprintln!("--metrics-json requires a path");
+        std::process::exit(2);
+    }
+    let path = args.remove(i + 1);
+    args.remove(i);
+    Some(path)
+}
+
+fn cmd_metrics() -> i32 {
+    println!("{}", obs::global().snapshot().to_json());
+    0
 }
 
 fn cmd_load(args: &[String]) -> i32 {
@@ -159,8 +196,8 @@ fn cmd_sql(args: &[String]) -> i32 {
         return 1;
     };
     let t0 = std::time::Instant::now();
-    match sql::query(query, &[("t", &rel)]) {
-        Ok(r) => {
+    match sql::execute(query, &[("t", &rel)], Default::default()) {
+        Ok(sql::SqlOutput::Rows(r)) => {
             for line in r.to_lines() {
                 println!("{line}");
             }
@@ -171,6 +208,14 @@ fn cmd_sql(args: &[String]) -> i32 {
                 r.scan_stats.scanned_tiles,
                 r.scan_stats.skipped_tiles
             );
+            0
+        }
+        Ok(sql::SqlOutput::Plan(plan)) => {
+            println!("{plan}");
+            0
+        }
+        Ok(sql::SqlOutput::Analyze { rendered, .. }) => {
+            println!("{rendered}");
             0
         }
         Err(e) => {

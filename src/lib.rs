@@ -11,6 +11,7 @@ pub use jt_formats as formats;
 pub use jt_json as json;
 pub use jt_jsonb as jsonb;
 pub use jt_mining as mining;
+pub use jt_obs as obs;
 pub use jt_query as query;
 pub use jt_sql as sql;
 pub use jt_stats as stats;

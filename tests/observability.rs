@@ -1,0 +1,189 @@
+//! Observability integration tests: EXPLAIN ANALYZE profiles, scan
+//! accounting identities, and the metrics-registry JSON snapshot, checked
+//! against real TPC-H executions.
+
+use json_tiles::data;
+use json_tiles::obs;
+use json_tiles::query::ExecOptions;
+use json_tiles::sql;
+use json_tiles::tiles::{Relation, TilesConfig};
+use json_tiles::workloads::tpch;
+
+fn combined_relation(scale: f64, seed: u64) -> Relation {
+    let d = data::tpch::generate(data::tpch::TpchConfig { scale, seed });
+    Relation::load(&d.combined(), TilesConfig::default())
+}
+
+/// Every TPC-H query's profile must satisfy the scan accounting
+/// identities: each tile is either scanned or skipped (with exactly one
+/// skip reason), and every scanned row is attributed to exactly one
+/// evaluation stage.
+#[test]
+fn tpch_profiles_satisfy_accounting_identities() {
+    let rel = combined_relation(0.04, 7);
+    for q in 1..=tpch::QUERY_COUNT {
+        let r = tpch::run_query(q, &rel, ExecOptions::default());
+        let p = &r.profile;
+        assert_eq!(p.rows_out, r.rows(), "Q{q}: profile rows_out");
+        assert!(!p.scans.is_empty(), "Q{q}: no scans profiled");
+        for s in &p.scans {
+            assert_eq!(
+                s.stats.scanned_tiles + s.stats.skipped_tiles,
+                s.stats.total_tiles,
+                "Q{q} scan {}: tile accounting gap",
+                s.table
+            );
+            assert_eq!(
+                s.stats.skipped_header_stats + s.stats.skipped_bloom,
+                s.stats.skipped_tiles,
+                "Q{q} scan {}: skip-reason accounting gap",
+                s.table
+            );
+            assert_eq!(
+                s.stats.rows_attributed(),
+                s.stats.rows_scanned,
+                "Q{q} scan {}: row attribution gap",
+                s.table
+            );
+        }
+        let totals = p.scan_totals();
+        assert_eq!(
+            totals.rows_kernel + totals.rows_batched + totals.rows_exact + totals.rows_passthrough,
+            totals.rows_scanned,
+            "Q{q}: kernel+batched+exact+passthrough must equal rows scanned"
+        );
+        // The join-heavy queries skip tiles; at least one query must
+        // actually exercise the skip path so the identity isn't vacuous.
+        assert_eq!(
+            r.scan_stats.scanned_tiles + r.scan_stats.skipped_tiles,
+            r.scan_stats.total_tiles,
+            "Q{q}: merged scan stats tile accounting"
+        );
+    }
+}
+
+/// At this scale the combined relation spans several tiles and the
+/// join-heavy queries must skip at least one of them — otherwise the skip
+/// instrumentation is measuring nothing.
+#[test]
+fn tpch_skip_path_is_exercised_and_attributed() {
+    let d = data::tpch::generate(data::tpch::TpchConfig {
+        scale: 0.04,
+        seed: 11,
+    });
+    // Small tiles so the combined relation spans many of them and the
+    // table-disjoint tiles are skippable.
+    let config = TilesConfig {
+        tile_size: 128,
+        ..TilesConfig::default()
+    };
+    let rel = Relation::load(&d.combined(), config);
+    assert!(rel.tiles().len() > 1, "need a multi-tile relation");
+    let mut skips = 0;
+    for q in [3, 4, 10, 12, 18] {
+        let r = tpch::run_query(q, &rel, ExecOptions::default());
+        skips += r.scan_stats.skipped_tiles;
+        assert_eq!(
+            r.scan_stats.skipped_header_stats + r.scan_stats.skipped_bloom,
+            r.scan_stats.skipped_tiles,
+            "Q{q}: every skip needs exactly one evidence class"
+        );
+    }
+    assert!(skips > 0, "join queries should skip disjoint-table tiles");
+}
+
+#[test]
+fn explain_analyze_reports_execution() {
+    let docs: Vec<_> = (0..500)
+        .map(|i| jt_json::parse(&format!(r#"{{"v": {}, "s": "g{}"}}"#, i % 50, i % 5)).unwrap())
+        .collect();
+    let rel = Relation::load(&docs, TilesConfig::default());
+    let out = sql::execute(
+        "EXPLAIN ANALYZE SELECT data->>'s'::TEXT, COUNT(*) FROM t \
+         WHERE data->>'v'::INT < 10 GROUP BY 1 ORDER BY 1",
+        &[("t", &rel)],
+        ExecOptions::default(),
+    )
+    .expect("valid query");
+    let sql::SqlOutput::Analyze { rendered, result } = out else {
+        panic!("EXPLAIN ANALYZE must produce Analyze output");
+    };
+    assert_eq!(result.rows(), 5);
+    assert!(
+        rendered.starts_with("EXPLAIN ANALYZE"),
+        "header line: {rendered}"
+    );
+    for needle in [
+        "scan t:",
+        "rows scanned",
+        "aggregate:",
+        "order-by:",
+        "5 rows",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
+    }
+    // The rendered row counts must match the executed result, not a
+    // re-execution: rows_out of the profile is the returned row count.
+    assert_eq!(result.profile.rows_out, result.rows());
+    assert_eq!(
+        result.profile.scan_totals().rows_scanned,
+        result.scan_stats.rows_scanned
+    );
+}
+
+#[test]
+fn explain_returns_plan_without_executing() {
+    let docs: Vec<_> = (0..10)
+        .map(|i| jt_json::parse(&format!(r#"{{"v": {i}}}"#)).unwrap())
+        .collect();
+    let rel = Relation::load(&docs, TilesConfig::default());
+    let out = sql::execute(
+        "EXPLAIN SELECT COUNT(*) FROM t",
+        &[("t", &rel)],
+        ExecOptions::default(),
+    )
+    .expect("valid query");
+    let sql::SqlOutput::Plan(plan) = out else {
+        panic!("EXPLAIN must produce Plan output");
+    };
+    assert!(plan.contains("scan t"), "plan text: {plan}");
+}
+
+/// With the registry enabled, a load + query round trip publishes the
+/// documented counter families and the snapshot serializes to JSON that
+/// our own parser accepts.
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    obs::set_enabled(true);
+    let rel = combined_relation(0.02, 13);
+    let _ = tpch::run_query(6, &rel, ExecOptions::default());
+    let json = obs::global().snapshot().to_json();
+    let doc = jt_json::parse(&json).expect("snapshot must be valid JSON");
+    let jt_json::Value::Object(fields) = &doc else {
+        panic!("snapshot root must be an object");
+    };
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(name, _)| name == k)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing {k}"))
+    };
+    assert_eq!(
+        get("schema"),
+        &jt_json::Value::Str("jt-obs/v1".into()),
+        "schema tag"
+    );
+    let jt_json::Value::Object(counters) = get("counters") else {
+        panic!("counters must be an object");
+    };
+    for family in ["load.rows", "load.tiles_built", "query.scan.rows_scanned"] {
+        assert!(
+            counters.iter().any(|(name, _)| name == family),
+            "missing counter {family} in snapshot"
+        );
+    }
+}
