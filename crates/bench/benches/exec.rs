@@ -1,0 +1,68 @@
+//! Criterion benches for the morsel-driven parallel operators: the shared
+//! join+aggregation workload (`jt_bench::exec_workloads`) measured
+//! single-threaded vs partitioned-parallel at 4 workers. The same chunks
+//! feed the machine-readable `bench_exec` binary, so the two always
+//! measure the same thing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jt_bench::exec_workloads::{agg_high_cardinality, agg_keys, agg_list, join_cases};
+use jt_query::{group_aggregate, group_aggregate_par, hash_join, hash_join_par};
+
+const ROWS: usize = 60_000;
+const THREADS: usize = 4;
+
+fn bench_parallel_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_join");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let keys = [0usize];
+    for case in join_cases(ROWS) {
+        group.bench_with_input(BenchmarkId::new(case.name, "single"), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(hash_join(&case.build, &case.probe, &keys, &keys)));
+        });
+        group.bench_with_input(BenchmarkId::new(case.name, "parallel"), &(), |b, ()| {
+            b.iter(|| {
+                std::hint::black_box(hash_join_par(
+                    &case.build,
+                    &case.probe,
+                    &keys,
+                    &keys,
+                    THREADS,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_agg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_agg");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let input = agg_high_cardinality(ROWS);
+    let (keys, aggs) = (agg_keys(), agg_list());
+    group.bench_with_input(
+        BenchmarkId::new("high_cardinality_groups", "single"),
+        &(),
+        |b, ()| {
+            b.iter(|| std::hint::black_box(group_aggregate(&input, &keys, &aggs)));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("high_cardinality_groups", "parallel"),
+        &(),
+        |b, ()| {
+            b.iter(|| std::hint::black_box(group_aggregate_par(&input, &keys, &aggs, THREADS)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = bench_parallel_join, bench_parallel_agg
+}
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! `bench_exec` — machine-readable parallel-execution benchmark snapshot.
+//!
+//! Runs the shared join+aggregation workload (`jt_bench::exec_workloads`,
+//! the same chunks as the Criterion `exec` bench), measures each case
+//! single-threaded against the partitioned parallel operator at
+//! `--threads` workers, verifies the parallel result is bit-identical to
+//! the single-threaded one before timing anything, and writes the medians
+//! as one JSON document:
+//!
+//! ```text
+//! cargo run --release -p jt-bench --bin bench_exec -- [out.json] [--rows N] [--threads N]
+//! ```
+//!
+//! The default output path is `BENCH_exec.json`. `cores` records the
+//! machine's available parallelism: speedup claims are only meaningful
+//! when `cores >= threads` (single-core CI boxes will honestly report
+//! ~1.0×). The document is parsed back with `jt_json::parse` before it is
+//! written; the process exits nonzero if its own output is not valid JSON,
+//! so CI can gate on it.
+
+use jt_bench::exec_workloads::{agg_high_cardinality, agg_keys, agg_list, join_cases};
+use jt_query::{group_aggregate, group_aggregate_par, hash_join, hash_join_par, Chunk, Scalar};
+use std::time::Instant;
+
+/// Median wall-clock seconds of `reps` runs of `f` (after one warm-up).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[samples.len() / 2]
+}
+
+/// Bit-identity check (floats by bit pattern): the parallel operator must
+/// produce exactly the single-threaded result or the timing is meaningless.
+fn assert_identical(name: &str, par: &Chunk, seq: &Chunk) {
+    let ok = par.rows() == seq.rows()
+        && par.width() == seq.width()
+        && (0..par.width()).all(|c| {
+            (0..par.rows()).all(|r| match (par.get(r, c), seq.get(r, c)) {
+                (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                (a, b) => a == b,
+            })
+        });
+    if !ok {
+        eprintln!("{name}: parallel result diverged from single-threaded oracle");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_exec.json");
+    let mut rows = 120_000usize;
+    let mut threads = 4usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rows" => {
+                rows = args[i + 1].parse().expect("numeric --rows");
+                i += 2;
+            }
+            "--threads" => {
+                threads = args[i + 1].parse().expect("numeric --threads");
+                i += 2;
+            }
+            p => {
+                out_path = p.to_owned();
+                i += 1;
+            }
+        }
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let reps = 9;
+    let keys = [0usize];
+    let mut case_objs = Vec::new();
+
+    for case in join_cases(rows) {
+        let seq = hash_join(&case.build, &case.probe, &keys, &keys);
+        let (par, _) = hash_join_par(&case.build, &case.probe, &keys, &keys, threads);
+        assert_identical(case.name, &par, &seq);
+        let rows_out = seq.rows();
+        let single = median_secs(reps, || {
+            std::hint::black_box(hash_join(&case.build, &case.probe, &keys, &keys));
+        });
+        let parallel = median_secs(reps, || {
+            std::hint::black_box(hash_join_par(
+                &case.build,
+                &case.probe,
+                &keys,
+                &keys,
+                threads,
+            ));
+        });
+        let speedup = single / parallel.max(1e-12);
+        eprintln!(
+            "{}: single {single:.6}s parallel {parallel:.6}s ({speedup:.2}x, {rows_out} rows)",
+            case.name
+        );
+        case_objs.push(format!(
+            concat!(
+                "{{\"name\":\"{}\",\"rows_out\":{},\"single_secs\":{:.9},",
+                "\"parallel_secs\":{:.9},\"speedup\":{:.3}}}"
+            ),
+            case.name, rows_out, single, parallel, speedup
+        ));
+    }
+
+    let input = agg_high_cardinality(rows);
+    let (gkeys, aggs) = (agg_keys(), agg_list());
+    let seq = group_aggregate(&input, &gkeys, &aggs);
+    let (par, _) = group_aggregate_par(&input, &gkeys, &aggs, threads);
+    assert_identical("agg_high_cardinality_groups", &par, &seq);
+    let rows_out = seq.rows();
+    let single = median_secs(reps, || {
+        std::hint::black_box(group_aggregate(&input, &gkeys, &aggs));
+    });
+    let parallel = median_secs(reps, || {
+        std::hint::black_box(group_aggregate_par(&input, &gkeys, &aggs, threads));
+    });
+    let speedup = single / parallel.max(1e-12);
+    eprintln!(
+        "agg_high_cardinality_groups: single {single:.6}s parallel {parallel:.6}s \
+         ({speedup:.2}x, {rows_out} rows)"
+    );
+    case_objs.push(format!(
+        concat!(
+            "{{\"name\":\"agg_high_cardinality_groups\",\"rows_out\":{},",
+            "\"single_secs\":{:.9},\"parallel_secs\":{:.9},\"speedup\":{:.3}}}"
+        ),
+        rows_out, single, parallel, speedup
+    ));
+
+    let doc = format!(
+        concat!(
+            "{{\"schema\":\"jt-bench/exec-snapshot/v1\",\"rows\":{},\"reps\":{},",
+            "\"cores\":{},\"par_threads\":{},\"cases\":[{}]}}"
+        ),
+        rows,
+        reps,
+        cores,
+        threads,
+        case_objs.join(",")
+    );
+
+    // Self-validate before writing: the snapshot must round-trip through
+    // our own JSON parser or the file is useless to downstream tooling.
+    if let Err(e) = jt_json::parse(&doc) {
+        eprintln!("bench_exec produced invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

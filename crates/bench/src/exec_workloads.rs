@@ -1,0 +1,93 @@
+//! Shared join+aggregation workload: the synthetic chunks used by both the
+//! Criterion exec benches (`benches/exec.rs`) and the machine-readable
+//! `bench_exec` binary, so the two always measure the same thing.
+//!
+//! Three shapes stress the three cost centres of the parallel operators:
+//! `build_heavy` (build side dominates: partitioning + table construction),
+//! `probe_heavy` (probe side dominates: parallel morsel probing + gather),
+//! and `high_cardinality_groups` (many groups: partitioned accumulation +
+//! deterministic merge).
+
+use jt_query::{Agg, Chunk, Expr, Scalar};
+
+/// Deterministic 64-bit mix so key sequences are reproducible without a
+/// random-number dependency.
+fn mix(i: u64, salt: u64) -> u64 {
+    let mut x = i
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(salt.wrapping_mul(0xd1b5_4a32_d192_ed03));
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^ (x >> 29)
+}
+
+/// A `[key, payload]` chunk: `Int` keys drawn from `0..card`, `Float`
+/// payloads whose sum is order-sensitive (so any accumulation reorder in
+/// the parallel operators shows up as a wrong result, not just a slow one).
+pub fn keyed_chunk(rows: usize, card: u64, salt: u64) -> Chunk {
+    let mut keys = Vec::with_capacity(rows);
+    let mut payload = Vec::with_capacity(rows);
+    for i in 0..rows as u64 {
+        keys.push(Scalar::Int((mix(i, salt) % card.max(1)) as i64));
+        payload.push(Scalar::Float(
+            (mix(i, salt ^ 0xabcd) % 10_000) as f64 * 0.01,
+        ));
+    }
+    Chunk {
+        columns: vec![keys, payload],
+    }
+}
+
+/// Join workload: `(build, probe)` chunk pair, keyed on column 0.
+pub struct JoinCase {
+    /// Case label (`join_build_heavy` / `join_probe_heavy`).
+    pub name: &'static str,
+    /// Hash-build side.
+    pub build: Chunk,
+    /// Probe side.
+    pub probe: Chunk,
+}
+
+/// The two join shapes, scaled from `rows`: build-heavy puts the full row
+/// budget on the table-construction side, probe-heavy on the morsel-probe
+/// side. Key cardinality keeps match rates near one output row per probe
+/// row so neither case degenerates into a cross product.
+pub fn join_cases(rows: usize) -> Vec<JoinCase> {
+    let card = (rows as u64 / 2).max(1);
+    vec![
+        JoinCase {
+            name: "join_build_heavy",
+            build: keyed_chunk(rows, card, 1),
+            probe: keyed_chunk(rows / 4, card, 2),
+        },
+        JoinCase {
+            name: "join_probe_heavy",
+            build: keyed_chunk(rows / 8, card, 3),
+            probe: keyed_chunk(rows, card, 4),
+        },
+    ]
+}
+
+/// Aggregation workload: one chunk with ~`rows/4` distinct groups (high
+/// cardinality: the partitioned accumulate + sorted merge is the cost, not
+/// argument evaluation).
+pub fn agg_high_cardinality(rows: usize) -> Chunk {
+    keyed_chunk(rows, (rows as u64 / 4).max(1), 5)
+}
+
+/// Group keys for the aggregation workload (column 0).
+pub fn agg_keys() -> Vec<Expr> {
+    vec![Expr::Slot(0)]
+}
+
+/// The aggregate list: one of each order-sensitive kind over the float
+/// payload column.
+pub fn agg_list() -> Vec<Agg> {
+    vec![
+        Agg::count_star(),
+        Agg::sum(Expr::Slot(1)),
+        Agg::avg(Expr::Slot(1)),
+        Agg::min(Expr::Slot(1)),
+        Agg::max(Expr::Slot(1)),
+    ]
+}

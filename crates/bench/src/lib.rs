@@ -19,6 +19,7 @@ use jt_query::{ExecOptions, ResultSet};
 use std::time::Instant;
 
 pub mod datasets;
+pub mod exec_workloads;
 pub mod experiments;
 pub mod scan_kernels;
 

@@ -1,9 +1,31 @@
 //! Hash aggregation (group-by) with the standard SQL aggregate functions.
+//!
+//! [`group_aggregate`] is the single-threaded oracle. The morsel-driven
+//! [`group_aggregate_par`] must be bit-identical to it at every thread
+//! count — including float aggregates, whose value depends on accumulation
+//! *order* (`f64` addition is not associative). Naively merging per-thread
+//! partial sums would change the result in the last ulp, so the parallel
+//! operator never merges accumulators across rows of the same group.
+//! Instead it splits the work so each group's accumulator still sees its
+//! rows in global row order:
+//!
+//! 1. **Eval phase** (morsel-parallel): key expressions, canonical key
+//!    bytes, key hashes, and aggregate arguments are computed per row over
+//!    contiguous worker ranges — the expensive, trivially-parallel part.
+//! 2. **Accumulate phase** (partition-parallel): groups are hash-partitioned
+//!    by key; each worker owns a set of partitions and drains the eval
+//!    parts in range order, so every group's updates happen in ascending
+//!    global row order on exactly one thread.
+//! 3. **Merge phase**: partitions hold disjoint key sets, so the final
+//!    merge is a concatenation sorted by canonical key bytes — the same
+//!    deterministic group order the oracle produces.
 
 use crate::expr::Expr;
+use crate::par::{key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS};
 use crate::scalar::Scalar;
 use crate::Chunk;
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Aggregate function kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,18 +229,19 @@ impl Acc {
 /// One hash-table entry: the group's key scalars plus its accumulators.
 type GroupEntry = (Vec<Scalar>, Vec<Acc>);
 
+fn new_accs(aggs: &[Agg]) -> Vec<Acc> {
+    aggs.iter()
+        .map(|a| Acc::new(a.kind, a.kind == AggKind::Min))
+        .collect()
+}
+
 /// Group `input` by the key expressions and compute the aggregates.
 /// Output columns: keys first, then one per aggregate. With no keys, a
 /// single global group is produced even for empty input (SQL semantics).
 pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
-    let new_accs = || -> Vec<Acc> {
-        aggs.iter()
-            .map(|a| Acc::new(a.kind, a.kind == AggKind::Min))
-            .collect()
-    };
     // Global aggregates skip the hash table entirely: one accumulator row.
     if keys.is_empty() {
-        let mut accs = new_accs();
+        let mut accs = new_accs(aggs);
         for row in 0..input.rows() {
             for (acc, agg) in accs.iter_mut().zip(aggs) {
                 let v = match agg.kind {
@@ -247,16 +270,23 @@ pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
         for v in &key_vals {
             v.write_key(&mut keybuf);
         }
-        if !groups.contains_key(&keybuf) {
-            groups.insert(keybuf.clone(), (key_vals.clone(), new_accs()));
-        }
-        let entry = groups.get_mut(&keybuf).expect("group just ensured");
-        for (acc, agg) in entry.1.iter_mut().zip(aggs) {
-            let v = match agg.kind {
-                AggKind::CountStar => Scalar::Null,
-                _ => agg.expr.eval(input, row),
-            };
-            acc.update(agg.kind, v);
+        let update = |accs: &mut [Acc]| {
+            for (acc, agg) in accs.iter_mut().zip(aggs) {
+                let v = match agg.kind {
+                    AggKind::CountStar => Scalar::Null,
+                    _ => agg.expr.eval(input, row),
+                };
+                acc.update(agg.kind, v);
+            }
+        };
+        // One lookup on the hot repeated-group path; key bytes and key
+        // scalars are cloned only when the row opens a new group.
+        if let Some(entry) = groups.get_mut(keybuf.as_slice()) {
+            update(&mut entry.1);
+        } else {
+            let mut accs = new_accs(aggs);
+            update(&mut accs);
+            groups.insert(keybuf.clone(), (key_vals.clone(), accs));
         }
     }
     let mut out = Chunk::empty(keys.len() + aggs.len());
@@ -272,6 +302,200 @@ pub fn group_aggregate(input: &Chunk, keys: &[Expr], aggs: &[Agg]) -> Chunk {
         }
     }
     out
+}
+
+/// Execution shape of one parallel aggregation: partition/thread counts and
+/// per-phase wall times. Feeds the `aggregate` stage of the profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AggExecStats {
+    /// Hash partitions of the group table (1 on the sequential path).
+    pub partitions: usize,
+    /// Worker threads used (1 on the sequential path).
+    pub threads: usize,
+    /// Wall time of the morsel-parallel key/argument evaluation phase.
+    pub eval_wall: Duration,
+    /// Wall time of the partition-parallel accumulation phase.
+    pub accumulate_wall: Duration,
+    /// Wall time of the deterministic final merge (sort + emit).
+    pub merge_wall: Duration,
+}
+
+/// One eval-phase worker's output: everything the accumulate phase needs,
+/// indexed by worker-local row (`global row = range.start + local`).
+struct EvalPart {
+    /// Concatenated canonical key bytes.
+    bytes: Vec<u8>,
+    /// Per local row: `(offset, len)` into `bytes`.
+    offs: Vec<(u32, u32)>,
+    /// Evaluated key scalars, `nkeys` per local row.
+    key_vals: Vec<Scalar>,
+    /// Evaluated aggregate arguments, `naggs` per local row
+    /// (`Scalar::Null` placeholders for `COUNT(*)`).
+    args: Vec<Scalar>,
+    /// Per hash partition: local rows that belong to it, ascending.
+    buckets: Vec<Vec<u32>>,
+}
+
+/// Evaluate the aggregate arguments of `row` into `args`.
+#[inline]
+fn eval_args(input: &Chunk, row: usize, aggs: &[Agg], args: &mut Vec<Scalar>) {
+    for agg in aggs {
+        args.push(match agg.kind {
+            AggKind::CountStar => Scalar::Null,
+            _ => agg.expr.eval(input, row),
+        });
+    }
+}
+
+/// Morsel-driven parallel group-by. Bit-identical to [`group_aggregate`]
+/// at every thread count: see the module docs for the ordering argument.
+pub fn group_aggregate_par(
+    input: &Chunk,
+    keys: &[Expr],
+    aggs: &[Agg],
+    threads: usize,
+) -> (Chunk, AggExecStats) {
+    let threads = threads.max(1);
+    if threads == 1 || input.rows() < PAR_MIN_ROWS {
+        let t = Instant::now();
+        let out = group_aggregate(input, keys, aggs);
+        let stats = AggExecStats {
+            partitions: 1,
+            threads: 1,
+            accumulate_wall: t.elapsed(),
+            ..AggExecStats::default()
+        };
+        return (out, stats);
+    }
+    if keys.is_empty() {
+        return global_aggregate_par(input, aggs, threads);
+    }
+    let naggs = aggs.len();
+    let nkeys = keys.len();
+
+    // Phase 1: evaluate keys and arguments morsel-parallel.
+    let t_eval = Instant::now();
+    let parts: Vec<EvalPart> = run_workers(worker_ranges(input.rows(), threads), |range| {
+        let n = range.len();
+        let mut part = EvalPart {
+            bytes: Vec::new(),
+            offs: Vec::with_capacity(n),
+            key_vals: Vec::with_capacity(n * nkeys),
+            args: Vec::with_capacity(n * naggs),
+            buckets: vec![Vec::new(); PARTITIONS],
+        };
+        for (local, row) in range.enumerate() {
+            let start = part.bytes.len();
+            for k in keys {
+                let v = k.eval(input, row);
+                v.write_key(&mut part.bytes);
+                part.key_vals.push(v);
+            }
+            let len = part.bytes.len() - start;
+            part.offs.push((start as u32, len as u32));
+            let p = partition_of(key_hash(&part.bytes[start..]));
+            part.buckets[p].push(local as u32);
+            eval_args(input, row, aggs, &mut part.args);
+        }
+        part
+    });
+    let eval_wall = t_eval.elapsed();
+
+    // Phase 2: accumulate partition-parallel. Each worker owns a disjoint
+    // set of hash partitions and drains the eval parts in range order, so
+    // every group's accumulator sees its rows in global row order.
+    let t_acc = Instant::now();
+    let tables: Vec<Vec<(&[u8], GroupEntry)>> =
+        run_workers(worker_ranges(PARTITIONS, threads), |prange| {
+            let mut out: Vec<(&[u8], GroupEntry)> = Vec::new();
+            for p in prange {
+                let mut table: HashMap<&[u8], GroupEntry> = HashMap::new();
+                for part in &parts {
+                    for &local in &part.buckets[p] {
+                        let li = local as usize;
+                        let (off, len) = part.offs[li];
+                        let key = &part.bytes[off as usize..(off + len) as usize];
+                        let entry = table.entry(key).or_insert_with(|| {
+                            let kv = part.key_vals[li * nkeys..(li + 1) * nkeys].to_vec();
+                            (kv, new_accs(aggs))
+                        });
+                        for (i, (acc, agg)) in entry.1.iter_mut().zip(aggs).enumerate() {
+                            acc.update(agg.kind, part.args[li * naggs + i].clone());
+                        }
+                    }
+                }
+                out.extend(table);
+            }
+            out
+        });
+    let accumulate_wall = t_acc.elapsed();
+
+    // Phase 3: partitions hold disjoint keys, so the deterministic merge is
+    // a flatten + sort by canonical key bytes — the oracle's group order.
+    let t_merge = Instant::now();
+    let mut entries: Vec<(&[u8], GroupEntry)> = tables.into_iter().flatten().collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let mut out = Chunk::empty(nkeys + naggs);
+    for (_, (key_vals, accs)) in entries {
+        for (c, v) in key_vals.into_iter().enumerate() {
+            out.columns[c].push(v);
+        }
+        for (c, acc) in accs.into_iter().enumerate() {
+            out.columns[nkeys + c].push(acc.finish());
+        }
+    }
+    let stats = AggExecStats {
+        partitions: PARTITIONS,
+        threads,
+        eval_wall,
+        accumulate_wall,
+        merge_wall: t_merge.elapsed(),
+    };
+    (out, stats)
+}
+
+/// Global (keyless) aggregation: arguments are evaluated morsel-parallel —
+/// the expensive part — and folded sequentially in global row order, which
+/// keeps order-sensitive float sums bit-identical to the oracle. The single
+/// accumulator row makes group partitioning useless here, and merging
+/// per-morsel partial sums would break float bit-identity.
+fn global_aggregate_par(input: &Chunk, aggs: &[Agg], threads: usize) -> (Chunk, AggExecStats) {
+    let naggs = aggs.len();
+    if naggs == 0 {
+        // Degenerate keyless, aggregate-less query: zero-width output.
+        return (Chunk::empty(0), AggExecStats::default());
+    }
+    let t_eval = Instant::now();
+    let parts: Vec<Vec<Scalar>> = run_workers(worker_ranges(input.rows(), threads), |range| {
+        let mut args = Vec::with_capacity(range.len() * naggs);
+        for row in range {
+            eval_args(input, row, aggs, &mut args);
+        }
+        args
+    });
+    let eval_wall = t_eval.elapsed();
+
+    let t_acc = Instant::now();
+    let mut accs = new_accs(aggs);
+    for part in parts {
+        for row_args in part.chunks_exact(naggs) {
+            for (i, (acc, agg)) in accs.iter_mut().zip(aggs).enumerate() {
+                acc.update(agg.kind, row_args[i].clone());
+            }
+        }
+    }
+    let mut out = Chunk::empty(naggs);
+    for (c, acc) in accs.into_iter().enumerate() {
+        out.columns[c].push(acc.finish());
+    }
+    let stats = AggExecStats {
+        partitions: 1,
+        threads,
+        eval_wall,
+        accumulate_wall: t_acc.elapsed(),
+        merge_wall: Duration::ZERO,
+    };
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -398,6 +622,97 @@ mod tests {
         assert_eq!(out.rows(), 2, "null key is one group");
         let null_row = (0..2).find(|&i| out.get(i, 0).is_null()).unwrap();
         assert_eq!(out.get(null_row, 1).as_i64(), Some(11));
+    }
+
+    fn assert_bits(a: &Chunk, b: &Chunk, what: &str) {
+        assert_eq!(a.rows(), b.rows(), "{what}: rows");
+        assert_eq!(a.width(), b.width(), "{what}: width");
+        for c in 0..a.width() {
+            for r in 0..a.rows() {
+                let same = match (a.get(r, c), b.get(r, c)) {
+                    (Scalar::Null, Scalar::Null) => true,
+                    (Scalar::Int(x), Scalar::Int(y)) => x == y,
+                    (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                    (Scalar::Str(x), Scalar::Str(y)) => x == y,
+                    _ => false,
+                };
+                assert!(
+                    same,
+                    "{what}: row {r} col {c}: {:?} vs {:?}",
+                    a.get(r, c),
+                    b.get(r, c)
+                );
+            }
+        }
+    }
+
+    /// Keys mixing nulls, coercing numerics, and strings; values mixing
+    /// nulls, ints, and floats whose sum is order-sensitive in f64.
+    fn mixed_input(rows: usize) -> Chunk {
+        let keycol = (0..rows)
+            .map(|i| match i % 6 {
+                0 => Scalar::Null,
+                1 | 2 => Scalar::Int((i % 5) as i64),
+                3 => Scalar::Float((i % 5) as f64),
+                _ => Scalar::str(format!("g{}", i % 7)),
+            })
+            .collect();
+        let vals = (0..rows)
+            .map(|i| match i % 4 {
+                0 => Scalar::Null,
+                1 => Scalar::Int(i as i64),
+                _ => Scalar::Float(i as f64 * 0.1),
+            })
+            .collect();
+        Chunk {
+            columns: vec![keycol, vals],
+        }
+    }
+
+    fn all_aggs() -> Vec<Agg> {
+        vec![
+            Agg::count_star(),
+            Agg::count(slot(1)),
+            Agg::sum(slot(1)),
+            Agg::avg(slot(1)),
+            Agg::min(slot(1)),
+            Agg::max(slot(1)),
+            Agg::count_distinct(slot(1)),
+        ]
+    }
+
+    #[test]
+    fn parallel_grouped_matches_oracle_bit_for_bit() {
+        // 700 rows crosses the parallel threshold; 40 stays sequential.
+        for rows in [40usize, 700] {
+            let input = mixed_input(rows);
+            let keys = vec![slot(0)];
+            let oracle = group_aggregate(&input, &keys, &all_aggs());
+            for threads in [1usize, 2, 8] {
+                let (par, stats) = group_aggregate_par(&input, &keys, &all_aggs(), threads);
+                assert_bits(&par, &oracle, &format!("grouped rows={rows} t={threads}"));
+                assert!(stats.partitions >= 1 && stats.threads >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_global_matches_oracle_bit_for_bit() {
+        let input = mixed_input(900);
+        let oracle = group_aggregate(&input, &[], &all_aggs());
+        for threads in [1usize, 2, 8] {
+            let (par, stats) = group_aggregate_par(&input, &[], &all_aggs(), threads);
+            assert_bits(&par, &oracle, &format!("global t={threads}"));
+            assert_eq!(stats.partitions, 1, "global aggregation never partitions");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_partitioned_shape() {
+        let input = mixed_input(700);
+        let (_, s) = group_aggregate_par(&input, &[slot(0)], &all_aggs(), 4);
+        assert_eq!(s.partitions, crate::par::PARTITIONS);
+        assert_eq!(s.threads, 4);
     }
 
     #[test]

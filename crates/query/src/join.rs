@@ -1,127 +1,410 @@
-//! In-memory hash join.
+//! In-memory hash joins: single-threaded oracles and morsel-driven
+//! partitioned parallel variants.
 //!
 //! Equi-join on any number of key slots. SQL semantics: null keys never
 //! match (inner joins are null-rejecting, which is also what makes their
 //! key paths eligible for tile skipping, §4.8).
+//!
+//! The `*_par` variants hash-partition the build side across worker
+//! threads, build one table per partition, and probe contiguous morsels of
+//! the probe side in parallel. Three properties make them bit-identical to
+//! the sequential oracles at every thread count:
+//!
+//! 1. build rows enter each partition table in ascending global row order
+//!    (phase-A workers own contiguous ranges and are drained in order), so
+//!    per-key match lists are identical to the oracle's;
+//! 2. probe workers own contiguous morsels and their outputs are
+//!    concatenated in morsel order, reproducing the oracle's probe order;
+//! 3. partition count is a fixed constant ([`crate::par::PARTITIONS`]) and
+//!    the key hash is a fixed function, so partitioning never depends on
+//!    the thread count.
+//!
+//! The key path allocates nothing per probe row: keys are encoded into one
+//! reused scratch buffer, partition tables borrow key bytes from the
+//! build-phase arenas (`HashMap<&[u8], _>`), and matches accumulate as row
+//! indices that a per-column gather materializes at the end.
 
+use crate::par::{key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS};
 #[cfg(test)]
 use crate::scalar::Scalar;
 use crate::Chunk;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Execution shape of one parallel join: how it partitioned, how many
+/// workers ran, and where the time went. Feeds `JoinProfile`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JoinExecStats {
+    /// Hash partitions of the build table (1 on the sequential path).
+    pub partitions: usize,
+    /// Worker threads used (1 on the sequential path).
+    pub threads: usize,
+    /// Wall time of key encoding + partitioned table build.
+    pub build_wall: Duration,
+    /// Wall time of morsel probing + output gather.
+    pub probe_wall: Duration,
+}
+
+/// Append the canonical key bytes of `row` over `keys` to `out`; returns
+/// false (leaving `out` in an unspecified state) if any key is null.
+#[inline]
+fn encode_key(chunk: &Chunk, row: usize, keys: &[usize], out: &mut Vec<u8>) -> bool {
+    for &k in keys {
+        let v = chunk.get(row, k);
+        if v.is_null() {
+            return false;
+        }
+        v.write_key(out);
+    }
+    true
+}
+
+/// Gather the join output from matched row-index lists: all left columns,
+/// then all right columns.
+fn gather_join(left: &Chunk, right: &Chunk, lrows: &[u32], rrows: &[u32]) -> Chunk {
+    let mut out = Chunk::empty(left.width() + right.width());
+    for (c, col) in left.columns.iter().enumerate() {
+        out.columns[c] = lrows.iter().map(|&i| col[i as usize].clone()).collect();
+    }
+    for (c, col) in right.columns.iter().enumerate() {
+        out.columns[left.width() + c] = rrows.iter().map(|&i| col[i as usize].clone()).collect();
+    }
+    out
+}
+
+/// Gather `rows` of `chunk` into a new chunk (semi/anti join output).
+fn gather_rows(chunk: &Chunk, rows: &[u32]) -> Chunk {
+    let mut out = Chunk::empty(chunk.width());
+    for (c, col) in chunk.columns.iter().enumerate() {
+        out.columns[c] = rows.iter().map(|&i| col[i as usize].clone()).collect();
+    }
+    out
+}
 
 /// Inner hash join: build on `left`, probe with `right`. Output columns are
 /// all left columns followed by all right columns.
 pub fn hash_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
     assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
-    let mut table: HashMap<Vec<u8>, Vec<usize>> = HashMap::with_capacity(left.rows());
+    let mut table: HashMap<Vec<u8>, Vec<u32>> = HashMap::with_capacity(left.rows());
     let mut keybuf = Vec::new();
-    'build: for row in 0..left.rows() {
+    for row in 0..left.rows() {
         keybuf.clear();
-        for &k in left_keys {
-            let v = left.get(row, k);
-            if v.is_null() {
-                continue 'build;
-            }
-            v.write_key(&mut keybuf);
+        if !encode_key(left, row, left_keys, &mut keybuf) {
+            continue;
         }
-        table.entry(keybuf.clone()).or_default().push(row);
+        // Probe before inserting: the key bytes are cloned only the first
+        // time a key is seen, not once per build row.
+        if let Some(rows) = table.get_mut(keybuf.as_slice()) {
+            rows.push(row as u32);
+        } else {
+            table.insert(keybuf.clone(), vec![row as u32]);
+        }
     }
 
-    let width = left.width() + right.width();
-    let mut out = Chunk::empty(width);
-    'probe: for row in 0..right.rows() {
+    let mut lrows: Vec<u32> = Vec::new();
+    let mut rrows: Vec<u32> = Vec::new();
+    for row in 0..right.rows() {
         keybuf.clear();
-        for &k in right_keys {
-            let v = right.get(row, k);
-            if v.is_null() {
-                continue 'probe;
-            }
-            v.write_key(&mut keybuf);
+        if !encode_key(right, row, right_keys, &mut keybuf) {
+            continue;
         }
-        if let Some(matches) = table.get(&keybuf) {
-            for &lrow in matches {
-                for (c, col) in left.columns.iter().enumerate() {
-                    out.columns[c].push(col[lrow].clone());
-                }
-                for (c, col) in right.columns.iter().enumerate() {
-                    out.columns[left.width() + c].push(col[row].clone());
-                }
+        if let Some(matches) = table.get(keybuf.as_slice()) {
+            for &l in matches {
+                lrows.push(l);
+                rrows.push(row as u32);
             }
         }
     }
-    out
+    gather_join(left, right, &lrows, &rrows)
+}
+
+/// One build-phase worker's output: an arena of key bytes plus, per hash
+/// partition, the rows that landed there (ascending) with their key slices.
+struct BuildPart {
+    bytes: Vec<u8>,
+    /// Per partition: `(global row, byte offset, byte len)`, row-ascending.
+    buckets: Vec<Vec<(u32, u32, u32)>>,
+}
+
+/// Phase A of every parallel join: encode + hash + partition the rows of
+/// `chunk` over `keys`, morsel-parallel. Null keys are dropped here, which
+/// is exactly the oracle's build-side behaviour.
+fn partition_keys(chunk: &Chunk, keys: &[usize], workers: usize) -> Vec<BuildPart> {
+    run_workers(worker_ranges(chunk.rows(), workers), |range| {
+        let mut part = BuildPart {
+            bytes: Vec::new(),
+            buckets: vec![Vec::new(); PARTITIONS],
+        };
+        for row in range {
+            let start = part.bytes.len();
+            if !encode_key(chunk, row, keys, &mut part.bytes) {
+                part.bytes.truncate(start);
+                continue;
+            }
+            let len = part.bytes.len() - start;
+            let p = partition_of(key_hash(&part.bytes[start..]));
+            part.buckets[p].push((row as u32, start as u32, len as u32));
+        }
+        part
+    })
+}
+
+/// Phase B: build one match-list table per partition, partition-parallel.
+/// Keys borrow from the phase-A arenas — no per-key allocation at all.
+fn build_tables(parts: &[BuildPart], workers: usize) -> Vec<HashMap<&[u8], Vec<u32>>> {
+    run_workers(worker_ranges(PARTITIONS, workers), |prange| {
+        prange
+            .map(|p| {
+                let n: usize = parts.iter().map(|pt| pt.buckets[p].len()).sum();
+                let mut table: HashMap<&[u8], Vec<u32>> = HashMap::with_capacity(n);
+                // Drain phase-A workers in order: their ranges are
+                // contiguous and ascending, so rows enter each match list
+                // in global row order — the oracle's insertion order.
+                for pt in parts {
+                    for &(row, off, len) in &pt.buckets[p] {
+                        let key = &pt.bytes[off as usize..(off + len) as usize];
+                        table.entry(key).or_default().push(row);
+                    }
+                }
+                table
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Morsel-driven partitioned parallel inner join. Bit-identical to
+/// [`hash_join`] at every thread count.
+pub fn hash_join_par(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+) -> (Chunk, JoinExecStats) {
+    assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
+    let threads = threads.max(1);
+    if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
+        let t = Instant::now();
+        let out = hash_join(left, right, left_keys, right_keys);
+        let stats = JoinExecStats {
+            partitions: 1,
+            threads: 1,
+            build_wall: t.elapsed(),
+            probe_wall: Duration::ZERO,
+        };
+        return (out, stats);
+    }
+    assert!(left.rows() <= u32::MAX as usize, "build side too large");
+
+    let t_build = Instant::now();
+    let parts = partition_keys(left, left_keys, threads);
+    let tables = build_tables(&parts, threads);
+    let build_wall = t_build.elapsed();
+
+    let t_probe = Instant::now();
+    let outputs = run_workers(worker_ranges(right.rows(), threads), |range| {
+        let mut keybuf = Vec::new();
+        let mut lrows: Vec<u32> = Vec::new();
+        let mut rrows: Vec<u32> = Vec::new();
+        for row in range {
+            keybuf.clear();
+            if !encode_key(right, row, right_keys, &mut keybuf) {
+                continue;
+            }
+            let p = partition_of(key_hash(&keybuf));
+            if let Some(matches) = tables[p].get(keybuf.as_slice()) {
+                for &l in matches {
+                    lrows.push(l);
+                    rrows.push(row as u32);
+                }
+            }
+        }
+        gather_join(left, right, &lrows, &rrows)
+    });
+    let mut out = Chunk::empty(left.width() + right.width());
+    for part in outputs {
+        out.append(part);
+    }
+    let stats = JoinExecStats {
+        partitions: PARTITIONS,
+        threads,
+        build_wall,
+        probe_wall: t_probe.elapsed(),
+    };
+    (out, stats)
 }
 
 /// Left semi join: rows of `left` that have at least one match in `right`.
 /// Used for `EXISTS` subqueries (TPC-H Q4-style patterns).
 pub fn semi_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
-    let mut set: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut set: HashSet<Vec<u8>> = HashSet::new();
     let mut keybuf = Vec::new();
-    'build: for row in 0..right.rows() {
+    for row in 0..right.rows() {
         keybuf.clear();
-        for &k in right_keys {
-            let v = right.get(row, k);
-            if v.is_null() {
-                continue 'build;
-            }
-            v.write_key(&mut keybuf);
+        if !encode_key(right, row, right_keys, &mut keybuf) {
+            continue;
         }
-        set.insert(keybuf.clone());
-    }
-    let mut out = Chunk::empty(left.width());
-    'probe: for row in 0..left.rows() {
-        keybuf.clear();
-        for &k in left_keys {
-            let v = left.get(row, k);
-            if v.is_null() {
-                continue 'probe;
-            }
-            v.write_key(&mut keybuf);
-        }
-        if set.contains(&keybuf) {
-            for (c, col) in left.columns.iter().enumerate() {
-                out.columns[c].push(col[row].clone());
-            }
+        if !set.contains(keybuf.as_slice()) {
+            set.insert(keybuf.clone());
         }
     }
-    out
+    let mut rows: Vec<u32> = Vec::new();
+    for row in 0..left.rows() {
+        keybuf.clear();
+        if encode_key(left, row, left_keys, &mut keybuf) && set.contains(keybuf.as_slice()) {
+            rows.push(row as u32);
+        }
+    }
+    gather_rows(left, &rows)
 }
 
 /// Left anti join: rows of `left` with no match in `right` (`NOT EXISTS`).
 pub fn anti_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
-    let mut set: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut set: HashSet<Vec<u8>> = HashSet::new();
     let mut keybuf = Vec::new();
-    'build: for row in 0..right.rows() {
+    for row in 0..right.rows() {
         keybuf.clear();
-        for &k in right_keys {
-            let v = right.get(row, k);
-            if v.is_null() {
-                continue 'build;
-            }
-            v.write_key(&mut keybuf);
+        if !encode_key(right, row, right_keys, &mut keybuf) {
+            continue;
         }
-        set.insert(keybuf.clone());
+        if !set.contains(keybuf.as_slice()) {
+            set.insert(keybuf.clone());
+        }
     }
-    let mut out = Chunk::empty(left.width());
+    let mut rows: Vec<u32> = Vec::new();
     for row in 0..left.rows() {
         keybuf.clear();
-        let mut has_null = false;
-        for &k in left_keys {
-            let v = left.get(row, k);
-            if v.is_null() {
-                has_null = true;
-                break;
-            }
-            v.write_key(&mut keybuf);
-        }
         // Null keys never match, so they survive an anti join.
-        if has_null || !set.contains(&keybuf) {
-            for (c, col) in left.columns.iter().enumerate() {
-                out.columns[c].push(col[row].clone());
-            }
+        if !encode_key(left, row, left_keys, &mut keybuf) || !set.contains(keybuf.as_slice()) {
+            rows.push(row as u32);
         }
     }
-    out
+    gather_rows(left, &rows)
+}
+
+/// The shared parallel core of semi/anti joins: build key sets over `right`
+/// partition-parallel, then select `left` rows morsel-parallel. `keep`
+/// decides from (key-was-null, key-in-set) whether a left row survives.
+fn reduction_join_par(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+    keep: impl Fn(bool, bool) -> bool + Sync,
+) -> (Chunk, JoinExecStats) {
+    let t_build = Instant::now();
+    let parts = partition_keys(right, right_keys, threads);
+    let sets: Vec<HashSet<&[u8]>> = run_workers(worker_ranges(PARTITIONS, threads), |prange| {
+        prange
+            .map(|p| {
+                let mut set: HashSet<&[u8]> = HashSet::new();
+                for pt in &parts {
+                    for &(_, off, len) in &pt.buckets[p] {
+                        set.insert(&pt.bytes[off as usize..(off + len) as usize]);
+                    }
+                }
+                set
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let build_wall = t_build.elapsed();
+
+    let t_probe = Instant::now();
+    let outputs = run_workers(worker_ranges(left.rows(), threads), |range| {
+        let mut keybuf = Vec::new();
+        let mut rows: Vec<u32> = Vec::new();
+        for row in range {
+            keybuf.clear();
+            let (null_key, found) = if encode_key(left, row, left_keys, &mut keybuf) {
+                let p = partition_of(key_hash(&keybuf));
+                (false, sets[p].contains(keybuf.as_slice()))
+            } else {
+                (true, false)
+            };
+            if keep(null_key, found) {
+                rows.push(row as u32);
+            }
+        }
+        gather_rows(left, &rows)
+    });
+    let mut out = Chunk::empty(left.width());
+    for part in outputs {
+        out.append(part);
+    }
+    let stats = JoinExecStats {
+        partitions: PARTITIONS,
+        threads,
+        build_wall,
+        probe_wall: t_probe.elapsed(),
+    };
+    (out, stats)
+}
+
+/// Morsel-driven parallel semi join, bit-identical to [`semi_join`].
+pub fn semi_join_par(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+) -> (Chunk, JoinExecStats) {
+    let threads = threads.max(1);
+    if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
+        let t = Instant::now();
+        let out = semi_join(left, right, left_keys, right_keys);
+        let stats = JoinExecStats {
+            partitions: 1,
+            threads: 1,
+            build_wall: t.elapsed(),
+            probe_wall: Duration::ZERO,
+        };
+        return (out, stats);
+    }
+    reduction_join_par(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        threads,
+        |null, found| !null && found,
+    )
+}
+
+/// Morsel-driven parallel anti join, bit-identical to [`anti_join`].
+pub fn anti_join_par(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+) -> (Chunk, JoinExecStats) {
+    let threads = threads.max(1);
+    if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
+        let t = Instant::now();
+        let out = anti_join(left, right, left_keys, right_keys);
+        let stats = JoinExecStats {
+            partitions: 1,
+            threads: 1,
+            build_wall: t.elapsed(),
+            probe_wall: Duration::ZERO,
+        };
+        return (out, stats);
+    }
+    reduction_join_par(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        threads,
+        |null, found| null || !found,
+    )
 }
 
 #[cfg(test)]
@@ -203,5 +486,89 @@ mod tests {
         assert_eq!(hash_join(&r, &l, &[0], &[0]).rows(), 0);
         assert_eq!(semi_join(&r, &l, &[0], &[0]).rows(), 0);
         assert_eq!(anti_join(&r, &l, &[0], &[0]).rows(), 2);
+    }
+
+    /// Mixed-type, duplicate-heavy, null-sprinkled chunks for the
+    /// parallel-vs-oracle unit checks.
+    fn mixed_chunk(rows: usize, seed: i64) -> Chunk {
+        let key = |i: usize| -> Scalar {
+            match (i as i64 + seed) % 7 {
+                0 => Scalar::Null,
+                1 | 2 => Scalar::Int((i as i64 + seed) % 5),
+                3 => Scalar::Float(((i as i64 + seed) % 5) as f64),
+                4 => Scalar::str(format!("k{}", (i + 1) % 4)),
+                _ => Scalar::Int((i as i64 * 3 + seed) % 11),
+            }
+        };
+        Chunk {
+            columns: vec![
+                (0..rows).map(key).collect(),
+                (0..rows).map(|i| Scalar::Int(i as i64)).collect(),
+            ],
+        }
+    }
+
+    fn assert_bit_identical(a: &Chunk, b: &Chunk, what: &str) {
+        assert_eq!(a.rows(), b.rows(), "{what}: row count");
+        assert_eq!(a.width(), b.width(), "{what}: width");
+        for c in 0..a.width() {
+            for r in 0..a.rows() {
+                let (x, y) = (a.get(r, c), b.get(r, c));
+                let same = match (x, y) {
+                    (Scalar::Null, Scalar::Null) => true,
+                    (Scalar::Int(p), Scalar::Int(q)) => p == q,
+                    (Scalar::Float(p), Scalar::Float(q)) => p.to_bits() == q.to_bits(),
+                    (Scalar::Str(p), Scalar::Str(q)) => p == q,
+                    (Scalar::Bool(p), Scalar::Bool(q)) => p == q,
+                    (Scalar::Timestamp(p), Scalar::Timestamp(q)) => p == q,
+                    _ => false,
+                };
+                assert!(same, "{what}: row {r} col {c}: {x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_joins_match_oracles() {
+        // Sizes straddle PAR_MIN_ROWS so both the fallback and the
+        // partitioned path run; thread counts exceed the partition-worker
+        // clamp to exercise range splitting.
+        for (lrows, rrows) in [(40, 50), (300, 700), (701, 303)] {
+            let l = mixed_chunk(lrows, 1);
+            let r = mixed_chunk(rrows, 3);
+            for threads in [1usize, 2, 8] {
+                let (inner, s) = hash_join_par(&l, &r, &[0], &[0], threads);
+                assert_bit_identical(
+                    &inner,
+                    &hash_join(&l, &r, &[0], &[0]),
+                    &format!("inner t={threads} l={lrows}"),
+                );
+                assert!(s.threads >= 1 && s.partitions >= 1);
+                let (semi, _) = semi_join_par(&l, &r, &[0], &[0], threads);
+                assert_bit_identical(
+                    &semi,
+                    &semi_join(&l, &r, &[0], &[0]),
+                    &format!("semi t={threads} l={lrows}"),
+                );
+                let (anti, _) = anti_join_par(&l, &r, &[0], &[0], threads);
+                assert_bit_identical(
+                    &anti,
+                    &anti_join(&l, &r, &[0], &[0]),
+                    &format!("anti t={threads} l={lrows}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_join_reports_partitioned_shape() {
+        let l = mixed_chunk(400, 0);
+        let r = mixed_chunk(400, 5);
+        let (_, s) = hash_join_par(&l, &r, &[0], &[0], 4);
+        assert_eq!(s.partitions, crate::par::PARTITIONS);
+        assert_eq!(s.threads, 4);
+        let (_, s1) = hash_join_par(&l, &r, &[0], &[0], 1);
+        assert_eq!(s1.partitions, 1);
+        assert_eq!(s1.threads, 1);
     }
 }

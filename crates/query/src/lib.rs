@@ -42,14 +42,18 @@ mod agg;
 mod expr;
 mod join;
 mod kernel;
+mod par;
 mod plan;
 mod profile;
 mod scalar;
 mod scan;
 
 pub use access::{parse_dotted_path, Access};
-pub use agg::{Agg, AggKind};
+pub use agg::{group_aggregate, group_aggregate_par, Agg, AggExecStats, AggKind};
 pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
+pub use join::{
+    anti_join, anti_join_par, hash_join, hash_join_par, semi_join, semi_join_par, JoinExecStats,
+};
 pub use jt_core::AccessType;
 pub use kernel::SelVec;
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};

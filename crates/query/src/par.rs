@@ -1,0 +1,103 @@
+//! Shared morsel-parallel execution helpers for the post-scan operators.
+//!
+//! Joins, aggregation, and the post-join stages all follow the same shape:
+//! split the input rows into contiguous worker ranges, run each range on a
+//! scoped thread, and concatenate the per-worker outputs *in worker order*.
+//! Because the ranges are contiguous and ascending, worker-order
+//! concatenation reproduces the global row order exactly — the parallel
+//! operators stay bit-identical to their single-threaded oracles at every
+//! thread count, the same guarantee `execute_scan` already gives.
+
+use std::ops::Range;
+
+/// Hash partitions used by the partitioned join/aggregation operators.
+/// Fixed (and a power of two) so partition assignment never depends on the
+/// thread count.
+pub(crate) const PARTITIONS: usize = 64;
+
+/// Below this many input rows the sequential operator wins: spawning scoped
+/// threads costs more than the whole operation.
+pub(crate) const PAR_MIN_ROWS: usize = 256;
+
+/// Deterministic 64-bit hash of canonical key bytes. Build and probe sides
+/// must agree on partition assignment, so this is a fixed function rather
+/// than a per-table `RandomState`.
+#[inline]
+pub(crate) fn key_hash(bytes: &[u8]) -> u64 {
+    jt_stats::hash64(bytes, 0x4a54_5041_5254)
+}
+
+/// The hash partition of a key.
+#[inline]
+pub(crate) fn partition_of(hash: u64) -> usize {
+    (hash as usize) & (PARTITIONS - 1)
+}
+
+/// Split `0..n` into up to `workers` contiguous, ascending, non-empty
+/// ranges. Concatenating per-range outputs in order reproduces the
+/// sequential row order.
+pub(crate) fn worker_ranges(n: usize, workers: usize) -> Vec<Range<usize>> {
+    let w = workers.max(1).min(n.max(1));
+    let per = n.div_ceil(w).max(1);
+    (0..w)
+        .map(|i| (i * per).min(n)..((i + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Run `f` over each range on its own scoped thread (inline when there is
+/// only one range) and return the outputs in range order.
+pub(crate) fn run_workers<T, F>(ranges: Vec<Range<usize>>, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || f(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel operator worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly_once_in_order() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for w in [1usize, 2, 3, 8, 200] {
+                let ranges = worker_ranges(n, w);
+                let flat: Vec<usize> = ranges.iter().cloned().flatten().collect();
+                assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n} w={w}");
+                assert!(ranges.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn workers_preserve_range_order() {
+        let out = run_workers(worker_ranges(100, 8), |r| r.sum::<usize>());
+        assert_eq!(out.iter().sum::<usize>(), (0..100).sum::<usize>());
+        let single = run_workers(worker_ranges(100, 1), |r| r.sum::<usize>());
+        assert_eq!(single, vec![(0..100).sum::<usize>()]);
+    }
+
+    #[test]
+    fn partition_is_stable_and_in_range() {
+        for key in [&b"abc"[..], b"", b"longer key bytes"] {
+            let p = partition_of(key_hash(key));
+            assert!(p < PARTITIONS);
+            assert_eq!(p, partition_of(key_hash(key)));
+        }
+    }
+}

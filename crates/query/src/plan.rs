@@ -15,9 +15,10 @@
 //! 3. **Semi/anti joins, post-filters, aggregation, having, order/limit.**
 
 use crate::access::Access;
-use crate::agg::{group_aggregate, Agg};
+use crate::agg::{group_aggregate_par, Agg};
 use crate::expr::Expr;
-use crate::join::{anti_join, hash_join, semi_join};
+use crate::join::{anti_join_par, hash_join_par, semi_join_par};
+use crate::par::{run_workers, worker_ranges, PAR_MIN_ROWS};
 use crate::profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 use crate::scalar::Scalar;
 use crate::scan::{execute_scan, ScanSpec, ScanStats};
@@ -29,10 +30,11 @@ use std::time::Instant;
 /// Execution knobs (the Figure 8 / Figure 14 experiment switches).
 #[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
-    /// Worker threads for scans. Defaults to the machine's available
-    /// parallelism (clamped to 16); results are tile-order deterministic
-    /// regardless, but tests that pin down exact timings or interleavings
-    /// should set `threads: 1` explicitly.
+    /// Worker threads for the whole pipeline: scans, joins, aggregation,
+    /// and the post-join stages. Defaults to the machine's available
+    /// parallelism (clamped to 16); results are bit-identical at every
+    /// thread count, but tests that pin down exact timings or
+    /// interleavings should set `threads: 1` explicitly.
     pub threads: usize,
     /// §4.8 tile skipping.
     pub enable_skipping: bool,
@@ -507,7 +509,9 @@ impl<'a> Query<'a> {
                 let rslot = slot_base[rc][&rt] + rs;
                 let t_join = Instant::now();
                 let probe_rows = chunk.rows();
-                let filtered = filter_chunk(chunk, &Expr::Slot(lslot).eq(Expr::Slot(rslot)));
+                let threads = stage_threads(probe_rows, opts.threads);
+                let filtered =
+                    filter_chunk_par(chunk, &Expr::Slot(lslot).eq(Expr::Slot(rslot)), threads);
                 profile.joins.push(JoinProfile {
                     left: j.left.clone(),
                     right: j.right.clone(),
@@ -516,6 +520,8 @@ impl<'a> Query<'a> {
                     probe_rows,
                     rows_out: filtered.rows(),
                     wall: t_join.elapsed(),
+                    threads,
+                    ..JoinProfile::default()
                 });
                 components[lc] = Some(filtered);
                 continue;
@@ -526,14 +532,14 @@ impl<'a> Query<'a> {
             let rslot = slot_base[rc][&rt] + rs;
             // Build on the smaller side.
             let t_join = Instant::now();
-            let (joined, left_first) = if left_chunk.rows() <= right_chunk.rows() {
+            let ((joined, jstats), left_first) = if left_chunk.rows() <= right_chunk.rows() {
                 (
-                    hash_join(&left_chunk, &right_chunk, &[lslot], &[rslot]),
+                    hash_join_par(&left_chunk, &right_chunk, &[lslot], &[rslot], opts.threads),
                     true,
                 )
             } else {
                 (
-                    hash_join(&right_chunk, &left_chunk, &[rslot], &[lslot]),
+                    hash_join_par(&right_chunk, &left_chunk, &[rslot], &[lslot], opts.threads),
                     false,
                 )
             };
@@ -545,6 +551,10 @@ impl<'a> Query<'a> {
                 probe_rows: left_chunk.rows().max(right_chunk.rows()),
                 rows_out: joined.rows(),
                 wall: t_join.elapsed(),
+                partitions: jstats.partitions,
+                threads: jstats.threads,
+                build_wall: jstats.build_wall,
+                probe_wall: jstats.probe_wall,
             });
             // Merge slot maps: offsets shift by the left side's width.
             let (first, second, first_width) = if left_first {
@@ -598,6 +608,7 @@ impl<'a> Query<'a> {
                     probe_rows,
                     rows_out: joined.rows(),
                     wall: t_join.elapsed(),
+                    ..JoinProfile::default()
                 });
                 let add: Vec<(usize, usize)> =
                     slot_base[c].iter().map(|(&t, &b)| (t, b + lw)).collect();
@@ -635,11 +646,12 @@ impl<'a> Query<'a> {
                 chunk.rows(),
                 right.rows(),
             );
-            chunk = match j.kind {
-                JoinKind::Semi => semi_join(&chunk, &right, &[lslot], &[rs]),
-                JoinKind::Anti => anti_join(&chunk, &right, &[lslot], &[rs]),
+            let (reduced, jstats) = match j.kind {
+                JoinKind::Semi => semi_join_par(&chunk, &right, &[lslot], &[rs], opts.threads),
+                JoinKind::Anti => anti_join_par(&chunk, &right, &[lslot], &[rs], opts.threads),
                 JoinKind::Inner => unreachable!(),
             };
+            chunk = reduced;
             profile.joins.push(JoinProfile {
                 left: j.left.clone(),
                 right: j.right.clone(),
@@ -648,6 +660,10 @@ impl<'a> Query<'a> {
                 probe_rows,
                 rows_out: chunk.rows(),
                 wall: t_join.elapsed(),
+                partitions: jstats.partitions,
+                threads: jstats.threads,
+                build_wall: jstats.build_wall,
+                probe_wall: jstats.probe_wall,
             });
         }
 
@@ -658,11 +674,14 @@ impl<'a> Query<'a> {
                 let (t, s) = lookup_table(name);
                 slot_base[root][&t] + s
             });
-            chunk = filter_chunk(chunk, &f);
+            let threads = stage_threads(chunk.rows(), opts.threads);
+            chunk = filter_chunk_par(chunk, &f, threads);
             profile.stages.push(StageProfile {
                 name: "post-filter",
                 rows_out: chunk.rows(),
                 wall: t_stage.elapsed(),
+                threads,
+                ..StageProfile::default()
             });
         }
 
@@ -681,11 +700,16 @@ impl<'a> Query<'a> {
             for a in &mut aggs {
                 a.expr.resolve(&global_lookup);
             }
-            let grouped = group_aggregate(&chunk, &keys, &aggs);
+            let (grouped, astats) = group_aggregate_par(&chunk, &keys, &aggs, opts.threads);
             profile.stages.push(StageProfile {
                 name: "aggregate",
                 rows_out: grouped.rows(),
                 wall: t_stage.elapsed(),
+                threads: astats.threads,
+                partitions: astats.partitions,
+                eval_wall: astats.eval_wall,
+                accumulate_wall: astats.accumulate_wall,
+                merge_wall: astats.merge_wall,
             });
             grouped
         } else {
@@ -695,11 +719,14 @@ impl<'a> Query<'a> {
         // --- having / select / order / limit -----------------------------
         if let Some(h) = self.having {
             let t_stage = Instant::now();
-            out = filter_chunk(out, &h);
+            let threads = stage_threads(out.rows(), opts.threads);
+            out = filter_chunk_par(out, &h, threads);
             profile.stages.push(StageProfile {
                 name: "having",
                 rows_out: out.rows(),
                 wall: t_stage.elapsed(),
+                threads,
+                ..StageProfile::default()
             });
         }
         if let Some(mut sel) = self.select {
@@ -709,17 +736,14 @@ impl<'a> Query<'a> {
                 // non-aggregated plans they may still use names.
                 e.resolve(&global_lookup);
             }
-            let mut proj = Chunk::empty(sel.len());
-            for row in 0..out.rows() {
-                for (c, e) in sel.iter().enumerate() {
-                    proj.columns[c].push(e.eval(&out, row));
-                }
-            }
-            out = proj;
+            let threads = stage_threads(out.rows(), opts.threads);
+            out = project_chunk_par(&out, &sel, threads);
             profile.stages.push(StageProfile {
                 name: "select",
                 rows_out: out.rows(),
                 wall: t_stage.elapsed(),
+                threads,
+                ..StageProfile::default()
             });
         }
         if !self.order_by.is_empty() {
@@ -753,6 +777,7 @@ impl<'a> Query<'a> {
                 name: "order-by",
                 rows_out: out.rows(),
                 wall: t_order.elapsed(),
+                ..StageProfile::default()
             });
         }
         if let Some(n) = self.limit {
@@ -764,6 +789,7 @@ impl<'a> Query<'a> {
                 name: "limit",
                 rows_out: out.rows(),
                 wall: t_stage.elapsed(),
+                ..StageProfile::default()
             });
         }
 
@@ -888,10 +914,38 @@ fn publish_profile(profile: &ExecProfile) {
         g.counter("query.join.build_rows").add(j.build_rows as u64);
         g.counter("query.join.probe_rows").add(j.probe_rows as u64);
         g.counter("query.join.rows_out").add(j.rows_out as u64);
+        if j.partitions > 0 {
+            g.counter("query.join.partitions").add(j.partitions as u64);
+            g.counter("query.join.threads").add(j.threads as u64);
+            g.histogram("query.join.build_ns").record(ns(j.build_wall));
+            g.histogram("query.join.probe_ns").record(ns(j.probe_wall));
+        }
     }
     for st in &profile.stages {
         g.histogram(&format!("query.exec.{}_ns", st.name))
             .record(ns(st.wall));
+        if st.threads > 0 {
+            g.counter(&format!("query.stage.{}.threads", st.name))
+                .add(st.threads as u64);
+        }
+        if st.partitions > 0 {
+            g.counter("query.agg.partitions").add(st.partitions as u64);
+            g.histogram("query.agg.eval_ns").record(ns(st.eval_wall));
+            g.histogram("query.agg.accumulate_ns")
+                .record(ns(st.accumulate_wall));
+            g.histogram("query.agg.merge_ns").record(ns(st.merge_wall));
+        }
+    }
+}
+
+/// Threads a row-parallel post-join stage will actually use: 1 below the
+/// morsel threshold (thread spawn costs more than the stage), else the
+/// configured count.
+fn stage_threads(rows: usize, threads: usize) -> usize {
+    if threads <= 1 || rows < PAR_MIN_ROWS {
+        1
+    } else {
+        threads
     }
 }
 
@@ -903,6 +957,56 @@ fn filter_chunk(chunk: Chunk, pred: &Expr) -> Chunk {
                 out.columns[c].push(col[row].clone());
             }
         }
+    }
+    out
+}
+
+/// Morsel-parallel [`filter_chunk`]: workers filter contiguous row ranges
+/// and the kept rows are concatenated in range order, so output order (and
+/// therefore the result) is identical at every thread count.
+fn filter_chunk_par(chunk: Chunk, pred: &Expr, threads: usize) -> Chunk {
+    if threads <= 1 || chunk.rows() < PAR_MIN_ROWS {
+        return filter_chunk(chunk, pred);
+    }
+    let src = &chunk;
+    let parts = run_workers(worker_ranges(src.rows(), threads), |range| {
+        let mut out = Chunk::empty(src.width());
+        for row in range {
+            if pred.eval_bool(src, row) {
+                for (c, col) in src.columns.iter().enumerate() {
+                    out.columns[c].push(col[row].clone());
+                }
+            }
+        }
+        out
+    });
+    let mut out = Chunk::empty(chunk.width());
+    for p in parts {
+        out.append(p);
+    }
+    out
+}
+
+/// Morsel-parallel projection: each worker evaluates the select expressions
+/// over a contiguous row range; range-order concatenation keeps the output
+/// bit-identical to the sequential loop.
+fn project_chunk_par(input: &Chunk, exprs: &[Expr], threads: usize) -> Chunk {
+    let eval_range = |range: std::ops::Range<usize>| {
+        let mut proj = Chunk::empty(exprs.len());
+        for row in range {
+            for (c, e) in exprs.iter().enumerate() {
+                proj.columns[c].push(e.eval(input, row));
+            }
+        }
+        proj
+    };
+    if threads <= 1 || input.rows() < PAR_MIN_ROWS {
+        return eval_range(0..input.rows());
+    }
+    let parts = run_workers(worker_ranges(input.rows(), threads), eval_range);
+    let mut out = Chunk::empty(exprs.len());
+    for p in parts {
+        out.append(p);
     }
     out
 }

@@ -43,6 +43,15 @@ pub struct JoinProfile {
     pub rows_out: usize,
     /// Join wall time.
     pub wall: Duration,
+    /// Hash partitions used (1 when the sequential fallback ran, 0 for
+    /// join kinds that never partition: `"filter"` and `"cross"`).
+    pub partitions: usize,
+    /// Worker threads used (0 for non-partitioned join kinds).
+    pub threads: usize,
+    /// Wall time of the partition + build phases.
+    pub build_wall: Duration,
+    /// Wall time of the parallel probe phase.
+    pub probe_wall: Duration,
 }
 
 /// One post-join stage (only stages the query actually has are recorded).
@@ -55,6 +64,19 @@ pub struct StageProfile {
     pub rows_out: usize,
     /// Stage wall time.
     pub wall: Duration,
+    /// Worker threads used (0 for stages that always run sequentially:
+    /// `"order-by"`, `"limit"`).
+    pub threads: usize,
+    /// Hash partitions used by `"aggregate"` (0 for every other stage,
+    /// 1 when the sequential fallback or a global aggregate ran).
+    pub partitions: usize,
+    /// `"aggregate"` only: wall time of the parallel argument-eval phase.
+    pub eval_wall: Duration,
+    /// `"aggregate"` only: wall time of the partition-parallel
+    /// accumulation phase.
+    pub accumulate_wall: Duration,
+    /// `"aggregate"` only: wall time of the deterministic final merge.
+    pub merge_wall: Duration,
 }
 
 /// The full `EXPLAIN ANALYZE` record of one executed query.
@@ -123,22 +145,49 @@ impl ExecProfile {
             ));
         }
         for j in &self.joins {
+            let par = if j.partitions > 0 {
+                format!(
+                    " (p={}, t={}, build {}, probe {})",
+                    j.partitions,
+                    j.threads,
+                    fmt_wall(j.build_wall),
+                    fmt_wall(j.probe_wall),
+                )
+            } else {
+                String::new()
+            };
             lines.push(format!(
-                "join {} = {} ({}): build {} x probe {} -> {} rows [{}]",
+                "join {} = {} ({}): build {} x probe {} -> {} rows{} [{}]",
                 j.left,
                 j.right,
                 j.kind,
                 j.build_rows,
                 j.probe_rows,
                 j.rows_out,
+                par,
                 fmt_wall(j.wall),
             ));
         }
         for st in &self.stages {
+            let par = if st.partitions > 0 {
+                format!(
+                    " (p={}, t={}, eval {}, accumulate {}, merge {})",
+                    st.partitions,
+                    st.threads,
+                    fmt_wall(st.eval_wall),
+                    fmt_wall(st.accumulate_wall),
+                    fmt_wall(st.merge_wall),
+                )
+            } else if st.threads > 1 {
+                format!(" (t={})", st.threads)
+            } else {
+                String::new()
+            };
             lines.push(format!(
-                "{}: {} rows [{}]",
+                "{}: {} rows{} [{}]",
                 st.name,
                 st.rows_out,
+                par,
                 fmt_wall(st.wall)
             ));
         }
@@ -202,11 +251,20 @@ mod tests {
                 probe_rows: 900,
                 rows_out: 250,
                 wall: Duration::from_micros(80),
+                partitions: 64,
+                threads: 4,
+                build_wall: Duration::from_micros(30),
+                probe_wall: Duration::from_micros(45),
             }],
             stages: vec![StageProfile {
                 name: "aggregate",
                 rows_out: 7,
                 wall: Duration::from_micros(15),
+                threads: 4,
+                partitions: 64,
+                eval_wall: Duration::from_micros(6),
+                accumulate_wall: Duration::from_micros(5),
+                merge_wall: Duration::from_micros(2),
             }],
             total: Duration::from_micros(600),
             rows_out: 7,
@@ -218,7 +276,38 @@ mod tests {
         );
         assert!(text.contains("3072 rows scanned (3000 kernel, 72 exact)"));
         assert!(text.contains("join o_id = l_id (inner): build 100 x probe 900 -> 250 rows"));
+        assert!(text.contains("250 rows (p=64, t=4, build 30.00 us, probe 45.00 us)"));
         assert!(text.contains("`- aggregate: 7 rows"));
+        assert!(
+            text.contains("7 rows (p=64, t=4, eval 6.00 us, accumulate 5.00 us, merge 2.00 us)")
+        );
+    }
+
+    #[test]
+    fn render_omits_parallel_detail_when_unset() {
+        let profile = ExecProfile {
+            joins: vec![JoinProfile {
+                left: "a".into(),
+                right: "b".into(),
+                kind: "cross",
+                build_rows: 2,
+                probe_rows: 3,
+                rows_out: 6,
+                ..JoinProfile::default()
+            }],
+            stages: vec![StageProfile {
+                name: "order-by",
+                rows_out: 6,
+                ..StageProfile::default()
+            }],
+            rows_out: 6,
+            ..ExecProfile::default()
+        };
+        let text = profile.render();
+        assert!(text.contains("join a = b (cross): build 2 x probe 3 -> 6 rows ["));
+        assert!(text.contains("`- order-by: 6 rows ["));
+        assert!(!text.contains("(p="));
+        assert!(!text.contains("(t="));
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Property test: the morsel-driven parallel join and aggregation
+//! operators are bit-identical to their single-threaded oracles at every
+//! thread count. "Bit-identical" means same variant, same value (floats
+//! compared by bit pattern), same row order — not merely SQL-equal.
+//!
+//! Coverage: null keys (never match in joins, do group in GROUP BY),
+//! multi-key joins, empty sides, duplicate-heavy keys (small key
+//! cardinality), numeric key coercion (`Int(3)` joins `Float(3.0)`), and
+//! all aggregate kinds over order-sensitive float payloads.
+
+use jt_query::{
+    anti_join, anti_join_par, group_aggregate, group_aggregate_par, hash_join, hash_join_par,
+    semi_join, semi_join_par, Agg, Chunk, Expr, Scalar,
+};
+use proptest::prelude::*;
+
+/// One generated row: key variant/value, payload variant/value, and a
+/// second-key variant for multi-key cases.
+type RowSpec = (u8, i64, u8, i64, u8);
+
+fn key_scalar(variant: u8, v: i64, card: i64) -> Scalar {
+    let v = v.rem_euclid(card);
+    match variant % 5 {
+        0 => Scalar::Null,
+        // Two Int arms: keys are duplicate-heavy and mostly typed.
+        1 | 2 => Scalar::Int(v),
+        // Coerces with Int in join keys and group keys.
+        3 => Scalar::Float(v as f64),
+        _ => Scalar::str(format!("k{v}")),
+    }
+}
+
+fn payload_scalar(variant: u8, v: i64) -> Scalar {
+    match variant % 4 {
+        0 => Scalar::Null,
+        1 => Scalar::Int(v),
+        // Float sums are order-sensitive: any accumulation reorder shows
+        // up as a bit difference.
+        _ => Scalar::Float(v as f64 * 0.1),
+    }
+}
+
+/// Build a chunk with columns `[key0, key1, payload]`.
+fn chunk_from(rows: &[RowSpec], card: i64) -> Chunk {
+    let mut columns = vec![Vec::new(), Vec::new(), Vec::new()];
+    for &(kvar, kval, pvar, pval, k2var) in rows {
+        columns[0].push(key_scalar(kvar, kval, card));
+        columns[1].push(key_scalar(k2var, kval.wrapping_add(1), card));
+        columns[2].push(payload_scalar(pvar, pval));
+    }
+    Chunk { columns }
+}
+
+fn bits_eq(a: &Scalar, b: &Scalar) -> bool {
+    match (a, b) {
+        (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn chunks_bits_eq(a: &Chunk, b: &Chunk) -> bool {
+    a.rows() == b.rows()
+        && a.width() == b.width()
+        && (0..a.width()).all(|c| (0..a.rows()).all(|r| bits_eq(a.get(r, c), b.get(r, c))))
+}
+
+fn all_aggs(slot: usize) -> Vec<Agg> {
+    let e = || Expr::Slot(slot);
+    vec![
+        Agg::count_star(),
+        Agg::count(e()),
+        Agg::sum(e()),
+        Agg::avg(e()),
+        Agg::min(e()),
+        Agg::max(e()),
+        Agg::count_distinct(e()),
+    ]
+}
+
+fn row_strategy() -> impl Strategy<Value = RowSpec> {
+    (
+        any::<u8>(),
+        any::<i64>(),
+        any::<u8>(),
+        // Small payload range: keeps SUM(Int) away from i64 overflow so
+        // oracle and parallel paths can't diverge via panics.
+        -1000i64..1000,
+        any::<u8>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_joins_match_oracle(
+        left in prop::collection::vec(row_strategy(), 0..400),
+        right in prop::collection::vec(row_strategy(), 0..400),
+        card in 1i64..40,
+        two_keys in any::<bool>(),
+    ) {
+        let l = chunk_from(&left, card);
+        let r = chunk_from(&right, card);
+        let keys: Vec<usize> = if two_keys { vec![0, 1] } else { vec![0] };
+        let inner = hash_join(&l, &r, &keys, &keys);
+        let semi = semi_join(&l, &r, &keys, &keys);
+        let anti = anti_join(&l, &r, &keys, &keys);
+        for threads in [1usize, 2, 8] {
+            let (p, _) = hash_join_par(&l, &r, &keys, &keys, threads);
+            prop_assert!(chunks_bits_eq(&p, &inner), "inner join diverged at threads={threads}");
+            let (p, _) = semi_join_par(&l, &r, &keys, &keys, threads);
+            prop_assert!(chunks_bits_eq(&p, &semi), "semi join diverged at threads={threads}");
+            let (p, _) = anti_join_par(&l, &r, &keys, &keys, threads);
+            prop_assert!(chunks_bits_eq(&p, &anti), "anti join diverged at threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_aggregation_matches_oracle(
+        rows in prop::collection::vec(row_strategy(), 0..700),
+        card in 1i64..30,
+        grouped in any::<bool>(),
+    ) {
+        let input = chunk_from(&rows, card);
+        let keys: Vec<Expr> = if grouped {
+            vec![Expr::Slot(0), Expr::Slot(1)]
+        } else {
+            Vec::new()
+        };
+        let aggs = all_aggs(2);
+        let oracle = group_aggregate(&input, &keys, &aggs);
+        for threads in [1usize, 2, 8] {
+            let (p, _) = group_aggregate_par(&input, &keys, &aggs, threads);
+            prop_assert!(
+                chunks_bits_eq(&p, &oracle),
+                "aggregation (grouped={grouped}) diverged at threads={threads}"
+            );
+        }
+    }
+}
+
+/// Deterministic guard: inputs big enough to take the partitioned path on
+/// every operator (the proptest sizes usually do, but not provably).
+#[test]
+fn partitioned_paths_match_oracle_on_large_inputs() {
+    let rows: Vec<RowSpec> = (0..900)
+        .map(|i| (i as u8, i, (i / 3) as u8, i % 777, (i / 5) as u8))
+        .collect();
+    let l = chunk_from(&rows, 23);
+    let r = chunk_from(&rows[200..], 23);
+    let keys = [0usize, 1];
+    let (inner, s) = hash_join_par(&l, &r, &keys, &keys, 8);
+    assert!(
+        s.partitions > 1,
+        "large join must take the partitioned path"
+    );
+    assert!(chunks_bits_eq(&inner, &hash_join(&l, &r, &keys, &keys)));
+
+    let gkeys = vec![Expr::Slot(0), Expr::Slot(1)];
+    let aggs = all_aggs(2);
+    let (grouped, a) = group_aggregate_par(&l, &gkeys, &aggs, 8);
+    assert!(a.partitions > 1, "large agg must take the partitioned path");
+    assert!(chunks_bits_eq(
+        &grouped,
+        &group_aggregate(&l, &gkeys, &aggs)
+    ));
+}

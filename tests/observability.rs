@@ -62,6 +62,61 @@ fn tpch_profiles_satisfy_accounting_identities() {
     }
 }
 
+/// Thread count must not change results: every TPC-H query at `threads: 4`
+/// returns a chunk bit-identical to `threads: 1` (floats compared by bit
+/// pattern), and the profile accounting identities hold on the parallel
+/// path too. At least one query must actually take a partitioned operator
+/// path so the assertion isn't vacuous.
+#[test]
+fn tpch_results_are_bit_identical_across_thread_counts() {
+    use json_tiles::query::Scalar;
+    let rel = combined_relation(0.04, 7);
+    let opts = |threads| ExecOptions {
+        threads,
+        ..ExecOptions::default()
+    };
+    let mut partitioned_ops = 0usize;
+    for q in 1..=tpch::QUERY_COUNT {
+        let seq = tpch::run_query(q, &rel, opts(1));
+        let par = tpch::run_query(q, &rel, opts(4));
+        assert_eq!(par.rows(), seq.rows(), "Q{q}: row count changed");
+        assert_eq!(par.chunk.width(), seq.chunk.width(), "Q{q}: width changed");
+        for c in 0..seq.chunk.width() {
+            for r in 0..seq.rows() {
+                let (a, b) = (par.chunk.get(r, c), seq.chunk.get(r, c));
+                let same = match (a, b) {
+                    (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                    _ => a == b,
+                };
+                assert!(same, "Q{q}: row {r} col {c}: {a:?} (t=4) vs {b:?} (t=1)");
+            }
+        }
+        // Row accounting must hold regardless of thread count.
+        let p = &par.profile;
+        assert_eq!(p.rows_out, par.rows(), "Q{q}: parallel profile rows_out");
+        for s in &p.scans {
+            assert_eq!(
+                s.stats.scanned_tiles + s.stats.skipped_tiles,
+                s.stats.total_tiles,
+                "Q{q} scan {}: tile accounting at threads=4",
+                s.table
+            );
+            assert_eq!(
+                s.stats.rows_attributed(),
+                s.stats.rows_scanned,
+                "Q{q} scan {}: row attribution at threads=4",
+                s.table
+            );
+        }
+        partitioned_ops += p.joins.iter().filter(|j| j.partitions > 1).count();
+        partitioned_ops += p.stages.iter().filter(|s| s.partitions > 1).count();
+    }
+    assert!(
+        partitioned_ops > 0,
+        "no TPC-H query took a partitioned join/agg path at threads=4"
+    );
+}
+
 /// At this scale the combined relation spans several tiles and the
 /// join-heavy queries must skip at least one of them — otherwise the skip
 /// instrumentation is measuring nothing.
