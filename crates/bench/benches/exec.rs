@@ -1,12 +1,17 @@
 //! Criterion benches for the morsel-driven parallel operators: the shared
-//! join+aggregation workload (`jt_bench::exec_workloads`) measured
-//! single-threaded vs partitioned-parallel at 4 workers. The same chunks
-//! feed the machine-readable `bench_exec` binary, so the two always
-//! measure the same thing.
+//! join+aggregation+sort workload (`jt_bench::exec_workloads`) measured
+//! single-threaded vs partitioned-parallel at 4 workers (for sort, also
+//! full sort vs top-K early exit). The same chunks feed the
+//! machine-readable `bench_exec` binary, so the two always measure the
+//! same thing.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jt_bench::exec_workloads::{agg_high_cardinality, agg_keys, agg_list, join_cases};
-use jt_query::{group_aggregate, group_aggregate_par, hash_join, hash_join_par};
+use jt_bench::exec_workloads::{
+    agg_high_cardinality, agg_keys, agg_list, join_cases, sort_input, sort_order, top_k_limit,
+};
+use jt_query::{
+    group_aggregate, group_aggregate_par, hash_join, hash_join_par, sort_chunk, sort_chunk_seq,
+};
 
 const ROWS: usize = 60_000;
 const THREADS: usize = 4;
@@ -60,9 +65,29 @@ fn bench_parallel_agg(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parallel_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_sort");
+    group.sample_size(15);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    let input = sort_input(ROWS);
+    let order = sort_order();
+    group.bench_with_input(BenchmarkId::new("full", "single"), &(), |b, ()| {
+        b.iter(|| std::hint::black_box(sort_chunk_seq(&input, &order, None)));
+    });
+    group.bench_with_input(BenchmarkId::new("full", "parallel"), &(), |b, ()| {
+        b.iter(|| std::hint::black_box(sort_chunk(&input, &order, None, THREADS)));
+    });
+    let limit = top_k_limit(ROWS);
+    group.bench_with_input(BenchmarkId::new("top_k_1pct", "parallel"), &(), |b, ()| {
+        b.iter(|| std::hint::black_box(sort_chunk(&input, &order, Some(limit), THREADS)));
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = bench_parallel_join, bench_parallel_agg
+    targets = bench_parallel_join, bench_parallel_agg, bench_parallel_sort
 }
 criterion_main!(benches);

@@ -1,11 +1,12 @@
 //! `bench_exec` — machine-readable parallel-execution benchmark snapshot.
 //!
-//! Runs the shared join+aggregation workload (`jt_bench::exec_workloads`,
-//! the same chunks as the Criterion `exec` bench), measures each case
-//! single-threaded against the partitioned parallel operator at
-//! `--threads` workers, verifies the parallel result is bit-identical to
-//! the single-threaded one before timing anything, and writes the medians
-//! as one JSON document:
+//! Runs the shared join+aggregation+sort workload
+//! (`jt_bench::exec_workloads`, the same chunks as the Criterion `exec`
+//! bench), measures each case single-threaded against the partitioned
+//! parallel operator at `--threads` workers (for the top-K case: full sort
+//! vs bounded-heap early exit), verifies the parallel result is
+//! bit-identical to the single-threaded one before timing anything, and
+//! writes the medians as one JSON document:
 //!
 //! ```text
 //! cargo run --release -p jt-bench --bin bench_exec -- [out.json] [--rows N] [--threads N]
@@ -18,8 +19,13 @@
 //! written; the process exits nonzero if its own output is not valid JSON,
 //! so CI can gate on it.
 
-use jt_bench::exec_workloads::{agg_high_cardinality, agg_keys, agg_list, join_cases};
-use jt_query::{group_aggregate, group_aggregate_par, hash_join, hash_join_par, Chunk, Scalar};
+use jt_bench::exec_workloads::{
+    agg_high_cardinality, agg_keys, agg_list, join_cases, sort_input, sort_order, top_k_limit,
+};
+use jt_query::{
+    group_aggregate, group_aggregate_par, hash_join, hash_join_par, sort_chunk, sort_chunk_seq,
+    Chunk, Scalar,
+};
 use std::time::Instant;
 
 /// Median wall-clock seconds of `reps` runs of `f` (after one warm-up).
@@ -134,6 +140,70 @@ fn main() {
             "\"single_secs\":{:.9},\"parallel_secs\":{:.9},\"speedup\":{:.3}}}"
         ),
         rows_out, single, parallel, speedup
+    ));
+
+    // Sort: comparator oracle vs the morsel-parallel normalized-key sort.
+    let sinput = sort_input(rows);
+    let order = sort_order();
+    let seq = sort_chunk_seq(&sinput, &order, None);
+    let (par, _) = sort_chunk(&sinput, &order, None, threads);
+    assert_identical("sort_full", &par, &seq);
+    let rows_out = seq.rows();
+    let single = median_secs(reps, || {
+        std::hint::black_box(sort_chunk_seq(&sinput, &order, None));
+    });
+    let parallel = median_secs(reps, || {
+        std::hint::black_box(sort_chunk(&sinput, &order, None, threads));
+    });
+    let speedup = single / parallel.max(1e-12);
+    eprintln!(
+        "sort_full: single {single:.6}s parallel {parallel:.6}s ({speedup:.2}x, {rows_out} rows)"
+    );
+    case_objs.push(format!(
+        concat!(
+            "{{\"name\":\"sort_full\",\"rows_out\":{},",
+            "\"single_secs\":{:.9},\"parallel_secs\":{:.9},\"speedup\":{:.3}}}"
+        ),
+        rows_out, single, parallel, speedup
+    ));
+
+    // Top-K: full parallel sort + truncate vs the bounded-heap path, both
+    // at `threads` workers — the speedup here is algorithmic (O(n log k)
+    // vs O(n log n)), so it holds even on one core.
+    let limit = top_k_limit(rows);
+    let (topk, tstats) = sort_chunk(&sinput, &order, Some(limit), threads);
+    if !tstats.top_k {
+        eprintln!("sort_topk: limit {limit} of {rows} rows did not take the top-K path");
+        std::process::exit(1);
+    }
+    let full_truncated = {
+        let (mut c, _) = sort_chunk(&sinput, &order, None, threads);
+        for col in &mut c.columns {
+            col.truncate(limit);
+        }
+        c
+    };
+    assert_identical("sort_topk", &topk, &full_truncated);
+    let full = median_secs(reps, || {
+        std::hint::black_box(sort_chunk(&sinput, &order, None, threads));
+    });
+    let topk_secs = median_secs(reps, || {
+        std::hint::black_box(sort_chunk(&sinput, &order, Some(limit), threads));
+    });
+    let speedup = full / topk_secs.max(1e-12);
+    eprintln!(
+        "sort_topk_limit_1pct: full {full:.6}s top-K {topk_secs:.6}s \
+         ({speedup:.2}x, limit {limit})"
+    );
+    // For the top-K case, single_secs is the full sort and parallel_secs
+    // the bounded-heap run, both at `par_threads`; speedup is the early-
+    // exit gain, not a thread-scaling number.
+    case_objs.push(format!(
+        concat!(
+            "{{\"name\":\"sort_topk_limit_1pct\",\"rows_out\":{},",
+            "\"single_secs\":{:.9},\"parallel_secs\":{:.9},\"speedup\":{:.3}}}"
+        ),
+        limit, full, topk_secs, speedup
     ));
 
     let doc = format!(

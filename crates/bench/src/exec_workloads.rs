@@ -1,12 +1,14 @@
-//! Shared join+aggregation workload: the synthetic chunks used by both the
-//! Criterion exec benches (`benches/exec.rs`) and the machine-readable
-//! `bench_exec` binary, so the two always measure the same thing.
+//! Shared join+aggregation+sort workload: the synthetic chunks used by
+//! both the Criterion exec benches (`benches/exec.rs`) and the
+//! machine-readable `bench_exec` binary, so the two always measure the
+//! same thing.
 //!
-//! Three shapes stress the three cost centres of the parallel operators:
+//! The shapes stress the cost centres of the parallel operators:
 //! `build_heavy` (build side dominates: partitioning + table construction),
 //! `probe_heavy` (probe side dominates: parallel morsel probing + gather),
-//! and `high_cardinality_groups` (many groups: partitioned accumulation +
-//! deterministic merge).
+//! `high_cardinality_groups` (many groups: partitioned accumulation +
+//! deterministic merge), and the sort workload (normalized key encoding +
+//! run sort + k-way merge, with a top-K variant where LIMIT ≤ 1% of rows).
 
 use jt_query::{Agg, Chunk, Expr, Scalar};
 
@@ -90,4 +92,34 @@ pub fn agg_list() -> Vec<Agg> {
         Agg::min(Expr::Slot(1)),
         Agg::max(Expr::Slot(1)),
     ]
+}
+
+/// Sort workload: `[Int key, Float payload, Str tag]` with a
+/// duplicate-heavy primary key (~`rows/16` distinct values) so the
+/// secondary key and the stable index tie-break both do real work.
+pub fn sort_input(rows: usize) -> Chunk {
+    let card = (rows as u64 / 16).max(1);
+    let mut keys = Vec::with_capacity(rows);
+    let mut payload = Vec::with_capacity(rows);
+    let mut tags = Vec::with_capacity(rows);
+    for i in 0..rows as u64 {
+        keys.push(Scalar::Int((mix(i, 6) % card) as i64));
+        payload.push(Scalar::Float((mix(i, 7) % 100_000) as f64 * 0.01));
+        tags.push(Scalar::str(format!("t{:03}", mix(i, 8) % 500)));
+    }
+    Chunk {
+        columns: vec![keys, payload, tags],
+    }
+}
+
+/// ORDER BY for the sort workload: primary key descending, string tag
+/// ascending — multi-key with a desc-inverted segment.
+pub fn sort_order() -> Vec<(usize, bool)> {
+    vec![(0, true), (2, false)]
+}
+
+/// The top-K bound: 1% of the input (the acceptance threshold for the
+/// heap path paying off), never less than 1.
+pub fn top_k_limit(rows: usize) -> usize {
+    (rows / 100).max(1)
 }

@@ -74,6 +74,12 @@ pub struct LoadMetrics {
     pub extract: Duration,
     /// Rows loaded.
     pub rows: usize,
+    /// Tile-formation partitions built (each is an independent work unit:
+    /// mining, reordering, extraction run per partition).
+    pub partitions: usize,
+    /// Worker threads the partitions were built on (1 for sequential
+    /// loads and incremental flushes).
+    pub threads: usize,
     /// Original indices of tiles skipped as corrupt when the relation was
     /// opened with [`crate::CorruptTilePolicy::Skip`]. Empty for in-memory
     /// loads and undamaged files.
@@ -107,6 +113,10 @@ impl LoadMetrics {
         g.counter("load.rows").add(self.rows as u64);
         g.counter("load.tiles_quarantined")
             .add(self.quarantined.len() as u64);
+        if self.partitions > 0 {
+            g.counter("load.partitions").add(self.partitions as u64);
+            g.counter("load.threads").add(self.threads as u64);
+        }
         for (name, d) in [
             ("load.total_ns", self.total),
             ("load.mining_ns", self.mining),
@@ -307,15 +317,24 @@ impl Relation {
             write_jsonb: timing.write_jsonb,
             extract: timing.extract,
             rows: docs.len(),
+            partitions: 1,
+            threads: 1,
             ..LoadMetrics::default()
         };
         delta.publish();
+        if jt_obs::enabled() {
+            jt_obs::global()
+                .histogram("load.partition_build_ns")
+                .record(delta.total.as_nanos().min(u64::MAX as u128) as u64);
+        }
         self.metrics.total += delta.total;
         self.metrics.mining += delta.mining;
         self.metrics.extract += delta.extract;
         self.metrics.write_jsonb += delta.write_jsonb;
         self.metrics.reorder += delta.reorder;
         self.metrics.rows += delta.rows;
+        self.metrics.partitions += delta.partitions;
+        self.metrics.threads = self.metrics.threads.max(delta.threads);
         self.publish_coverage();
     }
 
@@ -326,6 +345,22 @@ impl Relation {
     /// Bulk-load documents single-threaded.
     pub fn load(docs: &[Value], config: TilesConfig) -> Relation {
         Self::load_with_threads(docs, config, 1)
+    }
+
+    /// Worker threads [`Relation::load_parallel`] uses: the machine's
+    /// available parallelism, clamped to 16 (the same default the query
+    /// executor's `ExecOptions` applies).
+    pub fn default_load_threads() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get().min(16))
+    }
+
+    /// Bulk-load with [`Relation::default_load_threads`] worker threads —
+    /// the entry point real ingestion paths (the `jt` CLI, tests, benches)
+    /// should use so tile formation parallelizes end-to-end. Results are
+    /// identical to [`Relation::load`] at every thread count: partitions
+    /// are split by fixed document ranges and merged in order.
+    pub fn load_parallel(docs: &[Value], config: TilesConfig) -> Relation {
+        Self::load_with_threads(docs, config, Self::default_load_threads())
     }
 
     /// Bulk-load with `threads` worker threads. Partitions are independent
@@ -348,15 +383,19 @@ impl Relation {
         let partitions: Vec<&[Value]> = docs.chunks(partition_rows.max(1)).collect();
         let threads = threads.max(1).min(partitions.len().max(1));
 
-        let mut results: Vec<(usize, Vec<Tile>, BuildTiming, Duration)> = if threads <= 1 {
+        // Each entry carries its partition's build wall time so the
+        // per-partition distribution is observable (`load.partition_build_ns`).
+        type Built = (usize, Vec<Tile>, BuildTiming, Duration, Duration);
+        let build_timed = |i: usize, p: &[Value]| -> Built {
+            let t0 = Instant::now();
+            let (tiles, timing, reorder) = build_partition(p, &config, sinew_schema.as_deref());
+            (i, tiles, timing, reorder, t0.elapsed())
+        };
+        let mut results: Vec<Built> = if threads <= 1 {
             partitions
                 .iter()
                 .enumerate()
-                .map(|(i, p)| {
-                    let (tiles, timing, reorder) =
-                        build_partition(p, &config, sinew_schema.as_deref());
-                    (i, tiles, timing, reorder)
-                })
+                .map(|(i, p)| build_timed(i, p))
                 .collect()
         } else {
             let mut out = Vec::new();
@@ -366,17 +405,13 @@ impl Relation {
                     .chunks(partitions.len().div_ceil(threads))
                     .enumerate()
                 {
-                    let config = &config;
-                    let schema = sinew_schema.as_deref();
+                    let build_timed = &build_timed;
                     let base = t * partitions.len().div_ceil(threads);
                     handles.push(scope.spawn(move || {
                         chunk
                             .iter()
                             .enumerate()
-                            .map(|(i, p)| {
-                                let (tiles, timing, reorder) = build_partition(p, config, schema);
-                                (base + i, tiles, timing, reorder)
-                            })
+                            .map(|(i, p)| build_timed(base + i, p))
                             .collect::<Vec<_>>()
                     }));
                 }
@@ -386,15 +421,21 @@ impl Relation {
             });
             out
         };
-        results.sort_by_key(|(i, _, _, _)| *i);
+        results.sort_by_key(|(i, ..)| *i);
 
+        let partition_count = results.len();
         let mut tiles = Vec::new();
         let mut timing = BuildTiming::default();
         let mut reorder_time = Duration::ZERO;
-        for (_, t, bt, rt) in results {
+        for (_, t, bt, rt, wall) in results {
             tiles.extend(t);
             timing.add(&bt);
             reorder_time += rt;
+            if jt_obs::enabled() {
+                jt_obs::global()
+                    .histogram("load.partition_build_ns")
+                    .record(wall.as_nanos().min(u64::MAX as u128) as u64);
+            }
         }
 
         let mut stats = RelationStats::new(&config);
@@ -413,6 +454,8 @@ impl Relation {
             write_jsonb: timing.write_jsonb,
             extract: timing.extract,
             rows: docs.len(),
+            partitions: partition_count,
+            threads,
             ..LoadMetrics::default()
         };
         metrics.publish();

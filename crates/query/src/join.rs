@@ -24,7 +24,9 @@
 //! build-phase arenas (`HashMap<&[u8], _>`), and matches accumulate as row
 //! indices that a per-column gather materializes at the end.
 
-use crate::par::{key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS};
+use crate::par::{
+    gather_rows, key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS,
+};
 #[cfg(test)]
 use crate::scalar::Scalar;
 use crate::Chunk;
@@ -68,15 +70,6 @@ fn gather_join(left: &Chunk, right: &Chunk, lrows: &[u32], rrows: &[u32]) -> Chu
     }
     for (c, col) in right.columns.iter().enumerate() {
         out.columns[left.width() + c] = rrows.iter().map(|&i| col[i as usize].clone()).collect();
-    }
-    out
-}
-
-/// Gather `rows` of `chunk` into a new chunk (semi/anti join output).
-fn gather_rows(chunk: &Chunk, rows: &[u32]) -> Chunk {
-    let mut out = Chunk::empty(chunk.width());
-    for (c, col) in chunk.columns.iter().enumerate() {
-        out.columns[c] = rows.iter().map(|&i| col[i as usize].clone()).collect();
     }
     out
 }

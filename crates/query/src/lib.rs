@@ -47,6 +47,7 @@ mod plan;
 mod profile;
 mod scalar;
 mod scan;
+mod sort;
 
 pub use access::{parse_dotted_path, Access};
 pub use agg::{group_aggregate, group_aggregate_par, Agg, AggExecStats, AggKind};
@@ -60,6 +61,7 @@ pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExp
 pub use profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 pub use scalar::Scalar;
 pub use scan::{execute_scan, execute_scan_rowwise, ScanSpec, ScanStats};
+pub use sort::{sort_chunk, sort_chunk_seq, total_compare, write_sort_key, SortStats};
 
 /// A materialized column-major batch of rows.
 #[derive(Debug, Clone, Default)]

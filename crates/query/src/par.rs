@@ -8,6 +8,7 @@
 //! operators stay bit-identical to their single-threaded oracles at every
 //! thread count, the same guarantee `execute_scan` already gives.
 
+use crate::Chunk;
 use std::ops::Range;
 
 /// Hash partitions used by the partitioned join/aggregation operators.
@@ -68,9 +69,37 @@ where
     })
 }
 
+/// Gather `rows` of `chunk` into a new chunk, column-at-a-time — the
+/// shared materialization for join outputs and sorted results.
+pub(crate) fn gather_rows(chunk: &Chunk, rows: &[u32]) -> Chunk {
+    let mut out = Chunk::empty(chunk.width());
+    for (c, col) in chunk.columns.iter().enumerate() {
+        out.columns[c] = rows.iter().map(|&i| col[i as usize].clone()).collect();
+    }
+    out
+}
+
+/// Morsel-parallel [`gather_rows`]: workers gather contiguous slices of the
+/// row list and the sub-chunks concatenate in range order, so the output is
+/// identical to the sequential gather at every thread count.
+pub(crate) fn gather_rows_par(chunk: &Chunk, rows: &[u32], threads: usize) -> Chunk {
+    if threads <= 1 || rows.len() < PAR_MIN_ROWS {
+        return gather_rows(chunk, rows);
+    }
+    let parts = run_workers(worker_ranges(rows.len(), threads), |r| {
+        gather_rows(chunk, &rows[r])
+    });
+    let mut out = Chunk::empty(chunk.width());
+    for part in parts {
+        out.append(part);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scalar::Scalar;
 
     #[test]
     fn ranges_cover_exactly_once_in_order() {
@@ -90,6 +119,25 @@ mod tests {
         assert_eq!(out.iter().sum::<usize>(), (0..100).sum::<usize>());
         let single = run_workers(worker_ranges(100, 1), |r| r.sum::<usize>());
         assert_eq!(single, vec![(0..100).sum::<usize>()]);
+    }
+
+    #[test]
+    fn parallel_gather_matches_sequential() {
+        let chunk = Chunk {
+            columns: vec![
+                (0..1000).map(Scalar::Int).collect(),
+                (0..1000).map(|i| Scalar::str(format!("s{i}"))).collect(),
+            ],
+        };
+        let rows: Vec<u32> = (0..1000u32).rev().filter(|i| i % 3 != 0).collect();
+        let seq = gather_rows(&chunk, &rows);
+        for threads in [1usize, 2, 8] {
+            let par = gather_rows_par(&chunk, &rows, threads);
+            assert_eq!(par.rows(), seq.rows(), "t={threads}");
+            for c in 0..seq.width() {
+                assert_eq!(par.columns[c], seq.columns[c], "t={threads} col {c}");
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::par::{run_workers, worker_ranges, PAR_MIN_ROWS};
 use crate::profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 use crate::scalar::Scalar;
 use crate::scan::{execute_scan, ScanSpec, ScanStats};
+use crate::sort::sort_chunk;
 use crate::Chunk;
 use jt_core::{AccessType, Relation};
 use std::collections::HashMap;
@@ -376,6 +377,12 @@ impl<'a> Query<'a> {
             has_post_filter: self.post_filter.is_some(),
             group_keys: self.group_by.len(),
             aggregates: self.aggs.len(),
+            order_by: self.order_by.len(),
+            top_k: if self.order_by.is_empty() {
+                None
+            } else {
+                self.limit
+            },
             limit: self.limit,
         }
     }
@@ -748,35 +755,20 @@ impl<'a> Query<'a> {
         }
         if !self.order_by.is_empty() {
             let t_order = Instant::now();
-            let mut idx: Vec<usize> = (0..out.rows()).collect();
-            idx.sort_by(|&a, &b| {
-                for &(c, desc) in &self.order_by {
-                    let ord = out.get(a, c).compare(out.get(b, c)).unwrap_or_else(|| {
-                        // Nulls last.
-                        match (out.get(a, c).is_null(), out.get(b, c).is_null()) {
-                            (true, false) => std::cmp::Ordering::Greater,
-                            (false, true) => std::cmp::Ordering::Less,
-                            _ => std::cmp::Ordering::Equal,
-                        }
-                    });
-                    let ord = if desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
-            let mut sorted = Chunk::empty(out.width());
-            for &i in &idx {
-                for (c, col) in out.columns.iter().enumerate() {
-                    sorted.columns[c].push(col[i].clone());
-                }
-            }
+            // The LIMIT bound is propagated into the sort: small limits
+            // take the bounded-heap top-K path, larger ones stop the merge
+            // early, and either way the result equals full-sort-then-
+            // truncate (the sort order is strict and total).
+            let (sorted, sstats) = sort_chunk(&out, &self.order_by, self.limit, opts.threads);
             out = sorted;
             profile.stages.push(StageProfile {
-                name: "order-by",
+                name: if sstats.top_k { "top-k" } else { "order-by" },
                 rows_out: out.rows(),
                 wall: t_order.elapsed(),
+                threads: sstats.threads,
+                partitions: sstats.runs,
+                eval_wall: sstats.sort_wall,
+                merge_wall: sstats.merge_wall,
                 ..StageProfile::default()
             });
         }
@@ -928,12 +920,23 @@ fn publish_profile(profile: &ExecProfile) {
             g.counter(&format!("query.stage.{}.threads", st.name))
                 .add(st.threads as u64);
         }
-        if st.partitions > 0 {
+        // partitions means hash partitions for aggregation, sorted runs
+        // (or top-K candidate heaps) for the sort stage — attribute them
+        // to the right metric family by stage name.
+        if st.partitions > 0 && st.name == "aggregate" {
             g.counter("query.agg.partitions").add(st.partitions as u64);
             g.histogram("query.agg.eval_ns").record(ns(st.eval_wall));
             g.histogram("query.agg.accumulate_ns")
                 .record(ns(st.accumulate_wall));
             g.histogram("query.agg.merge_ns").record(ns(st.merge_wall));
+        }
+        if st.partitions > 0 && (st.name == "order-by" || st.name == "top-k") {
+            g.counter("query.sort.runs").add(st.partitions as u64);
+            if st.name == "top-k" {
+                g.counter("query.sort.top_k").inc();
+            }
+            g.histogram("query.sort.sort_ns").record(ns(st.eval_wall));
+            g.histogram("query.sort.merge_ns").record(ns(st.merge_wall));
         }
     }
 }
@@ -1067,6 +1070,11 @@ pub struct PlanExplain {
     pub group_keys: usize,
     /// Number of aggregates.
     pub aggregates: usize,
+    /// Number of ORDER BY keys.
+    pub order_by: usize,
+    /// The LIMIT bound the sort will push into a top-K / early-exit merge
+    /// (set whenever both ORDER BY and LIMIT are present).
+    pub top_k: Option<usize>,
     /// LIMIT, if any.
     pub limit: Option<usize>,
 }
@@ -1101,6 +1109,12 @@ impl std::fmt::Display for PlanExplain {
                 "aggregate keys={} aggs={}",
                 self.group_keys, self.aggregates
             )?;
+        }
+        if self.order_by > 0 {
+            match self.top_k {
+                Some(n) => writeln!(f, "order-by keys={} (top-k bound {n})", self.order_by)?,
+                None => writeln!(f, "order-by keys={}", self.order_by)?,
+            }
         }
         if let Some(n) = self.limit {
             writeln!(f, "limit {n}")?;

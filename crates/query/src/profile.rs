@@ -58,24 +58,29 @@ pub struct JoinProfile {
 #[derive(Debug, Clone, Default)]
 pub struct StageProfile {
     /// Stage name: `"post-filter"`, `"aggregate"`, `"having"`, `"select"`,
-    /// `"order-by"`, `"limit"`.
+    /// `"order-by"`, `"top-k"` (an ORDER BY whose LIMIT took the
+    /// bounded-heap path), `"limit"`.
     pub name: &'static str,
     /// Rows leaving the stage.
     pub rows_out: usize,
     /// Stage wall time.
     pub wall: Duration,
-    /// Worker threads used (0 for stages that always run sequentially:
-    /// `"order-by"`, `"limit"`).
+    /// Worker threads used (0 for `"limit"`, which always runs
+    /// sequentially).
     pub threads: usize,
-    /// Hash partitions used by `"aggregate"` (0 for every other stage,
-    /// 1 when the sequential fallback or a global aggregate ran).
+    /// `"aggregate"`: hash partitions; `"order-by"`/`"top-k"`: sorted runs
+    /// or per-worker candidate heaps merged. 0 for every other stage, 1
+    /// when a sequential fallback ran.
     pub partitions: usize,
-    /// `"aggregate"` only: wall time of the parallel argument-eval phase.
+    /// `"aggregate"`: wall time of the parallel argument-eval phase.
+    /// `"order-by"`/`"top-k"`: wall time of the parallel key-encode +
+    /// run-sort (or bounded-heap) phase.
     pub eval_wall: Duration,
     /// `"aggregate"` only: wall time of the partition-parallel
     /// accumulation phase.
     pub accumulate_wall: Duration,
-    /// `"aggregate"` only: wall time of the deterministic final merge.
+    /// `"aggregate"`: wall time of the deterministic final merge.
+    /// `"order-by"`/`"top-k"`: wall time of the k-way merge + gather.
     pub merge_wall: Duration,
 }
 
@@ -169,7 +174,16 @@ impl ExecProfile {
             ));
         }
         for st in &self.stages {
-            let par = if st.partitions > 0 {
+            let sort_stage = st.name == "order-by" || st.name == "top-k";
+            let par = if st.partitions > 0 && sort_stage {
+                format!(
+                    " (runs={}, t={}, sort {}, merge {})",
+                    st.partitions,
+                    st.threads,
+                    fmt_wall(st.eval_wall),
+                    fmt_wall(st.merge_wall),
+                )
+            } else if st.partitions > 0 {
                 format!(
                     " (p={}, t={}, eval {}, accumulate {}, merge {})",
                     st.partitions,
@@ -280,6 +294,49 @@ mod tests {
         assert!(text.contains("`- aggregate: 7 rows"));
         assert!(
             text.contains("7 rows (p=64, t=4, eval 6.00 us, accumulate 5.00 us, merge 2.00 us)")
+        );
+    }
+
+    #[test]
+    fn render_shows_sort_runs_and_merge() {
+        let profile = ExecProfile {
+            stages: vec![
+                StageProfile {
+                    name: "order-by",
+                    rows_out: 1000,
+                    wall: Duration::from_micros(90),
+                    threads: 4,
+                    partitions: 4,
+                    eval_wall: Duration::from_micros(60),
+                    merge_wall: Duration::from_micros(25),
+                    ..StageProfile::default()
+                },
+                StageProfile {
+                    name: "top-k",
+                    rows_out: 10,
+                    wall: Duration::from_micros(40),
+                    threads: 2,
+                    partitions: 2,
+                    eval_wall: Duration::from_micros(30),
+                    merge_wall: Duration::from_micros(5),
+                    ..StageProfile::default()
+                },
+            ],
+            rows_out: 10,
+            ..ExecProfile::default()
+        };
+        let text = profile.render();
+        assert!(
+            text.contains("order-by: 1000 rows (runs=4, t=4, sort 60.00 us, merge 25.00 us)"),
+            "sort stage rendering:\n{text}"
+        );
+        assert!(
+            text.contains("top-k: 10 rows (runs=2, t=2, sort 30.00 us, merge 5.00 us)"),
+            "top-k stage rendering:\n{text}"
+        );
+        assert!(
+            !text.contains("accumulate"),
+            "sort stages have no accumulate phase"
         );
     }
 

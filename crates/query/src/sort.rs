@@ -1,0 +1,648 @@
+//! Morsel-parallel ORDER BY with normalized sort keys and top-K early exit.
+//!
+//! The old ORDER BY sorted row indices with the polymorphic
+//! [`Scalar::compare`] comparator — one virtual dispatch per comparison —
+//! and had no defined order for NaN or cross-type pairs (both mapped to
+//! `Equal`, breaking strict weak ordering). This module replaces it with
+//! the same canonical-key-bytes idiom the join/aggregation operators use:
+//!
+//! 1. **Normalized sort keys** ([`write_sort_key`]): each ORDER BY column
+//!    is encoded once into an order-preserving byte string, so every
+//!    comparison afterwards is a plain `memcmp`. Encodings per type:
+//!
+//!    | class   | tag    | payload                                        |
+//!    |---------|--------|------------------------------------------------|
+//!    | bool    | `0x01` | `0x00` / `0x01`                                |
+//!    | numeric | `0x02` | f64 bits, sign-flipped to big-endian order     |
+//!    | string  | `0x03` | bytes, `0x00`→`0x00 0xFF`, ends `0x00 0x00`    |
+//!    | null    | `0xFF` | — (sorts last, matching SQL `NULLS LAST`)      |
+//!
+//!    Int/Float/Timestamp share the numeric class and coerce through f64,
+//!    exactly like [`Scalar::write_key`] does for join/group keys (ints
+//!    beyond 2^53 tie at f64 resolution and fall back to the stable
+//!    original-index order). `-0.0` canonicalizes to `0.0`. NaN gets a
+//!    defined total-order slot: every NaN bit pattern canonicalizes to the
+//!    positive quiet NaN, which sorts **above +∞ and below null**. Classes
+//!    order bool < numeric < string < null, giving cross-type pairs (which
+//!    [`Scalar::compare`] cannot order) a total order too. `DESC` inverts
+//!    every byte of the column's segment, which flips the order of the
+//!    whole class hierarchy — nulls first on descending keys, the
+//!    PostgreSQL default. Segments are prefix-free, so multi-column keys
+//!    concatenate and still compare with one `memcmp`.
+//!
+//! 2. **Morsel-parallel stable merge sort** ([`sort_chunk`]): workers own
+//!    contiguous row ranges ([`worker_ranges`]), encode their rows into a
+//!    private key arena, and sort their run by `(key bytes, row index)`;
+//!    a loser-heap k-way merge combines the runs. The original-index
+//!    tie-break makes the order strict and total, so the merge result is
+//!    bit-identical to the sequential oracle [`sort_chunk_seq`] at every
+//!    thread count — the same guarantee the join/agg paths have.
+//!
+//! 3. **Top-K early exit**: with `LIMIT n` alongside ORDER BY, each worker
+//!    keeps a bounded max-heap of its n best `(key, index)` pairs and the
+//!    candidates merge at the end — O(rows · log n) instead of a full
+//!    O(rows · log rows) sort. Because the order is strict, the top n is
+//!    uniquely defined and identical to full-sort-then-truncate.
+//!
+//! 4. **Gather materialization**: the sorted index vector materializes the
+//!    output with the per-column gather the join path uses, replacing the
+//!    old per-cell `col[i].clone()` push loop on both the sequential and
+//!    parallel paths.
+
+use crate::par::{gather_rows_par, run_workers, worker_ranges, PAR_MIN_ROWS};
+use crate::scalar::Scalar;
+use crate::Chunk;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Class tags of the normalized key encoding (module docs table).
+const TAG_BOOL: u8 = 0x01;
+const TAG_NUM: u8 = 0x02;
+const TAG_STR: u8 = 0x03;
+const TAG_NULL: u8 = 0xFF;
+
+/// Use the bounded-heap top-K path instead of a full sort when
+/// `limit * TOP_K_FACTOR <= rows` — near the full row count a heap does
+/// the same comparisons as a sort plus per-row heap maintenance, so the
+/// full sort (whose merge still stops at `limit` outputs) wins.
+const TOP_K_FACTOR: usize = 2;
+
+/// Execution shape of one sort: how many workers/runs, which path ran,
+/// and where the time went. Feeds the `order-by`/`top-k` stage profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SortStats {
+    /// Worker threads used (1 on the sequential fallback).
+    pub threads: usize,
+    /// Sorted runs (full sort) or candidate heaps (top-K) merged; 1 on the
+    /// sequential fallback.
+    pub runs: usize,
+    /// Whether the bounded-heap top-K path ran instead of a full sort.
+    pub top_k: bool,
+    /// Wall time of the parallel encode + per-run sort (or heap) phase.
+    pub sort_wall: Duration,
+    /// Wall time of the k-way merge plus output gather.
+    pub merge_wall: Duration,
+}
+
+/// Map f64 bits to an order-preserving u64: flip all bits for negatives,
+/// just the sign bit for positives, so unsigned byte order equals numeric
+/// order. NaNs canonicalize to the positive quiet NaN (one slot above +∞),
+/// `-0.0` to `0.0`.
+#[inline]
+fn f64_key_bits(x: f64) -> u64 {
+    let x = if x.is_nan() {
+        f64::from_bits(0x7FF8_0000_0000_0000)
+    } else if x == 0.0 {
+        0.0
+    } else {
+        x
+    };
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1 << 63)
+    }
+}
+
+/// Append the normalized sort-key segment of `v` to `out`. Segments are
+/// memcmp-ordered, prefix-free, and injective up to the total order's
+/// equivalence classes: two scalars encode identically iff they tie.
+pub fn write_sort_key(v: &Scalar, desc: bool, out: &mut Vec<u8>) {
+    let start = out.len();
+    match v {
+        Scalar::Null => out.push(TAG_NULL),
+        Scalar::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Scalar::Int(_) | Scalar::Float(_) | Scalar::Timestamp(_) => {
+            out.push(TAG_NUM);
+            let x = v.as_f64().expect("numeric scalar");
+            out.extend_from_slice(&f64_key_bits(x).to_be_bytes());
+        }
+        Scalar::Str(s) => {
+            out.push(TAG_STR);
+            for &b in s.as_bytes() {
+                if b == 0x00 {
+                    out.extend_from_slice(&[0x00, 0xFF]);
+                } else {
+                    out.push(b);
+                }
+            }
+            out.extend_from_slice(&[0x00, 0x00]);
+        }
+    }
+    if desc {
+        for b in &mut out[start..] {
+            *b = !*b;
+        }
+    }
+}
+
+/// The total order the normalized keys encode, as a comparator — the
+/// sequential oracle's comparison and the reference the byte encoding must
+/// agree with. Unlike [`Scalar::compare`] this is total: nulls sort last,
+/// every NaN occupies one slot above +∞, and cross-class pairs order by
+/// class (bool < numeric < string < null).
+pub fn total_compare(a: &Scalar, b: &Scalar) -> Ordering {
+    fn class(v: &Scalar) -> u8 {
+        match v {
+            Scalar::Bool(_) => TAG_BOOL,
+            Scalar::Int(_) | Scalar::Float(_) | Scalar::Timestamp(_) => TAG_NUM,
+            Scalar::Str(_) => TAG_STR,
+            Scalar::Null => TAG_NULL,
+        }
+    }
+    let (ca, cb) = (class(a), class(b));
+    if ca != cb {
+        return ca.cmp(&cb);
+    }
+    match (a, b) {
+        (Scalar::Null, Scalar::Null) => Ordering::Equal,
+        (Scalar::Bool(x), Scalar::Bool(y)) => x.cmp(y),
+        (Scalar::Str(x), Scalar::Str(y)) => x.as_bytes().cmp(y.as_bytes()),
+        _ => {
+            let (x, y) = (
+                a.as_f64().expect("numeric scalar"),
+                b.as_f64().expect("numeric scalar"),
+            );
+            match (x.is_nan(), y.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => x.partial_cmp(&y).expect("non-NaN comparison"),
+            }
+        }
+    }
+}
+
+/// Compare two rows over the ORDER BY columns with [`total_compare`],
+/// honoring per-column descending flags.
+fn compare_rows(chunk: &Chunk, order_by: &[(usize, bool)], a: usize, b: usize) -> Ordering {
+    for &(c, desc) in order_by {
+        let ord = total_compare(chunk.get(a, c), chunk.get(b, c));
+        let ord = if desc { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Append the full composite key of `row` (all ORDER BY columns) to `out`.
+#[inline]
+fn encode_row_key(chunk: &Chunk, order_by: &[(usize, bool)], row: usize, out: &mut Vec<u8>) {
+    for &(c, desc) in order_by {
+        write_sort_key(chunk.get(row, c), desc, out);
+    }
+}
+
+/// Sequential oracle: comparator-based stable sort over row indices,
+/// truncated to `limit`, materialized by per-column gather. Every
+/// [`sort_chunk`] result is bit-identical to this at every thread count.
+pub fn sort_chunk_seq(chunk: &Chunk, order_by: &[(usize, bool)], limit: Option<usize>) -> Chunk {
+    let mut idx: Vec<u32> = (0..chunk.rows() as u32).collect();
+    idx.sort_by(|&a, &b| compare_rows(chunk, order_by, a as usize, b as usize));
+    if let Some(n) = limit {
+        idx.truncate(n);
+    }
+    gather_rows_par(chunk, &idx, 1)
+}
+
+/// One full-sort run: the worker's key arena plus its locally sorted
+/// global row indices.
+struct Run {
+    bytes: Vec<u8>,
+    /// `offs[local]..offs[local + 1]` bounds the key of local row `local`.
+    offs: Vec<usize>,
+    start: usize,
+    order: Vec<u32>,
+}
+
+impl Run {
+    /// Key bytes of the `pos`-th row in this run's sorted order.
+    #[inline]
+    fn key_at(&self, pos: usize) -> &[u8] {
+        let local = self.order[pos] as usize - self.start;
+        &self.bytes[self.offs[local]..self.offs[local + 1]]
+    }
+}
+
+/// One top-K candidate: an owned key plus its row. Max-heap order, so the
+/// heap root is the worst retained candidate.
+#[derive(PartialEq, Eq)]
+struct Candidate {
+    key: Vec<u8>,
+    idx: u32,
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key).then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Sort `chunk` by the ORDER BY columns, keeping at most `limit` rows.
+/// Bit-identical to [`sort_chunk_seq`] at every thread count; see the
+/// module docs for the path selection (sequential fallback below
+/// [`PAR_MIN_ROWS`], bounded-heap top-K when the limit is small, full
+/// merge sort otherwise).
+pub fn sort_chunk(
+    chunk: &Chunk,
+    order_by: &[(usize, bool)],
+    limit: Option<usize>,
+    threads: usize,
+) -> (Chunk, SortStats) {
+    let rows = chunk.rows();
+    let threads = threads.max(1);
+    if rows < PAR_MIN_ROWS || order_by.is_empty() {
+        let t = Instant::now();
+        let out = if order_by.is_empty() {
+            // Degenerate: no sort keys, just honor the bound.
+            let bound = limit.unwrap_or(rows).min(rows);
+            let idx: Vec<u32> = (0..bound as u32).collect();
+            gather_rows_par(chunk, &idx, 1)
+        } else {
+            sort_chunk_seq(chunk, order_by, limit)
+        };
+        let stats = SortStats {
+            threads: 1,
+            runs: 1,
+            top_k: false,
+            sort_wall: t.elapsed(),
+            merge_wall: Duration::ZERO,
+        };
+        return (out, stats);
+    }
+    assert!(rows <= u32::MAX as usize, "sort input too large");
+    let bound = limit.unwrap_or(rows).min(rows);
+    if bound.saturating_mul(TOP_K_FACTOR) <= rows && limit.is_some() {
+        return top_k(chunk, order_by, bound, threads);
+    }
+
+    // Phase 1: per-worker key encoding + run sort, morsel-parallel.
+    let t_sort = Instant::now();
+    let runs: Vec<Run> = run_workers(worker_ranges(rows, threads), |range| {
+        let mut run = Run {
+            bytes: Vec::new(),
+            offs: Vec::with_capacity(range.len() + 1),
+            start: range.start,
+            order: (range.start as u32..range.end as u32).collect(),
+        };
+        run.offs.push(0);
+        for row in range {
+            encode_row_key(chunk, order_by, row, &mut run.bytes);
+            run.offs.push(run.bytes.len());
+        }
+        let (bytes, offs, start) = (&run.bytes, &run.offs, run.start);
+        let key = |g: u32| {
+            let local = g as usize - start;
+            &bytes[offs[local]..offs[local + 1]]
+        };
+        // (key, original index): strict total order, so the sorted run is
+        // exactly the stable order of the oracle restricted to the range.
+        run.order
+            .sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
+        run
+    });
+    let sort_wall = t_sort.elapsed();
+
+    // Phase 2: k-way merge by (key, index), stopping at the bound.
+    let t_merge = Instant::now();
+    let mut out_idx: Vec<u32> = Vec::with_capacity(bound);
+    if runs.len() == 1 {
+        out_idx.extend(&runs[0].order[..bound]);
+    } else if bound > 0 {
+        let mut cursors = vec![0usize; runs.len()];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(&[u8], u32, usize)>> =
+            BinaryHeap::with_capacity(runs.len());
+        for (ri, run) in runs.iter().enumerate() {
+            if !run.order.is_empty() {
+                heap.push(std::cmp::Reverse((run.key_at(0), run.order[0], ri)));
+            }
+        }
+        while let Some(std::cmp::Reverse((_, idx, ri))) = heap.pop() {
+            out_idx.push(idx);
+            if out_idx.len() == bound {
+                break;
+            }
+            cursors[ri] += 1;
+            let pos = cursors[ri];
+            if pos < runs[ri].order.len() {
+                heap.push(std::cmp::Reverse((
+                    runs[ri].key_at(pos),
+                    runs[ri].order[pos],
+                    ri,
+                )));
+            }
+        }
+    }
+    let out = gather_rows_par(chunk, &out_idx, threads);
+    let stats = SortStats {
+        threads,
+        runs: runs.len(),
+        top_k: false,
+        sort_wall,
+        merge_wall: t_merge.elapsed(),
+    };
+    (out, stats)
+}
+
+/// Bounded-heap top-K: each worker keeps its `n` best `(key, index)`
+/// candidates; the union is sorted and truncated. The strict total order
+/// makes the result identical to a full sort truncated to `n`.
+fn top_k(
+    chunk: &Chunk,
+    order_by: &[(usize, bool)],
+    n: usize,
+    threads: usize,
+) -> (Chunk, SortStats) {
+    let t_sort = Instant::now();
+    let heaps: Vec<Vec<Candidate>> = run_workers(worker_ranges(chunk.rows(), threads), |range| {
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n + 1);
+        let mut scratch = Vec::new();
+        for row in range {
+            scratch.clear();
+            encode_row_key(chunk, order_by, row, &mut scratch);
+            if heap.len() < n {
+                heap.push(Candidate {
+                    key: scratch.clone(),
+                    idx: row as u32,
+                });
+            } else if let Some(mut worst) = heap.peek_mut() {
+                // Key bytes are cloned only when a row actually displaces
+                // the current worst candidate; rejected rows cost one
+                // encode + one memcmp.
+                if (scratch.as_slice(), row as u32) < (worst.key.as_slice(), worst.idx) {
+                    worst.key.clear();
+                    worst.key.extend_from_slice(&scratch);
+                    worst.idx = row as u32;
+                }
+            }
+        }
+        heap.into_vec()
+    });
+    let runs = heaps.len();
+    let sort_wall = t_sort.elapsed();
+
+    let t_merge = Instant::now();
+    let mut candidates: Vec<Candidate> = heaps.into_iter().flatten().collect();
+    candidates.sort_unstable();
+    candidates.truncate(n);
+    let idx: Vec<u32> = candidates.iter().map(|c| c.idx).collect();
+    let out = gather_rows_par(chunk, &idx, threads);
+    let stats = SortStats {
+        threads,
+        runs,
+        top_k: true,
+        sort_wall,
+        merge_wall: t_merge.elapsed(),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_of(v: &Scalar, desc: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_sort_key(v, desc, &mut out);
+        out
+    }
+
+    /// A ladder of scalars in strictly ascending total order.
+    fn ladder() -> Vec<Scalar> {
+        vec![
+            Scalar::Bool(false),
+            Scalar::Bool(true),
+            Scalar::Float(f64::NEG_INFINITY),
+            Scalar::Int(-9),
+            Scalar::Float(-0.5),
+            Scalar::Float(0.0),
+            Scalar::Float(0.5),
+            Scalar::Int(1),
+            Scalar::Timestamp(7),
+            Scalar::Float(f64::INFINITY),
+            Scalar::Float(f64::NAN),
+            Scalar::str(""),
+            Scalar::str("a"),
+            Scalar::str("a\0"),
+            Scalar::str("ab"),
+            Scalar::str("b"),
+            Scalar::Null,
+        ]
+    }
+
+    #[test]
+    fn key_bytes_agree_with_total_compare() {
+        let vals = ladder();
+        for a in &vals {
+            for b in &vals {
+                let byte_ord = key_of(a, false).cmp(&key_of(b, false));
+                assert_eq!(
+                    byte_ord,
+                    total_compare(a, b),
+                    "asc key order vs comparator for {a:?} vs {b:?}"
+                );
+                let desc_ord = key_of(a, true).cmp(&key_of(b, true));
+                assert_eq!(
+                    desc_ord,
+                    total_compare(a, b).reverse(),
+                    "desc inversion for {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_is_strictly_ascending() {
+        let vals = ladder();
+        for w in vals.windows(2) {
+            assert_eq!(
+                total_compare(&w[0], &w[1]),
+                Ordering::Less,
+                "{:?} < {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn ties_encode_identically() {
+        for (a, b) in [
+            (Scalar::Int(5), Scalar::Float(5.0)),
+            (Scalar::Float(0.0), Scalar::Float(-0.0)),
+            (Scalar::Timestamp(100), Scalar::Int(100)),
+            (Scalar::Float(f64::NAN), Scalar::Float(-f64::NAN)),
+            (
+                Scalar::Float(f64::NAN),
+                Scalar::Float(f64::from_bits(0x7FF8_dead_beef_0001)),
+            ),
+        ] {
+            assert_eq!(total_compare(&a, &b), Ordering::Equal, "{a:?} vs {b:?}");
+            assert_eq!(key_of(&a, false), key_of(&b, false), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn nan_has_a_defined_slot_and_stable_ties() {
+        // Regression: Scalar::compare returns None for NaN pairs, which the
+        // old ORDER BY mapped to Equal — breaking strict weak ordering and
+        // leaving NaN placement up to sort internals. The normalized keys
+        // put every NaN just above +inf and below null, ties broken by
+        // original index.
+        let col = vec![
+            Scalar::Float(f64::NAN),
+            Scalar::Float(1.0),
+            Scalar::Null,
+            Scalar::Float(-f64::NAN),
+            Scalar::Float(f64::INFINITY),
+            Scalar::Float(-1.0),
+        ];
+        let chunk = Chunk {
+            columns: vec![col, (0..6).map(Scalar::Int).collect()],
+        };
+        let sorted = sort_chunk_seq(&chunk, &[(0, false)], None);
+        let tags: Vec<i64> = sorted.columns[1]
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        // -1.0, 1.0, inf, NaN(row 0), NaN(row 3), null.
+        assert_eq!(tags, vec![5, 1, 4, 0, 3, 2]);
+        let desc = sort_chunk_seq(&chunk, &[(0, true)], None);
+        let tags: Vec<i64> = desc.columns[1]
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        // Descending: null first, then NaNs (still index-stable), inf, 1, -1.
+        assert_eq!(tags, vec![2, 0, 3, 4, 1, 5]);
+    }
+
+    /// Duplicate-heavy mixed-type chunk big enough for the parallel paths.
+    fn mixed_chunk(rows: usize) -> Chunk {
+        let key = |i: usize| match i % 9 {
+            0 => Scalar::Null,
+            1 | 2 => Scalar::Int((i as i64 * 7) % 13),
+            3 => Scalar::Float((i as i64 % 13) as f64),
+            4 => Scalar::Float(f64::NAN),
+            5 => Scalar::str(format!("s{}", i % 11)),
+            6 => Scalar::Bool(i % 2 == 0),
+            _ => Scalar::Timestamp((i as i64 * 3) % 17),
+        };
+        Chunk {
+            columns: vec![
+                (0..rows).map(key).collect(),
+                (0..rows).map(|i| Scalar::Int((i as i64 * 5) % 7)).collect(),
+                (0..rows).map(|i| Scalar::Int(i as i64)).collect(),
+            ],
+        }
+    }
+
+    fn assert_bits(a: &Chunk, b: &Chunk, what: &str) {
+        assert_eq!(a.rows(), b.rows(), "{what}: rows");
+        assert_eq!(a.width(), b.width(), "{what}: width");
+        for c in 0..a.width() {
+            for r in 0..a.rows() {
+                let same = match (a.get(r, c), b.get(r, c)) {
+                    (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                    (x, y) => x == y,
+                };
+                assert!(same, "{what}: row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_full_sort_matches_oracle() {
+        for rows in [40usize, 900] {
+            let chunk = mixed_chunk(rows);
+            let order = [(0usize, false), (1usize, true)];
+            let oracle = sort_chunk_seq(&chunk, &order, None);
+            for threads in [1usize, 2, 8] {
+                let (par, stats) = sort_chunk(&chunk, &order, None, threads);
+                assert_bits(&par, &oracle, &format!("rows={rows} t={threads}"));
+                assert!(stats.threads >= 1 && stats.runs >= 1);
+                assert!(!stats.top_k);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_matches_truncated_full_sort() {
+        let chunk = mixed_chunk(1000);
+        let order = [(0usize, false), (2usize, true)];
+        for limit in [0usize, 1, 10, 499, 500, 1000, 5000] {
+            let oracle = sort_chunk_seq(&chunk, &order, Some(limit));
+            for threads in [1usize, 2, 8] {
+                let (par, stats) = sort_chunk(&chunk, &order, Some(limit), threads);
+                assert_bits(&par, &oracle, &format!("limit={limit} t={threads}"));
+                assert_eq!(
+                    stats.top_k,
+                    limit * TOP_K_FACTOR <= 1000,
+                    "cutover rule at limit={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_keys_keep_original_order() {
+        let rows = 600;
+        let chunk = Chunk {
+            columns: vec![
+                (0..rows).map(|i| Scalar::Int((i % 3) as i64)).collect(),
+                (0..rows).map(|i| Scalar::Int(i as i64)).collect(),
+            ],
+        };
+        for threads in [1usize, 4] {
+            let (sorted, _) = sort_chunk(&chunk, &[(0, false)], None, threads);
+            let mut last = vec![-1i64; 3];
+            for r in 0..rows {
+                let k = sorted.get(r, 0).as_i64().unwrap() as usize;
+                let tag = sorted.get(r, 1).as_i64().unwrap();
+                assert!(
+                    tag > last[k],
+                    "stability violated within key {k} at t={threads}"
+                );
+                last[k] = tag;
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_reports_shape() {
+        let chunk = mixed_chunk(900);
+        let (_, s) = sort_chunk(&chunk, &[(0, false)], None, 4);
+        assert_eq!(s.threads, 4);
+        assert!(
+            s.runs > 1,
+            "900 rows at 4 threads must produce several runs"
+        );
+        let (_, s) = sort_chunk(&chunk, &[(0, false)], Some(5), 4);
+        assert!(s.top_k);
+        let (_, s) = sort_chunk(&chunk, &[(0, false)], None, 1);
+        assert_eq!(s.runs, 1, "threads=1 sorts one run");
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty = Chunk::empty(2);
+        let (out, _) = sort_chunk(&empty, &[(0, false)], None, 4);
+        assert_eq!(out.rows(), 0);
+        let one = Chunk {
+            columns: vec![vec![Scalar::Int(1)], vec![Scalar::str("x")]],
+        };
+        let (out, _) = sort_chunk(&one, &[(0, true)], Some(3), 4);
+        assert_eq!(out.rows(), 1);
+    }
+}

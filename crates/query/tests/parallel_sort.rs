@@ -1,0 +1,208 @@
+//! Property test: the morsel-parallel normalized-key sort is bit-identical
+//! to the sequential comparator oracle at every thread count, with and
+//! without a LIMIT bound. "Bit-identical" means same variant, same value
+//! (floats compared by bit pattern), same row order.
+//!
+//! Coverage: null-heavy and duplicate-heavy key columns, NaN (both sign
+//! bit patterns), ±0.0, ±∞, cross-type key columns (the old comparator
+//! mapped incomparable pairs to `Equal`, so their order depended on sort
+//! internals), multi-key ORDER BY with mixed asc/desc, and LIMIT smaller
+//! than / equal to / larger than the row count — which exercises both the
+//! bounded-heap top-K path and the early-exit merge.
+
+use jt_query::{sort_chunk, sort_chunk_seq, Chunk, Scalar};
+use proptest::prelude::*;
+
+/// One generated row: two key variant/value pairs plus a float payload.
+type RowSpec = (u8, i64, u8, i64, i64);
+
+fn key_scalar(variant: u8, v: i64, card: i64) -> Scalar {
+    let v = v.rem_euclid(card);
+    match variant % 10 {
+        0 | 1 => Scalar::Null,
+        2 | 3 => Scalar::Int(v),
+        4 => Scalar::Float(v as f64 - 0.5),
+        // NaN with either sign bit: both must land in the same slot.
+        5 => Scalar::Float(if v % 2 == 0 { f64::NAN } else { -f64::NAN }),
+        6 => Scalar::Float(match v % 4 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        }),
+        7 => Scalar::str(format!("k{v}")),
+        8 => Scalar::Bool(v % 2 == 0),
+        _ => Scalar::Timestamp(v),
+    }
+}
+
+/// Build a chunk with columns `[key0, key1, payload]`.
+fn chunk_from(rows: &[RowSpec], card: i64) -> Chunk {
+    let mut columns = vec![Vec::new(), Vec::new(), Vec::new()];
+    for &(k0var, k0val, k1var, k1val, p) in rows {
+        columns[0].push(key_scalar(k0var, k0val, card));
+        columns[1].push(key_scalar(k1var, k1val, card));
+        // Unique payload: any row reorder under equal keys is visible.
+        columns[2].push(Scalar::Float(p as f64 * 0.25));
+    }
+    Chunk { columns }
+}
+
+fn bits_eq(a: &Scalar, b: &Scalar) -> bool {
+    match (a, b) {
+        (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn chunks_bits_eq(a: &Chunk, b: &Chunk) -> bool {
+    a.rows() == b.rows()
+        && a.width() == b.width()
+        && (0..a.width()).all(|c| (0..a.rows()).all(|r| bits_eq(a.get(r, c), b.get(r, c))))
+}
+
+fn row_strategy() -> impl Strategy<Value = RowSpec> {
+    (
+        any::<u8>(),
+        any::<i64>(),
+        any::<u8>(),
+        any::<i64>(),
+        any::<i64>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_sort_matches_oracle(
+        rows in prop::collection::vec(row_strategy(), 0..700),
+        card in 1i64..25,
+        desc0 in any::<bool>(),
+        desc1 in any::<bool>(),
+        two_keys in any::<bool>(),
+        // 0 = no LIMIT; otherwise scaled against the row count below so
+        // limits smaller than, equal to, and beyond the input all occur.
+        limit_sel in 0usize..5,
+    ) {
+        let chunk = chunk_from(&rows, card);
+        let order: Vec<(usize, bool)> = if two_keys {
+            vec![(0, desc0), (1, desc1)]
+        } else {
+            vec![(0, desc0)]
+        };
+        let limit = match limit_sel {
+            0 => None,
+            1 => Some(1),
+            2 => Some(chunk.rows() / 20),          // top-K territory
+            3 => Some(chunk.rows()),               // exactly the input
+            _ => Some(chunk.rows() * 2 + 5),       // beyond the input
+        };
+        let oracle = sort_chunk_seq(&chunk, &order, limit);
+        for threads in [1usize, 2, 8] {
+            let (par, _) = sort_chunk(&chunk, &order, limit, threads);
+            prop_assert!(
+                chunks_bits_eq(&par, &oracle),
+                "sort (limit={limit:?}, order={order:?}) diverged at threads={threads}"
+            );
+        }
+    }
+}
+
+/// Deterministic guard: an input big enough that the parallel paths
+/// provably engage (multiple runs, top-K heaps), checked against the
+/// oracle at several thread counts.
+#[test]
+fn parallel_paths_match_oracle_on_large_inputs() {
+    let rows: Vec<RowSpec> = (0..1500)
+        .map(|i| (i as u8, i * 7, (i / 3) as u8, i * 11, i))
+        .collect();
+    let chunk = chunk_from(&rows, 13);
+    let order = [(0usize, false), (1usize, true)];
+
+    let oracle = sort_chunk_seq(&chunk, &order, None);
+    let (par, stats) = sort_chunk(&chunk, &order, None, 8);
+    assert!(stats.runs > 1, "large sort must produce several runs");
+    assert!(!stats.top_k);
+    assert!(chunks_bits_eq(&par, &oracle), "full sort diverged");
+
+    let oracle_k = sort_chunk_seq(&chunk, &order, Some(15));
+    for threads in [2usize, 4, 8] {
+        let (topk, stats) = sort_chunk(&chunk, &order, Some(15), threads);
+        assert!(
+            stats.top_k,
+            "limit 15 of 1500 rows must take the top-K path"
+        );
+        assert!(
+            chunks_bits_eq(&topk, &oracle_k),
+            "top-K diverged at threads={threads}"
+        );
+    }
+}
+
+/// Regression: every NaN bit pattern occupies one defined slot (above +∞,
+/// below null) and ties break by original row order — at every thread
+/// count, including through the top-K path.
+#[test]
+fn nan_ordering_is_total_and_stable() {
+    let special = [
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        1.0,
+        f64::NEG_INFINITY,
+        f64::from_bits(0xFFF8_0000_0000_1234), // negative NaN payload
+    ];
+    let rows = 600;
+    let chunk = Chunk {
+        columns: vec![
+            (0..rows)
+                .map(|i| {
+                    if i % 5 == 0 {
+                        Scalar::Null
+                    } else {
+                        Scalar::Float(special[i % special.len()])
+                    }
+                })
+                .collect(),
+            (0..rows).map(|i| Scalar::Int(i as i64)).collect(),
+        ],
+    };
+    for desc in [false, true] {
+        let order = [(0usize, desc)];
+        let oracle = sort_chunk_seq(&chunk, &order, None);
+        // The oracle itself must be well-ordered: scan the classes.
+        let rank = |v: &Scalar| match v {
+            Scalar::Null => 3,
+            Scalar::Float(f) if f.is_nan() => 2,
+            _ => 1,
+        };
+        let ranks: Vec<i32> = (0..rows).map(|r| rank(oracle.get(r, 0))).collect();
+        let mut expected = ranks.clone();
+        if desc {
+            expected.sort_by(|a, b| b.cmp(a));
+        } else {
+            expected.sort();
+        }
+        assert_eq!(ranks, expected, "class ordering broken (desc={desc})");
+        // Within the NaN class, original row order survives (stability).
+        let nan_tags: Vec<i64> = (0..rows)
+            .filter(|&r| ranks[r] == 2)
+            .map(|r| oracle.get(r, 1).as_i64().unwrap())
+            .collect();
+        assert!(
+            nan_tags.windows(2).all(|w| w[0] < w[1]),
+            "NaN ties must keep input order (desc={desc})"
+        );
+        for threads in [2usize, 8] {
+            let (par, _) = sort_chunk(&chunk, &order, None, threads);
+            assert!(chunks_bits_eq(&par, &oracle), "desc={desc} t={threads}");
+            let (topk, _) = sort_chunk(&chunk, &order, Some(40), threads);
+            let oracle_k = sort_chunk_seq(&chunk, &order, Some(40));
+            assert!(
+                chunks_bits_eq(&topk, &oracle_k),
+                "top-K desc={desc} t={threads}"
+            );
+        }
+    }
+}

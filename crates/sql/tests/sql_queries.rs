@@ -241,6 +241,74 @@ fn tpch_q10_figure5_style() {
 }
 
 #[test]
+fn order_by_limit_takes_top_k_and_matches_full_sort() {
+    // 2000 rows with a duplicate-heavy key: big enough for the parallel
+    // sort, and LIMIT 10 is deep in top-K territory.
+    let docs: Vec<Value> = (0..2000)
+        .map(|i: i64| {
+            jt_json::parse(&format!(
+                r#"{{"k":{},"f":{}.5,"id":{i}}}"#,
+                (i * 37) % 200,
+                (i * 13) % 500
+            ))
+            .unwrap()
+        })
+        .collect();
+    let rel = load(&docs);
+    let tables: &[(&str, &Relation)] = &[("t", &rel)];
+    let base = "SELECT data->>'k'::INT, data->>'f'::FLOAT, data->>'id'::INT FROM t \
+                ORDER BY 1 DESC, 2";
+    let full = query(base, tables).unwrap();
+    for threads in [1usize, 2, 8] {
+        let limited = jt_sql::query_with(
+            &format!("{base} LIMIT 10"),
+            tables,
+            ExecOptions {
+                threads,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(limited.rows(), 10);
+        // Top-K must equal full-sort-then-truncate, row for row.
+        for r in 0..10 {
+            for c in 0..full.chunk.width() {
+                assert_eq!(
+                    limited.chunk.get(r, c),
+                    full.chunk.get(r, c),
+                    "row {r} col {c} at threads={threads}"
+                );
+            }
+        }
+        let stage = limited
+            .profile
+            .stages
+            .iter()
+            .find(|s| s.name == "top-k")
+            .expect("ORDER BY + LIMIT 10 over 2000 rows must take the top-K path");
+        assert!(stage.threads >= 1 && stage.partitions >= 1);
+    }
+    // EXPLAIN advertises the pushed-down bound.
+    let out = jt_sql::execute(
+        &format!("EXPLAIN {base} LIMIT 10"),
+        tables,
+        ExecOptions::default(),
+    )
+    .unwrap();
+    let jt_sql::SqlOutput::Plan(plan) = out else {
+        panic!("EXPLAIN must produce a plan");
+    };
+    assert!(
+        plan.contains("order-by keys=2 (top-k bound 10)"),
+        "plan must show the top-K bound:\n{plan}"
+    );
+    assert!(
+        plan.contains("limit 10"),
+        "plan keeps the limit line:\n{plan}"
+    );
+}
+
+#[test]
 fn error_reporting() {
     let rel = load(&sales_docs());
     let tables: &[(&str, &Relation)] = &[("t", &rel)];

@@ -74,7 +74,7 @@ fn cmd_metrics() -> i32 {
 fn cmd_load(args: &[String]) -> i32 {
     let mut positional = Vec::new();
     let mut config = TilesConfig::default();
-    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut threads = Relation::default_load_threads();
     let mut strict = false;
     let mut i = 0;
     while i < args.len() {
@@ -143,10 +143,12 @@ fn cmd_load(args: &[String]) -> i32 {
         return 1;
     }
     println!(
-        "loaded {} docs into {} tiles at {:.0}k tuples/sec → {}",
+        "loaded {} docs into {} tiles at {:.0}k tuples/sec ({} partitions on {} threads) → {}",
         rel.row_count(),
         rel.tiles().len(),
         m.tuples_per_sec() / 1e3,
+        m.partitions,
+        m.threads,
         output
     );
     0

@@ -11,7 +11,10 @@ use json_tiles::workloads::tpch;
 
 fn combined_relation(scale: f64, seed: u64) -> Relation {
     let d = data::tpch::generate(data::tpch::TpchConfig { scale, seed });
-    Relation::load(&d.combined(), TilesConfig::default())
+    // Parallel tile formation: partitions split on fixed document ranges
+    // and merge in order, so the relation is identical to a sequential
+    // load — which the tests below implicitly re-verify.
+    Relation::load_parallel(&d.combined(), TilesConfig::default())
 }
 
 /// Every TPC-H query's profile must satisfy the scan accounting
@@ -62,11 +65,12 @@ fn tpch_profiles_satisfy_accounting_identities() {
     }
 }
 
-/// Thread count must not change results: every TPC-H query at `threads: 4`
-/// returns a chunk bit-identical to `threads: 1` (floats compared by bit
-/// pattern), and the profile accounting identities hold on the parallel
-/// path too. At least one query must actually take a partitioned operator
-/// path so the assertion isn't vacuous.
+/// Thread count must not change results: every TPC-H query at `threads` ∈
+/// {2, 4, 8} returns a chunk bit-identical to `threads: 1` (floats
+/// compared by bit pattern), and the profile accounting identities hold on
+/// the parallel path too. At least one query must actually take a
+/// partitioned operator path, and every query with an ORDER BY must record
+/// a sort stage, so the assertions aren't vacuous.
 #[test]
 fn tpch_results_are_bit_identical_across_thread_counts() {
     use json_tiles::query::Scalar;
@@ -76,45 +80,151 @@ fn tpch_results_are_bit_identical_across_thread_counts() {
         ..ExecOptions::default()
     };
     let mut partitioned_ops = 0usize;
+    let mut sort_stages = 0usize;
     for q in 1..=tpch::QUERY_COUNT {
         let seq = tpch::run_query(q, &rel, opts(1));
-        let par = tpch::run_query(q, &rel, opts(4));
-        assert_eq!(par.rows(), seq.rows(), "Q{q}: row count changed");
-        assert_eq!(par.chunk.width(), seq.chunk.width(), "Q{q}: width changed");
-        for c in 0..seq.chunk.width() {
-            for r in 0..seq.rows() {
-                let (a, b) = (par.chunk.get(r, c), seq.chunk.get(r, c));
-                let same = match (a, b) {
-                    (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
-                    _ => a == b,
-                };
-                assert!(same, "Q{q}: row {r} col {c}: {a:?} (t=4) vs {b:?} (t=1)");
+        for threads in [2usize, 4, 8] {
+            let par = tpch::run_query(q, &rel, opts(threads));
+            assert_eq!(
+                par.rows(),
+                seq.rows(),
+                "Q{q} t={threads}: row count changed"
+            );
+            assert_eq!(
+                par.chunk.width(),
+                seq.chunk.width(),
+                "Q{q} t={threads}: width changed"
+            );
+            for c in 0..seq.chunk.width() {
+                for r in 0..seq.rows() {
+                    let (a, b) = (par.chunk.get(r, c), seq.chunk.get(r, c));
+                    let same = match (a, b) {
+                        (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                        _ => a == b,
+                    };
+                    assert!(
+                        same,
+                        "Q{q}: row {r} col {c}: {a:?} (t={threads}) vs {b:?} (t=1)"
+                    );
+                }
+            }
+            if threads != 4 {
+                continue;
+            }
+            // Row accounting must hold regardless of thread count.
+            let p = &par.profile;
+            assert_eq!(p.rows_out, par.rows(), "Q{q}: parallel profile rows_out");
+            for s in &p.scans {
+                assert_eq!(
+                    s.stats.scanned_tiles + s.stats.skipped_tiles,
+                    s.stats.total_tiles,
+                    "Q{q} scan {}: tile accounting at threads=4",
+                    s.table
+                );
+                assert_eq!(
+                    s.stats.rows_attributed(),
+                    s.stats.rows_scanned,
+                    "Q{q} scan {}: row attribution at threads=4",
+                    s.table
+                );
+            }
+            partitioned_ops += p.joins.iter().filter(|j| j.partitions > 1).count();
+            partitioned_ops += p.stages.iter().filter(|s| s.partitions > 1).count();
+            // Every sort stage now reports its execution shape: threads
+            // and at least one run even on the sequential fallback.
+            for s in &p.stages {
+                if s.name == "order-by" || s.name == "top-k" {
+                    sort_stages += 1;
+                    assert!(s.threads >= 1, "Q{q}: sort stage must report threads");
+                    assert!(s.partitions >= 1, "Q{q}: sort stage must report runs");
+                }
             }
         }
-        // Row accounting must hold regardless of thread count.
-        let p = &par.profile;
-        assert_eq!(p.rows_out, par.rows(), "Q{q}: parallel profile rows_out");
-        for s in &p.scans {
-            assert_eq!(
-                s.stats.scanned_tiles + s.stats.skipped_tiles,
-                s.stats.total_tiles,
-                "Q{q} scan {}: tile accounting at threads=4",
-                s.table
-            );
-            assert_eq!(
-                s.stats.rows_attributed(),
-                s.stats.rows_scanned,
-                "Q{q} scan {}: row attribution at threads=4",
-                s.table
-            );
-        }
-        partitioned_ops += p.joins.iter().filter(|j| j.partitions > 1).count();
-        partitioned_ops += p.stages.iter().filter(|s| s.partitions > 1).count();
     }
     assert!(
         partitioned_ops > 0,
         "no TPC-H query took a partitioned join/agg path at threads=4"
     );
+    assert!(
+        sort_stages > 0,
+        "no TPC-H query recorded an order-by/top-k stage"
+    );
+}
+
+/// A single-table ORDER BY large enough for the morsel-parallel sort (and,
+/// with LIMIT, the bounded-heap top-K path): results must be bit-identical
+/// across thread counts and the profile must show the parallel shape.
+#[test]
+fn large_order_by_is_parallel_and_bit_identical() {
+    use json_tiles::query::Scalar;
+    let docs: Vec<_> = (0..4000)
+        .map(|i: i64| {
+            let v = (i * 7919) % 1000; // duplicate-heavy sort key
+            let f = ((i * 131) % 997) as f64 * 0.5;
+            jt_json::parse(&format!(r#"{{"v": {v}, "f": {f}, "id": {i}}}"#)).unwrap()
+        })
+        .collect();
+    let rel = Relation::load_parallel(&docs, TilesConfig::default());
+    let run = |sql_text: &str, threads: usize| {
+        let out = sql::execute(
+            sql_text,
+            &[("t", &rel)],
+            ExecOptions {
+                threads,
+                ..ExecOptions::default()
+            },
+        )
+        .expect("valid query");
+        let sql::SqlOutput::Rows(r) = out else {
+            panic!("plain SELECT must produce rows");
+        };
+        r
+    };
+    for (sql_text, want_stage, want_rows) in [
+        (
+            "SELECT data->>'v'::INT, data->>'f'::FLOAT, data->>'id'::INT FROM t \
+             ORDER BY 1 DESC, 2",
+            "order-by",
+            4000,
+        ),
+        (
+            "SELECT data->>'v'::INT, data->>'f'::FLOAT, data->>'id'::INT FROM t \
+             ORDER BY 1 DESC, 2 LIMIT 25",
+            "top-k",
+            25,
+        ),
+    ] {
+        let seq = run(sql_text, 1);
+        assert_eq!(seq.rows(), want_rows);
+        for threads in [2usize, 4, 8] {
+            let par = run(sql_text, threads);
+            assert_eq!(par.rows(), seq.rows(), "t={threads}");
+            for c in 0..seq.chunk.width() {
+                for r in 0..seq.rows() {
+                    let (a, b) = (par.chunk.get(r, c), seq.chunk.get(r, c));
+                    let same = match (a, b) {
+                        (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+                        _ => a == b,
+                    };
+                    assert!(same, "row {r} col {c} at t={threads}: {a:?} vs {b:?}");
+                }
+            }
+            let stage = par
+                .profile
+                .stages
+                .iter()
+                .find(|s| s.name == want_stage)
+                .unwrap_or_else(|| panic!("missing {want_stage} stage at t={threads}"));
+            assert_eq!(
+                stage.threads, threads,
+                "{want_stage} must report its threads"
+            );
+            assert!(
+                stage.partitions > 1,
+                "{want_stage} at t={threads} must merge several runs"
+            );
+        }
+    }
 }
 
 /// At this scale the combined relation spans several tiles and the
@@ -235,7 +345,13 @@ fn metrics_snapshot_round_trips_through_json() {
     let jt_json::Value::Object(counters) = get("counters") else {
         panic!("counters must be an object");
     };
-    for family in ["load.rows", "load.tiles_built", "query.scan.rows_scanned"] {
+    for family in [
+        "load.rows",
+        "load.tiles_built",
+        "load.partitions",
+        "load.threads",
+        "query.scan.rows_scanned",
+    ] {
         assert!(
             counters.iter().any(|(name, _)| name == family),
             "missing counter {family} in snapshot"
