@@ -99,7 +99,7 @@ pub fn table1(cfg: &ExpConfig) {
     for q in 1..=tpch::QUERY_COUNT {
         let mut row = vec![q.to_string()];
         for (_, rel) in &rels {
-            let secs = time_median(|| tpch::run_query(q, rel, opts));
+            let secs = time_median(|| tpch::run_query(q, rel, opts.clone()));
             row.push(fmt_secs(secs));
         }
         rows.push(row);
@@ -121,7 +121,7 @@ pub fn fig7(cfg: &ExpConfig) {
     for (q, name) in [(1usize, "Q1"), (18usize, "Q18")] {
         let mut row = vec![name.to_string()];
         for (_, rel) in &rels {
-            let secs = time_median(|| tpch::run_query(q, rel, opts));
+            let secs = time_median(|| tpch::run_query(q, rel, opts.clone()));
             row.push(format!("{:.1}", 1.0 / secs));
         }
         rows.push(row);
@@ -166,7 +166,9 @@ pub fn table2(cfg: &ExpConfig) {
     for q in 1..=yelp::QUERY_COUNT {
         let mut row = vec![q.to_string()];
         for (_, rel) in &rels {
-            row.push(fmt_secs(time_median(|| yelp::run_query(q, rel, opts))));
+            row.push(fmt_secs(time_median(|| {
+                yelp::run_query(q, rel, opts.clone())
+            })));
         }
         rows.push(row);
     }
@@ -188,10 +190,12 @@ pub fn table3(cfg: &ExpConfig) {
     for q in 1..=twitter::QUERY_COUNT {
         let mut row = vec![q.to_string()];
         for (_, rel) in &rels {
-            row.push(fmt_secs(time_median(|| twitter::run_query(q, rel, opts))));
+            row.push(fmt_secs(time_median(|| {
+                twitter::run_query(q, rel, opts.clone())
+            })));
         }
         row.push(fmt_secs(time_median(|| {
-            twitter::run_query_star(q, tiles_rel, &side, opts)
+            twitter::run_query_star(q, tiles_rel, &side, opts.clone())
         })));
         rows.push(row);
     }
@@ -214,12 +218,12 @@ pub fn table4(cfg: &ExpConfig) {
         let mut row = vec![label.to_string()];
         for (_, rel) in &rels {
             let times: Vec<f64> = (1..=twitter::QUERY_COUNT)
-                .map(|q| time_median(|| twitter::run_query(q, rel, opts)))
+                .map(|q| time_median(|| twitter::run_query(q, rel, opts.clone())))
                 .collect();
             row.push(fmt_secs(geo_mean(&times)));
         }
         let star: Vec<f64> = (1..=twitter::QUERY_COUNT)
-            .map(|q| time_median(|| twitter::run_query_star(q, tiles_rel, &side, opts)))
+            .map(|q| time_median(|| twitter::run_query_star(q, tiles_rel, &side, opts.clone())))
             .collect();
         row.push(fmt_secs(geo_mean(&star)));
         rows.push(row);
@@ -239,7 +243,7 @@ pub fn fig9(cfg: &ExpConfig) {
     let mut row = Vec::new();
     for (name, rel) in &rels {
         let times: Vec<f64> = (1..=tpch::QUERY_COUNT)
-            .map(|q| time_median(|| tpch::run_query(q, rel, opts)))
+            .map(|q| time_median(|| tpch::run_query(q, rel, opts.clone())))
             .collect();
         row.push(vec![name.to_string(), fmt_secs(geo_mean(&times))]);
     }
@@ -293,7 +297,7 @@ pub fn fig10_to_13(cfg: &ExpConfig, which: &str) {
                 },
                 cfg.threads,
             );
-            row.push(fmt_secs(runner(&rel, opts)));
+            row.push(fmt_secs(runner(&rel, opts.clone())));
         }
         rows.push(row);
     }
@@ -308,21 +312,21 @@ type QueryRunner = fn(&Relation, ExecOptions) -> f64;
 
 fn run_tpch_geo(rel: &Relation, opts: ExecOptions) -> f64 {
     let times: Vec<f64> = (1..=tpch::QUERY_COUNT)
-        .map(|q| time_median(|| tpch::run_query(q, rel, opts)))
+        .map(|q| time_median(|| tpch::run_query(q, rel, opts.clone())))
         .collect();
     geo_mean(&times)
 }
 
 fn run_yelp_geo(rel: &Relation, opts: ExecOptions) -> f64 {
     let times: Vec<f64> = (1..=yelp::QUERY_COUNT)
-        .map(|q| time_median(|| yelp::run_query(q, rel, opts)))
+        .map(|q| time_median(|| yelp::run_query(q, rel, opts.clone())))
         .collect();
     geo_mean(&times)
 }
 
 fn run_twitter_geo(rel: &Relation, opts: ExecOptions) -> f64 {
     let times: Vec<f64> = (1..=twitter::QUERY_COUNT)
-        .map(|q| time_median(|| twitter::run_query(q, rel, opts)))
+        .map(|q| time_median(|| twitter::run_query(q, rel, opts.clone())))
         .collect();
     geo_mean(&times)
 }
@@ -387,8 +391,9 @@ pub fn fig14(cfg: &ExpConfig) {
                 threads: cfg.threads,
                 enable_skipping: skip,
                 optimize_joins: true,
+                ..ExecOptions::default()
             };
-            row.push(fmt_secs(runner(&rel, opts)));
+            row.push(fmt_secs(runner(&rel, opts.clone())));
         }
         rows.push(row);
     }
@@ -413,7 +418,7 @@ pub fn fig15(cfg: &ExpConfig) {
     for &(mode, name) in &MODES {
         for (suffix, docs) in [(" Only", &d.tpch_lineitem), (" Comb.", &d.tpch_combined)] {
             let rel = load_mode(docs, mode, cfg.threads);
-            let secs = time_median(|| micro::summation(&rel, opts));
+            let secs = time_median(|| micro::summation(&rel, opts.clone()));
             rows.push(vec![
                 format!("{name}{suffix}"),
                 format!("{:.0}", 1.0 / secs),
@@ -464,7 +469,7 @@ pub fn table5(cfg: &ExpConfig) {
         ("Tiles Comb.", StorageMode::Tiles, &d.tpch_combined),
     ] {
         let rel = load_mode(docs, mode, cfg.threads);
-        let secs = time_median(|| micro::summation(&rel, opts));
+        let secs = time_median(|| micro::summation(&rel, opts.clone()));
         rows.push(vec![
             name.to_string(),
             format!("{:.2}", secs / n_line * 1e9),

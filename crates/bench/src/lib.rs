@@ -67,6 +67,7 @@ pub fn exec_opts(threads: usize) -> ExecOptions {
         threads,
         enable_skipping: true,
         optimize_joins: true,
+        ..ExecOptions::default()
     }
 }
 

@@ -56,7 +56,7 @@ pub use dict::PathDictionary;
 pub use header::{ColumnMeta, TileHeader};
 pub use path::{KeyPath, PathSeg};
 pub use persist::{CorruptTilePolicy, OpenOptions, PersistError};
-pub use relation::{LoadMetrics, Relation, RelationStats, SectionIo, StorageReport};
+pub use relation::{LoadError, LoadMetrics, Relation, RelationStats, SectionIo, StorageReport};
 pub use reorder::reorder_partition;
 pub use tile::{
     collect_leaves, AccessType, BuildTiming, ColType, DocLeaves, JsonbColumn, LeafValue,

@@ -927,6 +927,16 @@ impl Relation {
         atomic_write(path.as_ref(), &self.to_bytes())
     }
 
+    /// Borrowing [`Relation::save`] for immutable generations: writes the
+    /// relation to `path` with the same atomic temp-file + rename protocol
+    /// but without flushing (the relation must have no pending inserts —
+    /// generation builders like [`Relation::with_appended`] never do).
+    /// This is what lets a service checkpoint an `Arc<Relation>` it shares
+    /// with in-flight queries.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        atomic_write(path.as_ref(), &self.to_bytes())
+    }
+
     /// Read a relation written by [`Relation::save`], rejecting any damage.
     pub fn open(path: impl AsRef<std::path::Path>) -> Result<Relation> {
         Relation::open_with(path, &OpenOptions::default())

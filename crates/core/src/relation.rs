@@ -141,6 +141,42 @@ impl LoadMetrics {
     }
 }
 
+/// A bulk-load failure: a loader thread (or the in-line build on
+/// single-threaded loads) panicked while forming tiles. The panic payload
+/// message and the first document index of the failing partition are
+/// preserved so callers can report *which* input broke the load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError {
+    /// Index of the first partition the failing worker owned.
+    pub partition: usize,
+    /// The panic payload, downcast to text (`"<non-string panic>"` when
+    /// the payload was neither `String` nor `&str`).
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loader thread panicked on partition {}: {}",
+            self.partition, self.message
+        )
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Extract a human-readable message from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
 /// Relation-level statistics for the optimizer (§4.6): 256 bounded
 /// frequency counters plus up to 64 merged HyperLogLog sketches, both with
 /// the paper's recency/frequency replacement policy.
@@ -180,19 +216,23 @@ impl RelationStats {
             } else {
                 // Same policy as the frequency counters: evict the slot with
                 // the oldest last-updating tile, tie-broken by the smaller
-                // estimate.
+                // estimate. `total_cmp` keeps the ordering total even if an
+                // estimate ever degenerates to NaN, and the `if let` makes
+                // the no-slot case (hll_slots forced to 0 by a hostile
+                // config) a no-op instead of a panic.
                 let victim = self
                     .sketches
                     .iter()
                     .enumerate()
                     .min_by(|(_, a), (_, b)| {
                         a.2.cmp(&b.2)
-                            .then(a.1.estimate().partial_cmp(&b.1.estimate()).expect("finite"))
+                            .then(a.1.estimate().total_cmp(&b.1.estimate()))
                     })
-                    .map(|(i, _)| i)
-                    .expect("non-empty");
-                if self.sketches[victim].2 < tile_no {
-                    self.sketches[victim] = (key, sketch.clone(), tile_no);
+                    .map(|(i, _)| i);
+                if let Some(victim) = victim {
+                    if self.sketches[victim].2 < tile_no {
+                        self.sketches[victim] = (key, sketch.clone(), tile_no);
+                    }
                 }
             }
         }
@@ -366,7 +406,27 @@ impl Relation {
     /// Bulk-load with `threads` worker threads. Partitions are independent
     /// ("each thread is dedicated to a disjoint subset of the data"), so
     /// loading parallelizes with no coordination beyond the final merge.
+    ///
+    /// A loader-thread panic propagates as a panic with the original
+    /// payload's message; services that must survive malformed input
+    /// should call [`Relation::try_load_with_threads`] instead.
     pub fn load_with_threads(docs: &[Value], config: TilesConfig, threads: usize) -> Relation {
+        match Self::try_load_with_threads(docs, config, threads) {
+            Ok(rel) => rel,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Relation::load_with_threads`]: a panic on any loader
+    /// thread is captured (payload message included) and surfaced as
+    /// [`LoadError`] instead of tearing down the caller. The partially
+    /// built partitions are dropped — a load either fully succeeds or
+    /// yields no relation.
+    pub fn try_load_with_threads(
+        docs: &[Value],
+        config: TilesConfig,
+        threads: usize,
+    ) -> Result<Relation, LoadError> {
         let start = Instant::now();
         let partition_rows = config.tile_size.max(1) * config.partition_size.max(1);
 
@@ -388,17 +448,38 @@ impl Relation {
         type Built = (usize, Vec<Tile>, BuildTiming, Duration, Duration);
         let build_timed = |i: usize, p: &[Value]| -> Built {
             let t0 = Instant::now();
+            // Test-only fault injection: a document carrying the sentinel
+            // key makes its partition's build panic, so the capture paths
+            // below are exercised deterministically at every thread count.
+            #[cfg(test)]
+            if p.iter().any(|d| {
+                matches!(d, Value::Object(fields)
+                    if fields.iter().any(|(k, _)| k == "__jt_test_loader_panic__"))
+            }) {
+                panic!("injected loader fault");
+            }
             let (tiles, timing, reorder) = build_partition(p, &config, sinew_schema.as_deref());
             (i, tiles, timing, reorder, t0.elapsed())
         };
         let mut results: Vec<Built> = if threads <= 1 {
-            partitions
-                .iter()
-                .enumerate()
-                .map(|(i, p)| build_timed(i, p))
-                .collect()
+            let mut out = Vec::with_capacity(partitions.len());
+            for (i, p) in partitions.iter().enumerate() {
+                // Single-threaded loads capture panics too, so callers get
+                // the same LoadError contract at every thread count.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| build_timed(i, p))) {
+                    Ok(built) => out.push(built),
+                    Err(payload) => {
+                        return Err(LoadError {
+                            partition: i,
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
+            }
+            out
         } else {
             let mut out = Vec::new();
+            let mut failure: Option<LoadError> = None;
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for (t, chunk) in partitions
@@ -407,18 +488,36 @@ impl Relation {
                 {
                     let build_timed = &build_timed;
                     let base = t * partitions.len().div_ceil(threads);
-                    handles.push(scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .enumerate()
-                            .map(|(i, p)| build_timed(base + i, p))
-                            .collect::<Vec<_>>()
-                    }));
+                    handles.push((
+                        base,
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .enumerate()
+                                .map(|(i, p)| build_timed(base + i, p))
+                                .collect::<Vec<_>>()
+                        }),
+                    ));
                 }
-                for h in handles {
-                    out.extend(h.join().expect("loader thread panicked"));
+                for (base, h) in handles {
+                    match h.join() {
+                        Ok(built) => out.extend(built),
+                        Err(payload) => {
+                            // Keep the first failure; later panics joined
+                            // anyway so no thread is left detached.
+                            if failure.is_none() {
+                                failure = Some(LoadError {
+                                    partition: base,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                        }
+                    }
                 }
             });
+            if let Some(e) = failure {
+                return Err(e);
+            }
             out
         };
         results.sort_by_key(|(i, ..)| *i);
@@ -470,7 +569,7 @@ impl Relation {
             pending: Vec::new(),
         };
         rel.publish_coverage();
-        rel
+        Ok(rel)
     }
 
     /// The load configuration.
@@ -526,6 +625,76 @@ impl Relation {
         if self.tiles[ti].needs_recompute() {
             self.tiles[ti].recompute(&self.config);
         }
+    }
+
+    /// Rows across all tiles that no longer overlap their tile's extracted
+    /// schema (§4.7 outliers). Drops back toward zero as tiles recompute.
+    pub fn outlier_rows(&self) -> usize {
+        self.tiles.iter().map(|t| t.outlier_count()).sum()
+    }
+
+    /// Build the next immutable *generation* of this relation (§4.9):
+    /// a new `Relation` containing every visible tile of `self` — with any
+    /// deferred §4.7 recomputations folded in, so the generation starts
+    /// with zero outliers — plus tiles formed from `self`'s pending
+    /// documents followed by `docs`, in that order. `self` is untouched;
+    /// readers holding it see exactly the rows they saw before, which is
+    /// what lets a service swap generations under concurrent queries
+    /// without blocking them.
+    pub fn with_appended(&self, docs: &[Value]) -> Relation {
+        let start = Instant::now();
+        let mut tiles: Vec<Tile> = self.tiles.clone();
+        for t in &mut tiles {
+            if t.needs_recompute() {
+                t.recompute(&self.config);
+            }
+        }
+
+        let mut appended: Vec<Value> = self.pending.clone();
+        appended.extend(docs.iter().cloned());
+        let new_rows = appended.len();
+        if !appended.is_empty() {
+            let sinew_schema: Option<Vec<(KeyPath, ColType)>> = match self.config.mode {
+                StorageMode::Sinew => {
+                    let leaves: Vec<DocLeaves> = appended
+                        .iter()
+                        .map(|d| collect_leaves(d, &self.config))
+                        .collect();
+                    Some(global_schema(&leaves, self.config.threshold))
+                }
+                _ => None,
+            };
+            let (new_tiles, _timing, _reorder) =
+                build_partition(&appended, &self.config, sinew_schema.as_deref());
+            jt_obs::counter_add!("load.tiles_built", new_tiles.len() as u64);
+            tiles.extend(new_tiles);
+        }
+
+        // Stats and offsets are rebuilt from scratch: recomputed tiles may
+        // have different headers than the ones `self.stats` absorbed.
+        let mut stats = RelationStats::new(&self.config);
+        let mut tile_offsets = Vec::with_capacity(tiles.len());
+        let mut offset = 0usize;
+        for (no, tile) in tiles.iter().enumerate() {
+            stats.absorb_tile(no as u64, tile);
+            tile_offsets.push(offset);
+            offset += tile.len();
+        }
+
+        let mut metrics = self.metrics.clone();
+        metrics.total += start.elapsed();
+        metrics.rows += new_rows;
+
+        let rel = Relation {
+            config: self.config,
+            tiles,
+            tile_offsets,
+            stats,
+            metrics,
+            pending: Vec::new(),
+        };
+        rel.publish_coverage();
+        rel
     }
 
     /// Refresh the `load.extraction_coverage_pct` gauge: the mean fraction
@@ -626,4 +795,67 @@ fn build_partition(
         ));
     }
     (tiles, timing, reorder_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TilesConfig;
+
+    fn plain_docs(n: usize) -> Vec<Value> {
+        (0..n)
+            .map(|i| jt_json::parse(&format!("{{\"id\":{i},\"name\":\"row {i}\"}}")).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str".to_string());
+        assert_eq!(panic_message(s.as_ref()), "static str");
+        let st: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(st.as_ref()), "literal");
+        let other: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(other.as_ref()), "<non-string panic>");
+    }
+
+    #[test]
+    fn loader_panic_is_captured_as_load_error_at_every_thread_count() {
+        let config = TilesConfig {
+            tile_size: 8,
+            partition_size: 1,
+            ..TilesConfig::default()
+        };
+        // Put the poisoned document in the third partition (rows 16..24) so
+        // both earlier-success and partition-attribution are exercised.
+        let mut docs = plain_docs(40);
+        docs[17] = jt_json::parse("{\"__jt_test_loader_panic__\":true}").unwrap();
+
+        for threads in [1, 4] {
+            let err = Relation::try_load_with_threads(&docs, config.clone(), threads)
+                .expect_err("poisoned partition must fail the load");
+            assert!(
+                err.to_string().contains("injected loader fault"),
+                "payload message lost at threads={threads}: {err}"
+            );
+            // threads=1 attributes the exact partition; the parallel path
+            // reports the base partition of the failing worker's chunk.
+            if threads == 1 {
+                assert_eq!(err.partition, 2);
+            }
+        }
+    }
+
+    #[test]
+    fn try_load_matches_infallible_load_on_clean_input() {
+        let docs = plain_docs(50);
+        let config = TilesConfig {
+            tile_size: 8,
+            partition_size: 2,
+            ..TilesConfig::default()
+        };
+        let rel =
+            Relation::try_load_with_threads(&docs, config.clone(), 4).expect("clean load succeeds");
+        assert_eq!(rel.row_count(), Relation::load(&docs, config).row_count());
+        assert_eq!(rel.row_count(), 50);
+    }
 }

@@ -436,6 +436,12 @@ impl Tile {
         }
     }
 
+    /// Tuples updated past the extracted schema and not yet re-mined
+    /// (§4.7). Reset to zero by [`Tile::recompute`].
+    pub fn outlier_count(&self) -> usize {
+        self.outliers
+    }
+
     /// True once the majority of tuples no longer match the extracted
     /// schema — the §4.7 recomputation trigger.
     pub fn needs_recompute(&self) -> bool {

@@ -20,8 +20,11 @@
 //!    merge is a concatenation sorted by canonical key bytes — the same
 //!    deterministic group order the oracle produces.
 
+use crate::cancel::CancelToken;
 use crate::expr::Expr;
-use crate::par::{key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS};
+use crate::par::{
+    key_hash, partition_of, run_workers_guarded, worker_ranges, PARTITIONS, PAR_MIN_ROWS,
+};
 use crate::scalar::Scalar;
 use crate::Chunk;
 use std::collections::HashMap;
@@ -355,10 +358,27 @@ pub fn group_aggregate_par(
     aggs: &[Agg],
     threads: usize,
 ) -> (Chunk, AggExecStats) {
+    group_aggregate_par_cancellable(input, keys, aggs, threads, &CancelToken::none())
+}
+
+/// [`group_aggregate_par`] polling `cancel` at every morsel boundary (eval
+/// morsels, accumulate partitions). A cancelled aggregation returns a
+/// truncated result the caller must discard by checking the token.
+pub fn group_aggregate_par_cancellable(
+    input: &Chunk,
+    keys: &[Expr],
+    aggs: &[Agg],
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, AggExecStats) {
     let threads = threads.max(1);
     if threads == 1 || input.rows() < PAR_MIN_ROWS {
         let t = Instant::now();
-        let out = group_aggregate(input, keys, aggs);
+        let out = if cancel.is_cancelled() {
+            Chunk::empty(keys.len() + aggs.len())
+        } else {
+            group_aggregate(input, keys, aggs)
+        };
         let stats = AggExecStats {
             partitions: 1,
             threads: 1,
@@ -368,45 +388,58 @@ pub fn group_aggregate_par(
         return (out, stats);
     }
     if keys.is_empty() {
-        return global_aggregate_par(input, aggs, threads);
+        return global_aggregate_par(input, aggs, threads, cancel);
     }
     let naggs = aggs.len();
     let nkeys = keys.len();
+    let empty_part = || EvalPart {
+        bytes: Vec::new(),
+        offs: Vec::new(),
+        key_vals: Vec::new(),
+        args: Vec::new(),
+        buckets: vec![Vec::new(); PARTITIONS],
+    };
 
     // Phase 1: evaluate keys and arguments morsel-parallel.
     let t_eval = Instant::now();
-    let parts: Vec<EvalPart> = run_workers(worker_ranges(input.rows(), threads), |range| {
-        let n = range.len();
-        let mut part = EvalPart {
-            bytes: Vec::new(),
-            offs: Vec::with_capacity(n),
-            key_vals: Vec::with_capacity(n * nkeys),
-            args: Vec::with_capacity(n * naggs),
-            buckets: vec![Vec::new(); PARTITIONS],
-        };
-        for (local, row) in range.enumerate() {
-            let start = part.bytes.len();
-            for k in keys {
-                let v = k.eval(input, row);
-                v.write_key(&mut part.bytes);
-                part.key_vals.push(v);
+    let parts: Vec<EvalPart> = run_workers_guarded(
+        cancel,
+        worker_ranges(input.rows(), threads),
+        |range| {
+            let n = range.len();
+            let mut part = EvalPart {
+                offs: Vec::with_capacity(n),
+                key_vals: Vec::with_capacity(n * nkeys),
+                args: Vec::with_capacity(n * naggs),
+                ..empty_part()
+            };
+            for (local, row) in range.enumerate() {
+                let start = part.bytes.len();
+                for k in keys {
+                    let v = k.eval(input, row);
+                    v.write_key(&mut part.bytes);
+                    part.key_vals.push(v);
+                }
+                let len = part.bytes.len() - start;
+                part.offs.push((start as u32, len as u32));
+                let p = partition_of(key_hash(&part.bytes[start..]));
+                part.buckets[p].push(local as u32);
+                eval_args(input, row, aggs, &mut part.args);
             }
-            let len = part.bytes.len() - start;
-            part.offs.push((start as u32, len as u32));
-            let p = partition_of(key_hash(&part.bytes[start..]));
-            part.buckets[p].push(local as u32);
-            eval_args(input, row, aggs, &mut part.args);
-        }
-        part
-    });
+            part
+        },
+        |_| empty_part(),
+    );
     let eval_wall = t_eval.elapsed();
 
     // Phase 2: accumulate partition-parallel. Each worker owns a disjoint
     // set of hash partitions and drains the eval parts in range order, so
     // every group's accumulator sees its rows in global row order.
     let t_acc = Instant::now();
-    let tables: Vec<Vec<(&[u8], GroupEntry)>> =
-        run_workers(worker_ranges(PARTITIONS, threads), |prange| {
+    let tables: Vec<Vec<(&[u8], GroupEntry)>> = run_workers_guarded(
+        cancel,
+        worker_ranges(PARTITIONS, threads),
+        |prange| {
             let mut out: Vec<(&[u8], GroupEntry)> = Vec::new();
             for p in prange {
                 let mut table: HashMap<&[u8], GroupEntry> = HashMap::new();
@@ -427,7 +460,9 @@ pub fn group_aggregate_par(
                 out.extend(table);
             }
             out
-        });
+        },
+        |_| Vec::new(),
+    );
     let accumulate_wall = t_acc.elapsed();
 
     // Phase 3: partitions hold disjoint keys, so the deterministic merge is
@@ -459,20 +494,30 @@ pub fn group_aggregate_par(
 /// keeps order-sensitive float sums bit-identical to the oracle. The single
 /// accumulator row makes group partitioning useless here, and merging
 /// per-morsel partial sums would break float bit-identity.
-fn global_aggregate_par(input: &Chunk, aggs: &[Agg], threads: usize) -> (Chunk, AggExecStats) {
+fn global_aggregate_par(
+    input: &Chunk,
+    aggs: &[Agg],
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, AggExecStats) {
     let naggs = aggs.len();
     if naggs == 0 {
         // Degenerate keyless, aggregate-less query: zero-width output.
         return (Chunk::empty(0), AggExecStats::default());
     }
     let t_eval = Instant::now();
-    let parts: Vec<Vec<Scalar>> = run_workers(worker_ranges(input.rows(), threads), |range| {
-        let mut args = Vec::with_capacity(range.len() * naggs);
-        for row in range {
-            eval_args(input, row, aggs, &mut args);
-        }
-        args
-    });
+    let parts: Vec<Vec<Scalar>> = run_workers_guarded(
+        cancel,
+        worker_ranges(input.rows(), threads),
+        |range| {
+            let mut args = Vec::with_capacity(range.len() * naggs);
+            for row in range {
+                eval_args(input, row, aggs, &mut args);
+            }
+            args
+        },
+        |_| Vec::new(),
+    );
     let eval_wall = t_eval.elapsed();
 
     let t_acc = Instant::now();

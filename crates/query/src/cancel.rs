@@ -1,0 +1,185 @@
+//! Cooperative query cancellation and deadlines.
+//!
+//! A [`CancelToken`] is shared between a query's owner (a server worker, a
+//! CLI timeout, a test) and the executor. The owner flips it with
+//! [`CancelToken::cancel`] or arms a deadline at construction; the executor
+//! polls it at morsel boundaries — per scanned tile, per worker range in
+//! the join/aggregation/sort phases, and between pipeline stages in
+//! `Query::try_run_with`. Cancellation is *cooperative*: a runaway query
+//! dies at the next morsel, not mid-instruction, and no thread is ever
+//! killed — workers that observe the flag return structurally-valid empty
+//! outputs which the stage boundary then discards by surfacing
+//! [`ExecError`].
+//!
+//! The default token ([`CancelToken::none`]) has no shared state at all:
+//! `is_cancelled` is a single `Option` test, so queries that never need
+//! cancellation (the entire pre-server API surface) pay nothing.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+#[derive(Debug)]
+struct CancelState {
+    /// `LIVE` / `CANCELLED` / `DEADLINE`. Once non-live, never reset.
+    flag: AtomicU8,
+    /// Absolute deadline; checked lazily on [`CancelToken::is_cancelled`]
+    /// and cached into `flag` so later polls skip the clock read.
+    deadline: Option<Instant>,
+}
+
+/// Why a query was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The owner called [`CancelToken::cancel`].
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Shared cancellation flag plus optional deadline; cloning shares state.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelState>>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancels, costs one `Option` test per poll.
+    pub const fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A live token that cancels only via [`CancelToken::cancel`].
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelState {
+                flag: AtomicU8::new(LIVE),
+                deadline: None,
+            })),
+        }
+    }
+
+    /// A live token that additionally expires `timeout` from now.
+    pub fn with_deadline(timeout: Duration) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelState {
+                flag: AtomicU8::new(LIVE),
+                deadline: Instant::now().checked_add(timeout),
+            })),
+        }
+    }
+
+    /// Request cancellation. Idempotent; a deadline that already fired
+    /// keeps its `DeadlineExceeded` classification.
+    pub fn cancel(&self) {
+        if let Some(s) = &self.inner {
+            let _ = s
+                .flag
+                .compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Poll the token: true once cancelled or past the deadline. This is
+    /// the morsel-boundary check, so it is cheap: one atomic load, plus a
+    /// clock read only while a deadline is armed and unexpired.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        let Some(s) = &self.inner else {
+            return false;
+        };
+        match s.flag.load(Ordering::Relaxed) {
+            LIVE => match s.deadline {
+                Some(d) if Instant::now() >= d => {
+                    let _ = s.flag.compare_exchange(
+                        LIVE,
+                        DEADLINE,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                    true
+                }
+                _ => false,
+            },
+            _ => true,
+        }
+    }
+
+    /// The stage-boundary check: `Err` with the abort cause once tripped.
+    #[inline]
+    pub fn check(&self) -> Result<(), ExecError> {
+        if self.is_cancelled() {
+            Err(self.cause().unwrap_or(ExecError::Cancelled))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The abort cause, if the token has tripped.
+    pub fn cause(&self) -> Option<ExecError> {
+        let s = self.inner.as_ref()?;
+        match s.flag.load(Ordering::Relaxed) {
+            CANCELLED => Some(ExecError::Cancelled),
+            DEADLINE => Some(ExecError::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+        assert!(t.check().is_ok());
+        assert_eq!(t.cause(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_and_classified() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(t.check().is_ok());
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(ExecError::Cancelled));
+        assert_eq!(t.cause(), Some(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn deadline_trips_and_keeps_classification() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert!(t.is_cancelled());
+        assert_eq!(t.check(), Err(ExecError::DeadlineExceeded));
+        // A later explicit cancel must not reclassify the abort.
+        t.cancel();
+        assert_eq!(t.cause(), Some(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert_eq!(t.cause(), Some(ExecError::Cancelled));
+    }
+}

@@ -24,8 +24,10 @@
 //! build-phase arenas (`HashMap<&[u8], _>`), and matches accumulate as row
 //! indices that a per-column gather materializes at the end.
 
+use crate::cancel::CancelToken;
 use crate::par::{
-    gather_rows, key_hash, partition_of, run_workers, worker_ranges, PARTITIONS, PAR_MIN_ROWS,
+    gather_rows, key_hash, partition_of, run_workers_guarded, worker_ranges, PARTITIONS,
+    PAR_MIN_ROWS,
 };
 #[cfg(test)]
 use crate::scalar::Scalar;
@@ -119,50 +121,75 @@ struct BuildPart {
     buckets: Vec<Vec<(u32, u32, u32)>>,
 }
 
+/// A structurally-valid empty phase-A output (used when a worker observes
+/// cancellation): all [`PARTITIONS`] buckets present, none populated.
+fn empty_build_part() -> BuildPart {
+    BuildPart {
+        bytes: Vec::new(),
+        buckets: vec![Vec::new(); PARTITIONS],
+    }
+}
+
 /// Phase A of every parallel join: encode + hash + partition the rows of
 /// `chunk` over `keys`, morsel-parallel. Null keys are dropped here, which
 /// is exactly the oracle's build-side behaviour.
-fn partition_keys(chunk: &Chunk, keys: &[usize], workers: usize) -> Vec<BuildPart> {
-    run_workers(worker_ranges(chunk.rows(), workers), |range| {
-        let mut part = BuildPart {
-            bytes: Vec::new(),
-            buckets: vec![Vec::new(); PARTITIONS],
-        };
-        for row in range {
-            let start = part.bytes.len();
-            if !encode_key(chunk, row, keys, &mut part.bytes) {
-                part.bytes.truncate(start);
-                continue;
+fn partition_keys(
+    chunk: &Chunk,
+    keys: &[usize],
+    workers: usize,
+    cancel: &CancelToken,
+) -> Vec<BuildPart> {
+    run_workers_guarded(
+        cancel,
+        worker_ranges(chunk.rows(), workers),
+        |range| {
+            let mut part = empty_build_part();
+            for row in range {
+                let start = part.bytes.len();
+                if !encode_key(chunk, row, keys, &mut part.bytes) {
+                    part.bytes.truncate(start);
+                    continue;
+                }
+                let len = part.bytes.len() - start;
+                let p = partition_of(key_hash(&part.bytes[start..]));
+                part.buckets[p].push((row as u32, start as u32, len as u32));
             }
-            let len = part.bytes.len() - start;
-            let p = partition_of(key_hash(&part.bytes[start..]));
-            part.buckets[p].push((row as u32, start as u32, len as u32));
-        }
-        part
-    })
+            part
+        },
+        |_| empty_build_part(),
+    )
 }
 
 /// Phase B: build one match-list table per partition, partition-parallel.
 /// Keys borrow from the phase-A arenas — no per-key allocation at all.
-fn build_tables(parts: &[BuildPart], workers: usize) -> Vec<HashMap<&[u8], Vec<u32>>> {
-    run_workers(worker_ranges(PARTITIONS, workers), |prange| {
-        prange
-            .map(|p| {
-                let n: usize = parts.iter().map(|pt| pt.buckets[p].len()).sum();
-                let mut table: HashMap<&[u8], Vec<u32>> = HashMap::with_capacity(n);
-                // Drain phase-A workers in order: their ranges are
-                // contiguous and ascending, so rows enter each match list
-                // in global row order — the oracle's insertion order.
-                for pt in parts {
-                    for &(row, off, len) in &pt.buckets[p] {
-                        let key = &pt.bytes[off as usize..(off + len) as usize];
-                        table.entry(key).or_default().push(row);
+fn build_tables<'a>(
+    parts: &'a [BuildPart],
+    workers: usize,
+    cancel: &CancelToken,
+) -> Vec<HashMap<&'a [u8], Vec<u32>>> {
+    run_workers_guarded(
+        cancel,
+        worker_ranges(PARTITIONS, workers),
+        |prange| {
+            prange
+                .map(|p| {
+                    let n: usize = parts.iter().map(|pt| pt.buckets[p].len()).sum();
+                    let mut table: HashMap<&[u8], Vec<u32>> = HashMap::with_capacity(n);
+                    // Drain phase-A workers in order: their ranges are
+                    // contiguous and ascending, so rows enter each match list
+                    // in global row order — the oracle's insertion order.
+                    for pt in parts {
+                        for &(row, off, len) in &pt.buckets[p] {
+                            let key = &pt.bytes[off as usize..(off + len) as usize];
+                            table.entry(key).or_default().push(row);
+                        }
                     }
-                }
-                table
-            })
-            .collect::<Vec<_>>()
-    })
+                    table
+                })
+                .collect::<Vec<_>>()
+        },
+        |prange| prange.clone().map(|_| HashMap::new()).collect(),
+    )
     .into_iter()
     .flatten()
     .collect()
@@ -177,11 +204,37 @@ pub fn hash_join_par(
     right_keys: &[usize],
     threads: usize,
 ) -> (Chunk, JoinExecStats) {
+    hash_join_par_cancellable(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        threads,
+        &CancelToken::none(),
+    )
+}
+
+/// [`hash_join_par`] polling `cancel` at every morsel boundary (build
+/// partitioning, per-partition table build, probe morsels). A cancelled
+/// join returns a truncated result the caller must discard by checking the
+/// token afterwards.
+pub fn hash_join_par_cancellable(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, JoinExecStats) {
     assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
     let threads = threads.max(1);
     if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
         let t = Instant::now();
-        let out = hash_join(left, right, left_keys, right_keys);
+        let out = if cancel.is_cancelled() {
+            Chunk::empty(left.width() + right.width())
+        } else {
+            hash_join(left, right, left_keys, right_keys)
+        };
         let stats = JoinExecStats {
             partitions: 1,
             threads: 1,
@@ -193,30 +246,35 @@ pub fn hash_join_par(
     assert!(left.rows() <= u32::MAX as usize, "build side too large");
 
     let t_build = Instant::now();
-    let parts = partition_keys(left, left_keys, threads);
-    let tables = build_tables(&parts, threads);
+    let parts = partition_keys(left, left_keys, threads, cancel);
+    let tables = build_tables(&parts, threads, cancel);
     let build_wall = t_build.elapsed();
 
     let t_probe = Instant::now();
-    let outputs = run_workers(worker_ranges(right.rows(), threads), |range| {
-        let mut keybuf = Vec::new();
-        let mut lrows: Vec<u32> = Vec::new();
-        let mut rrows: Vec<u32> = Vec::new();
-        for row in range {
-            keybuf.clear();
-            if !encode_key(right, row, right_keys, &mut keybuf) {
-                continue;
-            }
-            let p = partition_of(key_hash(&keybuf));
-            if let Some(matches) = tables[p].get(keybuf.as_slice()) {
-                for &l in matches {
-                    lrows.push(l);
-                    rrows.push(row as u32);
+    let outputs = run_workers_guarded(
+        cancel,
+        worker_ranges(right.rows(), threads),
+        |range| {
+            let mut keybuf = Vec::new();
+            let mut lrows: Vec<u32> = Vec::new();
+            let mut rrows: Vec<u32> = Vec::new();
+            for row in range {
+                keybuf.clear();
+                if !encode_key(right, row, right_keys, &mut keybuf) {
+                    continue;
+                }
+                let p = partition_of(key_hash(&keybuf));
+                if let Some(matches) = tables[p].get(keybuf.as_slice()) {
+                    for &l in matches {
+                        lrows.push(l);
+                        rrows.push(row as u32);
+                    }
                 }
             }
-        }
-        gather_join(left, right, &lrows, &rrows)
-    });
+            gather_join(left, right, &lrows, &rrows)
+        },
+        |_| Chunk::empty(left.width() + right.width()),
+    );
     let mut out = Chunk::empty(left.width() + right.width());
     for part in outputs {
         out.append(part);
@@ -287,46 +345,57 @@ fn reduction_join_par(
     left_keys: &[usize],
     right_keys: &[usize],
     threads: usize,
+    cancel: &CancelToken,
     keep: impl Fn(bool, bool) -> bool + Sync,
 ) -> (Chunk, JoinExecStats) {
     let t_build = Instant::now();
-    let parts = partition_keys(right, right_keys, threads);
-    let sets: Vec<HashSet<&[u8]>> = run_workers(worker_ranges(PARTITIONS, threads), |prange| {
-        prange
-            .map(|p| {
-                let mut set: HashSet<&[u8]> = HashSet::new();
-                for pt in &parts {
-                    for &(_, off, len) in &pt.buckets[p] {
-                        set.insert(&pt.bytes[off as usize..(off + len) as usize]);
+    let parts = partition_keys(right, right_keys, threads, cancel);
+    let sets: Vec<HashSet<&[u8]>> = run_workers_guarded(
+        cancel,
+        worker_ranges(PARTITIONS, threads),
+        |prange| {
+            prange
+                .map(|p| {
+                    let mut set: HashSet<&[u8]> = HashSet::new();
+                    for pt in &parts {
+                        for &(_, off, len) in &pt.buckets[p] {
+                            set.insert(&pt.bytes[off as usize..(off + len) as usize]);
+                        }
                     }
-                }
-                set
-            })
-            .collect::<Vec<_>>()
-    })
+                    set
+                })
+                .collect::<Vec<_>>()
+        },
+        |prange| prange.clone().map(|_| HashSet::new()).collect(),
+    )
     .into_iter()
     .flatten()
     .collect();
     let build_wall = t_build.elapsed();
 
     let t_probe = Instant::now();
-    let outputs = run_workers(worker_ranges(left.rows(), threads), |range| {
-        let mut keybuf = Vec::new();
-        let mut rows: Vec<u32> = Vec::new();
-        for row in range {
-            keybuf.clear();
-            let (null_key, found) = if encode_key(left, row, left_keys, &mut keybuf) {
-                let p = partition_of(key_hash(&keybuf));
-                (false, sets[p].contains(keybuf.as_slice()))
-            } else {
-                (true, false)
-            };
-            if keep(null_key, found) {
-                rows.push(row as u32);
+    let outputs = run_workers_guarded(
+        cancel,
+        worker_ranges(left.rows(), threads),
+        |range| {
+            let mut keybuf = Vec::new();
+            let mut rows: Vec<u32> = Vec::new();
+            for row in range {
+                keybuf.clear();
+                let (null_key, found) = if encode_key(left, row, left_keys, &mut keybuf) {
+                    let p = partition_of(key_hash(&keybuf));
+                    (false, sets[p].contains(keybuf.as_slice()))
+                } else {
+                    (true, false)
+                };
+                if keep(null_key, found) {
+                    rows.push(row as u32);
+                }
             }
-        }
-        gather_rows(left, &rows)
-    });
+            gather_rows(left, &rows)
+        },
+        |_| Chunk::empty(left.width()),
+    );
     let mut out = Chunk::empty(left.width());
     for part in outputs {
         out.append(part);
@@ -348,10 +417,33 @@ pub fn semi_join_par(
     right_keys: &[usize],
     threads: usize,
 ) -> (Chunk, JoinExecStats) {
+    semi_join_par_cancellable(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        threads,
+        &CancelToken::none(),
+    )
+}
+
+/// [`semi_join_par`] polling `cancel` at every morsel boundary.
+pub fn semi_join_par_cancellable(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, JoinExecStats) {
     let threads = threads.max(1);
     if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
         let t = Instant::now();
-        let out = semi_join(left, right, left_keys, right_keys);
+        let out = if cancel.is_cancelled() {
+            Chunk::empty(left.width())
+        } else {
+            semi_join(left, right, left_keys, right_keys)
+        };
         let stats = JoinExecStats {
             partitions: 1,
             threads: 1,
@@ -366,6 +458,7 @@ pub fn semi_join_par(
         left_keys,
         right_keys,
         threads,
+        cancel,
         |null, found| !null && found,
     )
 }
@@ -378,10 +471,33 @@ pub fn anti_join_par(
     right_keys: &[usize],
     threads: usize,
 ) -> (Chunk, JoinExecStats) {
+    anti_join_par_cancellable(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        threads,
+        &CancelToken::none(),
+    )
+}
+
+/// [`anti_join_par`] polling `cancel` at every morsel boundary.
+pub fn anti_join_par_cancellable(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, JoinExecStats) {
     let threads = threads.max(1);
     if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
         let t = Instant::now();
-        let out = anti_join(left, right, left_keys, right_keys);
+        let out = if cancel.is_cancelled() {
+            Chunk::empty(left.width())
+        } else {
+            anti_join(left, right, left_keys, right_keys)
+        };
         let stats = JoinExecStats {
             partitions: 1,
             threads: 1,
@@ -396,6 +512,7 @@ pub fn anti_join_par(
         left_keys,
         right_keys,
         threads,
+        cancel,
         |null, found| null || !found,
     )
 }

@@ -39,6 +39,7 @@
 
 mod access;
 mod agg;
+mod cancel;
 mod expr;
 mod join;
 mod kernel;
@@ -50,18 +51,25 @@ mod scan;
 mod sort;
 
 pub use access::{parse_dotted_path, Access};
-pub use agg::{group_aggregate, group_aggregate_par, Agg, AggExecStats, AggKind};
+pub use agg::{
+    group_aggregate, group_aggregate_par, group_aggregate_par_cancellable, Agg, AggExecStats,
+    AggKind,
+};
+pub use cancel::{CancelToken, ExecError};
 pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
 pub use join::{
-    anti_join, anti_join_par, hash_join, hash_join_par, semi_join, semi_join_par, JoinExecStats,
+    anti_join, anti_join_par, anti_join_par_cancellable, hash_join, hash_join_par,
+    hash_join_par_cancellable, semi_join, semi_join_par, semi_join_par_cancellable, JoinExecStats,
 };
 pub use jt_core::AccessType;
 pub use kernel::SelVec;
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
 pub use profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 pub use scalar::Scalar;
-pub use scan::{execute_scan, execute_scan_rowwise, ScanSpec, ScanStats};
-pub use sort::{sort_chunk, sort_chunk_seq, total_compare, write_sort_key, SortStats};
+pub use scan::{execute_scan, execute_scan_cancellable, execute_scan_rowwise, ScanSpec, ScanStats};
+pub use sort::{
+    sort_chunk, sort_chunk_cancellable, sort_chunk_seq, total_compare, write_sort_key, SortStats,
+};
 
 /// A materialized column-major batch of rows.
 #[derive(Debug, Clone, Default)]

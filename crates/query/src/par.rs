@@ -8,6 +8,7 @@
 //! operators stay bit-identical to their single-threaded oracles at every
 //! thread count, the same guarantee `execute_scan` already gives.
 
+use crate::cancel::CancelToken;
 use crate::Chunk;
 use std::ops::Range;
 
@@ -66,6 +67,33 @@ where
             .into_iter()
             .map(|h| h.join().expect("parallel operator worker panicked"))
             .collect()
+    })
+}
+
+/// [`run_workers`] with a cancellation check at every morsel boundary:
+/// each worker polls `cancel` before starting its range and substitutes
+/// `empty(&range)` — a structurally-valid zero-work output — once the
+/// token has tripped. Output arity and order are preserved, so downstream
+/// code never sees a shape it could not have seen anyway; the *content* of
+/// a cancelled stage is garbage by design, and the stage boundary in
+/// `Query::try_run_with` discards it by surfacing the abort as an error.
+pub(crate) fn run_workers_guarded<T, F, G>(
+    cancel: &CancelToken,
+    ranges: Vec<Range<usize>>,
+    f: F,
+    empty: G,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    G: Fn(&Range<usize>) -> T + Sync,
+{
+    run_workers(ranges, |r| {
+        if cancel.is_cancelled() {
+            empty(&r)
+        } else {
+            f(r)
+        }
     })
 }
 

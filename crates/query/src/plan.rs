@@ -15,21 +15,25 @@
 //! 3. **Semi/anti joins, post-filters, aggregation, having, order/limit.**
 
 use crate::access::Access;
-use crate::agg::{group_aggregate_par, Agg};
+use crate::agg::{group_aggregate_par_cancellable, Agg};
+use crate::cancel::{CancelToken, ExecError};
 use crate::expr::Expr;
-use crate::join::{anti_join_par, hash_join_par, semi_join_par};
-use crate::par::{run_workers, worker_ranges, PAR_MIN_ROWS};
+use crate::join::{
+    anti_join_par_cancellable, hash_join_par_cancellable, semi_join_par_cancellable,
+};
+use crate::par::{run_workers_guarded, worker_ranges, PAR_MIN_ROWS};
 use crate::profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 use crate::scalar::Scalar;
-use crate::scan::{execute_scan, ScanSpec, ScanStats};
-use crate::sort::sort_chunk;
+use crate::scan::{execute_scan_cancellable, ScanSpec, ScanStats};
+use crate::sort::sort_chunk_cancellable;
 use crate::Chunk;
 use jt_core::{AccessType, Relation};
 use std::collections::HashMap;
 use std::time::Instant;
 
-/// Execution knobs (the Figure 8 / Figure 14 experiment switches).
-#[derive(Debug, Clone, Copy)]
+/// Execution knobs (the Figure 8 / Figure 14 experiment switches) plus the
+/// query lifecycle controls the `jt serve` layer drives.
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Worker threads for the whole pipeline: scans, joins, aggregation,
     /// and the post-join stages. Defaults to the machine's available
@@ -41,6 +45,12 @@ pub struct ExecOptions {
     pub enable_skipping: bool,
     /// §4.6 statistics-driven join ordering.
     pub optimize_joins: bool,
+    /// Cooperative cancellation/deadline token, polled at every morsel
+    /// boundary. The default inert token never cancels and costs one
+    /// `Option` test per poll; [`Query::run_with`] panics if a live token
+    /// trips mid-query, so cancellable callers must use
+    /// [`Query::try_run_with`].
+    pub cancel: CancelToken,
 }
 
 impl Default for ExecOptions {
@@ -49,6 +59,7 @@ impl Default for ExecOptions {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get().min(16)),
             enable_skipping: true,
             optimize_joins: true,
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -121,6 +132,7 @@ pub struct Query<'a> {
     select: Option<Vec<Expr>>,
     order_by: Vec<(usize, bool)>,
     limit: Option<usize>,
+    offset: Option<usize>,
 }
 
 impl<'a> Query<'a> {
@@ -143,6 +155,7 @@ impl<'a> Query<'a> {
             select: None,
             order_by: Vec::new(),
             limit: None,
+            offset: None,
         }
     }
 
@@ -267,6 +280,15 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Skip the first `n` rows of the final output (SQL `OFFSET`). Applied
+    /// after the sort and before [`Query::limit`]; with both set, the sort
+    /// pushes `limit + offset` down as its top-K bound so the early-exit
+    /// paths still apply.
+    pub fn offset(mut self, n: usize) -> Query<'a> {
+        self.offset = Some(n);
+        self
+    }
+
     /// Describe the plan without executing it: per-table cardinality
     /// estimates (statistics + the §4.6 static document sampling), the
     /// join order the optimizer would choose, pushed filters, and the §4.8
@@ -381,10 +403,18 @@ impl<'a> Query<'a> {
             top_k: if self.order_by.is_empty() {
                 None
             } else {
-                self.limit
+                self.sort_bound()
             },
             limit: self.limit,
+            offset: self.offset,
         }
+    }
+
+    /// The row bound pushed into the sort: `limit + offset` rows must
+    /// survive the sort for the post-offset truncation to be correct.
+    fn sort_bound(&self) -> Option<usize> {
+        self.limit
+            .map(|n| n.saturating_add(self.offset.unwrap_or(0)))
     }
 
     /// Run with default options (single-threaded, optimizations on).
@@ -392,8 +422,22 @@ impl<'a> Query<'a> {
         self.run_with(ExecOptions::default())
     }
 
-    /// Run with explicit options.
+    /// Run with explicit options. Panics if a live [`CancelToken`] in the
+    /// options trips mid-query — infallible with the default inert token;
+    /// cancellable callers use [`Query::try_run_with`].
     pub fn run_with(self, opts: ExecOptions) -> ResultSet {
+        match self.try_run_with(opts) {
+            Ok(r) => r,
+            Err(e) => panic!("query aborted with no caller handling it: {e}"),
+        }
+    }
+
+    /// Run with explicit options, surfacing cancellation/deadline aborts.
+    /// The cancel token in `opts` is polled at every morsel boundary inside
+    /// the operators and checked here between pipeline stages; once it
+    /// trips, the partially-computed (structurally valid, semantically
+    /// void) stage output is discarded and the abort cause is returned.
+    pub fn try_run_with(self, opts: ExecOptions) -> Result<ResultSet, ExecError> {
         let t_query = Instant::now();
         let mut profile = ExecProfile::default();
         // --- name → (table, slot) mapping -------------------------------
@@ -446,7 +490,9 @@ impl<'a> Query<'a> {
                 enable_skipping: opts.enable_skipping,
             };
             let t_scan = Instant::now();
-            let (chunk, s) = execute_scan(&spec, opts.threads);
+            opts.cancel.check()?;
+            let (chunk, s) = execute_scan_cancellable(&spec, opts.threads, &opts.cancel);
+            opts.cancel.check()?;
             profile.scans.push(ScanProfile {
                 table: t.name.clone(),
                 rows_total: t.rel.row_count(),
@@ -477,6 +523,7 @@ impl<'a> Query<'a> {
             .filter(|j| j.kind == JoinKind::Inner)
             .collect();
         let mut pending: Vec<usize> = (0..inner_joins.len()).collect();
+        let cancel = &opts.cancel;
 
         let estimates: Vec<f64> = self
             .tables
@@ -487,6 +534,7 @@ impl<'a> Query<'a> {
         let mut comp_est: Vec<f64> = estimates.clone();
 
         while !pending.is_empty() {
+            cancel.check()?;
             // Pick the next join: cheapest estimated output (optimizer on)
             // or declaration order (off).
             let pick = if opts.optimize_joins {
@@ -517,8 +565,12 @@ impl<'a> Query<'a> {
                 let t_join = Instant::now();
                 let probe_rows = chunk.rows();
                 let threads = stage_threads(probe_rows, opts.threads);
-                let filtered =
-                    filter_chunk_par(chunk, &Expr::Slot(lslot).eq(Expr::Slot(rslot)), threads);
+                let filtered = filter_chunk_par(
+                    chunk,
+                    &Expr::Slot(lslot).eq(Expr::Slot(rslot)),
+                    threads,
+                    cancel,
+                );
                 profile.joins.push(JoinProfile {
                     left: j.left.clone(),
                     right: j.right.clone(),
@@ -541,12 +593,26 @@ impl<'a> Query<'a> {
             let t_join = Instant::now();
             let ((joined, jstats), left_first) = if left_chunk.rows() <= right_chunk.rows() {
                 (
-                    hash_join_par(&left_chunk, &right_chunk, &[lslot], &[rslot], opts.threads),
+                    hash_join_par_cancellable(
+                        &left_chunk,
+                        &right_chunk,
+                        &[lslot],
+                        &[rslot],
+                        opts.threads,
+                        cancel,
+                    ),
                     true,
                 )
             } else {
                 (
-                    hash_join_par(&right_chunk, &left_chunk, &[rslot], &[lslot], opts.threads),
+                    hash_join_par_cancellable(
+                        &right_chunk,
+                        &left_chunk,
+                        &[rslot],
+                        &[lslot],
+                        opts.threads,
+                        cancel,
+                    ),
                     false,
                 )
             };
@@ -634,6 +700,7 @@ impl<'a> Query<'a> {
 
         // --- semi / anti joins ------------------------------------------
         for j in self.joins.iter().filter(|j| j.kind != JoinKind::Inner) {
+            cancel.check()?;
             let (lt, ls) = lookup_table(&j.left);
             let (rt, rs) = lookup_table(&j.right);
             assert_eq!(comp_of[lt], root, "semi/anti left side must be joined");
@@ -654,8 +721,12 @@ impl<'a> Query<'a> {
                 right.rows(),
             );
             let (reduced, jstats) = match j.kind {
-                JoinKind::Semi => semi_join_par(&chunk, &right, &[lslot], &[rs], opts.threads),
-                JoinKind::Anti => anti_join_par(&chunk, &right, &[lslot], &[rs], opts.threads),
+                JoinKind::Semi => {
+                    semi_join_par_cancellable(&chunk, &right, &[lslot], &[rs], opts.threads, cancel)
+                }
+                JoinKind::Anti => {
+                    anti_join_par_cancellable(&chunk, &right, &[lslot], &[rs], opts.threads, cancel)
+                }
                 JoinKind::Inner => unreachable!(),
             };
             chunk = reduced;
@@ -676,13 +747,14 @@ impl<'a> Query<'a> {
 
         // --- post filter -------------------------------------------------
         if let Some(mut f) = self.post_filter {
+            cancel.check()?;
             let t_stage = Instant::now();
             f.resolve(&|name| {
                 let (t, s) = lookup_table(name);
                 slot_base[root][&t] + s
             });
             let threads = stage_threads(chunk.rows(), opts.threads);
-            chunk = filter_chunk_par(chunk, &f, threads);
+            chunk = filter_chunk_par(chunk, &f, threads, cancel);
             profile.stages.push(StageProfile {
                 name: "post-filter",
                 rows_out: chunk.rows(),
@@ -698,6 +770,7 @@ impl<'a> Query<'a> {
             slot_base[root][&t] + s
         };
         let mut out = if !self.aggs.is_empty() || !self.group_by.is_empty() {
+            cancel.check()?;
             let t_stage = Instant::now();
             let mut keys = self.group_by;
             for k in &mut keys {
@@ -707,7 +780,8 @@ impl<'a> Query<'a> {
             for a in &mut aggs {
                 a.expr.resolve(&global_lookup);
             }
-            let (grouped, astats) = group_aggregate_par(&chunk, &keys, &aggs, opts.threads);
+            let (grouped, astats) =
+                group_aggregate_par_cancellable(&chunk, &keys, &aggs, opts.threads, cancel);
             profile.stages.push(StageProfile {
                 name: "aggregate",
                 rows_out: grouped.rows(),
@@ -725,9 +799,10 @@ impl<'a> Query<'a> {
 
         // --- having / select / order / limit -----------------------------
         if let Some(h) = self.having {
+            cancel.check()?;
             let t_stage = Instant::now();
             let threads = stage_threads(out.rows(), opts.threads);
-            out = filter_chunk_par(out, &h, threads);
+            out = filter_chunk_par(out, &h, threads, cancel);
             profile.stages.push(StageProfile {
                 name: "having",
                 rows_out: out.rows(),
@@ -737,6 +812,7 @@ impl<'a> Query<'a> {
             });
         }
         if let Some(mut sel) = self.select {
+            cancel.check()?;
             let t_stage = Instant::now();
             for e in &mut sel {
                 // Bare selects after aggregation reference output slots; on
@@ -744,7 +820,7 @@ impl<'a> Query<'a> {
                 e.resolve(&global_lookup);
             }
             let threads = stage_threads(out.rows(), opts.threads);
-            out = project_chunk_par(&out, &sel, threads);
+            out = project_chunk_par(&out, &sel, threads, cancel);
             profile.stages.push(StageProfile {
                 name: "select",
                 rows_out: out.rows(),
@@ -753,13 +829,21 @@ impl<'a> Query<'a> {
                 ..StageProfile::default()
             });
         }
+        // Inlined `sort_bound()`: `self` is partially moved by this point,
+        // so the bound is recomputed from the (still-readable) fields.
+        let sort_bound = self
+            .limit
+            .map(|n| n.saturating_add(self.offset.unwrap_or(0)));
         if !self.order_by.is_empty() {
+            cancel.check()?;
             let t_order = Instant::now();
-            // The LIMIT bound is propagated into the sort: small limits
-            // take the bounded-heap top-K path, larger ones stop the merge
-            // early, and either way the result equals full-sort-then-
-            // truncate (the sort order is strict and total).
-            let (sorted, sstats) = sort_chunk(&out, &self.order_by, self.limit, opts.threads);
+            // The LIMIT bound (plus any OFFSET — those rows are sliced off
+            // below, so they must survive the sort) is propagated into the
+            // sort: small bounds take the bounded-heap top-K path, larger
+            // ones stop the merge early, and either way the result equals
+            // full-sort-then-truncate (the sort order is strict and total).
+            let (sorted, sstats) =
+                sort_chunk_cancellable(&out, &self.order_by, sort_bound, opts.threads, cancel);
             out = sorted;
             profile.stages.push(StageProfile {
                 name: if sstats.top_k { "top-k" } else { "order-by" },
@@ -769,6 +853,20 @@ impl<'a> Query<'a> {
                 partitions: sstats.runs,
                 eval_wall: sstats.sort_wall,
                 merge_wall: sstats.merge_wall,
+                ..StageProfile::default()
+            });
+        }
+        cancel.check()?;
+        if let Some(k) = self.offset {
+            let t_stage = Instant::now();
+            let k = k.min(out.rows());
+            for col in &mut out.columns {
+                col.drain(..k);
+            }
+            profile.stages.push(StageProfile {
+                name: "offset",
+                rows_out: out.rows(),
+                wall: t_stage.elapsed(),
                 ..StageProfile::default()
             });
         }
@@ -788,11 +886,11 @@ impl<'a> Query<'a> {
         profile.total = t_query.elapsed();
         profile.rows_out = out.rows();
         publish_profile(&profile);
-        ResultSet {
+        Ok(ResultSet {
             chunk: out,
             scan_stats: stats,
             profile,
-        }
+        })
     }
 
     fn estimate_join(
@@ -967,22 +1065,30 @@ fn filter_chunk(chunk: Chunk, pred: &Expr) -> Chunk {
 /// Morsel-parallel [`filter_chunk`]: workers filter contiguous row ranges
 /// and the kept rows are concatenated in range order, so output order (and
 /// therefore the result) is identical at every thread count.
-fn filter_chunk_par(chunk: Chunk, pred: &Expr, threads: usize) -> Chunk {
+fn filter_chunk_par(chunk: Chunk, pred: &Expr, threads: usize, cancel: &CancelToken) -> Chunk {
     if threads <= 1 || chunk.rows() < PAR_MIN_ROWS {
+        if cancel.is_cancelled() {
+            return Chunk::empty(chunk.width());
+        }
         return filter_chunk(chunk, pred);
     }
     let src = &chunk;
-    let parts = run_workers(worker_ranges(src.rows(), threads), |range| {
-        let mut out = Chunk::empty(src.width());
-        for row in range {
-            if pred.eval_bool(src, row) {
-                for (c, col) in src.columns.iter().enumerate() {
-                    out.columns[c].push(col[row].clone());
+    let parts = run_workers_guarded(
+        cancel,
+        worker_ranges(src.rows(), threads),
+        |range| {
+            let mut out = Chunk::empty(src.width());
+            for row in range {
+                if pred.eval_bool(src, row) {
+                    for (c, col) in src.columns.iter().enumerate() {
+                        out.columns[c].push(col[row].clone());
+                    }
                 }
             }
-        }
-        out
-    });
+            out
+        },
+        |_| Chunk::empty(src.width()),
+    );
     let mut out = Chunk::empty(chunk.width());
     for p in parts {
         out.append(p);
@@ -993,7 +1099,7 @@ fn filter_chunk_par(chunk: Chunk, pred: &Expr, threads: usize) -> Chunk {
 /// Morsel-parallel projection: each worker evaluates the select expressions
 /// over a contiguous row range; range-order concatenation keeps the output
 /// bit-identical to the sequential loop.
-fn project_chunk_par(input: &Chunk, exprs: &[Expr], threads: usize) -> Chunk {
+fn project_chunk_par(input: &Chunk, exprs: &[Expr], threads: usize, cancel: &CancelToken) -> Chunk {
     let eval_range = |range: std::ops::Range<usize>| {
         let mut proj = Chunk::empty(exprs.len());
         for row in range {
@@ -1004,9 +1110,17 @@ fn project_chunk_par(input: &Chunk, exprs: &[Expr], threads: usize) -> Chunk {
         proj
     };
     if threads <= 1 || input.rows() < PAR_MIN_ROWS {
+        if cancel.is_cancelled() {
+            return Chunk::empty(exprs.len());
+        }
         return eval_range(0..input.rows());
     }
-    let parts = run_workers(worker_ranges(input.rows(), threads), eval_range);
+    let parts = run_workers_guarded(
+        cancel,
+        worker_ranges(input.rows(), threads),
+        eval_range,
+        |_| Chunk::empty(exprs.len()),
+    );
     let mut out = Chunk::empty(exprs.len());
     for p in parts {
         out.append(p);
@@ -1075,6 +1189,8 @@ pub struct PlanExplain {
     /// The LIMIT bound the sort will push into a top-K / early-exit merge
     /// (set whenever both ORDER BY and LIMIT are present).
     pub top_k: Option<usize>,
+    /// Rows skipped before the limit (SQL OFFSET), if any.
+    pub offset: Option<usize>,
     /// LIMIT, if any.
     pub limit: Option<usize>,
 }
@@ -1115,6 +1231,9 @@ impl std::fmt::Display for PlanExplain {
                 Some(n) => writeln!(f, "order-by keys={} (top-k bound {n})", self.order_by)?,
                 None => writeln!(f, "order-by keys={}", self.order_by)?,
             }
+        }
+        if let Some(k) = self.offset {
+            writeln!(f, "offset {k}")?;
         }
         if let Some(n) = self.limit {
             writeln!(f, "limit {n}")?;

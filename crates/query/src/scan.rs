@@ -19,6 +19,7 @@
 //! check across storage modes and thread counts.
 
 use crate::access::{eval_access, gather_access, resolve_access, Access, ResolvedAccess};
+use crate::cancel::CancelToken;
 use crate::expr::Expr;
 use crate::kernel::{self, SelVec};
 use crate::scalar::Scalar;
@@ -119,17 +120,34 @@ impl ScanStats {
 /// Execute a scan with `threads` workers. Output rows preserve tile order
 /// regardless of thread count, so results are deterministic.
 pub fn execute_scan(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
-    run_scan(spec, threads, false)
+    run_scan(spec, threads, false, &CancelToken::none())
+}
+
+/// [`execute_scan`] polling `cancel` before every tile — the scan's morsel
+/// boundary. Once the token trips, remaining tiles are counted as skipped
+/// and produce no rows; the caller is expected to discard the truncated
+/// chunk by checking the token after the scan.
+pub fn execute_scan_cancellable(
+    spec: &ScanSpec<'_>,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, ScanStats) {
+    run_scan(spec, threads, false, cancel)
 }
 
 /// The row-at-a-time reference implementation: identical results to
 /// [`execute_scan`], kept as the correctness oracle and the baseline the
 /// kernel micro-benchmarks compare against.
 pub fn execute_scan_rowwise(spec: &ScanSpec<'_>, threads: usize) -> (Chunk, ScanStats) {
-    run_scan(spec, threads, true)
+    run_scan(spec, threads, true, &CancelToken::none())
 }
 
-fn run_scan(spec: &ScanSpec<'_>, threads: usize, rowwise: bool) -> (Chunk, ScanStats) {
+fn run_scan(
+    spec: &ScanSpec<'_>,
+    threads: usize,
+    rowwise: bool,
+    cancel: &CancelToken,
+) -> (Chunk, ScanStats) {
     let tiles = spec.relation.tiles();
     let mode = spec.relation.config().mode;
     let threads = threads.max(1).min(tiles.len().max(1));
@@ -140,6 +158,13 @@ fn run_scan(spec: &ScanSpec<'_>, threads: usize, rowwise: bool) -> (Chunk, ScanS
             total_tiles: 1,
             ..ScanStats::default()
         };
+        // Morsel-boundary cancellation: an aborted query counts its
+        // remaining tiles as skipped (keeping the tile-accounting identity)
+        // and emits nothing for them.
+        if cancel.is_cancelled() {
+            ts.skipped_tiles = 1;
+            return (None, ts);
+        }
         // §4.8: "if the expression is not found and null values are skipped
         // or evaluated as false, the whole JSON tile has no valuable
         // information". Only tiles-mode headers carry the needed metadata.

@@ -49,7 +49,8 @@
 //!    old per-cell `col[i].clone()` push loop on both the sequential and
 //!    parallel paths.
 
-use crate::par::{gather_rows_par, run_workers, worker_ranges, PAR_MIN_ROWS};
+use crate::cancel::CancelToken;
+use crate::par::{gather_rows_par, run_workers_guarded, worker_ranges, PAR_MIN_ROWS};
 use crate::scalar::Scalar;
 use crate::Chunk;
 use std::cmp::Ordering;
@@ -261,6 +262,19 @@ pub fn sort_chunk(
     limit: Option<usize>,
     threads: usize,
 ) -> (Chunk, SortStats) {
+    sort_chunk_cancellable(chunk, order_by, limit, threads, &CancelToken::none())
+}
+
+/// [`sort_chunk`] polling `cancel` at every morsel boundary (run encode +
+/// sort, top-K heaps). A cancelled sort returns a truncated result the
+/// caller must discard by checking the token afterwards.
+pub fn sort_chunk_cancellable(
+    chunk: &Chunk,
+    order_by: &[(usize, bool)],
+    limit: Option<usize>,
+    threads: usize,
+    cancel: &CancelToken,
+) -> (Chunk, SortStats) {
     let rows = chunk.rows();
     let threads = threads.max(1);
     if rows < PAR_MIN_ROWS || order_by.is_empty() {
@@ -285,41 +299,53 @@ pub fn sort_chunk(
     assert!(rows <= u32::MAX as usize, "sort input too large");
     let bound = limit.unwrap_or(rows).min(rows);
     if bound.saturating_mul(TOP_K_FACTOR) <= rows && limit.is_some() {
-        return top_k(chunk, order_by, bound, threads);
+        return top_k(chunk, order_by, bound, threads, cancel);
     }
 
-    // Phase 1: per-worker key encoding + run sort, morsel-parallel.
+    // Phase 1: per-worker key encoding + run sort, morsel-parallel. A
+    // worker that observes cancellation contributes an empty run, which the
+    // merge below handles like any exhausted run.
     let t_sort = Instant::now();
-    let runs: Vec<Run> = run_workers(worker_ranges(rows, threads), |range| {
-        let mut run = Run {
+    let runs: Vec<Run> = run_workers_guarded(
+        cancel,
+        worker_ranges(rows, threads),
+        |range| {
+            let mut run = Run {
+                bytes: Vec::new(),
+                offs: Vec::with_capacity(range.len() + 1),
+                start: range.start,
+                order: (range.start as u32..range.end as u32).collect(),
+            };
+            run.offs.push(0);
+            for row in range {
+                encode_row_key(chunk, order_by, row, &mut run.bytes);
+                run.offs.push(run.bytes.len());
+            }
+            let (bytes, offs, start) = (&run.bytes, &run.offs, run.start);
+            let key = |g: u32| {
+                let local = g as usize - start;
+                &bytes[offs[local]..offs[local + 1]]
+            };
+            // (key, original index): strict total order, so the sorted run is
+            // exactly the stable order of the oracle restricted to the range.
+            run.order
+                .sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
+            run
+        },
+        |range| Run {
             bytes: Vec::new(),
-            offs: Vec::with_capacity(range.len() + 1),
+            offs: vec![0],
             start: range.start,
-            order: (range.start as u32..range.end as u32).collect(),
-        };
-        run.offs.push(0);
-        for row in range {
-            encode_row_key(chunk, order_by, row, &mut run.bytes);
-            run.offs.push(run.bytes.len());
-        }
-        let (bytes, offs, start) = (&run.bytes, &run.offs, run.start);
-        let key = |g: u32| {
-            let local = g as usize - start;
-            &bytes[offs[local]..offs[local + 1]]
-        };
-        // (key, original index): strict total order, so the sorted run is
-        // exactly the stable order of the oracle restricted to the range.
-        run.order
-            .sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
-        run
-    });
+            order: Vec::new(),
+        },
+    );
     let sort_wall = t_sort.elapsed();
 
     // Phase 2: k-way merge by (key, index), stopping at the bound.
     let t_merge = Instant::now();
     let mut out_idx: Vec<u32> = Vec::with_capacity(bound);
     if runs.len() == 1 {
-        out_idx.extend(&runs[0].order[..bound]);
+        out_idx.extend(runs[0].order.iter().take(bound));
     } else if bound > 0 {
         let mut cursors = vec![0usize; runs.len()];
         let mut heap: BinaryHeap<std::cmp::Reverse<(&[u8], u32, usize)>> =
@@ -364,32 +390,38 @@ fn top_k(
     order_by: &[(usize, bool)],
     n: usize,
     threads: usize,
+    cancel: &CancelToken,
 ) -> (Chunk, SortStats) {
     let t_sort = Instant::now();
-    let heaps: Vec<Vec<Candidate>> = run_workers(worker_ranges(chunk.rows(), threads), |range| {
-        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n + 1);
-        let mut scratch = Vec::new();
-        for row in range {
-            scratch.clear();
-            encode_row_key(chunk, order_by, row, &mut scratch);
-            if heap.len() < n {
-                heap.push(Candidate {
-                    key: scratch.clone(),
-                    idx: row as u32,
-                });
-            } else if let Some(mut worst) = heap.peek_mut() {
-                // Key bytes are cloned only when a row actually displaces
-                // the current worst candidate; rejected rows cost one
-                // encode + one memcmp.
-                if (scratch.as_slice(), row as u32) < (worst.key.as_slice(), worst.idx) {
-                    worst.key.clear();
-                    worst.key.extend_from_slice(&scratch);
-                    worst.idx = row as u32;
+    let heaps: Vec<Vec<Candidate>> = run_workers_guarded(
+        cancel,
+        worker_ranges(chunk.rows(), threads),
+        |range| {
+            let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n + 1);
+            let mut scratch = Vec::new();
+            for row in range {
+                scratch.clear();
+                encode_row_key(chunk, order_by, row, &mut scratch);
+                if heap.len() < n {
+                    heap.push(Candidate {
+                        key: scratch.clone(),
+                        idx: row as u32,
+                    });
+                } else if let Some(mut worst) = heap.peek_mut() {
+                    // Key bytes are cloned only when a row actually displaces
+                    // the current worst candidate; rejected rows cost one
+                    // encode + one memcmp.
+                    if (scratch.as_slice(), row as u32) < (worst.key.as_slice(), worst.idx) {
+                        worst.key.clear();
+                        worst.key.extend_from_slice(&scratch);
+                        worst.idx = row as u32;
+                    }
                 }
             }
-        }
-        heap.into_vec()
-    });
+            heap.into_vec()
+        },
+        |_| Vec::new(),
+    );
     let runs = heaps.len();
     let sort_wall = t_sort.elapsed();
 

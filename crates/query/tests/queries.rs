@@ -114,6 +114,7 @@ fn join_identical_across_modes_and_options() {
                         threads,
                         enable_skipping: true,
                         optimize_joins: optimize,
+                        ..ExecOptions::default()
                     });
                 let fp = result_fingerprint(&r);
                 match &expected {
@@ -235,6 +236,7 @@ fn skipping_reduces_scanned_tiles_on_mixed_collection() {
                 threads: 1,
                 enable_skipping: skip,
                 optimize_joins: true,
+                ..ExecOptions::default()
             })
     };
     let with = run(true);
@@ -398,4 +400,101 @@ fn explain_reports_plan_shape() {
     // The explained query still runs.
     let r = q.run();
     assert_eq!(r.rows(), 1);
+}
+
+#[test]
+fn cancelled_token_aborts_every_pipeline_shape() {
+    use jt_query::{CancelToken, ExecError};
+    let (orders, items) = orders_and_items();
+    let orel = load(&orders, StorageMode::Tiles);
+    let irel = load(&items, StorageMode::Tiles);
+    // A pre-tripped token must abort scans, joins, aggregation, and sort
+    // alike — and quickly, via the morsel-boundary checks.
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+    for threads in [1usize, 4] {
+        let err = Query::scan("o", &orel)
+            .access("o_orderkey", AccessType::Int)
+            .access("o_custkey", AccessType::Int)
+            .join("l", &irel)
+            .access("l_orderkey", AccessType::Int)
+            .access("l_quantity", AccessType::Int)
+            .on("o_orderkey", "l_orderkey")
+            .aggregate(vec![col("o_custkey")], vec![Agg::sum(col("l_quantity"))])
+            .order_by(1, true)
+            .try_run_with(ExecOptions {
+                threads,
+                cancel: cancelled.clone(),
+                ..ExecOptions::default()
+            })
+            .expect_err("cancelled before start");
+        assert_eq!(err, ExecError::Cancelled, "threads={threads}");
+    }
+}
+
+#[test]
+fn expired_deadline_reports_deadline_exceeded() {
+    use jt_query::{CancelToken, ExecError};
+    let (_, items) = orders_and_items();
+    let rel = load(&items, StorageMode::Tiles);
+    let err = Query::scan("l", &rel)
+        .access("l_quantity", AccessType::Int)
+        .aggregate(vec![], vec![Agg::sum(col("l_quantity"))])
+        .try_run_with(ExecOptions {
+            cancel: CancelToken::with_deadline(std::time::Duration::ZERO),
+            ..ExecOptions::default()
+        })
+        .expect_err("deadline already passed");
+    assert_eq!(err, ExecError::DeadlineExceeded);
+}
+
+#[test]
+fn live_token_changes_nothing() {
+    use jt_query::CancelToken;
+    let (_, items) = orders_and_items();
+    let rel = load(&items, StorageMode::Tiles);
+    let q = |cancel: CancelToken| {
+        Query::scan("l", &rel)
+            .access("l_quantity", AccessType::Int)
+            .access("l_flag", AccessType::Text)
+            .aggregate(vec![col("l_flag")], vec![Agg::sum(col("l_quantity"))])
+            .order_by(0, false)
+            .try_run_with(ExecOptions {
+                threads: 4,
+                cancel,
+                ..ExecOptions::default()
+            })
+            .expect("live tokens never abort")
+            .to_lines()
+    };
+    // Inert and armed-but-untripped tokens produce identical results.
+    assert_eq!(q(CancelToken::none()), q(CancelToken::new()));
+}
+
+#[test]
+fn offset_builder_slices_after_sort() {
+    let (_, items) = orders_and_items();
+    let rel = load(&items, StorageMode::Tiles);
+    let run = |limit: Option<usize>, offset: Option<usize>| {
+        let mut q = Query::scan("l", &rel)
+            .access("l_orderkey", AccessType::Int)
+            .access("l_quantity", AccessType::Int)
+            .order_by(0, false)
+            .order_by(1, true);
+        if let Some(n) = limit {
+            q = q.limit(n);
+        }
+        if let Some(n) = offset {
+            q = q.offset(n);
+        }
+        q.run().to_lines()
+    };
+    let full = run(None, None);
+    assert_eq!(full.len(), 800);
+    // limit+offset == slice of the full sort.
+    assert_eq!(run(Some(7), Some(13)), full[13..20].to_vec());
+    // offset alone drops the prefix.
+    assert_eq!(run(None, Some(790)), full[790..].to_vec());
+    // offset past the end is empty.
+    assert_eq!(run(Some(5), Some(10_000)), Vec::<String>::new());
 }

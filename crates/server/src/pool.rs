@@ -1,0 +1,262 @@
+//! Bounded worker pool with admission control and panic isolation.
+//!
+//! Queries are admitted into a fixed-capacity queue; when it is full the
+//! submit fails immediately (backpressure surfaces to the client as an
+//! `err` response instead of unbounded memory growth). A fixed set of
+//! worker threads drains the queue, running every job under
+//! `catch_unwind` so a panicking query takes down neither its worker nor
+//! any other in-flight query. Graceful shutdown completes in-flight jobs
+//! and *aborts* queued ones — each queued job is invoked once with
+//! [`JobMode::Abort`] so it can still answer its client.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// How a submitted job is being invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobMode {
+    /// Normal execution on a worker thread.
+    Run,
+    /// The pool is shutting down and the job was still queued: do not do
+    /// real work, just tell your client.
+    Abort,
+}
+
+type Job = Box<dyn FnOnce(JobMode) + Send + 'static>;
+
+/// Why a submit was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The admission queue is at capacity.
+    QueueFull,
+    /// The pool no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "queue full"),
+            Rejected::ShuttingDown => write!(f, "shutting down"),
+        }
+    }
+}
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    accepting: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    capacity: usize,
+    active: AtomicUsize,
+}
+
+/// The bounded, panic-isolated worker pool.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `workers` threads behind a queue of `capacity` pending jobs.
+    pub fn new(workers: usize, capacity: usize) -> Pool {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                accepting: true,
+            }),
+            work_ready: Condvar::new(),
+            capacity: capacity.max(1),
+            active: AtomicUsize::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Pool { inner, workers }
+    }
+
+    /// Admit a job, or refuse immediately when the queue is full or the
+    /// pool is shutting down.
+    pub fn submit(&self, job: impl FnOnce(JobMode) + Send + 'static) -> Result<(), Rejected> {
+        let mut state = self.inner.state.lock().expect("pool lock poisoned");
+        if !state.accepting {
+            return Err(Rejected::ShuttingDown);
+        }
+        if state.queue.len() >= self.inner.capacity {
+            return Err(Rejected::QueueFull);
+        }
+        state.queue.push_back(Box::new(job));
+        if jt_obs::enabled() {
+            jt_obs::global()
+                .gauge("server.queue.depth")
+                .set(state.queue.len() as i64);
+        }
+        drop(state);
+        self.inner.work_ready.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently executing on workers.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Queued jobs not yet picked up.
+    pub fn queued(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Graceful shutdown: stop admitting, abort everything still queued
+    /// (each queued job runs once with [`JobMode::Abort`]), let in-flight
+    /// jobs finish, and join the workers.
+    pub fn shutdown(mut self) {
+        let aborted = {
+            let mut state = self.inner.state.lock().expect("pool lock poisoned");
+            state.accepting = false;
+            std::mem::take(&mut state.queue)
+        };
+        self.inner.work_ready.notify_all();
+        for job in aborted {
+            // Abort callbacks only write an error line to a socket; run
+            // them under the same isolation as real jobs anyway.
+            let _ = catch_unwind(AssertUnwindSafe(|| job(JobMode::Abort)));
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    if jt_obs::enabled() {
+                        jt_obs::global()
+                            .gauge("server.queue.depth")
+                            .set(state.queue.len() as i64);
+                    }
+                    break Some(job);
+                }
+                if !state.accepting {
+                    break None;
+                }
+                state = inner.work_ready.wait(state).expect("pool lock poisoned");
+            }
+        };
+        let Some(job) = job else { return };
+        inner.active.fetch_add(1, Ordering::Relaxed);
+        if jt_obs::enabled() {
+            jt_obs::global()
+                .gauge("server.active_queries")
+                .set(inner.active.load(Ordering::Relaxed) as i64);
+        }
+        // Panic isolation: the job's own catch_unwind normally answers the
+        // client; this outer catch keeps the worker alive even if the
+        // response write itself panics.
+        let _ = catch_unwind(AssertUnwindSafe(|| job(JobMode::Run)));
+        inner.active.fetch_sub(1, Ordering::Relaxed);
+        if jt_obs::enabled() {
+            jt_obs::global()
+                .gauge("server.active_queries")
+                .set(inner.active.load(Ordering::Relaxed) as i64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = Pool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.submit(move |mode| {
+                assert_eq!(mode, JobMode::Run);
+                tx.send(i).unwrap();
+            })
+            .unwrap();
+        }
+        let mut got: Vec<i32> = (0..8).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn rejects_when_queue_full() {
+        let pool = Pool::new(1, 1);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        pool.submit(move |_| {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // ...fill the single queue slot...
+        pool.submit(|_| {}).unwrap();
+        // ...and the next admission must bounce.
+        assert_eq!(pool.submit(|_| {}), Err(Rejected::QueueFull));
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = Pool::new(1, 8);
+        pool.submit(|_| panic!("boom")).unwrap();
+        let (tx, rx) = mpsc::channel();
+        pool.submit(move |_| tx.send(42).unwrap()).unwrap();
+        assert_eq!(rx.recv().unwrap(), 42);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_aborts_queued_jobs_and_drains_inflight() {
+        let pool = Pool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        let (mode_tx, mode_rx) = mpsc::channel::<JobMode>();
+        let inflight_tx = mode_tx.clone();
+        pool.submit(move |mode| {
+            started_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+            inflight_tx.send(mode).unwrap();
+        })
+        .unwrap();
+        started_rx.recv().unwrap();
+        // The single worker is gated, so this job must still be queued
+        // when shutdown begins.
+        pool.submit(move |mode| mode_tx.send(mode).unwrap())
+            .unwrap();
+        let shutdown = std::thread::spawn(move || pool.shutdown());
+        // Shutdown aborts the queued job before joining workers, so the
+        // Abort arrives while the in-flight job is still gated.
+        assert_eq!(mode_rx.recv().unwrap(), JobMode::Abort);
+        gate_tx.send(()).unwrap();
+        shutdown.join().unwrap();
+        assert_eq!(mode_rx.recv().unwrap(), JobMode::Run);
+    }
+}

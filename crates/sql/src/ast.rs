@@ -220,4 +220,6 @@ pub struct SelectStmt {
     pub order_by: Vec<(SqlExpr, bool)>,
     /// LIMIT.
     pub limit: Option<usize>,
+    /// OFFSET (rows skipped before the limit applies).
+    pub offset: Option<usize>,
 }

@@ -467,6 +467,9 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
     if let Some(n) = stmt.limit {
         q = q.limit(n);
     }
+    if let Some(n) = stmt.offset {
+        q = q.offset(n);
+    }
     Ok(q)
 }
 

@@ -88,7 +88,7 @@ pub fn query_with(
     let stmt = parse_select(sql)?;
     let catalog: Catalog<'_> = tables.iter().copied().collect();
     let plan = compile(&stmt, &catalog)?;
-    Ok(plan.run_with(opts))
+    Ok(plan.run_with(opts.clone()))
 }
 
 /// The output of [`execute`], depending on the statement's `EXPLAIN` prefix.
@@ -117,14 +117,67 @@ pub fn execute(
     tables: &[(&str, &Relation)],
     opts: ExecOptions,
 ) -> Result<SqlOutput, SqlError> {
+    try_execute(sql, tables, opts).map_err(|e| match e {
+        ExecuteError::Sql(err) => err,
+        // `execute` callers pass an inert token, so an abort is a logic
+        // error — keep the old panic-free contract by converting it.
+        ExecuteError::Aborted(err) => SqlError {
+            message: err.to_string(),
+            offset: 0,
+        },
+    })
+}
+
+/// Error from [`try_execute`]: a parse/compile failure or an execution
+/// abort (cooperative cancellation / deadline via
+/// [`jt_query::CancelToken`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecuteError {
+    /// The statement failed to parse or compile.
+    Sql(SqlError),
+    /// Execution started but was aborted before completion.
+    Aborted(jt_query::ExecError),
+}
+
+impl std::fmt::Display for ExecuteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecuteError::Sql(e) => write!(f, "{e}"),
+            ExecuteError::Aborted(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecuteError {}
+
+impl From<SqlError> for ExecuteError {
+    fn from(e: SqlError) -> Self {
+        ExecuteError::Sql(e)
+    }
+}
+
+/// Like [`execute`] but surfaces execution aborts as `Err` instead of
+/// panicking, which makes it the entry point for services that attach a
+/// live [`jt_query::CancelToken`] to `opts.cancel` (deadlines, client
+/// disconnects).
+pub fn try_execute(
+    sql: &str,
+    tables: &[(&str, &Relation)],
+    opts: ExecOptions,
+) -> Result<SqlOutput, ExecuteError> {
     let stmt = parse_statement(sql)?;
     let catalog: Catalog<'_> = tables.iter().copied().collect();
     let plan = compile(&stmt.select, &catalog)?;
     Ok(match stmt.explain {
-        ExplainMode::None => SqlOutput::Rows(plan.run_with(opts)),
+        ExplainMode::None => SqlOutput::Rows(
+            plan.try_run_with(opts.clone())
+                .map_err(ExecuteError::Aborted)?,
+        ),
         ExplainMode::Plan => SqlOutput::Plan(plan.explain().to_string()),
         ExplainMode::Analyze => {
-            let result = plan.run_with(opts);
+            let result = plan
+                .try_run_with(opts.clone())
+                .map_err(ExecuteError::Aborted)?;
             SqlOutput::Analyze {
                 rendered: result.profile.render(),
                 result,

@@ -133,7 +133,7 @@ impl Parser {
                 Some(Token::Ident(s))
                     if !matches!(
                         s.as_str(),
-                        "where" | "group" | "having" | "order" | "limit" | "on" | "join"
+                        "where" | "group" | "having" | "order" | "limit" | "offset" | "on" | "join"
                     ) =>
                 {
                     self.ident()?
@@ -186,11 +186,19 @@ impl Parser {
                 }
             }
         }
-        // LIMIT.
+        // LIMIT / OFFSET (either may appear alone; LIMIT first when both).
         let limit = if self.eat_kw("limit") {
             match self.bump() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as usize),
                 _ => return err("expected LIMIT count", self.offset()),
+            }
+        } else {
+            None
+        };
+        let offset = if self.eat_kw("offset") {
+            match self.bump() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                _ => return err("expected OFFSET count", self.offset()),
             }
         } else {
             None
@@ -203,6 +211,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            offset,
         })
     }
 

@@ -309,6 +309,73 @@ fn order_by_limit_takes_top_k_and_matches_full_sort() {
 }
 
 #[test]
+fn offset_matches_full_sort_then_slice() {
+    let docs: Vec<Value> = (0..2000)
+        .map(|i: i64| jt_json::parse(&format!(r#"{{"k":{},"id":{i}}}"#, (i * 37) % 200)).unwrap())
+        .collect();
+    let rel = load(&docs);
+    let tables: &[(&str, &Relation)] = &[("t", &rel)];
+    let base = "SELECT data->>'k'::INT, data->>'id'::INT FROM t ORDER BY 1 DESC, 2";
+    let full = query(base, tables).unwrap();
+
+    // LIMIT n OFFSET m must equal full-sort-then-slice rows m..m+n, at
+    // every thread count (the top-K bound becomes n+m under the hood).
+    for threads in [1usize, 2, 8] {
+        let paged = jt_sql::query_with(
+            &format!("{base} LIMIT 10 OFFSET 25"),
+            tables,
+            ExecOptions {
+                threads,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(paged.rows(), 10);
+        for r in 0..10 {
+            for c in 0..full.chunk.width() {
+                assert_eq!(
+                    paged.chunk.get(r, c),
+                    full.chunk.get(25 + r, c),
+                    "row {r} col {c} at threads={threads}"
+                );
+            }
+        }
+    }
+
+    // OFFSET without LIMIT: the remainder of the full sort.
+    let tail = query(&format!("{base} OFFSET 1990"), tables).unwrap();
+    assert_eq!(tail.rows(), 10);
+    for r in 0..10 {
+        assert_eq!(tail.chunk.get(r, 0), full.chunk.get(1990 + r, 0));
+    }
+
+    // OFFSET past the result is empty, not an error.
+    let past = query(&format!("{base} LIMIT 5 OFFSET 5000"), tables).unwrap();
+    assert_eq!(past.rows(), 0);
+
+    // OFFSET on an unsorted query just skips leading rows.
+    let unsorted = query("SELECT data->>'id'::INT FROM t OFFSET 1995", tables).unwrap();
+    assert_eq!(unsorted.rows(), 5);
+
+    // EXPLAIN: the top-K bound absorbs the offset, and the offset is shown.
+    let out = jt_sql::execute(
+        &format!("EXPLAIN {base} LIMIT 10 OFFSET 25"),
+        tables,
+        ExecOptions::default(),
+    )
+    .unwrap();
+    let jt_sql::SqlOutput::Plan(plan) = out else {
+        panic!("EXPLAIN must produce a plan");
+    };
+    assert!(
+        plan.contains("order-by keys=2 (top-k bound 35)"),
+        "top-K bound must be limit+offset:\n{plan}"
+    );
+    assert!(plan.contains("offset 25"), "plan shows offset:\n{plan}");
+    assert!(plan.contains("limit 10"), "plan keeps limit:\n{plan}");
+}
+
+#[test]
 fn error_reporting() {
     let rel = load(&sales_docs());
     let tables: &[(&str, &Relation)] = &[("t", &rel)];

@@ -20,7 +20,7 @@ pub fn summation(rel: &Relation, opts: ExecOptions) -> ResultSet {
                 Agg::count(col("l_linenumber")),
             ],
         )
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// A purely relational baseline for Table 5's "Relational" row: the values

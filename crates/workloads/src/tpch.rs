@@ -88,7 +88,7 @@ fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q2: minimum-cost supplier (simplified: subquery replaced by ordering).
@@ -129,7 +129,7 @@ fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(4, true)
         .limit(10)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q3: shipping priority — join & aggregation chokepoint.
@@ -152,7 +152,7 @@ fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("o_orderkey")], vec![Agg::sum(revenue())])
         .order_by(1, true)
         .limit(10)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q4: order priority checking — EXISTS → semi join.
@@ -174,7 +174,7 @@ fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .semi_on("o_orderkey", "l_orderkey")
         .aggregate(vec![col("o_orderpriority")], vec![Agg::count_star()])
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q5: local supplier volume.
@@ -214,7 +214,7 @@ fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .filter_joined(col("c_nationkey").eq(col("s_nationkey")))
         .aggregate(vec![col("n_name")], vec![Agg::sum(revenue())])
         .order_by(1, true)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q6: forecasting revenue change — pure scan + predicate chokepoint.
@@ -236,7 +236,7 @@ fn q6(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![],
             vec![Agg::sum(col("l_extendedprice").mul(col("l_discount")))],
         )
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q7: volume shipping between two nations, by year.
@@ -277,7 +277,7 @@ fn q7(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q8: national market share within a region, by year.
@@ -319,7 +319,7 @@ fn q8(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::sum(revenue()), Agg::count_star()],
         )
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q9: product type profit measure, by nation and year.
@@ -351,7 +351,7 @@ fn q9(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, true)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q10: returned-item reporting — the Figure 5 example query.
@@ -381,7 +381,7 @@ fn q10(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(2, true)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q11: important stock identification (simplified threshold).
@@ -406,7 +406,7 @@ fn q11(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(1, true)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q12: shipping modes and order priority.
@@ -435,7 +435,7 @@ fn q12(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q13: customer order-count distribution (inner-join variant).
@@ -455,7 +455,7 @@ fn q13(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("c_custkey")], vec![Agg::count_star()])
         .order_by(1, true)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q14: promotion effect — share of promo parts in monthly revenue.
@@ -478,7 +478,7 @@ fn q14(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::sum(revenue())],
         )
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q15: top supplier by quarterly revenue.
@@ -502,7 +502,7 @@ fn q15(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(2, true)
         .limit(1)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q16: parts/supplier relationship counting.
@@ -538,7 +538,7 @@ fn q16(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(3, true)
         .order_by(0, false)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q17: small-quantity-order revenue (fixed quantity threshold).
@@ -558,7 +558,7 @@ fn q17(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .filter(col("l_quantity").lt(lit(3)))
         .on("p_partkey", "l_partkey")
         .aggregate(vec![], vec![Agg::sum(col("l_extendedprice").div(lit(7)))])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q18: large-volume customers — join & high-cardinality aggregation
@@ -590,7 +590,7 @@ fn q18(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(4, true)
         .order_by(3, false)
         .limit(100)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q19: discounted revenue — disjunctive predicate chokepoint.
@@ -628,7 +628,7 @@ fn q19(rel: &Relation, opts: ExecOptions) -> ResultSet {
                     .and(col("p_size").le(lit(15)))),
         )
         .aggregate(vec![], vec![Agg::sum(revenue())])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q20: potential part promotion (simplified availqty threshold).
@@ -650,7 +650,7 @@ fn q20(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("s_name")], vec![Agg::count_star()])
         .order_by(0, false)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q21: suppliers who kept orders waiting (simplified: receipt after
@@ -686,7 +686,7 @@ fn q21(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(1, true)
         .order_by(0, false)
         .limit(100)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q22: global sales opportunity — anti join on customers without orders.
@@ -700,7 +700,7 @@ fn q22(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access("o_custkey", AccessType::Int)
         .anti_on("c_custkey", "o_custkey")
         .aggregate(vec![], vec![Agg::count_star(), Agg::sum(col("c_acctbal"))])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Helper trait so Q4 can push a cross-column predicate into the scan

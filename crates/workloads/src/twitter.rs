@@ -97,7 +97,7 @@ fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(2, true)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q2: deleted tweets per user — the structurally disjoint delete records.
@@ -109,7 +109,7 @@ fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("del_user")], vec![Agg::count_star()])
         .order_by(1, true)
         .limit(20)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q3 (base): tweets mentioning @ladygaga. Without array extraction the
@@ -121,7 +121,7 @@ fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access_as("mentions_json", "entities.user_mentions", AccessType::Json)
         .filter(col("mentions_json").contains("\"screen_name\":\"ladygaga\""))
         .aggregate(vec![], vec![Agg::count_star()])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q3 (`Tiles-*`): join the shredded mentions relation with the tweets.
@@ -134,7 +134,7 @@ fn q3_star(rel: &Relation, mentions: &Relation, opts: ExecOptions) -> ResultSet 
         .access_as("t_id", "id", AccessType::Int)
         .on("tweet_id", "t_id")
         .aggregate(vec![], vec![Agg::count_distinct(col("t_id"))])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q4 (base): tweets with the hashtag #COVID.
@@ -144,7 +144,7 @@ fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access_as("tags_json", "entities.hashtags", AccessType::Json)
         .filter(col("tags_json").contains("\"text\":\"COVID\""))
         .aggregate(vec![], vec![Agg::count_star()])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q4 (`Tiles-*`).
@@ -157,7 +157,7 @@ fn q4_star(rel: &Relation, hashtags: &Relation, opts: ExecOptions) -> ResultSet 
         .access_as("t_id", "id", AccessType::Int)
         .on("tweet_id", "t_id")
         .aggregate(vec![], vec![Agg::count_distinct(col("t_id"))])
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q5: retweet engagement per language for verified accounts.
@@ -172,7 +172,7 @@ fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::avg(col("retweet_count")), Agg::count_star()],
         )
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 #[cfg(test)]

@@ -47,7 +47,7 @@ fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
             ],
         )
         .order_by(2, true)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q2: top users by fan count among active reviewers — user-document scan.
@@ -68,7 +68,7 @@ fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(1, true)
         .limit(10)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q3: average review stars per state — the business⋈review join ("> 100"
@@ -90,7 +90,7 @@ fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::avg(col("r_stars")), Agg::count_star()],
         )
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q4: review counts grouped by star rating — the query §6.2 describes.
@@ -101,7 +101,7 @@ fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .filter(col("review_id").is_not_null())
         .aggregate(vec![col("stars")], vec![Agg::count_star()])
         .order_by(0, false)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 /// Q5: most useful reviews per state — join with a selective filter.
@@ -122,7 +122,7 @@ fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::count_star(), Agg::sum(col("useful"))],
         )
         .order_by(2, true)
-        .run_with(opts)
+        .run_with(opts.clone())
 }
 
 #[cfg(test)]

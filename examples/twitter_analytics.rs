@@ -51,7 +51,7 @@ fn main() {
 
     // Q2: deleted tweets per user — only works because reordering clusters
     // the globally-rare delete documents into extractable tiles.
-    let r = tw::run_query(2, &rel, opts);
+    let r = tw::run_query(2, &rel, opts.clone());
     println!("\ntop deleters (Q2): {} user groups", r.rows());
     for line in r.to_lines().iter().take(3) {
         println!("  {line}");
@@ -60,10 +60,10 @@ fn main() {
     // Q4 both ways: probing the array through the binary documents vs
     // joining the shredded side relation.
     let t0 = Instant::now();
-    let base = tw::run_query(4, &rel, opts);
+    let base = tw::run_query(4, &rel, opts.clone());
     let base_time = t0.elapsed();
     let t0 = Instant::now();
-    let star = tw::run_query_star(4, &rel, &side, opts);
+    let star = tw::run_query_star(4, &rel, &side, opts.clone());
     let star_time = t0.elapsed();
     assert_eq!(base.column(0)[0].as_i64(), star.column(0)[0].as_i64());
     println!(
@@ -74,7 +74,7 @@ fn main() {
     );
 
     // Q1: influencers.
-    let r = tw::run_query(1, &rel, opts);
+    let r = tw::run_query(1, &rel, opts.clone());
     println!("\nmost retweeted influencers (Q1):");
     for line in r.to_lines().iter().take(5) {
         println!("  {line}");

@@ -7,6 +7,9 @@
 //! jt sql   table.jt "SELECT data->>'k'::INT, COUNT(*) FROM t GROUP BY 1"
 //!                                 [--skip-corrupt]
 //! jt info  table.jt               [--skip-corrupt]
+//! jt serve table.jt [more.jt …]   [--port N] [--workers N] [--queue N]
+//!                                 [--timeout-ms N] [--append-threshold N]
+//!                                 [--no-checkpoint]
 //! jt metrics                      # dump the metrics registry as JSON
 //! ```
 //!
@@ -37,9 +40,10 @@ fn main() {
         Some("load") => cmd_load(&args[1..]),
         Some("sql") => cmd_sql(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("metrics") => cmd_metrics(),
         _ => {
-            eprintln!("usage: jt <load|sql|info|metrics> ... (see source header)");
+            eprintln!("usage: jt <load|sql|info|serve|metrics> ... (see source header)");
             2
         }
     };
@@ -225,6 +229,118 @@ fn cmd_sql(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+/// `jt serve table.jt [more.jt …] [--port N] [--workers N] [--queue N]
+/// [--timeout-ms N] [--append-threshold N] [--no-checkpoint]`
+///
+/// Serves the given relation files over the line-delimited TCP protocol
+/// (see `crates/server`). A single file is served as table `t` (matching
+/// `jt sql`); additional files are named by file stem. Prints
+/// `listening <addr>` once the socket is live. Ctrl-C (SIGINT) or a
+/// client `.shutdown` drains in-flight queries, aborts queued ones, and
+/// checkpoints each table back to its file with the atomic v2 save
+/// unless `--no-checkpoint` is given.
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut files: Vec<String> = Vec::new();
+    let mut config = json_tiles::server::ServerConfig::default();
+    let mut port = 0u16;
+    let mut checkpoint = true;
+    let mut i = 0;
+    while i < args.len() {
+        let numeric = |flag: &str, v: Option<&String>| -> Option<u64> {
+            match v.and_then(|s| s.parse().ok()) {
+                Some(n) => Some(n),
+                None => {
+                    eprintln!("{flag} requires a number");
+                    None
+                }
+            }
+        };
+        match args[i].as_str() {
+            "--port" => {
+                let Some(n) = numeric("--port", args.get(i + 1)) else {
+                    return 2;
+                };
+                port = n as u16;
+                i += 2;
+            }
+            "--workers" => {
+                let Some(n) = numeric("--workers", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.workers = n as usize;
+                i += 2;
+            }
+            "--queue" => {
+                let Some(n) = numeric("--queue", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.queue_capacity = n as usize;
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let Some(n) = numeric("--timeout-ms", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.default_timeout = (n > 0).then(|| std::time::Duration::from_millis(n));
+                i += 2;
+            }
+            "--append-threshold" => {
+                let Some(n) = numeric("--append-threshold", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.append_threshold = n as usize;
+                i += 2;
+            }
+            "--no-checkpoint" => {
+                checkpoint = false;
+                i += 1;
+            }
+            other => {
+                files.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: jt serve <table.jt> [more.jt …] [flags]");
+        return 2;
+    }
+    config.addr = format!("127.0.0.1:{port}");
+    let mut tables = Vec::new();
+    for (idx, file) in files.iter().enumerate() {
+        let name = if files.len() == 1 && idx == 0 {
+            "t".to_string()
+        } else {
+            std::path::Path::new(file)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| format!("t{idx}"))
+        };
+        let Some(rel) = open_reporting(file, &OpenOptions::default()) else {
+            return 1;
+        };
+        if checkpoint {
+            config
+                .checkpoints
+                .push((name.clone(), std::path::PathBuf::from(file)));
+        }
+        eprintln!("table {name}: {} rows from {file}", rel.row_count());
+        tables.push((name, rel));
+    }
+    let sigint = json_tiles::server::install_sigint_handler();
+    let server = match json_tiles::server::Server::start(tables, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind: {e}");
+            return 1;
+        }
+    };
+    println!("listening {}", server.addr());
+    server.run_until(sigint);
+    eprintln!("shutdown complete");
+    0
 }
 
 fn cmd_info(args: &[String]) -> i32 {

@@ -13,6 +13,7 @@ pub use jt_jsonb as jsonb;
 pub use jt_mining as mining;
 pub use jt_obs as obs;
 pub use jt_query as query;
+pub use jt_server as server;
 pub use jt_sql as sql;
 pub use jt_stats as stats;
 pub use jt_workloads as workloads;

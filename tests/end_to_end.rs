@@ -74,7 +74,7 @@ fn yelp_and_twitter_suites_run_under_parallel_scans() {
     };
     for q in 1..=yelp::QUERY_COUNT {
         let seq = yelp::run_query(q, &yrel, ExecOptions::default()).to_lines();
-        let par = yelp::run_query(q, &yrel, opts).to_lines();
+        let par = yelp::run_query(q, &yrel, opts.clone()).to_lines();
         assert_eq!(seq, par, "Yelp Q{q}");
     }
     let t = data::twitter::generate(data::twitter::TwitterConfig {
@@ -84,7 +84,7 @@ fn yelp_and_twitter_suites_run_under_parallel_scans() {
     let trel = Relation::load_with_threads(&t.docs, TilesConfig::default(), 4);
     for q in 1..=twitter::QUERY_COUNT {
         let seq = twitter::run_query(q, &trel, ExecOptions::default()).to_lines();
-        let par = twitter::run_query(q, &trel, opts).to_lines();
+        let par = twitter::run_query(q, &trel, opts.clone()).to_lines();
         assert_eq!(seq, par, "Twitter Q{q}");
     }
 }
