@@ -70,5 +70,6 @@ pub fn kernel_spec<'a>(rel: &'a Relation, filter: &Expr) -> ScanSpec<'a> {
         filter: Some(filter.clone()),
         skip_paths: vec![],
         enable_skipping: true,
+        limit_hint: None,
     }
 }

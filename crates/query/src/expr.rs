@@ -500,6 +500,30 @@ impl Expr {
         }
     }
 
+    /// Collect every [`Expr::Col`] name this expression reads into `out`
+    /// (sorted set — deterministic iteration for the planner's pushdown
+    /// and pruning decisions).
+    pub fn referenced_cols(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            Expr::Col(name) => {
+                out.insert(name.clone());
+            }
+            Expr::Slot(_) | Expr::Const(_) => {}
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(a, _, b) => {
+                a.referenced_cols(out);
+                b.referenced_cols(out);
+            }
+            Expr::Not(a)
+            | Expr::IsNull(a)
+            | Expr::IsNotNull(a)
+            | Expr::Contains(a, _)
+            | Expr::StartsWith(a, _)
+            | Expr::EndsWith(a, _)
+            | Expr::InList(a, _)
+            | Expr::Year(a) => a.referenced_cols(out),
+        }
+    }
+
     /// Slots where a null value makes this predicate non-true — the §4.8
     /// analysis ("null values are skipped or evaluated as false").
     pub fn null_rejecting_slots(&self) -> HashSet<usize> {
@@ -531,6 +555,56 @@ impl Expr {
             | Expr::EndsWith(a, _)
             | Expr::InList(a, _)
             | Expr::Year(a) => a.null_rejecting_slots(),
+        }
+    }
+}
+
+/// SQL-flavoured rendering for logical-plan display (`EXPLAIN`).
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(name) => write!(f, "{name}"),
+            Expr::Slot(i) => write!(f, "#{i}"),
+            Expr::Const(c) => write!(f, "{}", c.display()),
+            Expr::Cmp(a, op, b) => {
+                let op = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {op} {b})")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+            Expr::Arith(a, op, b) => {
+                let op = match op {
+                    ArithOp::Add => "+",
+                    ArithOp::Sub => "-",
+                    ArithOp::Mul => "*",
+                    ArithOp::Div => "/",
+                };
+                write!(f, "({a} {op} {b})")
+            }
+            Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
+            Expr::IsNotNull(a) => write!(f, "({a} IS NOT NULL)"),
+            Expr::Contains(a, p) => write!(f, "({a} LIKE '%{p}%')"),
+            Expr::StartsWith(a, p) => write!(f, "({a} LIKE '{p}%')"),
+            Expr::EndsWith(a, p) => write!(f, "({a} LIKE '%{p}')"),
+            Expr::InList(a, list) => {
+                write!(f, "({a} IN (")?;
+                for (i, v) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v.display())?;
+                }
+                write!(f, "))")
+            }
+            Expr::Year(a) => write!(f, "EXTRACT(YEAR FROM {a})"),
         }
     }
 }
@@ -679,5 +753,21 @@ mod tests {
         e.resolve(&|name| if name == "a" { 0 } else { 1 });
         let c = chunk();
         assert!(!e.eval_bool(&c, 0), "5 > \"abc\" is incomparable");
+    }
+
+    #[test]
+    fn display_and_referenced_cols() {
+        let e = col("a").add(col("b")).gt(lit(3)).and(col("c").is_null());
+        assert_eq!(e.to_string(), "(((a + b) > 3) AND (c IS NULL))");
+        let mut cols = std::collections::BTreeSet::new();
+        e.referenced_cols(&mut cols);
+        assert_eq!(
+            cols.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+        assert_eq!(
+            Expr::Slot(2).in_list(vec![Scalar::Int(1)]).to_string(),
+            "(#2 IN (1))"
+        );
     }
 }

@@ -79,6 +79,21 @@ fn gather_join(left: &Chunk, right: &Chunk, lrows: &[u32], rrows: &[u32]) -> Chu
 /// Inner hash join: build on `left`, probe with `right`. Output columns are
 /// all left columns followed by all right columns.
 pub fn hash_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &[usize]) -> Chunk {
+    hash_join_bounded(left, right, left_keys, right_keys, None)
+}
+
+/// [`hash_join`] with an optional output row bound: probing stops once at
+/// least `bound` output rows exist (checked between probe rows, so all
+/// matches of the last probe row are kept). The result is a **prefix** of
+/// the unbounded join of length ≥ `bound` (or the complete join) — callers
+/// truncate; only the first `bound` rows are contractual.
+pub fn hash_join_bounded(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    bound: Option<usize>,
+) -> Chunk {
     assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
     let mut table: HashMap<Vec<u8>, Vec<u32>> = HashMap::with_capacity(left.rows());
     let mut keybuf = Vec::new();
@@ -108,6 +123,9 @@ pub fn hash_join(left: &Chunk, right: &Chunk, left_keys: &[usize], right_keys: &
                 lrows.push(l);
                 rrows.push(row as u32);
             }
+        }
+        if bound.is_some_and(|b| lrows.len() >= b) {
+            break;
         }
     }
     gather_join(left, right, &lrows, &rrows)
@@ -226,6 +244,25 @@ pub fn hash_join_par_cancellable(
     threads: usize,
     cancel: &CancelToken,
 ) -> (Chunk, JoinExecStats) {
+    hash_join_par_bounded_cancellable(left, right, left_keys, right_keys, threads, cancel, None)
+}
+
+/// [`hash_join_par_cancellable`] with an optional output row bound: every
+/// probe worker stops once *its own* output reaches `bound` rows. Each
+/// worker thus emits a prefix (length ≥ `bound`, or complete) of its
+/// unbounded output, and since worker outputs concatenate in morsel order,
+/// the global result's first `bound` rows are bit-identical to the
+/// unbounded join's at every thread count. Rows past `bound` are **not**
+/// deterministic across thread counts — callers must truncate.
+pub fn hash_join_par_bounded_cancellable(
+    left: &Chunk,
+    right: &Chunk,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    threads: usize,
+    cancel: &CancelToken,
+    bound: Option<usize>,
+) -> (Chunk, JoinExecStats) {
     assert_eq!(left_keys.len(), right_keys.len(), "key arity mismatch");
     let threads = threads.max(1);
     if threads == 1 || left.rows() + right.rows() < PAR_MIN_ROWS {
@@ -233,7 +270,7 @@ pub fn hash_join_par_cancellable(
         let out = if cancel.is_cancelled() {
             Chunk::empty(left.width() + right.width())
         } else {
-            hash_join(left, right, left_keys, right_keys)
+            hash_join_bounded(left, right, left_keys, right_keys, bound)
         };
         let stats = JoinExecStats {
             partitions: 1,
@@ -269,6 +306,9 @@ pub fn hash_join_par_cancellable(
                         lrows.push(l);
                         rrows.push(row as u32);
                     }
+                }
+                if bound.is_some_and(|b| lrows.len() >= b) {
+                    break;
                 }
             }
             gather_join(left, right, &lrows, &rrows)
@@ -666,6 +706,39 @@ mod tests {
                     &anti_join(&l, &r, &[0], &[0]),
                     &format!("anti t={threads} l={lrows}"),
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_join_prefix_is_identical_at_every_thread_count() {
+        let l = mixed_chunk(300, 1);
+        let r = mixed_chunk(700, 3);
+        let full = hash_join(&l, &r, &[0], &[0]);
+        for bound in [1usize, 7, 64, 100_000] {
+            let seq = hash_join_bounded(&l, &r, &[0], &[0], Some(bound));
+            assert!(seq.rows() >= full.rows().min(bound), "prefix long enough");
+            for threads in [1usize, 2, 8] {
+                let (out, _) = hash_join_par_bounded_cancellable(
+                    &l,
+                    &r,
+                    &[0],
+                    &[0],
+                    threads,
+                    &CancelToken::none(),
+                    Some(bound),
+                );
+                let n = bound.min(full.rows());
+                assert!(out.rows() >= n, "bound {bound} t={threads}");
+                for c in 0..full.width() {
+                    for row in 0..n {
+                        assert_eq!(
+                            format!("{:?}", out.get(row, c)),
+                            format!("{:?}", full.get(row, c)),
+                            "bound {bound} t={threads} row {row} col {c}"
+                        );
+                    }
+                }
             }
         }
     }

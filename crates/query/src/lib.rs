@@ -40,9 +40,11 @@
 mod access;
 mod agg;
 mod cancel;
+mod cost;
 mod expr;
 mod join;
 mod kernel;
+mod logical;
 mod par;
 mod plan;
 mod profile;
@@ -56,13 +58,19 @@ pub use agg::{
     AggKind,
 };
 pub use cancel::{CancelToken, ExecError};
+pub use cost::CostModel;
 pub use expr::{col, lit, lit_date, lit_f64, lit_str, CmpOp, Expr};
 pub use join::{
-    anti_join, anti_join_par, anti_join_par_cancellable, hash_join, hash_join_par,
-    hash_join_par_cancellable, semi_join, semi_join_par, semi_join_par_cancellable, JoinExecStats,
+    anti_join, anti_join_par, anti_join_par_cancellable, hash_join, hash_join_bounded,
+    hash_join_par, hash_join_par_bounded_cancellable, hash_join_par_cancellable, semi_join,
+    semi_join_par, semi_join_par_cancellable, JoinExecStats,
 };
 pub use jt_core::AccessType;
 pub use kernel::SelVec;
+pub use logical::{
+    explain_text, optimize, optimize_with_reports, plan_and_lower, LogicalBuilder, LogicalPlan,
+    Pass, PassReport, Planned, PlannerOptions,
+};
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
 pub use profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
 pub use scalar::Scalar;

@@ -1,0 +1,1987 @@
+//! The logical planner: an explicit plan IR between SQL and execution.
+//!
+//! [`LogicalPlan`] is a tree of relational operators built either by the
+//! SQL compiler (`jt-sql`) or programmatically through [`LogicalBuilder`]
+//! (mirroring the physical [`Query`] builder's API). An ordered pipeline of
+//! named rewrite passes ([`Pass`]) transforms the canonical tree using the
+//! tile statistics ([`CostModel`], paper §4.5–§4.6):
+//!
+//! 1. **predicate-pushdown** — split conjuncts of `Filter` nodes sitting on
+//!    a join region and push each into the scan that owns all its columns.
+//! 2. **projection-pushdown** — prune scan accesses nobody references
+//!    (only when a `Project`/`Aggregate` sits above; otherwise the scan
+//!    output *is* the query output).
+//! 3. **join-reorder** — greedy reordering of the inner-join region by
+//!    estimated output cardinality (`|A|·|B| / max(nd)` over HLL distinct
+//!    counts, scan estimates from §4.6 static document sampling).
+//! 4. **bound-propagation** — push `LIMIT`+`OFFSET` bounds into the sort
+//!    (top-K), scans (early exit), and pure inner-join probe sides.
+//!
+//! Lowering ([`LogicalPlan::lower`]) turns the optimized tree back into a
+//! physical [`Query`]; the physical executor then runs joins in the tree's
+//! declaration order (its own runtime reordering remains available as a
+//! separate knob). Every pass preserves results bit-for-bit — only costs
+//! may change — which `tests/observability.rs` re-checks across all 22
+//! TPC-H queries with each pass individually disabled.
+
+use crate::access::Access;
+use crate::agg::{Agg, AggKind};
+use crate::cost::CostModel;
+use crate::expr::Expr;
+use crate::plan::Query;
+use jt_core::{AccessType, Relation};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// IR
+// ---------------------------------------------------------------------------
+
+/// A logical plan node. The canonical tree produced by [`LogicalBuilder`]
+/// (and the SQL compiler) has the spine
+/// `Limit? → Offset? → Sort? → Project? → Filter* → Aggregate? → Filter* →
+/// (SemiJoin|AntiJoin)* → join region (Join/Scan)`, which [`lower`] peels
+/// back into a physical [`Query`]. Rewrite passes keep that shape.
+///
+/// [`lower`]: LogicalPlan::lower
+#[derive(Debug, Clone)]
+pub enum LogicalPlan<'a> {
+    /// Leaf: scan a relation with pushed-down accesses, an optional pushed
+    /// filter (referencing only this scan's access names), and an optional
+    /// row bound (stop scanning once `limit_hint` rows are produced).
+    Scan {
+        name: String,
+        rel: &'a Relation,
+        accesses: Vec<Access>,
+        filter: Option<Expr>,
+        limit_hint: Option<usize>,
+    },
+    /// Row filter; below an `Aggregate` the predicate references access
+    /// names, above one it references output slots (`HAVING`).
+    Filter {
+        input: Box<LogicalPlan<'a>>,
+        predicate: Expr,
+    },
+    /// Projection; `visible` < `exprs.len()` marks trailing hidden columns
+    /// (e.g. `ORDER BY` expressions not in the select list) that are
+    /// dropped after the sort.
+    Project {
+        input: Box<LogicalPlan<'a>>,
+        exprs: Vec<Expr>,
+        visible: usize,
+    },
+    /// Inner equi-join on access-name pairs; empty `keys` is a cross join.
+    /// `probe_bound` lets the probe side stop once that many output rows
+    /// exist (valid only under a `LIMIT` with no reordering stage between).
+    Join {
+        left: Box<LogicalPlan<'a>>,
+        right: Box<LogicalPlan<'a>>,
+        keys: Vec<(String, String)>,
+        probe_bound: Option<usize>,
+    },
+    /// `EXISTS` reduction: keep input rows with a match in `right`.
+    SemiJoin {
+        input: Box<LogicalPlan<'a>>,
+        right: Box<LogicalPlan<'a>>,
+        keys: Vec<(String, String)>,
+    },
+    /// `NOT EXISTS` reduction.
+    AntiJoin {
+        input: Box<LogicalPlan<'a>>,
+        right: Box<LogicalPlan<'a>>,
+        keys: Vec<(String, String)>,
+    },
+    /// Group-by + aggregates; output columns are keys then aggregates.
+    Aggregate {
+        input: Box<LogicalPlan<'a>>,
+        keys: Vec<Expr>,
+        aggs: Vec<Agg>,
+    },
+    /// Sort by output column indices; `bound` is the planner-provided
+    /// top-K row bound (`None` = full sort).
+    Sort {
+        input: Box<LogicalPlan<'a>>,
+        keys: Vec<(usize, bool)>,
+        bound: Option<usize>,
+    },
+    /// Skip the first `n` rows.
+    Offset {
+        input: Box<LogicalPlan<'a>>,
+        n: usize,
+    },
+    /// Keep only the first `n` rows.
+    Limit {
+        input: Box<LogicalPlan<'a>>,
+        n: usize,
+    },
+}
+
+/// Join flavours a [`LogicalBuilder`] clause can take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClauseKind {
+    Inner,
+    Semi,
+    Anti,
+}
+
+impl<'a> LogicalPlan<'a> {
+    /// Start building a canonical plan scanning `rel` — the logical
+    /// counterpart of [`Query::scan`], with the same builder surface.
+    pub fn scan(name: &str, rel: &'a Relation) -> LogicalBuilder<'a> {
+        LogicalBuilder {
+            tables: vec![BuilderTable {
+                name: name.to_owned(),
+                rel,
+                accesses: Vec::new(),
+                filters: Vec::new(),
+            }],
+            joins: Vec::new(),
+            post_filter: Vec::new(),
+            group_by: Vec::new(),
+            aggs: Vec::new(),
+            having: None,
+            select: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// Short operator label (diagnostics).
+    fn label(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "scan",
+            LogicalPlan::Filter { .. } => "filter",
+            LogicalPlan::Project { .. } => "project",
+            LogicalPlan::Join { .. } => "join",
+            LogicalPlan::SemiJoin { .. } => "semi-join",
+            LogicalPlan::AntiJoin { .. } => "anti-join",
+            LogicalPlan::Aggregate { .. } => "aggregate",
+            LogicalPlan::Sort { .. } => "sort",
+            LogicalPlan::Offset { .. } => "offset",
+            LogicalPlan::Limit { .. } => "limit",
+        }
+    }
+
+    /// True for nodes that form the join region (the part predicate
+    /// pushdown may push filters into).
+    fn is_join_region(&self) -> bool {
+        matches!(
+            self,
+            LogicalPlan::Scan { .. }
+                | LogicalPlan::Join { .. }
+                | LogicalPlan::SemiJoin { .. }
+                | LogicalPlan::AntiJoin { .. }
+        )
+    }
+
+    // -- lowering -----------------------------------------------------------
+
+    /// Lower the logical tree into a physical [`Query`]. Scans and join
+    /// clauses are emitted in tree order (post-order over the join region),
+    /// so running the query with runtime join reordering disabled executes
+    /// exactly the logical join order.
+    pub fn lower(&self) -> Query<'a> {
+        use LogicalPlan::*;
+        let mut node = self;
+        let mut limit = None;
+        let mut offset = None;
+        if let Limit { input, n } = node {
+            limit = Some(*n);
+            node = input.as_ref();
+        }
+        if let Offset { input, n } = node {
+            offset = Some(*n);
+            node = input.as_ref();
+        }
+        // Borrowed operator specs peeled off the spine during lowering.
+        type SortSpec<'p> = (&'p [(usize, bool)], Option<usize>);
+        type ReductionSpec<'p, 'a> = (ClauseKind, &'p LogicalPlan<'a>, &'p [(String, String)]);
+        let mut sort: Option<SortSpec<'_>> = None;
+        if let Sort { input, keys, bound } = node {
+            sort = Some((keys, *bound));
+            node = input.as_ref();
+        }
+        let mut project: Option<(&[Expr], usize)> = None;
+        if let Project {
+            input,
+            exprs,
+            visible,
+        } = node
+        {
+            project = Some((exprs, *visible));
+            node = input.as_ref();
+        }
+        let mut upper: Vec<&Expr> = Vec::new();
+        while let Filter { input, predicate } = node {
+            upper.push(predicate);
+            node = input.as_ref();
+        }
+        let mut agg: Option<(&[Expr], &[Agg])> = None;
+        let mut post: Vec<&Expr>;
+        if let Aggregate { input, keys, aggs } = node {
+            agg = Some((keys, aggs));
+            node = input.as_ref();
+            post = Vec::new();
+            while let Filter { input, predicate } = node {
+                post.push(predicate);
+                node = input.as_ref();
+            }
+        } else {
+            // No aggregate: the "upper" filters are plain post-join filters.
+            post = std::mem::take(&mut upper);
+        }
+        let mut reductions: Vec<ReductionSpec<'_, 'a>> = Vec::new();
+        loop {
+            match node {
+                SemiJoin { input, right, keys } => {
+                    reductions.push((ClauseKind::Semi, right.as_ref(), keys));
+                    node = input.as_ref();
+                }
+                AntiJoin { input, right, keys } => {
+                    reductions.push((ClauseKind::Anti, right.as_ref(), keys));
+                    node = input.as_ref();
+                }
+                _ => break,
+            }
+        }
+        reductions.reverse(); // peeled top-down; re-emit in declaration order
+        let root_bound = match node {
+            Join { probe_bound, .. } => *probe_bound,
+            _ => None,
+        };
+        let mut scans: Vec<&LogicalPlan<'a>> = Vec::new();
+        let mut clauses: Vec<(String, String)> = Vec::new();
+        flatten_region(node, &mut scans, &mut clauses);
+
+        let mut q: Option<Query<'a>> = None;
+        for s in &scans {
+            q = Some(emit_scan(q, s));
+        }
+        // Reduction-side tables: emit each distinct table once (two semi
+        // clauses may share a right table).
+        let mut emitted: Vec<&str> = scans.iter().map(|s| scan_name(s)).collect();
+        for (_, right, _) in &reductions {
+            let name = scan_name(right);
+            if !emitted.contains(&name) {
+                q = Some(emit_scan(q, right));
+                emitted.push(name);
+            }
+        }
+        let mut q = q.expect("logical plan has no scans");
+        for (l, r) in &clauses {
+            q = q.on(l, r);
+        }
+        for (kind, _, keys) in &reductions {
+            for (l, r) in keys.iter() {
+                q = match kind {
+                    ClauseKind::Semi => q.semi_on(l, r),
+                    ClauseKind::Anti => q.anti_on(l, r),
+                    ClauseKind::Inner => unreachable!(),
+                };
+            }
+        }
+        if let Some(p) = and_all_ref(&post) {
+            q = q.filter_joined(p);
+        }
+        if let Some((keys, aggs)) = agg {
+            q = q.aggregate(keys.to_vec(), aggs.to_vec());
+        }
+        if let Some(h) = and_all_ref(&upper) {
+            q = q.having(h);
+        }
+        if let Some((exprs, visible)) = project {
+            let n = exprs.len();
+            q = q.select(exprs.to_vec());
+            if visible < n {
+                q = q.visible(visible);
+            }
+        }
+        if let Some((keys, bound)) = sort {
+            for &(c, d) in keys {
+                q = q.order_by(c, d);
+            }
+            q = q.with_sort_bound(bound);
+        }
+        if let Some(b) = root_bound {
+            q = q.probe_bound(b);
+        }
+        if let Some(n) = offset {
+            q = q.offset(n);
+        }
+        if let Some(n) = limit {
+            q = q.limit(n);
+        }
+        q
+    }
+
+    // -- rendering ----------------------------------------------------------
+
+    /// Render the tree as an indented operator listing with cardinality
+    /// estimates from the default [`CostModel`].
+    pub fn render(&self) -> String {
+        self.render_with(&CostModel::default())
+    }
+
+    /// Render with an explicit cost model (estimates do §4.6 document
+    /// sampling, so rendering is not free — keep it off hot paths).
+    pub fn render_with(&self, cost: &CostModel) -> String {
+        let mut out = String::new();
+        self.render_into(cost, 0, &mut out);
+        out
+    }
+
+    fn render_into(&self, cost: &CostModel, indent: usize, out: &mut String) {
+        for _ in 0..indent {
+            out.push(' ');
+        }
+        match self {
+            LogicalPlan::Scan {
+                name,
+                rel,
+                accesses,
+                filter,
+                limit_hint,
+            } => {
+                let names: Vec<&str> = accesses.iter().map(|a| a.name.as_str()).collect();
+                let _ = write!(
+                    out,
+                    "scan {name} rows={} est={:.0} accesses=[{}]",
+                    rel.row_count(),
+                    self.estimate(cost),
+                    names.join(", ")
+                );
+                if let Some(f) = filter {
+                    let _ = write!(out, " filter={f}");
+                }
+                if let Some(h) = limit_hint {
+                    let _ = write!(out, " limit-hint={h}");
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let _ = writeln!(out, "filter {predicate}");
+                input.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Project {
+                input,
+                exprs,
+                visible,
+            } => {
+                let items: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                let _ = write!(out, "project [{}]", items.join(", "));
+                if *visible < exprs.len() {
+                    let _ = write!(out, " visible={visible}");
+                }
+                out.push('\n');
+                input.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                keys,
+                probe_bound,
+            } => {
+                let _ = write!(
+                    out,
+                    "join [{}] (est {:.0})",
+                    render_keys(keys),
+                    self.estimate(cost)
+                );
+                if let Some(b) = probe_bound {
+                    let _ = write!(out, " probe-bound={b}");
+                }
+                out.push('\n');
+                left.render_into(cost, indent + 2, out);
+                right.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::SemiJoin { input, right, keys } => {
+                let _ = writeln!(out, "semi-join [{}]", render_keys(keys));
+                input.render_into(cost, indent + 2, out);
+                right.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::AntiJoin { input, right, keys } => {
+                let _ = writeln!(out, "anti-join [{}]", render_keys(keys));
+                input.render_into(cost, indent + 2, out);
+                right.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Aggregate { input, keys, aggs } => {
+                let ks: Vec<String> = keys.iter().map(|e| e.to_string()).collect();
+                let ags: Vec<String> = aggs.iter().map(render_agg).collect();
+                let _ = writeln!(
+                    out,
+                    "aggregate keys=[{}] aggs=[{}]",
+                    ks.join(", "),
+                    ags.join(", ")
+                );
+                input.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Sort { input, keys, bound } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|&(c, d)| {
+                        if d {
+                            format!("{c} desc")
+                        } else {
+                            c.to_string()
+                        }
+                    })
+                    .collect();
+                let _ = write!(out, "sort keys=[{}]", ks.join(", "));
+                if let Some(b) = bound {
+                    let _ = write!(out, " bound={b}");
+                }
+                out.push('\n');
+                input.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Offset { input, n } => {
+                let _ = writeln!(out, "offset {n}");
+                input.render_into(cost, indent + 2, out);
+            }
+            LogicalPlan::Limit { input, n } => {
+                let _ = writeln!(out, "limit {n}");
+                input.render_into(cost, indent + 2, out);
+            }
+        }
+    }
+
+    /// Estimated output cardinality of this node (scans: §4.6 sampled; inner
+    /// joins: `|A|·|B| / max(nd)` over HLL sketches; reductions and filters
+    /// pass their input estimate through — they only shrink).
+    fn estimate(&self, cost: &CostModel) -> f64 {
+        match self {
+            LogicalPlan::Scan {
+                rel,
+                accesses,
+                filter,
+                ..
+            } => cost.scan_rows(rel, accesses, filter.as_ref()),
+            LogicalPlan::Join {
+                left, right, keys, ..
+            } => {
+                let l = left.estimate(cost);
+                let r = right.estimate(cost);
+                match keys.first() {
+                    None => l * r,
+                    Some((lk, rk)) => {
+                        let nd = match (find_access(left, lk), find_access(right, rk)) {
+                            (Some((lrel, lp)), Some((rrel, rp))) => {
+                                cost.join_key_distinct(lrel, &lp, rrel, &rp)
+                            }
+                            _ => 1.0,
+                        };
+                        cost.join_output(l, r, nd)
+                    }
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::SemiJoin { input, .. }
+            | LogicalPlan::AntiJoin { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Offset { input, .. }
+            | LogicalPlan::Limit { input, .. } => input.estimate(cost),
+            LogicalPlan::Aggregate { input, .. } => input.estimate(cost),
+        }
+    }
+}
+
+fn render_keys(keys: &[(String, String)]) -> String {
+    if keys.is_empty() {
+        return "cross".to_owned();
+    }
+    keys.iter()
+        .map(|(l, r)| format!("{l} = {r}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn render_agg(a: &Agg) -> String {
+    match a.kind {
+        AggKind::CountStar => "count(*)".to_owned(),
+        AggKind::Count => format!("count({})", a.expr),
+        AggKind::CountDistinct => format!("count(distinct {})", a.expr),
+        AggKind::Sum => format!("sum({})", a.expr),
+        AggKind::Avg => format!("avg({})", a.expr),
+        AggKind::Min => format!("min({})", a.expr),
+        AggKind::Max => format!("max({})", a.expr),
+    }
+}
+
+fn scan_name<'p>(node: &'p LogicalPlan<'_>) -> &'p str {
+    match node {
+        LogicalPlan::Scan { name, .. } => name,
+        other => panic!("expected scan, found {}", other.label()),
+    }
+}
+
+fn emit_scan<'a>(q: Option<Query<'a>>, scan: &LogicalPlan<'a>) -> Query<'a> {
+    let LogicalPlan::Scan {
+        name,
+        rel,
+        accesses,
+        filter,
+        limit_hint,
+    } = scan
+    else {
+        panic!("expected scan, found {}", scan.label());
+    };
+    let mut q = match q {
+        Some(q) => q.join(name, rel),
+        None => Query::scan(name, rel),
+    };
+    for a in accesses {
+        q = q.access_path(&a.name, a.path.clone(), a.ty);
+    }
+    if let Some(f) = filter {
+        q = q.filter(f.clone());
+    }
+    if let Some(h) = limit_hint {
+        q = q.scan_bound(*h);
+    }
+    q
+}
+
+/// Post-order flatten of a join region into scans + equi-join clauses.
+fn flatten_region<'p, 'a>(
+    node: &'p LogicalPlan<'a>,
+    scans: &mut Vec<&'p LogicalPlan<'a>>,
+    clauses: &mut Vec<(String, String)>,
+) {
+    match node {
+        LogicalPlan::Scan { .. } => scans.push(node),
+        LogicalPlan::Join {
+            left, right, keys, ..
+        } => {
+            flatten_region(left, scans, clauses);
+            flatten_region(right, scans, clauses);
+            clauses.extend(keys.iter().cloned());
+        }
+        other => panic!("join region contains unexpected {} node", other.label()),
+    }
+}
+
+/// Consuming flatten, for rebuild during join reordering.
+fn flatten_owned<'a>(
+    node: LogicalPlan<'a>,
+    scans: &mut Vec<LogicalPlan<'a>>,
+    clauses: &mut Vec<(String, String)>,
+) {
+    match node {
+        LogicalPlan::Scan { .. } => scans.push(node),
+        LogicalPlan::Join {
+            left, right, keys, ..
+        } => {
+            flatten_owned(*left, scans, clauses);
+            flatten_owned(*right, scans, clauses);
+            clauses.extend(keys);
+        }
+        other => panic!("join region contains unexpected {} node", other.label()),
+    }
+}
+
+/// Conjunction of borrowed predicates (left fold, declaration order).
+fn and_all_ref(exprs: &[&Expr]) -> Option<Expr> {
+    let mut it = exprs.iter();
+    let first = (*it.next()?).clone();
+    Some(it.fold(first, |acc, e| acc.and((*e).clone())))
+}
+
+/// Conjunction of owned predicates (left fold, declaration order).
+fn and_all(exprs: Vec<Expr>) -> Option<Expr> {
+    let mut it = exprs.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, e| acc.and(e)))
+}
+
+/// Flatten nested `AND`s into a conjunct list.
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            split_conjuncts(*a, out);
+            split_conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Locate the relation + dotted path behind an access name anywhere in the
+/// subtree (for join-key distinct-count lookups).
+fn find_access<'a>(node: &LogicalPlan<'a>, name: &str) -> Option<(&'a Relation, String)> {
+    let mut found = None;
+    for_each_scan(node, &mut |scan| {
+        if found.is_some() {
+            return;
+        }
+        if let LogicalPlan::Scan { rel, accesses, .. } = scan {
+            if let Some(a) = accesses.iter().find(|a| a.name == name) {
+                found = Some((*rel, a.path.to_string()));
+            }
+        }
+    });
+    found
+}
+
+/// Visit every scan in the subtree in a fixed depth-first order.
+fn for_each_scan<'p, 'a>(node: &'p LogicalPlan<'a>, f: &mut dyn FnMut(&'p LogicalPlan<'a>)) {
+    match node {
+        LogicalPlan::Scan { .. } => f(node),
+        LogicalPlan::Join { left, right, .. } => {
+            for_each_scan(left, f);
+            for_each_scan(right, f);
+        }
+        LogicalPlan::SemiJoin { input, right, .. } | LogicalPlan::AntiJoin { input, right, .. } => {
+            for_each_scan(input, f);
+            for_each_scan(right, f);
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Offset { input, .. }
+        | LogicalPlan::Limit { input, .. } => for_each_scan(input, f),
+    }
+}
+
+/// Mutable twin of [`for_each_scan`]; both traverse in the same order, so
+/// scan ordinals observed by one are valid for the other.
+fn for_each_scan_mut<'a>(node: &mut LogicalPlan<'a>, f: &mut dyn FnMut(&mut LogicalPlan<'a>)) {
+    match node {
+        LogicalPlan::Scan { .. } => f(node),
+        LogicalPlan::Join { left, right, .. } => {
+            for_each_scan_mut(left, f);
+            for_each_scan_mut(right, f);
+        }
+        LogicalPlan::SemiJoin { input, right, .. } | LogicalPlan::AntiJoin { input, right, .. } => {
+            for_each_scan_mut(input, f);
+            for_each_scan_mut(right, f);
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Offset { input, .. }
+        | LogicalPlan::Limit { input, .. } => for_each_scan_mut(input, f),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+struct BuilderTable<'a> {
+    name: String,
+    rel: &'a Relation,
+    accesses: Vec<Access>,
+    filters: Vec<Expr>,
+}
+
+struct BuilderClause {
+    left: String,
+    right: String,
+    kind: ClauseKind,
+}
+
+/// Builds the *canonical* [`LogicalPlan`] — same surface as the physical
+/// [`Query`] builder, so call sites migrate by swapping `Query::scan` for
+/// `LogicalPlan::scan` and appending `.build()`. Filters land in one
+/// canonical `Filter` node above the join region (reduction-side tables
+/// excepted — their filters must stay in the scan, as those columns never
+/// appear in the joined row); the rewrite passes do the pushing.
+pub struct LogicalBuilder<'a> {
+    tables: Vec<BuilderTable<'a>>,
+    joins: Vec<BuilderClause>,
+    post_filter: Vec<Expr>,
+    group_by: Vec<Expr>,
+    aggs: Vec<Agg>,
+    having: Option<Expr>,
+    select: Option<(Vec<Expr>, Option<usize>)>,
+    order_by: Vec<(usize, bool)>,
+    limit: Option<usize>,
+    offset: Option<usize>,
+}
+
+impl<'a> LogicalBuilder<'a> {
+    /// Push down an access on the current table; slot name = dotted path.
+    pub fn access(self, path: &str, ty: AccessType) -> Self {
+        self.access_as(path, path, ty)
+    }
+
+    /// Push down an access with an explicit slot name.
+    pub fn access_as(mut self, name: &str, path: &str, ty: AccessType) -> Self {
+        let t = self.tables.last_mut().expect("scan first");
+        t.accesses.push(Access::new(name, path, ty));
+        self
+    }
+
+    /// Push down an access with a pre-built key path.
+    pub fn access_path(mut self, name: &str, path: jt_core::KeyPath, ty: AccessType) -> Self {
+        let t = self.tables.last_mut().expect("scan first");
+        t.accesses.push(Access {
+            name: name.to_owned(),
+            path,
+            ty,
+        });
+        self
+    }
+
+    /// Filter on the current table (may reference only its access names).
+    pub fn filter(mut self, expr: Expr) -> Self {
+        let t = self.tables.last_mut().expect("scan first");
+        split_conjuncts(expr, &mut t.filters);
+        self
+    }
+
+    /// Add another table; subsequent `access`/`filter` calls target it.
+    pub fn join(mut self, name: &str, rel: &'a Relation) -> Self {
+        self.tables.push(BuilderTable {
+            name: name.to_owned(),
+            rel,
+            accesses: Vec::new(),
+            filters: Vec::new(),
+        });
+        self
+    }
+
+    /// Inner equi-join condition between two access names.
+    pub fn on(mut self, left: &str, right: &str) -> Self {
+        self.joins.push(BuilderClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: ClauseKind::Inner,
+        });
+        self
+    }
+
+    /// Semi-join (`EXISTS`) against the clause's right-side table.
+    pub fn semi_on(mut self, left: &str, right: &str) -> Self {
+        self.joins.push(BuilderClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: ClauseKind::Semi,
+        });
+        self
+    }
+
+    /// Anti-join (`NOT EXISTS`).
+    pub fn anti_on(mut self, left: &str, right: &str) -> Self {
+        self.joins.push(BuilderClause {
+            left: left.to_owned(),
+            right: right.to_owned(),
+            kind: ClauseKind::Anti,
+        });
+        self
+    }
+
+    /// Filter evaluated after all joins (cross-table predicates).
+    pub fn filter_joined(mut self, expr: Expr) -> Self {
+        split_conjuncts(expr, &mut self.post_filter);
+        self
+    }
+
+    /// Group by `keys` computing `aggs`; output is keys then aggregates.
+    pub fn aggregate(mut self, keys: Vec<Expr>, aggs: Vec<Agg>) -> Self {
+        self.group_by = keys;
+        self.aggs = aggs;
+        self
+    }
+
+    /// Filter on aggregate output slots (`HAVING`).
+    pub fn having(mut self, expr: Expr) -> Self {
+        self.having = Some(expr);
+        self
+    }
+
+    /// Final projection.
+    pub fn select(mut self, exprs: Vec<Expr>) -> Self {
+        self.select = Some((exprs, None));
+        self
+    }
+
+    /// Final projection where only the first `visible` columns survive to
+    /// the result (the rest exist for `ORDER BY` and are dropped after the
+    /// sort).
+    pub fn select_visible(mut self, exprs: Vec<Expr>, visible: usize) -> Self {
+        self.select = Some((exprs, Some(visible)));
+        self
+    }
+
+    /// Sort the final output by column index.
+    pub fn order_by(mut self, col: usize, desc: bool) -> Self {
+        self.order_by.push((col, desc));
+        self
+    }
+
+    /// Keep only the first `n` rows.
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Skip the first `n` rows (applied before the limit).
+    pub fn offset(mut self, n: usize) -> Self {
+        self.offset = Some(n);
+        self
+    }
+
+    fn owner(&self, name: &str) -> usize {
+        self.tables
+            .iter()
+            .position(|t| t.accesses.iter().any(|a| a.name == name))
+            .unwrap_or_else(|| panic!("unknown access name {name:?}"))
+    }
+
+    /// Assemble the canonical tree. Inner joins fold left-deep in table
+    /// declaration order; main-table filters collect into one `Filter` node
+    /// above the reduction stack (predicate pushdown moves them down);
+    /// reduction-side filters stay in their scans.
+    pub fn build(self) -> LogicalPlan<'a> {
+        // Which tables only feed semi/anti joins?
+        let mut reduction: Vec<bool> = vec![false; self.tables.len()];
+        for j in &self.joins {
+            if j.kind != ClauseKind::Inner {
+                reduction[self.owner(&j.right)] = true;
+            }
+        }
+        for j in &self.joins {
+            if j.kind == ClauseKind::Inner {
+                assert!(
+                    !reduction[self.owner(&j.left)] && !reduction[self.owner(&j.right)],
+                    "inner join on a semi/anti reduction table is not supported by the logical builder"
+                );
+            }
+        }
+        // Per-table scan nodes. Reduction tables keep their filters (those
+        // columns never reach the joined row); main-table filters go to the
+        // canonical Filter node above.
+        let mut pending: Vec<Expr> = Vec::new();
+        let mut scans: Vec<Option<LogicalPlan<'a>>> = Vec::new();
+        let mut reduction_scans: Vec<Option<LogicalPlan<'a>>> = Vec::new();
+        let mut main: Vec<usize> = Vec::new();
+        for (ti, t) in self.tables.iter().enumerate() {
+            let node = LogicalPlan::Scan {
+                name: t.name.clone(),
+                rel: t.rel,
+                accesses: t.accesses.clone(),
+                filter: if reduction[ti] {
+                    and_all(t.filters.clone())
+                } else {
+                    None
+                },
+                limit_hint: None,
+            };
+            if reduction[ti] {
+                scans.push(None);
+                reduction_scans.push(Some(node));
+            } else {
+                pending.extend(t.filters.iter().cloned());
+                main.push(ti);
+                scans.push(Some(node));
+                reduction_scans.push(None);
+            }
+        }
+        assert!(
+            !main.is_empty(),
+            "logical plan needs at least one main table"
+        );
+        let main_pos = |ti: usize| -> usize {
+            main.iter()
+                .position(|&m| m == ti)
+                .expect("main table position")
+        };
+        // Attach inner clauses to the later of their two tables in the
+        // left-deep fold; same-table pairs become ordinary predicates.
+        let mut keys_at: Vec<Vec<(String, String)>> = vec![Vec::new(); main.len()];
+        for j in self.joins.iter().filter(|j| j.kind == ClauseKind::Inner) {
+            let (lp, rp) = (
+                main_pos(self.owner(&j.left)),
+                main_pos(self.owner(&j.right)),
+            );
+            if lp == rp {
+                pending.push(crate::expr::col(&j.left).eq(crate::expr::col(&j.right)));
+                continue;
+            }
+            // Orient so the left name lives in the already-folded subtree.
+            let (key, at) = if lp < rp {
+                ((j.left.clone(), j.right.clone()), rp)
+            } else {
+                ((j.right.clone(), j.left.clone()), lp)
+            };
+            keys_at[at].push(key);
+        }
+        assert!(keys_at[0].is_empty(), "clause attached before any join");
+        let mut tree = scans[main[0]].take().expect("first main scan");
+        for (pos, &ti) in main.iter().enumerate().skip(1) {
+            tree = LogicalPlan::Join {
+                left: Box::new(tree),
+                right: Box::new(scans[ti].take().expect("main scan")),
+                keys: std::mem::take(&mut keys_at[pos]),
+                probe_bound: None,
+            };
+        }
+        // Reduction stack in clause declaration order.
+        for j in self.joins.iter().filter(|j| j.kind != ClauseKind::Inner) {
+            let rt = self.owner(&j.right);
+            let right = reduction_scans[rt]
+                .as_ref()
+                .expect("reduction scan")
+                .clone();
+            let keys = vec![(j.left.clone(), j.right.clone())];
+            tree = match j.kind {
+                ClauseKind::Semi => LogicalPlan::SemiJoin {
+                    input: Box::new(tree),
+                    right: Box::new(right),
+                    keys,
+                },
+                ClauseKind::Anti => LogicalPlan::AntiJoin {
+                    input: Box::new(tree),
+                    right: Box::new(right),
+                    keys,
+                },
+                ClauseKind::Inner => unreachable!(),
+            };
+        }
+        pending.extend(self.post_filter);
+        if let Some(p) = and_all(pending) {
+            tree = LogicalPlan::Filter {
+                input: Box::new(tree),
+                predicate: p,
+            };
+        }
+        if !self.group_by.is_empty() || !self.aggs.is_empty() {
+            tree = LogicalPlan::Aggregate {
+                input: Box::new(tree),
+                keys: self.group_by,
+                aggs: self.aggs,
+            };
+        }
+        if let Some(h) = self.having {
+            tree = LogicalPlan::Filter {
+                input: Box::new(tree),
+                predicate: h,
+            };
+        }
+        if let Some((exprs, vis)) = self.select {
+            let visible = vis.unwrap_or(exprs.len());
+            tree = LogicalPlan::Project {
+                input: Box::new(tree),
+                exprs,
+                visible,
+            };
+        }
+        if !self.order_by.is_empty() {
+            tree = LogicalPlan::Sort {
+                input: Box::new(tree),
+                keys: self.order_by,
+                bound: None,
+            };
+        }
+        if let Some(n) = self.offset {
+            tree = LogicalPlan::Offset {
+                input: Box::new(tree),
+                n,
+            };
+        }
+        if let Some(n) = self.limit {
+            tree = LogicalPlan::Limit {
+                input: Box::new(tree),
+                n,
+            };
+        }
+        tree
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Passes
+// ---------------------------------------------------------------------------
+
+/// A named rewrite pass. Passes always execute in the fixed [`Pass::ALL`]
+/// order (the pass-ordering contract documented in DESIGN.md), regardless
+/// of the order they appear in [`PlannerOptions::passes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Split `Filter` conjuncts and push single-table ones into scans.
+    PredicatePushdown,
+    /// Prune scan accesses nothing references.
+    ProjectionPushdown,
+    /// Greedy cost-based reordering of the inner-join region (§4.6).
+    JoinReorder,
+    /// Push `LIMIT`/`OFFSET` bounds into sort, scans, and probe sides.
+    BoundPropagation,
+}
+
+impl Pass {
+    /// Every pass, in execution order.
+    pub const ALL: [Pass; 4] = [
+        Pass::PredicatePushdown,
+        Pass::ProjectionPushdown,
+        Pass::JoinReorder,
+        Pass::BoundPropagation,
+    ];
+
+    /// Stable pass name (CLI toggles, EXPLAIN section headers).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pass::PredicatePushdown => "predicate-pushdown",
+            Pass::ProjectionPushdown => "projection-pushdown",
+            Pass::JoinReorder => "join-reorder",
+            Pass::BoundPropagation => "bound-propagation",
+        }
+    }
+}
+
+/// Planner configuration: which passes run, and the cost model feeding
+/// them. Replaces the old `ExecOptions::optimize_joins` flag (see
+/// [`PlannerOptions::compat`] for the migration shim).
+#[derive(Debug, Clone)]
+pub struct PlannerOptions {
+    /// Enabled passes (executed in [`Pass::ALL`] order).
+    pub passes: Vec<Pass>,
+    /// Statistics source for the cost-based passes.
+    pub cost: CostModel,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            passes: Pass::ALL.to_vec(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl PlannerOptions {
+    /// No passes: lower the canonical tree as-is.
+    pub fn none() -> Self {
+        PlannerOptions {
+            passes: Vec::new(),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Drop one pass.
+    pub fn without(mut self, pass: Pass) -> Self {
+        self.passes.retain(|p| *p != pass);
+        self
+    }
+
+    /// Add one pass (idempotent).
+    pub fn with(mut self, pass: Pass) -> Self {
+        if !self.passes.contains(&pass) {
+            self.passes.push(pass);
+        }
+        self
+    }
+
+    /// Back-compat shim for the former `ExecOptions::optimize_joins` flag,
+    /// kept for one release: `true` is the default pass set, `false`
+    /// disables only the join-reorder pass — pushdown and bound passes
+    /// still run, so the "declaration order" baseline isolates join order
+    /// exactly (the paper's Figure comparisons).
+    pub fn compat(optimize_joins: bool) -> Self {
+        if optimize_joins {
+            PlannerOptions::default()
+        } else {
+            PlannerOptions::default().without(Pass::JoinReorder)
+        }
+    }
+
+    fn enabled(&self, pass: Pass) -> bool {
+        self.passes.contains(&pass)
+    }
+}
+
+/// One pass's before/after record for `EXPLAIN`.
+#[derive(Debug, Clone)]
+pub struct PassReport {
+    /// [`Pass::name`].
+    pub name: &'static str,
+    /// Rendered tree before the pass.
+    pub before: String,
+    /// Rendered tree after the pass.
+    pub after: String,
+    /// Whether the pass changed the tree.
+    pub changed: bool,
+}
+
+/// Run the enabled passes in canonical order. No rendering — this is the
+/// hot path; `EXPLAIN` uses [`optimize_with_reports`].
+pub fn optimize<'a>(plan: LogicalPlan<'a>, opts: &PlannerOptions) -> LogicalPlan<'a> {
+    let mut plan = plan;
+    for pass in Pass::ALL {
+        if opts.enabled(pass) {
+            plan = run_pass(plan, pass, &opts.cost);
+        }
+    }
+    plan
+}
+
+/// Like [`optimize`], also rendering the tree before/after every enabled
+/// pass (each render re-samples cardinalities — not free; EXPLAIN only).
+pub fn optimize_with_reports<'a>(
+    plan: LogicalPlan<'a>,
+    opts: &PlannerOptions,
+) -> (LogicalPlan<'a>, Vec<PassReport>) {
+    let mut plan = plan;
+    let mut reports = Vec::new();
+    for pass in Pass::ALL {
+        if opts.enabled(pass) {
+            let before = plan.render_with(&opts.cost);
+            plan = run_pass(plan, pass, &opts.cost);
+            let after = plan.render_with(&opts.cost);
+            reports.push(PassReport {
+                name: pass.name(),
+                changed: before != after,
+                before,
+                after,
+            });
+        }
+    }
+    (plan, reports)
+}
+
+fn run_pass<'a>(plan: LogicalPlan<'a>, pass: Pass, cost: &CostModel) -> LogicalPlan<'a> {
+    match pass {
+        Pass::PredicatePushdown => predicate_pushdown(plan),
+        Pass::ProjectionPushdown => projection_pushdown(plan),
+        Pass::JoinReorder => join_reorder(plan, cost),
+        Pass::BoundPropagation => bound_propagation(plan),
+    }
+}
+
+// -- predicate pushdown -----------------------------------------------------
+
+/// Push conjuncts of `Filter` nodes sitting directly on a join region into
+/// the scan that owns all their referenced columns (access names are
+/// globally unique, so each pushable conjunct has exactly one home).
+/// Predicates only remove rows and every region operator preserves row
+/// order, so results are bit-identical.
+fn predicate_pushdown(plan: LogicalPlan<'_>) -> LogicalPlan<'_> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            let input = predicate_pushdown(*input);
+            if !input.is_join_region() {
+                return LogicalPlan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                };
+            }
+            let mut conjuncts = Vec::new();
+            split_conjuncts(predicate, &mut conjuncts);
+            let mut region = input;
+            let mut rest = Vec::new();
+            for c in conjuncts {
+                if !try_push(&mut region, &c) {
+                    rest.push(c);
+                }
+            }
+            match and_all(rest) {
+                Some(p) => LogicalPlan::Filter {
+                    input: Box::new(region),
+                    predicate: p,
+                },
+                None => region,
+            }
+        }
+        LogicalPlan::Project {
+            input,
+            exprs,
+            visible,
+        } => LogicalPlan::Project {
+            input: Box::new(predicate_pushdown(*input)),
+            exprs,
+            visible,
+        },
+        LogicalPlan::Aggregate { input, keys, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(predicate_pushdown(*input)),
+            keys,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys, bound } => LogicalPlan::Sort {
+            input: Box::new(predicate_pushdown(*input)),
+            keys,
+            bound,
+        },
+        LogicalPlan::Offset { input, n } => LogicalPlan::Offset {
+            input: Box::new(predicate_pushdown(*input)),
+            n,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(predicate_pushdown(*input)),
+            n,
+        },
+        // Join-region nodes with no Filter above: nothing to push.
+        other => other,
+    }
+}
+
+/// Push one conjunct into the single scan owning all its columns; false if
+/// no scan qualifies (cross-table predicate, or no column references).
+fn try_push(region: &mut LogicalPlan<'_>, conjunct: &Expr) -> bool {
+    let mut cols = BTreeSet::new();
+    conjunct.referenced_cols(&mut cols);
+    if cols.is_empty() {
+        return false;
+    }
+    let mut target: Option<usize> = None;
+    {
+        let mut ord = 0usize;
+        for_each_scan(region, &mut |scan| {
+            if let LogicalPlan::Scan { accesses, .. } = scan {
+                if cols.iter().all(|c| accesses.iter().any(|a| &a.name == c)) {
+                    target = Some(ord);
+                }
+            }
+            ord += 1;
+        });
+    }
+    let Some(target) = target else {
+        return false;
+    };
+    let mut ord = 0usize;
+    for_each_scan_mut(region, &mut |scan| {
+        if ord == target {
+            if let LogicalPlan::Scan { filter, .. } = scan {
+                *filter = Some(match filter.take() {
+                    Some(f) => f.and(conjunct.clone()),
+                    None => conjunct.clone(),
+                });
+            }
+        }
+        ord += 1;
+    });
+    true
+}
+
+// -- projection pushdown ----------------------------------------------------
+
+/// Prune scan accesses nothing references. Only runs when a `Project` or
+/// `Aggregate` exists (otherwise the scan accesses *are* the query output),
+/// and never prunes a scan to zero accesses (row counts flow through the
+/// first column).
+fn projection_pushdown(plan: LogicalPlan<'_>) -> LogicalPlan<'_> {
+    let mut has_projection = false;
+    walk(&plan, &mut |n| {
+        if matches!(
+            n,
+            LogicalPlan::Project { .. } | LogicalPlan::Aggregate { .. }
+        ) {
+            has_projection = true;
+        }
+    });
+    if !has_projection {
+        return plan;
+    }
+    let mut referenced: BTreeSet<String> = BTreeSet::new();
+    walk(&plan, &mut |n| match n {
+        LogicalPlan::Scan {
+            filter: Some(f), ..
+        } => {
+            f.referenced_cols(&mut referenced);
+        }
+        LogicalPlan::Filter { predicate, .. } => predicate.referenced_cols(&mut referenced),
+        LogicalPlan::Project { exprs, .. } => {
+            for e in exprs {
+                e.referenced_cols(&mut referenced);
+            }
+        }
+        LogicalPlan::Join { keys, .. }
+        | LogicalPlan::SemiJoin { keys, .. }
+        | LogicalPlan::AntiJoin { keys, .. } => {
+            for (l, r) in keys {
+                referenced.insert(l.clone());
+                referenced.insert(r.clone());
+            }
+        }
+        LogicalPlan::Aggregate { keys, aggs, .. } => {
+            for k in keys {
+                k.referenced_cols(&mut referenced);
+            }
+            for a in aggs {
+                a.expr.referenced_cols(&mut referenced);
+            }
+        }
+        _ => {}
+    });
+    let mut plan = plan;
+    for_each_scan_mut(&mut plan, &mut |scan| {
+        if let LogicalPlan::Scan { accesses, .. } = scan {
+            if accesses.iter().any(|a| referenced.contains(&a.name))
+                && accesses.iter().any(|a| !referenced.contains(&a.name))
+            {
+                accesses.retain(|a| referenced.contains(&a.name));
+            }
+        }
+    });
+    plan
+}
+
+/// Visit every node in the tree (pre-order).
+fn walk<'p, 'a>(node: &'p LogicalPlan<'a>, f: &mut dyn FnMut(&'p LogicalPlan<'a>)) {
+    f(node);
+    match node {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Join { left, right, .. } => {
+            walk(left, f);
+            walk(right, f);
+        }
+        LogicalPlan::SemiJoin { input, right, .. } | LogicalPlan::AntiJoin { input, right, .. } => {
+            walk(input, f);
+            walk(right, f);
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Offset { input, .. }
+        | LogicalPlan::Limit { input, .. } => walk(input, f),
+    }
+}
+
+// -- join reordering --------------------------------------------------------
+
+/// Greedy cost-based reordering of the inner-join region, mirroring the
+/// runtime optimizer's simulation (same estimates, same strict-`<` argmin)
+/// but materialized into the tree: the lowered query then executes the
+/// chosen order even with runtime reordering off.
+fn join_reorder<'a>(plan: LogicalPlan<'a>, cost: &CostModel) -> LogicalPlan<'a> {
+    match plan {
+        LogicalPlan::Join { .. } => reorder_region(plan, cost),
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(join_reorder(*input, cost)),
+            predicate,
+        },
+        LogicalPlan::SemiJoin { input, right, keys } => LogicalPlan::SemiJoin {
+            input: Box::new(join_reorder(*input, cost)),
+            right,
+            keys,
+        },
+        LogicalPlan::AntiJoin { input, right, keys } => LogicalPlan::AntiJoin {
+            input: Box::new(join_reorder(*input, cost)),
+            right,
+            keys,
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            visible,
+        } => LogicalPlan::Project {
+            input: Box::new(join_reorder(*input, cost)),
+            exprs,
+            visible,
+        },
+        LogicalPlan::Aggregate { input, keys, aggs } => LogicalPlan::Aggregate {
+            input: Box::new(join_reorder(*input, cost)),
+            keys,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys, bound } => LogicalPlan::Sort {
+            input: Box::new(join_reorder(*input, cost)),
+            keys,
+            bound,
+        },
+        LogicalPlan::Offset { input, n } => LogicalPlan::Offset {
+            input: Box::new(join_reorder(*input, cost)),
+            n,
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(join_reorder(*input, cost)),
+            n,
+        },
+        other => other,
+    }
+}
+
+fn reorder_region<'a>(node: LogicalPlan<'a>, cost: &CostModel) -> LogicalPlan<'a> {
+    let root_bound = match &node {
+        LogicalPlan::Join { probe_bound, .. } => *probe_bound,
+        _ => None,
+    };
+    let mut scans: Vec<LogicalPlan<'a>> = Vec::new();
+    let mut clauses: Vec<(String, String)> = Vec::new();
+    flatten_owned(node, &mut scans, &mut clauses);
+
+    struct Info<'r> {
+        est: f64,
+        rel: &'r Relation,
+        paths: std::collections::HashMap<String, String>,
+    }
+    let infos: Vec<Info<'a>> = scans
+        .iter()
+        .map(|s| {
+            let LogicalPlan::Scan {
+                rel,
+                accesses,
+                filter,
+                ..
+            } = s
+            else {
+                unreachable!("flatten_owned only yields scans")
+            };
+            Info {
+                est: cost.scan_rows(rel, accesses, filter.as_ref()),
+                rel,
+                paths: accesses
+                    .iter()
+                    .map(|a| (a.name.clone(), a.path.to_string()))
+                    .collect(),
+            }
+        })
+        .collect();
+    let owner = |name: &str| -> usize {
+        infos
+            .iter()
+            .position(|i| i.paths.contains_key(name))
+            .unwrap_or_else(|| panic!("join key references unknown access {name:?}"))
+    };
+    let nd_of = |l: &str, r: &str| -> f64 {
+        let (lo, ro) = (owner(l), owner(r));
+        cost.join_key_distinct(
+            infos[lo].rel,
+            &infos[lo].paths[l],
+            infos[ro].rel,
+            &infos[ro].paths[r],
+        )
+    };
+
+    // Greedy simulation, mirroring the runtime pick loop.
+    let mut comp_of: Vec<usize> = (0..scans.len()).collect();
+    let mut comp_est: Vec<f64> = infos.iter().map(|i| i.est).collect();
+    let mut pending = clauses;
+    let mut trees: Vec<Option<LogicalPlan<'a>>> = scans.into_iter().map(Some).collect();
+    let mut leftovers: Vec<(String, String)> = Vec::new();
+    while !pending.is_empty() {
+        let mut best = 0usize;
+        let mut best_cost = f64::INFINITY;
+        for (pos, (l, r)) in pending.iter().enumerate() {
+            let (lc, rc) = (comp_of[owner(l)], comp_of[owner(r)]);
+            let estimate = if lc == rc {
+                0.0 // already-joined filter: free, do it first
+            } else {
+                cost.join_output(comp_est[lc], comp_est[rc], nd_of(l, r))
+            };
+            if estimate < best_cost {
+                best_cost = estimate;
+                best = pos;
+            }
+        }
+        let (l, r) = pending.remove(best);
+        let (lc, rc) = (comp_of[owner(&l)], comp_of[owner(&r)]);
+        if lc == rc {
+            // Both sides already in one component: attach to its root join
+            // as an extra key (a filter at runtime).
+            match trees[lc].as_mut().expect("component root") {
+                LogicalPlan::Join { keys, .. } => keys.push((l, r)),
+                LogicalPlan::Scan { .. } => leftovers.push((l, r)),
+                other => unreachable!("region root is {}", other.label()),
+            }
+            continue;
+        }
+        let nd = nd_of(&l, &r);
+        let left = trees[lc].take().expect("left component");
+        let right = trees[rc].take().expect("right component");
+        trees[lc] = Some(LogicalPlan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            keys: vec![(l, r)],
+            probe_bound: None,
+        });
+        comp_est[lc] = cost.join_output(comp_est[lc], comp_est[rc], nd);
+        for c in comp_of.iter_mut() {
+            if *c == rc {
+                *c = lc;
+            }
+        }
+    }
+    // Stitch any disconnected components with cross joins, in index order.
+    let mut root: Option<LogicalPlan<'a>> = None;
+    for t in trees.into_iter().flatten() {
+        root = Some(match root {
+            None => t,
+            Some(acc) => LogicalPlan::Join {
+                left: Box::new(acc),
+                right: Box::new(t),
+                keys: Vec::new(),
+                probe_bound: None,
+            },
+        });
+    }
+    let mut root = root.expect("join region has at least one scan");
+    if !leftovers.is_empty() {
+        match &mut root {
+            LogicalPlan::Join { keys, .. } => keys.extend(leftovers),
+            other => panic!(
+                "self-join filter clause with single-scan region root {}",
+                other.label()
+            ),
+        }
+    }
+    if root_bound.is_some() {
+        if let LogicalPlan::Join { probe_bound, .. } = &mut root {
+            *probe_bound = root_bound;
+        }
+    }
+    root
+}
+
+// -- bound propagation ------------------------------------------------------
+
+/// Push the `LIMIT` (+`OFFSET`) row bound down: into the sort (top-K), and
+/// — when no reordering/filtering stage intervenes — into scans and the
+/// probe side of a pure inner-join region. Early exits only ever cut rows
+/// past the bound, and every operator on the way concatenates worker
+/// outputs in deterministic order, so the surviving prefix is identical.
+fn bound_propagation(plan: LogicalPlan<'_>) -> LogicalPlan<'_> {
+    match plan {
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(apply_bound(*input, n)),
+            n,
+        },
+        other => other,
+    }
+}
+
+fn apply_bound(plan: LogicalPlan<'_>, b: usize) -> LogicalPlan<'_> {
+    match plan {
+        LogicalPlan::Offset { input, n } => LogicalPlan::Offset {
+            // Skipped rows must also survive, so they widen the bound.
+            input: Box::new(apply_bound(*input, b.saturating_add(n))),
+            n,
+        },
+        LogicalPlan::Sort { input, keys, .. } => LogicalPlan::Sort {
+            input,
+            keys,
+            bound: Some(b), // the sort re-orders rows: nothing below may cut
+        },
+        LogicalPlan::Project {
+            input,
+            exprs,
+            visible,
+        } => LogicalPlan::Project {
+            // Row-preserving: the bound passes straight through.
+            input: Box::new(apply_bound(*input, b)),
+            exprs,
+            visible,
+        },
+        LogicalPlan::Scan {
+            name,
+            rel,
+            accesses,
+            filter,
+            ..
+        } => LogicalPlan::Scan {
+            name,
+            rel,
+            accesses,
+            filter,
+            limit_hint: Some(b),
+        },
+        node @ LogicalPlan::Join { .. } => {
+            if pure_inner_connected(&node) {
+                if let LogicalPlan::Join {
+                    left, right, keys, ..
+                } = node
+                {
+                    LogicalPlan::Join {
+                        left,
+                        right,
+                        keys,
+                        probe_bound: Some(b),
+                    }
+                } else {
+                    unreachable!()
+                }
+            } else {
+                node
+            }
+        }
+        // Filters, aggregates, and reductions change row counts in ways a
+        // prefix bound cannot see through: stop here.
+        other => other,
+    }
+}
+
+/// A join region where every node is an equi-join over scans (no crosses,
+/// no reductions) — the shape the bounded probe path supports.
+fn pure_inner_connected(node: &LogicalPlan<'_>) -> bool {
+    match node {
+        LogicalPlan::Scan { .. } => true,
+        LogicalPlan::Join {
+            left, right, keys, ..
+        } => !keys.is_empty() && pure_inner_connected(left) && pure_inner_connected(right),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end planning
+// ---------------------------------------------------------------------------
+
+/// A fully planned query: the physical plan plus the `EXPLAIN` artifacts
+/// gathered on the way.
+pub struct Planned<'a> {
+    /// The lowered physical plan, ready to run.
+    pub query: Query<'a>,
+    /// The canonical logical tree (before any pass), rendered.
+    pub canonical: String,
+    /// Per-pass before/after records.
+    pub reports: Vec<PassReport>,
+}
+
+/// Optimize and lower, capturing per-pass reports for `EXPLAIN`. Hot paths
+/// that don't need the reports should call `optimize(plan, opts).lower()`
+/// instead — rendering samples cardinalities.
+pub fn plan_and_lower<'a>(plan: LogicalPlan<'a>, opts: &PlannerOptions) -> Planned<'a> {
+    let canonical = plan.render_with(&opts.cost);
+    let (optimized, reports) = optimize_with_reports(plan, opts);
+    Planned {
+        query: optimized.lower(),
+        canonical,
+        reports,
+    }
+}
+
+/// The `EXPLAIN` text: logical tree, per-pass deltas, physical plan.
+pub fn explain_text(planned: &Planned<'_>) -> String {
+    let mut out = String::new();
+    out.push_str("=== logical plan ===\n");
+    out.push_str(&planned.canonical);
+    for r in &planned.reports {
+        let _ = writeln!(out, "=== pass {} ===", r.name);
+        if r.changed {
+            out.push_str(&r.after);
+        } else {
+            out.push_str("(no change)\n");
+        }
+    }
+    out.push_str("=== physical plan ===\n");
+    let _ = write!(out, "{}", planned.query.explain());
+    out
+}
+
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::Agg;
+    use crate::expr::{col, lit};
+    use crate::plan::ExecOptions;
+    use jt_core::TilesConfig;
+
+    fn rel(n: usize, modk: usize) -> Relation {
+        let docs: Vec<_> = (0..n)
+            .map(|i| jt_json::parse(&format!(r#"{{"v":{i},"k":{}}}"#, i % modk)).unwrap())
+            .collect();
+        Relation::load(&docs, TilesConfig::default())
+    }
+
+    fn opts1(optimize_joins: bool) -> ExecOptions {
+        ExecOptions {
+            threads: 1,
+            optimize_joins,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn canonical_build_lower_matches_direct_query() {
+        let a = rel(120, 6);
+        let b = rel(40, 6);
+        let plan = LogicalPlan::scan("a", &a)
+            .access_as("a.v", "v", AccessType::Int)
+            .access_as("a.k", "k", AccessType::Int)
+            .filter(col("a.v").lt(lit(60)))
+            .join("b", &b)
+            .access_as("b.k", "k", AccessType::Int)
+            .on("a.k", "b.k")
+            .build();
+        let got = plan.lower().run_with(opts1(false));
+        let want = Query::scan("a", &a)
+            .access_as("a.v", "v", AccessType::Int)
+            .access_as("a.k", "k", AccessType::Int)
+            .join("b", &b)
+            .access_as("b.k", "k", AccessType::Int)
+            .on("a.k", "b.k")
+            .filter_joined(col("a.v").lt(lit(60)))
+            .run_with(opts1(false));
+        assert_eq!(got.to_lines(), want.to_lines());
+        assert!(got.rows() > 0);
+    }
+
+    #[test]
+    fn predicate_pushdown_moves_single_table_conjuncts_into_scans() {
+        let a = rel(100, 5);
+        let b = rel(50, 5);
+        let plan = LogicalPlan::scan("a", &a)
+            .access_as("a.v", "v", AccessType::Int)
+            .access_as("a.k", "k", AccessType::Int)
+            .filter(col("a.v").lt(lit(10)))
+            .join("b", &b)
+            .access_as("b.v", "v", AccessType::Int)
+            .access_as("b.k", "k", AccessType::Int)
+            .on("a.k", "b.k")
+            .filter_joined(col("b.v").ge(lit(5)).and(col("a.v").lt(col("b.v"))))
+            .build();
+        let pushed = predicate_pushdown(plan);
+        // Cross-table conjunct stays in a Filter node on top...
+        let LogicalPlan::Filter { input, predicate } = &pushed else {
+            panic!("cross-table conjunct must remain: {}", pushed.render());
+        };
+        assert_eq!(predicate.to_string(), "(a.v < b.v)");
+        // ...while both single-table conjuncts reached their scans.
+        let mut scan_filters = Vec::new();
+        for_each_scan(input, &mut |s| {
+            if let LogicalPlan::Scan { name, filter, .. } = s {
+                scan_filters.push((name.clone(), filter.as_ref().map(|f| f.to_string())));
+            }
+        });
+        assert_eq!(
+            scan_filters,
+            vec![
+                ("a".to_owned(), Some("(a.v < 10)".to_owned())),
+                ("b".to_owned(), Some("(b.v >= 5)".to_owned())),
+            ]
+        );
+        // Results identical to the unpushed declaration-order run.
+        let base = LogicalPlan::scan("a", &a)
+            .access_as("a.v", "v", AccessType::Int)
+            .access_as("a.k", "k", AccessType::Int)
+            .filter(col("a.v").lt(lit(10)))
+            .join("b", &b)
+            .access_as("b.v", "v", AccessType::Int)
+            .access_as("b.k", "k", AccessType::Int)
+            .on("a.k", "b.k")
+            .filter_joined(col("b.v").ge(lit(5)).and(col("a.v").lt(col("b.v"))))
+            .build();
+        // Pushdown changes scan output sizes, so the executor may flip the
+        // hash-join build side (different column/row order): compare with a
+        // fixed projection, order-insensitively.
+        let run = |p: &LogicalPlan| {
+            let mut lines = LogicalPlan::Project {
+                input: Box::new(p.clone()),
+                exprs: vec![col("a.v"), col("a.k"), col("b.v"), col("b.k")],
+                visible: 4,
+            }
+            .lower()
+            .run_with(opts1(false))
+            .to_lines();
+            lines.sort();
+            lines
+        };
+        assert_eq!(run(&pushed), run(&base));
+    }
+
+    #[test]
+    fn projection_pushdown_prunes_only_under_projection() {
+        let a = rel(80, 4);
+        let make = || {
+            LogicalPlan::scan("a", &a)
+                .access_as("a.v", "v", AccessType::Int)
+                .access_as("a.k", "k", AccessType::Int)
+                .build()
+        };
+        // No Project/Aggregate: accesses are the output — untouched.
+        let plain = projection_pushdown(make());
+        let mut n = 0;
+        for_each_scan(&plain, &mut |s| {
+            if let LogicalPlan::Scan { accesses, .. } = s {
+                n = accesses.len();
+            }
+        });
+        assert_eq!(n, 2);
+        // With an aggregate referencing only one access, the other goes.
+        let agg = LogicalPlan::scan("a", &a)
+            .access_as("a.v", "v", AccessType::Int)
+            .access_as("a.k", "k", AccessType::Int)
+            .aggregate(vec![], vec![Agg::sum(col("a.v"))])
+            .build();
+        let pruned = projection_pushdown(agg);
+        let mut names = Vec::new();
+        for_each_scan(&pruned, &mut |s| {
+            if let LogicalPlan::Scan { accesses, .. } = s {
+                names = accesses.iter().map(|a| a.name.clone()).collect();
+            }
+        });
+        assert_eq!(names, vec!["a.v".to_owned()]);
+    }
+
+    #[test]
+    fn join_reorder_joins_small_filtered_side_first() {
+        let big = rel(400, 8);
+        let mid = rel(100, 8);
+        let small = rel(100, 8);
+        // Declaration order: big ⋈ mid first (est 400·100/nd), then small.
+        // A selective filter on `small` should pull its join forward.
+        let plan = LogicalPlan::scan("big", &big)
+            .access_as("big.k", "k", AccessType::Int)
+            .join("mid", &mid)
+            .access_as("mid.k", "k", AccessType::Int)
+            .join("small", &small)
+            .access_as("small.k", "k", AccessType::Int)
+            .access_as("small.v", "v", AccessType::Int)
+            .filter(col("small.v").lt(lit(3)))
+            .on("big.k", "mid.k")
+            .on("big.k", "small.k")
+            .build();
+        let optimized = optimize(plan.clone(), &PlannerOptions::default());
+        let mut order = Vec::new();
+        for_each_scan(&optimized, &mut |s| {
+            if let LogicalPlan::Scan { name, .. } = s {
+                order.push(name.clone());
+            }
+        });
+        assert_eq!(
+            order,
+            vec!["big".to_owned(), "small".to_owned(), "mid".to_owned()],
+            "filtered small table should join first:\n{}",
+            optimized.render()
+        );
+        // Same rows either way (declaration-order runtime for both).
+        let a = optimized.lower().run_with(opts1(false));
+        let b = optimize(plan, &PlannerOptions::default().without(Pass::JoinReorder))
+            .lower()
+            .run_with(opts1(false));
+        let mut al = a.to_lines();
+        let mut bl = b.to_lines();
+        al.sort();
+        bl.sort();
+        assert_eq!(al, bl);
+    }
+
+    #[test]
+    fn bound_propagation_reaches_sort_scan_and_probe() {
+        let a = rel(100, 5);
+        let b = rel(50, 5);
+        // LIMIT over a sort: bound lands on the sort, not the scan.
+        let sorted = bound_propagation(
+            LogicalPlan::scan("a", &a)
+                .access_as("a.v", "v", AccessType::Int)
+                .order_by(0, false)
+                .offset(5)
+                .limit(10)
+                .build(),
+        );
+        let mut sort_bound = None;
+        let mut hint = None;
+        walk(&sorted, &mut |n| match n {
+            LogicalPlan::Sort { bound, .. } => sort_bound = *bound,
+            LogicalPlan::Scan { limit_hint, .. } => hint = *limit_hint,
+            _ => {}
+        });
+        assert_eq!(sort_bound, Some(15), "limit + offset must survive the sort");
+        assert_eq!(hint, None, "nothing below a sort may cut rows");
+        // LIMIT over a bare join: scan hints stop at the join (which gets
+        // the probe bound instead).
+        let joined = bound_propagation(
+            LogicalPlan::scan("a", &a)
+                .access_as("a.k", "k", AccessType::Int)
+                .join("b", &b)
+                .access_as("b.k", "k", AccessType::Int)
+                .on("a.k", "b.k")
+                .limit(7)
+                .build(),
+        );
+        let mut probe = None;
+        walk(&joined, &mut |n| {
+            if let LogicalPlan::Join { probe_bound, .. } = n {
+                probe = *probe_bound;
+            }
+        });
+        assert_eq!(probe, Some(7));
+        // LIMIT directly over a scan: the scan takes the hint.
+        let scanned = bound_propagation(
+            LogicalPlan::scan("a", &a)
+                .access_as("a.v", "v", AccessType::Int)
+                .limit(12)
+                .build(),
+        );
+        let mut hint = None;
+        walk(&scanned, &mut |n| {
+            if let LogicalPlan::Scan { limit_hint, .. } = n {
+                hint = *limit_hint;
+            }
+        });
+        assert_eq!(hint, Some(12));
+    }
+
+    #[test]
+    fn compat_shim_maps_optimize_joins_to_pass_set() {
+        let on = PlannerOptions::compat(true);
+        assert_eq!(on.passes, Pass::ALL.to_vec());
+        let off = PlannerOptions::compat(false);
+        assert!(!off.passes.contains(&Pass::JoinReorder));
+        assert!(off.passes.contains(&Pass::PredicatePushdown));
+        assert!(off.passes.contains(&Pass::ProjectionPushdown));
+        assert!(off.passes.contains(&Pass::BoundPropagation));
+    }
+
+    #[test]
+    fn explain_text_has_all_sections() {
+        let a = rel(60, 3);
+        let plan = LogicalPlan::scan("t", &a)
+            .access_as("t.v", "v", AccessType::Int)
+            .filter(col("t.v").lt(lit(30)))
+            .aggregate(vec![], vec![Agg::count_star()])
+            .build();
+        let planned = plan_and_lower(plan, &PlannerOptions::default());
+        let text = explain_text(&planned);
+        assert!(text.contains("=== logical plan ==="), "{text}");
+        assert!(text.contains("=== pass predicate-pushdown ==="), "{text}");
+        assert!(text.contains("=== pass bound-propagation ==="), "{text}");
+        assert!(text.contains("=== physical plan ==="), "{text}");
+        assert!(text.contains("scan t"), "{text}");
+        let rs = planned.query.run_with(opts1(true));
+        assert_eq!(rs.rows(), 1);
+    }
+
+    #[test]
+    fn semi_join_region_roundtrip_with_reduction_filter() {
+        let a = rel(100, 5);
+        let e = rel(40, 5);
+        let plan = LogicalPlan::scan("a", &a)
+            .access_as("a.k", "k", AccessType::Int)
+            .access_as("a.v", "v", AccessType::Int)
+            .filter(col("a.v").lt(lit(50)))
+            .join("e", &e)
+            .access_as("e.k", "k", AccessType::Int)
+            .access_as("e.v", "v", AccessType::Int)
+            .filter(col("e.v").lt(lit(10)))
+            .semi_on("a.k", "e.k")
+            .build();
+        // Canonical shape: reduction scan keeps its filter, main filter
+        // floats above the semi-join.
+        let mut efilter = None;
+        for_each_scan(&plan, &mut |s| {
+            if let LogicalPlan::Scan { name, filter, .. } = s {
+                if name == "e" {
+                    efilter = filter.as_ref().map(|f| f.to_string());
+                }
+            }
+        });
+        assert_eq!(efilter, Some("(e.v < 10)".to_owned()));
+        // Every pass toggle yields the same rows.
+        let baseline = optimize(plan.clone(), &PlannerOptions::none())
+            .lower()
+            .run_with(opts1(false))
+            .to_lines();
+        for pass in Pass::ALL {
+            let toggled = optimize(plan.clone(), &PlannerOptions::default().without(pass))
+                .lower()
+                .run_with(opts1(false))
+                .to_lines();
+            assert_eq!(
+                toggled,
+                baseline,
+                "pass {} off changed results",
+                pass.name()
+            );
+        }
+        let all_on = optimize(plan, &PlannerOptions::default())
+            .lower()
+            .run_with(opts1(false))
+            .to_lines();
+        assert_eq!(all_on, baseline);
+    }
+}

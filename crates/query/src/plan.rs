@@ -19,7 +19,7 @@ use crate::agg::{group_aggregate_par_cancellable, Agg};
 use crate::cancel::{CancelToken, ExecError};
 use crate::expr::Expr;
 use crate::join::{
-    anti_join_par_cancellable, hash_join_par_cancellable, semi_join_par_cancellable,
+    anti_join_par_cancellable, hash_join_par_bounded_cancellable, semi_join_par_cancellable,
 };
 use crate::par::{run_workers_guarded, worker_ranges, PAR_MIN_ROWS};
 use crate::profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};
@@ -44,6 +44,11 @@ pub struct ExecOptions {
     /// §4.8 tile skipping.
     pub enable_skipping: bool,
     /// §4.6 statistics-driven join ordering.
+    ///
+    /// Back-compat shim: callers that plan through the logical layer should
+    /// use [`crate::PlannerOptions`] instead — this flag maps to the
+    /// `join-reorder` pass via [`crate::PlannerOptions::compat`] and only
+    /// controls the runtime greedy pick for directly-built [`Query`]s.
     pub optimize_joins: bool,
     /// Cooperative cancellation/deadline token, polled at every morsel
     /// boundary. The default inert token never cancels and costs one
@@ -79,11 +84,14 @@ struct JoinClause {
     kind: JoinKind,
 }
 
+#[derive(Clone)]
 struct TableScanDef<'a> {
     name: String,
     rel: &'a Relation,
     accesses: Vec<Access>,
     filter: Option<Expr>,
+    /// Planner-provided scan row bound (see [`crate::scan::ScanSpec::limit_hint`]).
+    bound: Option<usize>,
 }
 
 /// Result rows plus execution counters.
@@ -121,7 +129,10 @@ impl ResultSet {
     }
 }
 
-/// Query builder; see the crate docs for an example.
+/// Query builder; see the crate docs for an example. `Clone` lets a
+/// planned query be executed repeatedly (benchmark harnesses, prepared
+/// statements); execution consumes the plan.
+#[derive(Clone)]
 pub struct Query<'a> {
     tables: Vec<TableScanDef<'a>>,
     joins: Vec<JoinClause>,
@@ -133,6 +144,16 @@ pub struct Query<'a> {
     order_by: Vec<(usize, bool)>,
     limit: Option<usize>,
     offset: Option<usize>,
+    /// Output row bound for the last-executed inner join's probe side
+    /// (planner bound propagation; prefix-identical semantics).
+    probe_bound: Option<usize>,
+    /// Keep only the first `visible` output columns at the very end (the
+    /// rest are hidden sort keys).
+    visible: Option<usize>,
+    /// Planner override for the sort's top-K bound. `None` = derive from
+    /// `limit`/`offset` (builder back-compat); `Some(b)` = use `b` as-is
+    /// (`Some(None)` forces a full sort).
+    sort_bound_override: Option<Option<usize>>,
 }
 
 impl<'a> Query<'a> {
@@ -146,6 +167,7 @@ impl<'a> Query<'a> {
                 rel,
                 accesses: Vec::new(),
                 filter: None,
+                bound: None,
             }],
             joins: Vec::new(),
             post_filter: None,
@@ -156,6 +178,9 @@ impl<'a> Query<'a> {
             order_by: Vec::new(),
             limit: None,
             offset: None,
+            probe_bound: None,
+            visible: None,
+            sort_bound_override: None,
         }
     }
 
@@ -203,6 +228,7 @@ impl<'a> Query<'a> {
             rel,
             accesses: Vec::new(),
             filter: None,
+            bound: None,
         });
         self
     }
@@ -289,6 +315,40 @@ impl<'a> Query<'a> {
         self
     }
 
+    /// Bound the most recently declared table's scan to roughly the first
+    /// `n` passing rows (planner bound propagation). The scan may emit more
+    /// than `n` rows — callers truncate — but the first `n` are identical
+    /// to the unbounded scan at every thread count.
+    pub fn scan_bound(mut self, n: usize) -> Query<'a> {
+        self.tables
+            .last_mut()
+            .expect("scan_bound requires a table")
+            .bound = Some(n);
+        self
+    }
+
+    /// Bound the last-executed inner join to roughly the first `n` output
+    /// rows (planner bound propagation; same prefix semantics as
+    /// [`Query::scan_bound`]).
+    pub fn probe_bound(mut self, n: usize) -> Query<'a> {
+        self.probe_bound = Some(n);
+        self
+    }
+
+    /// Keep only the first `n` output columns at the very end of execution;
+    /// later columns are hidden sort keys (`ORDER BY <expr>` support).
+    pub fn visible(mut self, n: usize) -> Query<'a> {
+        self.visible = Some(n);
+        self
+    }
+
+    /// Planner override for the sort's top-K bound. Without this call the
+    /// bound is derived from `limit`/`offset` (builder back-compat).
+    pub fn with_sort_bound(mut self, bound: Option<usize>) -> Query<'a> {
+        self.sort_bound_override = Some(bound);
+        self
+    }
+
     /// Describe the plan without executing it: per-table cardinality
     /// estimates (statistics + the §4.6 static document sampling), the
     /// join order the optimizer would choose, pushed filters, and the §4.8
@@ -310,13 +370,18 @@ impl<'a> Query<'a> {
                 rel: t.rel,
                 accesses: t.accesses.clone(),
                 filter,
+                bound: t.bound,
             };
             let estimated = sample_scan_rows(&probe, 256);
             let skip_paths: Vec<String> = probe
                 .filter
                 .as_ref()
                 .map(|f| {
-                    f.null_rejecting_slots()
+                    // HashSet order is run-dependent; render in access
+                    // declaration order so EXPLAIN output is stable.
+                    let mut slots: Vec<usize> = f.null_rejecting_slots().into_iter().collect();
+                    slots.sort_unstable();
+                    slots
                         .into_iter()
                         .map(|s| t.accesses[s].path.to_string())
                         .collect()
@@ -411,10 +476,15 @@ impl<'a> Query<'a> {
     }
 
     /// The row bound pushed into the sort: `limit + offset` rows must
-    /// survive the sort for the post-offset truncation to be correct.
+    /// survive the sort for the post-offset truncation to be correct. A
+    /// planner override ([`Query::with_sort_bound`]) takes precedence.
     fn sort_bound(&self) -> Option<usize> {
-        self.limit
-            .map(|n| n.saturating_add(self.offset.unwrap_or(0)))
+        match self.sort_bound_override {
+            Some(bound) => bound,
+            None => self
+                .limit
+                .map(|n| n.saturating_add(self.offset.unwrap_or(0))),
+        }
     }
 
     /// Run with default options (single-threaded, optimizations on).
@@ -488,6 +558,7 @@ impl<'a> Query<'a> {
                 filter,
                 skip_paths,
                 enable_skipping: opts.enable_skipping,
+                limit_hint: t.bound,
             };
             let t_scan = Instant::now();
             opts.cancel.check()?;
@@ -496,6 +567,7 @@ impl<'a> Query<'a> {
             profile.scans.push(ScanProfile {
                 table: t.name.clone(),
                 rows_total: t.rel.row_count(),
+                estimated_rows: sample_scan_rows(t, 256),
                 stats: s,
                 wall: t_scan.elapsed(),
             });
@@ -553,7 +625,15 @@ impl<'a> Query<'a> {
                 0
             };
             let ji = pending.remove(pick);
+            // Planner bound propagation: only the last-executed inner join
+            // may stop early — earlier joins feed later probes in full.
+            let bound = if pending.is_empty() {
+                self.probe_bound
+            } else {
+                None
+            };
             let j = inner_joins[ji];
+            let est_out = self.estimate_join(&inner_joins, ji, &comp_of, &comp_est, &lookup_table);
             let (lt, ls) = lookup_table(&j.left);
             let (rt, rs) = lookup_table(&j.right);
             let (lc, rc) = (comp_of[lt], comp_of[rt]);
@@ -593,25 +673,27 @@ impl<'a> Query<'a> {
             let t_join = Instant::now();
             let ((joined, jstats), left_first) = if left_chunk.rows() <= right_chunk.rows() {
                 (
-                    hash_join_par_cancellable(
+                    hash_join_par_bounded_cancellable(
                         &left_chunk,
                         &right_chunk,
                         &[lslot],
                         &[rslot],
                         opts.threads,
                         cancel,
+                        bound,
                     ),
                     true,
                 )
             } else {
                 (
-                    hash_join_par_cancellable(
+                    hash_join_par_bounded_cancellable(
                         &right_chunk,
                         &left_chunk,
                         &[rslot],
                         &[lslot],
                         opts.threads,
                         cancel,
+                        bound,
                     ),
                     false,
                 )
@@ -623,6 +705,7 @@ impl<'a> Query<'a> {
                 build_rows: left_chunk.rows().min(right_chunk.rows()),
                 probe_rows: left_chunk.rows().max(right_chunk.rows()),
                 rows_out: joined.rows(),
+                estimated_out: est_out,
                 wall: t_join.elapsed(),
                 partitions: jstats.partitions,
                 threads: jstats.threads,
@@ -737,6 +820,7 @@ impl<'a> Query<'a> {
                 build_rows,
                 probe_rows,
                 rows_out: chunk.rows(),
+                estimated_out: 0.0,
                 wall: t_join.elapsed(),
                 partitions: jstats.partitions,
                 threads: jstats.threads,
@@ -831,9 +915,12 @@ impl<'a> Query<'a> {
         }
         // Inlined `sort_bound()`: `self` is partially moved by this point,
         // so the bound is recomputed from the (still-readable) fields.
-        let sort_bound = self
-            .limit
-            .map(|n| n.saturating_add(self.offset.unwrap_or(0)));
+        let sort_bound = match self.sort_bound_override {
+            Some(bound) => bound,
+            None => self
+                .limit
+                .map(|n| n.saturating_add(self.offset.unwrap_or(0))),
+        };
         if !self.order_by.is_empty() {
             cancel.check()?;
             let t_order = Instant::now();
@@ -882,6 +969,10 @@ impl<'a> Query<'a> {
                 ..StageProfile::default()
             });
         }
+        // Hidden sort-key columns (`ORDER BY <expr>`) are dropped last.
+        if let Some(v) = self.visible {
+            out.columns.truncate(v);
+        }
 
         profile.total = t_query.elapsed();
         profile.rows_out = out.rows();
@@ -922,14 +1013,13 @@ fn join_key_distinct(
     rt: usize,
     rs: usize,
 ) -> f64 {
-    let nd = |t: &TableScanDef<'_>, s: usize| -> f64 {
-        let path = t.accesses[s].path.to_string();
-        t.rel
-            .stats()
-            .estimate_distinct(&path)
-            .unwrap_or_else(|| t.rel.stats().estimate_path_count(&path) as f64)
-    };
-    nd(&tables[lt], ls).max(nd(&tables[rt], rs))
+    let (l, r) = (&tables[lt], &tables[rt]);
+    crate::cost::CostModel::default().join_key_distinct(
+        l.rel,
+        &l.accesses[ls].path.to_string(),
+        r.rel,
+        &r.accesses[rs].path.to_string(),
+    )
 }
 
 /// Estimated scan output: base cardinality times a selectivity guess per
@@ -949,40 +1039,7 @@ fn estimate_scan_rows(t: &TableScanDef<'_>, actual: Option<&Chunk>) -> f64 {
 /// filter on up to `samples` evenly spaced rows and scales the pass rate to
 /// the relation size.
 fn sample_scan_rows(t: &TableScanDef<'_>, samples: usize) -> f64 {
-    let total = t.rel.row_count();
-    if total == 0 {
-        return 0.0;
-    }
-    let Some(filter) = &t.filter else {
-        return total as f64;
-    };
-    let mut resolved = filter.clone();
-    resolved.resolve(&|name| {
-        t.accesses
-            .iter()
-            .position(|a| a.name == name)
-            .expect("pushed filter references own accesses")
-    });
-    let n = samples.min(total).max(1);
-    let step = (total / n).max(1);
-    let mut passing = 0usize;
-    let mut seen = 0usize;
-    let mut row_buf: Vec<Scalar> = Vec::with_capacity(t.accesses.len());
-    for row in (0..total).step_by(step).take(n) {
-        let (ti, r) = t.rel.locate(row);
-        let tile = &t.rel.tiles()[ti];
-        row_buf.clear();
-        for a in &t.accesses {
-            let plan = crate::access::resolve_access(tile, a, t.rel.config().mode);
-            row_buf.push(crate::access::eval_access(tile, plan, a, r));
-        }
-        if resolved.eval_row_bool(&row_buf) {
-            passing += 1;
-        }
-        seen += 1;
-    }
-    // Never estimate zero: a selective filter still passes *some* rows.
-    (passing.max(1) as f64 / seen.max(1) as f64) * total as f64
+    crate::cost::CostModel { samples }.scan_rows(t.rel, &t.accesses, t.filter.as_ref())
 }
 
 /// Publish one query's profile to the global registry. Gated on

@@ -19,6 +19,9 @@ pub struct ScanProfile {
     pub table: String,
     /// Rows in the relation before skipping and filtering.
     pub rows_total: usize,
+    /// Planner cardinality estimate for this scan (§4.6 static document
+    /// sampling), for estimated-vs-actual comparison. 0 when unavailable.
+    pub estimated_rows: f64,
     /// Tile and row counters (see [`ScanStats`] for the identities).
     pub stats: ScanStats,
     /// Scan wall time, including skip tests and materialization.
@@ -41,6 +44,10 @@ pub struct JoinProfile {
     pub probe_rows: usize,
     /// Output rows.
     pub rows_out: usize,
+    /// Planner output-cardinality estimate (`|A|·|B| / max(nd)`), for
+    /// estimated-vs-actual comparison. 0 when unavailable (semi/anti/cross
+    /// steps and same-component filters are not estimated).
+    pub estimated_out: f64,
     /// Join wall time.
     pub wall: Duration,
     /// Hash partitions used (1 when the sequential fallback ran, 0 for
@@ -116,9 +123,14 @@ impl ExecProfile {
             let s = &p.stats;
             let mut skip = String::new();
             if s.skipped_tiles > 0 {
+                let bound = if s.skipped_bound > 0 {
+                    format!(", {} bound", s.skipped_bound)
+                } else {
+                    String::new()
+                };
                 skip = format!(
-                    " ({} skipped: {} header-stats, {} bloom)",
-                    s.skipped_tiles, s.skipped_header_stats, s.skipped_bloom
+                    " ({} skipped: {} header-stats, {} bloom{})",
+                    s.skipped_tiles, s.skipped_header_stats, s.skipped_bloom, bound
                 );
             }
             let mut attr: Vec<String> = Vec::new();
@@ -137,8 +149,13 @@ impl ExecProfile {
             } else {
                 format!(" ({})", attr.join(", "))
             };
+            let est = if p.estimated_rows > 0.0 {
+                format!(" (est {:.0})", p.estimated_rows)
+            } else {
+                String::new()
+            };
             lines.push(format!(
-                "scan {}: {}/{} tiles scanned{}, {} rows scanned{}, {} out [{}]",
+                "scan {}: {}/{} tiles scanned{}, {} rows scanned{}, {} out{} [{}]",
                 p.table,
                 s.scanned_tiles,
                 s.total_tiles,
@@ -146,6 +163,7 @@ impl ExecProfile {
                 s.rows_scanned,
                 attr,
                 s.rows_out,
+                est,
                 fmt_wall(p.wall),
             ));
         }
@@ -161,14 +179,20 @@ impl ExecProfile {
             } else {
                 String::new()
             };
+            let est = if j.estimated_out > 0.0 {
+                format!(" (est {:.0})", j.estimated_out)
+            } else {
+                String::new()
+            };
             lines.push(format!(
-                "join {} = {} ({}): build {} x probe {} -> {} rows{} [{}]",
+                "join {} = {} ({}): build {} x probe {} -> {} rows{}{} [{}]",
                 j.left,
                 j.right,
                 j.kind,
                 j.build_rows,
                 j.probe_rows,
                 j.rows_out,
+                est,
                 par,
                 fmt_wall(j.wall),
             ));
@@ -244,6 +268,7 @@ mod tests {
             scans: vec![ScanProfile {
                 table: "orders".into(),
                 rows_total: 4096,
+                estimated_rows: 120.0,
                 stats: ScanStats {
                     total_tiles: 4,
                     scanned_tiles: 3,
@@ -264,6 +289,7 @@ mod tests {
                 build_rows: 100,
                 probe_rows: 900,
                 rows_out: 250,
+                estimated_out: 240.0,
                 wall: Duration::from_micros(80),
                 partitions: 64,
                 threads: 4,
@@ -289,8 +315,9 @@ mod tests {
             text.contains("scan orders: 3/4 tiles scanned (1 skipped: 1 header-stats, 0 bloom)")
         );
         assert!(text.contains("3072 rows scanned (3000 kernel, 72 exact)"));
+        assert!(text.contains("100 out (est 120)"));
         assert!(text.contains("join o_id = l_id (inner): build 100 x probe 900 -> 250 rows"));
-        assert!(text.contains("250 rows (p=64, t=4, build 30.00 us, probe 45.00 us)"));
+        assert!(text.contains("250 rows (est 240) (p=64, t=4, build 30.00 us, probe 45.00 us)"));
         assert!(text.contains("`- aggregate: 7 rows"));
         assert!(
             text.contains("7 rows (p=64, t=4, eval 6.00 us, accumulate 5.00 us, merge 2.00 us)")

@@ -39,6 +39,13 @@ pub struct ScanSpec<'a> {
     pub skip_paths: Vec<KeyPath>,
     /// The `no Skip` ablation switch (Figure 14).
     pub enable_skipping: bool,
+    /// Row bound from the planner's bound-propagation pass: each worker
+    /// stops scanning new tiles once it has produced this many output rows.
+    /// The result is a per-worker prefix (≥ the bound, or complete), so the
+    /// concatenated output's first `limit_hint` rows are bit-identical to
+    /// the unbounded scan's at every thread count; rows past the bound are
+    /// not contractual and the caller must truncate.
+    pub limit_hint: Option<usize>,
 }
 
 /// Scan counters for the skipping experiments and `EXPLAIN ANALYZE`.
@@ -69,6 +76,9 @@ pub struct ScanStats {
     pub skipped_header_stats: usize,
     /// Skipped tiles proven empty by the Bloom filter over seen paths.
     pub skipped_bloom: usize,
+    /// Tiles never scanned because the worker already produced
+    /// [`ScanSpec::limit_hint`] rows (no absence evidence involved).
+    pub skipped_bound: usize,
     /// Rows in scanned (non-skipped) tiles.
     pub rows_scanned: u64,
     /// Rows whose first filter evaluation ran in a typed kernel arm.
@@ -99,6 +109,7 @@ impl ScanStats {
         self.total_tiles += other.total_tiles;
         self.skipped_header_stats += other.skipped_header_stats;
         self.skipped_bloom += other.skipped_bloom;
+        self.skipped_bound += other.skipped_bound;
         self.rows_scanned += other.rows_scanned;
         self.rows_kernel += other.rows_kernel;
         self.rows_batched += other.rows_batched;
@@ -196,11 +207,42 @@ fn run_scan(
         (Some(chunk), ts)
     };
 
+    // One worker's contiguous tile range, with the planner's row-bound
+    // early exit: once this worker has emitted `limit_hint` rows, its
+    // remaining tiles are counted as bound-skipped and produce nothing.
+    // Each worker's output is therefore a prefix (≥ the bound, or
+    // complete) of its unbounded output, and ranges concatenate in tile
+    // order — the global first `limit_hint` rows match the unbounded scan.
+    let scan_range = |range: std::ops::Range<usize>| -> Vec<(Option<Chunk>, ScanStats)> {
+        let mut out = Vec::with_capacity(range.len());
+        let mut emitted = 0usize;
+        for tile_idx in range {
+            if spec.limit_hint.is_some_and(|b| emitted >= b) {
+                out.push((
+                    None,
+                    ScanStats {
+                        total_tiles: 1,
+                        skipped_tiles: 1,
+                        skipped_bound: 1,
+                        ..ScanStats::default()
+                    },
+                ));
+                continue;
+            }
+            let r = scan_tile(tile_idx);
+            if let (Some(c), _) = &r {
+                emitted += c.rows();
+            }
+            out.push(r);
+        }
+        out
+    };
+
     // Parallelize only when there is enough work to amortize thread spawns;
     // each worker owns a contiguous tile range and writes into its own
     // output vector, so no synchronization happens on the hot path.
     let results: Vec<(Option<Chunk>, ScanStats)> = if threads <= 1 || tiles.len() < threads * 2 {
-        (0..tiles.len()).map(scan_tile).collect()
+        scan_range(0..tiles.len())
     } else {
         let per = tiles.len().div_ceil(threads);
         let ranges: Vec<std::ops::Range<usize>> = (0..threads)
@@ -210,7 +252,7 @@ fn run_scan(
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
                 .into_iter()
-                .map(|range| scope.spawn(|| range.map(scan_tile).collect::<Vec<_>>()))
+                .map(|range| scope.spawn(|| scan_range(range)))
                 .collect();
             for h in handles {
                 parts.push(h.join().expect("scan worker panicked"));
@@ -245,6 +287,7 @@ fn run_scan(
         stats.skipped_header_stats as u64
     );
     jt_obs::counter_add!("query.scan.tiles_skipped_bloom", stats.skipped_bloom as u64);
+    jt_obs::counter_add!("query.scan.tiles_skipped_bound", stats.skipped_bound as u64);
     jt_obs::counter_add!("query.scan.rows_scanned", stats.rows_scanned);
     jt_obs::counter_add!("query.scan.rows_kernel", stats.rows_kernel);
     jt_obs::counter_add!("query.scan.rows_batched", stats.rows_batched);
@@ -425,6 +468,7 @@ mod tests {
             filter: Some(filter),
             skip_paths: vec![crate::access::parse_dotted_path("a")],
             enable_skipping: true,
+            limit_hint: None,
         };
         let (chunk, stats) = execute_scan(&spec, 1);
         assert_eq!(chunk.rows(), 128, "all a-rows found");
@@ -443,6 +487,7 @@ mod tests {
             filter: Some(filter),
             skip_paths: vec![crate::access::parse_dotted_path("a")],
             enable_skipping: false,
+            limit_hint: None,
         };
         let (chunk, stats) = execute_scan(&spec, 1);
         assert_eq!(chunk.rows(), 128, "same result");
@@ -464,6 +509,7 @@ mod tests {
                     filter: Some(filter),
                     skip_paths: vec![crate::access::parse_dotted_path("a")],
                     enable_skipping: enable,
+                    limit_hint: None,
                 };
                 let (chunk, _) = execute_scan(&spec, threads);
                 let vals: Vec<Option<i64>> = chunk.columns[0].iter().map(Scalar::as_i64).collect();
@@ -487,6 +533,7 @@ mod tests {
             filter: None,
             skip_paths: vec![],
             enable_skipping: true,
+            limit_hint: None,
         };
         let (seq, _) = execute_scan(&make_spec(), 1);
         let (par, _) = execute_scan(&make_spec(), 8);
@@ -550,6 +597,7 @@ mod tests {
                     filter: resolved.clone(),
                     skip_paths: vec![],
                     enable_skipping: true,
+                    limit_hint: None,
                 };
                 let (vec_chunk, _) = execute_scan(&make_spec(), threads);
                 let (row_chunk, _) = execute_scan_rowwise(&make_spec(), threads);

@@ -163,6 +163,7 @@ proptest! {
                         filter: filter.clone(),
                         skip_paths: skip_paths.clone(),
                         enable_skipping: skipping,
+                        limit_hint: None,
                     };
                     let (vec_chunk, vec_stats) = execute_scan(&make_spec(), threads);
                     let (row_chunk, row_stats) = execute_scan_rowwise(&make_spec(), threads);

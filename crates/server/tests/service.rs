@@ -89,6 +89,45 @@ fn sql_round_trip_and_ping() {
 }
 
 #[test]
+fn explain_round_trip_over_line_protocol() {
+    let server = start(ServerConfig::default(), 0..100);
+    let mut c = Client::connect(&server);
+
+    // EXPLAIN: a multi-line `ok <n>` payload with the logical tree, the
+    // rewrite-pass deltas, and the physical plan. Nothing executes.
+    let plan = c
+        .request("EXPLAIN SELECT data->>'k'::INT, COUNT(*) FROM t WHERE data->>'v'::INT < 50 GROUP BY 1 ORDER BY 2 DESC LIMIT 3")
+        .expect("explain succeeds");
+    assert!(plan.len() > 5, "multi-line payload, got {plan:?}");
+    let text = plan.join("\n");
+    assert!(text.contains("=== logical plan ==="), "got:\n{text}");
+    assert!(
+        text.contains("=== pass predicate-pushdown ==="),
+        "got:\n{text}"
+    );
+    assert!(text.contains("=== physical plan ==="), "got:\n{text}");
+    assert!(text.contains("limit 3"), "bound visible in tree:\n{text}");
+
+    // EXPLAIN ANALYZE: per-operator profile (with estimated cardinalities)
+    // followed by the result rows.
+    let analyze = c
+        .request("EXPLAIN ANALYZE SELECT COUNT(data->>'v'::INT) FROM t WHERE data->>'v'::INT < 50")
+        .expect("explain analyze succeeds");
+    let text = analyze.join("\n");
+    assert!(text.contains("EXPLAIN ANALYZE (total"), "got:\n{text}");
+    assert!(text.contains("est "), "estimates rendered:\n{text}");
+    assert_eq!(
+        analyze.last().map(String::as_str),
+        Some("50"),
+        "rows follow the profile"
+    );
+
+    // The connection stays usable for plain queries afterwards.
+    assert!(c.request("SELECT COUNT(data->>'v'::INT) FROM t").is_ok());
+    server.shutdown();
+}
+
+#[test]
 fn deadline_exceeded_queries_fail_without_harming_others() {
     let server = start(ServerConfig::default(), 0..100);
     let mut slow = Client::connect(&server);

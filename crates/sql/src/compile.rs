@@ -1,15 +1,19 @@
-//! Compile parsed SELECTs to `jt-query` plans.
+//! Compile parsed SELECTs to logical plans.
 //!
-//! This is where the paper's plan rewrites happen for SQL input:
-//! `->`/`->>` chains become pushed-down scan accesses (§4.2), `::` casts
-//! select the typed access (§4.3), single-table WHERE conjuncts are pushed
-//! into the scans, and equality predicates between two tables' accesses
-//! become hash-join conditions.
+//! The AST maps structurally to a [`LogicalPlan`]: `->`/`->>` chains
+//! become scan access placeholders (§4.2), `::` casts select the typed
+//! access (§4.3), equality predicates between two tables' accesses become
+//! join clauses, and everything else in WHERE lands in one filter above
+//! the join region. The rewrite passes ([`jt_query::Pass`]) then push
+//! single-table conjuncts into the scans, prune unused accesses, reorder
+//! joins by the cost model, and propagate LIMIT bounds — [`compile`] runs
+//! the default pipeline; front ends that need pass control or EXPLAIN
+//! reporting use [`plan`] + [`jt_query::plan_and_lower`].
 
 use crate::ast::*;
 use crate::{err, SqlError};
 use jt_core::{AccessType, KeyPath, Relation};
-use jt_query::{Agg, Expr, Query, Scalar};
+use jt_query::{Agg, Expr, LogicalBuilder, LogicalPlan, PlannerOptions, Query, Scalar};
 use std::collections::HashMap;
 
 /// Table name → relation mapping.
@@ -204,29 +208,6 @@ fn conjuncts(e: &SqlExpr) -> Vec<&SqlExpr> {
     }
 }
 
-/// Tables referenced by an expression (None = contains alias refs etc.).
-fn tables_of(e: &SqlExpr, ctx: &Ctx<'_>, out: &mut Vec<usize>) -> bool {
-    match e {
-        SqlExpr::Access { table, .. } => match ctx.table_index(table, 0) {
-            Ok(ti) => {
-                if !out.contains(&ti) {
-                    out.push(ti);
-                }
-                true
-            }
-            Err(_) => false,
-        },
-        SqlExpr::Lit(_) => true,
-        SqlExpr::Ref(_) | SqlExpr::Agg { .. } => false,
-        SqlExpr::Bin(a, _, b) => tables_of(a, ctx, out) && tables_of(b, ctx, out),
-        SqlExpr::Not(a)
-        | SqlExpr::IsNull(a, _)
-        | SqlExpr::Like(a, _)
-        | SqlExpr::InList(a, _)
-        | SqlExpr::ExtractYear(a) => tables_of(a, ctx, out),
-    }
-}
-
 /// Resolve GROUP BY entries: ordinals and aliases point into the select
 /// list; everything else stays as-is.
 fn resolve_item_ref<'s>(e: &'s SqlExpr, stmt: &'s SelectStmt) -> Result<&'s SqlExpr, SqlError> {
@@ -251,8 +232,15 @@ fn resolve_item_ref<'s>(e: &'s SqlExpr, stmt: &'s SelectStmt) -> Result<&'s SqlE
     }
 }
 
-/// Compile a parsed statement against a catalog.
+/// Compile a parsed statement to an executable physical plan: [`plan`]
+/// followed by the full default rewrite pipeline and lowering.
 pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>, SqlError> {
+    Ok(jt_query::optimize(plan(stmt, catalog)?, &PlannerOptions::default()).lower())
+}
+
+/// Compile a parsed statement to its canonical [`LogicalPlan`] — the
+/// declaration-order, rewrite-free tree the planner passes start from.
+pub fn plan<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<LogicalPlan<'a>, SqlError> {
     if stmt.items.is_empty() {
         return err("empty select list", 0);
     }
@@ -262,7 +250,9 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
     };
 
     // --- classify WHERE conjuncts --------------------------------------
-    let mut table_filters: Vec<Vec<Expr>> = vec![Vec::new(); stmt.from.len()];
+    // Cross-table equalities become join clauses; every other conjunct
+    // goes into one filter above the join region, where the
+    // predicate-pushdown pass sinks single-table conjuncts into scans.
     let mut join_conds: Vec<(String, String)> = Vec::new();
     let mut post_filters: Vec<Expr> = Vec::new();
     if let Some(w) = &stmt.where_clause {
@@ -294,14 +284,7 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
                     }
                 }
             }
-            let mut tabs = Vec::new();
-            let pure = tables_of(c, &ctx, &mut tabs);
-            let e = ctx.to_expr(c)?;
-            if pure && tabs.len() <= 1 {
-                table_filters[tabs.first().copied().unwrap_or(0)].push(e);
-            } else {
-                post_filters.push(e);
-            }
+            post_filters.push(ctx.to_expr(c)?);
         }
     }
 
@@ -378,7 +361,7 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
         }
         // HAVING: aggregates and key refs become output slots.
         if let Some(h) = &stmt.having {
-            having_expr = Some(compile_having(
+            having_expr = Some(compile_slot_expr(
                 h,
                 &mut ctx,
                 &group_key_sql,
@@ -398,6 +381,11 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
     }
 
     // --- ORDER BY resolution (against the final output columns) --------
+    // Ordinals and aliases point into the select list; select-item
+    // expressions match structurally. Any other expression is appended as
+    // a *hidden* sort slot: it participates in the sort and is dropped
+    // from the visible output afterwards.
+    let visible_items = stmt.items.len();
     let mut order: Vec<(usize, bool)> = Vec::new();
     for (e, desc) in &stmt.order_by {
         let idx = match e {
@@ -416,66 +404,80 @@ pub fn compile<'a>(stmt: &SelectStmt, catalog: &Catalog<'a>) -> Result<Query<'a>
                     message: format!("unknown ORDER BY alias {name:?}"),
                     offset: 0,
                 })?,
-            other => stmt
-                .items
-                .iter()
-                .position(|it| &it.expr == other)
-                .ok_or(SqlError {
-                    message: "ORDER BY expression must appear in the select list".into(),
-                    offset: 0,
-                })?,
+            other => match stmt.items.iter().position(|it| &it.expr == other) {
+                Some(i) => i,
+                None => {
+                    let compiled = if has_group || has_agg {
+                        compile_slot_expr(
+                            other,
+                            &mut ctx,
+                            &group_key_sql,
+                            &mut aggs,
+                            &mut agg_sql,
+                            stmt,
+                        )?
+                    } else {
+                        ctx.to_expr(other)?
+                    };
+                    select_slots.push(compiled);
+                    select_slots.len() - 1
+                }
+            },
         };
         order.push((idx, *desc));
     }
 
-    // --- assemble the plan ----------------------------------------------
-    let mut q: Option<Query<'a>> = None;
+    // --- assemble the logical plan --------------------------------------
+    let mut b: Option<LogicalBuilder<'a>> = None;
     for (ti, t) in stmt.from.iter().enumerate() {
         let rel = *catalog.get(t.name.as_str()).ok_or(SqlError {
             message: format!("unknown table {:?}", t.name),
             offset: 0,
         })?;
-        let mut cur = match q.take() {
-            None => Query::scan(&t.alias, rel),
+        let mut cur = match b.take() {
+            None => LogicalPlan::scan(&t.alias, rel),
             Some(prev) => prev.join(&t.alias, rel),
         };
         for a in ctx.accesses.iter().filter(|a| a.table == ti) {
             cur = cur.access_path(&a.name, a.path.clone(), a.ty);
         }
-        for f in table_filters[ti].drain(..) {
-            cur = cur.filter(f);
-        }
-        q = Some(cur);
+        b = Some(cur);
     }
-    let mut q = q.expect("at least one table");
+    let mut b = b.expect("at least one table");
     for (l, r) in join_conds {
-        q = q.on(&l, &r);
+        b = b.on(&l, &r);
     }
     for f in post_filters {
-        q = q.filter_joined(f);
+        b = b.filter_joined(f);
     }
     if has_group || has_agg {
-        q = q.aggregate(group_keys, aggs);
+        b = b.aggregate(group_keys, aggs);
         if let Some(h) = having_expr {
-            q = q.having(h);
+            b = b.having(h);
         }
     }
-    q = q.select(select_slots);
+    b = if select_slots.len() > visible_items {
+        b.select_visible(select_slots, visible_items)
+    } else {
+        b.select(select_slots)
+    };
     for (idx, desc) in order {
-        q = q.order_by(idx, desc);
+        b = b.order_by(idx, desc);
     }
     if let Some(n) = stmt.limit {
-        q = q.limit(n);
+        b = b.limit(n);
     }
     if let Some(n) = stmt.offset {
-        q = q.offset(n);
+        b = b.offset(n);
     }
-    Ok(q)
+    Ok(b.build())
 }
 
-/// Compile HAVING: aggregate calls map to aggregate output slots (added
-/// if not already selected), group-key aliases/ordinals to key slots.
-fn compile_having<'s>(
+/// Compile an expression in aggregate-output context (HAVING, or a hidden
+/// ORDER BY sort slot): aggregate calls map to aggregate output slots
+/// (added if not already selected), group-key aliases/ordinals/expressions
+/// to key slots.
+fn compile_slot_expr<'s>(
     h: &'s SqlExpr,
     ctx: &mut Ctx<'s>,
     group_key_sql: &[&'s SqlExpr],
@@ -515,16 +517,23 @@ fn compile_having<'s>(
                 if let Some(k) = group_key_sql.iter().position(|x| *x == resolved) {
                     return Ok(Expr::Slot(k));
                 }
+                // An alias for a non-key select item (e.g. `total` for
+                // `SUM(...) AS total`): compile what it names. Aliases
+                // resolve to select-list expressions, so this cannot
+                // loop unless the item aliases itself — guard that.
+                if resolved != h {
+                    return compile_slot_expr(resolved, ctx, group_key_sql, aggs, agg_sql, stmt);
+                }
             }
             match h {
                 SqlExpr::Lit(l) => lit_expr(l),
-                _ => return err("HAVING alias must be a group key", 0),
+                _ => return err("alias must name a select item or group key", 0),
             }
         }
         SqlExpr::Lit(l) => lit_expr(l),
         SqlExpr::Bin(a, op, b) => {
-            let a = compile_having(a, ctx, group_key_sql, aggs, agg_sql, stmt)?;
-            let b = compile_having(b, ctx, group_key_sql, aggs, agg_sql, stmt)?;
+            let a = compile_slot_expr(a, ctx, group_key_sql, aggs, agg_sql, stmt)?;
+            let b = compile_slot_expr(b, ctx, group_key_sql, aggs, agg_sql, stmt)?;
             match op {
                 BinOp::Eq => a.eq(b),
                 BinOp::Ne => a.ne(b),
@@ -540,7 +549,7 @@ fn compile_having<'s>(
                 BinOp::Div => a.div(b),
             }
         }
-        SqlExpr::Not(a) => compile_having(a, ctx, group_key_sql, aggs, agg_sql, stmt)?.not(),
+        SqlExpr::Not(a) => compile_slot_expr(a, ctx, group_key_sql, aggs, agg_sql, stmt)?.not(),
         other => {
             // Group-key expressions may appear verbatim.
             if let Some(k) = group_key_sql.iter().position(|x| *x == other) {

@@ -43,7 +43,7 @@ mod lexer;
 mod parser;
 
 pub use ast::{ExplainMode, SelectStmt, SqlExpr, SqlType, Statement};
-pub use compile::{compile, Catalog};
+pub use compile::{compile, plan, Catalog};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse_select, parse_statement};
 
@@ -79,7 +79,10 @@ pub fn query(sql: &str, tables: &[(&str, &Relation)]) -> Result<ResultSet, SqlEr
     query_with(sql, tables, ExecOptions::default())
 }
 
-/// Like [`query`] with explicit execution options.
+/// Like [`query`] with explicit execution options. The logical rewrite
+/// pipeline runs with [`jt_query::PlannerOptions::compat`], so
+/// `opts.optimize_joins = false` keeps pushdown and bound propagation but
+/// executes joins in declaration order.
 pub fn query_with(
     sql: &str,
     tables: &[(&str, &Relation)],
@@ -87,8 +90,11 @@ pub fn query_with(
 ) -> Result<ResultSet, SqlError> {
     let stmt = parse_select(sql)?;
     let catalog: Catalog<'_> = tables.iter().copied().collect();
-    let plan = compile(&stmt, &catalog)?;
-    Ok(plan.run_with(opts.clone()))
+    let lp = plan(&stmt, &catalog)?;
+    let popts = jt_query::PlannerOptions::compat(opts.optimize_joins);
+    Ok(jt_query::optimize(lp, &popts)
+        .lower()
+        .run_with(opts.clone()))
 }
 
 /// The output of [`execute`], depending on the statement's `EXPLAIN` prefix.
@@ -167,15 +173,26 @@ pub fn try_execute(
 ) -> Result<SqlOutput, ExecuteError> {
     let stmt = parse_statement(sql)?;
     let catalog: Catalog<'_> = tables.iter().copied().collect();
-    let plan = compile(&stmt.select, &catalog)?;
+    let lp = plan(&stmt.select, &catalog)?;
+    let popts = jt_query::PlannerOptions::compat(opts.optimize_joins);
     Ok(match stmt.explain {
-        ExplainMode::None => SqlOutput::Rows(
-            plan.try_run_with(opts.clone())
-                .map_err(ExecuteError::Aborted)?,
-        ),
-        ExplainMode::Plan => SqlOutput::Plan(plan.explain().to_string()),
+        ExplainMode::None => {
+            let physical = jt_query::optimize(lp, &popts).lower();
+            SqlOutput::Rows(
+                physical
+                    .try_run_with(opts.clone())
+                    .map_err(ExecuteError::Aborted)?,
+            )
+        }
+        ExplainMode::Plan => {
+            // Logical tree, per-pass before/after deltas, then the
+            // physical plan with its cardinality estimates.
+            let planned = jt_query::plan_and_lower(lp, &popts);
+            SqlOutput::Plan(jt_query::explain_text(&planned))
+        }
         ExplainMode::Analyze => {
-            let result = plan
+            let physical = jt_query::optimize(lp, &popts).lower();
+            let result = physical
                 .try_run_with(opts.clone())
                 .map_err(ExecuteError::Aborted)?;
             SqlOutput::Analyze {

@@ -1,0 +1,154 @@
+//! Golden-file planner tests: every query here records its full planning
+//! artifact — SQL text, parsed AST, canonical logical plan, each rewrite
+//! pass's delta, the lowered physical `EXPLAIN` tree, and the executed
+//! result rows — into `tests/golden/<name>.golden`.
+//!
+//! A mismatch means the planner's observable behavior changed; review the
+//! diff and regenerate with:
+//!
+//! ```text
+//! JT_BLESS=1 cargo test -p jt-sql --test golden_plans
+//! ```
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use jt_core::{Relation, TilesConfig};
+use jt_query::ExecOptions;
+
+fn sales_docs() -> Vec<jt_json::Value> {
+    (0..400)
+        .map(|i| {
+            jt_json::parse(&format!(
+                r#"{{"id":{i},"region":"{}","amount":"{}.{:02}","qty":{},"day":"2024-{:02}-15"}}"#,
+                ["north", "south", "east", "west"][i % 4],
+                10 + i % 90,
+                i % 100,
+                1 + i % 9,
+                1 + i % 12,
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn orders_docs() -> Vec<jt_json::Value> {
+    (0..100)
+        .map(|i| {
+            jt_json::parse(&format!(
+                r#"{{"o_id":{i},"o_region":"{}","o_qty":{}}}"#,
+                ["north", "south", "east", "west"][i % 4],
+                1 + i % 5,
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn load(docs: &[jt_json::Value]) -> Relation {
+    Relation::load(
+        docs,
+        TilesConfig {
+            tile_size: 128,
+            partition_size: 2,
+            ..TilesConfig::default()
+        },
+    )
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Compare `actual` against the stored golden, or rewrite it when
+/// `JT_BLESS` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("JT_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); create it with JT_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "plan golden {name:?} changed; review the diff, then regenerate \
+         with `JT_BLESS=1 cargo test -p jt-sql --test golden_plans`"
+    );
+}
+
+/// The full planning artifact for one statement.
+fn render(sql: &str, tables: &[(&str, &Relation)]) -> String {
+    let stmt = jt_sql::parse_select(sql).expect("parse");
+    let catalog: jt_sql::Catalog<'_> = tables.iter().copied().collect();
+    let lp = jt_sql::plan(&stmt, &catalog).expect("plan");
+    let planned = jt_query::plan_and_lower(lp, &jt_query::PlannerOptions::default());
+    let mut out = String::new();
+    writeln!(out, "=== sql ===").unwrap();
+    writeln!(out, "{}", sql.trim()).unwrap();
+    writeln!(out, "=== ast ===").unwrap();
+    writeln!(out, "{stmt:#?}").unwrap();
+    out.push_str(&jt_query::explain_text(&planned));
+    writeln!(out, "=== results ===").unwrap();
+    for line in planned.query.run_with(ExecOptions::default()).to_lines() {
+        writeln!(out, "{line}").unwrap();
+    }
+    out
+}
+
+#[test]
+fn golden_plans() {
+    let sales = load(&sales_docs());
+    let orders = load(&orders_docs());
+    let tables: &[(&str, &Relation)] = &[("sales", &sales), ("orders", &orders)];
+    let cases: &[(&str, &str)] = &[
+        (
+            "simple_aggregate",
+            "SELECT COUNT(*), SUM(data->>'qty'::INT) FROM sales",
+        ),
+        (
+            "filter_group_order_limit",
+            "SELECT data->>'region' AS region, COUNT(*) AS n, SUM(data->>'amount'::DECIMAL) \
+             FROM sales WHERE data->>'qty'::INT >= 3 \
+             GROUP BY region ORDER BY 3 DESC LIMIT 2",
+        ),
+        (
+            "join_pushdown",
+            "SELECT o.data->>'o_region', COUNT(*) \
+             FROM sales s, orders o \
+             WHERE s.data->>'region' = o.data->>'o_region' \
+               AND s.data->>'qty'::INT > 5 \
+             GROUP BY 1 ORDER BY 1",
+        ),
+        (
+            "order_by_expression",
+            "SELECT data->>'id'::INT, data->>'qty'::INT FROM sales \
+             WHERE data->>'id'::INT < 8 \
+             ORDER BY data->>'id'::INT + data->>'qty'::INT DESC, 1",
+        ),
+        (
+            "order_by_alias_desc",
+            "SELECT data->>'region' AS region, SUM(data->>'qty'::INT) AS total \
+             FROM sales GROUP BY region ORDER BY total DESC",
+        ),
+        (
+            "limit_offset_bounds",
+            "SELECT data->>'id'::INT FROM sales ORDER BY 1 LIMIT 5 OFFSET 10",
+        ),
+        (
+            "having",
+            "SELECT data->>'region', COUNT(*) FROM sales \
+             GROUP BY 1 HAVING SUM(data->>'qty'::INT) > 400 ORDER BY 1",
+        ),
+    ];
+    for (name, sql) in cases {
+        check(name, &render(sql, tables));
+    }
+}

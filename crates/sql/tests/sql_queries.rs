@@ -390,3 +390,80 @@ fn error_reporting() {
         assert!(query(bad, tables).is_err(), "should fail: {bad}");
     }
 }
+
+#[test]
+fn order_by_expression_appends_hidden_sort_slot() {
+    let rel = load(&sales_docs());
+    let r = query(
+        "SELECT data->>'id'::INT, data->>'qty'::INT FROM t \
+         WHERE data->>'id'::INT < 30 \
+         ORDER BY data->>'id'::INT + data->>'qty'::INT DESC, 1",
+        &[("t", &rel)],
+    )
+    .unwrap();
+    // The sort expression rides along as a hidden slot; the visible
+    // output stays two columns wide.
+    assert_eq!(r.chunk.width(), 2);
+    let mut expect: Vec<(i64, i64)> = sales_docs()
+        .iter()
+        .filter_map(|d| {
+            let id = d.get("id").unwrap().as_i64().unwrap();
+            (id < 30).then(|| (id, d.get("qty").unwrap().as_i64().unwrap()))
+        })
+        .collect();
+    expect.sort_by(|a, b| (b.0 + b.1).cmp(&(a.0 + a.1)).then(a.0.cmp(&b.0)));
+    let got: Vec<(i64, i64)> = (0..r.rows())
+        .map(|i| {
+            (
+                r.column(0)[i].as_i64().unwrap(),
+                r.column(1)[i].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn order_by_select_alias_desc() {
+    let rel = load(&sales_docs());
+    let r = query(
+        "SELECT data->>'region' AS region, SUM(data->>'qty'::INT) AS total \
+         FROM t GROUP BY region ORDER BY total DESC",
+        &[("t", &rel)],
+    )
+    .unwrap();
+    assert_eq!(r.rows(), 4);
+    let totals: Vec<i64> = (0..4).map(|i| r.column(1)[i].as_i64().unwrap()).collect();
+    assert!(
+        totals.windows(2).all(|w| w[0] >= w[1]),
+        "descending totals: {totals:?}"
+    );
+    let hand = Query::scan("t", &rel)
+        .access("region", AccessType::Text)
+        .access("qty", AccessType::Int)
+        .aggregate(vec![col("region")], vec![Agg::sum(col("qty"))])
+        .order_by(1, true)
+        .run();
+    assert_eq!(r.to_lines(), hand.to_lines());
+}
+
+#[test]
+fn order_by_expression_on_aggregate_output() {
+    let rel = load(&sales_docs());
+    // The sort key mixes two aggregates; neither alias nor ordinal names
+    // it, so it compiles into a hidden slot in aggregate-output context.
+    let r = query(
+        "SELECT data->>'region' AS region, SUM(data->>'qty'::INT) AS total, COUNT(*) AS n \
+         FROM t GROUP BY region ORDER BY total - n DESC, region",
+        &[("t", &rel)],
+    )
+    .unwrap();
+    assert_eq!(r.chunk.width(), 3);
+    let diffs: Vec<i64> = (0..r.rows())
+        .map(|i| r.column(1)[i].as_i64().unwrap() - r.column(2)[i].as_i64().unwrap())
+        .collect();
+    assert!(
+        diffs.windows(2).all(|w| w[0] >= w[1]),
+        "descending total-n: {diffs:?}"
+    );
+}

@@ -12,41 +12,70 @@
 //! (Q2/Q15/Q17/Q20) use fixed thresholds; outer joins (Q13) run as inner.
 
 use jt_core::Relation;
+use jt_query::Scalar;
 use jt_query::{
-    col, lit, lit_date, lit_f64, lit_str, AccessType, Agg, ExecOptions, Expr, Query, ResultSet,
-    Scalar,
+    col, lit, lit_date, lit_f64, lit_str, AccessType, Agg, ExecOptions, Expr, LogicalBuilder,
+    LogicalPlan, PlannerOptions, ResultSet,
 };
 
 /// Number of TPC-H queries.
 pub const QUERY_COUNT: usize = 22;
 
-/// Run TPC-H query `n` (1-based) against the combined relation.
-pub fn run_query(n: usize, rel: &Relation, opts: ExecOptions) -> ResultSet {
+/// The canonical (rewrite-free, declaration-order) logical plan of TPC-H
+/// query `n` (1-based) against the combined relation. Callers run the
+/// planner passes themselves ([`jt_query::optimize`] /
+/// [`jt_query::plan_and_lower`]); [`run_query`] does both.
+pub fn plan_query(n: usize, rel: &Relation) -> LogicalPlan<'_> {
     match n {
-        1 => q1(rel, opts),
-        2 => q2(rel, opts),
-        3 => q3(rel, opts),
-        4 => q4(rel, opts),
-        5 => q5(rel, opts),
-        6 => q6(rel, opts),
-        7 => q7(rel, opts),
-        8 => q8(rel, opts),
-        9 => q9(rel, opts),
-        10 => q10(rel, opts),
-        11 => q11(rel, opts),
-        12 => q12(rel, opts),
-        13 => q13(rel, opts),
-        14 => q14(rel, opts),
-        15 => q15(rel, opts),
-        16 => q16(rel, opts),
-        17 => q17(rel, opts),
-        18 => q18(rel, opts),
-        19 => q19(rel, opts),
-        20 => q20(rel, opts),
-        21 => q21(rel, opts),
-        22 => q22(rel, opts),
+        1 => q1(rel),
+        2 => q2(rel),
+        3 => q3(rel),
+        4 => q4(rel),
+        5 => q5(rel),
+        6 => q6(rel),
+        7 => q7(rel),
+        8 => q8(rel),
+        9 => q9(rel),
+        10 => q10(rel),
+        11 => q11(rel),
+        12 => q12(rel),
+        13 => q13(rel),
+        14 => q14(rel),
+        15 => q15(rel),
+        16 => q16(rel),
+        17 => q17(rel),
+        18 => q18(rel),
+        19 => q19(rel),
+        20 => q20(rel),
+        21 => q21(rel),
+        22 => q22(rel),
         _ => panic!("TPC-H has queries 1..=22, got {n}"),
     }
+}
+
+/// Run TPC-H query `n` (1-based) against the combined relation, planning
+/// with [`PlannerOptions::compat`] so `opts.optimize_joins` maps to the
+/// join-reorder pass.
+pub fn run_query(n: usize, rel: &Relation, opts: ExecOptions) -> ResultSet {
+    run_planned(n, rel, &PlannerOptions::compat(opts.optimize_joins), opts)
+}
+
+/// Run query `n` with explicit planner passes (pass-toggle experiments).
+pub fn run_planned(
+    n: usize,
+    rel: &Relation,
+    popts: &PlannerOptions,
+    opts: ExecOptions,
+) -> ResultSet {
+    jt_query::optimize(plan_query(n, rel), popts)
+        .lower()
+        .run_with(opts)
+}
+
+/// The full `EXPLAIN` text of query `n`: canonical logical tree, per-pass
+/// deltas, physical plan.
+pub fn explain_query(n: usize, rel: &Relation, popts: &PlannerOptions) -> String {
+    jt_query::explain_text(&jt_query::plan_and_lower(plan_query(n, rel), popts))
 }
 
 /// Revenue expression: `l_extendedprice * (1 - l_discount)`.
@@ -54,7 +83,7 @@ fn revenue() -> Expr {
     col("l_extendedprice").mul(lit(1).sub(col("l_discount")))
 }
 
-fn lineitem<'a>(q: Query<'a>) -> Query<'a> {
+fn lineitem<'a>(q: LogicalBuilder<'a>) -> LogicalBuilder<'a> {
     q.access("l_orderkey", AccessType::Int)
         .access("l_quantity", AccessType::Int)
         .access("l_extendedprice", AccessType::Numeric)
@@ -63,8 +92,8 @@ fn lineitem<'a>(q: Query<'a>) -> Query<'a> {
 
 /// Q1: pricing summary report — expression calculation & low-cardinality
 /// aggregation over lineitem only.
-fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("l", rel)
+fn q1(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("l", rel)
         .access("l_returnflag", AccessType::Text)
         .access("l_linestatus", AccessType::Text)
         .access("l_quantity", AccessType::Int)
@@ -88,12 +117,12 @@ fn q1(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q2: minimum-cost supplier (simplified: subquery replaced by ordering).
-fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("p", rel)
+fn q2(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("p", rel)
         .access("p_partkey", AccessType::Int)
         .access("p_type", AccessType::Text)
         .access("p_size", AccessType::Int)
@@ -129,12 +158,12 @@ fn q2(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(4, true)
         .limit(10)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q3: shipping priority — join & aggregation chokepoint.
-fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("c", rel)
+fn q3(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .access("c_mktsegment", AccessType::Text)
         .filter(col("c_mktsegment").eq(lit_str("BUILDING")))
@@ -152,12 +181,12 @@ fn q3(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("o_orderkey")], vec![Agg::sum(revenue())])
         .order_by(1, true)
         .limit(10)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q4: order priority checking — EXISTS → semi join.
-fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("o", rel)
+fn q4(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("o", rel)
         .access("o_orderkey", AccessType::Int)
         .access("o_orderdate", AccessType::Timestamp)
         .access("o_orderpriority", AccessType::Text)
@@ -174,12 +203,12 @@ fn q4(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .semi_on("o_orderkey", "l_orderkey")
         .aggregate(vec![col("o_orderpriority")], vec![Agg::count_star()])
         .order_by(0, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q5: local supplier volume.
-fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("c", rel)
+fn q5(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .access("c_nationkey", AccessType::Int)
         .join("o", rel)
@@ -214,12 +243,12 @@ fn q5(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .filter_joined(col("c_nationkey").eq(col("s_nationkey")))
         .aggregate(vec![col("n_name")], vec![Agg::sum(revenue())])
         .order_by(1, true)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q6: forecasting revenue change — pure scan + predicate chokepoint.
-fn q6(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("l", rel)
+fn q6(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("l", rel)
         .access("l_shipdate", AccessType::Timestamp)
         .access("l_discount", AccessType::Numeric)
         .access("l_quantity", AccessType::Int)
@@ -236,12 +265,12 @@ fn q6(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![],
             vec![Agg::sum(col("l_extendedprice").mul(col("l_discount")))],
         )
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q7: volume shipping between two nations, by year.
-fn q7(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("s", rel)
+fn q7(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("s", rel)
         .access("s_suppkey", AccessType::Int)
         .access("s_nationkey", AccessType::Int)
         .join("l", rel);
@@ -277,12 +306,12 @@ fn q7(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q8: national market share within a region, by year.
-fn q8(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("p", rel)
+fn q8(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("p", rel)
         .access("p_partkey", AccessType::Int)
         .access("p_type", AccessType::Text)
         .filter(col("p_type").eq(lit_str("ECONOMY ANODIZED STEEL")))
@@ -319,12 +348,12 @@ fn q8(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::sum(revenue()), Agg::count_star()],
         )
         .order_by(0, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q9: product type profit measure, by nation and year.
-fn q9(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("p", rel)
+fn q9(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("p", rel)
         .access("p_partkey", AccessType::Int)
         .access("p_name", AccessType::Text)
         .filter(col("p_name").contains("bold"))
@@ -351,12 +380,12 @@ fn q9(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, true)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q10: returned-item reporting — the Figure 5 example query.
-fn q10(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("c", rel)
+fn q10(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .access("c_name", AccessType::Text)
         .access("c_acctbal", AccessType::Numeric)
@@ -381,12 +410,12 @@ fn q10(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(2, true)
         .limit(20)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q11: important stock identification (simplified threshold).
-fn q11(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("ps", rel)
+fn q11(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("ps", rel)
         .access("ps_partkey", AccessType::Int)
         .access("ps_suppkey", AccessType::Int)
         .access("ps_availqty", AccessType::Int)
@@ -406,12 +435,12 @@ fn q11(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(1, true)
         .limit(20)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q12: shipping modes and order priority.
-fn q12(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("o", rel)
+fn q12(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("o", rel)
         .access("o_orderkey", AccessType::Int)
         .access("o_orderpriority", AccessType::Text)
         .join("l", rel)
@@ -435,12 +464,12 @@ fn q12(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(0, false)
         .order_by(1, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q13: customer order-count distribution (inner-join variant).
-fn q13(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("c", rel)
+fn q13(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .join("o", rel)
         .access("o_custkey", AccessType::Int)
@@ -455,12 +484,12 @@ fn q13(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("c_custkey")], vec![Agg::count_star()])
         .order_by(1, true)
         .limit(20)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q14: promotion effect — share of promo parts in monthly revenue.
-fn q14(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("l", rel);
+fn q14(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("l", rel);
     lineitem(q)
         .access("l_partkey", AccessType::Int)
         .access("l_shipdate", AccessType::Timestamp)
@@ -478,12 +507,12 @@ fn q14(rel: &Relation, opts: ExecOptions) -> ResultSet {
             vec![Agg::sum(revenue())],
         )
         .order_by(0, false)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q15: top supplier by quarterly revenue.
-fn q15(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("l", rel);
+fn q15(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("l", rel);
     lineitem(q)
         .access("l_suppkey", AccessType::Int)
         .access("l_shipdate", AccessType::Timestamp)
@@ -502,12 +531,12 @@ fn q15(rel: &Relation, opts: ExecOptions) -> ResultSet {
         )
         .order_by(2, true)
         .limit(1)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q16: parts/supplier relationship counting.
-fn q16(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("p", rel)
+fn q16(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("p", rel)
         .access("p_partkey", AccessType::Int)
         .access("p_brand", AccessType::Text)
         .access("p_type", AccessType::Text)
@@ -538,12 +567,12 @@ fn q16(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(3, true)
         .order_by(0, false)
         .limit(20)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q17: small-quantity-order revenue (fixed quantity threshold).
-fn q17(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("p", rel)
+fn q17(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("p", rel)
         .access("p_partkey", AccessType::Int)
         .access("p_brand", AccessType::Text)
         .access("p_container", AccessType::Text)
@@ -558,13 +587,13 @@ fn q17(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .filter(col("l_quantity").lt(lit(3)))
         .on("p_partkey", "l_partkey")
         .aggregate(vec![], vec![Agg::sum(col("l_extendedprice").div(lit(7)))])
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q18: large-volume customers — join & high-cardinality aggregation
 /// chokepoint (Figures 7/8).
-fn q18(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("c", rel)
+fn q18(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .access("c_name", AccessType::Text)
         .join("o", rel)
@@ -590,12 +619,12 @@ fn q18(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(4, true)
         .order_by(3, false)
         .limit(100)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q19: discounted revenue — disjunctive predicate chokepoint.
-fn q19(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    let q = Query::scan("l", rel);
+fn q19(rel: &Relation) -> LogicalPlan<'_> {
+    let q = LogicalPlan::scan("l", rel);
     lineitem(q)
         .access("l_partkey", AccessType::Int)
         .access("l_shipmode", AccessType::Text)
@@ -628,12 +657,12 @@ fn q19(rel: &Relation, opts: ExecOptions) -> ResultSet {
                     .and(col("p_size").le(lit(15)))),
         )
         .aggregate(vec![], vec![Agg::sum(revenue())])
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q20: potential part promotion (simplified availqty threshold).
-fn q20(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("s", rel)
+fn q20(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("s", rel)
         .access("s_suppkey", AccessType::Int)
         .access("s_name", AccessType::Text)
         .access("s_nationkey", AccessType::Int)
@@ -650,13 +679,13 @@ fn q20(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .aggregate(vec![col("s_name")], vec![Agg::count_star()])
         .order_by(0, false)
         .limit(20)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q21: suppliers who kept orders waiting (simplified: receipt after
 /// commit on finalized orders).
-fn q21(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("s", rel)
+fn q21(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("s", rel)
         .access("s_suppkey", AccessType::Int)
         .access("s_name", AccessType::Text)
         .access("s_nationkey", AccessType::Int)
@@ -686,12 +715,12 @@ fn q21(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .order_by(1, true)
         .order_by(0, false)
         .limit(100)
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Q22: global sales opportunity — anti join on customers without orders.
-fn q22(rel: &Relation, opts: ExecOptions) -> ResultSet {
-    Query::scan("c", rel)
+fn q22(rel: &Relation) -> LogicalPlan<'_> {
+    LogicalPlan::scan("c", rel)
         .access("c_custkey", AccessType::Int)
         .access("c_phone", AccessType::Text)
         .access("c_acctbal", AccessType::Numeric)
@@ -700,18 +729,18 @@ fn q22(rel: &Relation, opts: ExecOptions) -> ResultSet {
         .access("o_custkey", AccessType::Int)
         .anti_on("c_custkey", "o_custkey")
         .aggregate(vec![], vec![Agg::count_star(), Agg::sum(col("c_acctbal"))])
-        .run_with(opts.clone())
+        .build()
 }
 
 /// Helper trait so Q4 can push a cross-column predicate into the scan
 /// (commit < receipt involves two slots of the same table, which *is*
 /// pushable — both live in the lineitem scan).
 trait CrossSlotFilter<'a> {
-    fn filter_cross_slots(self) -> Query<'a>;
+    fn filter_cross_slots(self) -> LogicalBuilder<'a>;
 }
 
-impl<'a> CrossSlotFilter<'a> for Query<'a> {
-    fn filter_cross_slots(self) -> Query<'a> {
+impl<'a> CrossSlotFilter<'a> for LogicalBuilder<'a> {
+    fn filter_cross_slots(self) -> LogicalBuilder<'a> {
         self.filter(col("l_commitdate").lt(col("l_receiptdate")))
     }
 }
@@ -823,7 +852,7 @@ mod tests {
     fn q1_aggregates_are_consistent() {
         let docs = small_combined();
         let rel = load(&docs, StorageMode::Tiles);
-        let r = q1(&rel, ExecOptions::default());
+        let r = run_query(1, &rel, ExecOptions::default());
         assert!(r.rows() >= 3, "A/F, N/O, R/F groups");
         // sum(qty) / count == avg(qty) per group.
         for row in 0..r.rows() {

@@ -220,8 +220,15 @@ fn cmd_sql(args: &[String]) -> i32 {
             println!("{plan}");
             0
         }
-        Ok(sql::SqlOutput::Analyze { rendered, .. }) => {
-            println!("{rendered}");
+        Ok(sql::SqlOutput::Analyze { rendered, result }) => {
+            // Profile first, then the rows it describes — same order as
+            // the serve protocol's multi-line payload.
+            for line in rendered.lines() {
+                println!("{line}");
+            }
+            for line in result.to_lines() {
+                println!("{line}");
+            }
             0
         }
         Err(e) => {

@@ -151,6 +151,48 @@ fn tpch_results_are_bit_identical_across_thread_counts() {
     );
 }
 
+/// The logical rewrite passes are semantics-preserving: for every TPC-H
+/// query, disabling any single pass yields a result bit-identical to the
+/// all-passes plan, at threads 1 and 4. Disabling join-reorder also turns
+/// off the executor's runtime greedy ordering, so the declaration-order
+/// plan actually executes — the strongest form of the claim.
+#[test]
+fn planner_passes_preserve_tpch_results() {
+    use json_tiles::query::{Pass, PlannerOptions, Scalar};
+    let rel = combined_relation(0.04, 7);
+    let bit_eq = |a: Scalar, b: Scalar| match (a, b) {
+        (Scalar::Float(x), Scalar::Float(y)) => x.to_bits() == y.to_bits(),
+        (a, b) => a == b,
+    };
+    for threads in [1usize, 4] {
+        let exec = |optimize_joins: bool| ExecOptions {
+            threads,
+            optimize_joins,
+            ..ExecOptions::default()
+        };
+        for q in 1..=tpch::QUERY_COUNT {
+            let base = tpch::run_planned(q, &rel, &PlannerOptions::default(), exec(true));
+            for pass in Pass::ALL {
+                let popts = PlannerOptions::default().without(pass);
+                let alt = tpch::run_planned(q, &rel, &popts, exec(pass != Pass::JoinReorder));
+                let label = || format!("Q{q} t={threads} without {}", pass.name());
+                assert_eq!(alt.rows(), base.rows(), "{}: row count", label());
+                assert_eq!(alt.chunk.width(), base.chunk.width(), "{}: width", label());
+                for c in 0..base.chunk.width() {
+                    for r in 0..base.rows() {
+                        let (a, b) = (alt.chunk.get(r, c), base.chunk.get(r, c));
+                        assert!(
+                            bit_eq(a.clone(), b.clone()),
+                            "{}: row {r} col {c}: {a:?} vs {b:?}",
+                            label()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A single-table ORDER BY large enough for the morsel-parallel sort (and,
 /// with LIMIT, the bounded-heap top-K path): results must be bit-identical
 /// across thread counts and the profile must show the parallel shape.
