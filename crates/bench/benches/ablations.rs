@@ -34,11 +34,12 @@ fn bench_optimization_levels(c: &mut Criterion) {
             threads: 1,
             enable_skipping: skip,
             optimize_joins: true,
+            ..ExecOptions::default()
         };
         // Q1 exercises date extraction; Q6 exercises skipping + dates.
         for q in [1usize, 6] {
             group.bench_with_input(BenchmarkId::new(label, format!("Q{q}")), &q, |b, &q| {
-                b.iter(|| tpch::run_query(q, &rel, opts));
+                b.iter(|| tpch::run_query(q, &rel, opts.clone()));
             });
         }
     }

@@ -39,8 +39,12 @@
 //! ```
 
 mod histogram;
+mod prom;
+mod trace;
 
 pub use histogram::{bucket_index, bucket_upper, Histogram, BUCKETS};
+pub use prom::prometheus_name;
+pub use trace::{QueryOutcome, QueryTrace};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -316,10 +320,17 @@ impl Snapshot {
         out.push_str("}}");
         out
     }
+
+    /// Serialize in the Prometheus text exposition format: counters,
+    /// gauges, and cumulative-bucket histograms under sanitized `jt_`
+    /// metric names (see the `prom` module docs for the naming rules).
+    pub fn to_prometheus(&self) -> String {
+        prom::render(self)
+    }
 }
 
 /// Append `s` as a JSON string literal.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

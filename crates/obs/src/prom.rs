@@ -1,0 +1,248 @@
+//! Prometheus text exposition of a metrics [`Snapshot`].
+//!
+//! Renders the registry in the [text-based exposition format] so any
+//! Prometheus-compatible scraper can consume `jt serve`'s `.metrics prom`
+//! (or `jt metrics --prom`) output directly:
+//!
+//! * counters and gauges become one `# HELP`/`# TYPE`/sample triple each;
+//! * histograms become classic `_bucket`/`_sum`/`_count` families with
+//!   **cumulative** bucket counts over the log₂ bucket upper bounds
+//!   (values are whatever unit the histogram records — nanoseconds for
+//!   `_ns`-suffixed names — not Prometheus' idiomatic seconds; the `le`
+//!   labels carry the same unit);
+//! * registry names are sanitized into the metric-name grammar
+//!   `[a-zA-Z_:][a-zA-Z0-9_:]*`: every other character becomes `_`, and
+//!   everything is namespaced under `jt_` (`server.queries.ok` →
+//!   `jt_server_queries_ok`). Two registry names that collide after
+//!   sanitization get deterministic `_2`, `_3`, … suffixes in snapshot
+//!   (counters, gauges, histograms) and name order.
+//!
+//! [text-based exposition format]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use crate::{Histogram, Snapshot};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Sanitize a registry name into the Prometheus metric-name grammar,
+/// namespaced under `jt_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 3);
+    out.push_str("jt_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a registry name for use inside a `# HELP` line (backslash and
+/// newline are the only characters the format escapes there).
+fn help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Claim `base` in `used`, appending `_2`, `_3`, … on collision.
+fn unique(base: String, used: &mut BTreeSet<String>) -> String {
+    if used.insert(base.clone()) {
+        return base;
+    }
+    for i in 2u32.. {
+        let candidate = format!("{base}_{i}");
+        if used.insert(candidate.clone()) {
+            return candidate;
+        }
+    }
+    unreachable!("u32 exhausted");
+}
+
+/// Render `snapshot` in the Prometheus text exposition format. Output is
+/// deterministic: families appear counters, gauges, histograms, each in
+/// registry-name order.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let mut used = BTreeSet::new();
+    for (name, value) in &snapshot.counters {
+        let metric = unique(prometheus_name(name), &mut used);
+        let _ = writeln!(out, "# HELP {metric} jt-obs counter {}", help_escape(name));
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = unique(prometheus_name(name), &mut used);
+        let _ = writeln!(out, "# HELP {metric} jt-obs gauge {}", help_escape(name));
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let metric = unique(prometheus_name(name), &mut used);
+        // The histogram family claims its suffixed sample names too, so a
+        // plain counter named e.g. `x.ns.sum` cannot collide with them.
+        for suffix in ["_bucket", "_sum", "_count"] {
+            used.insert(format!("{metric}{suffix}"));
+        }
+        let _ = writeln!(
+            out,
+            "# HELP {metric} jt-obs log2 histogram {}",
+            help_escape(name)
+        );
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        render_histogram(&mut out, &metric, hist);
+    }
+    out
+}
+
+/// Emit one histogram family: cumulative `_bucket` samples over the
+/// non-empty prefix of log₂ buckets, the `+Inf` bucket, `_sum`, `_count`.
+fn render_histogram(out: &mut String, metric: &str, hist: &Histogram) {
+    let mut cumulative = 0u64;
+    let mut highest = 0usize;
+    for i in 0..crate::BUCKETS {
+        if hist.bucket(i) > 0 {
+            highest = i;
+        }
+    }
+    // The last bucket's upper bound is u64::MAX; `+Inf` already covers it.
+    for i in 0..=highest.min(crate::BUCKETS - 2) {
+        cumulative += hist.bucket(i);
+        if hist.bucket(i) == 0 && i != highest {
+            continue; // keep output compact; cumulative counts stay valid
+        }
+        let _ = writeln!(
+            out,
+            "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+            crate::bucket_upper(i)
+        );
+    }
+    let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", hist.count());
+    let _ = writeln!(out, "{metric}_sum {}", hist.sum());
+    let _ = writeln!(out, "{metric}_count {}", hist.count());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn name_sanitization() {
+        assert_eq!(prometheus_name("server.queries.ok"), "jt_server_queries_ok");
+        assert_eq!(prometheus_name("a-b c\"d\ne"), "jt_a_b_c_d_e");
+        assert_eq!(prometheus_name("query.exec.ns"), "jt_query_exec_ns");
+        assert_eq!(prometheus_name(""), "jt_");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_triples() {
+        let r = Registry::new();
+        r.counter("server.queries.ok").add(3);
+        r.gauge("server.queue.depth").set(-2);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# HELP jt_server_queries_ok jt-obs counter server.queries.ok\n"));
+        assert!(text.contains("# TYPE jt_server_queries_ok counter\n"));
+        assert!(text.contains("\njt_server_queries_ok 3\n") || text.starts_with("# HELP"));
+        assert!(text.contains("jt_server_queries_ok 3\n"));
+        assert!(text.contains("# TYPE jt_server_queue_depth gauge\n"));
+        assert!(text.contains("jt_server_queue_depth -2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_with_inf() {
+        let r = Registry::new();
+        let h = r.histogram("q.ns");
+        for v in [0u64, 1, 1, 5, 1000] {
+            h.record(v);
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE jt_q_ns histogram\n"));
+        assert!(text.contains("jt_q_ns_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("jt_q_ns_bucket{le=\"1\"} 3\n"), "{text}");
+        assert!(text.contains("jt_q_ns_bucket{le=\"7\"} 4\n"), "{text}");
+        assert!(text.contains("jt_q_ns_bucket{le=\"1023\"} 5\n"), "{text}");
+        assert!(text.contains("jt_q_ns_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("jt_q_ns_sum 1007\n"));
+        assert!(text.contains("jt_q_ns_count 5\n"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "cumulative violated at {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn u64_max_observation_lands_in_inf_only() {
+        let r = Registry::new();
+        r.histogram("big.ns").record(u64::MAX);
+        let text = render(&r.snapshot());
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)));
+        assert!(text.contains("jt_big_ns_bucket{le=\"+Inf\"} 1\n"));
+        assert!(text.contains("jt_big_ns_count 1\n"));
+    }
+
+    #[test]
+    fn colliding_names_get_deterministic_suffixes() {
+        let r = Registry::new();
+        r.counter("a.b").add(1);
+        r.counter("a:b").add(2);
+        r.gauge("a b").set(3);
+        let text = render(&r.snapshot());
+        // "a.b" sorts before "a:b" in the counter map; the gauge comes
+        // after all counters. Note "a:b" keeps its colon (valid in the
+        // grammar) so only "a b" collides with "a.b".
+        assert!(text.contains("jt_a_b 1\n"));
+        assert!(text.contains("jt_a:b 2\n"));
+        assert!(text.contains("jt_a_b_2 3\n"), "{text}");
+    }
+
+    #[test]
+    fn help_lines_escape_weird_registry_names() {
+        let r = Registry::new();
+        r.counter("weird\nname\\x").add(1);
+        let text = render(&r.snapshot());
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || !line.is_empty(),
+                "no blank/continuation lines"
+            );
+        }
+        assert!(text.contains("# HELP jt_weird_name_x jt-obs counter weird\\nname\\\\x\n"));
+    }
+
+    #[test]
+    fn every_line_matches_the_exposition_grammar() {
+        let r = Registry::new();
+        r.counter("c.one").add(1);
+        r.gauge("g.one").set(-5);
+        r.histogram("h.ns").record(3);
+        let text = render(&r.snapshot());
+        let name = |s: &str| {
+            !s.is_empty()
+                && s.chars().next().unwrap().is_ascii_alphabetic()
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        };
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let (n, _) = rest.split_once(' ').expect("help has text");
+                assert!(name(n), "bad HELP name in {line}");
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (n, ty) = rest.split_once(' ').expect("type has kind");
+                assert!(name(n), "bad TYPE name in {line}");
+                assert!(matches!(ty, "counter" | "gauge" | "histogram"));
+            } else {
+                let (sample, value) = line.rsplit_once(' ').expect("sample line");
+                let metric = sample.split('{').next().unwrap();
+                assert!(name(metric), "bad metric name in {line}");
+                assert!(
+                    value.parse::<i64>().is_ok() || value == "+Inf",
+                    "bad value in {line}"
+                );
+            }
+        }
+    }
+}

@@ -68,8 +68,8 @@ pub use join::{
 pub use jt_core::AccessType;
 pub use kernel::SelVec;
 pub use logical::{
-    explain_text, optimize, optimize_with_reports, plan_and_lower, LogicalBuilder, LogicalPlan,
-    Pass, PassReport, Planned, PlannerOptions,
+    explain_text, optimize, optimize_timed, optimize_with_reports, plan_and_lower, LogicalBuilder,
+    LogicalPlan, Pass, PassReport, PassTiming, Planned, PlannerOptions,
 };
 pub use plan::{ExecOptions, JoinExplain, PlanExplain, Query, ResultSet, TableExplain};
 pub use profile::{ExecProfile, JoinProfile, ScanProfile, StageProfile};

@@ -32,6 +32,7 @@ use crate::plan::Query;
 use jt_core::{AccessType, Relation};
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
 // IR
@@ -1103,6 +1104,20 @@ pub struct PassReport {
     pub after: String,
     /// Whether the pass changed the tree.
     pub changed: bool,
+    /// Wall time of the rewrite itself (rendering excluded). Never
+    /// printed in `EXPLAIN` output — the plan goldens must stay
+    /// deterministic — but exported into query traces.
+    pub wall: Duration,
+}
+
+/// One pass's wall time, the cheap sibling of [`PassReport`] for hot
+/// paths that want planner timings without rendering the tree.
+#[derive(Debug, Clone, Copy)]
+pub struct PassTiming {
+    /// [`Pass::name`].
+    pub name: &'static str,
+    /// Wall time of the rewrite.
+    pub wall: Duration,
 }
 
 /// Run the enabled passes in canonical order. No rendering — this is the
@@ -1117,6 +1132,29 @@ pub fn optimize<'a>(plan: LogicalPlan<'a>, opts: &PlannerOptions) -> LogicalPlan
     plan
 }
 
+/// Like [`optimize`], also timing each enabled pass. The only added cost
+/// over [`optimize`] is one `Instant` pair per pass — what the query
+/// service uses to put planner timings into every trace without paying
+/// for rendering.
+pub fn optimize_timed<'a>(
+    plan: LogicalPlan<'a>,
+    opts: &PlannerOptions,
+) -> (LogicalPlan<'a>, Vec<PassTiming>) {
+    let mut plan = plan;
+    let mut timings = Vec::with_capacity(Pass::ALL.len());
+    for pass in Pass::ALL {
+        if opts.enabled(pass) {
+            let t0 = Instant::now();
+            plan = run_pass(plan, pass, &opts.cost);
+            timings.push(PassTiming {
+                name: pass.name(),
+                wall: t0.elapsed(),
+            });
+        }
+    }
+    (plan, timings)
+}
+
 /// Like [`optimize`], also rendering the tree before/after every enabled
 /// pass (each render re-samples cardinalities — not free; EXPLAIN only).
 pub fn optimize_with_reports<'a>(
@@ -1128,13 +1166,16 @@ pub fn optimize_with_reports<'a>(
     for pass in Pass::ALL {
         if opts.enabled(pass) {
             let before = plan.render_with(&opts.cost);
+            let t0 = Instant::now();
             plan = run_pass(plan, pass, &opts.cost);
+            let wall = t0.elapsed();
             let after = plan.render_with(&opts.cost);
             reports.push(PassReport {
                 name: pass.name(),
                 changed: before != after,
                 before,
                 after,
+                wall,
             });
         }
     }

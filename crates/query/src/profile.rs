@@ -10,6 +10,7 @@
 //! the global [`jt_obs`] registry is gated on [`jt_obs::enabled`].
 
 use crate::scan::ScanStats;
+use std::fmt::Write as _;
 use std::time::Duration;
 
 /// One table scan of a query.
@@ -114,6 +115,99 @@ impl ExecProfile {
             s.merge(&p.stats);
         }
         s
+    }
+
+    /// Serialize as the `jt-exec-profile/v1` JSON document: the machine
+    /// form of [`ExecProfile::render`], embedded in query traces so
+    /// operator-level detail rides along with every logged query.
+    /// One line, durations in nanoseconds, scan stats flattened.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"jt-exec-profile/v1\",\"total_ns\":{},\"rows_out\":{},\"scans\":[",
+            ns(self.total),
+            self.rows_out
+        );
+        for (i, p) in self.scans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let s = &p.stats;
+            out.push_str("{\"table\":");
+            json_str(&mut out, &p.table);
+            let _ = write!(
+                out,
+                ",\"rows_total\":{},\"estimated_rows\":{},\"wall_ns\":{},\
+                 \"tiles_total\":{},\"tiles_scanned\":{},\"tiles_skipped\":{},\
+                 \"skipped_header_stats\":{},\"skipped_bloom\":{},\"skipped_bound\":{},\
+                 \"rows_scanned\":{},\"rows_kernel\":{},\"rows_batched\":{},\
+                 \"rows_exact\":{},\"rows_passthrough\":{},\"rows_out\":{}}}",
+                p.rows_total,
+                p.estimated_rows,
+                ns(p.wall),
+                s.total_tiles,
+                s.scanned_tiles,
+                s.skipped_tiles,
+                s.skipped_header_stats,
+                s.skipped_bloom,
+                s.skipped_bound,
+                s.rows_scanned,
+                s.rows_kernel,
+                s.rows_batched,
+                s.rows_exact,
+                s.rows_passthrough,
+                s.rows_out,
+            );
+        }
+        out.push_str("],\"joins\":[");
+        for (i, j) in self.joins.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"left\":");
+            json_str(&mut out, &j.left);
+            out.push_str(",\"right\":");
+            json_str(&mut out, &j.right);
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"build_rows\":{},\"probe_rows\":{},\"rows_out\":{},\
+                 \"estimated_out\":{},\"wall_ns\":{},\"partitions\":{},\"threads\":{},\
+                 \"build_wall_ns\":{},\"probe_wall_ns\":{}}}",
+                j.kind,
+                j.build_rows,
+                j.probe_rows,
+                j.rows_out,
+                j.estimated_out,
+                ns(j.wall),
+                j.partitions,
+                j.threads,
+                ns(j.build_wall),
+                ns(j.probe_wall),
+            );
+        }
+        out.push_str("],\"stages\":[");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"rows_out\":{},\"wall_ns\":{},\"threads\":{},\
+                 \"partitions\":{},\"eval_wall_ns\":{},\"accumulate_wall_ns\":{},\
+                 \"merge_wall_ns\":{}}}",
+                st.name,
+                st.rows_out,
+                ns(st.wall),
+                st.threads,
+                st.partitions,
+                ns(st.eval_wall),
+                ns(st.accumulate_wall),
+                ns(st.merge_wall),
+            );
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Render the per-operator tree the `EXPLAIN ANALYZE` front ends print.
@@ -242,6 +336,31 @@ impl ExecProfile {
         }
         out
     }
+}
+
+/// Saturating nanoseconds of a duration (JSON export).
+fn ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Append `s` as a JSON string literal (table labels may contain
+/// arbitrary user-supplied names).
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Human wall-time formatting with a unit that keeps 3 significant digits.
@@ -392,6 +511,72 @@ mod tests {
         assert!(text.contains("`- order-by: 6 rows ["));
         assert!(!text.contains("(p="));
         assert!(!text.contains("(t="));
+    }
+
+    #[test]
+    fn to_json_serializes_all_operator_kinds() {
+        let profile = ExecProfile {
+            scans: vec![ScanProfile {
+                table: "or\"ders".into(),
+                rows_total: 4096,
+                estimated_rows: 120.0,
+                stats: ScanStats {
+                    total_tiles: 4,
+                    scanned_tiles: 3,
+                    skipped_tiles: 1,
+                    skipped_header_stats: 1,
+                    rows_scanned: 3072,
+                    rows_kernel: 3000,
+                    rows_exact: 72,
+                    rows_out: 100,
+                    ..ScanStats::default()
+                },
+                wall: Duration::from_micros(420),
+            }],
+            joins: vec![JoinProfile {
+                left: "o_id".into(),
+                right: "l_id".into(),
+                kind: "inner",
+                build_rows: 100,
+                probe_rows: 900,
+                rows_out: 250,
+                estimated_out: 240.0,
+                wall: Duration::from_micros(80),
+                partitions: 64,
+                threads: 4,
+                build_wall: Duration::from_micros(30),
+                probe_wall: Duration::from_micros(45),
+            }],
+            stages: vec![StageProfile {
+                name: "aggregate",
+                rows_out: 7,
+                wall: Duration::from_micros(15),
+                threads: 4,
+                partitions: 64,
+                eval_wall: Duration::from_micros(6),
+                accumulate_wall: Duration::from_micros(5),
+                merge_wall: Duration::from_micros(2),
+            }],
+            total: Duration::from_micros(600),
+            rows_out: 7,
+        };
+        let j = profile.to_json();
+        assert!(!j.contains('\n'), "single line");
+        assert!(j.starts_with("{\"schema\":\"jt-exec-profile/v1\",\"total_ns\":600000"));
+        assert!(j.contains("\"table\":\"or\\\"ders\""), "escaped: {j}");
+        assert!(j.contains("\"estimated_rows\":120"));
+        assert!(j.contains("\"rows_kernel\":3000"));
+        assert!(j.contains("\"kind\":\"inner\""));
+        assert!(j.contains("\"probe_wall_ns\":45000"));
+        assert!(j.contains("\"name\":\"aggregate\""));
+        assert!(j.contains("\"accumulate_wall_ns\":5000"));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "balanced: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

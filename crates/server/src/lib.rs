@@ -41,15 +41,35 @@
 //! .timeout <ms>             per-connection query deadline (0 clears)
 //! .sleep <ms>               cooperative test query (respects deadline)
 //! .panic <msg>              deliberately panicking test query
-//! .metrics                  jt-obs registry snapshot as JSON
+//! .metrics [prom]           jt-obs registry snapshot as JSON, or in the
+//!                           Prometheus text exposition format
+//! .log [n]                  last n query traces (default: all retained)
+//! .slow [n]                 last n traces pinned by the slow threshold
+//! .trace <id>               one trace as full `jt-trace/v1` JSON
 //! .shutdown                 begin graceful shutdown
 //! ```
+//!
+//! ## Query tracing
+//!
+//! Every pool-executed request (SQL, `.sleep`, `.panic`) — including ones
+//! rejected at admission — produces one [`QueryTrace`]: client address,
+//! request text, pinned generation, per-phase durations (queue wait,
+//! planning with per-pass detail, execution, response write), rows, and
+//! an outcome (`ok`/`err`/`rejected`/`timeout`/`panicked`). Traces land
+//! in a bounded ring buffer ([`QueryLog`]); ones at or over the
+//! configured slow threshold are additionally pinned into a separate
+//! bounded slow log. The outcome also increments exactly one
+//! `server.queries.<outcome>` counter at response time, so the metrics
+//! and the query log reconcile.
 
 mod generation;
 mod pool;
+mod querylog;
 
 pub use generation::{Catalog, Generation, TableState};
+pub use jt_obs::{QueryOutcome, QueryTrace};
 pub use pool::{JobMode, Pool, Rejected};
+pub use querylog::QueryLog;
 
 use jt_core::Relation;
 use jt_query::{CancelToken, ExecOptions};
@@ -82,6 +102,14 @@ pub struct ServerConfig {
     pub checkpoints: Vec<(String, PathBuf)>,
     /// Execution options template; `cancel` is replaced per query.
     pub exec: ExecOptions,
+    /// Query-log ring capacity; 0 disables trace retention entirely
+    /// (trace ids keep incrementing, outcome counters keep counting).
+    pub log_capacity: usize,
+    /// Slow-log ring capacity (traces pinned past eviction).
+    pub slow_log_capacity: usize,
+    /// Total-duration threshold at or over which a trace is pinned into
+    /// the slow log (`None` disables slow capture; `--slow-ms` sets it).
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +122,9 @@ impl Default for ServerConfig {
             append_threshold: 4096,
             checkpoints: Vec::new(),
             exec: ExecOptions::default(),
+            log_capacity: 256,
+            slow_log_capacity: 64,
+            slow_threshold: None,
         }
     }
 }
@@ -105,6 +136,7 @@ struct Shared {
     pool: Mutex<Option<Pool>>,
     shutdown: AtomicBool,
     config: ServerConfig,
+    log: QueryLog,
 }
 
 impl Shared {
@@ -136,11 +168,17 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let pool = Pool::new(config.workers, config.queue_capacity);
+        let log = QueryLog::new(
+            config.log_capacity,
+            config.slow_log_capacity,
+            config.slow_threshold,
+        );
         let shared = Arc::new(Shared {
             catalog: Catalog::new(tables),
             pool: Mutex::new(Some(pool)),
             shutdown: AtomicBool::new(false),
             config,
+            log,
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -165,6 +203,16 @@ impl Server {
     /// The bound listen address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Retained query traces, oldest first (what `.log` serves).
+    pub fn traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.shared.log.recent(usize::MAX)
+    }
+
+    /// Traces pinned by the slow threshold, oldest first (`.slow`).
+    pub fn slow_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.shared.log.slow(usize::MAX)
     }
 
     /// Flag the server to shut down without waiting for it (what the
@@ -308,6 +356,10 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
     // A finite read timeout lets the reader poll the shutdown flag
     // between lines instead of blocking in read(2) forever.
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let client = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -337,7 +389,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) -> std::io::Result
         if request.is_empty() {
             continue;
         }
-        match dispatch(&request, shared, &mut timeout, &mut writer)? {
+        match dispatch(&request, shared, &mut timeout, &mut writer, &client)? {
             Flow::Continue => {}
             Flow::Close => return Ok(()),
         }
@@ -354,6 +406,7 @@ fn dispatch(
     shared: &Arc<Shared>,
     timeout: &mut Option<Duration>,
     writer: &mut TcpStream,
+    client: &str,
 ) -> std::io::Result<Flow> {
     // Inline commands answered by the connection thread itself.
     if let Some(rest) = request.strip_prefix('.') {
@@ -447,8 +500,63 @@ fn dispatch(
                 return Ok(Flow::Continue);
             }
             "metrics" => {
-                let json = jt_obs::global().snapshot().to_json();
-                write_ok(writer, &[json])?;
+                match args {
+                    "" => {
+                        let json = jt_obs::global().snapshot().to_json();
+                        write_ok(writer, &[json])?;
+                    }
+                    "prom" => {
+                        let text = jt_obs::global().snapshot().to_prometheus();
+                        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+                        write_ok(writer, &lines)?;
+                    }
+                    _ => write_err(writer, "usage: .metrics [prom]")?,
+                }
+                return Ok(Flow::Continue);
+            }
+            "log" | "slow" => {
+                if !shared.log.enabled() {
+                    write_err(writer, "query log disabled (log capacity 0)")?;
+                    return Ok(Flow::Continue);
+                }
+                if cmd == "slow" && shared.log.slow_threshold().is_none() {
+                    write_err(writer, "slow log disabled (no --slow-ms threshold)")?;
+                    return Ok(Flow::Continue);
+                }
+                let n = if args.is_empty() {
+                    usize::MAX
+                } else {
+                    match args.parse::<usize>() {
+                        Ok(n) => n,
+                        Err(_) => {
+                            write_err(writer, &format!("usage: .{cmd} [n]"))?;
+                            return Ok(Flow::Continue);
+                        }
+                    }
+                };
+                let traces = if cmd == "log" {
+                    shared.log.recent(n)
+                } else {
+                    shared.log.slow(n)
+                };
+                let lines: Vec<String> = traces.iter().map(|t| t.summary()).collect();
+                write_ok(writer, &lines)?;
+                return Ok(Flow::Continue);
+            }
+            "trace" => {
+                if !shared.log.enabled() {
+                    write_err(writer, "query log disabled (log capacity 0)")?;
+                    return Ok(Flow::Continue);
+                }
+                match args.parse::<u64>() {
+                    Ok(id) => match shared.log.get(id) {
+                        Some(t) => write_ok(writer, &[t.to_json()])?,
+                        None => {
+                            write_err(writer, &format!("no trace {id} (evicted or not assigned)"))?
+                        }
+                    },
+                    Err(_) => write_err(writer, "usage: .trace <id>")?,
+                }
                 return Ok(Flow::Continue);
             }
             "shutdown" => {
@@ -466,76 +574,140 @@ fn dispatch(
         }
     }
 
-    // Pool-executed work: SQL, `.sleep`, `.panic`. Pin the snapshot and
-    // build the cancel token at admission time.
+    // Pool-executed work: SQL, `.sleep`, `.panic`. Pin the snapshot,
+    // build the cancel token, and open the trace at admission time.
+    let t_admit = Instant::now();
     let cancel = match timeout {
         Some(d) => CancelToken::with_deadline(*d),
         None => CancelToken::new(),
     };
     let snapshots = shared.catalog.snapshot_all();
+    let generation = snapshots.iter().map(|(_, g)| g.id).max().unwrap_or(0);
+    let mut trace = QueryTrace::begin(shared.log.next_id(), client, request, generation);
     let request_owned = request.to_string();
     let exec_template = shared.config.exec.clone();
-    let (tx, rx) = mpsc::channel::<JobReply>();
+    let (tx, rx) = mpsc::channel::<(JobReply, QueryTrace)>();
 
+    let t_submit = Instant::now();
     let submitted = {
         let pool_slot = shared.pool.lock().expect("pool slot poisoned");
         let Some(pool) = pool_slot.as_ref() else {
-            write_err(writer, "rejected: shutting down")?;
+            drop(pool_slot);
+            trace.outcome = QueryOutcome::Rejected;
+            trace.error = Some("shutting down".to_string());
+            let reply = JobReply::Err("rejected: shutting down".to_string());
+            finish(shared, writer, trace, t_admit, &reply)?;
             return Ok(Flow::Continue);
         };
+        // The job gets its own copy of the trace; the original stays
+        // behind to cover the rejected / no-reply paths.
+        let job_trace = trace.clone();
         pool.submit(move |mode| {
+            let mut trace = job_trace;
+            trace.queue_wait = t_submit.elapsed();
             let reply = match mode {
                 JobMode::Abort => {
-                    jt_obs::counter_add!("server.queries.cancelled", 1);
+                    trace.outcome = QueryOutcome::Err;
+                    trace.error = Some("aborted: server shutting down".to_string());
                     JobReply::Err("aborted: server shutting down".to_string())
                 }
-                JobMode::Run => run_query(&request_owned, &snapshots, exec_template, &cancel),
+                JobMode::Run => {
+                    run_query(&request_owned, &snapshots, exec_template, &cancel, &mut trace)
+                }
             };
             // The connection may have vanished; a dead receiver is fine.
-            let _ = tx.send(reply);
+            let _ = tx.send((reply, trace));
         })
     };
     match submitted {
         Ok(()) => {
             jt_obs::counter_add!("server.queries.admitted", 1);
             match rx.recv() {
-                Ok(JobReply::Ok(lines)) => write_ok(writer, &lines)?,
-                Ok(JobReply::Err(msg)) => write_err(writer, &msg)?,
+                Ok((reply, job_trace)) => finish(shared, writer, job_trace, t_admit, &reply)?,
                 // Worker died before replying (outer catch_unwind ate a
                 // panic in the response path) — tell the client.
-                Err(_) => write_err(writer, "internal: query produced no reply")?,
+                Err(_) => {
+                    trace.outcome = QueryOutcome::Err;
+                    trace.error = Some("internal: query produced no reply".to_string());
+                    let reply = JobReply::Err("internal: query produced no reply".to_string());
+                    finish(shared, writer, trace, t_admit, &reply)?;
+                }
             }
         }
         Err(reason) => {
-            jt_obs::counter_add!("server.queries.rejected", 1);
-            write_err(writer, &format!("rejected: {reason}"))?;
+            trace.outcome = QueryOutcome::Rejected;
+            trace.error = Some(reason.to_string());
+            let reply = JobReply::Err(format!("rejected: {reason}"));
+            finish(shared, writer, trace, t_admit, &reply)?;
         }
     }
     Ok(Flow::Continue)
 }
 
+/// Write the reply, stamp the respond/total phases, bump exactly one
+/// `server.queries.<outcome>` counter, and retain the trace. Every
+/// pool-bound request — admitted or not — ends here exactly once, which
+/// is what keeps the outcome counters and the query log reconciled.
+fn finish(
+    shared: &Shared,
+    writer: &mut TcpStream,
+    mut trace: QueryTrace,
+    t_admit: Instant,
+    reply: &JobReply,
+) -> std::io::Result<()> {
+    let t_write = Instant::now();
+    let wrote = match reply {
+        JobReply::Ok(lines) => write_ok(writer, lines),
+        JobReply::Err(msg) => write_err(writer, msg),
+    };
+    trace.respond = t_write.elapsed();
+    trace.total = t_admit.elapsed();
+    match trace.outcome {
+        QueryOutcome::Ok => jt_obs::counter_add!("server.queries.ok", 1),
+        QueryOutcome::Err => jt_obs::counter_add!("server.queries.err", 1),
+        QueryOutcome::Rejected => jt_obs::counter_add!("server.queries.rejected", 1),
+        QueryOutcome::Timeout => jt_obs::counter_add!("server.queries.timeout", 1),
+        QueryOutcome::Panicked => jt_obs::counter_add!("server.queries.panicked", 1),
+    }
+    if jt_obs::enabled() {
+        jt_obs::global()
+            .histogram("server.query.wall_ns")
+            .record(trace.total.as_nanos().min(u64::MAX as u128) as u64);
+    }
+    // Log even when the socket write failed — the query still ran.
+    shared.log.push(trace);
+    wrote
+}
+
 /// Execute one pool job: SQL or a `.sleep`/`.panic` test query. Runs on a
 /// worker thread; panics are caught and classified here so the reply
-/// always reaches the client.
+/// always reaches the client. Fills the trace's plan/execute phases,
+/// per-pass timings, rows, profile, and outcome; queue wait was stamped
+/// by the caller and respond/total are stamped at response time.
 fn run_query(
     request: &str,
     snapshots: &[(String, Arc<Generation>)],
     exec_template: ExecOptions,
     cancel: &CancelToken,
+    trace: &mut QueryTrace,
 ) -> JobReply {
-    let t0 = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if let Some(args) = request.strip_prefix(".sleep") {
             let ms: u64 = args.trim().parse().unwrap_or(0);
-            let deadline = Instant::now() + Duration::from_millis(ms);
+            let t0 = Instant::now();
+            let deadline = t0 + Duration::from_millis(ms);
             // Cooperative sleep: poll the token like the executor does at
             // morsel boundaries.
             while Instant::now() < deadline {
                 if let Err(e) = cancel.check() {
-                    return JobReply::Err(classify_abort(&e));
+                    trace.execute = t0.elapsed();
+                    return abort_reply(&e, trace);
                 }
                 std::thread::sleep(Duration::from_millis(2));
             }
+            trace.execute = t0.elapsed();
+            trace.outcome = QueryOutcome::Ok;
+            trace.rows = 1;
             return JobReply::Ok(vec![format!("slept {ms}ms")]);
         }
         if let Some(args) = request.strip_prefix(".panic") {
@@ -555,24 +727,43 @@ fn run_query(
             .collect();
         let mut opts = exec_template;
         opts.cancel = cancel.clone();
-        match jt_sql::try_execute(request, &refs, opts) {
-            Ok(jt_sql::SqlOutput::Rows(r)) => JobReply::Ok(r.to_lines()),
+        let mut timing = jt_sql::SqlTiming::default();
+        let reply = match jt_sql::try_execute_traced(request, &refs, opts, &mut timing) {
+            Ok(jt_sql::SqlOutput::Rows(r)) => {
+                trace.outcome = QueryOutcome::Ok;
+                trace.rows = r.rows() as u64;
+                trace.profile_json = Some(r.profile.to_json());
+                JobReply::Ok(r.to_lines())
+            }
             Ok(jt_sql::SqlOutput::Plan(plan)) => {
-                JobReply::Ok(plan.lines().map(str::to_string).collect())
+                trace.outcome = QueryOutcome::Ok;
+                let lines: Vec<String> = plan.lines().map(str::to_string).collect();
+                trace.rows = lines.len() as u64;
+                JobReply::Ok(lines)
             }
             Ok(jt_sql::SqlOutput::Analyze { rendered, result }) => {
+                trace.outcome = QueryOutcome::Ok;
+                trace.rows = result.rows() as u64;
+                trace.profile_json = Some(result.profile.to_json());
                 let mut lines: Vec<String> = rendered.lines().map(str::to_string).collect();
                 lines.extend(result.to_lines());
                 JobReply::Ok(lines)
             }
-            Err(jt_sql::ExecuteError::Sql(e)) => JobReply::Err(format!("sql: {e}")),
-            Err(jt_sql::ExecuteError::Aborted(e)) => JobReply::Err(classify_abort(&e)),
-        }
+            Err(jt_sql::ExecuteError::Sql(e)) => {
+                trace.outcome = QueryOutcome::Err;
+                trace.error = Some(format!("sql: {e}"));
+                JobReply::Err(format!("sql: {e}"))
+            }
+            Err(jt_sql::ExecuteError::Aborted(e)) => abort_reply(&e, trace),
+        };
+        trace.plan = timing.plan;
+        trace.execute = timing.execute;
+        trace.passes = timing.passes.iter().map(|p| (p.name, p.wall)).collect();
+        reply
     }));
-    let reply = match outcome {
+    match outcome {
         Ok(reply) => reply,
         Err(payload) => {
-            jt_obs::counter_add!("server.queries.panicked", 1);
             let msg = if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
             } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -580,33 +771,26 @@ fn run_query(
             } else {
                 "<non-string panic>".to_string()
             };
+            trace.outcome = QueryOutcome::Panicked;
+            trace.error = Some(format!("panic: {msg}"));
             JobReply::Err(format!("panic: {msg}"))
         }
-    };
-    match &reply {
-        JobReply::Ok(_) => jt_obs::counter_add!("server.queries.completed", 1),
-        JobReply::Err(m) if m.starts_with("deadline") => {
-            jt_obs::counter_add!("server.queries.deadline", 1)
-        }
-        JobReply::Err(m) if m.starts_with("cancelled") => {
-            jt_obs::counter_add!("server.queries.cancelled", 1)
-        }
-        JobReply::Err(_) => jt_obs::counter_add!("server.queries.failed", 1),
     }
-    if jt_obs::enabled() {
-        jt_obs::global()
-            .histogram("server.query.wall_ns")
-            .record(t0.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-    }
-    reply
 }
 
-/// Map an execution abort to its protocol error message.
-fn classify_abort(e: &jt_query::ExecError) -> String {
-    match e {
+/// Map an execution abort to its protocol error message and trace outcome
+/// (deadline → `timeout`, client cancellation → `err`).
+fn abort_reply(e: &jt_query::ExecError, trace: &mut QueryTrace) -> JobReply {
+    let msg = match e {
         jt_query::ExecError::DeadlineExceeded => "deadline exceeded".to_string(),
         jt_query::ExecError::Cancelled => "cancelled".to_string(),
-    }
+    };
+    trace.outcome = match e {
+        jt_query::ExecError::DeadlineExceeded => QueryOutcome::Timeout,
+        jt_query::ExecError::Cancelled => QueryOutcome::Err,
+    };
+    trace.error = Some(msg.clone());
+    JobReply::Err(msg)
 }
 
 /// Install a process-wide SIGINT handler that only sets a flag

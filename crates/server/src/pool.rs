@@ -129,6 +129,11 @@ impl Pool {
             state.accepting = false;
             std::mem::take(&mut state.queue)
         };
+        // `mem::take` emptied the queue without going through a worker's
+        // pop, so the depth gauge would stay frozen at its last value.
+        if jt_obs::enabled() {
+            jt_obs::global().gauge("server.queue.depth").set(0);
+        }
         self.inner.work_ready.notify_all();
         for job in aborted {
             // Abort callbacks only write an error line to a socket; run
@@ -137,6 +142,11 @@ impl Pool {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Workers have joined: nothing is executing, whatever the gauge's
+        // last per-worker update said.
+        if jt_obs::enabled() {
+            jt_obs::global().gauge("server.active_queries").set(0);
         }
     }
 }

@@ -1,0 +1,181 @@
+//! Bounded in-memory query log with slow-query capture.
+//!
+//! The server retains the last `capacity` [`QueryTrace`]s in a ring
+//! buffer (oldest evicted first) and *pins* traces whose total time met
+//! the slow threshold into a second, independently bounded ring — so a
+//! burst of fast queries cannot wash the interesting slow ones out of
+//! history. Traces are shared between the two rings via `Arc`; `.trace
+//! <id>` lookups search both, which means a slow trace stays addressable
+//! after the main ring evicted it.
+//!
+//! Trace ids are handed out by the log ([`QueryLog::next_id`]) and are
+//! monotonically increasing per process even when retention is disabled
+//! (`capacity == 0`), so client-visible ids never repeat.
+
+use jt_obs::QueryTrace;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct Rings {
+    recent: VecDeque<Arc<QueryTrace>>,
+    slow: VecDeque<Arc<QueryTrace>>,
+}
+
+/// The server-wide query log. All methods are cheap relative to a query:
+/// one short mutex hold, no allocation beyond the trace itself.
+pub struct QueryLog {
+    next_id: AtomicU64,
+    capacity: usize,
+    slow_capacity: usize,
+    slow_threshold: Option<Duration>,
+    rings: Mutex<Rings>,
+}
+
+impl QueryLog {
+    /// A log retaining `capacity` recent traces (0 disables retention)
+    /// and pinning up to `slow_capacity` traces whose `total` met
+    /// `slow_threshold` (`None` disables the slow log).
+    pub fn new(
+        capacity: usize,
+        slow_capacity: usize,
+        slow_threshold: Option<Duration>,
+    ) -> QueryLog {
+        QueryLog {
+            next_id: AtomicU64::new(1),
+            capacity,
+            slow_capacity,
+            slow_threshold,
+            rings: Mutex::new(Rings {
+                recent: VecDeque::new(),
+                slow: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Whether traces are retained at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// The configured slow threshold.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        self.slow_threshold
+    }
+
+    /// Claim the next trace id (monotonic, 1-based, never reused).
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record a finalized trace: append to the recent ring (evicting the
+    /// oldest past capacity) and pin into the slow ring when its total
+    /// met the threshold. No-op when retention is disabled.
+    pub fn push(&self, trace: QueryTrace) {
+        if !self.enabled() {
+            return;
+        }
+        let slow = self
+            .slow_threshold
+            .is_some_and(|thr| trace.total >= thr && self.slow_capacity > 0);
+        let trace = Arc::new(trace);
+        let mut rings = self.rings.lock().expect("query log poisoned");
+        rings.recent.push_back(Arc::clone(&trace));
+        while rings.recent.len() > self.capacity {
+            rings.recent.pop_front();
+        }
+        if slow {
+            rings.slow.push_back(trace);
+            while rings.slow.len() > self.slow_capacity {
+                rings.slow.pop_front();
+            }
+        }
+    }
+
+    /// The last `n` traces, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        let rings = self.rings.lock().expect("query log poisoned");
+        let skip = rings.recent.len().saturating_sub(n);
+        rings.recent.iter().skip(skip).cloned().collect()
+    }
+
+    /// The last `n` slow traces, oldest first.
+    pub fn slow(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        let rings = self.rings.lock().expect("query log poisoned");
+        let skip = rings.slow.len().saturating_sub(n);
+        rings.slow.iter().skip(skip).cloned().collect()
+    }
+
+    /// Look up a trace by id in either ring (slow pins outlive recent-
+    /// ring eviction).
+    pub fn get(&self, id: u64) -> Option<Arc<QueryTrace>> {
+        let rings = self.rings.lock().expect("query log poisoned");
+        rings
+            .recent
+            .iter()
+            .chain(rings.slow.iter())
+            .find(|t| t.id == id)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jt_obs::QueryOutcome;
+
+    fn trace(log: &QueryLog, total_ms: u64) -> QueryTrace {
+        let mut t = QueryTrace::begin(log.next_id(), "test:1", "SELECT 1", 1);
+        t.outcome = QueryOutcome::Ok;
+        t.total = Duration::from_millis(total_ms);
+        t
+    }
+
+    #[test]
+    fn ring_evicts_oldest_first_at_capacity() {
+        let log = QueryLog::new(3, 2, None);
+        for _ in 0..5 {
+            log.push(trace(&log, 1));
+        }
+        let ids: Vec<u64> = log.recent(usize::MAX).iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![3, 4, 5], "oldest evicted, order preserved");
+        assert_eq!(log.recent(2).len(), 2);
+        assert_eq!(log.recent(2)[0].id, 4, "recent(n) returns the last n");
+    }
+
+    #[test]
+    fn slow_ring_pins_only_over_threshold_and_survives_eviction() {
+        let log = QueryLog::new(2, 4, Some(Duration::from_millis(100)));
+        log.push(trace(&log, 500)); // id 1, slow
+        log.push(trace(&log, 1)); // id 2
+        log.push(trace(&log, 1)); // id 3 — evicts id 1 from recent
+        log.push(trace(&log, 100)); // id 4, slow (>= is inclusive)
+        let slow_ids: Vec<u64> = log.slow(usize::MAX).iter().map(|t| t.id).collect();
+        assert_eq!(slow_ids, vec![1, 4]);
+        assert!(log.recent(usize::MAX).iter().all(|t| t.id != 1));
+        // The evicted slow trace is still addressable by id.
+        assert_eq!(log.get(1).expect("pinned").id, 1);
+        assert!(log.get(2).is_none(), "fast trace evicted for good");
+    }
+
+    #[test]
+    fn disabled_log_still_hands_out_monotonic_ids() {
+        let log = QueryLog::new(0, 0, Some(Duration::from_millis(1)));
+        assert!(!log.enabled());
+        let a = log.next_id();
+        log.push(trace(&log, 500));
+        let b = log.next_id();
+        assert!(b > a);
+        assert!(log.recent(usize::MAX).is_empty());
+        assert!(log.slow(usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn no_slow_threshold_means_no_slow_log() {
+        let log = QueryLog::new(4, 4, None);
+        log.push(trace(&log, 10_000));
+        assert!(log.slow(usize::MAX).is_empty());
+        assert_eq!(log.recent(usize::MAX).len(), 1);
+    }
+}

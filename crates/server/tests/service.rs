@@ -255,19 +255,17 @@ fn metrics_snapshot_counts_outcomes() {
     assert!(c.request(".panic kaboom").is_err());
     assert_eq!(c.request(".timeout 1"), Ok(vec![]));
     assert_eq!(c.request(".sleep 500"), Err("deadline exceeded".into()));
+    // Outcome counters are bumped after the response write; a follow-up
+    // request on the same connection is a barrier that guarantees the
+    // previous request's accounting finished.
+    assert_eq!(c.request(".ping"), Ok(vec!["pong".to_string()]));
     let after = jt_obs::global().snapshot();
     assert!(
         after.counter("server.queries.admitted") >= before.counter("server.queries.admitted") + 3
     );
-    assert!(
-        after.counter("server.queries.completed") >= before.counter("server.queries.completed") + 1
-    );
-    assert!(
-        after.counter("server.queries.panicked") >= before.counter("server.queries.panicked") + 1
-    );
-    assert!(
-        after.counter("server.queries.deadline") >= before.counter("server.queries.deadline") + 1
-    );
+    assert!(after.counter("server.queries.ok") > before.counter("server.queries.ok"));
+    assert!(after.counter("server.queries.panicked") > before.counter("server.queries.panicked"));
+    assert!(after.counter("server.queries.timeout") > before.counter("server.queries.timeout"));
     // And the registry is reachable over the wire too.
     assert_eq!(c.request(".timeout 0"), Ok(vec![]));
     let lines = c.request(".metrics").expect("metrics json");

@@ -171,34 +171,83 @@ pub fn try_execute(
     tables: &[(&str, &Relation)],
     opts: ExecOptions,
 ) -> Result<SqlOutput, ExecuteError> {
-    let stmt = parse_statement(sql)?;
-    let catalog: Catalog<'_> = tables.iter().copied().collect();
-    let lp = plan(&stmt.select, &catalog)?;
+    try_execute_traced(sql, tables, opts, &mut SqlTiming::default())
+}
+
+/// Phase timings of one [`try_execute_traced`] call, filled as far as the
+/// statement got — including on error (a parse failure still reports its
+/// `plan` time, an aborted execution its `execute` time so far).
+#[derive(Debug, Clone, Default)]
+pub struct SqlTiming {
+    /// Parse + logical plan + rewrite passes + lowering.
+    pub plan: std::time::Duration,
+    /// Per-rewrite-pass wall times, in pass order.
+    pub passes: Vec<jt_query::PassTiming>,
+    /// Physical execution (zero for plain `EXPLAIN`).
+    pub execute: std::time::Duration,
+}
+
+/// Like [`try_execute`], also reporting phase timings through `timing` —
+/// the entry point for the query service, which records planning and
+/// execution time (and per-pass planner detail) into every query trace.
+pub fn try_execute_traced(
+    sql: &str,
+    tables: &[(&str, &Relation)],
+    opts: ExecOptions,
+    timing: &mut SqlTiming,
+) -> Result<SqlOutput, ExecuteError> {
+    let t0 = std::time::Instant::now();
+    let parsed = parse_statement(sql).and_then(|stmt| {
+        let catalog: Catalog<'_> = tables.iter().copied().collect();
+        plan(&stmt.select, &catalog).map(|lp| (stmt, lp))
+    });
+    let (stmt, lp) = match parsed {
+        Ok(x) => x,
+        Err(e) => {
+            timing.plan = t0.elapsed();
+            return Err(e.into());
+        }
+    };
     let popts = jt_query::PlannerOptions::compat(opts.optimize_joins);
-    Ok(match stmt.explain {
+    match stmt.explain {
         ExplainMode::None => {
-            let physical = jt_query::optimize(lp, &popts).lower();
-            SqlOutput::Rows(
-                physical
-                    .try_run_with(opts.clone())
-                    .map_err(ExecuteError::Aborted)?,
-            )
+            let (optimized, passes) = jt_query::optimize_timed(lp, &popts);
+            let physical = optimized.lower();
+            timing.passes = passes;
+            timing.plan = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let result = physical.try_run_with(opts.clone());
+            timing.execute = t1.elapsed();
+            Ok(SqlOutput::Rows(result.map_err(ExecuteError::Aborted)?))
         }
         ExplainMode::Plan => {
             // Logical tree, per-pass before/after deltas, then the
             // physical plan with its cardinality estimates.
             let planned = jt_query::plan_and_lower(lp, &popts);
-            SqlOutput::Plan(jt_query::explain_text(&planned))
+            timing.passes = planned
+                .reports
+                .iter()
+                .map(|r| jt_query::PassTiming {
+                    name: r.name,
+                    wall: r.wall,
+                })
+                .collect();
+            timing.plan = t0.elapsed();
+            Ok(SqlOutput::Plan(jt_query::explain_text(&planned)))
         }
         ExplainMode::Analyze => {
-            let physical = jt_query::optimize(lp, &popts).lower();
-            let result = physical
-                .try_run_with(opts.clone())
-                .map_err(ExecuteError::Aborted)?;
-            SqlOutput::Analyze {
+            let (optimized, passes) = jt_query::optimize_timed(lp, &popts);
+            let physical = optimized.lower();
+            timing.passes = passes;
+            timing.plan = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let result = physical.try_run_with(opts.clone());
+            timing.execute = t1.elapsed();
+            let result = result.map_err(ExecuteError::Aborted)?;
+            Ok(SqlOutput::Analyze {
                 rendered: result.profile.render(),
                 result,
-            }
+            })
         }
-    })
+    }
 }

@@ -9,8 +9,9 @@
 //! jt info  table.jt               [--skip-corrupt]
 //! jt serve table.jt [more.jt …]   [--port N] [--workers N] [--queue N]
 //!                                 [--timeout-ms N] [--append-threshold N]
-//!                                 [--no-checkpoint]
-//! jt metrics                      # dump the metrics registry as JSON
+//!                                 [--no-checkpoint] [--log N] [--slow-ms N]
+//! jt metrics [--prom]             # dump the metrics registry as JSON, or
+//!                                 # in Prometheus text exposition format
 //! ```
 //!
 //! `load` parses newline-delimited JSON, builds the tiles (mining,
@@ -41,7 +42,7 @@ fn main() {
         Some("sql") => cmd_sql(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
-        Some("metrics") => cmd_metrics(),
+        Some("metrics") => cmd_metrics(&args[1..]),
         _ => {
             eprintln!("usage: jt <load|sql|info|serve|metrics> ... (see source header)");
             2
@@ -70,8 +71,15 @@ fn extract_metrics_flag(args: &mut Vec<String>) -> Option<String> {
     Some(path)
 }
 
-fn cmd_metrics() -> i32 {
-    println!("{}", obs::global().snapshot().to_json());
+fn cmd_metrics(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        None => println!("{}", obs::global().snapshot().to_json()),
+        Some("--prom") => print!("{}", obs::global().snapshot().to_prometheus()),
+        Some(other) => {
+            eprintln!("usage: jt metrics [--prom] (got {other:?})");
+            return 2;
+        }
+    }
     0
 }
 
@@ -303,6 +311,20 @@ fn cmd_serve(args: &[String]) -> i32 {
             "--no-checkpoint" => {
                 checkpoint = false;
                 i += 1;
+            }
+            "--log" => {
+                let Some(n) = numeric("--log", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.log_capacity = n as usize;
+                i += 2;
+            }
+            "--slow-ms" => {
+                let Some(n) = numeric("--slow-ms", args.get(i + 1)) else {
+                    return 2;
+                };
+                config.slow_threshold = (n > 0).then(|| std::time::Duration::from_millis(n));
+                i += 2;
             }
             other => {
                 files.push(other.to_owned());
