@@ -60,7 +60,7 @@ impl TileHeader {
         }
     }
 
-    /// Assemble a header after extraction.
+    /// Assemble a header after extraction, one transaction per document.
     pub fn build(
         config: &TilesConfig,
         columns: Vec<ColumnMeta>,
@@ -69,11 +69,6 @@ impl TileHeader {
         transactions: &[Vec<jt_mining::Item>],
         sketches: Vec<HyperLogLog>,
     ) -> Self {
-        let mut path_index: HashMap<KeyPath, Vec<usize>> = HashMap::new();
-        for (i, meta) in columns.iter().enumerate() {
-            path_index.entry(meta.path.clone()).or_default().push(i);
-        }
-
         // Item frequencies (tuple counts, items already deduped per tuple).
         let mut item_count = vec![0u32; dict.len()];
         for t in transactions {
@@ -81,6 +76,54 @@ impl TileHeader {
                 item_count[it as usize] += 1;
             }
         }
+        Self::assemble(
+            config,
+            columns,
+            dict,
+            item_count,
+            leaves.iter().map(|dl| dl.seen_paths.as_slice()),
+            sketches,
+        )
+    }
+
+    /// Assemble a header from weighted transactions (one per distinct
+    /// document shape × occurrence count) — the on-demand ingestion
+    /// variant. `seen_path_lists` yields the seen-path list of each
+    /// distinct shape present in the tile; the Bloom filter only depends
+    /// on the *set* of non-extracted paths, so per-shape lists produce the
+    /// same filter as per-document lists.
+    pub fn build_weighted<'a>(
+        config: &TilesConfig,
+        columns: Vec<ColumnMeta>,
+        dict: &PathDictionary,
+        weighted: &[(Vec<jt_mining::Item>, u32)],
+        seen_path_lists: impl Iterator<Item = &'a [KeyPath]>,
+        sketches: Vec<HyperLogLog>,
+    ) -> Self {
+        let mut item_count = vec![0u32; dict.len()];
+        for (t, w) in weighted {
+            for &it in t {
+                item_count[it as usize] += *w;
+            }
+        }
+        Self::assemble(config, columns, dict, item_count, seen_path_lists, sketches)
+    }
+
+    /// Shared tail of both builders: path frequencies from per-item tuple
+    /// counts, Bloom filter over the non-extracted seen paths, sketch cap.
+    fn assemble<'a>(
+        config: &TilesConfig,
+        columns: Vec<ColumnMeta>,
+        dict: &PathDictionary,
+        item_count: Vec<u32>,
+        seen_path_lists: impl Iterator<Item = &'a [KeyPath]>,
+        sketches: Vec<HyperLogLog>,
+    ) -> Self {
+        let mut path_index: HashMap<KeyPath, Vec<usize>> = HashMap::new();
+        for (i, meta) in columns.iter().enumerate() {
+            path_index.entry(meta.path.clone()).or_default().push(i);
+        }
+
         // Aggregate per path across type variants: the §4.6 frequency
         // database counts how many tuples contain the key path.
         let mut per_path: HashMap<String, u32> = HashMap::new();
@@ -95,8 +138,8 @@ impl TileHeader {
         let extracted: std::collections::HashSet<&KeyPath> =
             columns.iter().map(|m| &m.path).collect();
         let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
-        for dl in leaves {
-            for p in &dl.seen_paths {
+        for list in seen_path_lists {
+            for p in list {
                 if !extracted.contains(p) {
                     let bytes = p.canonical_bytes();
                     if seen.insert(bytes.clone()) {

@@ -41,6 +41,7 @@ mod crc32c;
 mod datetime;
 mod dict;
 mod header;
+mod ondemand;
 mod path;
 mod persist;
 mod relation;
@@ -54,6 +55,7 @@ pub use crc32c::{crc32c, crc32c_append};
 pub use datetime::{format_timestamp, parse_timestamp, timestamp_year, Timestamp};
 pub use dict::PathDictionary;
 pub use header::{ColumnMeta, TileHeader};
+pub use ondemand::{shape_hash, IngestReport};
 pub use path::{KeyPath, PathSeg};
 pub use persist::{CorruptTilePolicy, OpenOptions, PersistError};
 pub use relation::{LoadError, LoadMetrics, Relation, RelationStats, SectionIo, StorageReport};

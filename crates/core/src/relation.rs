@@ -199,7 +199,7 @@ impl RelationStats {
     }
 
     /// Fold one tile's header into the relation statistics.
-    fn absorb_tile(&mut self, tile_no: u64, tile: &Tile) {
+    pub(crate) fn absorb_tile(&mut self, tile_no: u64, tile: &Tile) {
         self.rows += tile.len();
         for (path, count) in &tile.header.path_frequencies {
             self.freq.record(path, *count as u64, tile_no);
@@ -701,7 +701,7 @@ impl Relation {
     /// of leaf occurrences landing in extracted columns (§3.3), across all
     /// visible tiles, in percent. Gated on [`jt_obs::enabled`] because it
     /// walks every tile header.
-    fn publish_coverage(&self) {
+    pub(crate) fn publish_coverage(&self) {
         if !jt_obs::enabled() || self.tiles.is_empty() {
             return;
         }

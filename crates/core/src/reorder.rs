@@ -21,7 +21,8 @@
 //! same; step (6), re-mining each reordered tile at the original threshold,
 //! is the normal tile build that follows.
 
-use jt_mining::{fpgrowth, is_subset, Item, Itemset, MinerConfig};
+use jt_mining::{dedup_weighted, is_subset, mine_weighted, Item, Itemset, MinerConfig};
+use std::collections::HashMap;
 
 /// Compute the reordered tuple order for one partition.
 ///
@@ -41,13 +42,32 @@ pub fn reorder_partition(
         return (0..n).collect();
     }
 
+    // (0) Collapse identical tuples once (§4.3 structure dedup): mining,
+    // support counting and matching then scale with the number of distinct
+    // structures, not documents. The produced order is unchanged — mining
+    // weighted duplicates is bit-identical (see jt-mining), support sums
+    // the same documents, and matching is a pure function of the tuple.
+    let mut uniq_index: HashMap<&[Item], usize> = HashMap::with_capacity(n);
+    let mut uniq: Vec<&Vec<Item>> = Vec::new();
+    let mut weight: Vec<u32> = Vec::new();
+    let mut of_doc: Vec<usize> = Vec::with_capacity(n);
+    for t in transactions {
+        let id = *uniq_index.entry(t.as_slice()).or_insert_with(|| {
+            uniq.push(t);
+            weight.push(0);
+            uniq.len() - 1
+        });
+        weight[id] += 1;
+        of_doc.push(id);
+    }
+
     // (1) Per-tile mining with the reduced threshold.
     let reduced = threshold / partition_size as f64;
     let mut candidates: Vec<Vec<Item>> = Vec::new();
     for chunk in transactions.chunks(tile_size) {
         let min_support = ((reduced * chunk.len() as f64).ceil() as u32).max(1);
-        for set in fpgrowth(
-            chunk,
+        for set in mine_weighted(
+            &dedup_weighted(chunk),
             MinerConfig {
                 min_support,
                 budget,
@@ -63,7 +83,12 @@ pub fn reorder_partition(
     let survive_at = (threshold * tile_size as f64) as u32;
     let mut survivors: Vec<Itemset> = Vec::new();
     for items in candidates {
-        let support = transactions.iter().filter(|t| is_subset(&items, t)).count() as u32;
+        let support = uniq
+            .iter()
+            .zip(&weight)
+            .filter(|(t, _)| is_subset(&items, t))
+            .map(|(_, w)| *w)
+            .sum::<u32>();
         if support > survive_at {
             survivors.push(Itemset { items, support });
         }
@@ -80,11 +105,10 @@ pub fn reorder_partition(
         )
     });
 
-    // (3) Match each tuple to its best-describing itemset.
-    let matched: Vec<Option<usize>> = transactions
-        .iter()
-        .map(|t| best_match(t, &survivors))
-        .collect();
+    // (3) Match each tuple to its best-describing itemset, memoized per
+    // distinct structure.
+    let match_uniq: Vec<Option<usize>> = uniq.iter().map(|t| best_match(t, &survivors)).collect();
+    let matched: Vec<Option<usize>> = of_doc.iter().map(|&id| match_uniq[id]).collect();
 
     // (4)+(5) Cluster: tuples grouped by matched itemset, groups in survivor
     // order, unmatched tuples last. Stable within groups to preserve input

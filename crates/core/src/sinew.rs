@@ -34,6 +34,36 @@ pub fn global_schema(leaves: &[DocLeaves], threshold: f64) -> Vec<(KeyPath, ColT
     schema
 }
 
+/// [`global_schema`] over deduplicated document shapes: `shapes` pairs each
+/// distinct shape's typed leaves (traversal order, duplicates possible) with
+/// its document count, `total` is the table's document count. Produces the
+/// same schema as running [`global_schema`] over the expanded documents —
+/// per-shape dedup plus weighted counting is exactly per-document counting.
+pub fn global_schema_weighted(
+    shapes: &[(&[(KeyPath, ColType)], u32)],
+    total: usize,
+    threshold: f64,
+) -> Vec<(KeyPath, ColType)> {
+    let mut counts: HashMap<(KeyPath, ColType), u32> = HashMap::new();
+    for (items, w) in shapes {
+        let mut seen: Vec<(&KeyPath, ColType)> = Vec::new();
+        for (p, t) in items.iter() {
+            if !seen.contains(&(p, *t)) {
+                seen.push((p, *t));
+                *counts.entry((p.clone(), *t)).or_insert(0) += w;
+            }
+        }
+    }
+    let min = (threshold * total as f64).ceil() as u32;
+    let mut schema: Vec<(KeyPath, ColType)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min.max(1))
+        .map(|(k, _)| k)
+        .collect();
+    schema.sort();
+    schema
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +132,32 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(global_schema(&[], 0.6).is_empty());
+    }
+
+    #[test]
+    fn weighted_matches_per_document() {
+        // 7×{id,geo}, 3×{id}: weighted over the two shapes must equal the
+        // per-document pass over the expanded table.
+        let l = leaves_of(&[r#"{"id":1,"geo":1.5}"#, r#"{"id":2}"#]);
+        let a: Vec<(KeyPath, ColType)> = l[0]
+            .leaves
+            .iter()
+            .map(|(p, v)| (p.clone(), v.col_type()))
+            .collect();
+        let b: Vec<(KeyPath, ColType)> = l[1]
+            .leaves
+            .iter()
+            .map(|(p, v)| (p.clone(), v.col_type()))
+            .collect();
+        let mut expanded = Vec::new();
+        for _ in 0..7 {
+            expanded.push(l[0].clone());
+        }
+        for _ in 0..3 {
+            expanded.push(l[1].clone());
+        }
+        let weighted = global_schema_weighted(&[(a.as_slice(), 7), (b.as_slice(), 3)], 10, 0.6);
+        assert_eq!(weighted, global_schema(&expanded, 0.6));
+        assert_eq!(weighted.len(), 2, "both paths at ≥60%: {weighted:?}");
     }
 }

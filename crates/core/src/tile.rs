@@ -20,7 +20,7 @@ use crate::path::KeyPath;
 use crate::TilesConfig;
 use jt_json::{Number, Value};
 use jt_jsonb::{JsonbRef, NumericString};
-use jt_mining::{fpgrowth, maximal, MinerConfig};
+use jt_mining::{dedup_weighted, maximal, mine_weighted, MinerConfig};
 use jt_stats::HyperLogLog;
 
 /// A typed scalar leaf observed in a document.
@@ -72,7 +72,7 @@ impl LeafValue {
 
 /// All typed scalar leaves of one document, in traversal order, plus every
 /// interior path seen (for the Bloom filter of non-extracted paths, §4.4).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct DocLeaves {
     /// `(path, leaf)` pairs.
     pub leaves: Vec<(KeyPath, LeafValue)>,
@@ -611,8 +611,12 @@ impl TileBuilder {
         let extraction: Vec<(KeyPath, ColType)> = match extraction_override {
             Some(cols) => cols.to_vec(),
             None => {
-                let sets = fpgrowth(
-                    &transactions,
+                // One FPGrowth run per *distinct* transaction (§4.3
+                // structure dedup) — bit-identical to mining per document
+                // (jt-mining's weighted-equivalence tests), at a cost
+                // proportional to the number of distinct shapes.
+                let sets = mine_weighted(
+                    &dedup_weighted(&transactions),
                     MinerConfig {
                         min_support: config.min_support(docs.len()),
                         budget: config.budget,
@@ -695,7 +699,7 @@ impl TileBuilder {
     }
 }
 
-fn push_leaf(col: &mut ColumnChunk, leaf: &LeafValue) {
+pub(crate) fn push_leaf(col: &mut ColumnChunk, leaf: &LeafValue) {
     match leaf {
         LeafValue::Int(v) => col.push_i64(*v),
         LeafValue::Float(v) => col.push_f64(*v),

@@ -85,6 +85,58 @@ pub fn from_ndjson(text: &str) -> NdjsonLoad {
     load
 }
 
+/// Streaming variant of [`from_ndjson`]: reads line by line from any
+/// [`std::io::BufRead`], so a multi-gigabyte feed never needs the whole
+/// text in memory next to the parsed documents. Same lenient semantics
+/// (blank lines ignored, malformed lines skipped and counted) and the same
+/// ingestion counters.
+pub fn from_ndjson_reader<R: std::io::BufRead>(mut reader: R) -> std::io::Result<NdjsonLoad> {
+    let _span = jt_obs::span!("ingest.parse.ns");
+    let mut load = NdjsonLoad::default();
+    let mut line = String::new();
+    let mut no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        no += 1;
+        let l = line.strip_suffix('\n').unwrap_or(&line);
+        let l = l.strip_suffix('\r').unwrap_or(l);
+        if l.trim().is_empty() {
+            continue;
+        }
+        match jt_json::parse(l) {
+            Ok(d) => load.docs.push(d),
+            Err(e) => {
+                load.skipped += 1;
+                if load.errors.len() < MAX_REPORTED_ERRORS {
+                    load.errors.push((no, e.to_string()));
+                }
+            }
+        }
+    }
+    jt_obs::counter_add!("ingest.docs_parsed", load.docs.len() as u64);
+    jt_obs::counter_add!("ingest.docs_skipped", load.skipped as u64);
+    Ok(load)
+}
+
+/// On-demand NDJSON ingestion (paper §4.3): read the feed's raw bytes and
+/// hand them to [`jt_core::Relation::try_load_ondemand`] — structural-index
+/// parsing, structure-hash shape dedup, weighted mining, lazy extraction.
+/// Produces a relation bit-identical to `from_ndjson` + eager loading, and
+/// an [`jt_core::IngestReport`] with per-phase wall times and the skipped
+/// line diagnostics (same 1-based numbering as [`NdjsonLoad::errors`]).
+pub fn ingest_ndjson_ondemand<R: std::io::Read>(
+    mut reader: R,
+    config: jt_core::TilesConfig,
+    threads: usize,
+) -> std::io::Result<(jt_core::Relation, jt_core::IngestReport)> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    jt_core::Relation::try_load_ondemand(&data, config, threads).map_err(std::io::Error::other)
+}
+
 /// Deterministically shuffle documents (Fisher–Yates with a fixed-seed
 /// xorshift), used by the shuffled-TPC-H robustness experiment (§6.4).
 pub fn shuffle(docs: &mut [Value], seed: u64) {
@@ -125,6 +177,37 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert_eq!(jt_json::parse(lines[0]).unwrap(), docs[0]);
+    }
+
+    #[test]
+    fn reader_variant_matches_in_memory_parse() {
+        let text = "{\"id\":1}\n\n{\"id\":\n{\"id\":2}\r\n   \n{bad\n{\"id\":3}";
+        let eager = from_ndjson(text);
+        let streamed = from_ndjson_reader(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(streamed.docs, eager.docs);
+        assert_eq!(streamed.skipped, eager.skipped);
+        assert_eq!(streamed.errors, eager.errors);
+        assert_eq!(streamed.docs.len(), 3);
+        assert_eq!(streamed.skipped, 2);
+    }
+
+    #[test]
+    fn ondemand_ingestion_matches_eager_pipeline() {
+        let docs: Vec<Value> = (0..50)
+            .map(|i| obj(vec![("id", Value::int(i)), ("name", Value::str("x"))]))
+            .collect();
+        let text = to_ndjson(&docs);
+        let config = jt_core::TilesConfig {
+            tile_size: 8,
+            partition_size: 2,
+            ..jt_core::TilesConfig::default()
+        };
+        let eager = jt_core::Relation::load(&from_ndjson(&text).docs, config);
+        let (rel, report) =
+            ingest_ndjson_ondemand(std::io::Cursor::new(text.as_bytes()), config, 1).unwrap();
+        assert_eq!(rel.row_count(), eager.row_count());
+        assert_eq!(report.docs, 50);
+        assert_eq!(report.distinct_shapes, 1);
     }
 
     #[test]

@@ -1,0 +1,533 @@
+//! Structural index ("tape") construction for on-demand parsing.
+//!
+//! One scan over the raw bytes records where every value lives — string
+//! spans with an escape flag, number spans with a float flag, container
+//! extents with a skip pointer — without materializing a single value. The
+//! cursor layer (`crate::ondemand`) then parses scalars lazily, directly
+//! from the recorded byte spans, on first touch.
+//!
+//! The scanner is a line-by-line mirror of [`crate::parse`]: it accepts and
+//! rejects exactly the same inputs and reports the same [`ErrorKind`] at the
+//! same byte offset. Every control-flow branch below corresponds to one in
+//! `parse.rs`; when editing either, keep them in lockstep (the differential
+//! property suite in `tests/ondemand_differential.rs` enforces this).
+
+use crate::error::{Error, ErrorKind, Result};
+use crate::parse::{utf8_len, Parser};
+
+/// String/key contains at least one backslash escape: decoding differs from
+/// the raw span.
+pub(crate) const FLAG_ESCAPED: u8 = 1 << 0;
+/// Number has a fraction or exponent: classified `Float` without an i64
+/// attempt, mirroring `parse_number`.
+pub(crate) const FLAG_FLOAT: u8 = 1 << 1;
+
+/// What a tape entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum EntryKind {
+    Null,
+    True,
+    False,
+    Number,
+    Str,
+    /// An object member key. Always immediately followed by its value's
+    /// subtree; never the target of a cursor.
+    Key,
+    Object,
+    Array,
+}
+
+/// One structural position. Spans are byte offsets into the scanned input:
+/// strings and keys record their *content* span (between the quotes),
+/// numbers and literals their token span, containers their full extent
+/// (opening to one past closing bracket). For containers `aux` is the tape
+/// index one past the subtree — the skip pointer that makes sibling
+/// navigation O(1) regardless of subtree size.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct TapeEntry {
+    pub kind: EntryKind,
+    pub flags: u8,
+    pub start: u32,
+    pub end: u32,
+    pub aux: u32,
+}
+
+/// The structural index of one document: entries in document order, objects
+/// laid out as `Object, (Key, value-subtree)*`, arrays as
+/// `Array, value-subtree*`.
+#[derive(Clone, Debug)]
+pub(crate) struct Tape {
+    pub entries: Vec<TapeEntry>,
+}
+
+/// Tape index one past the subtree rooted at `idx`.
+#[inline]
+pub(crate) fn subtree_end(entries: &[TapeEntry], idx: usize) -> usize {
+    let e = entries[idx];
+    match e.kind {
+        EntryKind::Object | EntryKind::Array => e.aux as usize,
+        _ => idx + 1,
+    }
+}
+
+/// Scan a complete JSON document into a tape. Same accept/reject set and
+/// error positions as [`crate::parse_bytes`]. Documents of 4 GiB or more are
+/// out of scope for the u32 span encoding (an NDJSON line at that size would
+/// also exhaust the eager parser) and panic rather than mis-index.
+pub(crate) fn build_tape(input: &[u8]) -> Result<Tape> {
+    assert!(
+        input.len() < u32::MAX as usize,
+        "on-demand tape spans are u32; document too large"
+    );
+    let mut s = Scanner {
+        input,
+        pos: 0,
+        tape: Vec::new(),
+    };
+    s.scan_value(0)?;
+    s.skip_ws();
+    if s.pos != s.input.len() {
+        return Err(s.err(ErrorKind::TrailingData));
+    }
+    Ok(Tape { entries: s.tape })
+}
+
+struct Scanner<'a> {
+    input: &'a [u8],
+    pos: usize,
+    tape: Vec<TapeEntry>,
+}
+
+impl<'a> Scanner<'a> {
+    fn err(&self, kind: ErrorKind) -> Error {
+        Error::new(kind, self.pos)
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.pos += 1,
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(x) if x == b => Ok(()),
+            Some(x) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::UnexpectedByte(x)))
+            }
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, kind: EntryKind, flags: u8, start: usize, end: usize) {
+        self.tape.push(TapeEntry {
+            kind,
+            flags,
+            start: start as u32,
+            end: end as u32,
+            aux: 0,
+        });
+    }
+
+    fn scan_value(&mut self, depth: usize) -> Result<()> {
+        if depth > Parser::MAX_DEPTH {
+            return Err(self.err(ErrorKind::TooDeep));
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'{') => self.scan_object(depth),
+            Some(b'[') => self.scan_array(depth),
+            Some(b'"') => self.scan_string(EntryKind::Str),
+            Some(b't') => self.scan_literal(b"true", EntryKind::True),
+            Some(b'f') => self.scan_literal(b"false", EntryKind::False),
+            Some(b'n') => self.scan_literal(b"null", EntryKind::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.scan_number(),
+            Some(b) => Err(self.err(ErrorKind::UnexpectedByte(b))),
+        }
+    }
+
+    fn scan_literal(&mut self, lit: &[u8], kind: EntryKind) -> Result<()> {
+        if self.input.len() - self.pos < lit.len()
+            || &self.input[self.pos..self.pos + lit.len()] != lit
+        {
+            return Err(self.err(ErrorKind::BadLiteral));
+        }
+        let start = self.pos;
+        self.pos += lit.len();
+        self.push(kind, 0, start, self.pos);
+        Ok(())
+    }
+
+    /// Patch a container's extent and skip pointer once its subtree closed.
+    fn seal(&mut self, slot: usize) {
+        let end = self.pos as u32;
+        let aux = self.tape.len() as u32;
+        let e = &mut self.tape[slot];
+        e.end = end;
+        e.aux = aux;
+    }
+
+    fn scan_object(&mut self, depth: usize) -> Result<()> {
+        self.expect(b'{')?;
+        let slot = self.tape.len();
+        self.push(EntryKind::Object, 0, self.pos - 1, 0);
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.seal(slot);
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.scan_string(EntryKind::Key)?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.scan_value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => {
+                    self.seal(slot);
+                    return Ok(());
+                }
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedByte(b)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn scan_array(&mut self, depth: usize) -> Result<()> {
+        self.expect(b'[')?;
+        let slot = self.tape.len();
+        self.push(EntryKind::Array, 0, self.pos - 1, 0);
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.seal(slot);
+            return Ok(());
+        }
+        loop {
+            self.scan_value(depth + 1)?;
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => {
+                    self.seal(slot);
+                    return Ok(());
+                }
+                Some(b) => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::UnexpectedByte(b)));
+                }
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            }
+        }
+    }
+
+    fn scan_string(&mut self, kind: EntryKind) -> Result<()> {
+        self.expect(b'"')?;
+        // Fast path: scan for the closing quote; fall back to the escape
+        // validator only when a backslash shows up. Raw multi-byte UTF-8 is
+        // validated for the whole span at the close, as in `parse_string`.
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    let raw = &self.input[start..self.pos];
+                    let end = self.pos;
+                    self.pos += 1;
+                    return match std::str::from_utf8(raw) {
+                        Ok(_) => {
+                            self.push(kind, 0, start, end);
+                            Ok(())
+                        }
+                        Err(_) => Err(Error::new(ErrorKind::BadUtf8, start)),
+                    };
+                }
+                Some(b'\\') => break,
+                Some(b) if b < 0x20 => return Err(self.err(ErrorKind::BadEscape)),
+                Some(_) => self.pos += 1,
+            }
+        }
+        // Slow path with escapes: validate without decoding.
+        let prefix = &self.input[start..self.pos];
+        if std::str::from_utf8(prefix).is_err() {
+            return Err(Error::new(ErrorKind::BadUtf8, start));
+        }
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                Some(b'"') => {
+                    self.push(kind, FLAG_ESCAPED, start, self.pos - 1);
+                    return Ok(());
+                }
+                Some(b'\\') => self.check_escape()?,
+                Some(b) if b < 0x20 => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::BadEscape));
+                }
+                Some(b) if b < 0x80 => {}
+                Some(_) => {
+                    let seq_start = self.pos - 1;
+                    let len = utf8_len(self.input[seq_start]);
+                    if len == 0 || seq_start + len > self.input.len() {
+                        return Err(Error::new(ErrorKind::BadUtf8, seq_start));
+                    }
+                    if std::str::from_utf8(&self.input[seq_start..seq_start + len]).is_err() {
+                        return Err(Error::new(ErrorKind::BadUtf8, seq_start));
+                    }
+                    self.pos = seq_start + len;
+                }
+            }
+        }
+    }
+
+    /// Validate one escape sequence; the decoded character is produced later
+    /// by `ondemand::decode_escaped`, only if the string is touched.
+    fn check_escape(&mut self) -> Result<()> {
+        match self.bump() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => Ok(()),
+            Some(b'u') => {
+                let hi = self.scan_hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: require a following \uXXXX low surrogate.
+                    if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                        return Err(self.err(ErrorKind::BadUnicode));
+                    }
+                    let lo = self.scan_hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(self.err(ErrorKind::BadUnicode));
+                    }
+                    let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(c).ok_or_else(|| self.err(ErrorKind::BadUnicode))?;
+                    Ok(())
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    Err(self.err(ErrorKind::BadUnicode))
+                } else {
+                    char::from_u32(hi).ok_or_else(|| self.err(ErrorKind::BadUnicode))?;
+                    Ok(())
+                }
+            }
+            Some(_) => {
+                self.pos -= 1;
+                Err(self.err(ErrorKind::BadEscape))
+            }
+        }
+    }
+
+    fn scan_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err(ErrorKind::UnexpectedEof))?;
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.err(ErrorKind::BadUnicode));
+                }
+            };
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn scan_number(&mut self) -> Result<()> {
+        let start = self.pos;
+        let mut is_float = false;
+        let mut has_exp = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a single 0, or [1-9][0-9]*.
+        let int_start = self.pos;
+        match self.peek() {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.peek(), Some(b'0'..=b'9')) {
+                    return Err(self.err(ErrorKind::BadNumber));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err(ErrorKind::BadNumber)),
+        }
+        let int_digits = self.pos - int_start;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            has_exp = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err(ErrorKind::BadNumber));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        // `parse_number` rejects literals whose f64 value is non-finite.
+        // Overflow past f64::MAX needs an exponent or at least 309 integer
+        // digits (a 308-digit integer tops out below 1e308 and a fraction
+        // adds less than one), so parsing eagerly in exactly those cases
+        // keeps the accept/reject set identical without paying a float
+        // parse per ordinary number.
+        if has_exp || int_digits >= 309 {
+            let text = std::str::from_utf8(&self.input[start..self.pos]).expect("ascii");
+            match text.parse::<f64>() {
+                Ok(f) if f.is_finite() => {}
+                _ => return Err(Error::new(ErrorKind::BadNumber, start)),
+            }
+        }
+        self.push(
+            EntryKind::Number,
+            if is_float { FLAG_FLOAT } else { 0 },
+            start,
+            self.pos,
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<EntryKind> {
+        build_tape(input.as_bytes())
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| e.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tape_layout_object() {
+        use EntryKind::*;
+        assert_eq!(
+            kinds(r#"{"a": 1, "b": [true, null]}"#),
+            vec![Object, Key, Number, Key, Array, True, Null]
+        );
+    }
+
+    #[test]
+    fn skip_pointers_jump_subtrees() {
+        let t = build_tape(br#"{"a": {"x": [1, 2]}, "b": 3}"#).unwrap();
+        // Entry 2 is the inner object; its subtree spans entries 2..7
+        // (Object, Key "x", Array, Number, Number).
+        assert_eq!(t.entries[2].kind, EntryKind::Object);
+        assert_eq!(subtree_end(&t.entries, 2), 7);
+        assert_eq!(t.entries[7].kind, EntryKind::Key); // "b"
+    }
+
+    #[test]
+    fn string_flags_and_spans() {
+        let input = br#"["plain", "esc\n"]"#;
+        let t = build_tape(input).unwrap();
+        let s0 = t.entries[1];
+        assert_eq!(&input[s0.start as usize..s0.end as usize], b"plain");
+        assert_eq!(s0.flags & FLAG_ESCAPED, 0);
+        let s1 = t.entries[2];
+        assert_eq!(&input[s1.start as usize..s1.end as usize], b"esc\\n");
+        assert_ne!(s1.flags & FLAG_ESCAPED, 0);
+    }
+
+    #[test]
+    fn number_flags() {
+        let t = build_tape(b"[1, 2.5, 1e3, 99999999999999999999999]").unwrap();
+        assert_eq!(t.entries[1].flags & FLAG_FLOAT, 0);
+        assert_ne!(t.entries[2].flags & FLAG_FLOAT, 0);
+        assert_ne!(t.entries[3].flags & FLAG_FLOAT, 0);
+        // Huge integer: no float flag, classified at read time.
+        assert_eq!(t.entries[4].flags & FLAG_FLOAT, 0);
+    }
+
+    #[test]
+    fn rejects_what_parse_rejects() {
+        for bad in [
+            "",
+            "tru",
+            "nul",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{1: 2}",
+            "01",
+            "1.",
+            "-",
+            "1e",
+            "\"abc",
+            "\"\\x\"",
+            "\"\\u12g4\"",
+            "\"\\ud800\"",
+            "\"\\udc00\"",
+            "1 2",
+            "[1] []",
+            "1e999999",
+        ] {
+            let eager = crate::parse(bad).unwrap_err();
+            let tape = build_tape(bad.as_bytes()).unwrap_err();
+            assert_eq!(eager, tape, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn error_positions_match_parse() {
+        for bad in ["[1, x]", "  {", "\"a\nb\"", "{\"k\": 0123}"] {
+            let eager = crate::parse(bad).unwrap_err();
+            let tape = build_tape(bad.as_bytes()).unwrap_err();
+            assert_eq!(eager, tape, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_bounded_like_parse() {
+        let deep = "[".repeat(Parser::MAX_DEPTH + 2) + &"]".repeat(Parser::MAX_DEPTH + 2);
+        let e = build_tape(deep.as_bytes()).unwrap_err();
+        assert_eq!(e, crate::parse(&deep).unwrap_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(build_tape(ok.as_bytes()).is_ok());
+    }
+}

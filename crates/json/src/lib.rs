@@ -17,11 +17,14 @@
 //! ```
 
 mod error;
+mod index;
+mod ondemand;
 mod parse;
 mod print;
 mod value;
 
 pub use error::{Error, ErrorKind, Result};
+pub use ondemand::{ArrayIter, Cursor, Node, ObjectIter, OnDemandDoc, RawStr};
 pub use parse::{parse, parse_bytes, Parser};
 pub use print::{to_string, to_string_pretty, write_escaped_str};
 pub use value::{Number, Value};

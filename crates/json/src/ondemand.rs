@@ -1,0 +1,505 @@
+//! On-demand (lazy) document access over a structural index.
+//!
+//! [`OnDemandDoc::parse`] runs the one-pass tape scanner (`crate::index`)
+//! and exposes the document through copyable [`Cursor`]s. Navigation —
+//! [`Cursor::fields`], [`Cursor::elements`], [`Cursor::get`],
+//! [`Cursor::pointer`] — walks tape entries and skip pointers only; scalars
+//! are parsed directly from their recorded byte spans the first time a
+//! cursor is asked for them. Strings with no escapes are borrowed straight
+//! from the input buffer.
+//!
+//! Invariants (relied on by `jt-jsonb`'s tape encoder and `jt-core`'s shape
+//! analysis, and enforced by the differential suite):
+//!
+//! - `OnDemandDoc::parse(b)` succeeds iff `parse_bytes(b)` succeeds, with
+//!   equal [`Error`](crate::Error)s on rejection.
+//! - [`Cursor::to_value`] equals the eager parse result exactly: key order
+//!   and duplicate keys preserved, identical `Int`/`Float` classification.
+//! - [`Cursor::get`] / [`Cursor::pointer`] mirror [`Value::get`] /
+//!   [`Value::pointer`] (last duplicate wins).
+
+use std::borrow::Cow;
+
+use crate::error::Result;
+use crate::index::{build_tape, subtree_end, EntryKind, Tape, TapeEntry, FLAG_ESCAPED, FLAG_FLOAT};
+use crate::parse::utf8_len;
+use crate::value::{Number, Value};
+
+/// A validated document: borrowed raw bytes plus their structural index.
+pub struct OnDemandDoc<'a> {
+    input: &'a [u8],
+    tape: Tape,
+}
+
+impl<'a> OnDemandDoc<'a> {
+    /// Build the structural index for `input`. Accepts and rejects exactly
+    /// what [`crate::parse_bytes`] does, with identical error positions.
+    pub fn parse(input: &'a [u8]) -> Result<Self> {
+        let tape = build_tape(input)?;
+        Ok(OnDemandDoc { input, tape })
+    }
+
+    /// Cursor at the document root.
+    pub fn root(&self) -> Cursor<'_> {
+        Cursor {
+            input: self.input,
+            entries: &self.tape.entries,
+            idx: 0,
+        }
+    }
+
+    /// The raw bytes this document was parsed from.
+    pub fn input(&self) -> &'a [u8] {
+        self.input
+    }
+}
+
+/// A lightweight handle to one value inside an [`OnDemandDoc`].
+#[derive(Clone, Copy)]
+pub struct Cursor<'d> {
+    input: &'d [u8],
+    entries: &'d [TapeEntry],
+    idx: usize,
+}
+
+/// What a cursor points at. Containers expose iterators over child cursors;
+/// scalars are parsed from their byte spans when this is constructed.
+pub enum Node<'d> {
+    /// The `null` literal.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A number, classified like the eager parser (`Int` iff the literal
+    /// has no fraction/exponent and fits `i64`).
+    Num(Number),
+    /// A string, still in raw (possibly escaped) form.
+    Str(RawStr<'d>),
+    /// An array; iterate for element cursors.
+    Array(ArrayIter<'d>),
+    /// An object; iterate for `(key, value-cursor)` pairs in input order,
+    /// duplicates preserved.
+    Object(ObjectIter<'d>),
+}
+
+impl<'d> Cursor<'d> {
+    #[inline]
+    fn entry(&self) -> TapeEntry {
+        self.entries[self.idx]
+    }
+
+    #[inline]
+    fn at(&self, idx: usize) -> Cursor<'d> {
+        Cursor { idx, ..*self }
+    }
+
+    /// Inspect the value under the cursor, parsing scalars on this first
+    /// touch. Container variants cost nothing beyond the iterator handle.
+    pub fn node(&self) -> Node<'d> {
+        let e = self.entry();
+        match e.kind {
+            EntryKind::Null => Node::Null,
+            EntryKind::True => Node::Bool(true),
+            EntryKind::False => Node::Bool(false),
+            EntryKind::Number => Node::Num(parse_number_span(self.input, e)),
+            EntryKind::Str => Node::Str(RawStr {
+                bytes: &self.input[e.start as usize..e.end as usize],
+                escaped: e.flags & FLAG_ESCAPED != 0,
+            }),
+            EntryKind::Object => Node::Object(ObjectIter {
+                cursor: *self,
+                next: self.idx + 1,
+                end: e.aux as usize,
+            }),
+            EntryKind::Array => Node::Array(ArrayIter {
+                cursor: *self,
+                next: self.idx + 1,
+                end: e.aux as usize,
+            }),
+            EntryKind::Key => unreachable!("cursors never point at member keys"),
+        }
+    }
+
+    /// True if this value is `null`.
+    pub fn is_null(&self) -> bool {
+        self.entry().kind == EntryKind::Null
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.entry().kind {
+            EntryKind::True => Some(true),
+            EntryKind::False => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.node() {
+            Node::Num(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.node() {
+            Node::Num(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The decoded string payload, if this is a string. Borrows from the
+    /// input buffer when the raw span contains no escapes.
+    pub fn as_str(&self) -> Option<Cow<'d, str>> {
+        match self.node() {
+            Node::Str(s) => Some(s.decode()),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup (last duplicate wins, mirroring [`Value::get`]).
+    pub fn get(&self, key: &str) -> Option<Cursor<'d>> {
+        match self.node() {
+            Node::Object(it) => {
+                let mut found = None;
+                for (k, v) in it {
+                    if k.decode() == key {
+                        found = Some(v);
+                    }
+                }
+                found
+            }
+            _ => None,
+        }
+    }
+
+    /// Array element lookup, mirroring [`Value::get_index`].
+    pub fn get_index(&self, idx: usize) -> Option<Cursor<'d>> {
+        match self.node() {
+            Node::Array(mut it) => it.nth(idx),
+            _ => None,
+        }
+    }
+
+    /// Walk a path of object keys, mirroring [`Value::pointer`].
+    pub fn pointer(&self, path: &[&str]) -> Option<Cursor<'d>> {
+        let mut cur = *self;
+        for seg in path {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// Object member cursors in input order, duplicates preserved. Empty
+    /// iterator when the cursor is not at an object.
+    pub fn fields(&self) -> ObjectIter<'d> {
+        match self.node() {
+            Node::Object(it) => it,
+            _ => ObjectIter {
+                cursor: *self,
+                next: 0,
+                end: 0,
+            },
+        }
+    }
+
+    /// Array element cursors in order. Empty iterator when the cursor is
+    /// not at an array.
+    pub fn elements(&self) -> ArrayIter<'d> {
+        match self.node() {
+            Node::Array(it) => it,
+            _ => ArrayIter {
+                cursor: *self,
+                next: 0,
+                end: 0,
+            },
+        }
+    }
+
+    /// Materialize the full subtree. Bit-identical to what
+    /// [`crate::parse_bytes`] would have produced for the same span.
+    pub fn to_value(&self) -> Value {
+        match self.node() {
+            Node::Null => Value::Null,
+            Node::Bool(b) => Value::Bool(b),
+            Node::Num(n) => Value::Num(n),
+            Node::Str(s) => Value::Str(s.decode().into_owned()),
+            Node::Array(it) => Value::Array(it.map(|c| c.to_value()).collect()),
+            Node::Object(it) => Value::Object(
+                it.map(|(k, v)| (k.decode().into_owned(), v.to_value()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// A string (or member key) still in its raw, possibly escaped wire form.
+#[derive(Clone, Copy)]
+pub struct RawStr<'d> {
+    bytes: &'d [u8],
+    escaped: bool,
+}
+
+impl<'d> RawStr<'d> {
+    /// The raw content bytes between the quotes, escapes intact.
+    pub fn raw(&self) -> &'d [u8] {
+        self.bytes
+    }
+
+    /// True if the raw span contains backslash escapes (decoding allocates).
+    pub fn is_escaped(&self) -> bool {
+        self.escaped
+    }
+
+    /// Decode to UTF-8 text: a borrow of the input when escape-free,
+    /// otherwise a freshly unescaped string.
+    pub fn decode(&self) -> Cow<'d, str> {
+        if self.escaped {
+            Cow::Owned(decode_escaped(self.bytes))
+        } else {
+            // Validated during the tape scan.
+            Cow::Borrowed(std::str::from_utf8(self.bytes).expect("scan-validated UTF-8"))
+        }
+    }
+}
+
+/// Iterator over array element cursors.
+#[derive(Clone, Copy)]
+pub struct ArrayIter<'d> {
+    cursor: Cursor<'d>,
+    next: usize,
+    end: usize,
+}
+
+impl<'d> Iterator for ArrayIter<'d> {
+    type Item = Cursor<'d>;
+
+    fn next(&mut self) -> Option<Cursor<'d>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let c = self.cursor.at(self.next);
+        self.next = subtree_end(self.cursor.entries, self.next);
+        Some(c)
+    }
+}
+
+/// Iterator over object members as `(raw key, value cursor)` pairs.
+#[derive(Clone, Copy)]
+pub struct ObjectIter<'d> {
+    cursor: Cursor<'d>,
+    next: usize,
+    end: usize,
+}
+
+impl<'d> Iterator for ObjectIter<'d> {
+    type Item = (RawStr<'d>, Cursor<'d>);
+
+    fn next(&mut self) -> Option<(RawStr<'d>, Cursor<'d>)> {
+        if self.next >= self.end {
+            return None;
+        }
+        let key = self.cursor.entries[self.next];
+        debug_assert_eq!(key.kind, EntryKind::Key);
+        let raw = RawStr {
+            bytes: &self.cursor.input[key.start as usize..key.end as usize],
+            escaped: key.flags & FLAG_ESCAPED != 0,
+        };
+        let val = self.cursor.at(self.next + 1);
+        self.next = subtree_end(self.cursor.entries, self.next + 1);
+        Some((raw, val))
+    }
+}
+
+/// Parse a number span exactly like `Parser::parse_number` classifies it:
+/// no fraction/exponent and fits `i64` → `Int`, otherwise `Float`. The scan
+/// already rejected non-finite literals, so the float parse cannot fail.
+fn parse_number_span(input: &[u8], e: TapeEntry) -> Number {
+    let text = std::str::from_utf8(&input[e.start as usize..e.end as usize]).expect("ascii");
+    if e.flags & FLAG_FLOAT == 0 {
+        if let Ok(i) = text.parse::<i64>() {
+            return Number::Int(i);
+        }
+    }
+    Number::Float(text.parse::<f64>().expect("scan-validated finite number"))
+}
+
+/// Unescape a scan-validated string span. Invariants (escape shapes, hex
+/// digits, surrogate pairing, UTF-8 sequences) were all checked by
+/// `Scanner::scan_string`, so this decoder only transcribes.
+fn decode_escaped(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\\' {
+            i += 1;
+            match bytes[i] {
+                b'"' => out.push('"'),
+                b'\\' => out.push('\\'),
+                b'/' => out.push('/'),
+                b'b' => out.push('\u{8}'),
+                b'f' => out.push('\u{c}'),
+                b'n' => out.push('\n'),
+                b'r' => out.push('\r'),
+                b't' => out.push('\t'),
+                b'u' => {
+                    let hi = hex4(&bytes[i + 1..i + 5]);
+                    i += 4;
+                    let ch = if (0xD800..0xDC00).contains(&hi) {
+                        // bytes[i+1..i+3] is the validated `\u` introducer.
+                        let lo = hex4(&bytes[i + 3..i + 7]);
+                        i += 6;
+                        let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                        char::from_u32(c).expect("scan-validated surrogate pair")
+                    } else {
+                        char::from_u32(hi).expect("scan-validated code point")
+                    };
+                    out.push(ch);
+                }
+                other => unreachable!("scan-validated escape {other:?}"),
+            }
+            i += 1;
+        } else if b < 0x80 {
+            out.push(b as char);
+            i += 1;
+        } else {
+            let len = utf8_len(b);
+            out.push_str(std::str::from_utf8(&bytes[i..i + len]).expect("scan-validated UTF-8"));
+            i += len;
+        }
+    }
+    out
+}
+
+fn hex4(bytes: &[u8]) -> u32 {
+    let mut v = 0u32;
+    for &b in bytes {
+        let d = match b {
+            b'0'..=b'9' => (b - b'0') as u32,
+            b'a'..=b'f' => (b - b'a' + 10) as u32,
+            b'A'..=b'F' => (b - b'A' + 10) as u32,
+            _ => unreachable!("scan-validated hex digit"),
+        };
+        v = v * 16 + d;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(input: &str) {
+        let doc = OnDemandDoc::parse(input.as_bytes()).unwrap();
+        assert_eq!(doc.root().to_value(), parse(input).unwrap(), "{input:?}");
+    }
+
+    #[test]
+    fn to_value_matches_parse() {
+        for input in [
+            "null",
+            "true",
+            "false",
+            "42",
+            "-7",
+            "2.5",
+            "1e3",
+            "-1.5E-2",
+            "\"hi\"",
+            "[]",
+            "{}",
+            r#"[1, "two", null, [3]]"#,
+            r#"{"a": {"b": [1, 2]}}"#,
+            " \t\n{ \"a\" :\r 1 , \"b\" : [ ] } \n",
+            r#""a\"b\\c\/d\b\f\n\r\t""#,
+            r#""😀""#,
+            "\"héllo wörld\"",
+            "\"日\\n本\"",
+            "99999999999999999999999",
+            "9223372036854775807",
+            "-9223372036854775808",
+            r#"{"a":1,"a":2}"#,
+        ] {
+            roundtrip(input);
+        }
+    }
+
+    #[test]
+    fn lazy_navigation() {
+        let input = br#"{"id": 7, "user": {"name": "ada", "tags": ["x", "y"]}, "id": 8}"#;
+        let doc = OnDemandDoc::parse(input).unwrap();
+        let root = doc.root();
+        // Last duplicate wins, like Value::get.
+        assert_eq!(root.get("id").unwrap().as_i64(), Some(8));
+        assert_eq!(
+            root.pointer(&["user", "name"]).unwrap().as_str().unwrap(),
+            "ada"
+        );
+        assert_eq!(
+            root.pointer(&["user", "tags"])
+                .unwrap()
+                .get_index(1)
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "y"
+        );
+        assert!(root.get("missing").is_none());
+        assert!(root.get("id").unwrap().get("x").is_none());
+    }
+
+    #[test]
+    fn strings_borrow_when_escape_free() {
+        let doc = OnDemandDoc::parse(br#"["plain", "esc\u0041"]"#).unwrap();
+        let mut elems = doc.root().elements();
+        match elems.next().unwrap().as_str().unwrap() {
+            Cow::Borrowed(s) => assert_eq!(s, "plain"),
+            Cow::Owned(_) => panic!("escape-free string should borrow"),
+        }
+        match elems.next().unwrap().as_str().unwrap() {
+            Cow::Owned(s) => assert_eq!(s, "escA"),
+            Cow::Borrowed(_) => panic!("escaped string must decode"),
+        }
+    }
+
+    #[test]
+    fn surrogate_pair_decodes() {
+        let doc = OnDemandDoc::parse("\"😀!\"".as_bytes()).unwrap();
+        assert_eq!(doc.root().as_str().unwrap(), "😀!");
+    }
+
+    #[test]
+    fn fields_preserve_order_and_duplicates() {
+        let doc = OnDemandDoc::parse(br#"{"b":1,"a":2,"b":3}"#).unwrap();
+        let keys: Vec<String> = doc
+            .root()
+            .fields()
+            .map(|(k, _)| k.decode().into_owned())
+            .collect();
+        assert_eq!(keys, ["b", "a", "b"]);
+    }
+
+    #[test]
+    fn number_classification_matches_parse() {
+        let doc = OnDemandDoc::parse(b"[1, 1.0, 99999999999999999999999]").unwrap();
+        let vals: Vec<Value> = doc.root().elements().map(|c| c.to_value()).collect();
+        assert_eq!(vals[0], Value::int(1));
+        assert_eq!(vals[1], Value::float(1.0));
+        assert!(matches!(vals[2], Value::Num(Number::Float(_))));
+    }
+
+    #[test]
+    fn scalar_accessors() {
+        let doc = OnDemandDoc::parse(br#"{"i": 3, "f": 2.5, "b": true, "n": null}"#).unwrap();
+        let root = doc.root();
+        assert_eq!(root.get("i").unwrap().as_i64(), Some(3));
+        assert_eq!(root.get("i").unwrap().as_f64(), Some(3.0));
+        assert_eq!(root.get("f").unwrap().as_f64(), Some(2.5));
+        assert_eq!(root.get("f").unwrap().as_i64(), None);
+        assert_eq!(root.get("b").unwrap().as_bool(), Some(true));
+        assert!(root.get("n").unwrap().is_null());
+    }
+}

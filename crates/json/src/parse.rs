@@ -382,8 +382,9 @@ impl<'a> Parser<'a> {
 }
 
 /// Length of the UTF-8 sequence starting with `lead`, or 0 if invalid.
+/// Shared with the structural-index scanner (`crate::index`).
 #[inline]
-fn utf8_len(lead: u8) -> usize {
+pub(crate) fn utf8_len(lead: u8) -> usize {
     match lead {
         0x00..=0x7F => 1,
         0xC0..=0xDF => 2,

@@ -1,0 +1,138 @@
+//! Differential properties: the on-demand cursor vs the eager parser.
+//!
+//! The structural-index scanner promises *validation parity* with
+//! `jt_json::parse` — same accept/reject set, same error kind at the same
+//! byte offset — and the cursor layer promises *value parity* on every
+//! touched path. Both are checked here against randomized documents and
+//! randomized corruptions, so any drift between `parse.rs` and `index.rs`
+//! shows up as a counterexample rather than a silent ingestion divergence.
+
+use jt_json::{parse, Number, OnDemandDoc, Value};
+use proptest::prelude::*;
+
+/// Arbitrary documents exercising every value shape: nested containers,
+/// duplicate keys, escapes, non-ASCII text, and both number classes.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::float),
+        "\\PC{0,16}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(4, 48, 5, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-d \\\\\"\\PC]{0,5}", inner), 0..5)
+                .prop_map(|m| Value::Object(m.into_iter().collect())),
+        ]
+    })
+}
+
+/// A byte-level corruption: truncate, splice a random byte, or delete one.
+fn mutate(text: &str, choice: u8, at: usize, with: u8) -> Vec<u8> {
+    let bytes = text.as_bytes();
+    if bytes.is_empty() {
+        return vec![with];
+    }
+    let at = at % bytes.len();
+    let mut out = bytes.to_vec();
+    match choice % 3 {
+        0 => out.truncate(at),
+        1 => out[at] = with,
+        _ => {
+            out.remove(at);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    // Valid documents: the lazily materialized tree is bit-identical to
+    // the eager parse of the same bytes.
+    #[test]
+    fn to_value_matches_eager_parse(v in arb_value()) {
+        let text = jt_json::to_string(&v);
+        let eager = parse(&text).expect("printer emits valid JSON");
+        let doc = OnDemandDoc::parse(text.as_bytes()).expect("parity on accept");
+        prop_assert_eq!(doc.root().to_value(), eager);
+    }
+
+    // Every individually touched path agrees with the eager tree: object
+    // member walks, array indexing, and scalar accessors.
+    #[test]
+    fn touched_paths_agree(v in arb_value()) {
+        let text = jt_json::to_string(&v);
+        let eager = parse(&text).unwrap();
+        let doc = OnDemandDoc::parse(text.as_bytes()).unwrap();
+        check_paths(&eager, doc.root());
+    }
+
+    // Corrupted documents: both parsers agree on accept vs reject, and on
+    // rejection report the same error kind at the same byte offset.
+    #[test]
+    fn mutations_reject_identically(
+        v in arb_value(),
+        choice in any::<u8>(),
+        at in 0usize..4096,
+        with in any::<u8>(),
+    ) {
+        let mutated = mutate(&jt_json::to_string(&v), choice, at, with);
+        let eager = jt_json::parse_bytes(&mutated);
+        let ondemand = OnDemandDoc::parse(&mutated).map(|d| d.root().to_value());
+        match (eager, ondemand) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "accept/reject divergence on {:?}: eager={:?} ondemand={:?}",
+                String::from_utf8_lossy(&mutated), a.is_ok(), b.is_ok()
+            ),
+        }
+    }
+}
+
+/// Recursively compare every navigable path between the eager tree and the
+/// cursor, exercising the lazy accessors (not just `to_value`).
+fn check_paths(eager: &Value, cursor: jt_json::Cursor<'_>) {
+    match eager {
+        Value::Null => assert!(cursor.is_null()),
+        Value::Bool(b) => assert_eq!(cursor.as_bool(), Some(*b)),
+        Value::Num(Number::Int(i)) => {
+            assert_eq!(cursor.as_i64(), Some(*i));
+            assert_eq!(cursor.as_f64(), Some(*i as f64));
+        }
+        Value::Num(Number::Float(f)) => {
+            assert_eq!(cursor.as_i64(), None);
+            assert_eq!(cursor.as_f64(), Some(*f));
+        }
+        Value::Str(s) => assert_eq!(cursor.as_str().as_deref(), Some(s.as_str())),
+        Value::Array(elems) => {
+            let children: Vec<_> = cursor.elements().collect();
+            assert_eq!(children.len(), elems.len());
+            for (i, (e, c)) in elems.iter().zip(&children).enumerate() {
+                // Random access must agree with iteration order.
+                assert_eq!(cursor.get_index(i).unwrap().to_value(), c.to_value());
+                check_paths(e, *c);
+            }
+        }
+        Value::Object(members) => {
+            let fields: Vec<_> = cursor.fields().collect();
+            assert_eq!(fields.len(), members.len());
+            for ((ek, ev), (ck, cv)) in members.iter().zip(&fields) {
+                assert_eq!(ck.decode().as_ref(), ek.as_str());
+                check_paths(ev, *cv);
+            }
+            // Keyed lookup takes the last duplicate, like Value::get.
+            for (k, _) in members {
+                let via_cursor = cursor.get(k).map(|c| c.to_value());
+                let via_value = eager.get(k).cloned();
+                assert_eq!(via_cursor, via_value);
+            }
+        }
+    }
+}

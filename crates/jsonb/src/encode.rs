@@ -110,7 +110,12 @@ fn measure(v: &Value, t: &mut SizeTable) -> usize {
 /// bytes and `keys` key bytes. Solves the width/size fixpoint: offsets are
 /// relative to the slot area, whose size itself depends on the chosen width
 /// (objects additionally spend one width-sized key-length field per slot).
-fn container_total(n: usize, payload: usize, keys: usize, is_object: bool) -> (usize, u8) {
+pub(crate) fn container_total(
+    n: usize,
+    payload: usize,
+    keys: usize,
+    is_object: bool,
+) -> (usize, u8) {
     for code in 0..=2u8 {
         let w = width_bytes(code);
         let slots = payload + keys + if is_object { n * w } else { 0 };
@@ -142,7 +147,7 @@ fn normalize_members(members: &[(String, Value)]) -> Vec<usize> {
     idx
 }
 
-fn scalar_num_size(n: Number) -> usize {
+pub(crate) fn scalar_num_size(n: Number) -> usize {
     match n {
         Number::Int(i) => {
             if (0..8).contains(&i) {
@@ -155,7 +160,7 @@ fn scalar_num_size(n: Number) -> usize {
     }
 }
 
-fn numstr_size(n: NumericString) -> usize {
+pub(crate) fn numstr_size(n: NumericString) -> usize {
     // header + scale byte + mantissa bytes (inline mantissas share the
     // integer inline trick).
     if (0..8).contains(&n.mantissa) {
@@ -166,7 +171,7 @@ fn numstr_size(n: NumericString) -> usize {
 }
 
 /// Narrowest lossless float width: 2 (half), 4 (single), or 8 bytes.
-fn float_width(f: f64) -> usize {
+pub(crate) fn float_width(f: f64) -> usize {
     if f64_to_f16(f).is_some() {
         2
     } else if (f as f32) as f64 == f && !(f as f32).is_infinite() {
@@ -286,7 +291,7 @@ fn write_value(v: &Value, t: &SizeTable, cursor: &mut usize, out: &mut Vec<u8>) 
     }
 }
 
-fn write_int(tag: Tag, v: i64, out: &mut Vec<u8>) {
+pub(crate) fn write_int(tag: Tag, v: i64, out: &mut Vec<u8>) {
     if (0..8).contains(&v) {
         out.push(tag as u8 | v as u8);
     } else {
@@ -299,7 +304,7 @@ fn write_int(tag: Tag, v: i64, out: &mut Vec<u8>) {
     }
 }
 
-fn patch_offset(out: &mut [u8], at: usize, value: usize, w: usize) {
+pub(crate) fn patch_offset(out: &mut [u8], at: usize, value: usize, w: usize) {
     for i in 0..w {
         out[at + i] = ((value >> (8 * i)) & 0xFF) as u8;
     }

@@ -38,11 +38,13 @@
 mod access;
 mod encode;
 mod numstr;
+mod ondemand;
 mod validate;
 
 pub use access::{ArrayIter, JsonbKind, JsonbRef, ObjectIter};
 pub use encode::{decode, encode, encode_into, encoded_size};
 pub use numstr::{detect_numeric_string, NumericString};
+pub use ondemand::{encode_ondemand, encode_ondemand_into};
 pub use validate::{validate, validate_exact, ValidateError};
 
 /// Type tag stored in the high nibble of every value header byte.

@@ -104,4 +104,15 @@ proptest! {
         let reparsed = jt_json::parse(&text).unwrap();
         prop_assert_eq!(reparsed, decode(&bytes));
     }
+
+    // The on-demand tape encoder must be byte-identical to the eager
+    // encoder on every document, or the outlier columns of eager- and
+    // on-demand-loaded relations would diverge.
+    #[test]
+    fn tape_encoder_matches_eager_encoder(v in arb_value()) {
+        let text = jt_json::to_string(&v);
+        let doc = jt_json::OnDemandDoc::parse(text.as_bytes()).unwrap();
+        let lazy = jt_jsonb::encode_ondemand(doc.root());
+        prop_assert_eq!(lazy, encode(&jt_json::parse(&text).unwrap()));
+    }
 }

@@ -140,9 +140,25 @@ impl MineCtx {
 /// Eq. 1 ("smaller itemsets are computed first as these are needed for
 /// larger ones"), and generation stops once the budget is exhausted.
 pub fn fpgrowth(transactions: &[Vec<Item>], cfg: MinerConfig) -> Vec<Itemset> {
-    let _span = jt_obs::span!("mining.fpgrowth.ns");
     let weighted: Vec<(Vec<Item>, u32)> = transactions.iter().map(|t| (t.clone(), 1)).collect();
-    let tree = FpTree::build(&weighted, cfg.min_support);
+    mine_weighted(&weighted, cfg)
+}
+
+/// Mine weighted transactions: each `(items, w)` entry counts as `w`
+/// occurrences of the same transaction. With shape-deduplicated input (one
+/// entry per distinct document shape, weighted by its occurrence count)
+/// mining cost scales with *distinct shapes* rather than documents.
+///
+/// Bit-identical to [`fpgrowth`] over the expanded multiset as long as the
+/// entries appear in first-occurrence order: the FP-tree's frequency table
+/// sums the same totals, transactions insert the same node chains in the
+/// same creation order (weights only change counts, never structure), and
+/// the recursion — including the Eq. 1 size cap and budget truncation —
+/// sees an identical tree. `weighted_dedup_equals_per_document` below and
+/// the eager-vs-ondemand load tests pin this equivalence.
+pub fn mine_weighted(transactions: &[(Vec<Item>, u32)], cfg: MinerConfig) -> Vec<Itemset> {
+    let _span = jt_obs::span!("mining.fpgrowth.ns");
+    let tree = FpTree::build(transactions, cfg.min_support);
     let n_frequent = tree.header.len();
     let mut ctx = MineCtx {
         min_support: cfg.min_support,
@@ -358,6 +374,48 @@ mod tests {
             };
             assert_same(&fpgrowth(&t, cfg), &apriori(&t, cfg));
         }
+    }
+
+    #[test]
+    fn weighted_dedup_equals_per_document() {
+        // Randomized transactions with heavy duplication: mining the
+        // deduplicated weighted form must be bit-identical to per-document
+        // mining, including under budget truncation and the size cap.
+        let mut state = 0x9e3779b9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..30 {
+            let n_shapes = 1 + (next() % 6) as usize;
+            let shapes: Vec<Vec<Item>> = (0..n_shapes)
+                .map(|_| {
+                    let mask = 1 + next() % 255;
+                    (0..8).filter(|i| mask & (1 << i) != 0).collect()
+                })
+                .collect();
+            let t: Vec<Vec<Item>> = (0..40)
+                .map(|_| shapes[(next() % n_shapes as u64) as usize].clone())
+                .collect();
+            for budget in [1u64 << 20, 25, 7] {
+                let cfg = MinerConfig {
+                    min_support: 2 + (trial % 4),
+                    budget,
+                };
+                let per_doc = fpgrowth(&t, cfg);
+                let weighted = mine_weighted(&crate::dedup_weighted(&t), cfg);
+                assert_eq!(per_doc, weighted, "trial {trial} budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_weighted_preserves_first_occurrence_order() {
+        let t = tx(&[&[1, 2], &[3], &[1, 2], &[4], &[3], &[1, 2]]);
+        let w = crate::dedup_weighted(&t);
+        assert_eq!(w, vec![(vec![1, 2], 3), (vec![3], 2), (vec![4], 1)]);
     }
 
     #[test]

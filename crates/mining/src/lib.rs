@@ -21,9 +21,27 @@
 
 mod fptree;
 
-pub use fptree::fpgrowth;
+pub use fptree::{fpgrowth, mine_weighted};
 
 use std::collections::HashMap;
+
+/// Collapse identical transactions into weighted entries, preserving
+/// first-occurrence order — the order contract [`mine_weighted`] needs for
+/// bit-identical results with per-document mining.
+pub fn dedup_weighted(transactions: &[Vec<Item>]) -> Vec<(Vec<Item>, u32)> {
+    let mut index: HashMap<&[Item], usize> = HashMap::with_capacity(transactions.len());
+    let mut out: Vec<(Vec<Item>, u32)> = Vec::new();
+    for t in transactions {
+        match index.entry(t.as_slice()) {
+            std::collections::hash_map::Entry::Occupied(e) => out[*e.get()].1 += 1,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(out.len());
+                out.push((t.clone(), 1));
+            }
+        }
+    }
+    out
+}
 
 /// A dictionary-encoded item (a `(key path, type)` pair in the extractor).
 pub type Item = u32;

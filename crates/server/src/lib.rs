@@ -445,9 +445,11 @@ fn dispatch(
                     write_err(writer, &format!("unknown table {table}"))?;
                     return Ok(Flow::Continue);
                 };
-                match jt_json::parse(json) {
+                // Validate via the structural index (one scan, no tree until
+                // the document is accepted), then materialize for the buffer.
+                match jt_json::OnDemandDoc::parse(json.as_bytes()) {
                     Ok(doc) => {
-                        let pending = state.append([doc]);
+                        let pending = state.append([doc.root().to_value()]);
                         jt_obs::counter_add!("server.appends", 1);
                         write_ok(writer, &[format!("pending {pending}")])?;
                     }
@@ -611,9 +613,13 @@ fn dispatch(
                     trace.error = Some("aborted: server shutting down".to_string());
                     JobReply::Err("aborted: server shutting down".to_string())
                 }
-                JobMode::Run => {
-                    run_query(&request_owned, &snapshots, exec_template, &cancel, &mut trace)
-                }
+                JobMode::Run => run_query(
+                    &request_owned,
+                    &snapshots,
+                    exec_template,
+                    &cancel,
+                    &mut trace,
+                ),
             };
             // The connection may have vanished; a dead receiver is fine.
             let _ = tx.send((reply, trace));

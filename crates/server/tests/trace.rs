@@ -166,9 +166,7 @@ fn rejected_queries_are_traced_and_counters_reconcile_with_log() {
     let addr = server.addr();
     let busy: Vec<_> = (0..2)
         .map(|_| {
-            let h = std::thread::spawn(move || {
-                Client::connect_addr(addr).request(".sleep 400")
-            });
+            let h = std::thread::spawn(move || Client::connect_addr(addr).request(".sleep 400"));
             std::thread::sleep(Duration::from_millis(100));
             h
         })

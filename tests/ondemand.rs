@@ -1,0 +1,117 @@
+//! On-demand ingestion equivalence: for every workload generator and every
+//! storage mode, the structural-index pipeline (`try_load_ondemand`) must
+//! produce a relation whose persisted file is byte-identical to the eager
+//! tree-building pipeline over the same NDJSON text. Byte identity of the
+//! save image is the strongest end-to-end check we have: it covers tile
+//! schemas, mined itemsets, reordering decisions, dictionaries, Bloom
+//! filters, sketches, and the JSONB fallback encoding all at once.
+
+use json_tiles::data::{self, from_ndjson, to_ndjson};
+use json_tiles::tiles::{Relation, StorageMode, TilesConfig};
+
+/// Save both relations into a scratch directory and compare raw bytes.
+fn assert_save_identical(tag: &str, eager: &mut Relation, ondemand: &mut Relation) {
+    let dir = std::env::temp_dir().join(format!("jt-ondemand-{}-{}", tag, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("eager.jt");
+    let b = dir.join("ondemand.jt");
+    eager.save(&a).unwrap();
+    ondemand.save(&b).unwrap();
+    let ba = std::fs::read(&a).unwrap();
+    let bb = std::fs::read(&b).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(ba, bb, "{tag}: persisted images diverge");
+}
+
+/// Load the same text both ways under `config` and demand byte identity.
+fn check(tag: &str, text: &str, config: TilesConfig) {
+    let eager_docs = from_ndjson(text).docs;
+    let mut eager = Relation::load_with_threads(&eager_docs, config, 2);
+    let (mut ondemand, report) =
+        Relation::try_load_ondemand(text.as_bytes(), config, 2).expect("ondemand load");
+    assert_eq!(report.docs, eager_docs.len(), "{tag}: doc count");
+    assert_eq!(report.skipped, 0, "{tag}: no malformed lines expected");
+    assert_eq!(ondemand.row_count(), eager.row_count(), "{tag}: row count");
+    assert_save_identical(tag, &mut eager, &mut ondemand);
+}
+
+/// Small tiles and partitions so every workload spans multiple tiles and
+/// multiple reordering partitions.
+fn small(mode: StorageMode) -> TilesConfig {
+    TilesConfig {
+        tile_size: 64,
+        partition_size: 4,
+        ..TilesConfig::with_mode(mode)
+    }
+}
+
+const MODES: [(StorageMode, &str); 4] = [
+    (StorageMode::Tiles, "tiles"),
+    (StorageMode::Sinew, "sinew"),
+    (StorageMode::Jsonb, "jsonb"),
+    (StorageMode::JsonText, "json"),
+];
+
+#[test]
+fn twitter_save_identical_across_modes() {
+    let d = data::twitter::generate(data::twitter::TwitterConfig {
+        docs: 600,
+        evolving: true,
+        delete_fraction: 0.12,
+        seed: 7,
+    });
+    let text = to_ndjson(&d.docs);
+    for (mode, name) in MODES {
+        check(&format!("twitter-{name}"), &text, small(mode));
+    }
+}
+
+#[test]
+fn yelp_save_identical_across_modes() {
+    let d = data::yelp::generate(data::yelp::YelpConfig {
+        businesses: 40,
+        seed: 11,
+    });
+    let text = to_ndjson(&d.docs);
+    for (mode, name) in MODES {
+        check(&format!("yelp-{name}"), &text, small(mode));
+    }
+}
+
+#[test]
+fn hackernews_save_identical_across_modes() {
+    let docs = data::hackernews::generate(data::hackernews::HnConfig {
+        items: 500,
+        seed: 13,
+    });
+    let text = to_ndjson(&docs);
+    for (mode, name) in MODES {
+        check(&format!("hn-{name}"), &text, small(mode));
+    }
+}
+
+#[test]
+fn tpch_save_identical_shuffled() {
+    let d = data::tpch::generate(data::tpch::TpchConfig {
+        scale: 0.01,
+        seed: 17,
+    });
+    // Shuffled interleaving is the reordering stress case (§6.4): the
+    // on-demand pipeline must reproduce the exact same reordering moves.
+    let docs = d.shuffled(99);
+    let text = to_ndjson(&docs);
+    check("tpch-shuffled", &text, small(StorageMode::Tiles));
+}
+
+#[test]
+fn malformed_lines_counted_like_eager() {
+    let text = "{\"a\":1}\n\nnot json\n{\"a\":2}\r\n{\"a\":3,\"b\":[1,2]}\n";
+    let eager = from_ndjson(text);
+    let (rel, report) =
+        Relation::try_load_ondemand(text.as_bytes(), TilesConfig::default(), 1).unwrap();
+    assert_eq!(report.docs, eager.docs.len());
+    assert_eq!(report.skipped, eager.skipped);
+    assert_eq!(report.errors, eager.errors);
+    assert_eq!(rel.row_count(), 3);
+    assert!(report.distinct_shapes >= 2, "two structural shapes present");
+}
